@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks reproduce every table and figure of the paper at a reduced scale
+(`BENCH_SCALE`) so a full `pytest benchmarks/ --benchmark-only` run finishes
+in minutes.  Set the environment variable ``REPRO_BENCH_SCALE=paper`` to run
+at the paper's full scale instead (hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import BENCH_SCALE, PAPER_SCALE, TEST_SCALE, prepare_experiment
+
+
+def _selected_scale():
+    choice = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
+    if choice == "paper":
+        return PAPER_SCALE
+    if choice == "test":
+        return TEST_SCALE
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale used by every benchmark."""
+    return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def mnist_setup(scale):
+    """Shared MNIST-4 experiment setup (trained base model on belem)."""
+    return prepare_experiment("mnist4", scale=scale)

@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 1 — fluctuating noise on the belem-like backend."""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_noise_fluctuation(benchmark, scale):
+    result = benchmark.pedantic(run_fig1, args=(scale,), rounds=1, iterations=1)
+    summary = result.fluctuation_summary()
+    print("\nFig. 1 — error-rate fluctuation over the synthetic history")
+    for kind, stats in summary.items():
+        print(
+            f"  {kind:12s} min {stats['min']:.5f}  max {stats['max']:.5f}  "
+            f"max/min {stats['max_over_min']:.1f}x"
+        )
+    # Paper's qualitative claim: noise fluctuates in a wide range.
+    assert summary["cnot"]["max_over_min"] > 2.0
+    assert summary["readout"]["max_over_min"] > 1.5

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 2 — day-1 adaptation strategies over the online history."""
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_yearlong_accuracy(benchmark, scale, mnist_setup):
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"scale": scale, "setup": mnist_setup}, rounds=1, iterations=1
+    )
+    summary = result.summary()
+    print("\nFig. 2 — accuracy of day-1 strategies across the online days")
+    print(f"  noise-aware training on day 1: mean {summary['noise_aware_training_mean']:.3f} "
+          f"min {summary['noise_aware_training_min']:.3f}")
+    print(f"  compression on day 1:          mean {summary['compression_mean']:.3f} "
+          f"min {summary['compression_min']:.3f}")
+    assert len(result.compression_accuracy) == len(result.noise_aware_training_accuracy)
+    # Both one-shot strategies must remain valid accuracy series.
+    assert 0.0 <= summary["compression_mean"] <= 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 3 — breakpoints in the noisy loss landscape."""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_loss_landscape(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"scale": scale, "grid_points": 17}, rounds=1, iterations=1
+    )
+    gain = result.breakpoint_gain()
+    print("\nFig. 3 — two-parameter VQC landscape under noise")
+    print(f"  mean |W_n - W_p| off the compression levels minus on them: {gain:.4f}")
+    # The paper's observation: the deviation is smaller at the breakpoints
+    # (compression levels), i.e. the gain is positive.
+    assert gain > 0

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 4 — CNOT-noise heterogeneity and cross-day compression."""
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_heterogeneity(benchmark, scale, mnist_setup):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"scale": scale, "setup": mnist_setup}, rounds=1, iterations=1
+    )
+    print("\nFig. 4 — heterogeneous CNOT noise on anchor days")
+    for date, coupler in result.noisiest_coupler_per_day().items():
+        print(f"  {date}: noisiest coupler {coupler}")
+    print("  cross-day accuracy of per-day compressed models:")
+    for label, series in result.accuracy.items():
+        print(f"    {label}: " + "  ".join(f"{a:.2f}" for a in series))
+    assert len(result.anchor_days) >= 2
+    for series in result.accuracy.values():
+        assert len(series) == len(result.evaluation_days)

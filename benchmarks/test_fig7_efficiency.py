@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 7 — online optimization cost vs accuracy."""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_efficiency(benchmark, scale, mnist_setup):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"scale": scale, "setup": mnist_setup}, rounds=1, iterations=1
+    )
+    normalized = result.normalized_time(by="runs")
+    print("\nFig. 7 — online optimization cost (normalized to QuCAD) and accuracy")
+    for name in result.mean_accuracy:
+        print(
+            f"  {name:28s} time x{normalized[name]:6.1f}  "
+            f"mean accuracy {result.mean_accuracy[name]:.3f}"
+        )
+    # The every-day strategies optimize once per day; QuCAD optimizes far less.
+    assert normalized["compression_everyday"] > 1.0
+    assert normalized["noise_aware_train_everyday"] > 1.0
+    assert normalized["qucad"] == 1.0

@@ -1,0 +1,25 @@
+"""Benchmark: Fig. 8 — earthquake detection on the jakarta-like device."""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_jakarta_hardware_emulation(benchmark, scale):
+    hardware_scale = scale.with_overrides(
+        offline_days=max(scale.num_clusters * 3, 9),
+        online_days=3,
+        eval_samples=min(scale.eval_samples, 40),
+    )
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={"scale": hardware_scale, "num_rounds": 3, "shots": 1024},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 8 — earthquake detection on the 7-qubit jakarta-like device")
+    for name, series in result.accuracy.items():
+        rounds = "  ".join(f"{a:.3f}" for a in series)
+        print(f"  {name:26s} {rounds}")
+    means = result.mean_accuracy()
+    print("  QuCAD gain over competitors:", {k: round(v, 3) for k, v in result.qucad_gain().items()})
+    # QuCAD should not fall behind the unadapted baseline on the hardware run.
+    assert means["qucad"] >= means["baseline"] - 0.1

@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 9 — ablations on representative days."""
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_ablations(benchmark, scale, mnist_setup):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={"scale": scale, "setup": mnist_setup, "num_days": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 9(a) — QuCAD vs the practical upper bound (compression every day)")
+    for name, series in result.panel_a.items():
+        print(f"  {name:36s} " + "  ".join(f"{a:.2f}" for a in series))
+    print("Fig. 9(b) — noise-aware vs noise-agnostic compression")
+    for name, series in result.panel_b.items():
+        print(f"  {name:36s} " + "  ".join(f"{a:.2f}" for a in series))
+    print(f"  upper-bound gap: {result.upper_bound_gap():.3f}   "
+          f"noise-aware gain: {result.noise_aware_gain():.3f}")
+    # QuCAD should stay within a reasonable distance of compressing every day,
+    # and noise-aware compression should not lose badly to noise-agnostic.
+    assert result.upper_bound_gap() < 0.25
+    assert result.noise_aware_gain() > -0.15

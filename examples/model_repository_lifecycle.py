@@ -1,0 +1,85 @@
+"""Lifecycle of the model repository: offline clustering, online matching.
+
+Demonstrates the Section III-C/III-D machinery directly (without the QuCAD
+facade): measuring per-day accuracy, clustering calibrations with the
+performance-weighted L1 distance, compressing one model per centroid, and
+then serving models online — including the failure report of Guidance 2 when
+the user's accuracy requirement cannot be met.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration import generate_belem_history
+from repro.core import (
+    CompressionConfig,
+    NoiseAwareCompressor,
+    RepositoryConstructor,
+    RepositoryManager,
+    train_noise_free,
+)
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel, TrainConfig
+from repro.transpiler import belem_coupling
+
+
+def main() -> None:
+    coupling = belem_coupling()
+    history = generate_belem_history(num_days=60, seed=5)
+    offline_history, online_history = history.split(45)
+    dataset = load_mnist4(num_samples=300, seed=7)
+
+    model = QNNModel.create(4, 16, 4, repeats=2, seed=3)
+    model.bind_to_device(coupling, calibration=history[0])
+    train_noise_free(
+        model,
+        dataset.train_features[:192],
+        dataset.train_labels[:192],
+        TrainConfig(epochs=20, learning_rate=0.1, seed=0),
+    )
+
+    compressor = NoiseAwareCompressor(
+        CompressionConfig(admm_iterations=2, theta_epochs=1, finetune_epochs=3)
+    )
+    constructor = RepositoryConstructor(
+        compressor=compressor,
+        num_clusters=4,
+        accuracy_requirement=0.40,
+        eval_test_samples=48,
+        train_samples=96,
+        seed=0,
+    )
+    report = constructor.build(model, dataset, offline_history)
+    print(f"offline: {len(offline_history)} days clustered into "
+          f"{report.clustering.num_clusters} groups, threshold th_w = "
+          f"{report.repository.threshold:.4f}")
+    for entry in report.repository.entries:
+        print(f"  {entry.label}: cluster accuracy {entry.mean_accuracy:.3f}, "
+              f"valid={entry.valid}")
+
+    train_subset = dataset.subsample(num_train=96, seed=0)
+    manager = RepositoryManager(
+        repository=report.repository,
+        compressor=compressor,
+        model=model,
+        train_features=train_subset.train_features,
+        train_labels=train_subset.train_labels,
+        accuracy_requirement=0.40,
+    )
+    print("\nonline adaptation:")
+    for snapshot in online_history:
+        decision = manager.adapt(snapshot)
+        message = f"  {snapshot.date}: {decision.action:9s}"
+        if decision.distance is not None:
+            message += f" (distance {decision.distance:.4f} vs threshold {decision.threshold:.4f})"
+        if decision.failure_report:
+            message += "  ! " + decision.failure_report
+        print(message)
+    stats = manager.stats
+    print(f"\n{stats.steps} days served with only {stats.optimizations} online "
+          f"compressions ({stats.reuses} reuses, {stats.invalid_matches} failure reports)")
+
+
+if __name__ == "__main__":
+    main()

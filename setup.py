@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without the
+``wheel`` package cannot build PEP-660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

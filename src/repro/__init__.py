@@ -1,0 +1,23 @@
+"""QuCAD reproduction: compression-aided framework for noise-robust QNNs.
+
+This package re-implements the full system of "Battle Against Fluctuating
+Quantum Noise: Compression-Aided Framework to Enable Robust Quantum Neural
+Network" (DAC 2023) on a pure-NumPy quantum simulation substrate:
+
+* :mod:`repro.gates`, :mod:`repro.circuits`, :mod:`repro.simulator`,
+  :mod:`repro.transpiler` — the quantum execution substrate (statevector and
+  density-matrix simulation, calibrated noise channels, layout/routing/basis
+  translation for belem- and jakarta-like devices);
+* :mod:`repro.calibration` — calibration snapshots, the synthetic
+  fluctuating-noise history, and the performance-weighted distances;
+* :mod:`repro.qnn` — the variational classifier, training, and evaluation;
+* :mod:`repro.datasets` — the MNIST-4 / Iris / seismic tasks;
+* :mod:`repro.core` — the paper's contribution: noise-aware ADMM
+  compression, the offline model-repository constructor, the online manager,
+  and the QuCAD framework plus all Table I competitor methods;
+* :mod:`repro.experiments` — per-table and per-figure reproduction harnesses.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,39 @@
+"""Calibration data model, synthetic fluctuating-noise generator, distances."""
+
+from repro.calibration.backends import (
+    BackendSpec,
+    belem_backend,
+    get_backend,
+    jakarta_backend,
+)
+from repro.calibration.distance import (
+    l2_distance,
+    pairwise_weighted_l1,
+    performance_weights,
+    weighted_l1_distance,
+)
+from repro.calibration.history import CalibrationHistory
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.calibration.synthetic import (
+    FluctuatingNoiseGenerator,
+    FluctuationConfig,
+    generate_belem_history,
+    generate_jakarta_history,
+)
+
+__all__ = [
+    "BackendSpec",
+    "belem_backend",
+    "jakarta_backend",
+    "get_backend",
+    "CalibrationSnapshot",
+    "CalibrationHistory",
+    "FluctuatingNoiseGenerator",
+    "FluctuationConfig",
+    "generate_belem_history",
+    "generate_jakarta_history",
+    "performance_weights",
+    "weighted_l1_distance",
+    "l2_distance",
+    "pairwise_weighted_l1",
+]

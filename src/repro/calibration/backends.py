@@ -1,0 +1,114 @@
+"""Backend specifications: topology plus typical error levels.
+
+A :class:`BackendSpec` bundles a coupling map with the baseline noise levels
+the synthetic calibration generator fluctuates around.  The baselines are
+chosen to match the ranges reported in the paper's Fig. 1 for *ibmq_belem*
+(single-qubit errors around 1e-4..1e-3, CNOT errors around 1e-2, readout
+errors of a few percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import CalibrationError
+from repro.transpiler.coupling import CouplingMap, belem_coupling, jakarta_coupling
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Static description of a quantum device used for emulation."""
+
+    name: str
+    coupling: CouplingMap
+    base_single_qubit_error: dict[int, float]
+    base_two_qubit_error: dict[tuple[int, int], float]
+    base_readout_error: dict[int, float]
+
+    def __post_init__(self) -> None:
+        n = self.coupling.num_qubits
+        for qubit in self.base_single_qubit_error:
+            if not 0 <= qubit < n:
+                raise CalibrationError(f"baseline 1q error qubit {qubit} out of range")
+        for pair in self.base_two_qubit_error:
+            if tuple(sorted(pair)) not in self.coupling.edges:
+                raise CalibrationError(
+                    f"baseline CX error pair {pair} is not a coupler of {self.name}"
+                )
+        for qubit in self.base_readout_error:
+            if not 0 <= qubit < n:
+                raise CalibrationError(f"baseline readout qubit {qubit} out of range")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling.num_qubits
+
+
+def belem_backend() -> BackendSpec:
+    """A 5-qubit belem-like device (T-shaped coupling)."""
+    coupling = belem_coupling()
+    return BackendSpec(
+        name="ibmq_belem",
+        coupling=coupling,
+        base_single_qubit_error={0: 2.2e-4, 1: 1.9e-4, 2: 3.1e-4, 3: 2.6e-4, 4: 3.7e-4},
+        base_two_qubit_error={
+            (0, 1): 7.4e-3,
+            (1, 2): 9.8e-3,
+            (1, 3): 1.15e-2,
+            (3, 4): 1.39e-2,
+        },
+        base_readout_error={0: 2.1e-2, 1: 2.7e-2, 2: 3.3e-2, 3: 3.9e-2, 4: 4.6e-2},
+    )
+
+
+def jakarta_backend() -> BackendSpec:
+    """A 7-qubit jakarta-like device (H-shaped coupling)."""
+    coupling = jakarta_coupling()
+    return BackendSpec(
+        name="ibm_jakarta",
+        coupling=coupling,
+        base_single_qubit_error={
+            0: 2.4e-4,
+            1: 1.8e-4,
+            2: 2.9e-4,
+            3: 2.2e-4,
+            4: 3.3e-4,
+            5: 2.0e-4,
+            6: 3.8e-4,
+        },
+        base_two_qubit_error={
+            (0, 1): 6.8e-3,
+            (1, 2): 8.3e-3,
+            (1, 3): 7.6e-3,
+            (3, 5): 9.2e-3,
+            (4, 5): 1.08e-2,
+            (5, 6): 1.21e-2,
+        },
+        base_readout_error={
+            0: 2.0e-2,
+            1: 2.4e-2,
+            2: 3.0e-2,
+            3: 2.2e-2,
+            4: 3.6e-2,
+            5: 2.8e-2,
+            6: 4.2e-2,
+        },
+    )
+
+
+NAMED_BACKENDS = {
+    "belem": belem_backend,
+    "ibmq_belem": belem_backend,
+    "jakarta": jakarta_backend,
+    "ibm_jakarta": jakarta_backend,
+}
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up a named backend specification."""
+    key = name.lower()
+    if key not in NAMED_BACKENDS:
+        raise CalibrationError(
+            f"unknown backend {name!r}; known backends: {sorted(set(NAMED_BACKENDS))}"
+        )
+    return NAMED_BACKENDS[key]()

@@ -1,0 +1,73 @@
+"""Distances between calibration snapshots.
+
+The repository constructor and manager compare calibration vectors with the
+paper's *performance-aware weighted L1 distance*: each feature dimension is
+weighted by the absolute Pearson correlation between that error rate and the
+model's accuracy across the offline history (Eq. 5), so error rates that
+actually hurt the model dominate the match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CalibrationError
+
+
+def performance_weights(calibrations: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
+    """Per-feature weights ``w_j = |corr(accuracy, C[:, j])|``.
+
+    Features with zero variance (or when accuracy has zero variance) get a
+    weight of zero: they carry no information about performance.
+    """
+    calibrations = np.asarray(calibrations, dtype=float)
+    accuracies = np.asarray(accuracies, dtype=float)
+    if calibrations.ndim != 2:
+        raise CalibrationError("calibrations must be a 2-D (days x features) matrix")
+    if accuracies.shape != (calibrations.shape[0],):
+        raise CalibrationError(
+            f"accuracies of shape {accuracies.shape} do not match "
+            f"{calibrations.shape[0]} calibration rows"
+        )
+    n_features = calibrations.shape[1]
+    weights = np.zeros(n_features, dtype=float)
+    acc_std = accuracies.std()
+    if acc_std == 0 or calibrations.shape[0] < 2:
+        return weights
+    acc_centered = accuracies - accuracies.mean()
+    for j in range(n_features):
+        column = calibrations[:, j]
+        col_std = column.std()
+        if col_std == 0:
+            continue
+        covariance = float(np.mean(acc_centered * (column - column.mean())))
+        weights[j] = abs(covariance / (acc_std * col_std))
+    return weights
+
+
+def weighted_l1_distance(x: np.ndarray, y: np.ndarray, weights: np.ndarray) -> float:
+    """The paper's ``dist^w_L1``: Manhattan distance of weighted vectors."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if x.shape != y.shape or x.shape != weights.shape:
+        raise CalibrationError(
+            f"shape mismatch: x{x.shape}, y{y.shape}, weights{weights.shape}"
+        )
+    return float(np.sum(np.abs(weights * x - weights * y)))
+
+
+def l2_distance(x: np.ndarray, y: np.ndarray) -> float:
+    """Plain Euclidean distance (the Table II baseline)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise CalibrationError(f"shape mismatch: x{x.shape}, y{y.shape}")
+    return float(np.linalg.norm(x - y))
+
+
+def pairwise_weighted_l1(points: np.ndarray, centers: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Distance matrix between ``points`` (n x d) and ``centers`` (k x d)."""
+    points = np.asarray(points, dtype=float) * weights
+    centers = np.asarray(centers, dtype=float) * weights
+    return np.abs(points[:, None, :] - centers[None, :, :]).sum(axis=2)

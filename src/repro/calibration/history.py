@@ -1,0 +1,108 @@
+"""Calibration histories: ordered sequences of daily snapshots."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.exceptions import CalibrationError
+
+
+@dataclass
+class CalibrationHistory:
+    """An ordered collection of :class:`CalibrationSnapshot` (one per day)."""
+
+    snapshots: list[CalibrationSnapshot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.snapshots:
+            expected = self.snapshots[0].feature_names()
+            for snapshot in self.snapshots[1:]:
+                if snapshot.feature_names() != expected:
+                    raise CalibrationError(
+                        "all snapshots in a history must share the same feature layout"
+                    )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[CalibrationSnapshot]:
+        return iter(self.snapshots)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return CalibrationHistory(self.snapshots[index])
+        return self.snapshots[index]
+
+    def append(self, snapshot: CalibrationSnapshot) -> None:
+        """Add a snapshot, enforcing a consistent feature layout."""
+        if self.snapshots and snapshot.feature_names() != self.snapshots[0].feature_names():
+            raise CalibrationError("snapshot feature layout differs from the history")
+        self.snapshots.append(snapshot)
+
+    @property
+    def dates(self) -> list[Optional[str]]:
+        """Dates of all snapshots (may contain ``None``)."""
+        return [snapshot.date for snapshot in self.snapshots]
+
+    # ------------------------------------------------------------------
+    # Matrix view and splits
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Stack all snapshots into an ``(n_days, n_features)`` matrix."""
+        if not self.snapshots:
+            return np.zeros((0, 0))
+        return np.stack([snapshot.to_vector() for snapshot in self.snapshots])
+
+    def feature_names(self) -> list[str]:
+        """Feature names shared by every snapshot."""
+        if not self.snapshots:
+            return []
+        return self.snapshots[0].feature_names()
+
+    def split(self, offline_days: int) -> tuple["CalibrationHistory", "CalibrationHistory"]:
+        """Split into (offline, online) sub-histories, as in the paper.
+
+        The paper uses the first 243 days for offline optimization and the
+        remaining 146 days for online tests.
+        """
+        if not 0 <= offline_days <= len(self.snapshots):
+            raise CalibrationError(
+                f"offline_days={offline_days} outside [0, {len(self.snapshots)}]"
+            )
+        return (
+            CalibrationHistory(self.snapshots[:offline_days]),
+            CalibrationHistory(self.snapshots[offline_days:]),
+        )
+
+    def feature_series(self, feature_name: str) -> np.ndarray:
+        """Time series of one error-rate feature across the history."""
+        names = self.feature_names()
+        if feature_name not in names:
+            raise CalibrationError(
+                f"unknown feature {feature_name!r}; available: {names}"
+            )
+        column = names.index(feature_name)
+        return self.to_matrix()[:, column]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self, path: str | Path) -> None:
+        """Write the history to a JSON file."""
+        payload = [snapshot.to_dict() for snapshot in self.snapshots]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "CalibrationHistory":
+        """Load a history previously written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        return cls([CalibrationSnapshot.from_dict(entry) for entry in payload])

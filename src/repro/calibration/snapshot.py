@@ -1,0 +1,198 @@
+"""Calibration snapshots: the per-day error-rate tables of a device.
+
+A :class:`CalibrationSnapshot` is the ``D_t`` / ``D_c`` object of the paper:
+the single-qubit gate error of every physical qubit, the CNOT error of every
+coupler, and the readout error of every qubit, for one calibration run
+(one day).  Snapshots vectorize into fixed-order feature vectors so the
+clustering and repository-matching code can treat them as points in R^d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import CalibrationError
+
+
+def _normalize_pair(pair: Sequence[int]) -> tuple[int, int]:
+    a, b = int(pair[0]), int(pair[1])
+    if a == b:
+        raise CalibrationError(f"two-qubit error pair ({a}, {b}) is a self loop")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class CalibrationSnapshot:
+    """Error rates of a device at one calibration time.
+
+    Attributes
+    ----------
+    num_qubits:
+        Number of physical qubits.
+    single_qubit_error:
+        Average single-qubit gate (sx/x) error per qubit.
+    two_qubit_error:
+        CNOT error per coupler, keyed by the sorted qubit pair.
+    readout_error:
+        Measurement assignment error per qubit.
+    date:
+        Optional ISO date string identifying the calibration day.
+    """
+
+    num_qubits: int
+    single_qubit_error: dict[int, float] = field(default_factory=dict)
+    two_qubit_error: dict[tuple[int, int], float] = field(default_factory=dict)
+    readout_error: dict[int, float] = field(default_factory=dict)
+    date: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise CalibrationError(f"num_qubits must be positive, got {self.num_qubits}")
+        self.single_qubit_error = {
+            int(q): float(e) for q, e in self.single_qubit_error.items()
+        }
+        self.two_qubit_error = {
+            _normalize_pair(p): float(e) for p, e in self.two_qubit_error.items()
+        }
+        self.readout_error = {int(q): float(e) for q, e in self.readout_error.items()}
+        for table_name, table in (
+            ("single_qubit_error", self.single_qubit_error),
+            ("readout_error", self.readout_error),
+        ):
+            for qubit, error in table.items():
+                if not 0 <= qubit < self.num_qubits:
+                    raise CalibrationError(f"{table_name} qubit {qubit} out of range")
+                if error < 0 or error > 1:
+                    raise CalibrationError(
+                        f"{table_name}[{qubit}] = {error} outside [0, 1]"
+                    )
+        for pair, error in self.two_qubit_error.items():
+            for qubit in pair:
+                if not 0 <= qubit < self.num_qubits:
+                    raise CalibrationError(f"two_qubit_error pair {pair} out of range")
+            if error < 0 or error > 1:
+                raise CalibrationError(f"two_qubit_error[{pair}] = {error} outside [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Lookups used by layout, compression, and the noise model
+    # ------------------------------------------------------------------
+    def gate_error(self, qubit: int) -> float:
+        """Single-qubit gate error of ``qubit`` (0 if unknown)."""
+        return self.single_qubit_error.get(int(qubit), 0.0)
+
+    def cx_error(self, qubit_a: int, qubit_b: int) -> float:
+        """CNOT error of the coupler between the two qubits (0 if unknown)."""
+        return self.two_qubit_error.get(_normalize_pair((qubit_a, qubit_b)), 0.0)
+
+    def readout(self, qubit: int) -> float:
+        """Readout assignment error of ``qubit`` (0 if unknown)."""
+        return self.readout_error.get(int(qubit), 0.0)
+
+    def noise_on(self, qubits: Sequence[int]) -> float:
+        """The noise rate ``C(A(g_i))`` for a gate acting on ``qubits``.
+
+        Single-qubit gates read the qubit's gate error; two-qubit gates read
+        the coupler's CNOT error.
+        """
+        qubits = tuple(qubits)
+        if len(qubits) == 1:
+            return self.gate_error(qubits[0])
+        if len(qubits) == 2:
+            return self.cx_error(qubits[0], qubits[1])
+        raise CalibrationError(f"unsupported qubit association {qubits}")
+
+    # ------------------------------------------------------------------
+    # Vectorization
+    # ------------------------------------------------------------------
+    def feature_names(self) -> list[str]:
+        """Stable, sorted feature ordering used by :meth:`to_vector`."""
+        names = [f"sq_{q}" for q in sorted(self.single_qubit_error)]
+        names += [f"cx_{a}_{b}" for a, b in sorted(self.two_qubit_error)]
+        names += [f"ro_{q}" for q in sorted(self.readout_error)]
+        return names
+
+    def to_vector(self) -> np.ndarray:
+        """Concatenate all error rates into a fixed-order feature vector."""
+        values = [self.single_qubit_error[q] for q in sorted(self.single_qubit_error)]
+        values += [self.two_qubit_error[p] for p in sorted(self.two_qubit_error)]
+        values += [self.readout_error[q] for q in sorted(self.readout_error)]
+        return np.asarray(values, dtype=float)
+
+    @classmethod
+    def from_vector(
+        cls,
+        vector: np.ndarray,
+        template: "CalibrationSnapshot",
+        date: Optional[str] = None,
+    ) -> "CalibrationSnapshot":
+        """Rebuild a snapshot from a feature vector using ``template``'s layout."""
+        vector = np.asarray(vector, dtype=float)
+        expected = len(template.feature_names())
+        if vector.shape != (expected,):
+            raise CalibrationError(
+                f"vector of shape {vector.shape} does not match template with "
+                f"{expected} features"
+            )
+        cursor = 0
+        single = {}
+        for qubit in sorted(template.single_qubit_error):
+            single[qubit] = float(vector[cursor])
+            cursor += 1
+        two = {}
+        for pair in sorted(template.two_qubit_error):
+            two[pair] = float(vector[cursor])
+            cursor += 1
+        readout = {}
+        for qubit in sorted(template.readout_error):
+            readout[qubit] = float(vector[cursor])
+            cursor += 1
+        return cls(
+            num_qubits=template.num_qubits,
+            single_qubit_error=single,
+            two_qubit_error=two,
+            readout_error=readout,
+            date=date,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "num_qubits": self.num_qubits,
+            "date": self.date,
+            "single_qubit_error": {str(q): e for q, e in self.single_qubit_error.items()},
+            "two_qubit_error": {f"{a}-{b}": e for (a, b), e in self.two_qubit_error.items()},
+            "readout_error": {str(q): e for q, e in self.readout_error.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CalibrationSnapshot":
+        """Inverse of :meth:`to_dict`."""
+        two = {}
+        for key, value in payload.get("two_qubit_error", {}).items():
+            a, b = key.split("-")
+            two[(int(a), int(b))] = float(value)
+        return cls(
+            num_qubits=int(payload["num_qubits"]),
+            single_qubit_error={int(q): float(e) for q, e in payload.get("single_qubit_error", {}).items()},
+            two_qubit_error=two,
+            readout_error={int(q): float(e) for q, e in payload.get("readout_error", {}).items()},
+            date=payload.get("date"),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Mean error rates, handy for logging and reports."""
+        def _mean(values: Iterable[float]) -> float:
+            values = list(values)
+            return float(np.mean(values)) if values else 0.0
+
+        return {
+            "mean_single_qubit_error": _mean(self.single_qubit_error.values()),
+            "mean_two_qubit_error": _mean(self.two_qubit_error.values()),
+            "mean_readout_error": _mean(self.readout_error.values()),
+        }

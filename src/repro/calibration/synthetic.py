@@ -1,0 +1,218 @@
+"""Synthetic fluctuating-noise generator.
+
+The paper pulls ~389 days of IBM belem calibrations; that archive is not
+available offline, so this module generates a statistically similar history:
+
+* every error rate follows a mean-reverting log-space random walk around the
+  backend's baseline (slow drift),
+* "regime shifts" multiply a random subset of qubits/couplers by a large
+  factor for a contiguous window of days — this is the *heterogeneous*
+  fluctuation of Observation 2 (different qubits become the noisiest at
+  different times), and because regimes recur, previously compressed models
+  become useful again (Observation 3),
+* occasional single-day spikes model calibration glitches.
+
+Everything is driven by an explicit seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.backends import BackendSpec
+from repro.calibration.history import CalibrationHistory
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.exceptions import CalibrationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class FluctuationConfig:
+    """Tuning knobs for the synthetic noise process.
+
+    Attributes
+    ----------
+    drift_sigma:
+        Daily standard deviation of the log-space random walk.
+    mean_reversion:
+        Pull toward the baseline per day (0 = pure random walk, 1 = white
+        noise around the baseline).
+    regime_rate:
+        Probability per day of starting a new high-noise regime.
+    regime_duration:
+        (min, max) length in days of a regime.
+    regime_scale:
+        (min, max) multiplicative factor applied during a regime.
+    regime_fraction:
+        Fraction of channels affected by each regime (drawn per regime).
+    readout_regime_damping:
+        How strongly regimes affect readout errors relative to gate errors
+        (the paper's collapses are driven primarily by CNOT noise, so readout
+        fluctuation is kept milder).
+    spike_rate:
+        Probability per day and channel of an isolated one-day spike.
+    spike_scale:
+        (min, max) multiplicative factor of a spike.
+    readout_floor / readout_cap:
+        Clipping bounds for readout error rates.
+    single_qubit_cap / two_qubit_cap:
+        Upper clips for gate error rates.
+    """
+
+    drift_sigma: float = 0.06
+    mean_reversion: float = 0.08
+    regime_rate: float = 0.03
+    regime_duration: tuple[int, int] = (10, 40)
+    regime_scale: tuple[float, float] = (2.0, 5.0)
+    regime_fraction: float = 0.4
+    readout_regime_damping: float = 0.25
+    spike_rate: float = 0.01
+    spike_scale: tuple[float, float] = (1.5, 3.0)
+    readout_floor: float = 1e-3
+    readout_cap: float = 0.12
+    single_qubit_cap: float = 0.01
+    two_qubit_cap: float = 0.08
+
+
+def _iso_dates(start: str, count: int) -> list[str]:
+    start_date = date.fromisoformat(start)
+    return [(start_date + timedelta(days=i)).isoformat() for i in range(count)]
+
+
+class FluctuatingNoiseGenerator:
+    """Generate a day-by-day calibration history for a backend."""
+
+    def __init__(
+        self,
+        backend: BackendSpec,
+        config: Optional[FluctuationConfig] = None,
+        seed: SeedLike = None,
+    ):
+        self.backend = backend
+        self.config = config or FluctuationConfig()
+        self._rng = ensure_rng(seed)
+        # Channel bookkeeping: a flat list of (kind, key, baseline).
+        self._channels: list[tuple[str, object, float]] = []
+        for qubit, error in sorted(backend.base_single_qubit_error.items()):
+            self._channels.append(("single", qubit, error))
+        for pair, error in sorted(backend.base_two_qubit_error.items()):
+            self._channels.append(("two", pair, error))
+        for qubit, error in sorted(backend.base_readout_error.items()):
+            self._channels.append(("readout", qubit, error))
+        if not self._channels:
+            raise CalibrationError("backend has no baseline error channels")
+
+    def generate(self, num_days: int, start_date: str = "2021-08-10") -> CalibrationHistory:
+        """Produce ``num_days`` consecutive calibration snapshots."""
+        if num_days <= 0:
+            raise CalibrationError(f"num_days must be positive, got {num_days}")
+        cfg = self.config
+        rng = self._rng
+        n_channels = len(self._channels)
+        baselines = np.array([c[2] for c in self._channels], dtype=float)
+        log_baseline = np.log(baselines)
+        log_level = log_baseline.copy()
+
+        # Active regimes: list of (days_remaining, per-channel multiplier).
+        regimes: list[list] = []
+        dates = _iso_dates(start_date, num_days)
+        history = CalibrationHistory()
+
+        for day in range(num_days):
+            # Slow mean-reverting drift in log space.
+            log_level = (
+                log_level
+                + cfg.mean_reversion * (log_baseline - log_level)
+                + rng.normal(0.0, cfg.drift_sigma, size=n_channels)
+            )
+            values = np.exp(log_level)
+
+            # Possibly start a new heterogeneous high-noise regime.
+            if rng.random() < cfg.regime_rate:
+                duration = int(rng.integers(cfg.regime_duration[0], cfg.regime_duration[1] + 1))
+                affected = rng.random(n_channels) < cfg.regime_fraction
+                if not affected.any():
+                    affected[rng.integers(0, n_channels)] = True
+                scale = rng.uniform(*cfg.regime_scale)
+                # Readout channels fluctuate less than gate channels: the
+                # collapses of interest come from CNOT noise heterogeneity.
+                per_channel_scale = np.array(
+                    [
+                        1.0 + (scale - 1.0) * cfg.readout_regime_damping
+                        if kind == "readout"
+                        else scale
+                        for kind, _, _ in self._channels
+                    ]
+                )
+                multiplier = np.where(affected, per_channel_scale, 1.0)
+                regimes.append([duration, multiplier])
+
+            # Apply active regimes and retire expired ones.
+            for regime in regimes:
+                values = values * regime[1]
+                regime[0] -= 1
+            regimes = [r for r in regimes if r[0] > 0]
+
+            # Isolated one-day spikes.
+            spikes = rng.random(n_channels) < cfg.spike_rate
+            if spikes.any():
+                values = np.where(
+                    spikes, values * rng.uniform(*cfg.spike_scale, size=n_channels), values
+                )
+
+            history.append(self._snapshot_from_values(values, dates[day]))
+        return history
+
+    def _snapshot_from_values(self, values: np.ndarray, day: str) -> CalibrationSnapshot:
+        cfg = self.config
+        single: dict[int, float] = {}
+        two: dict[tuple[int, int], float] = {}
+        readout: dict[int, float] = {}
+        for (kind, key, _), value in zip(self._channels, values):
+            if kind == "single":
+                single[key] = float(np.clip(value, 1e-6, cfg.single_qubit_cap))
+            elif kind == "two":
+                two[key] = float(np.clip(value, 1e-5, cfg.two_qubit_cap))
+            else:
+                readout[key] = float(np.clip(value, cfg.readout_floor, cfg.readout_cap))
+        return CalibrationSnapshot(
+            num_qubits=self.backend.num_qubits,
+            single_qubit_error=single,
+            two_qubit_error=two,
+            readout_error=readout,
+            date=day,
+        )
+
+
+def generate_belem_history(
+    num_days: int = 389,
+    seed: SeedLike = 2021,
+    config: Optional[FluctuationConfig] = None,
+    start_date: str = "2021-08-10",
+) -> CalibrationHistory:
+    """Convenience wrapper: the belem-like history used throughout the paper.
+
+    The default 389 days split into 243 offline + 146 online days, matching
+    the paper's Aug 10, 2021 – Sep 20, 2022 window.
+    """
+    from repro.calibration.backends import belem_backend
+
+    generator = FluctuatingNoiseGenerator(belem_backend(), config=config, seed=seed)
+    return generator.generate(num_days, start_date=start_date)
+
+
+def generate_jakarta_history(
+    num_days: int = 30,
+    seed: SeedLike = 7,
+    config: Optional[FluctuationConfig] = None,
+    start_date: str = "2022-08-01",
+) -> CalibrationHistory:
+    """A jakarta-like calibration history for the real-device emulation (Fig. 8)."""
+    from repro.calibration.backends import jakarta_backend
+
+    generator = FluctuatingNoiseGenerator(jakarta_backend(), config=config, seed=seed)
+    return generator.generate(num_days, start_date=start_date)

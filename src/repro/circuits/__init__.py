@@ -1,0 +1,27 @@
+"""Circuit IR, dependency utilities, and the paper's circuit templates."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import asap_layers, build_dependency_dag, critical_path_length
+from repro.circuits.library import (
+    QUCAD_BLOCK_LAYERS,
+    append_qucad_block,
+    build_hardware_efficient_ansatz,
+    build_qucad_ansatz,
+    build_two_parameter_vqc,
+    parameters_per_block,
+    ring_pairs,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "asap_layers",
+    "build_dependency_dag",
+    "critical_path_length",
+    "QUCAD_BLOCK_LAYERS",
+    "append_qucad_block",
+    "build_hardware_efficient_ansatz",
+    "build_qucad_ansatz",
+    "build_two_parameter_vqc",
+    "parameters_per_block",
+    "ring_pairs",
+]

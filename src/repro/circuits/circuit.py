@@ -1,0 +1,246 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.gates.Gate`
+instructions on ``num_qubits`` qubits.  It supports the operations the rest
+of the library needs:
+
+* appending gates through convenience methods (``circuit.ry(0.3, 0)``),
+* binding an external trainable-parameter vector (``bind_parameters``),
+* structural queries (parametric gate list, per-gate qubit association),
+* composition and qubit remapping (used by the transpiler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.gates import GATE_REGISTRY, Gate
+
+
+@dataclass
+class QuantumCircuit:
+    """An ordered gate list on a fixed number of qubits.
+
+    Attributes
+    ----------
+    num_qubits:
+        Number of qubits addressed by the circuit.
+    gates:
+        Ordered instruction list.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    num_qubits: int
+    gates: list[Gate] = field(default_factory=list)
+    name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise CircuitError(f"num_qubits must be positive, got {self.num_qubits}")
+        for gate in self.gates:
+            self._validate_gate(gate)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate_gate(self, gate: Gate) -> None:
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise CircuitError(
+                    f"gate {gate.name!r} addresses qubit {qubit} outside "
+                    f"range [0, {self.num_qubits})"
+                )
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append ``gate`` after validating its qubit indices."""
+        self._validate_gate(gate)
+        self.gates.append(gate)
+        return self
+
+    def add(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        param: Optional[float] = None,
+        param_ref: Optional[int] = None,
+        trainable: bool = False,
+    ) -> "QuantumCircuit":
+        """Append a gate by name; see :class:`~repro.gates.Gate` for fields."""
+        gate = Gate(
+            name=name,
+            qubits=tuple(int(q) for q in qubits),
+            param=param,
+            param_ref=param_ref,
+            trainable=trainable,
+        )
+        return self.append(gate)
+
+    # Convenience methods for the most common gates.  Parametric helpers
+    # accept either a concrete angle or a param_ref.
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.add("x", [qubit])
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.add("sx", [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.add("h", [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.add("z", [qubit])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cx", [control, target])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cz", [control, target])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.add("swap", [qubit_a, qubit_b])
+
+    def rx(self, theta: float, qubit: int, **kwargs) -> "QuantumCircuit":
+        return self.add("rx", [qubit], param=theta, **kwargs)
+
+    def ry(self, theta: float, qubit: int, **kwargs) -> "QuantumCircuit":
+        return self.add("ry", [qubit], param=theta, **kwargs)
+
+    def rz(self, theta: float, qubit: int, **kwargs) -> "QuantumCircuit":
+        return self.add("rz", [qubit], param=theta, **kwargs)
+
+    def crx(self, theta: float, control: int, target: int, **kwargs) -> "QuantumCircuit":
+        return self.add("crx", [control, target], param=theta, **kwargs)
+
+    def cry(self, theta: float, control: int, target: int, **kwargs) -> "QuantumCircuit":
+        return self.add("cry", [control, target], param=theta, **kwargs)
+
+    def crz(self, theta: float, control: int, target: int, **kwargs) -> "QuantumCircuit":
+        return self.add("crz", [control, target], param=theta, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Parameter handling
+    # ------------------------------------------------------------------
+    @property
+    def parametric_gates(self) -> list[Gate]:
+        """All gates carrying a rotation angle, in circuit order."""
+        return [g for g in self.gates if g.is_parametric]
+
+    @property
+    def trainable_gates(self) -> list[Gate]:
+        """Parametric gates that reference the trainable-parameter vector."""
+        return [g for g in self.gates if g.param_ref is not None]
+
+    @property
+    def num_parameters(self) -> int:
+        """Size of the trainable-parameter vector referenced by the circuit."""
+        refs = [g.param_ref for g in self.gates if g.param_ref is not None]
+        return (max(refs) + 1) if refs else 0
+
+    def bind_parameters(self, values: Sequence[float] | np.ndarray) -> "QuantumCircuit":
+        """Return a copy with every ``param_ref`` replaced by its value.
+
+        Gates without a ``param_ref`` are copied unchanged.  ``values`` must
+        cover every referenced index.
+        """
+        values = np.asarray(values, dtype=float)
+        needed = self.num_parameters
+        if values.ndim != 1 or values.shape[0] < needed:
+            raise CircuitError(
+                f"parameter vector of length {values.shape if values.ndim != 1 else values.shape[0]} "
+                f"cannot bind circuit needing {needed} parameters"
+            )
+        bound_gates = []
+        for gate in self.gates:
+            if gate.param_ref is not None:
+                bound_gates.append(gate.bind(values[gate.param_ref]))
+            else:
+                bound_gates.append(gate)
+        return QuantumCircuit(self.num_qubits, bound_gates, name=self.name)
+
+    def parameter_values(self) -> np.ndarray:
+        """Collect bound angles of trainable gates into a parameter vector.
+
+        Raises if any trainable gate is unbound.  Useful for round-tripping a
+        compressed circuit back to a parameter vector.
+        """
+        values = np.zeros(self.num_parameters, dtype=float)
+        seen = np.zeros(self.num_parameters, dtype=bool)
+        for gate in self.gates:
+            if gate.param_ref is None:
+                continue
+            if gate.param is None:
+                raise CircuitError(
+                    f"trainable gate {gate.name!r} (ref {gate.param_ref}) is unbound"
+                )
+            values[gate.param_ref] = gate.param
+            seen[gate.param_ref] = True
+        if not np.all(seen):
+            missing = np.flatnonzero(~seen).tolist()
+            raise CircuitError(f"parameter refs {missing} never appear in the circuit")
+        return values
+
+    # ------------------------------------------------------------------
+    # Structural queries and transforms
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable, so sharing them is safe)."""
+        return QuantumCircuit(self.num_qubits, list(self.gates), name=self.name)
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits > self.num_qubits:
+            raise CircuitError(
+                f"cannot compose circuit on {other.num_qubits} qubits into one "
+                f"with {self.num_qubits}"
+            )
+        return QuantumCircuit(
+            self.num_qubits, list(self.gates) + list(other.gates), name=self.name
+        )
+
+    def remap_qubits(
+        self, mapping: dict[int, int], num_qubits: Optional[int] = None
+    ) -> "QuantumCircuit":
+        """Relabel qubits through ``mapping`` (e.g. logical→physical layout)."""
+        target_count = num_qubits if num_qubits is not None else self.num_qubits
+        remapped = [gate.remap(mapping) for gate in self.gates]
+        return QuantumCircuit(target_count, remapped, name=self.name)
+
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def count_two_qubit_gates(self) -> int:
+        """Number of gates acting on two qubits."""
+        return sum(1 for gate in self.gates if gate.num_qubits == 2)
+
+    def depth(self) -> int:
+        """Circuit depth: length of the longest qubit-ordered dependency chain."""
+        frontier = [0] * self.num_qubits
+        for gate in self.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    def qubit_association(self) -> list[tuple[int, ...]]:
+        """Per-gate qubit tuples, the ``A(g_i)`` association used by QuCAD."""
+        return [gate.qubits for gate in self.gates]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"gates={len(self.gates)}, depth={self.depth()})"
+        )

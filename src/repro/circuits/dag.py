@@ -1,0 +1,59 @@
+"""Dependency-graph utilities for circuits.
+
+The transpiler and the circuit-metrics code need two structural views beyond
+the flat gate list: the layered (ASAP) schedule and the dependency DAG.  Both
+are derived on demand from a :class:`~repro.circuits.QuantumCircuit`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def build_dependency_dag(circuit: QuantumCircuit) -> nx.DiGraph:
+    """Return the gate-dependency DAG of ``circuit``.
+
+    Nodes are gate indices; an edge ``i -> j`` means gate ``j`` must execute
+    after gate ``i`` because they share a qubit and ``i`` precedes ``j``.
+    Only the most recent writer per qubit is linked, so the DAG is the usual
+    transitive reduction used by schedulers.
+    """
+    dag = nx.DiGraph()
+    last_on_qubit: dict[int, int] = {}
+    for index, gate in enumerate(circuit.gates):
+        dag.add_node(index, gate=gate)
+        for qubit in gate.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None:
+                dag.add_edge(previous, index)
+            last_on_qubit[qubit] = index
+    return dag
+
+
+def asap_layers(circuit: QuantumCircuit) -> list[list[int]]:
+    """Group gate indices into as-soon-as-possible layers.
+
+    Gates in the same layer act on disjoint qubits and have all dependencies
+    satisfied by earlier layers.  The number of layers equals the circuit
+    depth.
+    """
+    qubit_level = [0] * circuit.num_qubits
+    layers: list[list[int]] = []
+    for index, gate in enumerate(circuit.gates):
+        level = max(qubit_level[q] for q in gate.qubits)
+        if level == len(layers):
+            layers.append([])
+        layers[level].append(index)
+        for q in gate.qubits:
+            qubit_level[q] = level + 1
+    return layers
+
+
+def critical_path_length(circuit: QuantumCircuit) -> int:
+    """Length of the longest dependency chain (equals ``circuit.depth()``)."""
+    dag = build_dependency_dag(circuit)
+    if dag.number_of_nodes() == 0:
+        return 0
+    return int(nx.dag_longest_path_length(dag)) + 1

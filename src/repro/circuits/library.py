@@ -1,0 +1,129 @@
+"""Circuit templates used throughout the paper's experiments.
+
+The central template is the QuCAD VQC block described in the experimental
+setup: ``4RY + 4CRY + 4RY + 4RX + 4CRX + 4RX + 4RZ + 4CRZ + 4RZ + 4CRZ``
+on four qubits, repeated two or three times depending on the dataset.  The
+builders here generalize the block to any qubit count (rotation layers act
+on every qubit, entangling layers act on the ring ``(i, i+1 mod n)``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+#: The layer structure of one QuCAD VQC block, in order.  ``"rot"`` layers
+#: place one single-qubit rotation per qubit; ``"ent"`` layers place one
+#: controlled rotation per ring pair.
+QUCAD_BLOCK_LAYERS: tuple[tuple[str, str], ...] = (
+    ("rot", "ry"),
+    ("ent", "cry"),
+    ("rot", "ry"),
+    ("rot", "rx"),
+    ("ent", "crx"),
+    ("rot", "rx"),
+    ("rot", "rz"),
+    ("ent", "crz"),
+    ("rot", "rz"),
+    ("ent", "crz"),
+)
+
+
+def ring_pairs(num_qubits: int) -> list[tuple[int, int]]:
+    """Nearest-neighbour ring ``(0,1), (1,2), ..., (n-1,0)``.
+
+    For two qubits the ring degenerates to the single pair ``(0, 1)``.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a ring entangler needs at least 2 qubits")
+    if num_qubits == 2:
+        return [(0, 1)]
+    return [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+
+
+def parameters_per_block(num_qubits: int) -> int:
+    """Number of trainable parameters in one QuCAD block."""
+    pairs = len(ring_pairs(num_qubits))
+    count = 0
+    for kind, _ in QUCAD_BLOCK_LAYERS:
+        count += num_qubits if kind == "rot" else pairs
+    return count
+
+
+def append_qucad_block(
+    circuit: QuantumCircuit, start_ref: int, num_qubits: int
+) -> int:
+    """Append one QuCAD VQC block to ``circuit``.
+
+    Parameters are referenced (not bound): each gate receives a fresh
+    ``param_ref`` starting at ``start_ref``.  Returns the next free ref.
+    """
+    ref = start_ref
+    pairs = ring_pairs(num_qubits)
+    for kind, gate_name in QUCAD_BLOCK_LAYERS:
+        if kind == "rot":
+            for qubit in range(num_qubits):
+                circuit.add(gate_name, [qubit], param_ref=ref, trainable=True)
+                ref += 1
+        else:
+            for control, target in pairs:
+                circuit.add(
+                    gate_name, [control, target], param_ref=ref, trainable=True
+                )
+                ref += 1
+    return ref
+
+
+def build_qucad_ansatz(num_qubits: int, repeats: int, name: str = "qucad_vqc") -> QuantumCircuit:
+    """Build the paper's VQC ansatz: ``repeats`` QuCAD blocks.
+
+    The MNIST and earthquake-detection models use ``repeats=2`` on 4 qubits
+    (80 parameters); Iris uses ``repeats=3`` (120 parameters).
+    """
+    if repeats < 1:
+        raise CircuitError(f"repeats must be >= 1, got {repeats}")
+    circuit = QuantumCircuit(num_qubits, name=name)
+    ref = 0
+    for _ in range(repeats):
+        ref = append_qucad_block(circuit, ref, num_qubits)
+    return circuit
+
+
+def build_two_parameter_vqc(num_qubits: int = 2) -> QuantumCircuit:
+    """The tiny two-parameter VQC used for the loss-landscape study (Fig. 3).
+
+    One RY per qubit (the two trainable parameters) followed by a CX, which
+    is enough to expose the breakpoint structure when transpiled under noise.
+    """
+    if num_qubits != 2:
+        raise CircuitError("the landscape study circuit is defined on 2 qubits")
+    circuit = QuantumCircuit(2, name="two_parameter_vqc")
+    circuit.add("ry", [0], param_ref=0, trainable=True)
+    circuit.add("ry", [1], param_ref=1, trainable=True)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def build_hardware_efficient_ansatz(
+    num_qubits: int, depth: int, rotation: str = "ry", name: str = "hwe"
+) -> QuantumCircuit:
+    """A generic hardware-efficient ansatz (rotation layer + CX ladder).
+
+    Not used by the main experiments but exposed as a utility so downstream
+    users can plug their own models into the QuCAD framework.
+    """
+    if rotation not in {"rx", "ry", "rz"}:
+        raise CircuitError(f"unsupported rotation layer {rotation!r}")
+    if depth < 1:
+        raise CircuitError(f"depth must be >= 1, got {depth}")
+    circuit = QuantumCircuit(num_qubits, name=name)
+    ref = 0
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            circuit.add(rotation, [qubit], param_ref=ref, trainable=True)
+            ref += 1
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    return circuit

@@ -1,0 +1,69 @@
+"""QuCAD core: noise-aware compression, model repository, online adaptation."""
+
+from repro.core.admm import (
+    CompressionConfig,
+    CompressionResult,
+    NoiseAgnosticCompressor,
+    NoiseAwareCompressor,
+)
+from repro.core.baselines import (
+    AdaptationMethod,
+    BaselineMethod,
+    CompressionEverydayMethod,
+    MethodContext,
+    NoiseAgnosticCompressionEverydayMethod,
+    NoiseAwareTrainEverydayMethod,
+    NoiseAwareTrainOnceMethod,
+    OneTimeCompressionMethod,
+    QuCADMethod,
+    QuCADWithoutOfflineMethod,
+    TABLE1_METHODS,
+    make_method,
+)
+from repro.core.clustering import ClusteringResult, cluster_calibrations
+from repro.core.compression_table import DEFAULT_LEVELS, CompressionTable
+from repro.core.constructor import OfflineReport, RepositoryConstructor
+from repro.core.framework import QuCAD, QuCADConfig
+from repro.core.manager import ManagerDecision, ManagerStats, RepositoryManager
+from repro.core.masks import MaskTables, apply_mask, build_mask, gate_noise_rates
+from repro.core.noise_aware_training import noise_aware_train, train_noise_free
+from repro.core.repository import MatchResult, ModelRepository, RepositoryEntry
+
+__all__ = [
+    "CompressionTable",
+    "DEFAULT_LEVELS",
+    "MaskTables",
+    "build_mask",
+    "apply_mask",
+    "gate_noise_rates",
+    "CompressionConfig",
+    "CompressionResult",
+    "NoiseAwareCompressor",
+    "NoiseAgnosticCompressor",
+    "ClusteringResult",
+    "cluster_calibrations",
+    "ModelRepository",
+    "RepositoryEntry",
+    "MatchResult",
+    "RepositoryConstructor",
+    "OfflineReport",
+    "RepositoryManager",
+    "ManagerDecision",
+    "ManagerStats",
+    "QuCAD",
+    "QuCADConfig",
+    "noise_aware_train",
+    "train_noise_free",
+    "AdaptationMethod",
+    "MethodContext",
+    "BaselineMethod",
+    "NoiseAwareTrainOnceMethod",
+    "NoiseAwareTrainEverydayMethod",
+    "OneTimeCompressionMethod",
+    "CompressionEverydayMethod",
+    "NoiseAgnosticCompressionEverydayMethod",
+    "QuCADWithoutOfflineMethod",
+    "QuCADMethod",
+    "TABLE1_METHODS",
+    "make_method",
+]

@@ -1,0 +1,245 @@
+"""Noise-aware QNN compression via ADMM (Section III-B of the paper).
+
+The optimization problem ``min_theta f(W_p(theta)) + N(Z) + sum_i s_i(z_i)``
+is solved with alternating updates:
+
+* **theta-update** — a few epochs of gradient descent on the training loss
+  plus the augmented-Lagrangian proximal term ``rho/2 ||theta - (Z - U)||^2``
+  (runs on the fast noise-free simulator with adjoint gradients);
+* **Z-update** — the projection implied by the indicator ``s_i``: masked
+  parameters snap to their nearest compression level ``T_admm_i``, unmasked
+  ones follow ``theta_i + U_i``; the mask comes from the noise-aware
+  priority table of :mod:`repro.core.masks`;
+* **dual update** — ``U += theta - Z``.
+
+After the ADMM rounds the masked parameters are hard-set to their levels and
+frozen, and the remaining parameters are fine-tuned with noise injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.core.compression_table import CompressionTable
+from repro.core.masks import MaskTables, build_mask, gate_noise_rates
+from repro.exceptions import TrainingError
+from repro.qnn.model import QNNModel
+from repro.qnn.noise_injection import NoiseInjector
+from repro.qnn.trainer import TrainConfig, Trainer
+from repro.transpiler import CouplingMap
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Hyperparameters of the ADMM compression run."""
+
+    table: CompressionTable = field(default_factory=CompressionTable)
+    noise_aware: bool = True
+    admm_iterations: int = 3
+    rho: float = 1.0
+    target_fraction: float = 0.5
+    threshold: Optional[float] = None
+    theta_epochs: int = 3
+    finetune_epochs: int = 6
+    learning_rate: float = 0.08
+    batch_size: int = 32
+    injection_sigma: float = 0.02
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if self.admm_iterations < 1:
+            raise TrainingError("admm_iterations must be >= 1")
+        if self.rho <= 0:
+            raise TrainingError("rho must be positive")
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of one compression run."""
+
+    parameters: np.ndarray
+    mask: np.ndarray
+    tables: MaskTables
+    calibration: Optional[CalibrationSnapshot]
+    loss_history: list[float] = field(default_factory=list)
+    physical_length_before: Optional[int] = None
+    physical_length_after: Optional[int] = None
+
+    @property
+    def num_compressed(self) -> int:
+        """Number of parameters snapped onto compression levels."""
+        return int(self.mask.sum())
+
+    @property
+    def compression_fraction(self) -> float:
+        return float(self.mask.mean()) if self.mask.size else 0.0
+
+
+class NoiseAwareCompressor:
+    """Compress a trained QNN for a given calibration snapshot."""
+
+    def __init__(self, config: Optional[CompressionConfig] = None):
+        self.config = config or CompressionConfig()
+
+    def compress(
+        self,
+        model: QNNModel,
+        features: np.ndarray,
+        labels: np.ndarray,
+        calibration: Optional[CalibrationSnapshot] = None,
+        coupling: Optional[CouplingMap] = None,
+        initial_parameters: Optional[np.ndarray] = None,
+    ) -> CompressionResult:
+        """Run ADMM compression and fine-tuning.
+
+        Parameters
+        ----------
+        model:
+            The trained model to adapt.  Its parameters are *not* modified;
+            the adapted vector is returned in the result.
+        features / labels:
+            Training data used for the theta-update and fine-tuning.
+        calibration:
+            The calibration snapshot ``D`` to adapt to.  Required when the
+            configuration is noise-aware.
+        coupling:
+            Device topology; needed if the model is not yet bound to a device.
+        initial_parameters:
+            Starting parameters (defaults to the model's current ones).
+        """
+        config = self.config
+        if config.noise_aware and calibration is None:
+            raise TrainingError("noise-aware compression requires a calibration snapshot")
+        if model.transpiled is None:
+            if coupling is None:
+                raise TrainingError(
+                    "model is not bound to a device; pass a coupling map or call "
+                    "bind_to_device first"
+                )
+            model.bind_to_device(coupling, calibration=calibration)
+        transpiled = model.transpiled
+
+        theta = np.array(
+            model.parameters if initial_parameters is None else initial_parameters,
+            dtype=float,
+        )
+        length_before = transpiled.physical_metrics(theta).physical_length
+
+        noise_table = None
+        if config.noise_aware and calibration is not None:
+            noise_table = gate_noise_rates(
+                model.num_parameters, transpiled.ref_physical_qubits, calibration
+            )
+
+        dual = np.zeros_like(theta)
+        auxiliary = theta.copy()
+        loss_history: list[float] = []
+        tables: Optional[MaskTables] = None
+
+        train_config = TrainConfig(
+            epochs=config.theta_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            seed=config.seed,
+        )
+        trainer = Trainer(model, train_config)
+
+        for _ in range(config.admm_iterations):
+            # theta-update: loss + rho/2 ||theta - (Z - U)||^2
+            result = trainer.train(
+                features,
+                labels,
+                prox_rho=config.rho,
+                prox_target=auxiliary - dual,
+                initial_parameters=theta,
+                update_model=False,
+            )
+            theta = result.parameters
+            loss_history.extend(result.loss_history)
+
+            # Z-update: project theta + U onto the compression levels where masked.
+            tables = build_mask(
+                theta + dual,
+                config.table,
+                noise=noise_table,
+                threshold=config.threshold,
+                target_fraction=config.target_fraction,
+            )
+            auxiliary = np.where(tables.mask.astype(bool), tables.targets, theta + dual)
+
+            # Dual update.
+            dual = dual + theta - auxiliary
+
+        assert tables is not None  # admm_iterations >= 1
+        mask = tables.mask.astype(bool)
+        compressed = np.where(mask, tables.targets, theta)
+
+        # Fine-tune the surviving free parameters with noise injection,
+        # keeping the compressed ones frozen at their levels.
+        injector = None
+        if calibration is not None:
+            injector = NoiseInjector.from_calibration(
+                transpiled,
+                calibration,
+                model.readout_qubits,
+                sigma=config.injection_sigma,
+                seed=config.seed,
+            )
+        if config.finetune_epochs > 0:
+            finetune_config = TrainConfig(
+                epochs=config.finetune_epochs,
+                batch_size=config.batch_size,
+                learning_rate=config.learning_rate,
+                seed=config.seed,
+            )
+            finetune = Trainer(model, finetune_config).train(
+                features,
+                labels,
+                noise_injector=injector,
+                frozen_mask=mask,
+                prox_rho=0.0,
+                prox_target=compressed,
+                initial_parameters=compressed,
+                update_model=False,
+            )
+            compressed = np.where(mask, compressed, finetune.parameters)
+            loss_history.extend(finetune.loss_history)
+
+        length_after = transpiled.physical_metrics(compressed).physical_length
+        return CompressionResult(
+            parameters=compressed,
+            mask=tables.mask,
+            tables=tables,
+            calibration=calibration,
+            loss_history=loss_history,
+            physical_length_before=length_before,
+            physical_length_after=length_after,
+        )
+
+
+class NoiseAgnosticCompressor(NoiseAwareCompressor):
+    """The prior-work baseline [23]: compress purely by circuit length."""
+
+    def __init__(self, config: Optional[CompressionConfig] = None):
+        base = config or CompressionConfig()
+        super().__init__(
+            CompressionConfig(
+                table=base.table,
+                noise_aware=False,
+                admm_iterations=base.admm_iterations,
+                rho=base.rho,
+                target_fraction=base.target_fraction,
+                threshold=base.threshold,
+                theta_epochs=base.theta_epochs,
+                finetune_epochs=base.finetune_epochs,
+                learning_rate=base.learning_rate,
+                batch_size=base.batch_size,
+                injection_sigma=base.injection_sigma,
+                seed=base.seed,
+            )
+        )

@@ -1,0 +1,308 @@
+"""Competitor adaptation methods compared against QuCAD in Table I.
+
+Every method exposes the same two-phase interface used by the longitudinal
+experiment harness:
+
+* :meth:`AdaptationMethod.prepare` — one-off setup given the experiment
+  context (e.g. QuCAD's offline repository construction);
+* :meth:`AdaptationMethod.parameters_for_day` — the parameter vector the
+  method would deploy for a given day's calibration.
+
+Methods also report how many optimization runs (and how much optimization
+wall time) they spent at the online stage, which feeds the efficiency
+comparison of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.history import CalibrationHistory
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.core.admm import CompressionConfig, NoiseAgnosticCompressor, NoiseAwareCompressor
+from repro.core.framework import QuCAD, QuCADConfig
+from repro.core.noise_aware_training import noise_aware_train
+from repro.datasets.base import Dataset
+from repro.exceptions import TrainingError
+from repro.qnn.model import QNNModel
+from repro.qnn.trainer import TrainConfig
+from repro.transpiler import CouplingMap
+
+
+@dataclass
+class MethodContext:
+    """Everything a method needs to prepare and adapt.
+
+    ``base_model`` is the model ``M`` of the problem statement: trained in a
+    noise-free environment and already bound to the target device.  Methods
+    must not mutate it — they work on copies.
+    """
+
+    base_model: QNNModel
+    dataset: Dataset
+    coupling: CouplingMap
+    offline_history: CalibrationHistory
+    compression_config: CompressionConfig = field(default_factory=CompressionConfig)
+    retrain_config: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=6))
+    qucad_config: Optional[QuCADConfig] = None
+    train_samples: Optional[int] = 128
+    seed: int = 0
+
+    def training_subset(self) -> tuple[np.ndarray, np.ndarray]:
+        subset = self.dataset.subsample(num_train=self.train_samples, seed=self.seed)
+        return subset.train_features, subset.train_labels
+
+    def make_qucad_config(self) -> QuCADConfig:
+        if self.qucad_config is not None:
+            return self.qucad_config
+        return QuCADConfig(
+            compression=self.compression_config,
+            train_samples=self.train_samples,
+            seed=self.seed,
+        )
+
+
+class AdaptationMethod(abc.ABC):
+    """Base class for the Table I competitors."""
+
+    name: str = "method"
+
+    def __init__(self) -> None:
+        self.optimization_runs = 0
+        self.optimization_seconds = 0.0
+        self._context: Optional[MethodContext] = None
+
+    # ------------------------------------------------------------------
+    def prepare(self, context: MethodContext) -> None:
+        """One-off setup before the online evaluation starts."""
+        self._context = context
+
+    @property
+    def context(self) -> MethodContext:
+        if self._context is None:
+            raise TrainingError(f"method {self.name!r} was not prepared")
+        return self._context
+
+    def _timed(self, fn, *args, **kwargs):
+        """Run an optimization step while accounting for Fig. 7's bookkeeping."""
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.optimization_seconds += time.perf_counter() - start
+        self.optimization_runs += 1
+        return result
+
+    @abc.abstractmethod
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Parameters the method deploys under ``calibration``."""
+
+
+class BaselineMethod(AdaptationMethod):
+    """Noise-free training only; no adaptation at all."""
+
+    name = "baseline"
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        return self.context.base_model.parameters
+
+
+class NoiseAwareTrainOnceMethod(AdaptationMethod):
+    """Noise-aware training on the first online day, then frozen (ref [12])."""
+
+    name = "noise_aware_train_once"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parameters: Optional[np.ndarray] = None
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        if self._parameters is None:
+            context = self.context
+            model = context.base_model.copy_with_parameters(context.base_model.parameters)
+            model.transpiled = context.base_model.transpiled
+            features, labels = context.training_subset()
+            result = self._timed(
+                noise_aware_train,
+                model,
+                features,
+                labels,
+                calibration,
+                coupling=context.coupling,
+                config=context.retrain_config,
+                update_model=False,
+            )
+            self._parameters = result.parameters
+        return self._parameters
+
+
+class NoiseAwareTrainEverydayMethod(AdaptationMethod):
+    """Noise-aware retraining before every execution."""
+
+    name = "noise_aware_train_everyday"
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        context = self.context
+        model = context.base_model.copy_with_parameters(context.base_model.parameters)
+        model.transpiled = context.base_model.transpiled
+        features, labels = context.training_subset()
+        result = self._timed(
+            noise_aware_train,
+            model,
+            features,
+            labels,
+            calibration,
+            coupling=context.coupling,
+            config=context.retrain_config,
+            update_model=False,
+        )
+        return result.parameters
+
+
+class OneTimeCompressionMethod(AdaptationMethod):
+    """Noise-agnostic compression on the first online day, then frozen (ref [23])."""
+
+    name = "one_time_compression"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parameters: Optional[np.ndarray] = None
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        if self._parameters is None:
+            context = self.context
+            compressor = NoiseAgnosticCompressor(context.compression_config)
+            model = context.base_model.copy_with_parameters(context.base_model.parameters)
+            model.transpiled = context.base_model.transpiled
+            features, labels = context.training_subset()
+            result = self._timed(
+                compressor.compress,
+                model,
+                features,
+                labels,
+                calibration=None,
+                coupling=context.coupling,
+            )
+            self._parameters = result.parameters
+        return self._parameters
+
+
+class CompressionEverydayMethod(AdaptationMethod):
+    """Noise-aware compression before every execution — the practical upper
+    bound of Fig. 9(a) and the "Compression Everyday" bar of Fig. 7."""
+
+    name = "compression_everyday"
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        context = self.context
+        compressor = NoiseAwareCompressor(context.compression_config)
+        model = context.base_model.copy_with_parameters(context.base_model.parameters)
+        model.transpiled = context.base_model.transpiled
+        features, labels = context.training_subset()
+        result = self._timed(
+            compressor.compress,
+            model,
+            features,
+            labels,
+            calibration=calibration,
+            coupling=context.coupling,
+        )
+        return result.parameters
+
+
+class NoiseAgnosticCompressionEverydayMethod(AdaptationMethod):
+    """Noise-agnostic compression every day — the Fig. 9(b) ablation arm."""
+
+    name = "noise_agnostic_compression_everyday"
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        context = self.context
+        compressor = NoiseAgnosticCompressor(context.compression_config)
+        model = context.base_model.copy_with_parameters(context.base_model.parameters)
+        model.transpiled = context.base_model.transpiled
+        features, labels = context.training_subset()
+        result = self._timed(
+            compressor.compress,
+            model,
+            features,
+            labels,
+            calibration=None,
+            coupling=context.coupling,
+        )
+        return result.parameters
+
+
+class _QuCADBase(AdaptationMethod):
+    """Shared QuCAD plumbing; subclasses choose whether to run the offline stage."""
+
+    use_offline = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._qucad: Optional[QuCAD] = None
+
+    def prepare(self, context: MethodContext) -> None:
+        super().prepare(context)
+        model = context.base_model.copy_with_parameters(context.base_model.parameters)
+        model.transpiled = context.base_model.transpiled
+        self._qucad = QuCAD(
+            model, context.dataset, context.coupling, config=context.make_qucad_config()
+        )
+        if self.use_offline and len(context.offline_history) > 0:
+            # Offline work is not charged to the online optimization budget.
+            self._qucad.offline(context.offline_history)
+
+    def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        if self._qucad is None:
+            raise TrainingError(f"method {self.name!r} was not prepared")
+        before = self._qucad.manager.stats.optimizations if self._qucad._manager else 0
+        start = time.perf_counter()
+        decision = self._qucad.online(calibration)
+        elapsed = time.perf_counter() - start
+        after = self._qucad.manager.stats.optimizations
+        if after > before:
+            self.optimization_runs += after - before
+            self.optimization_seconds += elapsed
+        return decision.parameters
+
+
+class QuCADWithoutOfflineMethod(_QuCADBase):
+    """QuCAD with an empty initial repository (online stage only)."""
+
+    name = "qucad_without_offline"
+    use_offline = False
+
+
+class QuCADMethod(_QuCADBase):
+    """The full QuCAD framework (offline repository + online manager)."""
+
+    name = "qucad"
+    use_offline = True
+
+
+#: Registry of the Table I methods in presentation order.
+TABLE1_METHODS = (
+    BaselineMethod,
+    NoiseAwareTrainOnceMethod,
+    NoiseAwareTrainEverydayMethod,
+    OneTimeCompressionMethod,
+    QuCADWithoutOfflineMethod,
+    QuCADMethod,
+)
+
+
+def make_method(name: str) -> AdaptationMethod:
+    """Instantiate a method by its ``name`` attribute."""
+    registry = {cls.name: cls for cls in TABLE1_METHODS}
+    registry.update(
+        {
+            CompressionEverydayMethod.name: CompressionEverydayMethod,
+            NoiseAgnosticCompressionEverydayMethod.name: NoiseAgnosticCompressionEverydayMethod,
+        }
+    )
+    if name not in registry:
+        raise TrainingError(f"unknown method {name!r}; available: {sorted(registry)}")
+    return registry[name]()

@@ -1,0 +1,176 @@
+"""Performance-aware clustering of calibration data (Section III-C).
+
+The offline repository constructor groups historical calibration snapshots
+with a modified k-means:
+
+* the distance is the *performance-weighted L1* distance (Eq. 5): each
+  feature is weighted by the absolute correlation between that error rate
+  and the model's accuracy across the history, so the clustering cares about
+  the noise that actually hurts the model;
+* the objective is the weighted sum of absolute errors, WSAE (Eq. 6);
+* centroids are per-dimension medians (the L1 minimizer).
+
+A plain L2 k-means is also provided — it is the baseline of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.distance import pairwise_weighted_l1, performance_weights
+from repro.exceptions import RepositoryError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering run."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    weights: np.ndarray
+    metric: str
+    wsae: float
+    iterations: int
+    cluster_sizes: np.ndarray
+    intra_cluster_mean_distance: np.ndarray
+    cluster_mean_accuracy: Optional[np.ndarray] = None
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+    @property
+    def threshold(self) -> float:
+        """Guidance 1's threshold ``th_w``: the largest mean intra-cluster distance."""
+        finite = self.intra_cluster_mean_distance[np.isfinite(self.intra_cluster_mean_distance)]
+        return float(finite.max()) if finite.size else 0.0
+
+
+def _pairwise_distance(points: np.ndarray, centers: np.ndarray, weights: np.ndarray, metric: str) -> np.ndarray:
+    if metric == "weighted_l1":
+        return pairwise_weighted_l1(points, centers, weights)
+    if metric == "l2":
+        diff = points[:, None, :] - centers[None, :, :]
+        return np.sqrt((diff**2).sum(axis=2))
+    raise RepositoryError(f"unknown clustering metric {metric!r}")
+
+
+def _init_centroids(
+    points: np.ndarray, k: int, weights: np.ndarray, metric: str, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++-style initialization under the chosen metric."""
+    n = points.shape[0]
+    first = int(rng.integers(0, n))
+    chosen = [first]
+    for _ in range(1, k):
+        centers = points[chosen]
+        distances = _pairwise_distance(points, centers, weights, metric).min(axis=1)
+        total = distances.sum()
+        if total <= 0:
+            remaining = [i for i in range(n) if i not in chosen]
+            chosen.append(int(rng.choice(remaining)))
+            continue
+        probabilities = distances / total
+        chosen.append(int(rng.choice(n, p=probabilities)))
+    return points[chosen].copy()
+
+
+def cluster_calibrations(
+    calibrations: np.ndarray,
+    accuracies: Optional[np.ndarray] = None,
+    k: int = 6,
+    metric: str = "weighted_l1",
+    max_iterations: int = 100,
+    seed: SeedLike = 0,
+) -> ClusteringResult:
+    """Cluster calibration vectors into ``k`` groups.
+
+    Parameters
+    ----------
+    calibrations:
+        ``(n_days, n_features)`` matrix of calibration vectors.
+    accuracies:
+        Per-day accuracy of the given model under those calibrations; when
+        provided (and the metric is ``weighted_l1``) it defines the
+        performance-aware weights.  Also used to annotate each cluster with
+        its mean accuracy (Guidance 2).
+    k:
+        Number of clusters (the paper uses 6).
+    metric:
+        ``"weighted_l1"`` (the proposed distance) or ``"l2"`` (the baseline).
+    """
+    calibrations = np.asarray(calibrations, dtype=float)
+    if calibrations.ndim != 2 or calibrations.shape[0] == 0:
+        raise RepositoryError("calibrations must be a non-empty (days x features) matrix")
+    n, d = calibrations.shape
+    if k < 1:
+        raise RepositoryError(f"k must be >= 1, got {k}")
+    k = min(k, n)
+    if accuracies is not None:
+        accuracies = np.asarray(accuracies, dtype=float)
+        if accuracies.shape != (n,):
+            raise RepositoryError("accuracies must have one entry per calibration row")
+
+    if metric == "weighted_l1" and accuracies is not None:
+        weights = performance_weights(calibrations, accuracies)
+        if not np.any(weights > 0):
+            weights = np.ones(d)
+    else:
+        weights = np.ones(d)
+
+    rng = ensure_rng(seed)
+    centroids = _init_centroids(calibrations, k, weights, metric, rng)
+    labels = np.zeros(n, dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = _pairwise_distance(calibrations, centroids, weights, metric)
+        new_labels = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = calibrations[new_labels == cluster]
+            if members.shape[0] == 0:
+                continue
+            if metric == "weighted_l1":
+                new_centroids[cluster] = np.median(members, axis=0)
+            else:
+                new_centroids[cluster] = members.mean(axis=0)
+        if np.array_equal(new_labels, labels) and np.allclose(new_centroids, centroids):
+            labels = new_labels
+            centroids = new_centroids
+            break
+        labels = new_labels
+        centroids = new_centroids
+
+    distances = _pairwise_distance(calibrations, centroids, weights, metric)
+    member_distances = distances[np.arange(n), labels]
+    wsae = float(member_distances.sum())
+    sizes = np.array([(labels == cluster).sum() for cluster in range(k)])
+    intra = np.array(
+        [
+            member_distances[labels == cluster].mean() if sizes[cluster] else np.inf
+            for cluster in range(k)
+        ]
+    )
+    cluster_accuracy = None
+    if accuracies is not None:
+        cluster_accuracy = np.array(
+            [
+                accuracies[labels == cluster].mean() if sizes[cluster] else np.nan
+                for cluster in range(k)
+            ]
+        )
+    return ClusteringResult(
+        labels=labels,
+        centroids=centroids,
+        weights=weights,
+        metric=metric,
+        wsae=wsae,
+        iterations=iterations,
+        cluster_sizes=sizes,
+        intra_cluster_mean_distance=intra,
+        cluster_mean_accuracy=cluster_accuracy,
+    )

@@ -1,0 +1,90 @@
+"""The compression-level table ``T`` (the breakpoints of Motivation 1).
+
+Compression levels are the angles at which the transpiled physical circuit
+becomes shorter: 0 (gate vanishes), pi/2, pi, 3pi/2 (single-pulse rotations
+instead of two pulses; controlled rotations at 0 disappear entirely).  The
+table answers, for every parameter, "what is the nearest level (``T_admm``)
+and how far away is it (``D``)" — the two ingredients of the noise-aware
+mask in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+TWO_PI = 2.0 * np.pi
+
+#: The default table used throughout the paper: the quarter-turn grid.
+DEFAULT_LEVELS: tuple[float, ...] = (0.0, np.pi / 2, np.pi, 3 * np.pi / 2)
+
+
+@dataclass(frozen=True)
+class CompressionTable:
+    """A set of compression levels within one period ``[0, 2 pi)``.
+
+    ``nearest_level`` snaps a parameter to the closest level *in the same
+    winding* of the angle, so the returned target is always within half a
+    grid step of the original value (this matters for controlled rotations,
+    where e.g. 0 and 2 pi are not equivalent).
+    """
+
+    levels: tuple[float, ...] = DEFAULT_LEVELS
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise TrainingError("a compression table needs at least one level")
+        for level in self.levels:
+            if not 0.0 <= level < TWO_PI:
+                raise TrainingError(
+                    f"compression levels must lie in [0, 2*pi), got {level}"
+                )
+        object.__setattr__(self, "levels", tuple(sorted(float(l) for l in self.levels)))
+
+    def _candidates(self) -> np.ndarray:
+        """Levels extended by one period on each side (for wrap-around snapping)."""
+        base = np.asarray(self.levels, dtype=float)
+        return np.concatenate([base - TWO_PI, base, base + TWO_PI])
+
+    def nearest_level(self, theta: float) -> tuple[float, float]:
+        """Return ``(target_value, distance)`` for one parameter.
+
+        ``target_value`` is expressed in the same winding as ``theta`` (it is
+        ``theta`` shifted by at most half a level spacing), so assigning it
+        to the parameter moves the gate onto a breakpoint without a 2-pi jump.
+        """
+        theta = float(theta)
+        winding = np.floor(theta / TWO_PI) * TWO_PI
+        reduced = theta - winding
+        candidates = self._candidates()
+        index = int(np.argmin(np.abs(candidates - reduced)))
+        target = candidates[index] + winding
+        return float(target), float(abs(theta - target))
+
+    def nearest_levels(self, parameters: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`nearest_level`: returns ``(T_admm, D)`` arrays."""
+        parameters = np.asarray(parameters, dtype=float)
+        targets = np.empty_like(parameters)
+        distances = np.empty_like(parameters)
+        for index, value in enumerate(parameters.ravel()):
+            target, distance = self.nearest_level(value)
+            targets.ravel()[index] = target
+            distances.ravel()[index] = distance
+        return targets, distances
+
+    def is_compressed(self, theta: float, atol: float = 1e-6) -> bool:
+        """Whether ``theta`` already sits on a compression level."""
+        _, distance = self.nearest_level(theta)
+        return distance <= atol
+
+    def compression_fraction(self, parameters: Sequence[float] | np.ndarray, atol: float = 1e-6) -> float:
+        """Fraction of parameters already sitting on a level."""
+        parameters = np.asarray(parameters, dtype=float)
+        if parameters.size == 0:
+            return 0.0
+        _, distances = self.nearest_levels(parameters)
+        return float(np.mean(distances <= atol))

@@ -1,0 +1,158 @@
+"""Offline model-repository constructor (Section III-C).
+
+Given the historical calibration data and the trained QNN, the constructor:
+
+1. measures the model's accuracy under every historical calibration
+   (density-matrix emulation of each day),
+2. clusters the calibration vectors with the performance-weighted L1 k-means,
+3. runs noise-aware compression once per cluster centroid,
+4. stores the resulting ⟨compressed model, centroid calibration⟩ pairs in a
+   :class:`~repro.core.repository.ModelRepository` together with the matching
+   threshold ``th_w`` (Guidance 1) and per-cluster validity (Guidance 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.history import CalibrationHistory
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.core.admm import CompressionResult, NoiseAwareCompressor
+from repro.core.clustering import ClusteringResult, cluster_calibrations
+from repro.core.repository import ModelRepository, RepositoryEntry
+from repro.datasets.base import Dataset
+from repro.exceptions import RepositoryError
+from repro.qnn.evaluation import evaluate_noisy
+from repro.qnn.model import QNNModel
+from repro.simulator import NoiseModel
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class OfflineReport:
+    """Everything produced by the offline stage."""
+
+    repository: ModelRepository
+    clustering: ClusteringResult
+    day_accuracies: np.ndarray
+    compression_results: list[CompressionResult] = field(default_factory=list)
+
+    @property
+    def num_models(self) -> int:
+        return len(self.repository)
+
+
+class RepositoryConstructor:
+    """Builds the offline model repository for a trained model."""
+
+    def __init__(
+        self,
+        compressor: Optional[NoiseAwareCompressor] = None,
+        num_clusters: int = 6,
+        accuracy_requirement: float = 0.0,
+        eval_test_samples: Optional[int] = 64,
+        train_samples: Optional[int] = 128,
+        seed: SeedLike = 0,
+    ):
+        if num_clusters < 1:
+            raise RepositoryError(f"num_clusters must be >= 1, got {num_clusters}")
+        self.compressor = compressor or NoiseAwareCompressor()
+        self.num_clusters = num_clusters
+        self.accuracy_requirement = accuracy_requirement
+        self.eval_test_samples = eval_test_samples
+        self.train_samples = train_samples
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def measure_day_accuracies(
+        self,
+        model: QNNModel,
+        dataset: Dataset,
+        history: CalibrationHistory,
+    ) -> np.ndarray:
+        """Accuracy of ``model`` under every calibration in ``history``."""
+        subset = dataset.subsample(num_test=self.eval_test_samples, seed=self.seed)
+        accuracies = []
+        for snapshot in history:
+            noise_model = NoiseModel.from_calibration(snapshot)
+            result = evaluate_noisy(
+                model, subset.test_features, subset.test_labels, noise_model
+            )
+            accuracies.append(result.accuracy)
+        return np.asarray(accuracies)
+
+    def build(
+        self,
+        model: QNNModel,
+        dataset: Dataset,
+        offline_history: CalibrationHistory,
+        coupling=None,
+    ) -> OfflineReport:
+        """Run the full offline pipeline and return the populated repository."""
+        if len(offline_history) == 0:
+            raise RepositoryError("offline history is empty")
+        template = offline_history[0]
+        if model.transpiled is None:
+            if coupling is None:
+                raise RepositoryError(
+                    "model is not bound to a device; pass a coupling map"
+                )
+            model.bind_to_device(coupling, calibration=template)
+
+        day_accuracies = self.measure_day_accuracies(model, dataset, offline_history)
+        calibration_matrix = offline_history.to_matrix()
+        clustering = cluster_calibrations(
+            calibration_matrix,
+            accuracies=day_accuracies,
+            k=self.num_clusters,
+            metric="weighted_l1",
+            seed=self.seed,
+        )
+
+        train_subset = dataset.subsample(num_train=self.train_samples, seed=self.seed)
+        repository = ModelRepository(
+            weights=clustering.weights, threshold=clustering.threshold
+        )
+        compression_results: list[CompressionResult] = []
+        for cluster_index in range(clustering.num_clusters):
+            if clustering.cluster_sizes[cluster_index] == 0:
+                continue
+            centroid_vector = clustering.centroids[cluster_index]
+            centroid_snapshot = CalibrationSnapshot.from_vector(
+                centroid_vector, template, date=f"centroid_{cluster_index}"
+            )
+            result = self.compressor.compress(
+                model,
+                train_subset.train_features,
+                train_subset.train_labels,
+                calibration=centroid_snapshot,
+            )
+            compression_results.append(result)
+            mean_accuracy = (
+                float(clustering.cluster_mean_accuracy[cluster_index])
+                if clustering.cluster_mean_accuracy is not None
+                else None
+            )
+            repository.add(
+                RepositoryEntry(
+                    parameters=result.parameters,
+                    calibration_vector=centroid_vector,
+                    calibration=centroid_snapshot,
+                    mean_accuracy=mean_accuracy,
+                    valid=(
+                        mean_accuracy is None
+                        or mean_accuracy >= self.accuracy_requirement
+                    ),
+                    source="offline",
+                    label=f"cluster_{cluster_index}",
+                )
+            )
+        return OfflineReport(
+            repository=repository,
+            clustering=clustering,
+            day_accuracies=day_accuracies,
+            compression_results=compression_results,
+        )

@@ -1,0 +1,137 @@
+"""The QuCAD framework: offline construction + online management.
+
+:class:`QuCAD` ties the three components of the paper together behind a
+two-call API::
+
+    qucad = QuCAD(model, dataset, coupling)
+    qucad.offline(offline_history)          # optional, builds the repository
+    decision = qucad.online(todays_calibration)
+    adapted_parameters = decision.parameters
+
+Skipping :meth:`offline` gives the "QuCAD w/o offline" ablation of Table I:
+the repository starts empty and is populated online as unfamiliar
+calibrations arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.history import CalibrationHistory
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.core.admm import CompressionConfig, NoiseAwareCompressor
+from repro.core.constructor import OfflineReport, RepositoryConstructor
+from repro.core.manager import ManagerDecision, RepositoryManager
+from repro.core.repository import ModelRepository
+from repro.datasets.base import Dataset
+from repro.exceptions import RepositoryError
+from repro.qnn.model import QNNModel
+from repro.transpiler import CouplingMap
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class QuCADConfig:
+    """Framework-level configuration."""
+
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+    num_clusters: int = 6
+    accuracy_requirement: float = 0.0
+    eval_test_samples: Optional[int] = 64
+    train_samples: Optional[int] = 128
+    fallback_relative_threshold: float = 0.3
+    seed: SeedLike = 0
+
+
+class QuCAD:
+    """Compression-aided adaptation of a QNN to fluctuating noise."""
+
+    def __init__(
+        self,
+        model: QNNModel,
+        dataset: Dataset,
+        coupling: CouplingMap,
+        config: Optional[QuCADConfig] = None,
+    ):
+        self.model = model
+        self.dataset = dataset
+        self.coupling = coupling
+        self.config = config or QuCADConfig()
+        self.compressor = NoiseAwareCompressor(self.config.compression)
+        self.offline_report: Optional[OfflineReport] = None
+        self._manager: Optional[RepositoryManager] = None
+
+    # ------------------------------------------------------------------
+    # Offline stage
+    # ------------------------------------------------------------------
+    def offline(self, offline_history: CalibrationHistory) -> OfflineReport:
+        """Build the model repository from historical calibration data."""
+        constructor = RepositoryConstructor(
+            compressor=self.compressor,
+            num_clusters=self.config.num_clusters,
+            accuracy_requirement=self.config.accuracy_requirement,
+            eval_test_samples=self.config.eval_test_samples,
+            train_samples=self.config.train_samples,
+            seed=self.config.seed,
+        )
+        self.offline_report = constructor.build(
+            self.model, self.dataset, offline_history, coupling=self.coupling
+        )
+        self._manager = self._build_manager(self.offline_report.repository)
+        return self.offline_report
+
+    def _build_manager(self, repository: ModelRepository) -> RepositoryManager:
+        train_subset = self.dataset.subsample(
+            num_train=self.config.train_samples, seed=self.config.seed
+        )
+        return RepositoryManager(
+            repository=repository,
+            compressor=self.compressor,
+            model=self.model,
+            train_features=train_subset.train_features,
+            train_labels=train_subset.train_labels,
+            accuracy_requirement=self.config.accuracy_requirement,
+            fallback_relative_threshold=self.config.fallback_relative_threshold,
+        )
+
+    def _ensure_manager(self, calibration: CalibrationSnapshot) -> RepositoryManager:
+        """Create an empty-repository manager on first use (w/o-offline mode)."""
+        if self._manager is None:
+            if self.model.transpiled is None:
+                self.model.bind_to_device(self.coupling, calibration=calibration)
+            feature_count = calibration.to_vector().shape[0]
+            repository = ModelRepository(
+                weights=np.ones(feature_count), threshold=0.0
+            )
+            self._manager = self._build_manager(repository)
+        return self._manager
+
+    # ------------------------------------------------------------------
+    # Online stage
+    # ------------------------------------------------------------------
+    def online(self, calibration: CalibrationSnapshot) -> ManagerDecision:
+        """Adapt the model to the current calibration data ``D_c``."""
+        manager = self._ensure_manager(calibration)
+        return manager.adapt(calibration)
+
+    def adapt_over(self, history: CalibrationHistory) -> list[ManagerDecision]:
+        """Run the online stage for every day of ``history`` in order."""
+        return [self.online(snapshot) for snapshot in history]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def manager(self) -> RepositoryManager:
+        if self._manager is None:
+            raise RepositoryError(
+                "the online manager does not exist yet; call offline() or online() first"
+            )
+        return self._manager
+
+    @property
+    def repository(self) -> ModelRepository:
+        return self.manager.repository

@@ -1,0 +1,182 @@
+"""Online model-repository manager (Section III-D).
+
+At run time the manager receives the current calibration ``D_c`` and decides:
+
+* **reuse** — the closest stored calibration is within the threshold
+  ``th_w``: return its compressed model with no optimization at all;
+* **new** — nothing in the repository is close enough: run noise-aware
+  compression for the current calibration, add the result to the repository
+  (Guidance 1), and return it;
+* **invalid** — the matched cluster's historical accuracy is below the user
+  requirement: emit a failure report (Guidance 2) alongside the best model
+  available.
+
+The manager also counts how many online optimizations were needed, which is
+the quantity behind the >100x training-time reduction of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.core.admm import NoiseAwareCompressor
+from repro.core.repository import ModelRepository, RepositoryEntry
+from repro.exceptions import RepositoryError
+from repro.qnn.model import QNNModel
+
+
+@dataclass
+class ManagerDecision:
+    """Outcome of one online adaptation step."""
+
+    parameters: np.ndarray
+    action: str
+    distance: Optional[float] = None
+    entry_index: Optional[int] = None
+    threshold: Optional[float] = None
+    failure_report: Optional[str] = None
+
+    @property
+    def reused(self) -> bool:
+        return self.action == "reuse"
+
+    @property
+    def optimized(self) -> bool:
+        return self.action in {"new", "bootstrap"}
+
+
+@dataclass
+class ManagerStats:
+    """Cumulative counters across all online steps."""
+
+    steps: int = 0
+    reuses: int = 0
+    optimizations: int = 0
+    invalid_matches: int = 0
+    optimization_seconds: float = 0.0
+
+
+class RepositoryManager:
+    """Serves adapted models for incoming calibrations."""
+
+    def __init__(
+        self,
+        repository: ModelRepository,
+        compressor: NoiseAwareCompressor,
+        model: QNNModel,
+        train_features: np.ndarray,
+        train_labels: np.ndarray,
+        accuracy_requirement: float = 0.0,
+        fallback_relative_threshold: float = 0.3,
+    ):
+        self.repository = repository
+        self.compressor = compressor
+        self.model = model
+        self.train_features = np.asarray(train_features, dtype=float)
+        self.train_labels = np.asarray(train_labels, dtype=int)
+        self.accuracy_requirement = accuracy_requirement
+        if fallback_relative_threshold <= 0:
+            raise RepositoryError("fallback_relative_threshold must be positive")
+        self.fallback_relative_threshold = fallback_relative_threshold
+        self.stats = ManagerStats()
+
+    # ------------------------------------------------------------------
+    def _effective_threshold(self, weighted_norm: float) -> float:
+        """The matching threshold to use for the current calibration.
+
+        Repositories built offline carry the cluster-derived ``th_w``; a
+        repository born empty (QuCAD without the offline stage) has no
+        threshold yet, so a relative one is derived from the magnitude of the
+        incoming calibration vector.
+        """
+        if self.repository.threshold > 0:
+            return self.repository.threshold
+        return self.fallback_relative_threshold * weighted_norm
+
+    def _compress_for(self, calibration: CalibrationSnapshot, label: str) -> RepositoryEntry:
+        start = time.perf_counter()
+        result = self.compressor.compress(
+            self.model,
+            self.train_features,
+            self.train_labels,
+            calibration=calibration,
+        )
+        self.stats.optimizations += 1
+        self.stats.optimization_seconds += time.perf_counter() - start
+        entry = RepositoryEntry(
+            parameters=result.parameters,
+            calibration_vector=calibration.to_vector(),
+            calibration=calibration,
+            mean_accuracy=None,
+            valid=True,
+            source="online",
+            label=label,
+        )
+        self.repository.add(entry)
+        return entry
+
+    def adapt(self, calibration: CalibrationSnapshot) -> ManagerDecision:
+        """Return the model to use under ``calibration`` (Guidance 1 and 2)."""
+        self.stats.steps += 1
+        vector = calibration.to_vector()
+        if vector.shape != self.repository.weights.shape:
+            raise RepositoryError(
+                "calibration vector does not match the repository feature layout"
+            )
+        weighted_norm = float(np.sum(np.abs(self.repository.weights * vector)))
+
+        if len(self.repository) == 0:
+            entry = self._compress_for(calibration, label=f"online_{self.stats.steps}")
+            return ManagerDecision(
+                parameters=entry.parameters,
+                action="bootstrap",
+                distance=None,
+                entry_index=len(self.repository) - 1,
+                threshold=self._effective_threshold(weighted_norm),
+            )
+
+        match = self.repository.match(vector)
+        threshold = self._effective_threshold(weighted_norm)
+        if match.distance > threshold:
+            entry = self._compress_for(calibration, label=f"online_{self.stats.steps}")
+            return ManagerDecision(
+                parameters=entry.parameters,
+                action="new",
+                distance=match.distance,
+                entry_index=len(self.repository) - 1,
+                threshold=threshold,
+            )
+
+        entry = match.entry
+        self.stats.reuses += 1
+        if not entry.valid or (
+            entry.mean_accuracy is not None
+            and entry.mean_accuracy < self.accuracy_requirement
+        ):
+            self.stats.invalid_matches += 1
+            report = (
+                f"calibration {calibration.date or '<unknown>'} matches cluster "
+                f"{entry.label or match.index} whose historical accuracy "
+                f"{entry.mean_accuracy} is below the requirement "
+                f"{self.accuracy_requirement}; expect degraded performance"
+            )
+            return ManagerDecision(
+                parameters=entry.parameters,
+                action="invalid",
+                distance=match.distance,
+                entry_index=match.index,
+                threshold=threshold,
+                failure_report=report,
+            )
+        return ManagerDecision(
+            parameters=entry.parameters,
+            action="reuse",
+            distance=match.distance,
+            entry_index=match.index,
+            threshold=threshold,
+        )

@@ -1,0 +1,72 @@
+"""Training entry points: noise-free baseline and noise-aware training [12].
+
+Noise-aware training injects device noise into the training loop so the
+learned parameters account for the device; here the injection happens at the
+measurement level (see :mod:`repro.qnn.noise_injection`), which keeps the
+per-day retraining used by the "Noise-aware Train Everyday" baseline cheap
+enough to run across a 146-day evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.exceptions import TrainingError
+from repro.qnn.model import QNNModel
+from repro.qnn.noise_injection import NoiseInjector
+from repro.qnn.trainer import TrainConfig, Trainer, TrainResult
+from repro.transpiler import CouplingMap
+
+
+def train_noise_free(
+    model: QNNModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    config: Optional[TrainConfig] = None,
+    update_model: bool = True,
+) -> TrainResult:
+    """Train in a perfect (noise-free) environment — the paper's Baseline."""
+    trainer = Trainer(model, config or TrainConfig())
+    return trainer.train(features, labels, update_model=update_model)
+
+
+def noise_aware_train(
+    model: QNNModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    calibration: CalibrationSnapshot,
+    coupling: Optional[CouplingMap] = None,
+    config: Optional[TrainConfig] = None,
+    injection_sigma: float = 0.02,
+    initial_parameters: Optional[np.ndarray] = None,
+    update_model: bool = True,
+) -> TrainResult:
+    """Noise-aware training against one calibration snapshot (ref [12]).
+
+    The model must be (or become) bound to a device so the injector knows
+    which physical qubits the readouts live on.
+    """
+    if model.transpiled is None:
+        if coupling is None:
+            raise TrainingError(
+                "noise-aware training needs a device binding; pass a coupling map"
+            )
+        model.bind_to_device(coupling, calibration=calibration)
+    injector = NoiseInjector.from_calibration(
+        model.transpiled,
+        calibration,
+        model.readout_qubits,
+        sigma=injection_sigma,
+        seed=config.seed if config is not None else 0,
+    )
+    trainer = Trainer(model, config or TrainConfig())
+    return trainer.train(
+        features,
+        labels,
+        noise_injector=injector,
+        initial_parameters=initial_parameters,
+        update_model=update_model,
+    )

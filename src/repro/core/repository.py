@@ -1,0 +1,138 @@
+"""The model repository: stored ⟨compressed model, calibration⟩ pairs.
+
+Entries are matched against incoming calibration snapshots with the
+performance-weighted L1 distance.  The repository also remembers the
+distance threshold ``th_w`` (Guidance 1) and per-entry validity flags
+(Guidance 2) computed by the offline constructor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.distance import weighted_l1_distance
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.exceptions import RepositoryError
+
+
+@dataclass
+class RepositoryEntry:
+    """One stored model: compressed parameters plus the calibration it targets."""
+
+    parameters: np.ndarray
+    calibration_vector: np.ndarray
+    calibration: Optional[CalibrationSnapshot] = None
+    mean_accuracy: Optional[float] = None
+    valid: bool = True
+    source: str = "offline"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.parameters = np.asarray(self.parameters, dtype=float)
+        self.calibration_vector = np.asarray(self.calibration_vector, dtype=float)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (the snapshot object is not persisted)."""
+        return {
+            "parameters": self.parameters.tolist(),
+            "calibration_vector": self.calibration_vector.tolist(),
+            "mean_accuracy": self.mean_accuracy,
+            "valid": self.valid,
+            "source": self.source,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RepositoryEntry":
+        return cls(
+            parameters=np.asarray(payload["parameters"], dtype=float),
+            calibration_vector=np.asarray(payload["calibration_vector"], dtype=float),
+            mean_accuracy=payload.get("mean_accuracy"),
+            valid=bool(payload.get("valid", True)),
+            source=payload.get("source", "offline"),
+            label=payload.get("label", ""),
+        )
+
+
+@dataclass
+class MatchResult:
+    """Best repository match for a calibration vector."""
+
+    entry: RepositoryEntry
+    index: int
+    distance: float
+
+
+@dataclass
+class ModelRepository:
+    """A collection of repository entries with a shared matching metric."""
+
+    weights: np.ndarray
+    threshold: float
+    entries: list[RepositoryEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.threshold < 0:
+            raise RepositoryError(f"threshold must be non-negative, got {self.threshold}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: RepositoryEntry) -> None:
+        """Add an entry, checking that its vector matches the metric dimension."""
+        if entry.calibration_vector.shape != self.weights.shape:
+            raise RepositoryError(
+                f"entry calibration vector of shape {entry.calibration_vector.shape} "
+                f"does not match repository with {self.weights.shape[0]} features"
+            )
+        self.entries.append(entry)
+
+    def distances_to(self, calibration_vector: np.ndarray) -> np.ndarray:
+        """Weighted-L1 distance from every entry to ``calibration_vector``."""
+        calibration_vector = np.asarray(calibration_vector, dtype=float)
+        if not self.entries:
+            return np.zeros(0)
+        return np.array(
+            [
+                weighted_l1_distance(entry.calibration_vector, calibration_vector, self.weights)
+                for entry in self.entries
+            ]
+        )
+
+    def match(self, calibration_vector: np.ndarray) -> MatchResult:
+        """The closest stored entry to ``calibration_vector``."""
+        if not self.entries:
+            raise RepositoryError("cannot match against an empty repository")
+        distances = self.distances_to(calibration_vector)
+        index = int(distances.argmin())
+        return MatchResult(entry=self.entries[index], index=index, distance=float(distances[index]))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self, path: str | Path) -> None:
+        """Persist the repository (weights, threshold, entries) to JSON."""
+        payload = {
+            "weights": self.weights.tolist(),
+            "threshold": self.threshold,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ModelRepository":
+        """Load a repository previously saved with :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        repository = cls(
+            weights=np.asarray(payload["weights"], dtype=float),
+            threshold=float(payload["threshold"]),
+        )
+        for entry_payload in payload["entries"]:
+            repository.add(RepositoryEntry.from_dict(entry_payload))
+        return repository

@@ -1,0 +1,54 @@
+"""Datasets used by the paper's experiments (offline synthetic stand-ins)."""
+
+from repro.datasets.base import Dataset, minmax_normalize, train_test_split
+from repro.datasets.iris import IRIS_CLASS_NAMES, generate_iris_samples, load_iris
+from repro.datasets.mnist4 import (
+    DIGIT_PROTOTYPES,
+    MNIST4_DIGITS,
+    generate_mnist4_samples,
+    load_mnist4,
+)
+from repro.datasets.seismic import (
+    generate_seismic_samples,
+    load_seismic,
+    synthesize_trace,
+    windowed_log_energy,
+)
+
+DATASET_LOADERS = {
+    "mnist4": load_mnist4,
+    "iris": load_iris,
+    "seismic": load_seismic,
+}
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a dataset by name (``mnist4``, ``iris``, or ``seismic``)."""
+    from repro.exceptions import DatasetError
+
+    key = name.lower()
+    if key not in DATASET_LOADERS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_LOADERS)}"
+        )
+    return DATASET_LOADERS[key](**kwargs)
+
+
+__all__ = [
+    "Dataset",
+    "minmax_normalize",
+    "train_test_split",
+    "load_mnist4",
+    "load_iris",
+    "load_seismic",
+    "load_dataset",
+    "DATASET_LOADERS",
+    "generate_mnist4_samples",
+    "generate_iris_samples",
+    "generate_seismic_samples",
+    "synthesize_trace",
+    "windowed_log_energy",
+    "MNIST4_DIGITS",
+    "DIGIT_PROTOTYPES",
+    "IRIS_CLASS_NAMES",
+]

@@ -1,0 +1,132 @@
+"""Common dataset container and preprocessing helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class Dataset:
+    """A classification dataset split into train and test partitions.
+
+    Features are stored already normalized to ``[0, 1]`` so they can be used
+    directly as angle-encoding inputs.
+    """
+
+    name: str
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+    feature_names: Optional[list[str]] = None
+
+    def __post_init__(self) -> None:
+        self.train_features = np.asarray(self.train_features, dtype=float)
+        self.test_features = np.asarray(self.test_features, dtype=float)
+        self.train_labels = np.asarray(self.train_labels, dtype=int)
+        self.test_labels = np.asarray(self.test_labels, dtype=int)
+        if self.train_features.shape[0] != self.train_labels.shape[0]:
+            raise DatasetError("train features and labels disagree on sample count")
+        if self.test_features.shape[0] != self.test_labels.shape[0]:
+            raise DatasetError("test features and labels disagree on sample count")
+        if self.train_features.shape[0] and self.test_features.shape[0]:
+            if self.train_features.shape[1] != self.test_features.shape[1]:
+                raise DatasetError("train and test features have different widths")
+        if self.num_classes < 2:
+            raise DatasetError(f"num_classes must be >= 2, got {self.num_classes}")
+
+    @property
+    def num_features(self) -> int:
+        """Number of features per sample."""
+        return self.train_features.shape[1]
+
+    @property
+    def num_train(self) -> int:
+        return self.train_features.shape[0]
+
+    @property
+    def num_test(self) -> int:
+        return self.test_features.shape[0]
+
+    def subsample(
+        self,
+        num_train: Optional[int] = None,
+        num_test: Optional[int] = None,
+        seed: SeedLike = 0,
+    ) -> "Dataset":
+        """A smaller copy with stratified random subsets of each split.
+
+        Used by benchmarks to keep the per-day evaluations affordable while
+        exercising the full code path.
+        """
+        rng = ensure_rng(seed)
+
+        def _select(features, labels, count):
+            if count is None or count >= features.shape[0]:
+                return features, labels
+            per_class = max(1, count // self.num_classes)
+            chosen: list[int] = []
+            for cls in range(self.num_classes):
+                indices = np.flatnonzero(labels == cls)
+                if indices.size == 0:
+                    continue
+                take = min(per_class, indices.size)
+                chosen.extend(rng.choice(indices, size=take, replace=False).tolist())
+            remaining = [i for i in range(features.shape[0]) if i not in set(chosen)]
+            while len(chosen) < count and remaining:
+                pick = remaining.pop(int(rng.integers(0, len(remaining))))
+                chosen.append(pick)
+            chosen_array = np.array(sorted(chosen[:count]))
+            return features[chosen_array], labels[chosen_array]
+
+        train_features, train_labels = _select(self.train_features, self.train_labels, num_train)
+        test_features, test_labels = _select(self.test_features, self.test_labels, num_test)
+        return Dataset(
+            name=self.name,
+            train_features=train_features,
+            train_labels=train_labels,
+            test_features=test_features,
+            test_labels=test_labels,
+            num_classes=self.num_classes,
+            feature_names=self.feature_names,
+        )
+
+
+def minmax_normalize(features: np.ndarray) -> np.ndarray:
+    """Scale each feature column into ``[0, 1]`` (constant columns map to 0)."""
+    features = np.asarray(features, dtype=float)
+    minimum = features.min(axis=0, keepdims=True)
+    maximum = features.max(axis=0, keepdims=True)
+    span = np.where(maximum - minimum > 0, maximum - minimum, 1.0)
+    return (features - minimum) / span
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_fraction: float,
+    seed: SeedLike = 0,
+    shuffle: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split arrays into train and test partitions."""
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(f"train_fraction must lie in (0, 1), got {train_fraction}")
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    count = features.shape[0]
+    order = ensure_rng(seed).permutation(count) if shuffle else np.arange(count)
+    cut = int(round(train_fraction * count))
+    train_index, test_index = order[:cut], order[cut:]
+    return (
+        features[train_index],
+        labels[train_index],
+        features[test_index],
+        labels[test_index],
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid instructions."""
+
+
+class GateError(ReproError):
+    """Raised when a gate is constructed or applied with invalid arguments."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator receives an unsupported circuit or state."""
+
+
+class TranspilerError(ReproError):
+    """Raised when layout, routing, or basis translation fails."""
+
+
+class CalibrationError(ReproError):
+    """Raised for malformed calibration snapshots or histories."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training or compression run is misconfigured."""
+
+
+class RepositoryError(ReproError):
+    """Raised by the model repository constructor / manager."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset is requested with invalid parameters."""

@@ -1,0 +1,80 @@
+"""Reproduction harnesses for every table and figure of the paper."""
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    DATASET_MODEL_SETTINGS,
+    ExperimentScale,
+    PAPER_SCALE,
+    TEST_SCALE,
+)
+from repro.experiments.context import (
+    ExperimentSetup,
+    build_dataset,
+    build_model_for_dataset,
+    prepare_experiment,
+)
+from repro.experiments.longitudinal import (
+    LongitudinalResult,
+    MethodRun,
+    TABLE1_THRESHOLDS,
+    run_longitudinal,
+)
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, pick_anchor_days, run_fig4
+from repro.experiments.fig7 import FIG7_METHOD_NAMES, Fig7Result, run_fig7
+from repro.experiments.fig8 import FIG8_METHOD_NAMES, Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, pick_representative_days, run_fig9
+from repro.experiments.table1 import (
+    TABLE1_DATASETS,
+    TABLE1_METHOD_NAMES,
+    Table1Result,
+    run_table1,
+)
+from repro.experiments.table2 import ClusterEvaluation, Table2Result, run_table2
+from repro.experiments.reporting import format_series, format_table, percent
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "BENCH_SCALE",
+    "TEST_SCALE",
+    "DATASET_MODEL_SETTINGS",
+    "ExperimentSetup",
+    "prepare_experiment",
+    "build_dataset",
+    "build_model_for_dataset",
+    "run_longitudinal",
+    "LongitudinalResult",
+    "MethodRun",
+    "TABLE1_THRESHOLDS",
+    "run_fig1",
+    "Fig1Result",
+    "run_fig2",
+    "Fig2Result",
+    "run_fig3",
+    "Fig3Result",
+    "run_fig4",
+    "Fig4Result",
+    "pick_anchor_days",
+    "run_fig7",
+    "Fig7Result",
+    "FIG7_METHOD_NAMES",
+    "run_fig8",
+    "Fig8Result",
+    "FIG8_METHOD_NAMES",
+    "run_fig9",
+    "Fig9Result",
+    "pick_representative_days",
+    "run_table1",
+    "Table1Result",
+    "TABLE1_DATASETS",
+    "TABLE1_METHOD_NAMES",
+    "run_table2",
+    "Table2Result",
+    "ClusterEvaluation",
+    "format_table",
+    "format_series",
+    "percent",
+]

@@ -1,0 +1,116 @@
+"""Shared configuration for the experiment harnesses.
+
+Every experiment function accepts an :class:`ExperimentScale` so the same
+code path can run at paper scale (389 days, full test sets) or at the
+scaled-down settings used by the benchmark suite.  The paper-scale defaults
+are exposed as :data:`PAPER_SCALE`; :data:`BENCH_SCALE` keeps a full
+benchmark run within a few minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.admm import CompressionConfig
+from repro.qnn.trainer import TrainConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime.
+
+    Attributes
+    ----------
+    offline_days / online_days:
+        Length of the calibration history used for the offline and online
+        stages (the paper uses 243 / 146).
+    dataset_samples:
+        Total samples generated for the synthetic datasets.
+    train_samples / eval_samples:
+        Subset sizes used for (re)training / per-day accuracy evaluation.
+    base_train_epochs:
+        Epochs used to train the base (noise-free) model.
+    retrain_epochs:
+        Epochs used by per-day noise-aware retraining baselines.
+    shots:
+        Measurement shots per evaluation (``None`` = exact expectations).
+    num_clusters:
+        Offline repository size ``K`` (the paper uses 6).
+    seed:
+        Master seed for the noise history, datasets, and training.
+    """
+
+    offline_days: int = 243
+    online_days: int = 146
+    dataset_samples: int = 1000
+    train_samples: int = 192
+    eval_samples: int = 96
+    base_train_epochs: int = 30
+    retrain_epochs: int = 6
+    shots: Optional[int] = 1024
+    num_clusters: int = 6
+    seed: int = 2021
+    compression: CompressionConfig = field(
+        default_factory=lambda: CompressionConfig(
+            admm_iterations=3, theta_epochs=2, finetune_epochs=4, target_fraction=0.6
+        )
+    )
+
+    def train_config(self, epochs: Optional[int] = None) -> TrainConfig:
+        """A :class:`TrainConfig` derived from this scale."""
+        return TrainConfig(
+            epochs=epochs if epochs is not None else self.base_train_epochs,
+            learning_rate=0.08,
+            batch_size=32,
+            seed=self.seed,
+        )
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's full experimental scale (hours of runtime on a laptop).
+PAPER_SCALE = ExperimentScale()
+
+#: Reduced scale used by the benchmark suite (minutes of runtime).
+BENCH_SCALE = ExperimentScale(
+    offline_days=24,
+    online_days=10,
+    dataset_samples=260,
+    train_samples=96,
+    eval_samples=40,
+    base_train_epochs=12,
+    retrain_epochs=2,
+    shots=1024,
+    num_clusters=3,
+    seed=2021,
+    compression=CompressionConfig(
+        admm_iterations=2, theta_epochs=1, finetune_epochs=2, target_fraction=0.6
+    ),
+)
+
+#: Even smaller scale for unit/integration tests (seconds of runtime).
+TEST_SCALE = ExperimentScale(
+    offline_days=8,
+    online_days=4,
+    dataset_samples=120,
+    train_samples=48,
+    eval_samples=24,
+    base_train_epochs=4,
+    retrain_epochs=2,
+    shots=512,
+    num_clusters=2,
+    seed=7,
+    compression=CompressionConfig(
+        admm_iterations=1, theta_epochs=1, finetune_epochs=1, target_fraction=0.5
+    ),
+)
+
+#: Dataset-specific model settings from the paper's experimental setup.
+DATASET_MODEL_SETTINGS: dict[str, dict] = {
+    "mnist4": {"num_qubits": 4, "num_features": 16, "num_classes": 4, "repeats": 2},
+    "seismic": {"num_qubits": 4, "num_features": 16, "num_classes": 2, "repeats": 2},
+    "iris": {"num_qubits": 4, "num_features": 4, "num_classes": 3, "repeats": 3},
+}

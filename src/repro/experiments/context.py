@@ -1,0 +1,146 @@
+"""Shared setup for the experiment harnesses.
+
+Most experiments need the same ingredients: a dataset, a device, a synthetic
+calibration history split into offline/online parts, and a base QNN trained
+in a noise-free environment.  :func:`prepare_experiment` builds all of that
+from an :class:`~repro.experiments.config.ExperimentScale` in one call so
+the per-table / per-figure modules stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration import (
+    CalibrationHistory,
+    generate_belem_history,
+    generate_jakarta_history,
+)
+from repro.core import MethodContext, train_noise_free
+from repro.core.framework import QuCADConfig
+from repro.datasets import Dataset, load_dataset
+from repro.experiments.config import DATASET_MODEL_SETTINGS, ExperimentScale
+from repro.exceptions import ReproError
+from repro.qnn import QNNModel
+from repro.qnn.trainer import TrainConfig
+from repro.simulator import NoiseModel
+from repro.transpiler import CouplingMap, belem_coupling, jakarta_coupling
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything the per-experiment harnesses consume."""
+
+    dataset_name: str
+    dataset: Dataset
+    coupling: CouplingMap
+    full_history: CalibrationHistory
+    offline_history: CalibrationHistory
+    online_history: CalibrationHistory
+    base_model: QNNModel
+    scale: ExperimentScale
+
+    def noise_models(self, history: Optional[CalibrationHistory] = None) -> list[NoiseModel]:
+        """Noise models for every day of ``history`` (default: online days)."""
+        history = history if history is not None else self.online_history
+        return [NoiseModel.from_calibration(snapshot) for snapshot in history]
+
+    def eval_subset(self) -> Dataset:
+        """The reduced test set used for per-day evaluation."""
+        return self.dataset.subsample(num_test=self.scale.eval_samples, seed=self.scale.seed)
+
+    def method_context(self) -> MethodContext:
+        """A :class:`MethodContext` for the Table I adaptation methods."""
+        return MethodContext(
+            base_model=self.base_model,
+            dataset=self.dataset,
+            coupling=self.coupling,
+            offline_history=self.offline_history,
+            compression_config=self.scale.compression,
+            retrain_config=self.scale.train_config(self.scale.retrain_epochs),
+            qucad_config=QuCADConfig(
+                compression=self.scale.compression,
+                num_clusters=self.scale.num_clusters,
+                eval_test_samples=self.scale.eval_samples,
+                train_samples=self.scale.train_samples,
+                seed=self.scale.seed,
+            ),
+            train_samples=self.scale.train_samples,
+            seed=self.scale.seed,
+        )
+
+
+def build_dataset(name: str, scale: ExperimentScale) -> Dataset:
+    """Load a dataset at the requested scale."""
+    if name == "iris":
+        # Iris is naturally small (150 samples); the scale only caps it.
+        return load_dataset("iris", seed=scale.seed)
+    return load_dataset(name, num_samples=scale.dataset_samples, seed=scale.seed)
+
+
+def build_model_for_dataset(name: str, dataset: Dataset, scale: ExperimentScale) -> QNNModel:
+    """Create the paper's model configuration for ``name`` (untrained)."""
+    if name not in DATASET_MODEL_SETTINGS:
+        raise ReproError(f"no model settings registered for dataset {name!r}")
+    settings = DATASET_MODEL_SETTINGS[name]
+    return QNNModel.create(
+        num_qubits=settings["num_qubits"],
+        num_features=settings["num_features"],
+        num_classes=settings["num_classes"],
+        repeats=settings["repeats"],
+        seed=scale.seed,
+        name=f"{name}_qnn",
+    )
+
+
+def prepare_experiment(
+    dataset_name: str = "mnist4",
+    scale: Optional[ExperimentScale] = None,
+    device: str = "belem",
+    train_base_model: bool = True,
+) -> ExperimentSetup:
+    """Build the standard experimental setup for one dataset.
+
+    The base model is trained in a noise-free environment (the ``M`` of the
+    problem statement) and bound to the device using the first offline day's
+    calibration for its noise-aware layout.
+    """
+    scale = scale or ExperimentScale()
+    dataset = build_dataset(dataset_name, scale)
+    if device in {"belem", "ibmq_belem"}:
+        coupling = belem_coupling()
+        history = generate_belem_history(
+            scale.offline_days + scale.online_days, seed=scale.seed
+        )
+    elif device in {"jakarta", "ibm_jakarta"}:
+        coupling = jakarta_coupling()
+        history = generate_jakarta_history(
+            scale.offline_days + scale.online_days, seed=scale.seed
+        )
+    else:
+        raise ReproError(f"unknown device {device!r}")
+    offline_history, online_history = history.split(scale.offline_days)
+
+    model = build_model_for_dataset(dataset_name, dataset, scale)
+    model.bind_to_device(coupling, calibration=history[0])
+    if train_base_model:
+        subset = dataset.subsample(num_train=max(scale.train_samples * 2, 64), seed=scale.seed)
+        train_noise_free(
+            model,
+            subset.train_features,
+            subset.train_labels,
+            scale.train_config(),
+        )
+    return ExperimentSetup(
+        dataset_name=dataset_name,
+        dataset=dataset,
+        coupling=coupling,
+        full_history=history,
+        offline_history=offline_history,
+        online_history=online_history,
+        base_model=model,
+        scale=scale,
+    )

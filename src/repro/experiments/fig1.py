@@ -1,0 +1,66 @@
+"""Fig. 1: the fluctuating noise observed on the belem-like backend.
+
+The figure shows the Pauli-X, CNOT, and readout error-rate time series over
+roughly one year of calibrations.  The reproduction returns those series for
+the synthetic history together with the summary statistics that make the
+"fluctuating in a wide range" observation quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration import CalibrationHistory, generate_belem_history
+from repro.experiments.config import ExperimentScale
+
+
+@dataclass
+class Fig1Result:
+    """Error-rate time series grouped by channel kind."""
+
+    dates: list[str]
+    series: dict[str, np.ndarray]
+
+    def kinds(self) -> dict[str, list[str]]:
+        """Feature names grouped into single-qubit / CNOT / readout channels."""
+        grouped: dict[str, list[str]] = {"single_qubit": [], "cnot": [], "readout": []}
+        for name in self.series:
+            if name.startswith("sq_"):
+                grouped["single_qubit"].append(name)
+            elif name.startswith("cx_"):
+                grouped["cnot"].append(name)
+            else:
+                grouped["readout"].append(name)
+        return grouped
+
+    def fluctuation_summary(self) -> dict[str, dict[str, float]]:
+        """Min / max / mean / max-to-min ratio per channel kind."""
+        summary = {}
+        for kind, names in self.kinds().items():
+            stacked = np.stack([self.series[name] for name in names])
+            summary[kind] = {
+                "min": float(stacked.min()),
+                "max": float(stacked.max()),
+                "mean": float(stacked.mean()),
+                "max_over_min": float(stacked.max() / max(stacked.min(), 1e-12)),
+            }
+        return summary
+
+
+def run_fig1(
+    scale: Optional[ExperimentScale] = None,
+    history: Optional[CalibrationHistory] = None,
+) -> Fig1Result:
+    """Reproduce the Fig. 1 noise-fluctuation series."""
+    scale = scale or ExperimentScale()
+    if history is None:
+        history = generate_belem_history(
+            scale.offline_days + scale.online_days, seed=scale.seed
+        )
+    names = history.feature_names()
+    matrix = history.to_matrix()
+    series = {name: matrix[:, index] for index, name in enumerate(names)}
+    return Fig1Result(dates=[d or "" for d in history.dates], series=series)

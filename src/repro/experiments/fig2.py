@@ -1,0 +1,113 @@
+"""Fig. 2: year-long daily accuracy of two one-shot adaptation strategies.
+
+(a) a QNN noise-aware-trained on day 1 and then left alone;
+(b) the same QNN compressed on day 1 and then left alone.
+
+The reproduction returns both daily accuracy series over the full history so
+the collapse of the trained model (and the partial robustness of the
+compressed one) can be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import (
+    CompressionConfig,
+    NoiseAwareCompressor,
+    noise_aware_train,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentSetup, prepare_experiment
+from repro.qnn.evaluation import evaluate_noisy
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Fig2Result:
+    """Daily accuracies of the two day-1 strategies."""
+
+    dates: list[str]
+    noise_aware_training_accuracy: np.ndarray
+    compression_accuracy: np.ndarray
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "noise_aware_training_mean": float(self.noise_aware_training_accuracy.mean()),
+            "compression_mean": float(self.compression_accuracy.mean()),
+            "noise_aware_training_min": float(self.noise_aware_training_accuracy.min()),
+            "compression_min": float(self.compression_accuracy.min()),
+        }
+
+
+def run_fig2(
+    scale: Optional[ExperimentScale] = None,
+    setup: Optional[ExperimentSetup] = None,
+    dataset_name: str = "mnist4",
+    num_days: Optional[int] = None,
+) -> Fig2Result:
+    """Reproduce the Fig. 2 comparison on the online history."""
+    scale = scale or ExperimentScale()
+    if setup is None:
+        setup = prepare_experiment(dataset_name, scale=scale)
+    history = setup.online_history
+    if num_days is not None:
+        history = history[:num_days]
+    day_one = history[0]
+    train_features, train_labels = setup.method_context().training_subset()
+
+    # Strategy (a): noise-aware training on day 1.
+    trained_model = setup.base_model.copy_with_parameters(setup.base_model.parameters)
+    trained_model.transpiled = setup.base_model.transpiled
+    trained = noise_aware_train(
+        trained_model,
+        train_features,
+        train_labels,
+        day_one,
+        coupling=setup.coupling,
+        config=scale.train_config(scale.retrain_epochs),
+        update_model=False,
+    )
+
+    # Strategy (b): noise-aware compression on day 1.
+    compressor = NoiseAwareCompressor(scale.compression)
+    compressed = compressor.compress(
+        setup.base_model, train_features, train_labels, calibration=day_one
+    )
+
+    eval_subset = setup.eval_subset()
+    rng = ensure_rng(scale.seed)
+    trained_accuracy = []
+    compressed_accuracy = []
+    for snapshot, noise_model in zip(history, setup.noise_models(history)):
+        seed = int(rng.integers(0, 2**31 - 1))
+        trained_accuracy.append(
+            evaluate_noisy(
+                setup.base_model,
+                eval_subset.test_features,
+                eval_subset.test_labels,
+                noise_model,
+                parameters=trained.parameters,
+                shots=scale.shots,
+                seed=seed,
+            ).accuracy
+        )
+        compressed_accuracy.append(
+            evaluate_noisy(
+                setup.base_model,
+                eval_subset.test_features,
+                eval_subset.test_labels,
+                noise_model,
+                parameters=compressed.parameters,
+                shots=scale.shots,
+                seed=seed,
+            ).accuracy
+        )
+    return Fig2Result(
+        dates=[snapshot.date or "" for snapshot in history],
+        noise_aware_training_accuracy=np.asarray(trained_accuracy),
+        compression_accuracy=np.asarray(compressed_accuracy),
+    )

@@ -1,0 +1,133 @@
+"""Fig. 4: heterogeneity of CNOT noise and why compression must be noise-aware.
+
+(a) CNOT error per coupler on three representative days, showing that the
+    noisiest coupler changes over time;
+(b) a model compressed (noise-aware) on each of those days, evaluated on the
+    following days — each compressed model is good near its own day and
+    degrades when the noise regime shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import NoiseAwareCompressor
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentSetup, prepare_experiment
+from repro.qnn.evaluation import evaluate_noisy
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Fig4Result:
+    """Per-coupler noise on the anchor days plus cross-day accuracy curves."""
+
+    anchor_days: list[int]
+    anchor_dates: list[str]
+    cnot_noise: dict[str, np.ndarray]
+    evaluation_days: list[int]
+    accuracy: dict[str, np.ndarray]
+
+    def noisiest_coupler_per_day(self) -> dict[str, str]:
+        """Which coupler has the highest error on each anchor day."""
+        couplers = list(self.cnot_noise)
+        stacked = np.stack([self.cnot_noise[c] for c in couplers])
+        result = {}
+        for index, date in enumerate(self.anchor_dates):
+            result[date] = couplers[int(stacked[:, index].argmax())]
+        return result
+
+
+def pick_anchor_days(setup: ExperimentSetup, count: int = 3) -> list[int]:
+    """Choose representative days with distinct noisiest couplers.
+
+    Days are ranked by total CNOT error and greedily selected so consecutive
+    anchors prefer a different worst coupler (the heterogeneity the figure
+    highlights).
+    """
+    history = setup.online_history
+    matrix = history.to_matrix()
+    names = history.feature_names()
+    cx_columns = [i for i, name in enumerate(names) if name.startswith("cx_")]
+    totals = matrix[:, cx_columns].sum(axis=1)
+    order = np.argsort(-totals)
+    anchors: list[int] = []
+    seen_worst: set[int] = set()
+    for day in order:
+        worst = int(matrix[day, cx_columns].argmax())
+        if worst not in seen_worst or len(anchors) == 0:
+            anchors.append(int(day))
+            seen_worst.add(worst)
+        if len(anchors) >= count:
+            break
+    while len(anchors) < count and len(anchors) < len(history):
+        candidate = int(order[len(anchors)])
+        if candidate not in anchors:
+            anchors.append(candidate)
+    return sorted(anchors[:count])
+
+
+def run_fig4(
+    scale: Optional[ExperimentScale] = None,
+    setup: Optional[ExperimentSetup] = None,
+    dataset_name: str = "mnist4",
+    anchor_days: Optional[Sequence[int]] = None,
+    evaluation_days: Optional[Sequence[int]] = None,
+) -> Fig4Result:
+    """Reproduce the Fig. 4 heterogeneity study."""
+    scale = scale or ExperimentScale()
+    if setup is None:
+        setup = prepare_experiment(dataset_name, scale=scale)
+    history = setup.online_history
+    if anchor_days is None:
+        anchor_days = pick_anchor_days(setup)
+    anchor_days = list(anchor_days)
+    if evaluation_days is None:
+        stride = max(1, len(history) // 12)
+        evaluation_days = list(range(0, len(history), stride))
+    evaluation_days = list(evaluation_days)
+
+    names = history.feature_names()
+    matrix = history.to_matrix()
+    cnot_noise = {
+        name: matrix[anchor_days, index]
+        for index, name in enumerate(names)
+        if name.startswith("cx_")
+    }
+
+    train_features, train_labels = setup.method_context().training_subset()
+    compressor = NoiseAwareCompressor(scale.compression)
+    eval_subset = setup.eval_subset()
+    noise_models = setup.noise_models(history)
+    rng = ensure_rng(scale.seed)
+
+    accuracy: dict[str, np.ndarray] = {}
+    for anchor in anchor_days:
+        result = compressor.compress(
+            setup.base_model, train_features, train_labels, calibration=history[anchor]
+        )
+        series = []
+        for day in evaluation_days:
+            series.append(
+                evaluate_noisy(
+                    setup.base_model,
+                    eval_subset.test_features,
+                    eval_subset.test_labels,
+                    noise_models[day],
+                    parameters=result.parameters,
+                    shots=scale.shots,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                ).accuracy
+            )
+        accuracy[f"compressed_on_day_{anchor}"] = np.asarray(series)
+
+    return Fig4Result(
+        anchor_days=anchor_days,
+        anchor_dates=[history[d].date or str(d) for d in anchor_days],
+        cnot_noise=cnot_noise,
+        evaluation_days=evaluation_days,
+        accuracy=accuracy,
+    )

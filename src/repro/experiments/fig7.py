@@ -1,0 +1,76 @@
+"""Fig. 7: online training-time versus accuracy trade-off.
+
+The figure compares the mean accuracy and the *normalized online optimization
+time* of four strategies: compression every day, noise-aware training every
+day, QuCAD without the offline stage, and QuCAD.  QuCAD's time is the unit
+(1x); the paper reports roughly 146x and 110x for the two every-day
+strategies because they optimize on all 146 days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import make_method
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentSetup, prepare_experiment
+from repro.experiments.longitudinal import run_longitudinal
+
+#: Methods compared in Fig. 7, in presentation order.
+FIG7_METHOD_NAMES: tuple[str, ...] = (
+    "compression_everyday",
+    "noise_aware_train_everyday",
+    "qucad_without_offline",
+    "qucad",
+)
+
+
+@dataclass
+class Fig7Result:
+    """Mean accuracy plus optimization cost per method."""
+
+    mean_accuracy: dict[str, float]
+    optimization_runs: dict[str, int]
+    optimization_seconds: dict[str, float]
+    reference_method: str = "qucad"
+
+    def normalized_time(self, by: str = "runs") -> dict[str, float]:
+        """Optimization cost normalized so the reference method equals 1.
+
+        ``by`` selects the cost measure: ``"runs"`` (number of online
+        optimizations, deterministic) or ``"seconds"`` (wall time).
+        """
+        source = self.optimization_runs if by == "runs" else self.optimization_seconds
+        reference = max(source.get(self.reference_method, 1), 1)
+        return {name: value / reference for name, value in source.items()}
+
+
+def run_fig7(
+    scale: Optional[ExperimentScale] = None,
+    setup: Optional[ExperimentSetup] = None,
+    dataset_name: str = "mnist4",
+    methods: Sequence[str] = FIG7_METHOD_NAMES,
+) -> Fig7Result:
+    """Reproduce the Fig. 7 efficiency comparison on 4-class MNIST."""
+    scale = scale or ExperimentScale()
+    if setup is None:
+        setup = prepare_experiment(dataset_name, scale=scale)
+    method_objects = [make_method(name) for name in methods]
+    result = run_longitudinal(setup, method_objects, num_days=scale.online_days)
+    mean_accuracy = {}
+    runs = {}
+    seconds = {}
+    for run in result.runs:
+        mean_accuracy[run.method_name] = run.mean_accuracy
+        # Every-day methods optimize once per day by construction; QuCAD's
+        # counters reflect how often the repository had to be extended.
+        runs[run.method_name] = max(run.optimization_runs, 0)
+        seconds[run.method_name] = run.optimization_seconds
+    return Fig7Result(
+        mean_accuracy=mean_accuracy,
+        optimization_runs=runs,
+        optimization_seconds=seconds,
+    )

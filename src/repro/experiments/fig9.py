@@ -1,0 +1,103 @@
+"""Fig. 9: ablation studies on representative days.
+
+(a) QuCAD versus the practical upper bound (noise-aware compression run
+    fresh every day) and noise-aware training every day;
+(b) noise-aware versus noise-agnostic compression, both run every day.
+
+Both panels use a handful of representative (high-variance) days rather than
+the whole history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import make_method
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentSetup, prepare_experiment
+from repro.experiments.longitudinal import run_longitudinal
+from repro.calibration.history import CalibrationHistory
+
+
+@dataclass
+class Fig9Result:
+    """Per-day accuracy of each arm on the representative days."""
+
+    days: list[int]
+    dates: list[str]
+    panel_a: dict[str, np.ndarray]
+    panel_b: dict[str, np.ndarray]
+
+    def upper_bound_gap(self) -> float:
+        """Mean accuracy gap between compression-everyday and QuCAD (panel a)."""
+        upper = self.panel_a["compression_everyday"].mean()
+        qucad = self.panel_a["qucad"].mean()
+        return float(upper - qucad)
+
+    def noise_aware_gain(self) -> float:
+        """Mean gain of noise-aware over noise-agnostic compression (panel b)."""
+        aware = self.panel_b["compression_everyday"].mean()
+        agnostic = self.panel_b["noise_agnostic_compression_everyday"].mean()
+        return float(aware - agnostic)
+
+
+def pick_representative_days(history: CalibrationHistory, count: int = 8) -> list[int]:
+    """Pick ``count`` days spanning the range of total noise (low to high)."""
+    matrix = history.to_matrix()
+    totals = matrix.sum(axis=1)
+    order = np.argsort(totals)
+    picks = np.linspace(0, len(order) - 1, num=min(count, len(order))).astype(int)
+    return sorted(int(order[i]) for i in picks)
+
+
+def run_fig9(
+    scale: Optional[ExperimentScale] = None,
+    setup: Optional[ExperimentSetup] = None,
+    dataset_name: str = "mnist4",
+    representative_days: Optional[Sequence[int]] = None,
+    num_days: int = 8,
+) -> Fig9Result:
+    """Reproduce the Fig. 9 ablations."""
+    scale = scale or ExperimentScale()
+    if setup is None:
+        setup = prepare_experiment(dataset_name, scale=scale)
+    history = setup.online_history
+    if representative_days is None:
+        representative_days = pick_representative_days(history, count=num_days)
+    representative_days = sorted(representative_days)
+    subset_history = CalibrationHistory([history[d] for d in representative_days])
+
+    # Swap the online history for the representative days only.
+    ablation_setup = ExperimentSetup(
+        dataset_name=setup.dataset_name,
+        dataset=setup.dataset,
+        coupling=setup.coupling,
+        full_history=setup.full_history,
+        offline_history=setup.offline_history,
+        online_history=subset_history,
+        base_model=setup.base_model,
+        scale=scale,
+    )
+
+    panel_a_methods = [
+        make_method("qucad"),
+        make_method("compression_everyday"),
+        make_method("noise_aware_train_everyday"),
+    ]
+    result_a = run_longitudinal(ablation_setup, panel_a_methods, num_days=len(subset_history))
+
+    panel_b_methods = [
+        make_method("compression_everyday"),
+        make_method("noise_agnostic_compression_everyday"),
+    ]
+    result_b = run_longitudinal(ablation_setup, panel_b_methods, num_days=len(subset_history))
+
+    return Fig9Result(
+        days=list(representative_days),
+        dates=[history[d].date or str(d) for d in representative_days],
+        panel_a={run.method_name: run.daily_accuracy for run in result_a.runs},
+        panel_b={run.method_name: run.daily_accuracy for run in result_b.runs},
+    )

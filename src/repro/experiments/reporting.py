@@ -1,0 +1,43 @@
+"""Plain-text rendering of experiment results in the paper's table layouts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[tuple[str, str]]) -> str:
+    """Render ``rows`` as a fixed-width text table.
+
+    ``columns`` is a sequence of ``(key, header)`` pairs; numeric values are
+    formatted compactly and missing keys render as ``-``.
+    """
+    def _fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+        return str(value)
+
+    table = [[header for _, header in columns]]
+    for row in rows:
+        table.append([_fmt(row.get(key)) for key, _ in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable[float]) -> str:
+    """Render an (x, y) series as aligned text — the textual stand-in for a figure."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {str(x):>12}  {y:.4f}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage with two decimals (paper style)."""
+    return f"{100.0 * value:.2f}%"

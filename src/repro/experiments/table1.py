@@ -1,0 +1,75 @@
+"""Table I: the main comparison of six methods on three datasets.
+
+For each dataset the six methods of the paper (Baseline, Noise-aware Train
+Once, Noise-aware Train Everyday, One-time Compression, QuCAD w/o offline,
+QuCAD) are run through the longitudinal harness and summarized with the
+paper's columns: mean accuracy (and delta vs. baseline), variance, and days
+over 0.8 / 0.7 / 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.baselines import TABLE1_METHODS, make_method
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import prepare_experiment
+from repro.experiments.longitudinal import LongitudinalResult, run_longitudinal
+from repro.experiments.reporting import format_table
+
+#: Datasets of Table I in presentation order.
+TABLE1_DATASETS: tuple[str, ...] = ("mnist4", "iris", "seismic")
+
+#: Method names in the paper's row order.
+TABLE1_METHOD_NAMES: tuple[str, ...] = tuple(cls.name for cls in TABLE1_METHODS)
+
+
+@dataclass
+class Table1Result:
+    """Longitudinal results for every dataset of Table I."""
+
+    per_dataset: dict[str, LongitudinalResult] = field(default_factory=dict)
+
+    def rows(self) -> list[dict]:
+        """Flat list of summary rows across datasets."""
+        rows = []
+        for dataset_name, result in self.per_dataset.items():
+            for row in result.summary_rows():
+                row = dict(row)
+                row["dataset"] = dataset_name
+                rows.append(row)
+        return rows
+
+    def format(self) -> str:
+        """Render the table in the paper's layout."""
+        columns = [
+            ("dataset", "Dataset"),
+            ("method", "Method"),
+            ("mean_accuracy", "MeanAcc"),
+            ("mean_accuracy_vs_baseline", "vsBase"),
+            ("variance", "Var"),
+            ("days_over_0.8", ">0.8"),
+            ("days_over_0.7", ">0.7"),
+            ("days_over_0.5", ">0.5"),
+            ("optimization_runs", "OptRuns"),
+        ]
+        return format_table(self.rows(), columns)
+
+
+def run_table1(
+    scale: Optional[ExperimentScale] = None,
+    datasets: Sequence[str] = TABLE1_DATASETS,
+    methods: Sequence[str] = TABLE1_METHOD_NAMES,
+    device: str = "belem",
+) -> Table1Result:
+    """Reproduce Table I at the requested scale."""
+    scale = scale or ExperimentScale()
+    result = Table1Result()
+    for dataset_name in datasets:
+        setup = prepare_experiment(dataset_name, scale=scale, device=device)
+        method_objects = [make_method(name) for name in methods]
+        result.per_dataset[dataset_name] = run_longitudinal(
+            setup, method_objects, num_days=scale.online_days
+        )
+    return result

@@ -1,0 +1,158 @@
+"""Table II: ablation of the repository constructor's clustering distance.
+
+The table compares plain L2 k-means against the proposed performance-weighted
+L1 k-means (both with K = 6) using two metrics:
+
+* *mean accuracy of clusters* — for each cluster, the accuracy of the model
+  compressed on the cluster centroid evaluated under the centroid's noise,
+  averaged over clusters;
+* *mean accuracy of samples* — each day evaluated with the model of the
+  cluster it belongs to, averaged over all offline days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.core import NoiseAwareCompressor, cluster_calibrations
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentSetup, prepare_experiment
+from repro.qnn.evaluation import evaluate_noisy
+from repro.simulator import NoiseModel
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ClusterEvaluation:
+    """Accuracy summary of one clustering variant."""
+
+    metric: str
+    num_clusters: int
+    mean_cluster_accuracy: float
+    mean_sample_accuracy: float
+
+
+@dataclass
+class Table2Result:
+    """Both rows of Table II."""
+
+    l2: ClusterEvaluation
+    weighted_l1: ClusterEvaluation
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "method": "K-Means with L2",
+                "k": self.l2.num_clusters,
+                "mean_cluster_accuracy": self.l2.mean_cluster_accuracy,
+                "mean_sample_accuracy": self.l2.mean_sample_accuracy,
+            },
+            {
+                "method": "Proposed K-Means with dist^w_L1",
+                "k": self.weighted_l1.num_clusters,
+                "mean_cluster_accuracy": self.weighted_l1.mean_cluster_accuracy,
+                "mean_sample_accuracy": self.weighted_l1.mean_sample_accuracy,
+            },
+        ]
+
+    @property
+    def weighted_gain(self) -> float:
+        """Gain of the proposed distance in mean sample accuracy."""
+        return self.weighted_l1.mean_sample_accuracy - self.l2.mean_sample_accuracy
+
+
+def _evaluate_clustering(
+    setup: ExperimentSetup,
+    metric: str,
+    day_accuracies: np.ndarray,
+    scale: ExperimentScale,
+) -> ClusterEvaluation:
+    history = setup.offline_history
+    matrix = history.to_matrix()
+    clustering = cluster_calibrations(
+        matrix,
+        accuracies=day_accuracies,
+        k=scale.num_clusters,
+        metric=metric,
+        seed=scale.seed,
+    )
+    compressor = NoiseAwareCompressor(scale.compression)
+    train_features, train_labels = setup.method_context().training_subset()
+    eval_subset = setup.eval_subset()
+    template = history[0]
+    rng = ensure_rng(scale.seed)
+
+    cluster_params: dict[int, np.ndarray] = {}
+    cluster_accuracy: list[float] = []
+    for cluster in range(clustering.num_clusters):
+        if clustering.cluster_sizes[cluster] == 0:
+            continue
+        centroid = CalibrationSnapshot.from_vector(
+            clustering.centroids[cluster], template, date=f"{metric}_centroid_{cluster}"
+        )
+        compressed = compressor.compress(
+            setup.base_model, train_features, train_labels, calibration=centroid
+        )
+        cluster_params[cluster] = compressed.parameters
+        accuracy = evaluate_noisy(
+            setup.base_model,
+            eval_subset.test_features,
+            eval_subset.test_labels,
+            NoiseModel.from_calibration(centroid),
+            parameters=compressed.parameters,
+            shots=scale.shots,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        ).accuracy
+        cluster_accuracy.append(accuracy)
+
+    sample_accuracy: list[float] = []
+    noise_models = setup.noise_models(history)
+    for day, (label, noise_model) in enumerate(zip(clustering.labels, noise_models)):
+        parameters = cluster_params.get(int(label))
+        if parameters is None:
+            continue
+        sample_accuracy.append(
+            evaluate_noisy(
+                setup.base_model,
+                eval_subset.test_features,
+                eval_subset.test_labels,
+                noise_model,
+                parameters=parameters,
+                shots=scale.shots,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            ).accuracy
+        )
+    return ClusterEvaluation(
+        metric=metric,
+        num_clusters=len(cluster_params),
+        mean_cluster_accuracy=float(np.mean(cluster_accuracy)) if cluster_accuracy else float("nan"),
+        mean_sample_accuracy=float(np.mean(sample_accuracy)) if sample_accuracy else float("nan"),
+    )
+
+
+def run_table2(
+    scale: Optional[ExperimentScale] = None,
+    setup: Optional[ExperimentSetup] = None,
+    dataset_name: str = "mnist4",
+) -> Table2Result:
+    """Reproduce the Table II clustering ablation."""
+    scale = scale or ExperimentScale()
+    if setup is None:
+        setup = prepare_experiment(dataset_name, scale=scale)
+    # Per-day accuracy of the base model across the offline history drives
+    # the performance-aware weights (shared by both variants).
+    from repro.core.constructor import RepositoryConstructor
+
+    constructor = RepositoryConstructor(
+        eval_test_samples=scale.eval_samples, seed=scale.seed
+    )
+    day_accuracies = constructor.measure_day_accuracies(
+        setup.base_model, setup.dataset, setup.offline_history
+    )
+    l2 = _evaluate_clustering(setup, "l2", day_accuracies, scale)
+    weighted = _evaluate_clustering(setup, "weighted_l1", day_accuracies, scale)
+    return Table2Result(l2=l2, weighted_l1=weighted)

@@ -1,0 +1,21 @@
+"""Gate library: instruction type, registry, and matrix definitions."""
+
+from repro.gates.gate import (
+    CONTROLLED_ROTATION_GATES,
+    GATE_REGISTRY,
+    Gate,
+    GateSpec,
+    PARAMETRIC_GATES,
+    ROTATION_GATES,
+)
+from repro.gates import matrices
+
+__all__ = [
+    "Gate",
+    "GateSpec",
+    "GATE_REGISTRY",
+    "ROTATION_GATES",
+    "CONTROLLED_ROTATION_GATES",
+    "PARAMETRIC_GATES",
+    "matrices",
+]

@@ -1,0 +1,184 @@
+"""The :class:`Gate` instruction type and the gate registry.
+
+A :class:`Gate` is a single circuit instruction: a named operation acting on
+one or two qubits, optionally carrying a rotation angle (``param``) and a
+reference into an external trainable-parameter vector (``param_ref``).
+
+Circuits are simply ordered lists of gates (see :mod:`repro.circuits`), which
+keeps the IR easy to transform in the transpiler and the compression passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import GateError
+from repro.gates import matrices as mat
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lowercase gate name.
+    num_qubits:
+        Number of qubits the gate acts on (1 or 2).
+    num_params:
+        Number of rotation parameters (0 or 1).
+    matrix_fn:
+        Callable returning the unitary; takes the angle for parametric gates.
+    derivative_fn:
+        Callable returning d(matrix)/d(angle); ``None`` for fixed gates.
+    shift_rule:
+        Parameter-shift rule identifier: ``"two_term"`` for Pauli-rotation
+        generators (eigenvalues ±1/2), ``"four_term"`` for controlled
+        rotations (eigenvalues {0, ±1/2}), ``None`` for fixed gates.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+    derivative_fn: Optional[Callable[..., np.ndarray]] = None
+    shift_rule: Optional[str] = None
+
+
+def _fixed(matrix: np.ndarray) -> Callable[[], np.ndarray]:
+    def factory() -> np.ndarray:
+        return matrix
+
+    return factory
+
+
+GATE_REGISTRY: dict[str, GateSpec] = {
+    "id": GateSpec("id", 1, 0, _fixed(mat.I2)),
+    "x": GateSpec("x", 1, 0, _fixed(mat.X)),
+    "y": GateSpec("y", 1, 0, _fixed(mat.Y)),
+    "z": GateSpec("z", 1, 0, _fixed(mat.Z)),
+    "h": GateSpec("h", 1, 0, _fixed(mat.H)),
+    "s": GateSpec("s", 1, 0, _fixed(mat.S)),
+    "sdg": GateSpec("sdg", 1, 0, _fixed(mat.SDG)),
+    "t": GateSpec("t", 1, 0, _fixed(mat.T)),
+    "tdg": GateSpec("tdg", 1, 0, _fixed(mat.TDG)),
+    "sx": GateSpec("sx", 1, 0, _fixed(mat.SX)),
+    "sxdg": GateSpec("sxdg", 1, 0, _fixed(mat.SXDG)),
+    "rx": GateSpec("rx", 1, 1, mat.rx, mat.drx, "two_term"),
+    "ry": GateSpec("ry", 1, 1, mat.ry, mat.dry, "two_term"),
+    "rz": GateSpec("rz", 1, 1, mat.rz, mat.drz, "two_term"),
+    "p": GateSpec("p", 1, 1, mat.phase_gate, mat.dphase_gate, "two_term"),
+    "cx": GateSpec("cx", 2, 0, _fixed(mat.CX)),
+    "cy": GateSpec("cy", 2, 0, _fixed(mat.CY)),
+    "cz": GateSpec("cz", 2, 0, _fixed(mat.CZ)),
+    "swap": GateSpec("swap", 2, 0, _fixed(mat.SWAP)),
+    "crx": GateSpec("crx", 2, 1, mat.crx, mat.dcrx, "four_term"),
+    "cry": GateSpec("cry", 2, 1, mat.cry, mat.dcry, "four_term"),
+    "crz": GateSpec("crz", 2, 1, mat.crz, mat.dcrz, "four_term"),
+    "cp": GateSpec("cp", 2, 1, mat.cphase, mat.dcphase, "four_term"),
+    "rzz": GateSpec("rzz", 2, 1, mat.rzz, mat.drzz, "two_term"),
+}
+
+#: Names of single-qubit rotation gates (parametric, one qubit).
+ROTATION_GATES = frozenset({"rx", "ry", "rz", "p"})
+
+#: Names of controlled-rotation gates (parametric, two qubits).
+CONTROLLED_ROTATION_GATES = frozenset({"crx", "cry", "crz", "cp"})
+
+#: Names of all parametric gates.
+PARAMETRIC_GATES = ROTATION_GATES | CONTROLLED_ROTATION_GATES | {"rzz"}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single circuit instruction.
+
+    Attributes
+    ----------
+    name:
+        Gate name; must be a key of :data:`GATE_REGISTRY`.
+    qubits:
+        Tuple of qubit indices (control first for controlled gates).
+    param:
+        Rotation angle for parametric gates; ``None`` for fixed gates.
+    param_ref:
+        Optional index into an external trainable-parameter vector.  When
+        set, binding a parameter vector overrides ``param``.
+    trainable:
+        Whether the angle participates in gradient computation.  Encoding
+        gates carry data-dependent angles and are not trainable.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    param: Optional[float] = None
+    param_ref: Optional[int] = None
+    trainable: bool = False
+
+    def __post_init__(self) -> None:
+        spec = GATE_REGISTRY.get(self.name)
+        if spec is None:
+            raise GateError(f"unknown gate name {self.name!r}")
+        if len(self.qubits) != spec.num_qubits:
+            raise GateError(
+                f"gate {self.name!r} expects {spec.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise GateError(f"gate {self.name!r} has duplicate qubits {self.qubits}")
+        if spec.num_params == 0 and self.param is not None:
+            raise GateError(f"gate {self.name!r} takes no parameter")
+        if spec.num_params == 1 and self.param is None and self.param_ref is None:
+            raise GateError(
+                f"parametric gate {self.name!r} requires a param or a param_ref"
+            )
+
+    @property
+    def spec(self) -> GateSpec:
+        """The static :class:`GateSpec` for this gate."""
+        return GATE_REGISTRY[self.name]
+
+    @property
+    def is_parametric(self) -> bool:
+        """Whether the gate carries a rotation angle."""
+        return self.spec.num_params > 0
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return self.spec.num_qubits
+
+    def matrix(self) -> np.ndarray:
+        """The gate's unitary matrix (requires a bound angle if parametric)."""
+        spec = self.spec
+        if spec.num_params == 0:
+            return spec.matrix_fn()
+        if self.param is None:
+            raise GateError(
+                f"gate {self.name!r} has an unbound parameter (param_ref="
+                f"{self.param_ref}); bind parameters before requesting matrices"
+            )
+        return spec.matrix_fn(self.param)
+
+    def derivative_matrix(self) -> np.ndarray:
+        """d(matrix)/d(angle) for parametric gates."""
+        spec = self.spec
+        if spec.derivative_fn is None:
+            raise GateError(f"gate {self.name!r} is not parametric")
+        if self.param is None:
+            raise GateError(f"gate {self.name!r} has an unbound parameter")
+        return spec.derivative_fn(self.param)
+
+    def bind(self, value: float) -> "Gate":
+        """Return a copy of this gate with the angle set to ``value``."""
+        if not self.is_parametric:
+            raise GateError(f"cannot bind a value to fixed gate {self.name!r}")
+        return replace(self, param=float(value))
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for each original qubit ``q``."""
+        return replace(self, qubits=tuple(mapping[q] for q in self.qubits))

@@ -1,0 +1,188 @@
+"""Gate matrix definitions.
+
+All matrices use the big-endian qubit convention: for a two-qubit gate the
+first listed qubit is the control / most-significant tensor factor.  The
+module exposes fixed matrices for non-parametric gates and factory functions
+for rotation gates, together with their derivatives (used by the adjoint
+gradient engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit matrices
+# ---------------------------------------------------------------------------
+
+I2 = np.eye(2, dtype=complex)
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+# sqrt(X) gate -- the native pulse on IBM transmon devices.
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+SXDG = SX.conj().T
+
+# ---------------------------------------------------------------------------
+# Fixed two-qubit matrices (first qubit = control = most significant)
+# ---------------------------------------------------------------------------
+
+CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+CY = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, -1j],
+        [0, 0, 1j, 0],
+    ],
+    dtype=complex,
+)
+
+
+# ---------------------------------------------------------------------------
+# Parametric matrices and derivatives
+# ---------------------------------------------------------------------------
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta``."""
+    phase = np.exp(-1j * theta / 2)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=complex)
+
+
+def phase_gate(theta: float) -> np.ndarray:
+    """Phase gate diag(1, e^{i theta})."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def _controlled(matrix: np.ndarray) -> np.ndarray:
+    """Embed a single-qubit matrix as a controlled gate (control first)."""
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = matrix
+    return out
+
+
+def crx(theta: float) -> np.ndarray:
+    """Controlled-RX rotation (control is the first qubit)."""
+    return _controlled(rx(theta))
+
+
+def cry(theta: float) -> np.ndarray:
+    """Controlled-RY rotation (control is the first qubit)."""
+    return _controlled(ry(theta))
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled-RZ rotation (control is the first qubit)."""
+    return _controlled(rz(theta))
+
+
+def cphase(theta: float) -> np.ndarray:
+    """Controlled phase gate (control is the first qubit)."""
+    return _controlled(phase_gate(theta))
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ interaction exp(-i theta/2 Z⊗Z)."""
+    phase = np.exp(-1j * theta / 2)
+    return np.diag([phase, np.conj(phase), np.conj(phase), phase]).astype(complex)
+
+
+# Derivatives d/d(theta) of each parametric matrix, used by adjoint gradients.
+
+def drx(theta: float) -> np.ndarray:
+    """Derivative of :func:`rx` with respect to ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return 0.5 * np.array([[-s, -1j * c], [-1j * c, -s]], dtype=complex)
+
+
+def dry(theta: float) -> np.ndarray:
+    """Derivative of :func:`ry` with respect to ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return 0.5 * np.array([[-s, -c], [c, -s]], dtype=complex)
+
+
+def drz(theta: float) -> np.ndarray:
+    """Derivative of :func:`rz` with respect to ``theta``."""
+    phase = np.exp(-1j * theta / 2)
+    return np.array(
+        [[-0.5j * phase, 0], [0, 0.5j * np.conj(phase)]], dtype=complex
+    )
+
+
+def dphase_gate(theta: float) -> np.ndarray:
+    """Derivative of :func:`phase_gate` with respect to ``theta``."""
+    return np.array([[0, 0], [0, 1j * np.exp(1j * theta)]], dtype=complex)
+
+
+def _controlled_derivative(derivative: np.ndarray) -> np.ndarray:
+    """Derivative of a controlled gate: zero block on the control-0 subspace."""
+    out = np.zeros((4, 4), dtype=complex)
+    out[2:, 2:] = derivative
+    return out
+
+
+def dcrx(theta: float) -> np.ndarray:
+    """Derivative of :func:`crx` with respect to ``theta``."""
+    return _controlled_derivative(drx(theta))
+
+
+def dcry(theta: float) -> np.ndarray:
+    """Derivative of :func:`cry` with respect to ``theta``."""
+    return _controlled_derivative(dry(theta))
+
+
+def dcrz(theta: float) -> np.ndarray:
+    """Derivative of :func:`crz` with respect to ``theta``."""
+    return _controlled_derivative(drz(theta))
+
+
+def dcphase(theta: float) -> np.ndarray:
+    """Derivative of :func:`cphase` with respect to ``theta``."""
+    return _controlled_derivative(dphase_gate(theta))
+
+
+def drzz(theta: float) -> np.ndarray:
+    """Derivative of :func:`rzz` with respect to ``theta``."""
+    phase = np.exp(-1j * theta / 2)
+    return np.diag(
+        [-0.5j * phase, 0.5j * np.conj(phase), 0.5j * np.conj(phase), -0.5j * phase]
+    ).astype(complex)

@@ -1,0 +1,50 @@
+"""Quantum-neural-network layer: encoding, model, training, evaluation."""
+
+from repro.qnn.encoding import AngleEncoder, EncodingOp
+from repro.qnn.evaluation import (
+    EvaluationResult,
+    accuracy_over_days,
+    evaluate_ideal,
+    evaluate_noisy,
+)
+from repro.qnn.gradients import (
+    adjoint_gradient,
+    finite_difference_gradient,
+    parameter_shift_gradient,
+    shift_rules_for_circuit,
+    z_diagonal,
+)
+from repro.qnn.loss import accuracy, cross_entropy_loss, get_loss, mse_loss, one_hot, softmax
+from repro.qnn.model import QNNModel
+from repro.qnn.noise_injection import NoiseInjector
+from repro.qnn.optimizers import Adam, Optimizer, SGD, get_optimizer
+from repro.qnn.trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = [
+    "AngleEncoder",
+    "EncodingOp",
+    "QNNModel",
+    "NoiseInjector",
+    "TrainConfig",
+    "Trainer",
+    "TrainResult",
+    "EvaluationResult",
+    "evaluate_ideal",
+    "evaluate_noisy",
+    "accuracy_over_days",
+    "adjoint_gradient",
+    "parameter_shift_gradient",
+    "finite_difference_gradient",
+    "shift_rules_for_circuit",
+    "z_diagonal",
+    "accuracy",
+    "cross_entropy_loss",
+    "mse_loss",
+    "one_hot",
+    "softmax",
+    "get_loss",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "get_optimizer",
+]

@@ -1,0 +1,75 @@
+"""Model evaluation under ideal and noisy execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.qnn.loss import accuracy
+from repro.qnn.model import QNNModel
+from repro.simulator import NoiseModel
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy plus the raw logits of an evaluation run."""
+
+    accuracy: float
+    logits: np.ndarray
+    predictions: np.ndarray
+
+
+def evaluate_ideal(
+    model: QNNModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    parameters: Optional[np.ndarray] = None,
+) -> EvaluationResult:
+    """Accuracy under noise-free statevector simulation."""
+    logits = model.forward_ideal(features, parameters=parameters)
+    predictions = np.argmax(logits, axis=-1)
+    return EvaluationResult(
+        accuracy=accuracy(logits, labels), logits=logits, predictions=predictions
+    )
+
+
+def evaluate_noisy(
+    model: QNNModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    noise_model: NoiseModel,
+    parameters: Optional[np.ndarray] = None,
+    shots: Optional[int] = None,
+    seed: SeedLike = None,
+) -> EvaluationResult:
+    """Accuracy under a calibration-derived noise model.
+
+    ``shots`` switches from exact expectation values to sampled ones, which
+    emulates execution on real hardware (Fig. 8).
+    """
+    logits = model.forward_noisy(
+        features, noise_model, parameters=parameters, shots=shots, seed=seed
+    )
+    predictions = np.argmax(logits, axis=-1)
+    return EvaluationResult(
+        accuracy=accuracy(logits, labels), logits=logits, predictions=predictions
+    )
+
+
+def accuracy_over_days(
+    model: QNNModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    noise_models: list[NoiseModel],
+    parameters: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Accuracy of one fixed model across a sequence of noise models (days)."""
+    return np.array(
+        [
+            evaluate_noisy(model, features, labels, noise_model, parameters=parameters).accuracy
+            for noise_model in noise_models
+        ]
+    )

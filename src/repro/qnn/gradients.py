@@ -1,0 +1,171 @@
+"""Gradient engines for variational circuits.
+
+Two engines are provided:
+
+* :func:`adjoint_gradient` — reverse-mode differentiation of noise-free
+  statevector simulations.  One forward pass plus one backward sweep yields
+  the gradient with respect to *every* trainable parameter, which makes the
+  repeated retraining in QuCAD's offline stage affordable.
+* :func:`parameter_shift_gradient` — the hardware-compatible shift rule
+  (two-term for Pauli rotations, four-term for controlled rotations).  It is
+  simulator-agnostic so it also differentiates noisy density-matrix
+  evaluations, and it doubles as an independent check of the adjoint engine
+  in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import TrainingError
+from repro.simulator import ops
+
+# Four-term shift-rule coefficients for generators with eigenvalues {0, +-1/2}
+# (controlled rotations): d<O>/dt = c_plus [f(t+pi/2) - f(t-pi/2)]
+#                                  - c_minus [f(t+3pi/2) - f(t-3pi/2)].
+_SQRT2 = np.sqrt(2.0)
+FOUR_TERM_C_PLUS = (_SQRT2 + 1.0) / (4.0 * _SQRT2)
+FOUR_TERM_C_MINUS = (_SQRT2 - 1.0) / (4.0 * _SQRT2)
+
+
+def adjoint_gradient(
+    circuit: QuantumCircuit,
+    parameters: np.ndarray,
+    initial_states: np.ndarray,
+    observable_diagonals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient of ``sum_b <psi_b| D_b |psi_b>`` w.r.t. the trainable parameters.
+
+    Parameters
+    ----------
+    circuit:
+        Ansatz with ``param_ref`` annotations (not bound).
+    parameters:
+        Trainable-parameter vector.
+    initial_states:
+        Encoded input states, shape ``(batch, 2**n)``.
+    observable_diagonals:
+        Per-sample diagonal observables ``D_b``, shape ``(batch, 2**n)``.
+        For classification this is the loss gradient folded into a weighted
+        sum of Pauli-Z diagonals, so a single sweep yields the full loss
+        gradient.
+
+    Returns
+    -------
+    (gradient, final_states):
+        ``gradient`` has one entry per parameter; ``final_states`` are the
+        evolved statevectors (reusable for the loss value).
+    """
+    parameters = np.asarray(parameters, dtype=float)
+    bound = circuit.bind_parameters(parameters)
+    num_qubits = circuit.num_qubits
+    states = np.array(initial_states, dtype=complex, copy=True)
+    if states.shape[0] != observable_diagonals.shape[0]:
+        raise TrainingError("initial_states and observable_diagonals batch mismatch")
+
+    for gate in bound.gates:
+        states = ops.apply_unitary_statevector(states, gate.matrix(), gate.qubits, num_qubits)
+    final_states = states.copy()
+
+    gradient = np.zeros(circuit.num_parameters, dtype=float)
+    lam = observable_diagonals * states  # D_b |psi_b>
+    psi = states
+    for gate in reversed(bound.gates):
+        unitary = gate.matrix()
+        dagger = unitary.conj().T
+        psi = ops.apply_unitary_statevector(psi, dagger, gate.qubits, num_qubits)
+        if gate.param_ref is not None and gate.trainable:
+            derivative = gate.derivative_matrix()
+            d_psi = ops.apply_unitary_statevector(psi, derivative, gate.qubits, num_qubits)
+            overlap = np.sum(lam.conj() * d_psi)
+            gradient[gate.param_ref] += 2.0 * float(np.real(overlap))
+        lam = ops.apply_unitary_statevector(lam, dagger, gate.qubits, num_qubits)
+    return gradient, final_states
+
+
+def expectation_from_diagonals(
+    states: np.ndarray, observable_diagonals: np.ndarray
+) -> float:
+    """``sum_b <psi_b| D_b |psi_b>`` for diagonal observables."""
+    probabilities = np.abs(states) ** 2
+    return float(np.sum(probabilities * observable_diagonals))
+
+
+def z_diagonal(qubit: int, num_qubits: int) -> np.ndarray:
+    """Diagonal of the Pauli-Z observable on ``qubit`` (big-endian indexing)."""
+    indices = np.arange(2**num_qubits)
+    bits = (indices >> (num_qubits - 1 - qubit)) & 1
+    return 1.0 - 2.0 * bits
+
+
+def shift_rules_for_circuit(circuit: QuantumCircuit) -> list[str]:
+    """Per-parameter shift rule derived from the gates referencing each parameter."""
+    rules = ["two_term"] * circuit.num_parameters
+    for gate in circuit.gates:
+        if gate.param_ref is not None and gate.spec.shift_rule is not None:
+            rules[gate.param_ref] = gate.spec.shift_rule
+    return rules
+
+
+def parameter_shift_gradient(
+    function: Callable[[np.ndarray], float],
+    parameters: np.ndarray,
+    rules: Sequence[str],
+) -> np.ndarray:
+    """Exact gradient of ``function(parameters)`` by the parameter-shift rule.
+
+    ``function`` must be an expectation-valued function of the parameter
+    vector (it is re-evaluated at shifted parameter values).  ``rules[i]`` is
+    ``"two_term"`` for Pauli rotations or ``"four_term"`` for controlled
+    rotations.
+    """
+    parameters = np.asarray(parameters, dtype=float)
+    if len(rules) != parameters.shape[0]:
+        raise TrainingError(
+            f"{len(rules)} shift rules provided for {parameters.shape[0]} parameters"
+        )
+    gradient = np.zeros_like(parameters)
+    for index, rule in enumerate(rules):
+        shifted = parameters.copy()
+        if rule == "two_term":
+            shifted[index] = parameters[index] + np.pi / 2
+            plus = function(shifted)
+            shifted[index] = parameters[index] - np.pi / 2
+            minus = function(shifted)
+            gradient[index] = 0.5 * (plus - minus)
+        elif rule == "four_term":
+            shifted[index] = parameters[index] + np.pi / 2
+            plus_near = function(shifted)
+            shifted[index] = parameters[index] - np.pi / 2
+            minus_near = function(shifted)
+            shifted[index] = parameters[index] + 3 * np.pi / 2
+            plus_far = function(shifted)
+            shifted[index] = parameters[index] - 3 * np.pi / 2
+            minus_far = function(shifted)
+            gradient[index] = FOUR_TERM_C_PLUS * (plus_near - minus_near) - (
+                FOUR_TERM_C_MINUS * (plus_far - minus_far)
+            )
+        else:
+            raise TrainingError(f"unknown shift rule {rule!r} for parameter {index}")
+    return gradient
+
+
+def finite_difference_gradient(
+    function: Callable[[np.ndarray], float],
+    parameters: np.ndarray,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Central finite differences, used as a last-resort numerical check."""
+    parameters = np.asarray(parameters, dtype=float)
+    gradient = np.zeros_like(parameters)
+    for index in range(parameters.shape[0]):
+        shifted = parameters.copy()
+        shifted[index] = parameters[index] + epsilon
+        plus = function(shifted)
+        shifted[index] = parameters[index] - epsilon
+        minus = function(shifted)
+        gradient[index] = (plus - minus) / (2 * epsilon)
+    return gradient

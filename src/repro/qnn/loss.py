@@ -1,0 +1,84 @@
+"""Loss functions with analytic gradients (no autograd framework needed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.ndim != 1:
+        raise TrainingError("labels must be a 1-D integer array")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise TrainingError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=float)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. the logits.
+
+    Returns ``(loss, dloss/dlogits)`` where the gradient already includes the
+    ``1/batch`` factor, so it can be chained directly into the adjoint
+    gradient engine.
+    """
+    logits = np.asarray(logits, dtype=float)
+    if logits.ndim != 2:
+        raise TrainingError("logits must be a (batch, classes) array")
+    batch, num_classes = logits.shape
+    targets = one_hot(labels, num_classes)
+    probabilities = softmax(logits)
+    clipped = np.clip(probabilities, 1e-12, 1.0)
+    loss = float(-np.sum(targets * np.log(clipped)) / batch)
+    gradient = (probabilities - targets) / batch
+    return loss, gradient
+
+
+def mse_loss(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error against one-hot targets, with gradient."""
+    logits = np.asarray(logits, dtype=float)
+    if logits.ndim != 2:
+        raise TrainingError("logits must be a (batch, classes) array")
+    batch, num_classes = logits.shape
+    targets = one_hot(labels, num_classes)
+    diff = logits - targets
+    loss = float(np.mean(diff**2))
+    gradient = 2.0 * diff / diff.size
+    return loss, gradient
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.argmax(np.asarray(logits), axis=-1)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+LOSS_FUNCTIONS = {
+    "cross_entropy": cross_entropy_loss,
+    "mse": mse_loss,
+}
+
+
+def get_loss(name: str):
+    """Look up a loss function by name."""
+    if name not in LOSS_FUNCTIONS:
+        raise TrainingError(
+            f"unknown loss {name!r}; available: {sorted(LOSS_FUNCTIONS)}"
+        )
+    return LOSS_FUNCTIONS[name]

@@ -1,0 +1,278 @@
+"""The quantum-neural-network model: encoder + ansatz + measurement head.
+
+A :class:`QNNModel` owns the trainable-parameter vector and knows how to run
+itself in two environments:
+
+* **ideal** (``forward_ideal``): noise-free statevector simulation of the
+  logical circuit — the paper's ``W_p(theta)``;
+* **noisy** (``forward_noisy``): density-matrix simulation of the circuit
+  transpiled onto a physical device under a calibration-derived noise model —
+  the paper's ``W_n(theta)``.
+
+Class logits are Pauli-Z expectations of the readout qubits scaled by a
+constant factor and fed to a softmax, following the TorchQuantum convention
+used in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit, build_qucad_ansatz
+from repro.exceptions import TrainingError
+from repro.qnn.encoding import AngleEncoder
+from repro.qnn.gradients import adjoint_gradient, z_diagonal
+from repro.qnn.loss import get_loss
+from repro.simulator import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    StatevectorSimulator,
+)
+from repro.transpiler import CouplingMap, TranspiledCircuit, transpile
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class QNNModel:
+    """A variational quantum classifier.
+
+    Attributes
+    ----------
+    ansatz:
+        Parameterized circuit with ``param_ref`` annotations.
+    encoder:
+        Angle encoder mapping feature vectors onto the logical qubits.
+    readout_qubits:
+        Logical qubits whose Z expectations become class logits (one per class).
+    parameters:
+        Current trainable-parameter vector.
+    logit_scale:
+        Multiplier applied to expectations before the softmax.
+    transpiled:
+        Optional device binding (layout + routing); set by :meth:`bind_to_device`.
+    """
+
+    ansatz: QuantumCircuit
+    encoder: AngleEncoder
+    readout_qubits: list[int]
+    parameters: np.ndarray
+    logit_scale: float = 6.0
+    name: str = "qnn"
+    transpiled: Optional[TranspiledCircuit] = None
+
+    def __post_init__(self) -> None:
+        self.parameters = np.asarray(self.parameters, dtype=float)
+        if self.parameters.shape != (self.ansatz.num_parameters,):
+            raise TrainingError(
+                f"parameter vector of shape {self.parameters.shape} does not match "
+                f"ansatz with {self.ansatz.num_parameters} parameters"
+            )
+        for qubit in self.readout_qubits:
+            if not 0 <= qubit < self.ansatz.num_qubits:
+                raise TrainingError(f"readout qubit {qubit} outside the register")
+
+    # ------------------------------------------------------------------
+    # Constructors and copies
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        num_qubits: int,
+        num_features: int,
+        num_classes: int,
+        repeats: int = 2,
+        seed: SeedLike = 0,
+        logit_scale: float = 6.0,
+        name: str = "qnn",
+    ) -> "QNNModel":
+        """Build the paper's model: QuCAD ansatz + angle encoding.
+
+        ``num_classes`` readout qubits are taken from the front of the
+        register, so ``num_classes`` must not exceed ``num_qubits``.
+        """
+        if num_classes > num_qubits:
+            raise TrainingError(
+                f"{num_classes} classes need at least that many readout qubits, "
+                f"got {num_qubits}"
+            )
+        rng = ensure_rng(seed)
+        ansatz = build_qucad_ansatz(num_qubits, repeats, name=f"{name}_ansatz")
+        encoder = AngleEncoder(num_qubits=num_qubits, num_features=num_features)
+        parameters = rng.uniform(-np.pi, np.pi, size=ansatz.num_parameters)
+        return cls(
+            ansatz=ansatz,
+            encoder=encoder,
+            readout_qubits=list(range(num_classes)),
+            parameters=parameters,
+            logit_scale=logit_scale,
+            name=name,
+        )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.ansatz.num_qubits
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.readout_qubits)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.ansatz.num_parameters
+
+    def copy_with_parameters(self, parameters: np.ndarray, name: Optional[str] = None) -> "QNNModel":
+        """A copy of this model with a different parameter vector.
+
+        The device binding (``transpiled``) is shared because it only depends
+        on the circuit structure, not on the parameter values.
+        """
+        return replace(
+            self,
+            parameters=np.asarray(parameters, dtype=float).copy(),
+            name=name or self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Device binding
+    # ------------------------------------------------------------------
+    def bind_to_device(
+        self,
+        coupling: CouplingMap,
+        calibration=None,
+        initial_layout=None,
+    ) -> TranspiledCircuit:
+        """Transpile the ansatz onto ``coupling`` and remember the result."""
+        self.transpiled = transpile(
+            self.ansatz, coupling, calibration=calibration, initial_layout=initial_layout
+        )
+        return self.transpiled
+
+    def _require_transpiled(self) -> TranspiledCircuit:
+        if self.transpiled is None:
+            raise TrainingError(
+                "model is not bound to a device; call bind_to_device(coupling, ...) first"
+            )
+        return self.transpiled
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def ideal_expectations(
+        self, features: np.ndarray, parameters: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Noise-free Z expectations of the readout qubits."""
+        parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
+        simulator = StatevectorSimulator(self.num_qubits)
+        initial = self.encoder.encode_statevectors(features, simulator)
+        bound = self.ansatz.bind_parameters(parameters)
+        result = simulator.run(bound, initial_states=initial)
+        return result.expectation_z(self.readout_qubits)
+
+    def forward_ideal(
+        self, features: np.ndarray, parameters: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Noise-free class logits."""
+        return self.logit_scale * self.ideal_expectations(features, parameters)
+
+    def noisy_expectations(
+        self,
+        features: np.ndarray,
+        noise_model: NoiseModel,
+        parameters: Optional[np.ndarray] = None,
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
+        apply_readout_error: bool = True,
+    ) -> np.ndarray:
+        """Z expectations under a device noise model (density-matrix simulation)."""
+        parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
+        transpiled = self._require_transpiled()
+        device_qubits = transpiled.coupling.num_qubits
+        simulator = DensityMatrixSimulator(device_qubits)
+        mapping = [
+            transpiled.encoding_physical_qubit(logical)
+            for logical in range(self.num_qubits)
+        ]
+        initial = self.encoder.encode_density_matrices(
+            features, simulator, noise_model=noise_model, qubit_mapping=mapping
+        )
+        physical = transpiled.to_physical(parameters)
+        result = simulator.run(physical, noise_model=noise_model, initial_rho=initial)
+        measured = transpiled.measured_physical_qubits(self.readout_qubits)
+        if shots is None:
+            return result.expectation_z(measured, apply_readout_error=apply_readout_error)
+        return result.sample_expectation_z(
+            measured, shots=shots, seed=seed, apply_readout_error=apply_readout_error
+        )
+
+    def forward_noisy(
+        self,
+        features: np.ndarray,
+        noise_model: NoiseModel,
+        parameters: Optional[np.ndarray] = None,
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Class logits under a device noise model."""
+        expectations = self.noisy_expectations(
+            features, noise_model, parameters=parameters, shots=shots, seed=seed
+        )
+        return self.logit_scale * expectations
+
+    # ------------------------------------------------------------------
+    # Loss and gradient (noise-free path used for training / compression)
+    # ------------------------------------------------------------------
+    def loss_and_gradient(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        parameters: Optional[np.ndarray] = None,
+        loss: str = "cross_entropy",
+        noise_injector=None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[float, np.ndarray]:
+        """Training loss and its gradient w.r.t. the trainable parameters.
+
+        The forward/backward pass runs on the noise-free simulator; if a
+        ``noise_injector`` is given (noise-aware training, ref [12]), the
+        expectations are attenuated and jittered before the loss, and the
+        attenuation is chained into the gradient.
+        """
+        parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
+        loss_fn = get_loss(loss)
+        expectations = self.ideal_expectations(features, parameters)
+        if noise_injector is not None:
+            noisy_expectations, attenuation = noise_injector.apply(expectations, rng=rng)
+        else:
+            noisy_expectations, attenuation = expectations, np.ones(self.num_classes)
+        logits = self.logit_scale * noisy_expectations
+        loss_value, dloss_dlogits = loss_fn(logits, labels)
+        dloss_dexpectations = self.logit_scale * attenuation * dloss_dlogits
+
+        num_qubits = self.num_qubits
+        diagonals = np.zeros((features.shape[0], 2**num_qubits))
+        for column, qubit in enumerate(self.readout_qubits):
+            diagonals += dloss_dexpectations[:, column : column + 1] * z_diagonal(
+                qubit, num_qubits
+            )
+
+        simulator = StatevectorSimulator(num_qubits)
+        initial = self.encoder.encode_statevectors(features, simulator)
+        gradient, _ = adjoint_gradient(self.ansatz, parameters, initial, diagonals)
+        return loss_value, gradient
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot of the model configuration and parameters."""
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "num_features": self.encoder.num_features,
+            "num_classes": self.num_classes,
+            "logit_scale": self.logit_scale,
+            "parameters": self.parameters.tolist(),
+        }

@@ -1,0 +1,91 @@
+"""Gradient-descent optimizers for QNN parameters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+class Optimizer:
+    """Base interface: ``step`` maps (parameters, gradient) to new parameters."""
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (momentum, moment estimates)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.05, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must lie in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Optional[np.ndarray] = None
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        gradient = np.asarray(gradient, dtype=float)
+        if self._velocity is None or self._velocity.shape != gradient.shape:
+            self._velocity = np.zeros_like(gradient)
+        self._velocity = self.momentum * self._velocity - self.learning_rate * gradient
+        return parameters + self._velocity
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) — the default for QNN training here."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+        self._step_count = 0
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        gradient = np.asarray(gradient, dtype=float)
+        if self._m is None or self._m.shape != gradient.shape:
+            self._m = np.zeros_like(gradient)
+            self._v = np.zeros_like(gradient)
+            self._step_count = 0
+        self._step_count += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * gradient
+        self._v = self.beta2 * self._v + (1 - self.beta2) * gradient**2
+        m_hat = self._m / (1 - self.beta1**self._step_count)
+        v_hat = self._v / (1 - self.beta2**self._step_count)
+        return parameters - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._step_count = 0
+
+
+def get_optimizer(name: str, learning_rate: float = 0.05) -> Optimizer:
+    """Create an optimizer by name (``"sgd"`` or ``"adam"``)."""
+    key = name.lower()
+    if key == "sgd":
+        return SGD(learning_rate=learning_rate)
+    if key == "adam":
+        return Adam(learning_rate=learning_rate)
+    raise TrainingError(f"unknown optimizer {name!r}; use 'sgd' or 'adam'")

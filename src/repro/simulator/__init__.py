@@ -1,0 +1,30 @@
+"""Quantum-state simulators, noise channels, and noise models."""
+
+from repro.simulator.density_matrix import DensityMatrixResult, DensityMatrixSimulator
+from repro.simulator.noise_channels import (
+    AmplitudeDampingChannel,
+    BitFlipChannel,
+    DepolarizingChannel,
+    PhaseDampingChannel,
+    PhaseFlipChannel,
+    ReadoutError,
+)
+from repro.simulator.noise_model import VIRTUAL_GATES, NoiseModel
+from repro.simulator.statevector import StatevectorResult, StatevectorSimulator
+from repro.simulator import ops
+
+__all__ = [
+    "DensityMatrixResult",
+    "DensityMatrixSimulator",
+    "StatevectorResult",
+    "StatevectorSimulator",
+    "NoiseModel",
+    "VIRTUAL_GATES",
+    "DepolarizingChannel",
+    "BitFlipChannel",
+    "PhaseFlipChannel",
+    "AmplitudeDampingChannel",
+    "PhaseDampingChannel",
+    "ReadoutError",
+    "ops",
+]

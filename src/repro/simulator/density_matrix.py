@@ -1,0 +1,150 @@
+"""Batched density-matrix simulator with calibrated noise channels.
+
+This is the 'noisy environment' ``W_n(theta)`` of the paper: every physical
+gate is followed by a depolarizing channel whose strength comes from the
+day's calibration snapshot, and measurement applies per-qubit readout
+confusion matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulator import ops
+from repro.simulator.noise_model import NoiseModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class DensityMatrixResult:
+    """Final density matrices of a batched noisy simulation."""
+
+    rho: np.ndarray
+    num_qubits: int
+    noise_model: Optional[NoiseModel] = None
+
+    def probabilities(self, apply_readout_error: bool = True) -> np.ndarray:
+        """Measurement probabilities, optionally through readout confusion."""
+        probs = ops.density_probabilities(self.rho)
+        totals = probs.sum(axis=-1, keepdims=True)
+        probs = np.divide(probs, totals, out=np.zeros_like(probs), where=totals > 0)
+        if apply_readout_error and self.noise_model is not None:
+            confusion = self.noise_model.readout_confusion()
+            if confusion:
+                probs = ops.apply_readout_confusion(probs, confusion, self.num_qubits)
+        return probs
+
+    def expectation_z(
+        self, qubits: Sequence[int], apply_readout_error: bool = True
+    ) -> np.ndarray:
+        """Pauli-Z expectations on ``qubits``, shape ``(batch, len(qubits))``."""
+        probs = self.probabilities(apply_readout_error=apply_readout_error)
+        columns = [ops.expectation_z(probs, q, self.num_qubits) for q in qubits]
+        return np.stack(columns, axis=1)
+
+    def sample_expectation_z(
+        self,
+        qubits: Sequence[int],
+        shots: int,
+        seed: SeedLike = None,
+        apply_readout_error: bool = True,
+    ) -> np.ndarray:
+        """Shot-noise estimate of Pauli-Z expectations (hardware emulation)."""
+        rng = ensure_rng(seed)
+        probs = self.probabilities(apply_readout_error=apply_readout_error)
+        counts = ops.sample_counts(probs, shots, rng)
+        empirical = counts / float(shots)
+        columns = [ops.expectation_z(empirical, q, self.num_qubits) for q in qubits]
+        return np.stack(columns, axis=1)
+
+
+class DensityMatrixSimulator:
+    """Apply a bound physical circuit to a batch of density matrices."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits <= 0:
+            raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.dim = 2**num_qubits
+
+    def zero_state(self, batch: int = 1) -> np.ndarray:
+        """Density matrix of ``|0...0><0...0|`` replicated ``batch`` times."""
+        rho = np.zeros((batch, self.dim, self.dim), dtype=complex)
+        rho[:, 0, 0] = 1.0
+        return rho
+
+    @staticmethod
+    def from_statevectors(states: np.ndarray) -> np.ndarray:
+        """Outer products ``|psi><psi|`` for a batch of statevectors."""
+        return np.einsum("bi,bj->bij", states, states.conj())
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: Optional[NoiseModel] = None,
+        initial_rho: Optional[np.ndarray] = None,
+        batch: int = 1,
+    ) -> DensityMatrixResult:
+        """Execute ``circuit`` under ``noise_model``.
+
+        Each gate is applied as a unitary, then (if the noise model assigns
+        the gate a non-zero error rate) followed by a depolarizing channel on
+        the gate's qubits.
+        """
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, simulator expects "
+                f"{self.num_qubits}"
+            )
+        if initial_rho is None:
+            rho = self.zero_state(batch)
+        else:
+            rho = np.array(initial_rho, dtype=complex, copy=True)
+            if rho.ndim == 2:
+                rho = rho[None, :, :]
+            if rho.shape[-1] != self.dim:
+                raise SimulationError(
+                    f"initial density matrices of dimension {rho.shape[-1]} do not "
+                    f"match {self.num_qubits} qubits"
+                )
+        for gate in circuit.gates:
+            rho = ops.apply_unitary_density(
+                rho, gate.matrix(), gate.qubits, self.num_qubits
+            )
+            if noise_model is not None:
+                channel = noise_model.channel_for_gate(gate)
+                if channel is not None:
+                    rho = channel.apply(rho, gate.qubits, self.num_qubits)
+        return DensityMatrixResult(
+            rho=rho, num_qubits=self.num_qubits, noise_model=noise_model
+        )
+
+    def apply_feature_rotations(
+        self,
+        rho: np.ndarray,
+        gate_name: str,
+        qubit: int,
+        angles: np.ndarray,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> np.ndarray:
+        """Apply one encoding rotation with per-sample angles plus its noise."""
+        from repro.gates import GATE_REGISTRY, Gate
+
+        spec = GATE_REGISTRY[gate_name]
+        if spec.num_params != 1 or spec.num_qubits != 1:
+            raise SimulationError(
+                f"feature rotations require a single-qubit parametric gate, got {gate_name!r}"
+            )
+        matrices = np.stack([spec.matrix_fn(float(a)) for a in angles])
+        rho = ops.apply_unitary_density(rho, matrices, [qubit], self.num_qubits)
+        if noise_model is not None:
+            probe = Gate(gate_name, (qubit,), param=0.0)
+            channel = noise_model.channel_for_gate(probe)
+            if channel is not None:
+                rho = channel.apply(rho, [qubit], self.num_qubits)
+        return rho

@@ -1,0 +1,168 @@
+"""Noise-channel definitions.
+
+Channels are lightweight frozen dataclasses that know how to apply
+themselves to a batch of density matrices.  The density-matrix simulator
+receives them from a :class:`~repro.simulator.noise_model.NoiseModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.simulator import ops
+
+
+def _validate_probability(value: float, name: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise SimulationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class DepolarizingChannel:
+    """Depolarizing channel: with probability ``probability`` replace the
+    state of the target qubits with the maximally mixed state."""
+
+    probability: float
+    num_qubits: int = 1
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability, "depolarizing probability")
+        if self.num_qubits not in (1, 2):
+            raise SimulationError("depolarizing channel supports 1 or 2 qubits")
+
+    def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        if len(qubits) != self.num_qubits:
+            raise SimulationError(
+                f"channel expects {self.num_qubits} qubits, got {len(qubits)}"
+            )
+        return ops.apply_depolarizing_density(rho, self.probability, qubits, num_qubits)
+
+    @staticmethod
+    def from_gate_error(error_rate: float, num_qubits: int) -> "DepolarizingChannel":
+        """Convert an average gate infidelity into a depolarizing probability.
+
+        For a depolarizing channel with replace-probability ``p`` on a
+        ``d``-dimensional space the average gate infidelity is
+        ``r = p (d - 1) / d``, so ``p = r d / (d - 1)``.  Values are clipped
+        to 1 so badly mis-calibrated error rates stay physical.
+        """
+        dim = 2**num_qubits
+        probability = min(1.0, max(0.0, float(error_rate)) * dim / (dim - 1))
+        return DepolarizingChannel(probability=probability, num_qubits=num_qubits)
+
+
+@dataclass(frozen=True)
+class BitFlipChannel:
+    """Apply Pauli-X with probability ``probability``."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability, "bit-flip probability")
+
+    def kraus_operators(self) -> list[np.ndarray]:
+        p = self.probability
+        return [
+            np.sqrt(1 - p) * np.eye(2, dtype=complex),
+            np.sqrt(p) * np.array([[0, 1], [1, 0]], dtype=complex),
+        ]
+
+    def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
+
+
+@dataclass(frozen=True)
+class PhaseFlipChannel:
+    """Apply Pauli-Z with probability ``probability``."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability, "phase-flip probability")
+
+    def kraus_operators(self) -> list[np.ndarray]:
+        p = self.probability
+        return [
+            np.sqrt(1 - p) * np.eye(2, dtype=complex),
+            np.sqrt(p) * np.diag([1.0, -1.0]).astype(complex),
+        ]
+
+    def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
+
+
+@dataclass(frozen=True)
+class AmplitudeDampingChannel:
+    """Energy relaxation toward ``|0>`` with damping parameter ``gamma``."""
+
+    gamma: float
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.gamma, "amplitude damping gamma")
+
+    def kraus_operators(self) -> list[np.ndarray]:
+        g = self.gamma
+        return [
+            np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex),
+            np.array([[0, np.sqrt(g)], [0, 0]], dtype=complex),
+        ]
+
+    def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
+
+
+@dataclass(frozen=True)
+class PhaseDampingChannel:
+    """Pure dephasing with damping parameter ``gamma``."""
+
+    gamma: float
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.gamma, "phase damping gamma")
+
+    def kraus_operators(self) -> list[np.ndarray]:
+        g = self.gamma
+        return [
+            np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex),
+            np.array([[0, 0], [0, np.sqrt(g)]], dtype=complex),
+        ]
+
+    def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Symmetric or asymmetric measurement assignment error on one qubit.
+
+    ``prob_1_given_0`` is the probability of reporting 1 when the true state
+    is 0, and vice versa for ``prob_0_given_1``.
+    """
+
+    prob_1_given_0: float
+    prob_0_given_1: float
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.prob_1_given_0, "readout P(1|0)")
+        _validate_probability(self.prob_0_given_1, "readout P(0|1)")
+
+    @staticmethod
+    def symmetric(error_rate: float) -> "ReadoutError":
+        """Readout error with equal flip probability in both directions."""
+        return ReadoutError(prob_1_given_0=error_rate, prob_0_given_1=error_rate)
+
+    def confusion_matrix(self) -> np.ndarray:
+        """2x2 matrix ``M[reported, true]``."""
+        return np.array(
+            [
+                [1.0 - self.prob_1_given_0, self.prob_0_given_1],
+                [self.prob_1_given_0, 1.0 - self.prob_0_given_1],
+            ],
+            dtype=float,
+        )

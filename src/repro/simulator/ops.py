@@ -1,0 +1,268 @@
+"""Low-level batched tensor operations shared by both simulators.
+
+State convention
+----------------
+Qubit 0 is the *most significant* bit of the computational-basis index
+(big-endian): for ``n`` qubits, basis state ``|q0 q1 ... q_{n-1}>`` has index
+``sum(bit_q << (n-1-q))``.
+
+Batching convention
+-------------------
+Statevectors are arrays of shape ``(batch, 2**n)``; density matrices are
+``(batch, 2**n, 2**n)``.  Gate matrices may be a single ``(d, d)`` array or a
+per-sample stack ``(batch, d, d)`` (used by data-encoding layers whose angles
+differ per sample).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+def _check_qubits(qubits: Sequence[int], num_qubits: int) -> tuple[int, ...]:
+    qubits = tuple(int(q) for q in qubits)
+    if len(set(qubits)) != len(qubits):
+        raise SimulationError(f"duplicate qubits {qubits}")
+    for q in qubits:
+        if not 0 <= q < num_qubits:
+            raise SimulationError(f"qubit {q} out of range for {num_qubits} qubits")
+    return qubits
+
+
+def apply_unitary_statevector(
+    states: np.ndarray,
+    unitary: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply ``unitary`` on ``qubits`` to a batch of statevectors.
+
+    ``unitary`` may be ``(2**k, 2**k)`` or a per-sample stack
+    ``(batch, 2**k, 2**k)`` where ``k = len(qubits)``.
+    """
+    qubits = _check_qubits(qubits, num_qubits)
+    k = len(qubits)
+    dim = 2**k
+    batch = states.shape[0]
+    if unitary.shape[-1] != dim:
+        raise SimulationError(
+            f"unitary of dimension {unitary.shape[-1]} does not match {k} qubits"
+        )
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    axes = [1 + q for q in qubits]
+    tensor = np.moveaxis(tensor, axes, range(1, 1 + k))
+    tensor = tensor.reshape(batch, dim, -1)
+    if unitary.ndim == 3:
+        tensor = np.einsum("bij,bjr->bir", unitary, tensor)
+    else:
+        tensor = np.einsum("ij,bjr->bir", unitary, tensor)
+    tensor = tensor.reshape((batch,) + (2,) * num_qubits)
+    tensor = np.moveaxis(tensor, range(1, 1 + k), axes)
+    return tensor.reshape(batch, 2**num_qubits)
+
+
+def _move_density_axes(
+    rho: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> tuple[np.ndarray, int]:
+    """Reshape a density batch so the target qubits' row/col axes lead.
+
+    Returns the reshaped tensor of shape ``(batch, d, d, rest)`` where
+    ``d = 2**len(qubits)`` and ``rest`` collects all remaining row and column
+    indices, plus the value of ``d``.  Used by the gate, Kraus, and
+    depolarizing appliers.
+    """
+    k = len(qubits)
+    d = 2**k
+    batch = rho.shape[0]
+    tensor = rho.reshape((batch,) + (2,) * (2 * num_qubits))
+    row_axes = [1 + q for q in qubits]
+    col_axes = [1 + num_qubits + q for q in qubits]
+    tensor = np.moveaxis(tensor, row_axes + col_axes, list(range(1, 1 + 2 * k)))
+    tensor = tensor.reshape(batch, d, d, -1)
+    return tensor, d
+
+
+def _restore_density_axes(
+    tensor: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Inverse of :func:`_move_density_axes`."""
+    k = len(qubits)
+    batch = tensor.shape[0]
+    tensor = tensor.reshape((batch,) + (2,) * (2 * num_qubits))
+    row_axes = [1 + q for q in qubits]
+    col_axes = [1 + num_qubits + q for q in qubits]
+    tensor = np.moveaxis(tensor, list(range(1, 1 + 2 * k)), row_axes + col_axes)
+    dim = 2**num_qubits
+    return tensor.reshape(batch, dim, dim)
+
+
+def apply_unitary_density(
+    rho: np.ndarray,
+    unitary: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply ``U rho U^dagger`` on ``qubits`` to a batch of density matrices."""
+    qubits = _check_qubits(qubits, num_qubits)
+    dim = 2 ** len(qubits)
+    if unitary.shape[-1] != dim:
+        raise SimulationError(
+            f"unitary of dimension {unitary.shape[-1]} does not match {len(qubits)} qubits"
+        )
+    tensor, _ = _move_density_axes(rho, qubits, num_qubits)
+    if unitary.ndim == 3:
+        tensor = np.einsum("bij,bjkr->bikr", unitary, tensor)
+        tensor = np.einsum("bikr,bjk->bijr", tensor, unitary.conj())
+    else:
+        tensor = np.einsum("ij,bjkr->bikr", unitary, tensor)
+        tensor = np.einsum("bikr,jk->bijr", tensor, unitary.conj())
+    return _restore_density_axes(tensor, qubits, num_qubits)
+
+
+def apply_kraus_density(
+    rho: np.ndarray,
+    kraus_operators: Sequence[np.ndarray],
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a Kraus channel ``sum_k K rho K^dagger`` on ``qubits``."""
+    qubits = _check_qubits(qubits, num_qubits)
+    tensor, _ = _move_density_axes(rho, qubits, num_qubits)
+    result = np.zeros_like(tensor)
+    for kraus in kraus_operators:
+        term = np.einsum("ij,bjkr->bikr", kraus, tensor)
+        term = np.einsum("bikr,jk->bijr", term, kraus.conj())
+        result += term
+    return _restore_density_axes(result, qubits, num_qubits)
+
+
+def apply_depolarizing_density(
+    rho: np.ndarray,
+    probability: float,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a depolarizing channel with "replace" probability ``probability``.
+
+    ``rho -> (1 - p) rho + p * (I/d)_Q (x) Tr_Q(rho)`` where ``Q`` is the set
+    of target qubits.  This closed form avoids enumerating Pauli Kraus
+    operators, which matters because the channel follows every noisy gate.
+    """
+    if probability < 0 or probability > 1:
+        raise SimulationError(f"depolarizing probability {probability} outside [0, 1]")
+    if probability == 0:
+        return rho
+    qubits = _check_qubits(qubits, num_qubits)
+    tensor, d = _move_density_axes(rho, qubits, num_qubits)
+    traced = np.einsum("biir->br", tensor)
+    mixed = np.zeros_like(tensor)
+    identity_indices = np.arange(d)
+    mixed[:, identity_indices, identity_indices, :] = traced[:, None, :] / d
+    blended = (1.0 - probability) * tensor + probability * mixed
+    return _restore_density_axes(blended, qubits, num_qubits)
+
+
+def partial_trace(
+    rho: np.ndarray, keep_qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Trace out every qubit not in ``keep_qubits``.
+
+    The kept qubits appear in the output in the order given.
+    """
+    keep = _check_qubits(keep_qubits, num_qubits)
+    remove = [q for q in range(num_qubits) if q not in keep]
+    if not remove:
+        return rho
+    tensor, _ = _move_density_axes(rho, remove, num_qubits)
+    traced = np.einsum("biir->br", tensor)
+    kept = len(keep)
+    batch = rho.shape[0]
+    # After tracing, the remaining axes are the kept row indices followed by
+    # the kept column indices, ordered by original qubit index.
+    remaining_order = sorted(keep)
+    traced = traced.reshape((batch,) + (2,) * (2 * kept))
+    # Reorder kept qubits to the requested order.
+    perm = [remaining_order.index(q) for q in keep]
+    row_src = [1 + remaining_order.index(q) for q in keep]
+    col_src = [1 + kept + remaining_order.index(q) for q in keep]
+    traced = np.moveaxis(traced, row_src + col_src, list(range(1, 1 + 2 * kept)))
+    dim = 2**kept
+    return traced.reshape(batch, dim, dim)
+
+
+def statevector_probabilities(states: np.ndarray) -> np.ndarray:
+    """Computational-basis probabilities of a batch of statevectors."""
+    return np.abs(states) ** 2
+
+
+def density_probabilities(rho: np.ndarray) -> np.ndarray:
+    """Computational-basis probabilities (diagonal) of density matrices."""
+    diag = np.einsum("bii->bi", rho).real
+    return np.clip(diag, 0.0, None)
+
+
+def apply_readout_confusion(
+    probabilities: np.ndarray,
+    confusion: dict[int, np.ndarray],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply per-qubit readout confusion matrices to basis probabilities.
+
+    ``confusion[q]`` is a 2x2 matrix ``M`` with ``M[reported, true]``; qubits
+    missing from the dict are read out perfectly.
+    """
+    batch = probabilities.shape[0]
+    tensor = probabilities.reshape((batch,) + (2,) * num_qubits)
+    for qubit, matrix in confusion.items():
+        if not 0 <= qubit < num_qubits:
+            raise SimulationError(f"readout qubit {qubit} out of range")
+        axis = 1 + qubit
+        tensor = np.moveaxis(tensor, axis, 1)
+        shape = tensor.shape
+        flat = tensor.reshape(batch, 2, -1)
+        flat = np.einsum("ij,bjr->bir", np.asarray(matrix, dtype=float), flat)
+        tensor = flat.reshape(shape)
+        tensor = np.moveaxis(tensor, 1, axis)
+    return tensor.reshape(batch, 2**num_qubits)
+
+
+def expectation_z(probabilities: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Expectation value of Pauli-Z on ``qubit`` from basis probabilities."""
+    indices = np.arange(probabilities.shape[-1])
+    bits = (indices >> (num_qubits - 1 - qubit)) & 1
+    signs = 1.0 - 2.0 * bits
+    return probabilities @ signs
+
+
+def marginal_probabilities(
+    probabilities: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Marginal distribution over ``qubits`` (in the given order)."""
+    qubits = _check_qubits(qubits, num_qubits)
+    batch = probabilities.shape[0]
+    tensor = probabilities.reshape((batch,) + (2,) * num_qubits)
+    axes = [1 + q for q in qubits]
+    tensor = np.moveaxis(tensor, axes, range(1, 1 + len(qubits)))
+    tensor = tensor.reshape(batch, 2 ** len(qubits), -1)
+    return tensor.sum(axis=-1)
+
+
+def sample_counts(
+    probabilities: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample measurement counts for each batch element.
+
+    Returns an integer array with the same shape as ``probabilities`` whose
+    rows sum to ``shots``.
+    """
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    normalized = probabilities / probabilities.sum(axis=-1, keepdims=True)
+    counts = np.empty_like(normalized, dtype=np.int64)
+    for index, row in enumerate(normalized):
+        counts[index] = rng.multinomial(shots, row)
+    return counts

@@ -1,0 +1,112 @@
+"""Batched noise-free statevector simulator.
+
+Used for training (fast adjoint gradients) and as the 'perfect environment'
+reference ``W_p(theta)`` in the paper's formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulator import ops
+
+
+@dataclass
+class StatevectorResult:
+    """Final states of a batched statevector simulation."""
+
+    states: np.ndarray
+    num_qubits: int
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis probabilities, shape ``(batch, 2**n)``."""
+        return ops.statevector_probabilities(self.states)
+
+    def expectation_z(self, qubits: Sequence[int]) -> np.ndarray:
+        """Pauli-Z expectations on ``qubits``, shape ``(batch, len(qubits))``."""
+        probs = self.probabilities()
+        columns = [ops.expectation_z(probs, q, self.num_qubits) for q in qubits]
+        return np.stack(columns, axis=1)
+
+
+class StatevectorSimulator:
+    """Apply a bound circuit to a batch of initial statevectors."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits <= 0:
+            raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.dim = 2**num_qubits
+
+    def zero_state(self, batch: int = 1) -> np.ndarray:
+        """The ``|0...0>`` state replicated ``batch`` times."""
+        states = np.zeros((batch, self.dim), dtype=complex)
+        states[:, 0] = 1.0
+        return states
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_states: Optional[np.ndarray] = None,
+        batch: int = 1,
+    ) -> StatevectorResult:
+        """Execute ``circuit`` and return the final states.
+
+        Parameters
+        ----------
+        circuit:
+            A fully bound circuit (no unbound ``param_ref``).
+        initial_states:
+            Optional ``(batch, 2**n)`` array of initial states; defaults to
+            ``|0...0>``.
+        batch:
+            Batch size when ``initial_states`` is omitted.
+        """
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, simulator expects "
+                f"{self.num_qubits}"
+            )
+        if initial_states is None:
+            states = self.zero_state(batch)
+        else:
+            states = np.array(initial_states, dtype=complex, copy=True)
+            if states.ndim == 1:
+                states = states[None, :]
+            if states.shape[-1] != self.dim:
+                raise SimulationError(
+                    f"initial states of dimension {states.shape[-1]} do not match "
+                    f"{self.num_qubits} qubits"
+                )
+        for gate in circuit.gates:
+            states = ops.apply_unitary_statevector(
+                states, gate.matrix(), gate.qubits, self.num_qubits
+            )
+        return StatevectorResult(states=states, num_qubits=self.num_qubits)
+
+    def apply_feature_rotations(
+        self,
+        states: np.ndarray,
+        gate_name: str,
+        qubit: int,
+        angles: np.ndarray,
+    ) -> np.ndarray:
+        """Apply one rotation gate with a *per-sample* angle.
+
+        Data-encoding layers rotate each sample by its own feature value, so
+        the unitary is a ``(batch, 2, 2)`` stack.
+        """
+        from repro.gates import GATE_REGISTRY
+
+        spec = GATE_REGISTRY[gate_name]
+        if spec.num_params != 1 or spec.num_qubits != 1:
+            raise SimulationError(
+                f"feature rotations require a single-qubit parametric gate, got {gate_name!r}"
+            )
+        matrices = np.stack([spec.matrix_fn(float(a)) for a in angles])
+        return ops.apply_unitary_statevector(states, matrices, [qubit], self.num_qubits)

@@ -1,0 +1,49 @@
+"""Logical-to-physical compilation: layout, routing, basis translation."""
+
+from repro.transpiler.basis import (
+    decompose_gate,
+    normalize_angle,
+    pulse_count_for_angle,
+    to_basis,
+)
+from repro.transpiler.coupling import (
+    CouplingMap,
+    belem_coupling,
+    fully_connected_coupling,
+    get_coupling,
+    jakarta_coupling,
+    linear_coupling,
+)
+from repro.transpiler.layout import Layout, noise_aware_layout, trivial_layout
+from repro.transpiler.metrics import (
+    CircuitMetrics,
+    compression_ratio,
+    expected_error_cost,
+    physical_metrics,
+)
+from repro.transpiler.passes import TranspiledCircuit, transpile
+from repro.transpiler.routing import RoutedCircuit, route_circuit
+
+__all__ = [
+    "CouplingMap",
+    "belem_coupling",
+    "jakarta_coupling",
+    "linear_coupling",
+    "fully_connected_coupling",
+    "get_coupling",
+    "Layout",
+    "trivial_layout",
+    "noise_aware_layout",
+    "RoutedCircuit",
+    "route_circuit",
+    "to_basis",
+    "decompose_gate",
+    "normalize_angle",
+    "pulse_count_for_angle",
+    "CircuitMetrics",
+    "physical_metrics",
+    "expected_error_cost",
+    "compression_ratio",
+    "TranspiledCircuit",
+    "transpile",
+]

@@ -1,0 +1,258 @@
+"""Translation to the native basis ``{rz, sx, x, cx}``.
+
+This pass reproduces the physical-circuit-length mechanism that motivates
+QuCAD: on IBM-style hardware ``rz`` is a virtual (noise-free, zero-duration)
+frame change, while ``sx``/``x`` are real pulses and ``cx`` is the expensive
+two-qubit interaction.  A rotation whose angle sits at a *compression level*
+(0, pi/2, pi, 3pi/2 modulo 2 pi) therefore needs fewer — or zero — pulses
+than a generic angle, and a controlled rotation at angle 0 vanishes
+altogether.  Compressing parameters onto those levels shortens the physical
+circuit, which is exactly why compression helps under noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.gates import Gate
+
+#: Angle comparisons use this tolerance: values this close to a special
+#: angle are treated as exactly that angle.
+ANGLE_ATOL = 1e-9
+
+TWO_PI = 2.0 * np.pi
+
+
+def normalize_angle(theta: float, period: float = TWO_PI) -> float:
+    """Reduce ``theta`` into ``[0, period)`` with tolerance snapping."""
+    reduced = float(theta) % period
+    if reduced > period - ANGLE_ATOL:
+        reduced = 0.0
+    return reduced
+
+
+def _is(theta: float, value: float) -> bool:
+    return abs(theta - value) < 1e-9
+
+
+def _rz(qubit: int, angle: float) -> list[Gate]:
+    angle = normalize_angle(angle)
+    if _is(angle, 0.0):
+        return []
+    return [Gate("rz", (qubit,), param=angle)]
+
+
+def decompose_rz(theta: float, qubit: int) -> list[Gate]:
+    """RZ is virtual: emit it directly (or nothing for angle 0)."""
+    return _rz(qubit, theta)
+
+
+def decompose_rx(theta: float, qubit: int) -> list[Gate]:
+    """RX in the native basis.
+
+    Pulse cost: 0 at angle 0, one pulse at pi/2, pi, 3pi/2, two pulses
+    otherwise (standard ``RZ-SX-RZ-SX-RZ`` Euler form).
+    """
+    angle = normalize_angle(theta)
+    if _is(angle, 0.0):
+        return []
+    if _is(angle, np.pi):
+        return [Gate("x", (qubit,))]
+    if _is(angle, np.pi / 2):
+        return [Gate("sx", (qubit,))]
+    if _is(angle, 3 * np.pi / 2):
+        return _rz(qubit, np.pi) + [Gate("sx", (qubit,))] + _rz(qubit, np.pi)
+    return (
+        _rz(qubit, np.pi / 2)
+        + [Gate("sx", (qubit,))]
+        + _rz(qubit, angle + np.pi)
+        + [Gate("sx", (qubit,))]
+        + _rz(qubit, np.pi / 2)
+    )
+
+
+def decompose_ry(theta: float, qubit: int) -> list[Gate]:
+    """RY in the native basis via ``RY = RZ(pi/2) RX RZ(-pi/2)`` (up to phase).
+
+    The circuit applies ``rz(-pi/2)`` first, so the operator product is
+    ``RZ(pi/2) · RX(theta) · RZ(-pi/2)``, which conjugates X into Y.
+    """
+    angle = normalize_angle(theta)
+    if _is(angle, 0.0):
+        return []
+    return _rz(qubit, -np.pi / 2) + decompose_rx(angle, qubit) + _rz(qubit, np.pi / 2)
+
+
+def decompose_h(qubit: int) -> list[Gate]:
+    """Hadamard: one SX pulse between virtual Z rotations."""
+    return _rz(qubit, np.pi / 2) + [Gate("sx", (qubit,))] + _rz(qubit, np.pi / 2)
+
+
+def decompose_swap(qubit_a: int, qubit_b: int) -> list[Gate]:
+    """SWAP as three CX gates."""
+    return [
+        Gate("cx", (qubit_a, qubit_b)),
+        Gate("cx", (qubit_b, qubit_a)),
+        Gate("cx", (qubit_a, qubit_b)),
+    ]
+
+
+def decompose_controlled_rotation(
+    name: str, theta: float, control: int, target: int
+) -> list[Gate]:
+    """Controlled rotations via the standard two-CX construction.
+
+    * angle ``0 (mod 4 pi)``: identity — nothing is emitted;
+    * angle ``2 pi (mod 4 pi)``: equals Z on the control — a free ``rz(pi)``;
+    * otherwise two CX gates plus single-qubit rotations on the target.
+    """
+    if name == "cp":
+        # The controlled phase has period 2 pi (unlike CRX/CRY/CRZ) and equals
+        # CRZ up to a virtual rotation on the control.
+        reduced = normalize_angle(theta)
+        if reduced < ANGLE_ATOL:
+            return []
+        return _rz(control, reduced / 2.0) + decompose_controlled_rotation(
+            "crz", reduced, control, target
+        )
+    angle = float(theta) % (2 * TWO_PI)
+    if angle < ANGLE_ATOL or angle > 2 * TWO_PI - ANGLE_ATOL:
+        return []
+    if abs(angle - TWO_PI) < ANGLE_ATOL:
+        return _rz(control, np.pi)
+    if abs(angle - np.pi) < ANGLE_ATOL or abs(angle - 3 * np.pi) < ANGLE_ATOL:
+        # A controlled rotation by pi equals a controlled Pauli up to a
+        # virtual phase on the control: CRX(pi) = Sdg_c . CX, CRY(pi) =
+        # Sdg_c . CY, CRZ(pi) = Sdg_c . CZ (and the 3*pi variants pick up S
+        # instead of Sdg).  These cost a single CX, which is why pi is a
+        # compression level for entangling gates as well.
+        control_phase = -np.pi / 2 if abs(angle - np.pi) < ANGLE_ATOL else np.pi / 2
+        phase_fix = _rz(control, control_phase)
+        if name == "crx":
+            return [Gate("cx", (control, target))] + phase_fix
+        if name == "cry":
+            return (
+                _rz(target, -np.pi / 2)
+                + [Gate("cx", (control, target))]
+                + _rz(target, np.pi / 2)
+                + phase_fix
+            )
+        if name == "crz":
+            return (
+                decompose_h(target)
+                + [Gate("cx", (control, target))]
+                + decompose_h(target)
+                + phase_fix
+            )
+    half = angle / 2.0
+    if name == "crz":
+        return (
+            _rz(target, half)
+            + [Gate("cx", (control, target))]
+            + _rz(target, -half)
+            + [Gate("cx", (control, target))]
+        )
+    if name == "cry":
+        return (
+            decompose_ry(half, target)
+            + [Gate("cx", (control, target))]
+            + decompose_ry(-half, target)
+            + [Gate("cx", (control, target))]
+        )
+    if name == "crx":
+        return (
+            decompose_h(target)
+            + decompose_controlled_rotation("crz", angle, control, target)
+            + decompose_h(target)
+        )
+    raise TranspilerError(f"unsupported controlled rotation {name!r}")
+
+
+def decompose_gate(gate: Gate) -> list[Gate]:
+    """Translate one gate into the native basis."""
+    name = gate.name
+    if name in {"rz", "p"}:
+        return decompose_rz(gate.param, gate.qubits[0]) if name == "rz" else _rz(
+            gate.qubits[0], gate.param
+        )
+    if name in {"x", "sx", "cx"}:
+        return [Gate(name, gate.qubits)]
+    if name == "id":
+        return []
+    if name == "z":
+        return _rz(gate.qubits[0], np.pi)
+    if name == "s":
+        return _rz(gate.qubits[0], np.pi / 2)
+    if name == "sdg":
+        return _rz(gate.qubits[0], -np.pi / 2)
+    if name == "t":
+        return _rz(gate.qubits[0], np.pi / 4)
+    if name == "tdg":
+        return _rz(gate.qubits[0], -np.pi / 4)
+    if name == "sxdg":
+        return _rz(gate.qubits[0], np.pi) + [Gate("sx", gate.qubits)] + _rz(
+            gate.qubits[0], np.pi
+        )
+    if name == "y":
+        return _rz(gate.qubits[0], np.pi) + [Gate("x", gate.qubits)]
+    if name == "h":
+        return decompose_h(gate.qubits[0])
+    if name == "rx":
+        return decompose_rx(gate.param, gate.qubits[0])
+    if name == "ry":
+        return decompose_ry(gate.param, gate.qubits[0])
+    if name == "swap":
+        return decompose_swap(*gate.qubits)
+    if name == "cz":
+        control, target = gate.qubits
+        return decompose_h(target) + [Gate("cx", (control, target))] + decompose_h(target)
+    if name == "cy":
+        control, target = gate.qubits
+        return (
+            _rz(target, -np.pi / 2)
+            + [Gate("cx", (control, target))]
+            + _rz(target, np.pi / 2)
+        )
+    if name in {"crx", "cry", "crz", "cp"}:
+        if gate.param is None:
+            raise TranspilerError(
+                f"gate {name!r} must be bound before basis translation"
+            )
+        return decompose_controlled_rotation(name, gate.param, *gate.qubits)
+    if name == "rzz":
+        control, target = gate.qubits
+        return (
+            [Gate("cx", (control, target))]
+            + _rz(target, gate.param)
+            + [Gate("cx", (control, target))]
+        )
+    raise TranspilerError(f"no basis decomposition registered for gate {name!r}")
+
+
+def to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Translate a fully bound circuit into the native basis.
+
+    Raises :class:`TranspilerError` if any parametric gate is unbound.
+    """
+    result = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}:basis")
+    for gate in circuit.gates:
+        if gate.is_parametric and gate.param is None:
+            raise TranspilerError(
+                f"gate {gate.name!r} (ref {gate.param_ref}) must be bound before "
+                "basis translation"
+            )
+        for native in decompose_gate(gate):
+            result.append(native)
+    return result
+
+
+def pulse_count_for_angle(theta: float) -> int:
+    """Number of physical pulses a single-qubit rotation at ``theta`` costs."""
+    angle = normalize_angle(theta)
+    if _is(angle, 0.0):
+        return 0
+    if _is(angle, np.pi) or _is(angle, np.pi / 2) or _is(angle, 3 * np.pi / 2):
+        return 1
+    return 2

@@ -1,0 +1,134 @@
+"""Device coupling maps and the backend topologies used in the paper.
+
+The paper evaluates on IBM *belem* (5 qubits, T-shaped coupling) and
+*ibm-jakarta* (7 qubits, H-shaped coupling).  A :class:`CouplingMap` wraps
+the undirected connectivity graph and precomputes all-pairs shortest paths
+for the SWAP router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import TranspilerError
+
+
+@dataclass
+class CouplingMap:
+    """Undirected qubit connectivity of a device."""
+
+    num_qubits: int
+    edges: tuple[tuple[int, int], ...]
+    name: str = "device"
+    _graph: nx.Graph = field(init=False, repr=False)
+    _paths: dict[int, dict[int, list[int]]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise TranspilerError(f"num_qubits must be positive, got {self.num_qubits}")
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        for a, b in self.edges:
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise TranspilerError(f"edge ({a}, {b}) references a missing qubit")
+            if a == b:
+                raise TranspilerError(f"self-loop edge ({a}, {b}) is not allowed")
+            graph.add_edge(a, b)
+        if self.num_qubits > 1 and not nx.is_connected(graph):
+            raise TranspilerError(f"coupling map {self.name!r} is not connected")
+        self._graph = graph
+        self._paths = dict(nx.all_pairs_shortest_path(graph))
+        self.edges = tuple(tuple(sorted(edge)) for edge in graph.edges())
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :mod:`networkx` graph."""
+        return self._graph
+
+    def is_adjacent(self, qubit_a: int, qubit_b: int) -> bool:
+        """Whether a two-qubit gate can run directly between the qubits."""
+        return self._graph.has_edge(qubit_a, qubit_b)
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        """Shortest-path distance (number of edges) between two qubits."""
+        return len(self._paths[qubit_a][qubit_b]) - 1
+
+    def shortest_path(self, qubit_a: int, qubit_b: int) -> list[int]:
+        """One shortest path between the qubits, inclusive of endpoints."""
+        return list(self._paths[qubit_a][qubit_b])
+
+    def neighbors(self, qubit: int) -> list[int]:
+        """Neighbours of ``qubit`` in the coupling graph."""
+        return sorted(self._graph.neighbors(qubit))
+
+    def connected_subsets(self, size: int) -> list[tuple[int, ...]]:
+        """All connected subsets of physical qubits with ``size`` elements.
+
+        Used by the noise-aware layout pass to enumerate candidate regions.
+        The devices of interest have at most 7 qubits, so brute-force
+        enumeration is fine.
+        """
+        if size <= 0 or size > self.num_qubits:
+            raise TranspilerError(
+                f"subset size {size} invalid for {self.num_qubits} qubits"
+            )
+        from itertools import combinations
+
+        subsets = []
+        for combo in combinations(range(self.num_qubits), size):
+            if nx.is_connected(self._graph.subgraph(combo)):
+                subsets.append(combo)
+        return subsets
+
+
+def belem_coupling() -> CouplingMap:
+    """IBM *belem*: 5 qubits in a T shape (0-1-2, 1-3, 3-4)."""
+    return CouplingMap(
+        num_qubits=5,
+        edges=((0, 1), (1, 2), (1, 3), (3, 4)),
+        name="ibmq_belem",
+    )
+
+
+def jakarta_coupling() -> CouplingMap:
+    """IBM *jakarta*: 7 qubits in an H shape (0-1-2, 1-3, 3-5, 4-5-6)."""
+    return CouplingMap(
+        num_qubits=7,
+        edges=((0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)),
+        name="ibm_jakarta",
+    )
+
+
+def linear_coupling(num_qubits: int, name: str = "linear") -> CouplingMap:
+    """A simple line topology, useful in tests."""
+    edges = tuple((i, i + 1) for i in range(num_qubits - 1))
+    return CouplingMap(num_qubits=num_qubits, edges=edges, name=name)
+
+
+def fully_connected_coupling(num_qubits: int, name: str = "full") -> CouplingMap:
+    """All-to-all connectivity (no routing needed), useful in tests."""
+    edges = tuple(
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    )
+    return CouplingMap(num_qubits=num_qubits, edges=edges, name=name)
+
+
+NAMED_COUPLINGS = {
+    "belem": belem_coupling,
+    "ibmq_belem": belem_coupling,
+    "jakarta": jakarta_coupling,
+    "ibm_jakarta": jakarta_coupling,
+}
+
+
+def get_coupling(name: str) -> CouplingMap:
+    """Look up a named device topology."""
+    key = name.lower()
+    if key not in NAMED_COUPLINGS:
+        raise TranspilerError(
+            f"unknown device {name!r}; known devices: {sorted(set(NAMED_COUPLINGS))}"
+        )
+    return NAMED_COUPLINGS[key]()

@@ -1,0 +1,151 @@
+"""Logical-to-physical qubit layout selection.
+
+Two strategies are provided:
+
+* :func:`trivial_layout` maps logical qubit ``i`` to physical qubit ``i``.
+* :func:`noise_aware_layout` enumerates connected physical subsets and
+  assignment permutations, scoring each candidate by the calibration error it
+  would accumulate for the circuit's interaction pattern (the standard
+  noise-aware mapping idea the paper cites as related work [11]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import TYPE_CHECKING, Optional
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration.snapshot import CalibrationSnapshot
+
+
+@dataclass(frozen=True)
+class Layout:
+    """An injective map from logical qubits to physical qubits."""
+
+    logical_to_physical: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        physical = self.logical_to_physical
+        if len(set(physical)) != len(physical):
+            raise TranspilerError(f"layout {physical} maps two logical qubits together")
+
+    @property
+    def num_logical(self) -> int:
+        return len(self.logical_to_physical)
+
+    def physical(self, logical: int) -> int:
+        """Physical qubit hosting ``logical``."""
+        return self.logical_to_physical[logical]
+
+    def as_dict(self) -> dict[int, int]:
+        """The layout as a ``{logical: physical}`` dict."""
+        return {i: p for i, p in enumerate(self.logical_to_physical)}
+
+    def inverse(self) -> dict[int, int]:
+        """The layout as a ``{physical: logical}`` dict."""
+        return {p: i for i, p in enumerate(self.logical_to_physical)}
+
+
+def interaction_counts(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    """Count two-qubit interactions per unordered logical pair."""
+    counts: dict[tuple[int, int], int] = {}
+    for gate in circuit.gates:
+        if gate.num_qubits == 2:
+            pair = tuple(sorted(gate.qubits))
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def single_qubit_gate_counts(circuit: QuantumCircuit) -> dict[int, int]:
+    """Count single-qubit gates per logical qubit."""
+    counts: dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.num_qubits == 1:
+            counts[gate.qubits[0]] = counts.get(gate.qubits[0], 0) + 1
+    return counts
+
+
+def trivial_layout(num_logical: int, coupling: CouplingMap) -> Layout:
+    """Map logical qubit ``i`` to physical qubit ``i``."""
+    if num_logical > coupling.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {num_logical} qubits but device has {coupling.num_qubits}"
+        )
+    return Layout(tuple(range(num_logical)))
+
+
+def _routed_layout_cost(
+    circuit: QuantumCircuit,
+    assignment: tuple[int, ...],
+    coupling: CouplingMap,
+    calibration: "CalibrationSnapshot",
+) -> float:
+    """Expected accumulated error after actually routing the candidate layout.
+
+    Every candidate assignment is routed with the same SWAP router that the
+    final transpilation will use, and the routed gates are charged their
+    calibration error (a SWAP is three CX, a controlled rotation two CX, a
+    generic single-qubit rotation two pulses).  This makes the layout both
+    noise-aware and routing-aware, mirroring noise-adaptive mapping [11].
+    """
+    from repro.transpiler.routing import route_circuit
+
+    routed = route_circuit(circuit, coupling, Layout(assignment))
+    cost = 0.0
+    for gate in routed.circuit.gates:
+        if gate.num_qubits == 2:
+            error = calibration.cx_error(*gate.qubits)
+            if gate.name == "swap":
+                cost += 3.0 * error
+            elif gate.name in {"cx", "cz", "cy"}:
+                cost += error
+            else:
+                cost += 2.0 * error
+        else:
+            multiplier = 2.0 if gate.is_parametric else 1.0
+            cost += multiplier * calibration.gate_error(gate.qubits[0])
+    for logical in range(circuit.num_qubits):
+        cost += calibration.readout(routed.final_mapping[logical])
+    return cost
+
+
+def noise_aware_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: "CalibrationSnapshot",
+    max_candidates: Optional[int] = None,
+) -> Layout:
+    """Pick the lowest-cost assignment of logical to physical qubits.
+
+    Enumerates connected physical subsets of the required size and all
+    permutations within each subset, routing each candidate to score it; the
+    devices used in the paper have at most 7 qubits so the search space stays
+    tiny.
+    """
+    num_logical = circuit.num_qubits
+    if num_logical > coupling.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {num_logical} qubits but device has {coupling.num_qubits}"
+        )
+    best_assignment: Optional[tuple[int, ...]] = None
+    best_cost = float("inf")
+    candidates = 0
+    for subset in coupling.connected_subsets(num_logical):
+        for assignment in permutations(subset):
+            cost = _routed_layout_cost(circuit, assignment, coupling, calibration)
+            candidates += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+            if max_candidates is not None and candidates >= max_candidates:
+                break
+        if max_candidates is not None and candidates >= max_candidates:
+            break
+    if best_assignment is None:
+        raise TranspilerError("no valid layout found")
+    return Layout(best_assignment)

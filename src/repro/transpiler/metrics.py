@@ -1,0 +1,91 @@
+"""Physical-circuit metrics: length, pulse counts, expected noise cost.
+
+"Circuit length" in the paper means the number of real (noisy) physical
+operations after transpilation — virtual ``rz`` gates are free.  These
+metrics quantify how much a compressed model actually shortens the executed
+circuit and how much error it is expected to accumulate under a given
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.circuits import QuantumCircuit
+from repro.simulator.noise_model import VIRTUAL_GATES, NoiseModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration.snapshot import CalibrationSnapshot
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Summary of the physical cost of a basis-translated circuit."""
+
+    total_gates: int
+    virtual_gates: int
+    single_qubit_pulses: int
+    two_qubit_gates: int
+    depth: int
+
+    @property
+    def noisy_operations(self) -> int:
+        """Physical operations that accumulate error (pulses + CX)."""
+        return self.single_qubit_pulses + self.two_qubit_gates
+
+    @property
+    def physical_length(self) -> int:
+        """Alias used in reports: the paper's notion of circuit length."""
+        return self.noisy_operations
+
+
+def physical_metrics(circuit: QuantumCircuit) -> CircuitMetrics:
+    """Compute :class:`CircuitMetrics` for a circuit in the native basis."""
+    virtual = 0
+    pulses = 0
+    two_qubit = 0
+    for gate in circuit.gates:
+        if gate.name in VIRTUAL_GATES:
+            virtual += 1
+        elif gate.num_qubits == 1:
+            pulses += 1
+        else:
+            two_qubit += 1
+    return CircuitMetrics(
+        total_gates=len(circuit.gates),
+        virtual_gates=virtual,
+        single_qubit_pulses=pulses,
+        two_qubit_gates=two_qubit,
+        depth=circuit.depth(),
+    )
+
+
+def expected_error_cost(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    measured_qubits: Optional[list[int]] = None,
+) -> float:
+    """Sum of per-gate error rates plus readout error of measured qubits.
+
+    This first-order proxy (errors add, no cancellation) is what noise-aware
+    layout and the repository manager use to compare circuits cheaply without
+    a full density-matrix simulation.
+    """
+    cost = 0.0
+    for gate in circuit.gates:
+        cost += noise_model.gate_error_rate(gate)
+    if measured_qubits:
+        for qubit in measured_qubits:
+            error = noise_model.readout_error.get(qubit)
+            if error is not None:
+                cost += 0.5 * (error.prob_1_given_0 + error.prob_0_given_1)
+    return float(cost)
+
+
+def compression_ratio(original: CircuitMetrics, compressed: CircuitMetrics) -> float:
+    """Relative reduction in noisy operations achieved by compression."""
+    if original.noisy_operations == 0:
+        return 0.0
+    saved = original.noisy_operations - compressed.noisy_operations
+    return saved / original.noisy_operations

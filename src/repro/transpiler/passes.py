@@ -1,0 +1,97 @@
+"""Top-level transpilation entry point.
+
+:func:`transpile` chains layout, routing, and (on demand) basis translation,
+and keeps the bookkeeping the rest of the framework needs:
+
+* the routed circuit still referencing trainable parameters,
+* the physical qubits associated with every trainable parameter
+  (``A(g_i)`` in the paper's notation),
+* the measurement mapping after routing SWAPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler.basis import to_basis
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.layout import Layout, noise_aware_layout, trivial_layout
+from repro.transpiler.metrics import CircuitMetrics, physical_metrics
+from repro.transpiler.routing import RoutedCircuit, route_circuit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration.snapshot import CalibrationSnapshot
+
+
+@dataclass
+class TranspiledCircuit:
+    """Result of mapping a logical circuit onto a physical device."""
+
+    logical: QuantumCircuit
+    routed: RoutedCircuit
+    coupling: CouplingMap
+
+    @property
+    def initial_layout(self) -> Layout:
+        return self.routed.initial_layout
+
+    @property
+    def final_mapping(self) -> dict[int, int]:
+        return self.routed.final_mapping
+
+    @property
+    def ref_physical_qubits(self) -> dict[int, tuple[int, ...]]:
+        """Physical qubits touched by each trainable parameter."""
+        return self.routed.ref_physical_qubits
+
+    def bind(self, parameters: Sequence[float] | np.ndarray) -> QuantumCircuit:
+        """Bind a trainable-parameter vector into the routed circuit."""
+        return self.routed.circuit.bind_parameters(parameters)
+
+    def to_physical(self, parameters: Sequence[float] | np.ndarray) -> QuantumCircuit:
+        """Bind parameters and translate to the native basis."""
+        return to_basis(self.bind(parameters))
+
+    def physical_metrics(self, parameters: Sequence[float] | np.ndarray) -> CircuitMetrics:
+        """Metrics of the basis-translated circuit for the given parameters."""
+        return physical_metrics(self.to_physical(parameters))
+
+    def measured_physical_qubits(self, logical_qubits: Sequence[int]) -> list[int]:
+        """Physical qubits to read out for the given logical qubits."""
+        return [self.final_mapping[q] for q in logical_qubits]
+
+    def encoding_physical_qubit(self, logical_qubit: int) -> int:
+        """Physical qubit that hosts ``logical_qubit`` before the ansatz runs."""
+        return self.initial_layout.physical(logical_qubit)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: Optional["CalibrationSnapshot"] = None,
+    initial_layout: Optional[Layout] = None,
+) -> TranspiledCircuit:
+    """Map ``circuit`` onto ``coupling``.
+
+    If ``calibration`` is provided the layout pass is noise-aware (it avoids
+    the noisiest qubits and couplers of that snapshot); otherwise the trivial
+    layout is used.  An explicit ``initial_layout`` overrides both.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits but device "
+            f"{coupling.name!r} has {coupling.num_qubits}"
+        )
+    if initial_layout is not None:
+        layout = initial_layout
+    elif calibration is not None:
+        layout = noise_aware_layout(circuit, coupling, calibration)
+    else:
+        layout = trivial_layout(circuit.num_qubits, coupling)
+    routed = route_circuit(circuit, coupling, layout)
+    return TranspiledCircuit(logical=circuit, routed=routed, coupling=coupling)

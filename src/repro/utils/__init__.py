@@ -1,0 +1,24 @@
+"""Shared numerical and bookkeeping utilities."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.linalg import (
+    is_unitary,
+    is_hermitian,
+    is_density_matrix,
+    kron_all,
+    fidelity,
+    trace_distance,
+    project_to_density_matrix,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "is_unitary",
+    "is_hermitian",
+    "is_density_matrix",
+    "kron_all",
+    "fidelity",
+    "trace_distance",
+    "project_to_density_matrix",
+]

@@ -1,0 +1,91 @@
+"""Linear-algebra helpers used across simulators and tests."""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_ATOL = 1e-9
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return ``True`` if ``matrix`` is unitary within tolerance ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return ``True`` if ``matrix`` equals its conjugate transpose."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def is_density_matrix(matrix: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return ``True`` if ``matrix`` is a valid density matrix.
+
+    A density matrix must be Hermitian, positive semidefinite, and have
+    unit trace.
+    """
+    matrix = np.asarray(matrix)
+    if not is_hermitian(matrix, atol=atol):
+        return False
+    if not np.isclose(np.trace(matrix).real, 1.0, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    return bool(np.all(eigenvalues > -atol))
+
+
+def kron_all(matrices: Sequence[np.ndarray] | Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of all matrices in order (left factor first)."""
+    matrices = list(matrices)
+    if not matrices:
+        raise ValueError("kron_all requires at least one matrix")
+    return reduce(np.kron, matrices)
+
+
+def fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Uhlmann fidelity between two density matrices.
+
+    Uses the eigen-decomposition of ``rho`` to form its square root; both
+    inputs must be valid density matrices of the same dimension.
+    """
+    rho = np.asarray(rho, dtype=complex)
+    sigma = np.asarray(sigma, dtype=complex)
+    values, vectors = np.linalg.eigh(rho)
+    values = np.clip(values, 0.0, None)
+    sqrt_rho = (vectors * np.sqrt(values)) @ vectors.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    inner_values = np.linalg.eigvalsh(inner)
+    inner_values = np.clip(inner_values, 0.0, None)
+    return float(np.sum(np.sqrt(inner_values)) ** 2)
+
+
+def trace_distance(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Trace distance ``0.5 * ||rho - sigma||_1`` between density matrices."""
+    delta = np.asarray(rho, dtype=complex) - np.asarray(sigma, dtype=complex)
+    singular_values = np.linalg.svd(delta, compute_uv=False)
+    return float(0.5 * np.sum(singular_values))
+
+
+def project_to_density_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Project a nearly valid density matrix back onto the physical set.
+
+    Numerical noise from long Kraus-channel chains can push eigenvalues
+    slightly negative; this clips them and renormalizes the trace.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    hermitian = 0.5 * (matrix + matrix.conj().T)
+    values, vectors = np.linalg.eigh(hermitian)
+    values = np.clip(values, 0.0, None)
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("matrix has no positive spectral weight")
+    values = values / total
+    return (vectors * values) @ vectors.conj().T

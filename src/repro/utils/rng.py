@@ -1,0 +1,43 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng` normalizes
+all three into a ``Generator`` so downstream code never touches global
+NumPy random state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    The derived streams are statistically independent, so parallel or
+    per-component randomness stays reproducible regardless of call order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)] \
+        if hasattr(root.bit_generator, "seed_seq") and root.bit_generator.seed_seq is not None \
+        else [np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(count)]

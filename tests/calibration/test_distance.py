@@ -1,0 +1,85 @@
+"""Tests for calibration distances and performance-aware weights."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    l2_distance,
+    pairwise_weighted_l1,
+    performance_weights,
+    weighted_l1_distance,
+)
+from repro.exceptions import CalibrationError
+
+
+def test_performance_weights_highlight_correlated_feature():
+    rng = np.random.default_rng(0)
+    days = 60
+    correlated = rng.uniform(0.01, 0.05, days)
+    irrelevant = rng.uniform(0.01, 0.05, days)
+    calibrations = np.stack([correlated, irrelevant], axis=1)
+    accuracies = 0.9 - 5.0 * correlated + rng.normal(0, 0.01, days)
+    weights = performance_weights(calibrations, accuracies)
+    assert weights[0] > weights[1]
+    assert 0 <= weights[1] <= 1
+
+
+def test_performance_weights_zero_for_constant_columns():
+    calibrations = np.column_stack([np.full(10, 0.02), np.linspace(0.01, 0.05, 10)])
+    accuracies = np.linspace(0.9, 0.5, 10)
+    weights = performance_weights(calibrations, accuracies)
+    assert weights[0] == pytest.approx(0.0, abs=1e-9)
+    assert weights[1] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_performance_weights_zero_when_accuracy_constant():
+    calibrations = np.random.default_rng(0).uniform(size=(10, 3))
+    weights = performance_weights(calibrations, np.full(10, 0.7))
+    assert np.all(weights == 0)
+
+
+def test_performance_weights_shape_validation():
+    with pytest.raises(CalibrationError):
+        performance_weights(np.ones((5, 2)), np.ones(4))
+    with pytest.raises(CalibrationError):
+        performance_weights(np.ones(5), np.ones(5))
+
+
+def test_weighted_l1_distance_basic():
+    x = np.array([1.0, 2.0])
+    y = np.array([2.0, 0.0])
+    weights = np.array([1.0, 0.5])
+    assert weighted_l1_distance(x, y, weights) == pytest.approx(1.0 + 1.0)
+
+
+def test_weighted_l1_distance_is_symmetric_and_zero_on_identity():
+    x = np.array([0.1, 0.2, 0.3])
+    y = np.array([0.3, 0.1, 0.0])
+    w = np.array([1.0, 2.0, 3.0])
+    assert weighted_l1_distance(x, x, w) == 0.0
+    assert weighted_l1_distance(x, y, w) == pytest.approx(weighted_l1_distance(y, x, w))
+
+
+def test_weighted_l1_shape_validation():
+    with pytest.raises(CalibrationError):
+        weighted_l1_distance(np.ones(2), np.ones(3), np.ones(2))
+
+
+def test_l2_distance():
+    assert l2_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+    with pytest.raises(CalibrationError):
+        l2_distance(np.ones(2), np.ones(3))
+
+
+def test_pairwise_weighted_l1_matches_scalar_function():
+    rng = np.random.default_rng(1)
+    points = rng.uniform(size=(4, 3))
+    centers = rng.uniform(size=(2, 3))
+    weights = rng.uniform(size=3)
+    matrix = pairwise_weighted_l1(points, centers, weights)
+    assert matrix.shape == (4, 2)
+    for i in range(4):
+        for j in range(2):
+            assert matrix[i, j] == pytest.approx(
+                weighted_l1_distance(points[i], centers[j], weights)
+            )

@@ -1,0 +1,117 @@
+"""Tests for calibration histories and the synthetic fluctuating-noise generator."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    CalibrationHistory,
+    CalibrationSnapshot,
+    FluctuatingNoiseGenerator,
+    FluctuationConfig,
+    belem_backend,
+    generate_belem_history,
+    generate_jakarta_history,
+)
+from repro.exceptions import CalibrationError
+
+
+def test_history_split_matches_paper_layout():
+    history = generate_belem_history(20, seed=0)
+    offline, online = history.split(12)
+    assert len(offline) == 12
+    assert len(online) == 8
+    with pytest.raises(CalibrationError):
+        history.split(50)
+
+
+def test_history_matrix_shape():
+    history = generate_belem_history(10, seed=0)
+    matrix = history.to_matrix()
+    assert matrix.shape == (10, len(history.feature_names()))
+    assert np.all(matrix > 0)
+
+
+def test_history_feature_series_lookup():
+    history = generate_belem_history(10, seed=0)
+    name = history.feature_names()[0]
+    series = history.feature_series(name)
+    assert series.shape == (10,)
+    with pytest.raises(CalibrationError):
+        history.feature_series("nonexistent")
+
+
+def test_history_rejects_mixed_layouts():
+    belem = generate_belem_history(2, seed=0)
+    jakarta_snapshot = generate_jakarta_history(1, seed=0)[0]
+    with pytest.raises(CalibrationError):
+        belem.append(jakarta_snapshot)
+
+
+def test_history_json_round_trip(tmp_path):
+    history = generate_belem_history(5, seed=3)
+    path = tmp_path / "history.json"
+    history.to_json(path)
+    loaded = CalibrationHistory.from_json(path)
+    assert len(loaded) == 5
+    assert np.allclose(loaded.to_matrix(), history.to_matrix())
+    assert loaded.dates == history.dates
+
+
+def test_generator_is_deterministic_per_seed():
+    first = generate_belem_history(15, seed=42)
+    second = generate_belem_history(15, seed=42)
+    different = generate_belem_history(15, seed=43)
+    assert np.allclose(first.to_matrix(), second.to_matrix())
+    assert not np.allclose(first.to_matrix(), different.to_matrix())
+
+
+def test_generated_rates_respect_caps():
+    config = FluctuationConfig()
+    history = generate_belem_history(120, seed=1, config=config)
+    matrix = history.to_matrix()
+    names = history.feature_names()
+    for index, name in enumerate(names):
+        column = matrix[:, index]
+        if name.startswith("sq_"):
+            assert np.all(column <= config.single_qubit_cap + 1e-12)
+        elif name.startswith("cx_"):
+            assert np.all(column <= config.two_qubit_cap + 1e-12)
+        else:
+            assert np.all(column <= config.readout_cap + 1e-12)
+        assert np.all(column > 0)
+
+
+def test_generated_noise_fluctuates_widely():
+    history = generate_belem_history(250, seed=2021)
+    cx_columns = [n for n in history.feature_names() if n.startswith("cx_")]
+    ratios = [
+        history.feature_series(name).max() / history.feature_series(name).min()
+        for name in cx_columns
+    ]
+    assert max(ratios) > 3.0
+
+
+def test_heterogeneity_worst_coupler_changes_over_time():
+    history = generate_belem_history(250, seed=2021)
+    matrix = history.to_matrix()
+    names = history.feature_names()
+    cx_indices = [i for i, n in enumerate(names) if n.startswith("cx_")]
+    worst = matrix[:, cx_indices].argmax(axis=1)
+    assert len(set(worst.tolist())) > 1
+
+
+def test_dates_are_consecutive_iso_strings():
+    history = generate_belem_history(3, seed=0, start_date="2021-08-10")
+    assert history.dates == ["2021-08-10", "2021-08-11", "2021-08-12"]
+
+
+def test_generator_rejects_bad_inputs():
+    generator = FluctuatingNoiseGenerator(belem_backend(), seed=0)
+    with pytest.raises(CalibrationError):
+        generator.generate(0)
+
+
+def test_jakarta_history_has_seven_qubit_layout():
+    history = generate_jakarta_history(3, seed=0)
+    assert history[0].num_qubits == 7
+    assert len([n for n in history.feature_names() if n.startswith("cx_")]) == 6

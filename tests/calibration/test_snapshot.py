@@ -1,0 +1,83 @@
+"""Tests for calibration snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import CalibrationSnapshot
+from repro.exceptions import CalibrationError
+
+
+@pytest.fixture()
+def snapshot():
+    return CalibrationSnapshot(
+        num_qubits=3,
+        single_qubit_error={0: 1e-4, 1: 2e-4, 2: 3e-4},
+        two_qubit_error={(0, 1): 0.01, (2, 1): 0.02},
+        readout_error={0: 0.02, 1: 0.03, 2: 0.04},
+        date="2022-01-01",
+    )
+
+
+def test_pairs_are_normalized(snapshot):
+    assert (1, 2) in snapshot.two_qubit_error
+    assert snapshot.cx_error(2, 1) == pytest.approx(0.02)
+    assert snapshot.cx_error(1, 2) == pytest.approx(0.02)
+
+
+def test_lookups_default_to_zero(snapshot):
+    assert snapshot.gate_error(2) == pytest.approx(3e-4)
+    assert snapshot.cx_error(0, 2) == 0.0
+    assert snapshot.readout(5) == 0.0
+
+
+def test_noise_on_dispatches_by_arity(snapshot):
+    assert snapshot.noise_on((1,)) == pytest.approx(2e-4)
+    assert snapshot.noise_on((0, 1)) == pytest.approx(0.01)
+    with pytest.raises(CalibrationError):
+        snapshot.noise_on((0, 1, 2))
+
+
+def test_vector_round_trip(snapshot):
+    vector = snapshot.to_vector()
+    assert vector.shape == (len(snapshot.feature_names()),)
+    rebuilt = CalibrationSnapshot.from_vector(vector, snapshot, date="rebuilt")
+    assert np.allclose(rebuilt.to_vector(), vector)
+    assert rebuilt.date == "rebuilt"
+    assert rebuilt.two_qubit_error == snapshot.two_qubit_error
+
+
+def test_from_vector_rejects_wrong_length(snapshot):
+    with pytest.raises(CalibrationError):
+        CalibrationSnapshot.from_vector(np.zeros(3), snapshot)
+
+
+def test_feature_names_are_sorted_and_stable(snapshot):
+    names = snapshot.feature_names()
+    assert names[0].startswith("sq_")
+    assert any(name.startswith("cx_") for name in names)
+    assert names == snapshot.feature_names()
+
+
+def test_dict_round_trip(snapshot):
+    rebuilt = CalibrationSnapshot.from_dict(snapshot.to_dict())
+    assert rebuilt.num_qubits == snapshot.num_qubits
+    assert rebuilt.two_qubit_error == snapshot.two_qubit_error
+    assert rebuilt.date == snapshot.date
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(CalibrationError):
+        CalibrationSnapshot(num_qubits=0)
+    with pytest.raises(CalibrationError):
+        CalibrationSnapshot(num_qubits=2, single_qubit_error={5: 0.1})
+    with pytest.raises(CalibrationError):
+        CalibrationSnapshot(num_qubits=2, readout_error={0: 1.5})
+    with pytest.raises(CalibrationError):
+        CalibrationSnapshot(num_qubits=2, two_qubit_error={(0, 0): 0.1})
+
+
+def test_summary_reports_means(snapshot):
+    summary = snapshot.summary()
+    assert summary["mean_single_qubit_error"] == pytest.approx(2e-4)
+    assert summary["mean_two_qubit_error"] == pytest.approx(0.015)
+    assert summary["mean_readout_error"] == pytest.approx(0.03)

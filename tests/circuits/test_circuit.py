@@ -1,0 +1,131 @@
+"""Tests for the QuantumCircuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.gates import Gate
+
+
+def test_requires_positive_qubit_count():
+    with pytest.raises(CircuitError):
+        QuantumCircuit(0)
+
+
+def test_append_validates_qubit_range():
+    circuit = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        circuit.add("x", [2])
+
+
+def test_convenience_builders_append_gates():
+    circuit = QuantumCircuit(3)
+    circuit.h(0).cx(0, 1).ry(0.5, 2).crz(0.3, 1, 2)
+    assert [g.name for g in circuit] == ["h", "cx", "ry", "crz"]
+    assert len(circuit) == 4
+
+
+def test_num_parameters_counts_highest_ref():
+    circuit = QuantumCircuit(2)
+    circuit.add("ry", [0], param_ref=0, trainable=True)
+    circuit.add("ry", [1], param_ref=3, trainable=True)
+    assert circuit.num_parameters == 4
+
+
+def test_bind_parameters_replaces_refs():
+    circuit = QuantumCircuit(2)
+    circuit.add("ry", [0], param_ref=0, trainable=True)
+    circuit.add("crx", [0, 1], param_ref=1, trainable=True)
+    bound = circuit.bind_parameters([0.1, 0.2])
+    assert bound.gates[0].param == pytest.approx(0.1)
+    assert bound.gates[1].param == pytest.approx(0.2)
+    # The original circuit remains unbound.
+    assert circuit.gates[0].param is None
+
+
+def test_bind_parameters_rejects_short_vector():
+    circuit = QuantumCircuit(1)
+    circuit.add("ry", [0], param_ref=2, trainable=True)
+    with pytest.raises(CircuitError):
+        circuit.bind_parameters([0.1, 0.2])
+
+
+def test_parameter_values_round_trip():
+    circuit = QuantumCircuit(2)
+    circuit.add("ry", [0], param_ref=0, trainable=True)
+    circuit.add("rz", [1], param_ref=1, trainable=True)
+    values = np.array([0.4, -1.2])
+    bound = circuit.bind_parameters(values)
+    assert np.allclose(bound.parameter_values(), values)
+
+
+def test_parameter_values_reports_missing_refs():
+    circuit = QuantumCircuit(1)
+    circuit.add("ry", [0], param_ref=1, param=0.5, trainable=True)
+    with pytest.raises(CircuitError):
+        circuit.parameter_values()
+
+
+def test_depth_accounts_for_parallel_gates():
+    circuit = QuantumCircuit(3)
+    circuit.h(0).h(1).h(2)      # depth 1: all parallel
+    circuit.cx(0, 1)            # depth 2
+    circuit.cx(1, 2)            # depth 3
+    assert circuit.depth() == 3
+
+
+def test_gate_counts_histogram():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).h(1).cx(0, 1)
+    assert circuit.gate_counts() == {"h": 2, "cx": 1}
+    assert circuit.count_two_qubit_gates() == 1
+
+
+def test_compose_concatenates_gates():
+    first = QuantumCircuit(2)
+    first.h(0)
+    second = QuantumCircuit(2)
+    second.cx(0, 1)
+    combined = first.compose(second)
+    assert [g.name for g in combined] == ["h", "cx"]
+    assert len(first) == 1
+
+
+def test_compose_rejects_larger_circuit():
+    small = QuantumCircuit(1)
+    big = QuantumCircuit(3)
+    with pytest.raises(CircuitError):
+        small.compose(big)
+
+
+def test_remap_qubits_relabels():
+    circuit = QuantumCircuit(2)
+    circuit.cx(0, 1)
+    remapped = circuit.remap_qubits({0: 4, 1: 2}, num_qubits=5)
+    assert remapped.gates[0].qubits == (4, 2)
+    assert remapped.num_qubits == 5
+
+
+def test_copy_is_independent():
+    circuit = QuantumCircuit(1)
+    circuit.h(0)
+    duplicate = circuit.copy()
+    duplicate.x(0)
+    assert len(circuit) == 1
+    assert len(duplicate) == 2
+
+
+def test_trainable_and_parametric_gate_views():
+    circuit = QuantumCircuit(2)
+    circuit.add("ry", [0], param_ref=0, trainable=True)
+    circuit.add("rz", [1], param=0.3)
+    circuit.cx(0, 1)
+    assert len(circuit.parametric_gates) == 2
+    assert len(circuit.trainable_gates) == 1
+
+
+def test_qubit_association_matches_gate_order():
+    circuit = QuantumCircuit(3)
+    circuit.h(1).cx(0, 2)
+    assert circuit.qubit_association() == [(1,), (0, 2)]

@@ -1,0 +1,59 @@
+"""Tests for the circuit dependency DAG utilities."""
+
+from repro.circuits import (
+    QuantumCircuit,
+    asap_layers,
+    build_dependency_dag,
+    build_qucad_ansatz,
+    critical_path_length,
+)
+
+
+def _sample_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3)
+    circuit.h(0).h(1).cx(0, 1).cx(1, 2).x(0)
+    return circuit
+
+
+def test_dag_has_one_node_per_gate():
+    circuit = _sample_circuit()
+    dag = build_dependency_dag(circuit)
+    assert dag.number_of_nodes() == len(circuit)
+
+
+def test_dag_edges_follow_shared_qubits():
+    circuit = _sample_circuit()
+    dag = build_dependency_dag(circuit)
+    # Gate 2 (cx 0,1) depends on both Hadamards.
+    assert dag.has_edge(0, 2)
+    assert dag.has_edge(1, 2)
+    # Gate 4 (x on qubit 0) depends on gate 2, not on gate 3.
+    assert dag.has_edge(2, 4)
+    assert not dag.has_edge(3, 4)
+
+
+def test_asap_layers_match_depth():
+    circuit = _sample_circuit()
+    layers = asap_layers(circuit)
+    assert len(layers) == circuit.depth()
+    assert sorted(sum(layers, [])) == list(range(len(circuit)))
+
+
+def test_layers_have_disjoint_qubits():
+    circuit = build_qucad_ansatz(4, repeats=1)
+    for layer in asap_layers(circuit):
+        used = []
+        for index in layer:
+            used.extend(circuit.gates[index].qubits)
+        assert len(used) == len(set(used))
+
+
+def test_critical_path_equals_depth():
+    circuit = _sample_circuit()
+    assert critical_path_length(circuit) == circuit.depth()
+
+
+def test_empty_circuit_has_zero_depth():
+    circuit = QuantumCircuit(2)
+    assert critical_path_length(circuit) == 0
+    assert asap_layers(circuit) == []

@@ -1,0 +1,83 @@
+"""Tests for the circuit templates (the paper's VQC block)."""
+
+import pytest
+
+from repro.circuits import (
+    QUCAD_BLOCK_LAYERS,
+    build_hardware_efficient_ansatz,
+    build_qucad_ansatz,
+    build_two_parameter_vqc,
+    parameters_per_block,
+    ring_pairs,
+)
+from repro.exceptions import CircuitError
+
+
+def test_ring_pairs_wrap_around():
+    assert ring_pairs(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+
+def test_ring_pairs_two_qubits_degenerates():
+    assert ring_pairs(2) == [(0, 1)]
+
+
+def test_ring_pairs_requires_two_qubits():
+    with pytest.raises(CircuitError):
+        ring_pairs(1)
+
+
+def test_parameters_per_block_matches_paper():
+    # 6 rotation layers x 4 qubits + 4 entangling layers x 4 pairs = 40.
+    assert parameters_per_block(4) == 40
+
+
+def test_block_layer_structure_matches_paper():
+    names = [name for _, name in QUCAD_BLOCK_LAYERS]
+    assert names == ["ry", "cry", "ry", "rx", "crx", "rx", "rz", "crz", "rz", "crz"]
+
+
+def test_qucad_ansatz_two_repeats_has_80_parameters():
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    assert ansatz.num_parameters == 80
+    assert len(ansatz) == 80
+    assert all(gate.trainable for gate in ansatz)
+
+
+def test_qucad_ansatz_iris_configuration():
+    ansatz = build_qucad_ansatz(4, repeats=3)
+    assert ansatz.num_parameters == 120
+
+
+def test_qucad_ansatz_unique_param_refs():
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    refs = [gate.param_ref for gate in ansatz]
+    assert len(set(refs)) == len(refs)
+
+
+def test_qucad_ansatz_rejects_zero_repeats():
+    with pytest.raises(CircuitError):
+        build_qucad_ansatz(4, repeats=0)
+
+
+def test_two_parameter_vqc_structure():
+    circuit = build_two_parameter_vqc()
+    assert circuit.num_parameters == 2
+    assert [gate.name for gate in circuit] == ["ry", "ry", "cx"]
+
+
+def test_two_parameter_vqc_requires_two_qubits():
+    with pytest.raises(CircuitError):
+        build_two_parameter_vqc(3)
+
+
+def test_hardware_efficient_ansatz_shape():
+    circuit = build_hardware_efficient_ansatz(3, depth=2, rotation="ry")
+    assert circuit.num_parameters == 6
+    assert circuit.gate_counts()["cx"] == 4
+
+
+def test_hardware_efficient_ansatz_validation():
+    with pytest.raises(CircuitError):
+        build_hardware_efficient_ansatz(3, depth=0)
+    with pytest.raises(CircuitError):
+        build_hardware_efficient_ansatz(3, depth=1, rotation="h")

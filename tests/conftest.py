@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately tiny (few qubits, few samples, few days) so the
+whole suite stays fast while still exercising the real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    CalibrationSnapshot,
+    belem_backend,
+    generate_belem_history,
+)
+from repro.circuits import build_qucad_ansatz
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel
+from repro.transpiler import belem_coupling
+
+
+@pytest.fixture(scope="session")
+def coupling():
+    """The belem coupling map used by most transpiler tests."""
+    return belem_coupling()
+
+
+@pytest.fixture(scope="session")
+def backend():
+    return belem_backend()
+
+
+@pytest.fixture(scope="session")
+def history():
+    """A short deterministic calibration history."""
+    return generate_belem_history(12, seed=123)
+
+
+@pytest.fixture(scope="session")
+def calibration(history) -> CalibrationSnapshot:
+    """One calibration snapshot."""
+    return history[0]
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small MNIST-4 dataset (fast to evaluate)."""
+    return load_mnist4(num_samples=120, seed=5)
+
+
+@pytest.fixture()
+def ansatz():
+    """A single-block QuCAD ansatz on 4 qubits (40 parameters)."""
+    return build_qucad_ansatz(4, repeats=1)
+
+
+@pytest.fixture()
+def model(coupling, calibration) -> QNNModel:
+    """A small untrained model bound to the belem device."""
+    qnn = QNNModel.create(
+        num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=11
+    )
+    qnn.bind_to_device(coupling, calibration=calibration)
+    return qnn
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,130 @@
+"""Tests for the ADMM noise-aware compression algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompressionConfig,
+    CompressionTable,
+    NoiseAgnosticCompressor,
+    NoiseAwareCompressor,
+)
+from repro.datasets import load_mnist4
+from repro.exceptions import TrainingError
+from repro.qnn import QNNModel
+from repro.transpiler import belem_coupling
+
+
+@pytest.fixture(scope="module")
+def task():
+    return load_mnist4(num_samples=100, seed=4)
+
+
+@pytest.fixture()
+def fast_config():
+    return CompressionConfig(
+        admm_iterations=1,
+        theta_epochs=1,
+        finetune_epochs=1,
+        target_fraction=0.5,
+        batch_size=16,
+        seed=0,
+    )
+
+
+def test_config_validation():
+    with pytest.raises(TrainingError):
+        CompressionConfig(admm_iterations=0)
+    with pytest.raises(TrainingError):
+        CompressionConfig(rho=0.0)
+
+
+def test_noise_aware_compression_requires_calibration(fast_config, task, model):
+    compressor = NoiseAwareCompressor(fast_config)
+    with pytest.raises(TrainingError):
+        compressor.compress(model, task.train_features[:32], task.train_labels[:32])
+
+
+def test_compression_requires_device_binding(fast_config, task, calibration):
+    unbound = QNNModel.create(4, 16, 4, repeats=1, seed=3)
+    compressor = NoiseAwareCompressor(fast_config)
+    with pytest.raises(TrainingError):
+        compressor.compress(
+            unbound, task.train_features[:32], task.train_labels[:32], calibration=calibration
+        )
+    # Providing a coupling map binds on the fly.
+    result = compressor.compress(
+        unbound,
+        task.train_features[:32],
+        task.train_labels[:32],
+        calibration=calibration,
+        coupling=belem_coupling(),
+    )
+    assert result.parameters.shape == (unbound.num_parameters,)
+
+
+def test_compression_snaps_masked_parameters_to_levels(fast_config, task, model, calibration):
+    compressor = NoiseAwareCompressor(fast_config)
+    result = compressor.compress(
+        model, task.train_features[:32], task.train_labels[:32], calibration=calibration
+    )
+    table = CompressionTable()
+    masked = result.mask.astype(bool)
+    assert masked.sum() == result.num_compressed
+    assert result.num_compressed >= int(0.5 * model.num_parameters)
+    for value in result.parameters[masked]:
+        _, distance = table.nearest_level(value)
+        assert distance < 1e-9
+    # Unmasked parameters were fine-tuned and are generally off-level.
+    assert result.compression_fraction == pytest.approx(masked.mean())
+
+
+def test_compression_shortens_physical_circuit(fast_config, task, model, calibration):
+    compressor = NoiseAwareCompressor(fast_config)
+    result = compressor.compress(
+        model, task.train_features[:32], task.train_labels[:32], calibration=calibration
+    )
+    assert result.physical_length_after < result.physical_length_before
+
+
+def test_compression_does_not_mutate_model_parameters(fast_config, task, model, calibration):
+    before = model.parameters.copy()
+    NoiseAwareCompressor(fast_config).compress(
+        model, task.train_features[:32], task.train_labels[:32], calibration=calibration
+    )
+    assert np.allclose(model.parameters, before)
+
+
+def test_noise_agnostic_compressor_works_without_calibration(fast_config, task, model):
+    compressor = NoiseAgnosticCompressor(fast_config)
+    assert compressor.config.noise_aware is False
+    result = compressor.compress(model, task.train_features[:32], task.train_labels[:32])
+    assert result.calibration is None
+    assert result.physical_length_after <= result.physical_length_before
+
+
+def test_noise_aware_mask_prefers_noisy_couplers(task, model, calibration):
+    """With a moderate fraction, the noise-aware mask should include a larger
+    share of two-qubit (coupler) gates than the noise-agnostic mask."""
+    config = CompressionConfig(
+        admm_iterations=1, theta_epochs=1, finetune_epochs=0, target_fraction=0.4, seed=0
+    )
+    aware = NoiseAwareCompressor(config).compress(
+        model, task.train_features[:32], task.train_labels[:32], calibration=calibration
+    )
+    agnostic = NoiseAgnosticCompressor(config).compress(
+        model, task.train_features[:32], task.train_labels[:32], calibration=calibration
+    )
+    two_qubit_refs = np.array(
+        [len(model.transpiled.ref_physical_qubits[r]) == 2 for r in range(model.num_parameters)]
+    )
+    aware_share = aware.mask[two_qubit_refs].mean()
+    agnostic_share = agnostic.mask[two_qubit_refs].mean()
+    assert aware_share >= agnostic_share
+
+
+def test_compression_loss_history_recorded(fast_config, task, model, calibration):
+    result = NoiseAwareCompressor(fast_config).compress(
+        model, task.train_features[:32], task.train_labels[:32], calibration=calibration
+    )
+    assert len(result.loss_history) >= fast_config.admm_iterations

@@ -1,0 +1,132 @@
+"""Tests for the performance-aware clustering and the model repository."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelRepository, RepositoryEntry, cluster_calibrations
+from repro.exceptions import RepositoryError
+
+
+def _two_regime_data(seed=0):
+    """Calibration vectors drawn from two well-separated noise regimes."""
+    rng = np.random.default_rng(seed)
+    low = rng.normal(0.01, 0.001, size=(20, 4)).clip(1e-4)
+    high = rng.normal(0.05, 0.002, size=(20, 4)).clip(1e-4)
+    calibrations = np.vstack([low, high])
+    accuracies = np.concatenate([np.full(20, 0.85), np.full(20, 0.35)])
+    accuracies = accuracies + rng.normal(0, 0.01, size=40)
+    return calibrations, accuracies
+
+
+@pytest.mark.parametrize("metric", ["weighted_l1", "l2"])
+def test_clustering_separates_regimes(metric):
+    calibrations, accuracies = _two_regime_data()
+    result = cluster_calibrations(calibrations, accuracies, k=2, metric=metric, seed=1)
+    labels = result.labels
+    # The two regimes should end up in different clusters.
+    assert len(set(labels[:20])) == 1
+    assert len(set(labels[20:])) == 1
+    assert labels[0] != labels[-1]
+    assert result.cluster_sizes.sum() == 40
+
+
+def test_clustering_reports_cluster_accuracy_and_threshold():
+    calibrations, accuracies = _two_regime_data()
+    result = cluster_calibrations(calibrations, accuracies, k=2, seed=1)
+    assert result.cluster_mean_accuracy is not None
+    means = sorted(result.cluster_mean_accuracy)
+    assert means[0] < 0.5 < means[1]
+    assert result.threshold > 0
+    assert result.wsae >= 0
+
+
+def test_weighted_l1_uses_performance_weights():
+    rng = np.random.default_rng(3)
+    days = 50
+    relevant = np.concatenate([rng.uniform(0.01, 0.02, 25), rng.uniform(0.06, 0.08, 25)])
+    irrelevant = rng.uniform(0.01, 0.08, days)
+    calibrations = np.stack([relevant, irrelevant], axis=1)
+    accuracies = np.where(relevant < 0.04, 0.85, 0.3) + rng.normal(0, 0.01, days)
+    result = cluster_calibrations(calibrations, accuracies, k=2, metric="weighted_l1", seed=0)
+    assert result.weights[0] > result.weights[1]
+    # Clusters should split along the relevant dimension.
+    low_cluster = result.labels[:25]
+    high_cluster = result.labels[25:]
+    assert len(set(low_cluster)) == 1 and len(set(high_cluster)) == 1
+    assert low_cluster[0] != high_cluster[0]
+
+
+def test_clustering_k_clipped_to_sample_count():
+    calibrations = np.random.default_rng(0).uniform(size=(3, 2))
+    result = cluster_calibrations(calibrations, None, k=10, seed=0)
+    assert result.num_clusters == 3
+
+
+def test_clustering_validation():
+    with pytest.raises(RepositoryError):
+        cluster_calibrations(np.zeros((0, 3)), None, k=2)
+    with pytest.raises(RepositoryError):
+        cluster_calibrations(np.zeros((5, 3)), np.zeros(4), k=2)
+    with pytest.raises(RepositoryError):
+        cluster_calibrations(np.zeros((5, 3)), None, k=0)
+    with pytest.raises(RepositoryError):
+        cluster_calibrations(np.zeros((5, 3)), None, k=2, metric="cosine")
+
+
+# ---------------------------------------------------------------------------
+# Repository
+# ---------------------------------------------------------------------------
+def _entry(vector, accuracy=0.8, label="entry"):
+    return RepositoryEntry(
+        parameters=np.arange(4, dtype=float),
+        calibration_vector=np.asarray(vector, dtype=float),
+        mean_accuracy=accuracy,
+        label=label,
+    )
+
+
+def test_repository_add_and_match():
+    repository = ModelRepository(weights=np.ones(3), threshold=0.5)
+    repository.add(_entry([0.1, 0.1, 0.1], label="low"))
+    repository.add(_entry([0.5, 0.5, 0.5], label="high"))
+    match = repository.match(np.array([0.12, 0.1, 0.1]))
+    assert match.entry.label == "low"
+    assert match.distance == pytest.approx(0.02)
+    assert len(repository) == 2
+
+
+def test_repository_rejects_mismatched_vectors():
+    repository = ModelRepository(weights=np.ones(3), threshold=0.5)
+    with pytest.raises(RepositoryError):
+        repository.add(_entry([0.1, 0.2]))
+
+
+def test_repository_match_empty_raises():
+    repository = ModelRepository(weights=np.ones(2), threshold=0.1)
+    with pytest.raises(RepositoryError):
+        repository.match(np.zeros(2))
+
+
+def test_repository_negative_threshold_rejected():
+    with pytest.raises(RepositoryError):
+        ModelRepository(weights=np.ones(2), threshold=-1.0)
+
+
+def test_repository_weighted_distance_respects_weights():
+    repository = ModelRepository(weights=np.array([1.0, 0.0]), threshold=1.0)
+    repository.add(_entry([0.0, 0.0]))
+    distances = repository.distances_to(np.array([0.0, 100.0]))
+    assert distances[0] == pytest.approx(0.0)
+
+
+def test_repository_json_round_trip(tmp_path):
+    repository = ModelRepository(weights=np.array([1.0, 2.0]), threshold=0.3)
+    repository.add(_entry([0.1, 0.2], accuracy=0.9, label="cluster_0"))
+    path = tmp_path / "repository.json"
+    repository.to_json(path)
+    loaded = ModelRepository.from_json(path)
+    assert loaded.threshold == pytest.approx(0.3)
+    assert np.allclose(loaded.weights, [1.0, 2.0])
+    assert len(loaded) == 1
+    assert loaded.entries[0].label == "cluster_0"
+    assert np.allclose(loaded.entries[0].parameters, np.arange(4))

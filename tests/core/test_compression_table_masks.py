@@ -1,0 +1,154 @@
+"""Tests for the compression table and noise-aware mask generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompressionTable, DEFAULT_LEVELS, apply_mask, build_mask, gate_noise_rates
+from repro.exceptions import TrainingError
+
+
+def test_default_levels_are_quarter_turns():
+    assert DEFAULT_LEVELS == (0.0, np.pi / 2, np.pi, 3 * np.pi / 2)
+
+
+def test_nearest_level_basic_cases():
+    table = CompressionTable()
+    target, distance = table.nearest_level(0.1)
+    assert target == pytest.approx(0.0)
+    assert distance == pytest.approx(0.1)
+    target, distance = table.nearest_level(np.pi - 0.2)
+    assert target == pytest.approx(np.pi)
+    assert distance == pytest.approx(0.2)
+
+
+def test_nearest_level_wraps_to_upper_period_boundary():
+    table = CompressionTable()
+    target, distance = table.nearest_level(2 * np.pi - 0.05)
+    assert target == pytest.approx(2 * np.pi)
+    assert distance == pytest.approx(0.05)
+
+
+def test_nearest_level_preserves_winding_for_negative_angles():
+    table = CompressionTable()
+    target, distance = table.nearest_level(-0.1)
+    assert target == pytest.approx(0.0)
+    assert distance == pytest.approx(0.1)
+    target, _ = table.nearest_level(-np.pi + 0.1)
+    assert target == pytest.approx(-np.pi)
+
+
+def test_vectorized_nearest_levels():
+    table = CompressionTable()
+    params = np.array([0.1, 1.0, np.pi, 5.0])
+    targets, distances = table.nearest_levels(params)
+    assert targets.shape == params.shape
+    assert np.all(distances >= 0)
+    assert np.all(distances <= np.pi / 4 + 1e-9)
+
+
+def test_compression_fraction_and_is_compressed():
+    table = CompressionTable()
+    assert table.is_compressed(np.pi)
+    assert not table.is_compressed(1.0)
+    params = np.array([0.0, np.pi / 2, 1.0, 2.0])
+    assert table.compression_fraction(params) == pytest.approx(0.5)
+    assert table.compression_fraction(np.array([])) == 0.0
+
+
+def test_table_validation():
+    with pytest.raises(TrainingError):
+        CompressionTable(levels=())
+    with pytest.raises(TrainingError):
+        CompressionTable(levels=(7.0,))
+
+
+@settings(max_examples=50, deadline=None)
+@given(theta=st.floats(-10 * np.pi, 10 * np.pi, allow_nan=False))
+def test_nearest_level_distance_bounded_by_half_spacing(theta):
+    """Property: the snap distance never exceeds half the level spacing."""
+    table = CompressionTable()
+    target, distance = table.nearest_level(theta)
+    assert distance <= np.pi / 4 + 1e-9
+    assert abs((target - theta)) == pytest.approx(distance, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Masks
+# ---------------------------------------------------------------------------
+def test_build_mask_with_target_fraction_selects_top_priority():
+    table = CompressionTable()
+    parameters = np.array([0.05, 1.0, np.pi - 0.05, 0.7])
+    noise = np.array([0.01, 0.01, 0.0001, 0.0001])
+    tables = build_mask(parameters, table, noise=noise, target_fraction=0.25)
+    # Highest priority: parameter 0 (close to level AND noisy).
+    assert tables.mask[0] == 1
+    assert tables.num_compressed == 1
+
+
+def test_build_mask_noise_agnostic_prefers_smallest_distance():
+    table = CompressionTable()
+    parameters = np.array([0.3, np.pi / 2 + 0.01, 1.0])
+    tables = build_mask(parameters, table, noise=None, target_fraction=1 / 3)
+    assert tables.mask[1] == 1
+    assert tables.mask.sum() == 1
+
+
+def test_build_mask_with_absolute_threshold():
+    table = CompressionTable()
+    parameters = np.array([0.1, 0.7])
+    noise = np.array([0.02, 0.02])
+    tables = build_mask(parameters, table, noise=noise, threshold=0.1)
+    assert tables.threshold == pytest.approx(0.1)
+    assert tables.mask[0] == 1  # priority 0.02/0.1 = 0.2 >= 0.1
+    assert tables.mask[1] == 0  # priority 0.02/0.7 < 0.1
+
+
+def test_build_mask_zero_fraction_masks_nothing():
+    table = CompressionTable()
+    tables = build_mask(np.array([0.1, 0.2]), table, target_fraction=0.0)
+    assert tables.num_compressed == 0
+
+
+def test_build_mask_validation():
+    table = CompressionTable()
+    with pytest.raises(TrainingError):
+        build_mask(np.array([[0.1]]), table)
+    with pytest.raises(TrainingError):
+        build_mask(np.array([0.1]), table, noise=np.array([0.1, 0.2]))
+    with pytest.raises(TrainingError):
+        build_mask(np.array([0.1]), table, threshold=None, target_fraction=None)
+    with pytest.raises(TrainingError):
+        build_mask(np.array([0.1]), table, target_fraction=1.5)
+
+
+def test_apply_mask_snaps_only_masked_parameters():
+    table = CompressionTable()
+    parameters = np.array([0.1, 1.0])
+    tables = build_mask(parameters, table, target_fraction=0.5)
+    snapped = apply_mask(parameters, tables)
+    assert snapped[0] == pytest.approx(0.0)
+    assert snapped[1] == pytest.approx(1.0)
+
+
+def test_gate_noise_rates_uses_physical_association(model, calibration):
+    rates = gate_noise_rates(
+        model.num_parameters, model.transpiled.ref_physical_qubits, calibration
+    )
+    assert rates.shape == (model.num_parameters,)
+    assert np.all(rates > 0)
+    # Two-qubit gates should read coupler (CX) error rates, which are larger
+    # than single-qubit gate errors for this backend.
+    two_qubit_refs = [
+        ref for ref, qubits in model.transpiled.ref_physical_qubits.items() if len(qubits) == 2
+    ]
+    single_refs = [
+        ref for ref, qubits in model.transpiled.ref_physical_qubits.items() if len(qubits) == 1
+    ]
+    assert rates[two_qubit_refs].mean() > rates[single_refs].mean()
+
+
+def test_gate_noise_rates_requires_association(calibration):
+    with pytest.raises(TrainingError):
+        gate_noise_rates(3, {0: (0,)}, calibration)

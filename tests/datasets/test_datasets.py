@@ -1,0 +1,167 @@
+"""Tests for the dataset loaders and the shared Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    generate_mnist4_samples,
+    generate_seismic_samples,
+    load_dataset,
+    load_iris,
+    load_mnist4,
+    load_seismic,
+    minmax_normalize,
+    synthesize_trace,
+    train_test_split,
+    windowed_log_energy,
+)
+from repro.exceptions import DatasetError
+
+
+# ---------------------------------------------------------------------------
+# Container and helpers
+# ---------------------------------------------------------------------------
+def test_dataset_validation():
+    with pytest.raises(DatasetError):
+        Dataset("bad", np.zeros((3, 2)), np.zeros(2), np.zeros((1, 2)), np.zeros(1), 2)
+    with pytest.raises(DatasetError):
+        Dataset("bad", np.zeros((3, 2)), np.zeros(3), np.zeros((1, 3)), np.zeros(1), 2)
+    with pytest.raises(DatasetError):
+        Dataset("bad", np.zeros((3, 2)), np.zeros(3), np.zeros((1, 2)), np.zeros(1), 1)
+
+
+def test_minmax_normalize_range():
+    data = np.array([[1.0, 10.0], [3.0, 10.0], [5.0, 10.0]])
+    normalized = minmax_normalize(data)
+    assert normalized.min() == 0.0
+    assert normalized.max() == 1.0
+    assert np.allclose(normalized[:, 1], 0.0)  # constant column maps to 0
+
+
+def test_train_test_split_sizes_and_disjointness():
+    features = np.arange(20).reshape(10, 2).astype(float)
+    labels = np.arange(10) % 2
+    train_x, train_y, test_x, test_y = train_test_split(features, labels, 0.7, seed=0)
+    assert train_x.shape[0] == 7 and test_x.shape[0] == 3
+    train_rows = {tuple(row) for row in train_x}
+    test_rows = {tuple(row) for row in test_x}
+    assert not train_rows & test_rows
+    with pytest.raises(DatasetError):
+        train_test_split(features, labels, 1.5)
+
+
+def test_subsample_is_stratified_and_bounded():
+    dataset = load_mnist4(num_samples=200, seed=0)
+    small = dataset.subsample(num_train=40, num_test=20, seed=1)
+    assert small.num_train == 40
+    assert small.num_test == 20
+    # Every class keeps at least one representative.
+    assert set(np.unique(small.train_labels)) == {0, 1, 2, 3}
+    # Requesting more samples than available is a no-op.
+    same = dataset.subsample(num_train=10_000, seed=1)
+    assert same.num_train == dataset.num_train
+
+
+# ---------------------------------------------------------------------------
+# MNIST-4
+# ---------------------------------------------------------------------------
+def test_mnist4_shapes_and_ranges():
+    dataset = load_mnist4(num_samples=200, seed=3)
+    assert dataset.num_features == 16
+    assert dataset.num_classes == 4
+    assert dataset.train_features.min() >= 0.0
+    assert dataset.train_features.max() <= 1.0
+    assert set(np.unique(dataset.train_labels)) <= {0, 1, 2, 3}
+
+
+def test_mnist4_determinism():
+    first_x, first_y = generate_mnist4_samples(50, seed=11)
+    second_x, second_y = generate_mnist4_samples(50, seed=11)
+    other_x, _ = generate_mnist4_samples(50, seed=12)
+    assert np.allclose(first_x, second_x)
+    assert np.array_equal(first_y, second_y)
+    assert not np.allclose(first_x, other_x)
+
+
+def test_mnist4_classes_are_linearly_separable_enough():
+    """Class prototypes must be distinguishable: nearest-prototype accuracy
+    should be well above chance."""
+    from repro.datasets.mnist4 import DIGIT_PROTOTYPES, MNIST4_DIGITS
+
+    features, labels = generate_mnist4_samples(200, seed=5)
+    prototypes = np.stack([DIGIT_PROTOTYPES[d].reshape(-1) for d in MNIST4_DIGITS])
+    predictions = np.argmin(
+        np.linalg.norm(features[:, None, :] - prototypes[None, :, :], axis=2), axis=1
+    )
+    assert np.mean(predictions == labels) > 0.8
+
+
+def test_mnist4_rejects_bad_sample_count():
+    with pytest.raises(DatasetError):
+        generate_mnist4_samples(0)
+
+
+# ---------------------------------------------------------------------------
+# Seismic
+# ---------------------------------------------------------------------------
+def test_seismic_shapes_and_balance():
+    dataset = load_seismic(num_samples=300, seed=2)
+    assert dataset.num_features == 16
+    assert dataset.num_classes == 2
+    positives = dataset.train_labels.mean()
+    assert 0.3 < positives < 0.7
+
+
+def test_seismic_event_traces_have_more_energy():
+    rng = np.random.default_rng(0)
+    quiet = np.mean([np.sum(synthesize_trace(rng, False) ** 2) for _ in range(20)])
+    loud = np.mean([np.sum(synthesize_trace(rng, True) ** 2) for _ in range(20)])
+    assert loud > 1.5 * quiet
+
+
+def test_windowed_log_energy_shape_and_validation():
+    trace = np.ones(256)
+    features = windowed_log_energy(trace, num_windows=16)
+    assert features.shape == (16,)
+    with pytest.raises(DatasetError):
+        windowed_log_energy(np.ones(100), num_windows=16)
+
+
+def test_seismic_determinism():
+    first, labels_a = generate_seismic_samples(40, seed=1)
+    second, labels_b = generate_seismic_samples(40, seed=1)
+    assert np.allclose(first, second)
+    assert np.array_equal(labels_a, labels_b)
+
+
+# ---------------------------------------------------------------------------
+# Iris
+# ---------------------------------------------------------------------------
+def test_iris_shapes():
+    dataset = load_iris()
+    assert dataset.num_features == 4
+    assert dataset.num_classes == 3
+    assert dataset.num_train + dataset.num_test == 150
+
+
+def test_iris_setosa_is_separable():
+    """Setosa (class 0) should be nearly perfectly separable by petal length."""
+    dataset = load_iris(seed=1)
+    features = np.vstack([dataset.train_features, dataset.test_features])
+    labels = np.concatenate([dataset.train_labels, dataset.test_labels])
+    petal_length = features[:, 2]
+    threshold = 0.5 * (petal_length[labels == 0].max() + petal_length[labels != 0].min())
+    predictions = (petal_length > threshold).astype(int)
+    setosa_detection = np.mean((predictions == 0) == (labels == 0))
+    assert setosa_detection > 0.95
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_load_dataset_registry():
+    assert load_dataset("mnist4", num_samples=50, seed=0).name == "mnist4"
+    assert load_dataset("iris").name == "iris"
+    with pytest.raises(DatasetError):
+        load_dataset("cifar10")

@@ -1,0 +1,84 @@
+"""Tests for the experiment configuration, reporting, and light harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BENCH_SCALE,
+    DATASET_MODEL_SETTINGS,
+    ExperimentScale,
+    PAPER_SCALE,
+    TEST_SCALE,
+    format_series,
+    format_table,
+    percent,
+    run_fig1,
+    run_fig3,
+)
+from repro.experiments.config import ExperimentScale as ScaleClass
+
+
+def test_paper_scale_matches_paper_numbers():
+    assert PAPER_SCALE.offline_days == 243
+    assert PAPER_SCALE.online_days == 146
+    assert PAPER_SCALE.num_clusters == 6
+
+
+def test_scales_are_ordered_by_cost():
+    assert TEST_SCALE.offline_days < BENCH_SCALE.offline_days < PAPER_SCALE.offline_days
+    assert TEST_SCALE.eval_samples < PAPER_SCALE.eval_samples
+
+
+def test_scale_overrides_and_train_config():
+    scale = ExperimentScale().with_overrides(online_days=10, shots=None)
+    assert scale.online_days == 10
+    assert scale.shots is None
+    config = scale.train_config(epochs=5)
+    assert config.epochs == 5
+    assert isinstance(scale, ScaleClass)
+
+
+def test_dataset_model_settings_cover_table1_datasets():
+    assert set(DATASET_MODEL_SETTINGS) == {"mnist4", "iris", "seismic"}
+    assert DATASET_MODEL_SETTINGS["iris"]["repeats"] == 3
+    assert DATASET_MODEL_SETTINGS["mnist4"]["num_classes"] == 4
+
+
+def test_format_table_renders_all_rows():
+    rows = [
+        {"method": "baseline", "accuracy": 0.5},
+        {"method": "qucad", "accuracy": 0.76, "extra": 3},
+    ]
+    text = format_table(rows, [("method", "Method"), ("accuracy", "Acc"), ("extra", "Extra")])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + separator + 2 rows
+    assert "qucad" in text
+    assert "-" in lines[1]
+
+
+def test_format_series_and_percent():
+    text = format_series("accuracy", ["day1", "day2"], [0.5, 0.75])
+    assert "day1" in text and "0.7500" in text
+    assert percent(0.1234) == "12.34%"
+
+
+def test_run_fig1_series_and_summary():
+    result = run_fig1(TEST_SCALE)
+    kinds = result.kinds()
+    assert set(kinds) == {"single_qubit", "cnot", "readout"}
+    assert len(kinds["cnot"]) == 4  # belem has four couplers
+    summary = result.fluctuation_summary()
+    for stats in summary.values():
+        assert stats["max"] >= stats["min"] > 0
+        assert stats["max_over_min"] >= 1.0
+    assert len(result.dates) == TEST_SCALE.offline_days + TEST_SCALE.online_days
+
+
+def test_run_fig3_detects_breakpoints():
+    result = run_fig3(TEST_SCALE, grid_points=9)
+    assert result.ideal_surface.shape == (9, 9)
+    assert result.noisy_surface.shape == (9, 9)
+    # Noise shrinks expectations, so the noisy surface has smaller magnitude.
+    assert np.abs(result.noisy_surface).mean() < np.abs(result.ideal_surface).mean() + 1e-9
+    # Deviation is smaller on the compression levels (the breakpoints).
+    assert result.breakpoint_gain() > 0

@@ -1,0 +1,100 @@
+"""Tests for the Gate instruction type and registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.gates import (
+    CONTROLLED_ROTATION_GATES,
+    GATE_REGISTRY,
+    Gate,
+    PARAMETRIC_GATES,
+    ROTATION_GATES,
+)
+
+
+def test_registry_contains_core_gates():
+    for name in ("x", "sx", "rz", "cx", "cry", "swap"):
+        assert name in GATE_REGISTRY
+
+
+def test_rotation_gate_groups_are_disjoint_from_controlled():
+    assert not (ROTATION_GATES & CONTROLLED_ROTATION_GATES)
+    assert ROTATION_GATES | CONTROLLED_ROTATION_GATES <= PARAMETRIC_GATES
+
+
+def test_unknown_gate_name_rejected():
+    with pytest.raises(GateError):
+        Gate("not_a_gate", (0,))
+
+
+def test_wrong_qubit_count_rejected():
+    with pytest.raises(GateError):
+        Gate("cx", (0,))
+    with pytest.raises(GateError):
+        Gate("x", (0, 1))
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(GateError):
+        Gate("cx", (1, 1))
+
+
+def test_fixed_gate_refuses_parameter():
+    with pytest.raises(GateError):
+        Gate("x", (0,), param=0.5)
+
+
+def test_parametric_gate_requires_param_or_ref():
+    with pytest.raises(GateError):
+        Gate("ry", (0,))
+    Gate("ry", (0,), param=0.3)
+    Gate("ry", (0,), param_ref=2)
+
+
+def test_matrix_of_bound_gate():
+    gate = Gate("ry", (0,), param=np.pi)
+    assert gate.matrix().shape == (2, 2)
+
+
+def test_matrix_of_unbound_gate_raises():
+    gate = Gate("ry", (0,), param_ref=0)
+    with pytest.raises(GateError):
+        gate.matrix()
+
+
+def test_derivative_matrix_requires_parametric():
+    with pytest.raises(GateError):
+        Gate("x", (0,)).derivative_matrix()
+
+
+def test_bind_returns_new_gate():
+    gate = Gate("crx", (0, 1), param_ref=3)
+    bound = gate.bind(1.25)
+    assert bound.param == pytest.approx(1.25)
+    assert bound.param_ref == 3
+    assert gate.param is None
+
+
+def test_bind_fixed_gate_raises():
+    with pytest.raises(GateError):
+        Gate("cx", (0, 1)).bind(0.5)
+
+
+def test_remap_changes_qubits():
+    gate = Gate("cx", (0, 1))
+    remapped = gate.remap({0: 3, 1: 2})
+    assert remapped.qubits == (3, 2)
+
+
+def test_is_parametric_and_num_qubits_properties():
+    assert Gate("rz", (0,), param=0.1).is_parametric
+    assert not Gate("h", (0,)).is_parametric
+    assert Gate("cry", (0, 1), param=0.1).num_qubits == 2
+
+
+def test_gates_are_hashable_and_frozen():
+    gate = Gate("x", (0,))
+    with pytest.raises(Exception):
+        gate.name = "y"  # type: ignore[misc]
+    assert hash(gate) == hash(Gate("x", (0,)))

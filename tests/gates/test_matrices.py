@@ -1,0 +1,120 @@
+"""Tests for the gate matrix definitions."""
+
+import numpy as np
+import pytest
+
+from repro.gates import matrices as mat
+from repro.utils.linalg import is_unitary
+
+FIXED_MATRICES = {
+    "I2": mat.I2,
+    "X": mat.X,
+    "Y": mat.Y,
+    "Z": mat.Z,
+    "H": mat.H,
+    "S": mat.S,
+    "SDG": mat.SDG,
+    "T": mat.T,
+    "TDG": mat.TDG,
+    "SX": mat.SX,
+    "SXDG": mat.SXDG,
+    "CX": mat.CX,
+    "CZ": mat.CZ,
+    "CY": mat.CY,
+    "SWAP": mat.SWAP,
+}
+
+PARAMETRIC = [
+    (mat.rx, mat.drx),
+    (mat.ry, mat.dry),
+    (mat.rz, mat.drz),
+    (mat.phase_gate, mat.dphase_gate),
+    (mat.crx, mat.dcrx),
+    (mat.cry, mat.dcry),
+    (mat.crz, mat.dcrz),
+    (mat.cphase, mat.dcphase),
+    (mat.rzz, mat.drzz),
+]
+
+ANGLES = [0.0, 0.3, np.pi / 2, np.pi, 1.7, -2.4, 3 * np.pi / 2, 2 * np.pi]
+
+
+@pytest.mark.parametrize("name, matrix", FIXED_MATRICES.items())
+def test_fixed_matrices_are_unitary(name, matrix):
+    assert is_unitary(matrix), f"{name} is not unitary"
+
+
+@pytest.mark.parametrize("factory, _", PARAMETRIC)
+@pytest.mark.parametrize("theta", ANGLES)
+def test_parametric_matrices_are_unitary(factory, _, theta):
+    assert is_unitary(factory(theta))
+
+
+@pytest.mark.parametrize("factory, derivative", PARAMETRIC)
+@pytest.mark.parametrize("theta", [0.2, 1.1, -0.7, 2.9])
+def test_derivatives_match_finite_differences(factory, derivative, theta):
+    epsilon = 1e-6
+    numerical = (factory(theta + epsilon) - factory(theta - epsilon)) / (2 * epsilon)
+    assert np.allclose(derivative(theta), numerical, atol=1e-6)
+
+
+def test_pauli_relations():
+    assert np.allclose(mat.X @ mat.X, mat.I2)
+    assert np.allclose(mat.Y @ mat.Y, mat.I2)
+    assert np.allclose(mat.Z @ mat.Z, mat.I2)
+    assert np.allclose(mat.X @ mat.Y, 1j * mat.Z)
+
+
+def test_sx_squares_to_x():
+    assert np.allclose(mat.SX @ mat.SX, mat.X)
+
+
+def test_hadamard_conjugates_z_to_x():
+    assert np.allclose(mat.H @ mat.Z @ mat.H, mat.X)
+
+
+def test_rotation_at_zero_is_identity():
+    for factory in (mat.rx, mat.ry, mat.rz):
+        assert np.allclose(factory(0.0), mat.I2)
+
+
+def test_rotation_periodicity_up_to_phase():
+    theta = 0.9
+    for factory in (mat.rx, mat.ry, mat.rz):
+        assert np.allclose(factory(theta + 4 * np.pi), factory(theta), atol=1e-9)
+        assert np.allclose(factory(theta + 2 * np.pi), -factory(theta), atol=1e-9)
+
+
+def test_rx_pi_is_x_up_to_phase():
+    assert np.allclose(mat.rx(np.pi), -1j * mat.X)
+
+
+def test_ry_pi_is_y_up_to_phase():
+    assert np.allclose(mat.ry(np.pi), -1j * mat.Y)
+
+
+def test_controlled_block_structure():
+    theta = 0.7
+    for controlled, single in ((mat.crx, mat.rx), (mat.cry, mat.ry), (mat.crz, mat.rz)):
+        full = controlled(theta)
+        assert np.allclose(full[:2, :2], np.eye(2))
+        assert np.allclose(full[:2, 2:], 0)
+        assert np.allclose(full[2:, :2], 0)
+        assert np.allclose(full[2:, 2:], single(theta))
+
+
+def test_cx_maps_10_to_11():
+    state = np.zeros(4)
+    state[2] = 1.0  # |10> with the control set
+    assert np.allclose(mat.CX @ state, np.eye(4)[3])
+
+
+def test_swap_exchanges_basis_states():
+    state = np.zeros(4)
+    state[1] = 1.0  # |01>
+    assert np.allclose(mat.SWAP @ state, np.eye(4)[2])
+
+
+def test_rzz_is_diagonal():
+    matrix = mat.rzz(0.8)
+    assert np.allclose(matrix, np.diag(np.diag(matrix)))

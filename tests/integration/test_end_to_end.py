@@ -1,0 +1,85 @@
+"""End-to-end integration tests exercising the full QuCAD pipeline.
+
+These use the TEST_SCALE settings (a handful of days, tiny subsets) so the
+whole flow — synthetic history, base training, offline repository
+construction, online adaptation, longitudinal evaluation — runs in seconds
+while touching every subsystem.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseAwareCompressor, make_method
+from repro.experiments import TEST_SCALE, prepare_experiment, run_longitudinal
+from repro.qnn.evaluation import evaluate_ideal, evaluate_noisy
+from repro.simulator import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare_experiment("mnist4", scale=TEST_SCALE)
+
+
+def test_setup_produces_trained_bound_model(setup):
+    assert setup.base_model.transpiled is not None
+    accuracy = evaluate_ideal(
+        setup.base_model, setup.dataset.test_features, setup.dataset.test_labels
+    ).accuracy
+    assert accuracy > 0.3  # clearly better than random guessing (0.25)
+    assert len(setup.offline_history) == TEST_SCALE.offline_days
+    assert len(setup.online_history) == TEST_SCALE.online_days
+
+
+def test_noisy_evaluation_runs_on_every_online_day(setup):
+    subset = setup.eval_subset()
+    accuracies = [
+        evaluate_noisy(
+            setup.base_model, subset.test_features, subset.test_labels, noise_model, shots=256, seed=1
+        ).accuracy
+        for noise_model in setup.noise_models()
+    ]
+    assert len(accuracies) == TEST_SCALE.online_days
+    assert all(0.0 <= a <= 1.0 for a in accuracies)
+
+
+def test_compression_adapts_model_without_breaking_it(setup):
+    subset = setup.dataset.subsample(num_train=32, num_test=24, seed=0)
+    day = setup.online_history[0]
+    compressor = NoiseAwareCompressor(TEST_SCALE.compression)
+    result = compressor.compress(
+        setup.base_model, subset.train_features, subset.train_labels, calibration=day
+    )
+    assert result.physical_length_after <= result.physical_length_before
+    noisy = evaluate_noisy(
+        setup.base_model,
+        subset.test_features,
+        subset.test_labels,
+        NoiseModel.from_calibration(day),
+        parameters=result.parameters,
+        shots=512,
+        seed=0,
+    )
+    assert noisy.accuracy >= 0.25 - 1e-9  # no catastrophic failure
+
+
+def test_longitudinal_harness_compares_methods(setup):
+    methods = [make_method("baseline"), make_method("qucad")]
+    result = run_longitudinal(setup, methods, num_days=2, shots=256)
+    assert {run.method_name for run in result.runs} == {"baseline", "qucad"}
+    baseline = result.run_for("baseline")
+    qucad = result.run_for("qucad")
+    assert baseline.daily_accuracy.shape == (2,)
+    assert qucad.daily_accuracy.shape == (2,)
+    assert baseline.optimization_runs == 0
+    rows = result.summary_rows()
+    assert any(row["method"] == "qucad" and "mean_accuracy_vs_baseline" in row for row in rows)
+
+
+def test_qucad_reuses_repository_entries_across_days(setup):
+    """Across several online days QuCAD should optimize far fewer times than
+    the number of days (the Fig. 7 efficiency mechanism)."""
+    method = make_method("qucad")
+    method.prepare(setup.method_context())
+    for snapshot in setup.online_history:
+        method.parameters_for_day(snapshot)
+    assert method.optimization_runs < len(setup.online_history)

@@ -1,0 +1,106 @@
+"""Tests for loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.qnn import Adam, SGD, accuracy, cross_entropy_loss, get_loss, get_optimizer, mse_loss, one_hot, softmax
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+    probabilities = softmax(logits)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert probabilities[0].argmax() == 2
+
+
+def test_softmax_is_shift_invariant():
+    logits = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+
+def test_one_hot_encoding():
+    encoded = one_hot(np.array([0, 2]), 3)
+    assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+
+def test_one_hot_validation():
+    with pytest.raises(TrainingError):
+        one_hot(np.array([3]), 3)
+    with pytest.raises(TrainingError):
+        one_hot(np.array([[0, 1]]), 2)
+
+
+def test_cross_entropy_perfect_prediction_has_low_loss():
+    confident = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    loss, gradient = cross_entropy_loss(confident, np.array([0, 1]))
+    assert loss < 1e-3
+    assert np.allclose(gradient, 0.0, atol=1e-3)
+
+
+def test_cross_entropy_gradient_matches_finite_difference():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(4, 3))
+    labels = np.array([0, 1, 2, 1])
+    _, gradient = cross_entropy_loss(logits, labels)
+    epsilon = 1e-6
+    for i in range(logits.shape[0]):
+        for j in range(logits.shape[1]):
+            plus = logits.copy(); plus[i, j] += epsilon
+            minus = logits.copy(); minus[i, j] -= epsilon
+            numerical = (cross_entropy_loss(plus, labels)[0] - cross_entropy_loss(minus, labels)[0]) / (2 * epsilon)
+            assert gradient[i, j] == pytest.approx(numerical, abs=1e-5)
+
+
+def test_mse_loss_and_gradient_shapes():
+    logits = np.zeros((3, 2))
+    loss, gradient = mse_loss(logits, np.array([0, 1, 0]))
+    assert loss > 0
+    assert gradient.shape == logits.shape
+
+
+def test_accuracy_measure():
+    logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+    assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+def test_get_loss_lookup():
+    assert get_loss("cross_entropy") is cross_entropy_loss
+    with pytest.raises(TrainingError):
+        get_loss("hinge")
+
+
+@pytest.mark.parametrize("optimizer_name", ["sgd", "adam"])
+def test_optimizers_minimize_quadratic(optimizer_name):
+    optimizer = get_optimizer(optimizer_name, learning_rate=0.1)
+    parameters = np.array([5.0, -3.0])
+    for _ in range(300):
+        gradient = 2 * parameters
+        parameters = optimizer.step(parameters, gradient)
+    assert np.allclose(parameters, 0.0, atol=1e-2)
+
+
+def test_sgd_momentum_accumulates_velocity():
+    optimizer = SGD(learning_rate=0.1, momentum=0.9)
+    parameters = np.array([1.0])
+    first = optimizer.step(parameters, np.array([1.0]))
+    second = optimizer.step(first, np.array([1.0]))
+    assert (parameters - first) < (first - second)  # step grows with momentum
+
+
+def test_adam_reset_clears_state():
+    optimizer = Adam(learning_rate=0.1)
+    optimizer.step(np.zeros(2), np.ones(2))
+    optimizer.reset()
+    assert optimizer._m is None
+
+
+def test_optimizer_validation():
+    with pytest.raises(TrainingError):
+        SGD(learning_rate=-1.0)
+    with pytest.raises(TrainingError):
+        SGD(learning_rate=0.1, momentum=1.5)
+    with pytest.raises(TrainingError):
+        Adam(learning_rate=0.0)
+    with pytest.raises(TrainingError):
+        get_optimizer("lbfgs")

@@ -1,0 +1,230 @@
+"""Tests for the QNN model, encoder, noise injection, trainer, and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_mnist4
+from repro.exceptions import DatasetError, TrainingError
+from repro.qnn import (
+    AngleEncoder,
+    NoiseInjector,
+    QNNModel,
+    TrainConfig,
+    Trainer,
+    evaluate_ideal,
+    evaluate_noisy,
+)
+from repro.simulator import NoiseModel, StatevectorSimulator
+
+
+# ---------------------------------------------------------------------------
+# Encoder
+# ---------------------------------------------------------------------------
+def test_encoder_layer_count_and_ops():
+    encoder = AngleEncoder(num_qubits=4, num_features=16)
+    assert encoder.num_layers == 4
+    ops = encoder.operations()
+    assert len(ops) == 16
+    assert ops[0].gate == "ry" and ops[4].gate == "rx" and ops[8].gate == "rz"
+
+
+def test_encoder_partial_last_layer():
+    encoder = AngleEncoder(num_qubits=4, num_features=6)
+    assert encoder.num_layers == 2
+    assert len(encoder.operations()) == 6
+
+
+def test_encoder_rejects_wrong_feature_length():
+    encoder = AngleEncoder(num_qubits=4, num_features=16)
+    with pytest.raises(DatasetError):
+        encoder.angles(np.zeros((2, 8)))
+
+
+def test_encoder_statevectors_are_normalized():
+    encoder = AngleEncoder(num_qubits=3, num_features=6)
+    simulator = StatevectorSimulator(3)
+    states = encoder.encode_statevectors(np.random.default_rng(0).uniform(size=(4, 6)), simulator)
+    assert np.allclose(np.linalg.norm(states, axis=1), 1.0)
+
+
+def test_encoder_with_qubit_mapping():
+    encoder = AngleEncoder(num_qubits=2, num_features=2)
+    simulator = StatevectorSimulator(3)
+    states = encoder.encode_statevectors(
+        np.array([[1.0, 0.0]]), simulator, qubit_mapping=[2, 0]
+    )
+    # Feature 0 (value 1 -> angle pi) lands on physical qubit 2.
+    probabilities = np.abs(states[0]) ** 2
+    assert probabilities[1] == pytest.approx(1.0)  # |001>
+
+
+# ---------------------------------------------------------------------------
+# Model
+# ---------------------------------------------------------------------------
+def test_model_create_validates_class_count():
+    with pytest.raises(TrainingError):
+        QNNModel.create(2, 4, 3)
+
+
+def test_model_forward_shapes():
+    model = QNNModel.create(4, 16, 4, repeats=1, seed=0)
+    features = np.random.default_rng(0).uniform(size=(6, 16))
+    logits = model.forward_ideal(features)
+    assert logits.shape == (6, 4)
+    assert np.all(np.abs(logits) <= model.logit_scale + 1e-9)
+
+
+def test_model_copy_with_parameters_shares_device_binding(model):
+    new_parameters = np.zeros(model.num_parameters)
+    clone = model.copy_with_parameters(new_parameters)
+    assert clone.transpiled is model.transpiled
+    assert np.allclose(clone.parameters, 0.0)
+    assert not np.allclose(model.parameters, 0.0)
+
+
+def test_model_noisy_forward_requires_binding():
+    unbound = QNNModel.create(4, 16, 4, repeats=1, seed=0)
+    with pytest.raises(TrainingError):
+        unbound.forward_noisy(np.zeros((1, 16)), NoiseModel.ideal(5))
+
+
+def test_model_noisy_forward_matches_ideal_without_noise(model):
+    features = np.random.default_rng(1).uniform(size=(4, 16))
+    ideal = model.forward_ideal(features)
+    noisy = model.forward_noisy(features, NoiseModel.ideal(5))
+    assert np.allclose(ideal, noisy, atol=1e-6)
+
+
+def test_model_noisy_forward_with_noise_shrinks_logits(model, calibration):
+    features = np.random.default_rng(1).uniform(size=(4, 16))
+    ideal = np.abs(model.forward_ideal(features)).mean()
+    noisy = np.abs(model.forward_noisy(features, NoiseModel.from_calibration(calibration))).mean()
+    assert noisy < ideal
+
+
+def test_model_to_dict_round_trips_parameters(model):
+    payload = model.to_dict()
+    assert payload["num_qubits"] == 4
+    assert len(payload["parameters"]) == model.num_parameters
+
+
+def test_model_parameter_shape_validation():
+    model = QNNModel.create(4, 16, 4, repeats=1, seed=0)
+    with pytest.raises(TrainingError):
+        QNNModel(
+            ansatz=model.ansatz,
+            encoder=model.encoder,
+            readout_qubits=[0, 1],
+            parameters=np.zeros(3),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Noise injection
+# ---------------------------------------------------------------------------
+def test_noise_injector_validation():
+    with pytest.raises(TrainingError):
+        NoiseInjector(attenuation=np.array([1.2]))
+    with pytest.raises(TrainingError):
+        NoiseInjector(attenuation=np.array([0.5]), sigma=-0.1)
+
+
+def test_noise_injector_apply_shapes_and_derivative():
+    injector = NoiseInjector(attenuation=np.array([0.5, 0.8]), sigma=0.0)
+    values = np.array([[1.0, -1.0]])
+    noisy, derivative = injector.apply(values)
+    assert np.allclose(noisy, [[0.5, -0.8]])
+    assert np.allclose(derivative, [0.5, 0.8])
+
+
+def test_noise_injector_from_calibration(model, calibration):
+    injector = NoiseInjector.from_calibration(
+        model.transpiled, calibration, model.readout_qubits
+    )
+    assert injector.attenuation.shape == (4,)
+    assert np.all(injector.attenuation > 0)
+    assert np.all(injector.attenuation < 1)
+
+
+def test_ideal_injector_is_identity():
+    injector = NoiseInjector.ideal(3)
+    values = np.random.default_rng(0).uniform(-1, 1, size=(2, 3))
+    noisy, derivative = injector.apply(values)
+    assert np.allclose(noisy, values)
+    assert np.allclose(derivative, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Trainer and evaluation
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_task():
+    dataset = load_mnist4(num_samples=80, seed=9)
+    return dataset
+
+
+def test_training_reduces_loss_and_improves_accuracy(tiny_task):
+    model = QNNModel.create(4, 16, 4, repeats=1, seed=1)
+    trainer = Trainer(model, TrainConfig(epochs=6, batch_size=16, learning_rate=0.1, seed=0))
+    before = evaluate_ideal(model, tiny_task.train_features, tiny_task.train_labels).accuracy
+    result = trainer.train(tiny_task.train_features, tiny_task.train_labels)
+    assert result.loss_history[-1] < result.loss_history[0]
+    assert result.final_accuracy >= before
+    assert np.allclose(model.parameters, result.parameters)
+
+
+def test_training_with_frozen_mask_keeps_parameters_fixed(tiny_task):
+    model = QNNModel.create(4, 16, 4, repeats=1, seed=1)
+    frozen = np.zeros(model.num_parameters, dtype=bool)
+    frozen[:10] = True
+    target = model.parameters.copy()
+    trainer = Trainer(model, TrainConfig(epochs=2, batch_size=16, seed=0))
+    result = trainer.train(
+        tiny_task.train_features,
+        tiny_task.train_labels,
+        frozen_mask=frozen,
+        prox_target=target,
+    )
+    assert np.allclose(result.parameters[:10], target[:10])
+    assert not np.allclose(result.parameters[10:], target[10:])
+
+
+def test_training_with_prox_pulls_toward_target(tiny_task):
+    model = QNNModel.create(4, 16, 4, repeats=1, seed=1)
+    target = np.zeros(model.num_parameters)
+    config = TrainConfig(epochs=3, batch_size=16, seed=0)
+    free = Trainer(model, config).train(
+        tiny_task.train_features, tiny_task.train_labels, update_model=False
+    )
+    constrained = Trainer(model, config).train(
+        tiny_task.train_features,
+        tiny_task.train_labels,
+        prox_rho=5.0,
+        prox_target=target,
+        update_model=False,
+    )
+    assert np.linalg.norm(constrained.parameters) < np.linalg.norm(free.parameters)
+
+
+def test_trainer_validation_errors(tiny_task):
+    model = QNNModel.create(4, 16, 4, repeats=1, seed=1)
+    trainer = Trainer(model, TrainConfig(epochs=1))
+    with pytest.raises(TrainingError):
+        trainer.train(tiny_task.train_features, tiny_task.train_labels[:-3])
+    with pytest.raises(TrainingError):
+        trainer.train(tiny_task.train_features, tiny_task.train_labels, prox_rho=1.0)
+    with pytest.raises(TrainingError):
+        TrainConfig(epochs=0)
+
+
+def test_evaluate_noisy_with_shots_is_reproducible(model, calibration, tiny_task):
+    noise = NoiseModel.from_calibration(calibration)
+    first = evaluate_noisy(
+        model, tiny_task.test_features[:8], tiny_task.test_labels[:8], noise, shots=256, seed=3
+    )
+    second = evaluate_noisy(
+        model, tiny_task.test_features[:8], tiny_task.test_labels[:8], noise, shots=256, seed=3
+    )
+    assert first.accuracy == second.accuracy
+    assert first.logits.shape == (8, 4)
+    assert first.predictions.shape == (8,)

@@ -1,0 +1,120 @@
+"""Tests for the density-matrix simulator and its noise handling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    ReadoutError,
+    StatevectorSimulator,
+)
+from repro.utils.linalg import is_density_matrix
+
+
+def _bell_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1)
+    return circuit
+
+
+def test_noiseless_density_matches_statevector():
+    circuit = _bell_circuit()
+    sv = StatevectorSimulator(2).run(circuit).probabilities()
+    dm = DensityMatrixSimulator(2).run(circuit).probabilities(apply_readout_error=False)
+    assert np.allclose(sv, dm)
+
+
+def test_result_states_are_valid_density_matrices():
+    circuit = _bell_circuit()
+    noise = NoiseModel(
+        num_qubits=2,
+        single_qubit_error={0: 0.01, 1: 0.02},
+        two_qubit_error={(0, 1): 0.05},
+        readout_error={0: ReadoutError.symmetric(0.03)},
+    )
+    result = DensityMatrixSimulator(2).run(circuit, noise_model=noise, batch=3)
+    for rho in result.rho:
+        assert is_density_matrix(rho)
+
+
+def test_noise_shrinks_expectations():
+    circuit = QuantumCircuit(1)
+    circuit.x(0)
+    clean = DensityMatrixSimulator(1).run(circuit)
+    noisy = DensityMatrixSimulator(1).run(
+        circuit, noise_model=NoiseModel(num_qubits=1, single_qubit_error={0: 0.2})
+    )
+    clean_z = clean.expectation_z([0])[0, 0]
+    noisy_z = noisy.expectation_z([0])[0, 0]
+    assert clean_z == pytest.approx(-1.0)
+    assert noisy_z > clean_z  # shrunk toward zero
+    assert noisy_z < 0.0
+
+
+def test_readout_error_shrinks_expectations_further():
+    circuit = QuantumCircuit(1)
+    circuit.x(0)
+    noise = NoiseModel(
+        num_qubits=1, readout_error={0: ReadoutError.symmetric(0.1)}
+    )
+    result = DensityMatrixSimulator(1).run(circuit, noise_model=noise)
+    with_readout = result.expectation_z([0])[0, 0]
+    without_readout = result.expectation_z([0], apply_readout_error=False)[0, 0]
+    assert without_readout == pytest.approx(-1.0)
+    assert with_readout == pytest.approx(-0.8)
+
+
+def test_virtual_rz_gates_accumulate_no_noise():
+    circuit = QuantumCircuit(1)
+    for _ in range(50):
+        circuit.rz(0.3, 0)
+    noise = NoiseModel(num_qubits=1, single_qubit_error={0: 0.05})
+    result = DensityMatrixSimulator(1).run(circuit, noise_model=noise)
+    # |0> is an eigenstate of RZ; with no pulse noise the state is untouched.
+    assert result.probabilities(apply_readout_error=False)[0, 0] == pytest.approx(1.0)
+
+
+def test_two_qubit_noise_uses_coupler_rate():
+    circuit = QuantumCircuit(2)
+    circuit.cx(0, 1)
+    noise = NoiseModel(num_qubits=2, two_qubit_error={(0, 1): 1.0})
+    result = DensityMatrixSimulator(2).run(circuit, noise_model=noise)
+    # A fully depolarizing CX leaves the two qubits maximally mixed.
+    assert np.allclose(result.rho[0], np.eye(4) / 4, atol=1e-9)
+
+
+def test_shot_sampling_is_reproducible_and_close_to_exact():
+    circuit = _bell_circuit()
+    result = DensityMatrixSimulator(2).run(circuit)
+    exact = result.expectation_z([0, 1])
+    sampled_a = result.sample_expectation_z([0, 1], shots=2000, seed=42)
+    sampled_b = result.sample_expectation_z([0, 1], shots=2000, seed=42)
+    assert np.allclose(sampled_a, sampled_b)
+    assert np.allclose(sampled_a, exact, atol=0.1)
+
+
+def test_from_statevectors_builds_outer_products():
+    states = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+    rho = DensityMatrixSimulator.from_statevectors(states)
+    assert np.allclose(rho[0], [[1, 0], [0, 0]])
+    assert np.allclose(rho[1], [[0, 0], [0, 1]])
+
+
+def test_run_rejects_mismatched_circuit():
+    with pytest.raises(SimulationError):
+        DensityMatrixSimulator(2).run(QuantumCircuit(3))
+
+
+def test_apply_feature_rotations_adds_noise():
+    simulator = DensityMatrixSimulator(1)
+    noise = NoiseModel(num_qubits=1, single_qubit_error={0: 0.3})
+    rho = simulator.zero_state(batch=1)
+    rho_noisy = simulator.apply_feature_rotations(
+        rho, "ry", 0, np.array([np.pi]), noise_model=noise
+    )
+    rho_clean = simulator.apply_feature_rotations(rho, "ry", 0, np.array([np.pi]))
+    # Noisy encoding leaves less population in |1> than the clean one.
+    assert rho_noisy[0, 1, 1].real < rho_clean[0, 1, 1].real

@@ -1,0 +1,106 @@
+"""Tests for the noise-channel definitions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    AmplitudeDampingChannel,
+    BitFlipChannel,
+    DepolarizingChannel,
+    PhaseDampingChannel,
+    PhaseFlipChannel,
+    ReadoutError,
+)
+
+
+@pytest.mark.parametrize(
+    "channel",
+    [
+        BitFlipChannel(0.2),
+        PhaseFlipChannel(0.3),
+        AmplitudeDampingChannel(0.4),
+        PhaseDampingChannel(0.25),
+    ],
+)
+def test_kraus_completeness(channel):
+    total = sum(k.conj().T @ k for k in channel.kraus_operators())
+    assert np.allclose(total, np.eye(2))
+
+
+@pytest.mark.parametrize("probability", [-0.1, 1.5])
+def test_probability_validation(probability):
+    with pytest.raises(SimulationError):
+        DepolarizingChannel(probability)
+    with pytest.raises(SimulationError):
+        BitFlipChannel(probability)
+
+
+def test_depolarizing_qubit_count_validation():
+    with pytest.raises(SimulationError):
+        DepolarizingChannel(0.1, num_qubits=3)
+
+
+def test_depolarizing_from_gate_error_single_qubit():
+    channel = DepolarizingChannel.from_gate_error(0.01, 1)
+    # For d=2 the replace probability is 2x the average infidelity.
+    assert channel.probability == pytest.approx(0.02)
+
+
+def test_depolarizing_from_gate_error_two_qubit():
+    channel = DepolarizingChannel.from_gate_error(0.03, 2)
+    assert channel.probability == pytest.approx(0.04)
+    assert channel.num_qubits == 2
+
+
+def test_depolarizing_from_gate_error_clips_to_one():
+    assert DepolarizingChannel.from_gate_error(0.9, 1).probability == 1.0
+
+
+def test_depolarizing_apply_requires_matching_qubits():
+    channel = DepolarizingChannel(0.1, num_qubits=2)
+    rho = np.eye(2, dtype=complex)[None, :, :]
+    with pytest.raises(SimulationError):
+        channel.apply(rho, [0], 1)
+
+
+def test_bit_flip_full_probability_flips_state():
+    channel = BitFlipChannel(1.0)
+    rho = np.zeros((1, 2, 2), dtype=complex)
+    rho[0, 0, 0] = 1.0
+    flipped = channel.apply(rho, [0], 1)
+    assert flipped[0, 1, 1].real == pytest.approx(1.0)
+
+
+def test_amplitude_damping_relaxes_toward_ground():
+    channel = AmplitudeDampingChannel(1.0)
+    rho = np.zeros((1, 2, 2), dtype=complex)
+    rho[0, 1, 1] = 1.0
+    relaxed = channel.apply(rho, [0], 1)
+    assert relaxed[0, 0, 0].real == pytest.approx(1.0)
+
+
+def test_phase_damping_kills_coherence_but_not_populations():
+    channel = PhaseDampingChannel(1.0)
+    plus = np.full((2, 2), 0.5, dtype=complex)
+    out = channel.apply(plus[None, :, :], [0], 1)
+    assert out[0, 0, 0].real == pytest.approx(0.5)
+    assert abs(out[0, 0, 1]) == pytest.approx(0.0)
+
+
+def test_readout_error_confusion_matrix_columns_sum_to_one():
+    error = ReadoutError(prob_1_given_0=0.1, prob_0_given_1=0.2)
+    confusion = error.confusion_matrix()
+    assert np.allclose(confusion.sum(axis=0), 1.0)
+    assert confusion[1, 0] == pytest.approx(0.1)
+    assert confusion[0, 1] == pytest.approx(0.2)
+
+
+def test_readout_error_symmetric_constructor():
+    error = ReadoutError.symmetric(0.05)
+    assert error.prob_1_given_0 == error.prob_0_given_1 == 0.05
+
+
+def test_readout_error_validation():
+    with pytest.raises(SimulationError):
+        ReadoutError(prob_1_given_0=1.4, prob_0_given_1=0.0)

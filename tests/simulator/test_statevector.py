@@ -1,0 +1,90 @@
+"""Tests for the batched statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulator import StatevectorSimulator
+
+
+def test_zero_state_shape_and_norm():
+    simulator = StatevectorSimulator(3)
+    states = simulator.zero_state(batch=4)
+    assert states.shape == (4, 8)
+    assert np.allclose(states[:, 0], 1.0)
+
+
+def test_bell_state_probabilities():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1)
+    result = StatevectorSimulator(2).run(circuit)
+    probs = result.probabilities()[0]
+    assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+
+def test_expectation_z_of_bell_state_is_zero():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1)
+    result = StatevectorSimulator(2).run(circuit)
+    assert np.allclose(result.expectation_z([0, 1]), 0.0, atol=1e-12)
+
+
+def test_x_gate_flips_expectation():
+    circuit = QuantumCircuit(1)
+    circuit.x(0)
+    result = StatevectorSimulator(1).run(circuit)
+    assert np.allclose(result.expectation_z([0]), -1.0)
+
+
+def test_run_with_custom_initial_states():
+    simulator = StatevectorSimulator(1)
+    initial = np.array([[0.0, 1.0]], dtype=complex)
+    circuit = QuantumCircuit(1)
+    circuit.x(0)
+    result = simulator.run(circuit, initial_states=initial)
+    assert np.allclose(result.probabilities(), [[1.0, 0.0]])
+
+
+def test_run_rejects_wrong_qubit_count():
+    circuit = QuantumCircuit(2)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(3).run(circuit)
+
+
+def test_run_rejects_wrong_initial_dimension():
+    circuit = QuantumCircuit(2)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(2).run(circuit, initial_states=np.ones((1, 2)))
+
+
+def test_unbound_parametric_gate_raises():
+    circuit = QuantumCircuit(1)
+    circuit.add("ry", [0], param_ref=0, trainable=True)
+    with pytest.raises(Exception):
+        StatevectorSimulator(1).run(circuit)
+
+
+def test_apply_feature_rotations_per_sample():
+    simulator = StatevectorSimulator(1)
+    states = simulator.zero_state(batch=3)
+    angles = np.array([0.0, np.pi / 2, np.pi])
+    rotated = simulator.apply_feature_rotations(states, "ry", 0, angles)
+    probs = np.abs(rotated) ** 2
+    assert np.allclose(probs[:, 1], [0.0, 0.5, 1.0], atol=1e-9)
+
+
+def test_apply_feature_rotations_rejects_two_qubit_gate():
+    simulator = StatevectorSimulator(2)
+    with pytest.raises(SimulationError):
+        simulator.apply_feature_rotations(simulator.zero_state(1), "cry", 0, np.array([0.1]))
+
+
+def test_norm_preserved_through_deep_circuit():
+    rng = np.random.default_rng(3)
+    circuit = QuantumCircuit(3)
+    for _ in range(20):
+        circuit.ry(rng.uniform(0, 2 * np.pi), int(rng.integers(0, 3)))
+        circuit.cx(int(rng.integers(0, 2)), 2)
+    result = StatevectorSimulator(3).run(circuit, batch=5)
+    assert np.allclose(np.linalg.norm(result.states, axis=1), 1.0)

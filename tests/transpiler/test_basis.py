@@ -1,0 +1,144 @@
+"""Tests for the basis translation pass (compression-level simplification)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, build_qucad_ansatz
+from repro.exceptions import TranspilerError
+from repro.gates import Gate
+from repro.simulator.ops import apply_unitary_statevector
+from repro.transpiler import (
+    normalize_angle,
+    pulse_count_for_angle,
+    to_basis,
+)
+from repro.transpiler.basis import decompose_gate
+
+NATIVE_GATES = {"rz", "sx", "x", "cx"}
+
+
+def _circuit_unitary(gates, num_qubits):
+    states = np.eye(2**num_qubits, dtype=complex)
+    for gate in gates:
+        states = apply_unitary_statevector(states, gate.matrix(), gate.qubits, num_qubits)
+    return states.T
+
+
+def _equal_up_to_global_phase(a, b, atol=1e-8):
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(a[index]) < 1e-12:
+        return np.allclose(a, 0, atol=atol) and np.allclose(b, 0, atol=atol)
+    phase = a[index] / b[index]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+SINGLE_QUBIT = ["h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "sxdg"]
+TWO_QUBIT = ["cx", "cz", "cy", "swap"]
+ANGLES = [0.0, np.pi / 2, np.pi, 3 * np.pi / 2, 2 * np.pi, 0.33, -1.2, 4.0]
+
+
+@pytest.mark.parametrize("name", SINGLE_QUBIT)
+def test_fixed_single_qubit_decompositions(name):
+    gate = Gate(name, (0,))
+    decomposed = decompose_gate(gate)
+    assert all(g.name in NATIVE_GATES for g in decomposed)
+    got = _circuit_unitary(decomposed, 1) if decomposed else np.eye(2, dtype=complex)
+    assert _equal_up_to_global_phase(got, _circuit_unitary([gate], 1))
+
+
+@pytest.mark.parametrize("name", TWO_QUBIT)
+def test_fixed_two_qubit_decompositions(name):
+    gate = Gate(name, (0, 1))
+    decomposed = decompose_gate(gate)
+    assert all(g.name in NATIVE_GATES for g in decomposed)
+    got = _circuit_unitary(decomposed, 2) if decomposed else np.eye(4, dtype=complex)
+    assert _equal_up_to_global_phase(got, _circuit_unitary([gate], 2))
+
+
+@pytest.mark.parametrize("name", ["rx", "ry", "rz"])
+@pytest.mark.parametrize("theta", ANGLES)
+def test_rotation_decompositions(name, theta):
+    gate = Gate(name, (0,), param=theta)
+    decomposed = decompose_gate(gate)
+    assert all(g.name in NATIVE_GATES for g in decomposed)
+    got = _circuit_unitary(decomposed, 1) if decomposed else np.eye(2, dtype=complex)
+    assert _equal_up_to_global_phase(got, _circuit_unitary([gate], 1))
+
+
+@pytest.mark.parametrize("name", ["crx", "cry", "crz", "cp"])
+@pytest.mark.parametrize("theta", ANGLES)
+def test_controlled_rotation_decompositions(name, theta):
+    gate = Gate(name, (0, 1), param=theta)
+    decomposed = decompose_gate(gate)
+    assert all(g.name in NATIVE_GATES for g in decomposed)
+    got = _circuit_unitary(decomposed, 2) if decomposed else np.eye(4, dtype=complex)
+    assert _equal_up_to_global_phase(got, _circuit_unitary([gate], 2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(["rx", "ry", "crx", "cry", "crz"]),
+    theta=st.floats(-4 * np.pi, 4 * np.pi, allow_nan=False),
+)
+def test_decomposition_equivalence_property(name, theta):
+    qubits = (0,) if name in {"rx", "ry"} else (0, 1)
+    num_qubits = len(qubits)
+    gate = Gate(name, qubits, param=theta)
+    decomposed = decompose_gate(gate)
+    got = (
+        _circuit_unitary(decomposed, num_qubits)
+        if decomposed
+        else np.eye(2**num_qubits, dtype=complex)
+    )
+    assert _equal_up_to_global_phase(got, _circuit_unitary([gate], num_qubits))
+
+
+def test_pulse_count_for_angles():
+    assert pulse_count_for_angle(0.0) == 0
+    assert pulse_count_for_angle(2 * np.pi) == 0
+    assert pulse_count_for_angle(np.pi) == 1
+    assert pulse_count_for_angle(np.pi / 2) == 1
+    assert pulse_count_for_angle(3 * np.pi / 2) == 1
+    assert pulse_count_for_angle(0.4) == 2
+
+
+def test_controlled_rotation_cx_cost_depends_on_level():
+    def cx_count(theta):
+        return sum(1 for g in decompose_gate(Gate("cry", (0, 1), param=theta)) if g.name == "cx")
+
+    assert cx_count(0.0) == 0
+    assert cx_count(np.pi) == 1
+    assert cx_count(np.pi / 2) == 2
+    assert cx_count(1.1) == 2
+
+
+def test_normalize_angle_wraps_into_period():
+    assert normalize_angle(2 * np.pi) == pytest.approx(0.0)
+    assert normalize_angle(-np.pi / 2) == pytest.approx(3 * np.pi / 2)
+    assert normalize_angle(5 * np.pi) == pytest.approx(np.pi)
+
+
+def test_to_basis_translates_whole_circuit():
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    params = np.random.default_rng(0).uniform(0, 2 * np.pi, ansatz.num_parameters)
+    physical = to_basis(ansatz.bind_parameters(params))
+    assert all(g.name in NATIVE_GATES for g in physical)
+
+
+def test_to_basis_rejects_unbound_parameters():
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    with pytest.raises(TranspilerError):
+        to_basis(ansatz)
+
+
+def test_compressed_parameters_yield_shorter_basis_circuit():
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    rng = np.random.default_rng(1)
+    generic = rng.uniform(0.3, 1.2, ansatz.num_parameters)
+    compressed = np.zeros(ansatz.num_parameters)
+    generic_len = len([g for g in to_basis(ansatz.bind_parameters(generic)) if g.name in {"sx", "x", "cx"}])
+    compressed_len = len([g for g in to_basis(ansatz.bind_parameters(compressed)) if g.name in {"sx", "x", "cx"}])
+    assert compressed_len < generic_len
+    assert compressed_len == 0  # every gate vanishes at level 0 on the logical circuit

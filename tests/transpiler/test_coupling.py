@@ -1,0 +1,80 @@
+"""Tests for coupling maps and device topologies."""
+
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.transpiler import (
+    CouplingMap,
+    belem_coupling,
+    fully_connected_coupling,
+    get_coupling,
+    jakarta_coupling,
+    linear_coupling,
+)
+
+
+def test_belem_topology():
+    coupling = belem_coupling()
+    assert coupling.num_qubits == 5
+    assert coupling.is_adjacent(0, 1)
+    assert coupling.is_adjacent(3, 4)
+    assert not coupling.is_adjacent(0, 4)
+    assert coupling.distance(0, 4) == 3
+
+
+def test_jakarta_topology():
+    coupling = jakarta_coupling()
+    assert coupling.num_qubits == 7
+    assert coupling.is_adjacent(3, 5)
+    assert coupling.distance(0, 6) == 4
+
+
+def test_shortest_path_endpoints():
+    coupling = belem_coupling()
+    path = coupling.shortest_path(0, 4)
+    assert path[0] == 0 and path[-1] == 4
+    assert len(path) == 4
+
+
+def test_neighbors_sorted():
+    assert belem_coupling().neighbors(1) == [0, 2, 3]
+
+
+def test_connected_subsets_of_belem():
+    subsets = belem_coupling().connected_subsets(4)
+    assert (0, 1, 2, 3) in subsets
+    assert (0, 1, 3, 4) in subsets
+    assert (0, 2, 3, 4) not in subsets
+
+
+def test_connected_subsets_size_validation():
+    with pytest.raises(TranspilerError):
+        belem_coupling().connected_subsets(0)
+    with pytest.raises(TranspilerError):
+        belem_coupling().connected_subsets(9)
+
+
+def test_linear_and_full_couplings():
+    line = linear_coupling(4)
+    assert line.distance(0, 3) == 3
+    full = fully_connected_coupling(4)
+    assert full.distance(0, 3) == 1
+
+
+def test_coupling_rejects_disconnected_graph():
+    with pytest.raises(TranspilerError):
+        CouplingMap(num_qubits=4, edges=((0, 1),))
+
+
+def test_coupling_rejects_self_loops_and_bad_edges():
+    with pytest.raises(TranspilerError):
+        CouplingMap(num_qubits=2, edges=((0, 0),))
+    with pytest.raises(TranspilerError):
+        CouplingMap(num_qubits=2, edges=((0, 5),))
+
+
+def test_get_coupling_by_name():
+    assert get_coupling("belem").num_qubits == 5
+    assert get_coupling("ibm_jakarta").num_qubits == 7
+    with pytest.raises(TranspilerError):
+        get_coupling("osaka")

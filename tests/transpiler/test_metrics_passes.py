@@ -1,0 +1,109 @@
+"""Tests for physical-circuit metrics and the transpile() entry point."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, build_qucad_ansatz
+from repro.exceptions import TranspilerError
+from repro.simulator import NoiseModel
+from repro.transpiler import (
+    belem_coupling,
+    compression_ratio,
+    expected_error_cost,
+    physical_metrics,
+    to_basis,
+    transpile,
+)
+
+
+def test_physical_metrics_counts():
+    circuit = QuantumCircuit(2)
+    circuit.rz(0.3, 0)
+    circuit.sx(0)
+    circuit.x(1)
+    circuit.cx(0, 1)
+    metrics = physical_metrics(circuit)
+    assert metrics.virtual_gates == 1
+    assert metrics.single_qubit_pulses == 2
+    assert metrics.two_qubit_gates == 1
+    assert metrics.noisy_operations == 3
+    assert metrics.physical_length == 3
+    assert metrics.total_gates == 4
+
+
+def test_compression_ratio():
+    circuit = QuantumCircuit(1)
+    circuit.sx(0)
+    circuit.sx(0)
+    before = physical_metrics(circuit)
+    after = physical_metrics(QuantumCircuit(1).sx(0))
+    assert compression_ratio(before, after) == pytest.approx(0.5)
+    empty = physical_metrics(QuantumCircuit(1))
+    assert compression_ratio(empty, empty) == 0.0
+
+
+def test_expected_error_cost_sums_rates():
+    circuit = QuantumCircuit(2)
+    circuit.sx(0)
+    circuit.cx(0, 1)
+    noise = NoiseModel(
+        num_qubits=2,
+        single_qubit_error={0: 0.001},
+        two_qubit_error={(0, 1): 0.01},
+    )
+    assert expected_error_cost(circuit, noise) == pytest.approx(0.011)
+
+
+def test_transpile_rejects_oversized_circuit():
+    with pytest.raises(TranspilerError):
+        transpile(QuantumCircuit(6), belem_coupling())
+
+
+def test_transpile_end_to_end(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    transpiled = transpile(ansatz, belem_coupling(), calibration=calibration)
+    params = np.linspace(0.1, 1.5, ansatz.num_parameters)
+    physical = transpiled.to_physical(params)
+    assert all(g.name in {"rz", "sx", "x", "cx"} for g in physical)
+    metrics = transpiled.physical_metrics(params)
+    assert metrics.two_qubit_gates > 0
+    measured = transpiled.measured_physical_qubits([0, 1, 2, 3])
+    assert len(set(measured)) == 4
+
+
+def test_transpile_ref_association_covers_all_parameters(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    transpiled = transpile(ansatz, belem_coupling(), calibration=calibration)
+    assert set(transpiled.ref_physical_qubits) == set(range(ansatz.num_parameters))
+
+
+def test_transpiled_compression_reduces_length(calibration):
+    """Setting parameters onto compression levels shortens the physical circuit
+    even after routing (SWAPs remain, but rotations and CR gates simplify)."""
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    transpiled = transpile(ansatz, belem_coupling(), calibration=calibration)
+    rng = np.random.default_rng(0)
+    generic = rng.uniform(0.3, 1.2, ansatz.num_parameters)
+    compressed = np.zeros(ansatz.num_parameters)
+    assert (
+        transpiled.physical_metrics(compressed).physical_length
+        < transpiled.physical_metrics(generic).physical_length
+    )
+
+
+def test_transpile_semantics_preserved_without_noise(calibration):
+    """The transpiled circuit must compute the same distribution as the
+    logical circuit (up to the final layout permutation) when noise-free."""
+    from repro.simulator import DensityMatrixSimulator, StatevectorSimulator
+
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    params = np.random.default_rng(5).uniform(0, 2 * np.pi, ansatz.num_parameters)
+    logical_result = StatevectorSimulator(4).run(ansatz.bind_parameters(params))
+    logical_z = logical_result.expectation_z([0, 1, 2, 3])[0]
+
+    transpiled = transpile(ansatz, belem_coupling(), calibration=calibration)
+    physical = transpiled.to_physical(params)
+    device_result = DensityMatrixSimulator(5).run(physical)
+    measured = transpiled.measured_physical_qubits([0, 1, 2, 3])
+    physical_z = device_result.expectation_z(measured, apply_readout_error=False)[0]
+    assert np.allclose(logical_z, physical_z, atol=1e-7)

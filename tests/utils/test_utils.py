@@ -1,0 +1,71 @@
+"""Tests for shared utilities (RNG handling and linear algebra helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import (
+    fidelity,
+    is_density_matrix,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    project_to_density_matrix,
+    trace_distance,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_accepts_seed_generator_and_none():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+    generator = np.random.default_rng(0)
+    assert ensure_rng(generator) is generator
+    assert ensure_rng(5).integers(0, 10) == ensure_rng(5).integers(0, 10)
+
+
+def test_spawn_rngs_are_independent_and_reproducible():
+    first = [g.integers(0, 1000) for g in spawn_rngs(7, 3)]
+    second = [g.integers(0, 1000) for g in spawn_rngs(7, 3)]
+    assert first == second
+    assert len(set(first)) > 1
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_is_unitary_and_hermitian():
+    hadamard = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+    assert is_unitary(hadamard)
+    assert is_hermitian(hadamard)
+    assert not is_unitary(np.array([[1, 1], [0, 1]]))
+    assert not is_hermitian(np.array([[0, 1], [2, 0]]))
+    assert not is_unitary(np.ones((2, 3)))
+
+
+def test_is_density_matrix():
+    assert is_density_matrix(np.eye(2) / 2)
+    assert not is_density_matrix(np.eye(2))            # trace 2
+    assert not is_density_matrix(np.diag([1.5, -0.5]))  # negative eigenvalue
+
+
+def test_kron_all():
+    x = np.array([[0, 1], [1, 0]])
+    identity = np.eye(2)
+    assert np.allclose(kron_all([x, identity]), np.kron(x, identity))
+    with pytest.raises(ValueError):
+        kron_all([])
+
+
+def test_fidelity_and_trace_distance_extremes():
+    zero = np.diag([1.0, 0.0]).astype(complex)
+    one = np.diag([0.0, 1.0]).astype(complex)
+    assert fidelity(zero, zero) == pytest.approx(1.0)
+    assert fidelity(zero, one) == pytest.approx(0.0, abs=1e-9)
+    assert trace_distance(zero, one) == pytest.approx(1.0)
+    assert trace_distance(zero, zero) == pytest.approx(0.0)
+
+
+def test_project_to_density_matrix_fixes_small_violations():
+    noisy = np.diag([1.001, -0.001]).astype(complex)
+    projected = project_to_density_matrix(noisy)
+    assert is_density_matrix(projected)
+    with pytest.raises(ValueError):
+        project_to_density_matrix(np.zeros((2, 2)))
