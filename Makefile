@@ -1,0 +1,27 @@
+# One-liners for the common workflows.  Everything runs with src/ on the
+# import path; no installation step is required.
+
+PYTHON ?= python
+PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test unit bench bench-paper docs-check
+
+## tier-1 verification: full pytest run (unit tests + reduced-scale benchmarks)
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+## fast loop: unit tests only
+unit:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/ -x -q
+
+## paper figures/tables at reduced scale + engine throughput (prints tables)
+bench:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/ -q -s
+
+## the same at the paper's full scale (hours)
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/ -q -s
+
+## docs presence + public-API docstring audit
+docs-check:
+	$(PYTHON) scripts/docs_check.py

@@ -1,0 +1,108 @@
+"""Benchmark: compiled-engine throughput on the Fig. 7 repeated-evaluation workload.
+
+The online phase re-evaluates one fixed circuit structure against many data
+batches (one evaluation per day per strategy).  This benchmark times that
+workload twice over identical inputs:
+
+* **unfused per-gate path** — bind the parameter vector and apply every gate
+  matrix one at a time (the pre-engine behaviour of
+  ``StatevectorSimulator.run``);
+* **compiled engine path** — ``StatevectorBackend.execute``, which compiles
+  the ansatz once (gate fusion + precomputed axis permutations) and replays
+  the cached program for every batch.
+
+The acceptance bar is a >= 2x speedup; in practice the engine lands well
+above it (see docs/BENCHMARKS.md for representative numbers).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.circuits import build_qucad_ansatz
+from repro.qnn.encoding import AngleEncoder
+from repro.simulator import SimulationEngine, StatevectorBackend, StatevectorSimulator
+
+NUM_QUBITS = 4
+REPEATS = 2
+NUM_BATCHES = 60  # "days" of the Fig. 7 workload; >= 50 per the acceptance bar
+BATCH_SIZE = 16
+ROUNDS = 3  # best-of-N to shrug off scheduler noise
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    ansatz = build_qucad_ansatz(NUM_QUBITS, REPEATS)
+    theta = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+    encoder = AngleEncoder(num_qubits=NUM_QUBITS, num_features=16)
+    simulator = StatevectorSimulator(NUM_QUBITS)
+    batches = [
+        encoder.encode_statevectors(
+            rng.uniform(0.0, 1.0, (BATCH_SIZE, 16)), simulator
+        )
+        for _ in range(NUM_BATCHES)
+    ]
+    return ansatz, theta, simulator, batches
+
+
+def test_engine_throughput():
+    ansatz, theta, simulator, batches = _workload()
+
+    def unfused_pass():
+        outputs = []
+        for states in batches:
+            bound = ansatz.bind_parameters(theta)
+            outputs.append(simulator.run(bound, initial_states=states).states)
+        return outputs
+
+    engine = SimulationEngine()
+    backend = StatevectorBackend(engine=engine)
+
+    def engine_pass():
+        outputs = []
+        for states in batches:
+            outputs.append(
+                backend.execute(ansatz, states, parameters=theta).states
+            )
+        return outputs
+
+    # Correctness first: both paths must agree exactly.
+    reference = unfused_pass()
+    compiled = engine_pass()
+    for expected, actual in zip(reference, compiled):
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+    def best_of(fn):
+        timings = []
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    unfused_seconds = best_of(unfused_pass)
+    engine_seconds = best_of(engine_pass)
+    speedup = unfused_seconds / engine_seconds
+
+    plan = engine.plan_for(ansatz)[1]
+    print(
+        f"\nEngine throughput — {NUM_BATCHES} batches x {BATCH_SIZE} samples, "
+        f"{plan.source_gate_count} gates fused to {plan.fused_gate_count} blocks"
+    )
+    print(
+        f"  unfused per-gate path {unfused_seconds * 1000:7.1f} ms\n"
+        f"  compiled engine path  {engine_seconds * 1000:7.1f} ms\n"
+        f"  speedup               {speedup:7.2f} x"
+    )
+    print(
+        f"  program cache: {engine.stats.program_hits} hits / "
+        f"{engine.stats.program_builds} compilations"
+    )
+
+    # One compilation, every subsequent batch a cache hit.
+    assert engine.stats.program_builds == 1
+    assert engine.stats.program_hits >= NUM_BATCHES
+    # The acceptance criterion: >= 2x over the unfused per-gate path.
+    assert speedup >= 2.0, f"expected >= 2x speedup, measured {speedup:.2f}x"

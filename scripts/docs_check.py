@@ -1,0 +1,90 @@
+"""Documentation audit used by ``make docs-check``.
+
+Checks, without importing anything:
+
+1. the documentation entry points exist (README.md, docs/ARCHITECTURE.md,
+   docs/BENCHMARKS.md) and README links the docs pages;
+2. every module under ``src/repro`` has a module docstring;
+3. every *public* class and function (no leading underscore) defined at
+   module top level — or method defined directly in a public class — has a
+   docstring.
+
+Exits non-zero listing every violation, so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+REQUIRED_DOCS = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    REPO_ROOT / "docs" / "BENCHMARKS.md",
+]
+
+
+def check_required_docs(problems: list[str]) -> None:
+    for path in REQUIRED_DOCS:
+        if not path.is_file():
+            problems.append(f"missing documentation file: {path.relative_to(REPO_ROOT)}")
+    readme = REPO_ROOT / "README.md"
+    if readme.is_file():
+        text = readme.read_text()
+        for link in ("docs/ARCHITECTURE.md", "docs/BENCHMARKS.md"):
+            if link not in text:
+                problems.append(f"README.md does not link {link}")
+
+
+def _missing_docstrings(tree: ast.Module, relative: str) -> list[str]:
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{relative}: missing module docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{relative}:{node.lineno}: public {type(node).__name__.replace('Def', '').lower()} "
+                    f"{node.name!r} missing docstring"
+                )
+            if isinstance(node, ast.ClassDef):
+                for member in node.body:
+                    if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    if member.name.startswith("_"):
+                        continue
+                    if ast.get_docstring(member) is None:
+                        problems.append(
+                            f"{relative}:{member.lineno}: public method "
+                            f"{node.name}.{member.name!r} missing docstring"
+                        )
+    return problems
+
+
+def check_docstrings(problems: list[str]) -> None:
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        relative = str(path.relative_to(REPO_ROOT))
+        tree = ast.parse(path.read_text(), filename=relative)
+        problems.extend(_missing_docstrings(tree, relative))
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_required_docs(problems)
+    check_docstrings(problems)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("docs-check: OK (docs present, all public APIs documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ class BackendSpec:
 
     @property
     def num_qubits(self) -> int:
+        """Number of physical qubits on the device."""
         return self.coupling.num_qubits
 
 

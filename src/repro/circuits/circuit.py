@@ -83,42 +83,55 @@ class QuantumCircuit:
     # Convenience methods for the most common gates.  Parametric helpers
     # accept either a concrete angle or a param_ref.
     def x(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-X gate on ``qubit``."""
         return self.add("x", [qubit])
 
     def sx(self, qubit: int) -> "QuantumCircuit":
+        """Append a sqrt(X) gate on ``qubit``."""
         return self.add("sx", [qubit])
 
     def h(self, qubit: int) -> "QuantumCircuit":
+        """Append a Hadamard gate on ``qubit``."""
         return self.add("h", [qubit])
 
     def z(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Z gate on ``qubit``."""
         return self.add("z", [qubit])
 
     def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a CNOT with the given control and target."""
         return self.add("cx", [control, target])
 
     def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled-Z on the given pair."""
         return self.add("cz", [control, target])
 
     def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Append a SWAP between the two qubits."""
         return self.add("swap", [qubit_a, qubit_b])
 
     def rx(self, theta: float, qubit: int, **kwargs) -> "QuantumCircuit":
+        """Append an X rotation by ``theta`` on ``qubit``."""
         return self.add("rx", [qubit], param=theta, **kwargs)
 
     def ry(self, theta: float, qubit: int, **kwargs) -> "QuantumCircuit":
+        """Append a Y rotation by ``theta`` on ``qubit``."""
         return self.add("ry", [qubit], param=theta, **kwargs)
 
     def rz(self, theta: float, qubit: int, **kwargs) -> "QuantumCircuit":
+        """Append a Z rotation by ``theta`` on ``qubit``."""
         return self.add("rz", [qubit], param=theta, **kwargs)
 
     def crx(self, theta: float, control: int, target: int, **kwargs) -> "QuantumCircuit":
+        """Append a controlled-RX rotation (control listed first)."""
         return self.add("crx", [control, target], param=theta, **kwargs)
 
     def cry(self, theta: float, control: int, target: int, **kwargs) -> "QuantumCircuit":
+        """Append a controlled-RY rotation (control listed first)."""
         return self.add("cry", [control, target], param=theta, **kwargs)
 
     def crz(self, theta: float, control: int, target: int, **kwargs) -> "QuantumCircuit":
+        """Append a controlled-RZ rotation (control listed first)."""
         return self.add("crz", [control, target], param=theta, **kwargs)
 
     # ------------------------------------------------------------------

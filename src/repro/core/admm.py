@@ -30,6 +30,7 @@ from repro.exceptions import TrainingError
 from repro.qnn.model import QNNModel
 from repro.qnn.noise_injection import NoiseInjector
 from repro.qnn.trainer import TrainConfig, Trainer
+from repro.simulator import Backend
 from repro.transpiler import CouplingMap
 from repro.utils.rng import SeedLike
 
@@ -77,14 +78,25 @@ class CompressionResult:
 
     @property
     def compression_fraction(self) -> float:
+        """Fraction of the parameter vector snapped onto compression levels."""
         return float(self.mask.mean()) if self.mask.size else 0.0
 
 
 class NoiseAwareCompressor:
-    """Compress a trained QNN for a given calibration snapshot."""
+    """Compress a trained QNN for a given calibration snapshot.
 
-    def __init__(self, config: Optional[CompressionConfig] = None):
+    The embedded theta-update/fine-tuning trainers route through ``backend``
+    (the shared default when omitted), so the many epochs of an ADMM run
+    reuse compiled circuit programs instead of rebuilding gate matrices.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CompressionConfig] = None,
+        backend: Optional["Backend"] = None,
+    ):
         self.config = config or CompressionConfig()
+        self.backend = backend
 
     def compress(
         self,
@@ -147,7 +159,7 @@ class NoiseAwareCompressor:
             learning_rate=config.learning_rate,
             seed=config.seed,
         )
-        trainer = Trainer(model, train_config)
+        trainer = Trainer(model, train_config, backend=self.backend)
 
         for _ in range(config.admm_iterations):
             # theta-update: loss + rho/2 ||theta - (Z - U)||^2
@@ -197,7 +209,7 @@ class NoiseAwareCompressor:
                 learning_rate=config.learning_rate,
                 seed=config.seed,
             )
-            finetune = Trainer(model, finetune_config).train(
+            finetune = Trainer(model, finetune_config, backend=self.backend).train(
                 features,
                 labels,
                 noise_injector=injector,
@@ -225,10 +237,15 @@ class NoiseAwareCompressor:
 class NoiseAgnosticCompressor(NoiseAwareCompressor):
     """The prior-work baseline [23]: compress purely by circuit length."""
 
-    def __init__(self, config: Optional[CompressionConfig] = None):
+    def __init__(
+        self,
+        config: Optional[CompressionConfig] = None,
+        backend: Optional[Backend] = None,
+    ):
         base = config or CompressionConfig()
         super().__init__(
-            CompressionConfig(
+            backend=backend,
+            config=CompressionConfig(
                 table=base.table,
                 noise_aware=False,
                 admm_iterations=base.admm_iterations,

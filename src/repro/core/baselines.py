@@ -54,10 +54,12 @@ class MethodContext:
     seed: int = 0
 
     def training_subset(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(features, labels)`` subset every method trains on."""
         subset = self.dataset.subsample(num_train=self.train_samples, seed=self.seed)
         return subset.train_features, subset.train_labels
 
     def make_qucad_config(self) -> QuCADConfig:
+        """The QuCAD configuration, derived from the shared fields if not set."""
         if self.qucad_config is not None:
             return self.qucad_config
         return QuCADConfig(
@@ -84,6 +86,7 @@ class AdaptationMethod(abc.ABC):
 
     @property
     def context(self) -> MethodContext:
+        """The prepared :class:`MethodContext`; raises before :meth:`prepare`."""
         if self._context is None:
             raise TrainingError(f"method {self.name!r} was not prepared")
         return self._context
@@ -107,6 +110,7 @@ class BaselineMethod(AdaptationMethod):
     name = "baseline"
 
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Always the unadapted noise-free parameters."""
         return self.context.base_model.parameters
 
 
@@ -120,6 +124,7 @@ class NoiseAwareTrainOnceMethod(AdaptationMethod):
         self._parameters: Optional[np.ndarray] = None
 
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Noise-aware retrain on the first online day only, then frozen."""
         if self._parameters is None:
             context = self.context
             model = context.base_model.copy_with_parameters(context.base_model.parameters)
@@ -145,6 +150,7 @@ class NoiseAwareTrainEverydayMethod(AdaptationMethod):
     name = "noise_aware_train_everyday"
 
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Noise-aware retraining from the base model for every calibration."""
         context = self.context
         model = context.base_model.copy_with_parameters(context.base_model.parameters)
         model.transpiled = context.base_model.transpiled
@@ -172,6 +178,7 @@ class OneTimeCompressionMethod(AdaptationMethod):
         self._parameters: Optional[np.ndarray] = None
 
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Noise-agnostic compression on the first online day only, then frozen."""
         if self._parameters is None:
             context = self.context
             compressor = NoiseAgnosticCompressor(context.compression_config)
@@ -197,6 +204,7 @@ class CompressionEverydayMethod(AdaptationMethod):
     name = "compression_everyday"
 
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Noise-aware compression for every incoming calibration."""
         context = self.context
         compressor = NoiseAwareCompressor(context.compression_config)
         model = context.base_model.copy_with_parameters(context.base_model.parameters)
@@ -219,6 +227,7 @@ class NoiseAgnosticCompressionEverydayMethod(AdaptationMethod):
     name = "noise_agnostic_compression_everyday"
 
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
+        """Noise-agnostic compression for every incoming calibration."""
         context = self.context
         compressor = NoiseAgnosticCompressor(context.compression_config)
         model = context.base_model.copy_with_parameters(context.base_model.parameters)

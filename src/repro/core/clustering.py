@@ -41,6 +41,7 @@ class ClusteringResult:
 
     @property
     def num_clusters(self) -> int:
+        """The number of clusters ``k``."""
         return self.centroids.shape[0]
 
     @property

@@ -27,7 +27,7 @@ from repro.datasets.base import Dataset
 from repro.exceptions import RepositoryError
 from repro.qnn.evaluation import evaluate_noisy
 from repro.qnn.model import QNNModel
-from repro.simulator import NoiseModel
+from repro.simulator import Backend, NoiseModel
 from repro.utils.rng import SeedLike
 
 
@@ -42,6 +42,7 @@ class OfflineReport:
 
     @property
     def num_models(self) -> int:
+        """Number of models stored in the constructed repository."""
         return len(self.repository)
 
 
@@ -56,6 +57,7 @@ class RepositoryConstructor:
         eval_test_samples: Optional[int] = 64,
         train_samples: Optional[int] = 128,
         seed: SeedLike = 0,
+        noisy_backend: Optional[Backend] = None,
     ):
         if num_clusters < 1:
             raise RepositoryError(f"num_clusters must be >= 1, got {num_clusters}")
@@ -65,6 +67,7 @@ class RepositoryConstructor:
         self.eval_test_samples = eval_test_samples
         self.train_samples = train_samples
         self.seed = seed
+        self.noisy_backend = noisy_backend
 
     # ------------------------------------------------------------------
     def measure_day_accuracies(
@@ -73,13 +76,22 @@ class RepositoryConstructor:
         dataset: Dataset,
         history: CalibrationHistory,
     ) -> np.ndarray:
-        """Accuracy of ``model`` under every calibration in ``history``."""
+        """Accuracy of ``model`` under every calibration in ``history``.
+
+        Runs on ``noisy_backend`` when one was provided (the QuCAD facade
+        passes a density-matrix backend sharing the framework engine, so
+        circuits compiled here stay cached for the online stage).
+        """
         subset = dataset.subsample(num_test=self.eval_test_samples, seed=self.seed)
         accuracies = []
         for snapshot in history:
             noise_model = NoiseModel.from_calibration(snapshot)
             result = evaluate_noisy(
-                model, subset.test_features, subset.test_labels, noise_model
+                model,
+                subset.test_features,
+                subset.test_labels,
+                noise_model,
+                backend=self.noisy_backend,
             )
             accuracies.append(result.accuracy)
         return np.asarray(accuracies)

@@ -29,13 +29,26 @@ from repro.core.repository import ModelRepository
 from repro.datasets.base import Dataset
 from repro.exceptions import RepositoryError
 from repro.qnn.model import QNNModel
+from repro.simulator import (
+    DensityMatrixBackend,
+    SimulationEngine,
+    backend_kind,
+    get_execution_backend,
+)
 from repro.transpiler import CouplingMap
 from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
 class QuCADConfig:
-    """Framework-level configuration."""
+    """Framework-level configuration.
+
+    ``backend`` names the execution backend for the framework's *training*
+    paths (adjoint gradients require statevector semantics, so only the
+    ``statevector`` family — aliases ``ideal`` — is accepted; construction
+    raises otherwise).  Noisy evaluation always runs on a density-matrix
+    backend sharing the same engine.
+    """
 
     compression: CompressionConfig = field(default_factory=CompressionConfig)
     num_clusters: int = 6
@@ -44,10 +57,17 @@ class QuCADConfig:
     train_samples: Optional[int] = 128
     fallback_relative_threshold: float = 0.3
     seed: SeedLike = 0
+    backend: str = "statevector"
 
 
 class QuCAD:
-    """Compression-aided adaptation of a QNN to fluctuating noise."""
+    """Compression-aided adaptation of a QNN to fluctuating noise.
+
+    One framework instance owns one :class:`~repro.simulator.SimulationEngine`
+    and one execution backend; the offline constructor, the compressor, and
+    the online manager all share them, so circuit structures compiled during
+    the offline stage stay warm for the online stage.
+    """
 
     def __init__(
         self,
@@ -60,7 +80,19 @@ class QuCAD:
         self.dataset = dataset
         self.coupling = coupling
         self.config = config or QuCADConfig()
-        self.compressor = NoiseAwareCompressor(self.config.compression)
+        if backend_kind(self.config.backend) != "statevector":
+            raise RepositoryError(
+                f"QuCADConfig.backend {self.config.backend!r} is not usable for "
+                "training: adjoint gradients need statevector semantics. Use "
+                "'statevector' (alias 'ideal'); noisy evaluation automatically "
+                "runs on a density-matrix backend over the same engine."
+            )
+        self.engine = SimulationEngine()
+        self.backend = get_execution_backend(self.config.backend, engine=self.engine)
+        self.noisy_backend = DensityMatrixBackend(engine=self.engine)
+        self.compressor = NoiseAwareCompressor(
+            self.config.compression, backend=self.backend
+        )
         self.offline_report: Optional[OfflineReport] = None
         self._manager: Optional[RepositoryManager] = None
 
@@ -76,6 +108,7 @@ class QuCAD:
             eval_test_samples=self.config.eval_test_samples,
             train_samples=self.config.train_samples,
             seed=self.config.seed,
+            noisy_backend=self.noisy_backend,
         )
         self.offline_report = constructor.build(
             self.model, self.dataset, offline_history, coupling=self.coupling
@@ -95,6 +128,7 @@ class QuCAD:
             train_labels=train_subset.train_labels,
             accuracy_requirement=self.config.accuracy_requirement,
             fallback_relative_threshold=self.config.fallback_relative_threshold,
+            backend=self.backend,
         )
 
     def _ensure_manager(self, calibration: CalibrationSnapshot) -> RepositoryManager:
@@ -126,6 +160,7 @@ class QuCAD:
     # ------------------------------------------------------------------
     @property
     def manager(self) -> RepositoryManager:
+        """The online manager; raises until :meth:`offline` or :meth:`online` ran."""
         if self._manager is None:
             raise RepositoryError(
                 "the online manager does not exist yet; call offline() or online() first"
@@ -134,4 +169,5 @@ class QuCAD:
 
     @property
     def repository(self) -> ModelRepository:
+        """The current model repository served by the manager."""
         return self.manager.repository

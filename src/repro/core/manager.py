@@ -28,11 +28,32 @@ from repro.core.admm import NoiseAwareCompressor
 from repro.core.repository import ModelRepository, RepositoryEntry
 from repro.exceptions import RepositoryError
 from repro.qnn.model import QNNModel
+from repro.simulator import Backend
 
 
 @dataclass
 class ManagerDecision:
-    """Outcome of one online adaptation step."""
+    """Outcome of one online adaptation step (the paper's Guidance 1 & 2).
+
+    Attributes
+    ----------
+    parameters:
+        The adapted parameter vector ``theta`` to deploy for the day.
+    action:
+        ``"reuse"`` (matched within ``th_w``), ``"new"`` (online
+        compression, Guidance 1), ``"bootstrap"`` (first entry of an empty
+        repository), or ``"invalid"`` (matched a cluster below the accuracy
+        requirement, Guidance 2).
+    distance:
+        Weighted-L1 distance of the incoming calibration ``D_c`` to the
+        matched entry, when a match was attempted.
+    entry_index:
+        Index of the served repository entry.
+    threshold:
+        The matching threshold ``th_w`` in force for this step.
+    failure_report:
+        Human-readable Guidance-2 report when ``action == "invalid"``.
+    """
 
     parameters: np.ndarray
     action: str
@@ -43,16 +64,22 @@ class ManagerDecision:
 
     @property
     def reused(self) -> bool:
+        """Whether the step served a stored model without optimization."""
         return self.action == "reuse"
 
     @property
     def optimized(self) -> bool:
+        """Whether the step had to run an online compression."""
         return self.action in {"new", "bootstrap"}
 
 
 @dataclass
 class ManagerStats:
-    """Cumulative counters across all online steps."""
+    """Cumulative counters across all online steps.
+
+    ``optimizations / steps`` is the fraction of days requiring online
+    training — the quantity behind the >100x reduction of Fig. 7.
+    """
 
     steps: int = 0
     reuses: int = 0
@@ -62,7 +89,16 @@ class ManagerStats:
 
 
 class RepositoryManager:
-    """Serves adapted models for incoming calibrations."""
+    """Serves adapted models for incoming calibrations (Section III-D).
+
+    This is the online half of the framework: given today's calibration
+    ``D_c`` it either reuses a stored compressed model (cheap, the common
+    case) or triggers one online compression and stores the result.  All
+    simulation the manager causes — the compressor's training loops and any
+    entry evaluation — routes through one shared execution ``backend``
+    rather than ad-hoc simulator construction, so circuit programs compiled
+    on earlier days are reused on later ones.
+    """
 
     def __init__(
         self,
@@ -73,6 +109,7 @@ class RepositoryManager:
         train_labels: np.ndarray,
         accuracy_requirement: float = 0.0,
         fallback_relative_threshold: float = 0.3,
+        backend: Optional[Backend] = None,
     ):
         self.repository = repository
         self.compressor = compressor
@@ -83,6 +120,9 @@ class RepositoryManager:
         if fallback_relative_threshold <= 0:
             raise RepositoryError("fallback_relative_threshold must be positive")
         self.fallback_relative_threshold = fallback_relative_threshold
+        self.backend = backend
+        if backend is not None and compressor.backend is None:
+            compressor.backend = backend
         self.stats = ManagerStats()
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ class MaskTables:
 
     @property
     def num_compressed(self) -> int:
+        """Number of parameters selected for compression by the mask."""
         return int(self.mask.sum())
 
     def compressed_indices(self) -> np.ndarray:

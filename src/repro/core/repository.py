@@ -22,7 +22,32 @@ from repro.exceptions import RepositoryError
 
 @dataclass
 class RepositoryEntry:
-    """One stored model: compressed parameters plus the calibration it targets."""
+    """One stored model: compressed parameters plus the calibration it targets.
+
+    This is the paper's pair ``<M_i, D_i>`` — a noise-aware-compressed model
+    ``M_i`` (its parameter vector ``theta``) together with the calibration
+    snapshot ``D_i`` (typically a cluster centroid from the offline stage) it
+    was compressed for.
+
+    Attributes
+    ----------
+    parameters:
+        The compressed parameter vector ``theta``.
+    calibration_vector:
+        Feature vector of ``D_i`` in the repository's metric layout.
+    calibration:
+        The full snapshot object when available (not persisted to JSON).
+    mean_accuracy:
+        Historical accuracy of this entry over its cluster's days, used for
+        the Guidance-2 validity check; ``None`` when never evaluated.
+    valid:
+        Whether the entry meets the user's accuracy requirement.
+    source:
+        ``"offline"`` (built by the constructor) or ``"online"`` (added by
+        the manager when no stored entry matched).
+    label:
+        Human-readable tag used in reports (e.g. the cluster id).
+    """
 
     parameters: np.ndarray
     calibration_vector: np.ndarray
@@ -49,6 +74,7 @@ class RepositoryEntry:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RepositoryEntry":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             parameters=np.asarray(payload["parameters"], dtype=float),
             calibration_vector=np.asarray(payload["calibration_vector"], dtype=float),
@@ -61,7 +87,11 @@ class RepositoryEntry:
 
 @dataclass
 class MatchResult:
-    """Best repository match for a calibration vector."""
+    """Best repository match for a calibration vector.
+
+    ``distance`` is the performance-weighted L1 distance ``d_w(D_c, D_i)``
+    the online manager compares against the threshold ``th_w``.
+    """
 
     entry: RepositoryEntry
     index: int
@@ -70,7 +100,13 @@ class MatchResult:
 
 @dataclass
 class ModelRepository:
-    """A collection of repository entries with a shared matching metric."""
+    """A collection of repository entries with a shared matching metric.
+
+    The paper's repository ``R = {<M_i, D_i>}`` plus the two artifacts of
+    the offline stage that the online manager needs: the per-feature
+    ``weights`` of the performance-weighted L1 metric and the matching
+    ``threshold`` ``th_w`` derived from the calibration clusters.
+    """
 
     weights: np.ndarray
     threshold: float

@@ -49,10 +49,12 @@ class Dataset:
 
     @property
     def num_train(self) -> int:
+        """Number of training samples."""
         return self.train_features.shape[0]
 
     @property
     def num_test(self) -> int:
+        """Number of test samples."""
         return self.test_features.shape[0]
 
     def subsample(

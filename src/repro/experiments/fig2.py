@@ -35,6 +35,7 @@ class Fig2Result:
     compression_accuracy: np.ndarray
 
     def summary(self) -> dict[str, float]:
+        """Mean and worst-day accuracy of both day-1 strategies."""
         return {
             "noise_aware_training_mean": float(self.noise_aware_training_accuracy.mean()),
             "compression_mean": float(self.compression_accuracy.mean()),

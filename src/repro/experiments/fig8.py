@@ -31,6 +31,7 @@ class Fig8Result:
     accuracy: dict[str, np.ndarray]
 
     def mean_accuracy(self) -> dict[str, float]:
+        """Mean accuracy per method across the evaluation rounds."""
         return {name: float(series.mean()) for name, series in self.accuracy.items()}
 
     def qucad_gain(self) -> dict[str, float]:

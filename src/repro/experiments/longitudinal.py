@@ -33,13 +33,16 @@ class MethodRun:
 
     @property
     def mean_accuracy(self) -> float:
+        """Mean daily accuracy over the evaluated days."""
         return float(self.daily_accuracy.mean()) if self.daily_accuracy.size else float("nan")
 
     @property
     def variance(self) -> float:
+        """Variance of the daily accuracy (the stability column of Table I)."""
         return float(self.daily_accuracy.var()) if self.daily_accuracy.size else float("nan")
 
     def days_over(self, threshold: float) -> int:
+        """Number of days with accuracy strictly above ``threshold``."""
         return int(np.sum(self.daily_accuracy > threshold))
 
     def summary(self) -> dict:
@@ -65,6 +68,7 @@ class LongitudinalResult:
     runs: list[MethodRun] = field(default_factory=list)
 
     def run_for(self, method_name: str) -> MethodRun:
+        """The recorded run for ``method_name``."""
         for run in self.runs:
             if run.method_name == method_name:
                 return run

@@ -44,6 +44,7 @@ class Table2Result:
     weighted_l1: ClusterEvaluation
 
     def rows(self) -> list[dict]:
+        """Both Table II rows as report-ready dicts."""
         return [
             {
                 "method": "K-Means with L2",

@@ -126,6 +126,47 @@ def rzz(theta: float) -> np.ndarray:
     return np.diag([phase, np.conj(phase), np.conj(phase), phase]).astype(complex)
 
 
+# ---------------------------------------------------------------------------
+# Batched rotation stacks (per-sample angles)
+# ---------------------------------------------------------------------------
+
+def rotation_stack(name: str, angles: np.ndarray) -> np.ndarray:
+    """Vectorised ``(batch, 2, 2)`` stack of single-qubit rotation matrices.
+
+    Data-encoding layers rotate every sample by its own feature value; this
+    builds the whole per-sample matrix stack with array operations instead of
+    a Python loop over :func:`rx`/:func:`ry`/:func:`rz` calls.  Supports the
+    four single-qubit parametric gates (``rx``, ``ry``, ``rz``, ``p``).
+
+    Raises ``KeyError`` for other gate names so callers can fall back to the
+    per-sample loop.
+    """
+    angles = np.asarray(angles, dtype=float).ravel()
+    stack = np.zeros((angles.shape[0], 2, 2), dtype=complex)
+    if name == "rx":
+        c, s = np.cos(angles / 2), np.sin(angles / 2)
+        stack[:, 0, 0] = c
+        stack[:, 0, 1] = -1j * s
+        stack[:, 1, 0] = -1j * s
+        stack[:, 1, 1] = c
+    elif name == "ry":
+        c, s = np.cos(angles / 2), np.sin(angles / 2)
+        stack[:, 0, 0] = c
+        stack[:, 0, 1] = -s
+        stack[:, 1, 0] = s
+        stack[:, 1, 1] = c
+    elif name == "rz":
+        phase = np.exp(-1j * angles / 2)
+        stack[:, 0, 0] = phase
+        stack[:, 1, 1] = np.conj(phase)
+    elif name == "p":
+        stack[:, 0, 0] = 1.0
+        stack[:, 1, 1] = np.exp(1j * angles)
+    else:
+        raise KeyError(f"no vectorised stack for gate {name!r}")
+    return stack
+
+
 # Derivatives d/d(theta) of each parametric matrix, used by adjoint gradients.
 
 def drx(theta: float) -> np.ndarray:

@@ -1,4 +1,10 @@
-"""Model evaluation under ideal and noisy execution."""
+"""Model evaluation under ideal and noisy execution.
+
+All evaluation routes through the unified :class:`~repro.simulator.Backend`
+API (pass ``backend=`` to override the shared default), so the accuracy
+sweeps of Fig. 2 / Table I — thousands of evaluations of the same circuit
+structure — reuse compiled programs instead of re-materialising every gate.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +15,7 @@ import numpy as np
 
 from repro.qnn.loss import accuracy
 from repro.qnn.model import QNNModel
-from repro.simulator import NoiseModel
+from repro.simulator import Backend, NoiseModel
 from repro.utils.rng import SeedLike
 
 
@@ -27,9 +33,10 @@ def evaluate_ideal(
     features: np.ndarray,
     labels: np.ndarray,
     parameters: Optional[np.ndarray] = None,
+    backend: Optional[Backend] = None,
 ) -> EvaluationResult:
     """Accuracy under noise-free statevector simulation."""
-    logits = model.forward_ideal(features, parameters=parameters)
+    logits = model.forward_ideal(features, parameters=parameters, backend=backend)
     predictions = np.argmax(logits, axis=-1)
     return EvaluationResult(
         accuracy=accuracy(logits, labels), logits=logits, predictions=predictions
@@ -44,6 +51,7 @@ def evaluate_noisy(
     parameters: Optional[np.ndarray] = None,
     shots: Optional[int] = None,
     seed: SeedLike = None,
+    backend: Optional[Backend] = None,
 ) -> EvaluationResult:
     """Accuracy under a calibration-derived noise model.
 
@@ -51,7 +59,8 @@ def evaluate_noisy(
     emulates execution on real hardware (Fig. 8).
     """
     logits = model.forward_noisy(
-        features, noise_model, parameters=parameters, shots=shots, seed=seed
+        features, noise_model, parameters=parameters, shots=shots, seed=seed,
+        backend=backend,
     )
     predictions = np.argmax(logits, axis=-1)
     return EvaluationResult(
@@ -65,11 +74,15 @@ def accuracy_over_days(
     labels: np.ndarray,
     noise_models: list[NoiseModel],
     parameters: Optional[np.ndarray] = None,
+    backend: Optional[Backend] = None,
 ) -> np.ndarray:
     """Accuracy of one fixed model across a sequence of noise models (days)."""
     return np.array(
         [
-            evaluate_noisy(model, features, labels, noise_model, parameters=parameters).accuracy
+            evaluate_noisy(
+                model, features, labels, noise_model, parameters=parameters,
+                backend=backend,
+            ).accuracy
             for noise_model in noise_models
         ]
     )

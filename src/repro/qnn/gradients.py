@@ -15,13 +15,16 @@ Two engines are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits import QuantumCircuit
 from repro.exceptions import TrainingError
 from repro.simulator import ops
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import SimulationEngine
 
 # Four-term shift-rule coefficients for generators with eigenvalues {0, +-1/2}
 # (controlled rotations): d<O>/dt = c_plus [f(t+pi/2) - f(t-pi/2)]
@@ -36,6 +39,8 @@ def adjoint_gradient(
     parameters: np.ndarray,
     initial_states: np.ndarray,
     observable_diagonals: np.ndarray,
+    engine: Optional["SimulationEngine"] = None,
+    final_states: Optional[np.ndarray] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Gradient of ``sum_b <psi_b| D_b |psi_b>`` w.r.t. the trainable parameters.
 
@@ -52,6 +57,16 @@ def adjoint_gradient(
         For classification this is the loss gradient folded into a weighted
         sum of Pauli-Z diagonals, so a single sweep yields the full loss
         gradient.
+    engine:
+        Compilation engine (defaults to the process-wide one).  The forward
+        pass runs the fused compiled program; the backward sweep — which
+        needs per-gate granularity to attribute overlaps to parameters —
+        reuses the engine's cached per-gate matrices and daggers, so no gate
+        matrix is rebuilt across mini-batch iterations at fixed parameters.
+    final_states:
+        Optional evolved states ``U(theta) |initial>`` from a forward pass
+        the caller already ran (e.g. for the loss value); when given, the
+        internal forward pass is skipped entirely.
 
     Returns
     -------
@@ -59,30 +74,39 @@ def adjoint_gradient(
         ``gradient`` has one entry per parameter; ``final_states`` are the
         evolved statevectors (reusable for the loss value).
     """
+    from repro.simulator.engine import default_engine
+
     parameters = np.asarray(parameters, dtype=float)
-    bound = circuit.bind_parameters(parameters)
+    engine = engine if engine is not None else default_engine()
     num_qubits = circuit.num_qubits
-    states = np.array(initial_states, dtype=complex, copy=True)
-    if states.shape[0] != observable_diagonals.shape[0]:
+    if initial_states.shape[0] != observable_diagonals.shape[0]:
         raise TrainingError("initial_states and observable_diagonals batch mismatch")
 
-    for gate in bound.gates:
-        states = ops.apply_unitary_statevector(states, gate.matrix(), gate.qubits, num_qubits)
-    final_states = states.copy()
+    if final_states is None:
+        states = np.array(initial_states, dtype=complex, copy=True)
+        program = engine.compile(circuit, parameters)
+        states = ops.apply_fused_statevector(states, program.operations, num_qubits)
+        final_states = states.copy()
+    else:
+        final_states = np.asarray(final_states, dtype=complex)
+        if final_states.shape != initial_states.shape:
+            raise TrainingError("final_states and initial_states shape mismatch")
+        states = final_states
 
+    bound = engine.bound_circuit(circuit, parameters)
     gradient = np.zeros(circuit.num_parameters, dtype=float)
     lam = observable_diagonals * states  # D_b |psi_b>
     psi = states
-    for gate in reversed(bound.gates):
-        unitary = gate.matrix()
-        dagger = unitary.conj().T
-        psi = ops.apply_unitary_statevector(psi, dagger, gate.qubits, num_qubits)
+    for index in range(len(bound.gates) - 1, -1, -1):
+        record = bound.gates[index]
+        gate = record.gate
+        psi = ops.apply_unitary_statevector(psi, record.dagger, record.qubits, num_qubits)
         if gate.param_ref is not None and gate.trainable:
-            derivative = gate.derivative_matrix()
-            d_psi = ops.apply_unitary_statevector(psi, derivative, gate.qubits, num_qubits)
+            derivative = bound.derivative(index)
+            d_psi = ops.apply_unitary_statevector(psi, derivative, record.qubits, num_qubits)
             overlap = np.sum(lam.conj() * d_psi)
             gradient[gate.param_ref] += 2.0 * float(np.real(overlap))
-        lam = ops.apply_unitary_statevector(lam, dagger, gate.qubits, num_qubits)
+        lam = ops.apply_unitary_statevector(lam, record.dagger, record.qubits, num_qubits)
     return gradient, final_states
 
 

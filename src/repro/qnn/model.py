@@ -27,9 +27,10 @@ from repro.qnn.encoding import AngleEncoder
 from repro.qnn.gradients import adjoint_gradient, z_diagonal
 from repro.qnn.loss import get_loss
 from repro.simulator import (
-    DensityMatrixSimulator,
+    Backend,
     NoiseModel,
-    StatevectorSimulator,
+    default_density_backend,
+    default_statevector_backend,
 )
 from repro.transpiler import CouplingMap, TranspiledCircuit, transpile
 from repro.utils.rng import SeedLike, ensure_rng
@@ -113,14 +114,17 @@ class QNNModel:
 
     @property
     def num_qubits(self) -> int:
+        """Number of logical qubits of the ansatz."""
         return self.ansatz.num_qubits
 
     @property
     def num_classes(self) -> int:
+        """Number of readout classes (one qubit per class)."""
         return len(self.readout_qubits)
 
     @property
     def num_parameters(self) -> int:
+        """Size of the trainable-parameter vector."""
         return self.ansatz.num_parameters
 
     def copy_with_parameters(self, parameters: np.ndarray, name: Optional[str] = None) -> "QNNModel":
@@ -161,21 +165,36 @@ class QNNModel:
     # Forward passes
     # ------------------------------------------------------------------
     def ideal_expectations(
-        self, features: np.ndarray, parameters: Optional[np.ndarray] = None
+        self,
+        features: np.ndarray,
+        parameters: Optional[np.ndarray] = None,
+        backend: Optional[Backend] = None,
     ) -> np.ndarray:
-        """Noise-free Z expectations of the readout qubits."""
+        """Noise-free Z expectations of the readout qubits.
+
+        Execution routes through the unified backend API: the ansatz is
+        compiled once per (structure, parameters) pair and reused across
+        calls, so evaluating many data batches at fixed parameters — the
+        dominant workload of the online phase — costs only the fused matrix
+        applications.
+        """
         parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
-        simulator = StatevectorSimulator(self.num_qubits)
+        backend = backend if backend is not None else default_statevector_backend()
+        simulator = backend.simulator(self.num_qubits)
         initial = self.encoder.encode_statevectors(features, simulator)
-        bound = self.ansatz.bind_parameters(parameters)
-        result = simulator.run(bound, initial_states=initial)
+        result = backend.execute(self.ansatz, initial, parameters=parameters)
         return result.expectation_z(self.readout_qubits)
 
     def forward_ideal(
-        self, features: np.ndarray, parameters: Optional[np.ndarray] = None
+        self,
+        features: np.ndarray,
+        parameters: Optional[np.ndarray] = None,
+        backend: Optional[Backend] = None,
     ) -> np.ndarray:
         """Noise-free class logits."""
-        return self.logit_scale * self.ideal_expectations(features, parameters)
+        return self.logit_scale * self.ideal_expectations(
+            features, parameters, backend=backend
+        )
 
     def noisy_expectations(
         self,
@@ -185,12 +204,14 @@ class QNNModel:
         shots: Optional[int] = None,
         seed: SeedLike = None,
         apply_readout_error: bool = True,
+        backend: Optional[Backend] = None,
     ) -> np.ndarray:
         """Z expectations under a device noise model (density-matrix simulation)."""
         parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
         transpiled = self._require_transpiled()
         device_qubits = transpiled.coupling.num_qubits
-        simulator = DensityMatrixSimulator(device_qubits)
+        backend = backend if backend is not None else default_density_backend()
+        simulator = backend.simulator(device_qubits)
         mapping = [
             transpiled.encoding_physical_qubit(logical)
             for logical in range(self.num_qubits)
@@ -199,7 +220,7 @@ class QNNModel:
             features, simulator, noise_model=noise_model, qubit_mapping=mapping
         )
         physical = transpiled.to_physical(parameters)
-        result = simulator.run(physical, noise_model=noise_model, initial_rho=initial)
+        result = backend.execute(physical, initial, noise_model=noise_model)
         measured = transpiled.measured_physical_qubits(self.readout_qubits)
         if shots is None:
             return result.expectation_z(measured, apply_readout_error=apply_readout_error)
@@ -214,10 +235,12 @@ class QNNModel:
         parameters: Optional[np.ndarray] = None,
         shots: Optional[int] = None,
         seed: SeedLike = None,
+        backend: Optional[Backend] = None,
     ) -> np.ndarray:
         """Class logits under a device noise model."""
         expectations = self.noisy_expectations(
-            features, noise_model, parameters=parameters, shots=shots, seed=seed
+            features, noise_model, parameters=parameters, shots=shots, seed=seed,
+            backend=backend,
         )
         return self.logit_scale * expectations
 
@@ -232,17 +255,25 @@ class QNNModel:
         loss: str = "cross_entropy",
         noise_injector=None,
         rng: Optional[np.random.Generator] = None,
+        backend: Optional[Backend] = None,
     ) -> tuple[float, np.ndarray]:
         """Training loss and its gradient w.r.t. the trainable parameters.
 
-        The forward/backward pass runs on the noise-free simulator; if a
-        ``noise_injector`` is given (noise-aware training, ref [12]), the
-        expectations are attenuated and jittered before the loss, and the
-        attenuation is chained into the gradient.
+        The forward/backward pass runs on the noise-free backend (compiled
+        and cached per parameter binding); if a ``noise_injector`` is given
+        (noise-aware training, ref [12]), the expectations are attenuated
+        and jittered before the loss, and the attenuation is chained into
+        the gradient.
         """
         parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
+        backend = backend if backend is not None else default_statevector_backend()
         loss_fn = get_loss(loss)
-        expectations = self.ideal_expectations(features, parameters)
+        # One encode + one compiled forward serves both the loss value and
+        # (via its final states) the adjoint backward sweep below.
+        simulator = backend.simulator(self.num_qubits)
+        initial = self.encoder.encode_statevectors(features, simulator)
+        forward = backend.execute(self.ansatz, initial, parameters=parameters)
+        expectations = forward.expectation_z(self.readout_qubits)
         if noise_injector is not None:
             noisy_expectations, attenuation = noise_injector.apply(expectations, rng=rng)
         else:
@@ -258,9 +289,15 @@ class QNNModel:
                 qubit, num_qubits
             )
 
-        simulator = StatevectorSimulator(num_qubits)
-        initial = self.encoder.encode_statevectors(features, simulator)
-        gradient, _ = adjoint_gradient(self.ansatz, parameters, initial, diagonals)
+        engine = getattr(backend, "engine", None)
+        gradient, _ = adjoint_gradient(
+            self.ansatz,
+            parameters,
+            initial,
+            diagonals,
+            engine=engine,
+            final_states=forward.states,
+        )
         return loss_value, gradient
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ class Optimizer:
     """Base interface: ``step`` maps (parameters, gradient) to new parameters."""
 
     def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return the updated parameters for the given gradient."""
         raise NotImplementedError
 
     def reset(self) -> None:
@@ -32,6 +33,7 @@ class SGD(Optimizer):
         self._velocity: Optional[np.ndarray] = None
 
     def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """One (momentum-)SGD update."""
         gradient = np.asarray(gradient, dtype=float)
         if self._velocity is None or self._velocity.shape != gradient.shape:
             self._velocity = np.zeros_like(gradient)
@@ -39,6 +41,7 @@ class SGD(Optimizer):
         return parameters + self._velocity
 
     def reset(self) -> None:
+        """Drop the momentum buffer."""
         self._velocity = None
 
 
@@ -63,6 +66,7 @@ class Adam(Optimizer):
         self._step_count = 0
 
     def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """One Adam update with bias-corrected moment estimates."""
         gradient = np.asarray(gradient, dtype=float)
         if self._m is None or self._m.shape != gradient.shape:
             self._m = np.zeros_like(gradient)
@@ -76,6 +80,7 @@ class Adam(Optimizer):
         return parameters - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
     def reset(self) -> None:
+        """Drop the moment estimates."""
         self._m = None
         self._v = None
         self._step_count = 0

@@ -21,6 +21,7 @@ from repro.qnn.loss import accuracy
 from repro.qnn.model import QNNModel
 from repro.qnn.noise_injection import NoiseInjector
 from repro.qnn.optimizers import get_optimizer
+from repro.simulator import Backend
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -55,19 +56,32 @@ class TrainResult:
 
     @property
     def final_loss(self) -> float:
+        """Loss of the last epoch (NaN before any epoch ran)."""
         return self.loss_history[-1] if self.loss_history else float("nan")
 
     @property
     def final_accuracy(self) -> float:
+        """Training accuracy of the last epoch (NaN before any epoch ran)."""
         return self.accuracy_history[-1] if self.accuracy_history else float("nan")
 
 
 class Trainer:
-    """Mini-batch gradient-descent trainer."""
+    """Mini-batch gradient-descent trainer.
 
-    def __init__(self, model: QNNModel, config: Optional[TrainConfig] = None):
+    All forward/backward passes route through one execution backend (the
+    shared default when ``backend`` is omitted), so gate matrices and fused
+    programs are cached across mini-batches and epochs.
+    """
+
+    def __init__(
+        self,
+        model: QNNModel,
+        config: Optional[TrainConfig] = None,
+        backend: Optional[Backend] = None,
+    ):
         self.model = model
         self.config = config or TrainConfig()
+        self.backend = backend
 
     def train(
         self,
@@ -135,6 +149,7 @@ class Trainer:
                     loss=config.loss,
                     noise_injector=noise_injector,
                     rng=rng,
+                    backend=self.backend,
                 )
                 if prox_rho > 0:
                     loss_value += 0.5 * prox_rho * float(
@@ -148,7 +163,9 @@ class Trainer:
                     # Keep frozen entries exactly at their target values.
                     parameters = np.where(frozen_mask, prox_target, parameters)
                 epoch_losses.append(loss_value)
-            logits = self.model.forward_ideal(features, parameters=parameters)
+            logits = self.model.forward_ideal(
+                features, parameters=parameters, backend=self.backend
+            )
             result.loss_history.append(float(np.mean(epoch_losses)))
             result.accuracy_history.append(accuracy(logits, labels))
             result.epochs_run = epoch + 1

@@ -1,6 +1,41 @@
-"""Quantum-state simulators, noise channels, and noise models."""
+"""Quantum-state simulators, noise models, and the compiled execution engine.
 
+Layer map:
+
+* :mod:`~repro.simulator.ops` — low-level batched tensor contractions;
+* :mod:`~repro.simulator.statevector` / :mod:`~repro.simulator.density_matrix`
+  — the two state representations (ideal ``W_p`` and noisy ``W_n``);
+* :mod:`~repro.simulator.engine` — gate fusion + compiled-circuit LRU cache;
+* :mod:`~repro.simulator.backend` — the unified ``Backend.execute`` API that
+  the qnn and core layers route through.
+"""
+
+from repro.simulator.backend import (
+    Backend,
+    DensityMatrixBackend,
+    SampledStatevectorResult,
+    StatevectorBackend,
+    TrajectoryBackend,
+    backend_kind,
+    default_density_backend,
+    default_statevector_backend,
+    get_execution_backend,
+)
 from repro.simulator.density_matrix import DensityMatrixResult, DensityMatrixSimulator
+from repro.simulator.engine import (
+    BoundCircuit,
+    CompiledProgram,
+    EngineStats,
+    FusedGate,
+    FusionBlock,
+    FusionPlan,
+    SimulationEngine,
+    build_fusion_plan,
+    circuit_structure_digest,
+    default_engine,
+    parameter_digest,
+    set_default_engine,
+)
 from repro.simulator.noise_channels import (
     AmplitudeDampingChannel,
     BitFlipChannel,
@@ -14,10 +49,22 @@ from repro.simulator.statevector import StatevectorResult, StatevectorSimulator
 from repro.simulator import ops
 
 __all__ = [
+    "Backend",
+    "BoundCircuit",
+    "CompiledProgram",
+    "DensityMatrixBackend",
     "DensityMatrixResult",
     "DensityMatrixSimulator",
+    "EngineStats",
+    "FusedGate",
+    "FusionBlock",
+    "FusionPlan",
+    "SampledStatevectorResult",
+    "SimulationEngine",
+    "StatevectorBackend",
     "StatevectorResult",
     "StatevectorSimulator",
+    "TrajectoryBackend",
     "NoiseModel",
     "VIRTUAL_GATES",
     "DepolarizingChannel",
@@ -26,5 +73,14 @@ __all__ = [
     "AmplitudeDampingChannel",
     "PhaseDampingChannel",
     "ReadoutError",
+    "backend_kind",
+    "build_fusion_plan",
+    "circuit_structure_digest",
+    "default_density_backend",
+    "default_engine",
+    "default_statevector_backend",
+    "get_execution_backend",
+    "parameter_digest",
+    "set_default_engine",
     "ops",
 ]

@@ -1,0 +1,390 @@
+"""Unified execution backends: one ``execute`` entry point for every path.
+
+Historically each consumer (``qnn/model.py``, ``qnn/trainer.py``,
+``core/manager.py``, ...) constructed its own
+:class:`~repro.simulator.statevector.StatevectorSimulator` or
+:class:`~repro.simulator.density_matrix.DensityMatrixSimulator` ad hoc, so
+nothing was shared or cached between calls.  This module funnels all of them
+through a single protocol::
+
+    backend = get_execution_backend("statevector")
+    result = backend.execute(circuit, initial_states, parameters=theta)
+    logits = result.expectation_z(readout_qubits)
+
+Three backends cover the paper's three execution regimes:
+
+* :class:`StatevectorBackend` — the ideal environment ``W_p(theta)``
+  (noise-free statevector simulation, compiled + fused via the
+  :class:`~repro.simulator.engine.SimulationEngine`);
+* :class:`DensityMatrixBackend` — the noisy environment ``W_n(theta)``
+  (density matrices under a calibration-derived noise model);
+* :class:`TrajectoryBackend` — hardware emulation: ideal evolution followed
+  by shot sampling of the measurement distribution (the Fig. 8 regime).
+
+Every backend shares one :class:`SimulationEngine`, so compiled programs are
+reused across models, trainers, and the repository manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, Union, runtime_checkable
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulator import ops
+from repro.simulator.density_matrix import DensityMatrixResult, DensityMatrixSimulator
+from repro.simulator.engine import SimulationEngine, default_engine
+from repro.simulator.noise_model import NoiseModel
+from repro.simulator.statevector import StatevectorResult, StatevectorSimulator
+from repro.utils.rng import SeedLike, ensure_rng
+
+CircuitOrCircuits = Union[QuantumCircuit, Sequence[QuantumCircuit]]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The unified execution interface.
+
+    ``execute`` accepts a single circuit (returning a single result) or a
+    sequence of circuits (returning a list of results, one per circuit, all
+    sharing the same initial states).  Results expose ``probabilities()`` and
+    ``expectation_z(qubits)`` regardless of the underlying representation.
+    """
+
+    name: str
+
+    def execute(
+        self,
+        circuits: CircuitOrCircuits,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        parameters: Optional[np.ndarray] = None,
+        batch: int = 1,
+        noise_model: Optional[NoiseModel] = None,
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
+    ):
+        """Run the circuit(s) and return result object(s)."""
+        ...
+
+    def simulator(self, num_qubits: int):
+        """A (cached) low-level simulator for state preparation/encoding."""
+        ...
+
+
+class _EngineBackend:
+    """Shared plumbing: engine handle, simulator cache, list dispatch."""
+
+    name = "abstract"
+
+    def __init__(self, engine: Optional[SimulationEngine] = None):
+        self.engine = engine if engine is not None else default_engine()
+        self._simulators: dict[int, object] = {}
+
+    def _make_simulator(self, num_qubits: int):
+        raise NotImplementedError
+
+    def simulator(self, num_qubits: int):
+        """Per-qubit-count simulator, constructed once and reused."""
+        simulator = self._simulators.get(num_qubits)
+        if simulator is None:
+            simulator = self._make_simulator(num_qubits)
+            self._simulators[num_qubits] = simulator
+        return simulator
+
+    def execute(
+        self,
+        circuits: CircuitOrCircuits,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        parameters: Optional[np.ndarray] = None,
+        batch: int = 1,
+        noise_model: Optional[NoiseModel] = None,
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
+    ):
+        if isinstance(circuits, QuantumCircuit):
+            return self._execute_one(
+                circuits,
+                initial_states,
+                parameters=parameters,
+                batch=batch,
+                noise_model=noise_model,
+                shots=shots,
+                seed=seed,
+            )
+        return [
+            self._execute_one(
+                circuit,
+                initial_states,
+                parameters=parameters,
+                batch=batch,
+                noise_model=noise_model,
+                shots=shots,
+                seed=seed,
+            )
+            for circuit in circuits
+        ]
+
+    def _execute_one(self, circuit, initial_states, **kwargs):
+        raise NotImplementedError
+
+
+class StatevectorBackend(_EngineBackend):
+    """Ideal (noise-free) execution — the paper's ``W_p(theta)``.
+
+    Circuits are compiled through the engine's fusion + LRU pipeline, so
+    re-executing the same structure with the same parameters costs only the
+    fused matrix applications.
+    """
+
+    name = "statevector"
+
+    def _make_simulator(self, num_qubits: int) -> StatevectorSimulator:
+        return StatevectorSimulator(num_qubits)
+
+    def _prepare_states(
+        self, circuit: QuantumCircuit, initial_states, batch: int
+    ) -> np.ndarray:
+        simulator = self.simulator(circuit.num_qubits)
+        if initial_states is None:
+            return simulator.zero_state(batch)
+        states = np.array(initial_states, dtype=complex, copy=True)
+        if states.ndim == 1:
+            states = states[None, :]
+        if states.shape[-1] != simulator.dim:
+            raise SimulationError(
+                f"initial states of dimension {states.shape[-1]} do not match "
+                f"{circuit.num_qubits} qubits"
+            )
+        return states
+
+    def _execute_one(
+        self,
+        circuit: QuantumCircuit,
+        initial_states,
+        *,
+        parameters=None,
+        batch: int = 1,
+        noise_model=None,
+        shots=None,
+        seed=None,
+    ) -> StatevectorResult:
+        if noise_model is not None:
+            raise SimulationError(
+                "the statevector backend is noise-free; use the density_matrix "
+                "backend for noisy execution"
+            )
+        states = self._prepare_states(circuit, initial_states, batch)
+        states = self.engine.run_statevector(circuit, states, parameters)
+        return StatevectorResult(states=states, num_qubits=circuit.num_qubits)
+
+
+@dataclass
+class SampledStatevectorResult:
+    """Shot-sampled view of an ideal statevector execution.
+
+    Outcomes are drawn once (multinomially, ``shots`` per batch element) and
+    reused by every query, so ``probabilities`` and ``expectation_z`` are
+    mutually consistent — the same contract a counts dictionary from real
+    hardware would give.
+    """
+
+    states: np.ndarray
+    num_qubits: int
+    shots: int
+    seed: SeedLike = None
+    _empirical: Optional[np.ndarray] = None
+
+    def probabilities(self) -> np.ndarray:
+        """Empirical basis frequencies, shape ``(batch, 2**n)``."""
+        if self._empirical is None:
+            rng = ensure_rng(self.seed)
+            exact = ops.statevector_probabilities(self.states)
+            counts = ops.sample_counts(exact, self.shots, rng)
+            self._empirical = counts / float(self.shots)
+        return self._empirical
+
+    def expectation_z(self, qubits: Sequence[int]) -> np.ndarray:
+        """Shot-noise Pauli-Z estimates, shape ``(batch, len(qubits))``."""
+        probs = self.probabilities()
+        columns = [ops.expectation_z(probs, q, self.num_qubits) for q in qubits]
+        return np.stack(columns, axis=1)
+
+
+class TrajectoryBackend(StatevectorBackend):
+    """Sampled-trajectory execution: ideal evolution + finite shots.
+
+    Emulates submitting the circuit to hardware and reading back counts;
+    ``shots`` defaults to the backend-level setting when not passed to
+    ``execute``.  The backend-level ``seed`` seeds a generator from which
+    every ``execute`` call draws an *independent* child seed, so repeated
+    calls see fresh shot noise while the whole sequence stays reproducible;
+    a per-call ``seed`` overrides that draw.
+    """
+
+    name = "trajectory"
+
+    def __init__(
+        self,
+        engine: Optional[SimulationEngine] = None,
+        shots: int = 1024,
+        seed: SeedLike = None,
+    ):
+        super().__init__(engine=engine)
+        if shots <= 0:
+            raise SimulationError(f"shots must be positive, got {shots}")
+        self.shots = shots
+        self._rng = ensure_rng(seed)
+
+    def _execute_one(
+        self,
+        circuit: QuantumCircuit,
+        initial_states,
+        *,
+        parameters=None,
+        batch: int = 1,
+        noise_model=None,
+        shots=None,
+        seed=None,
+    ) -> SampledStatevectorResult:
+        ideal = super()._execute_one(
+            circuit,
+            initial_states,
+            parameters=parameters,
+            batch=batch,
+            noise_model=noise_model,
+        )
+        return SampledStatevectorResult(
+            states=ideal.states,
+            num_qubits=ideal.num_qubits,
+            shots=shots if shots is not None else self.shots,
+            seed=seed if seed is not None else int(self._rng.integers(2**63 - 1)),
+        )
+
+
+class DensityMatrixBackend(_EngineBackend):
+    """Noisy execution — the paper's ``W_n(theta)``.
+
+    A noise model can be fixed at construction (e.g. one backend per
+    calibration day) or passed per call; the per-call model wins.  Without
+    any noise model the engine's fused program is used; with one, cached
+    per-gate matrices are walked so every gate's depolarizing channel lands
+    in the right place.
+    """
+
+    name = "density_matrix"
+
+    def __init__(
+        self,
+        engine: Optional[SimulationEngine] = None,
+        noise_model: Optional[NoiseModel] = None,
+    ):
+        super().__init__(engine=engine)
+        self.noise_model = noise_model
+
+    def _make_simulator(self, num_qubits: int) -> DensityMatrixSimulator:
+        return DensityMatrixSimulator(num_qubits)
+
+    def _execute_one(
+        self,
+        circuit: QuantumCircuit,
+        initial_states,
+        *,
+        parameters=None,
+        batch: int = 1,
+        noise_model=None,
+        shots=None,
+        seed=None,
+    ) -> DensityMatrixResult:
+        model = noise_model if noise_model is not None else self.noise_model
+        simulator = self.simulator(circuit.num_qubits)
+        if initial_states is None:
+            rho = simulator.zero_state(batch)
+        else:
+            rho = np.array(initial_states, dtype=complex, copy=True)
+            if rho.ndim == 2:
+                rho = rho[None, :, :]
+            if rho.shape[-1] != simulator.dim:
+                raise SimulationError(
+                    f"initial density matrices of dimension {rho.shape[-1]} do "
+                    f"not match {circuit.num_qubits} qubits"
+                )
+        rho = self.engine.run_density(circuit, rho, noise_model=model, parameters=parameters)
+        return DensityMatrixResult(
+            rho=rho, num_qubits=circuit.num_qubits, noise_model=model
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry and shared defaults
+# ---------------------------------------------------------------------------
+
+#: Accepted aliases for each backend kind.
+BACKEND_ALIASES: dict[str, str] = {
+    "statevector": "statevector",
+    "ideal": "statevector",
+    "density_matrix": "density_matrix",
+    "noisy": "density_matrix",
+    "trajectory": "trajectory",
+    "sampled": "trajectory",
+}
+
+
+def backend_kind(name: str) -> str:
+    """Resolve a backend name/alias to its canonical kind.
+
+    Raises :class:`SimulationError` for unknown names.
+    """
+    kind = BACKEND_ALIASES.get(name.lower())
+    if kind is None:
+        raise SimulationError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKEND_ALIASES)}"
+        )
+    return kind
+
+
+def get_execution_backend(
+    name: str, engine: Optional[SimulationEngine] = None, **kwargs
+) -> Backend:
+    """Construct an execution backend by name.
+
+    Canonical names: ``statevector`` / ``density_matrix`` / ``trajectory``;
+    aliases: ``ideal`` -> statevector, ``noisy`` -> density_matrix,
+    ``sampled`` -> trajectory.  Extra keyword arguments go to the backend
+    constructor (e.g. ``shots`` for the trajectory backend).
+
+    Named ``get_execution_backend`` (not ``get_backend``) to stay distinct
+    from :func:`repro.calibration.get_backend`, which returns a *device
+    description* (:class:`~repro.calibration.backends.BackendSpec`), not an
+    executor.
+    """
+    kind = backend_kind(name)
+    if kind == "statevector":
+        return StatevectorBackend(engine=engine, **kwargs)
+    if kind == "density_matrix":
+        return DensityMatrixBackend(engine=engine, **kwargs)
+    return TrajectoryBackend(engine=engine, **kwargs)
+
+
+_default_statevector: Optional[StatevectorBackend] = None
+_default_density: Optional[DensityMatrixBackend] = None
+
+
+def default_statevector_backend() -> StatevectorBackend:
+    """Process-wide ideal backend (shares :func:`default_engine`)."""
+    global _default_statevector
+    if _default_statevector is None or _default_statevector.engine is not default_engine():
+        _default_statevector = StatevectorBackend()
+    return _default_statevector
+
+
+def default_density_backend() -> DensityMatrixBackend:
+    """Process-wide noisy backend (shares :func:`default_engine`)."""
+    global _default_density
+    if _default_density is None or _default_density.engine is not default_engine():
+        _default_density = DensityMatrixBackend()
+    return _default_density

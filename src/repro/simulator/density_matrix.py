@@ -132,15 +132,16 @@ class DensityMatrixSimulator:
         angles: np.ndarray,
         noise_model: Optional[NoiseModel] = None,
     ) -> np.ndarray:
-        """Apply one encoding rotation with per-sample angles plus its noise."""
-        from repro.gates import GATE_REGISTRY, Gate
+        """Apply one encoding rotation with per-sample angles plus its noise.
 
-        spec = GATE_REGISTRY[gate_name]
-        if spec.num_params != 1 or spec.num_qubits != 1:
-            raise SimulationError(
-                f"feature rotations require a single-qubit parametric gate, got {gate_name!r}"
-            )
-        matrices = np.stack([spec.matrix_fn(float(a)) for a in angles])
+        The ``(batch, 2, 2)`` unitary stack is built vectorised (see
+        :func:`repro.gates.matrices.rotation_stack`) rather than one sample
+        at a time.
+        """
+        from repro.gates import Gate
+        from repro.simulator.statevector import _feature_rotation_stack
+
+        matrices = _feature_rotation_stack(gate_name, angles)
         rho = ops.apply_unitary_density(rho, matrices, [qubit], self.num_qubits)
         if noise_model is not None:
             probe = Gate(gate_name, (qubit,), param=0.0)

@@ -1,0 +1,598 @@
+"""Compiled-circuit execution engine: gate fusion + program caching.
+
+The online phase of the paper evaluates the *same* circuit structure
+thousands of times — once per day per strategy in the longitudinal studies
+(Fig. 2, Fig. 7, Table I) — while only the bound rotation angles and the
+data batches change.  The naive path re-materialises every gate matrix and
+applies the gates one by one on every call.  This module amortises that
+per-call setup the same way short-block DAC decoders amortise per-block
+setup cost:
+
+1. **Fusion plan** (structure level): adjacent single-qubit gates on the
+   same wire are merged, and runs of two-qubit gates on the same pair —
+   together with the single-qubit gates caught between them — are contracted
+   into single 4x4 unitaries.  The plan depends only on gate names and qubit
+   indices, so it is computed once per circuit *structure* and reused across
+   every parameter binding.
+2. **Compiled program** (binding level): the plan's blocks are materialised
+   into concrete fused matrices for one set of bound angles.  Programs are
+   held in an LRU cache keyed on ``(circuit_id, parameter_digest)`` so
+   repeated evaluations with different data batches skip recompilation
+   entirely.
+3. **Bound circuits** (gate level): per-gate matrices (plus daggers and
+   lazily-memoised derivative matrices) are cached under the same key for
+   consumers that need per-gate granularity — the adjoint gradient's
+   backward sweep and the noisy density-matrix path, where a depolarizing
+   channel after every physical gate forbids fusing across gates.
+
+The public entry points are :class:`SimulationEngine` and the module-level
+:func:`default_engine` singleton shared by the high-level
+:mod:`repro.simulator.backend` API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.gates import Gate
+from repro.gates.matrices import I2, SWAP
+from repro.simulator import ops
+
+# ---------------------------------------------------------------------------
+# Structural and parameter digests
+# ---------------------------------------------------------------------------
+
+_NAN_SENTINEL = struct.pack("<d", float("nan"))
+
+
+def circuit_structure_digest(circuit: QuantumCircuit) -> str:
+    """Digest of the circuit's *structure*: gate names and qubit indices.
+
+    Two circuits share a digest exactly when they apply the same gate types
+    to the same wires in the same order — which is precisely the condition
+    for sharing a :class:`FusionPlan`.  Angles are deliberately excluded so
+    that rebinding a parameterized ansatz keeps its plan.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(struct.pack("<i", circuit.num_qubits))
+    for gate in circuit.gates:
+        hasher.update(gate.name.encode())
+        hasher.update(struct.pack(f"<{len(gate.qubits)}i", *gate.qubits))
+        hasher.update(b";")
+    return hasher.hexdigest()
+
+
+def parameter_digest(
+    circuit: QuantumCircuit, parameters: Optional[np.ndarray] = None
+) -> str:
+    """Digest of everything that affects the bound gate matrices.
+
+    Covers each gate's own angle, ``param_ref``, and ``trainable`` flag plus
+    the external parameter vector (when given), so two calls collide only if
+    they produce identical bound matrices *and* identical gradient behaviour
+    (the adjoint sweep reads ``trainable`` off cached bound circuits) for an
+    identical structure.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for gate in circuit.gates:
+        ref = -1 if gate.param_ref is None else gate.param_ref
+        hasher.update(struct.pack("<i?", ref, gate.trainable))
+        if gate.param is None:
+            hasher.update(_NAN_SENTINEL)
+        else:
+            hasher.update(struct.pack("<d", gate.param))
+    if parameters is not None:
+        hasher.update(b"|params|")
+        hasher.update(np.ascontiguousarray(parameters, dtype=np.float64).tobytes())
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Fusion plan (structure level)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusionBlock:
+    """One fused block of the plan: a qubit set and the gates it absorbs.
+
+    ``qubits`` fixes the basis of the fused matrix (first qubit = most
+    significant tensor factor, matching the convention of
+    :mod:`repro.gates.matrices`); ``gate_indices`` are positions in the
+    source circuit's gate list, in circuit order.
+    """
+
+    qubits: tuple[int, ...]
+    gate_indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Structure-level fusion schedule: an ordered tuple of blocks."""
+
+    num_qubits: int
+    blocks: tuple[FusionBlock, ...]
+    source_gate_count: int
+
+    @property
+    def fused_gate_count(self) -> int:
+        """Number of matrix applications after fusion."""
+        return len(self.blocks)
+
+
+class _OpenBlock:
+    """Mutable block under construction during the fusion sweep."""
+
+    __slots__ = ("qubits", "indices")
+
+    def __init__(self, qubits: tuple[int, ...], indices: list[int]):
+        self.qubits = qubits
+        self.indices = indices
+
+
+def build_fusion_plan(circuit: QuantumCircuit) -> FusionPlan:
+    """Greedy gate fusion into blocks of at most two qubits.
+
+    The sweep keeps at most one *open* block per wire.  A gate joins the open
+    block covering its wires when the combined support stays within two
+    qubits; otherwise the conflicting blocks are closed (they keep their
+    emission position) and a fresh block opens.  Whenever a gate joins an
+    existing block, that block moves to the end of the emission order — this
+    is safe because every block opened later is wire-disjoint from it (a
+    gate sharing a wire would have joined or closed it), and wire-disjoint
+    unitaries commute.
+    """
+    blocks: list[_OpenBlock] = []
+    open_by_wire: dict[int, _OpenBlock] = {}
+
+    def close(block: _OpenBlock) -> None:
+        for wire in block.qubits:
+            if open_by_wire.get(wire) is block:
+                del open_by_wire[wire]
+
+    def move_to_end(block: _OpenBlock) -> None:
+        blocks.remove(block)
+        blocks.append(block)
+
+    for index, gate in enumerate(circuit.gates):
+        wires = gate.qubits
+        if len(wires) == 1:
+            wire = wires[0]
+            block = open_by_wire.get(wire)
+            if block is None:
+                block = _OpenBlock((wire,), [index])
+                open_by_wire[wire] = block
+                blocks.append(block)
+            else:
+                move_to_end(block)
+                block.indices.append(index)
+            continue
+
+        if len(wires) != 2:  # pragma: no cover - registry only has 1q/2q gates
+            raise SimulationError(
+                f"fusion supports gates on at most 2 qubits, got {gate.name!r}"
+            )
+        wire_a, wire_b = wires
+        block_a = open_by_wire.get(wire_a)
+        block_b = open_by_wire.get(wire_b)
+
+        if block_a is not None and block_a is block_b:
+            # An open two-qubit block already covers exactly this pair.
+            move_to_end(block_a)
+            block_a.indices.append(index)
+            continue
+
+        # Close any open block whose support would exceed two qubits.
+        if block_a is not None and not set(block_a.qubits) <= {wire_a, wire_b}:
+            close(block_a)
+            block_a = None
+        if block_b is not None and not set(block_b.qubits) <= {wire_a, wire_b}:
+            close(block_b)
+            block_b = None
+
+        if block_a is not None and block_b is not None:
+            # Two single-qubit blocks on the two wires: merge them.  Their
+            # gates act on disjoint wires, so sorting the merged indices
+            # preserves each wire's internal order and overall correctness.
+            move_to_end(block_a)
+            blocks.remove(block_b)
+            block_a.indices = sorted(block_a.indices + block_b.indices)
+            block_a.indices.append(index)
+            block_a.qubits = wires
+            open_by_wire[wire_a] = block_a
+            open_by_wire[wire_b] = block_a
+        elif block_a is not None or block_b is not None:
+            host = block_a if block_a is not None else block_b
+            move_to_end(host)
+            host.indices.append(index)
+            host.qubits = wires
+            open_by_wire[wire_a] = host
+            open_by_wire[wire_b] = host
+        else:
+            host = _OpenBlock(wires, [index])
+            open_by_wire[wire_a] = host
+            open_by_wire[wire_b] = host
+            blocks.append(host)
+
+    return FusionPlan(
+        num_qubits=circuit.num_qubits,
+        blocks=tuple(
+            FusionBlock(qubits=tuple(b.qubits), gate_indices=tuple(b.indices))
+            for b in blocks
+        ),
+        source_gate_count=len(circuit.gates),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compiled programs (binding level)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusedGate:
+    """One fused unitary ready for application: ``(qubits, matrix)``."""
+
+    qubits: tuple[int, ...]
+    matrix: np.ndarray
+
+    def __iter__(self) -> Iterator:
+        """Unpack as ``qubits, matrix`` (the pair form used by ``ops``)."""
+        yield self.qubits
+        yield self.matrix
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A circuit compiled for one parameter binding.
+
+    ``operations`` is the fused gate sequence; applying it left-to-right is
+    mathematically identical to applying the source circuit gate-by-gate.
+    ``steps`` is the same sequence in the precompiled form consumed by
+    :func:`repro.simulator.ops.apply_compiled_statevector` — matrices paired
+    with tensor-axis permutations computed once at compile time.
+    """
+
+    num_qubits: int
+    operations: tuple[FusedGate, ...]
+    steps: tuple[tuple[np.ndarray, int, tuple[int, ...], tuple[int, ...]], ...]
+    circuit_id: str
+    parameter_key: str
+    source_gate_count: int
+
+    @property
+    def fused_gate_count(self) -> int:
+        """Number of matrix applications the program performs."""
+        return len(self.operations)
+
+
+@dataclass
+class BoundGateRecord:
+    """Cached per-gate data for consumers needing gate granularity."""
+
+    gate: Gate
+    qubits: tuple[int, ...]
+    matrix: np.ndarray
+    dagger: np.ndarray
+
+
+@dataclass
+class BoundCircuit:
+    """A circuit with all gate matrices (and daggers) materialised once.
+
+    Used by the adjoint-gradient backward sweep and the noisy
+    density-matrix path, both of which must walk gate-by-gate.  Derivative
+    matrices are memoised on first request per gate index.
+    """
+
+    num_qubits: int
+    gates: tuple[BoundGateRecord, ...]
+    _derivatives: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def derivative(self, index: int) -> np.ndarray:
+        """``d(matrix)/d(angle)`` of gate ``index``, memoised."""
+        cached = self._derivatives.get(index)
+        if cached is None:
+            cached = self.gates[index].gate.derivative_matrix()
+            self._derivatives[index] = cached
+        return cached
+
+
+def _embed_into_block(
+    gate: Gate, matrix: np.ndarray, block_qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Lift a gate matrix into the basis of its host fusion block."""
+    if gate.qubits == block_qubits:
+        return matrix
+    if len(block_qubits) == 1:
+        return matrix
+    if len(gate.qubits) == 1:
+        if gate.qubits[0] == block_qubits[0]:
+            return np.kron(matrix, I2)
+        return np.kron(I2, matrix)
+    # Two-qubit gate listed in the reverse order of the block basis: conjugate
+    # by SWAP to exchange the tensor factors.
+    return SWAP @ matrix @ SWAP
+
+
+def materialize_program(
+    plan: FusionPlan,
+    bound_gates: Sequence[Gate],
+    circuit_id: str,
+    parameter_key: str,
+) -> CompiledProgram:
+    """Turn a structure-level plan into concrete fused matrices."""
+    operations = []
+    for block in plan.blocks:
+        if len(block.gate_indices) == 1 and len(block.qubits) == len(
+            bound_gates[block.gate_indices[0]].qubits
+        ):
+            gate = bound_gates[block.gate_indices[0]]
+            operations.append(FusedGate(qubits=gate.qubits, matrix=gate.matrix()))
+            continue
+        dim = 2 ** len(block.qubits)
+        fused = np.eye(dim, dtype=complex)
+        for gate_index in block.gate_indices:
+            gate = bound_gates[gate_index]
+            embedded = _embed_into_block(gate, gate.matrix(), block.qubits)
+            fused = embedded @ fused
+        operations.append(FusedGate(qubits=block.qubits, matrix=fused))
+    steps = []
+    for fused_gate in operations:
+        perm, inverse = ops.statevector_axis_permutation(
+            fused_gate.qubits, plan.num_qubits
+        )
+        steps.append(
+            (
+                np.ascontiguousarray(fused_gate.matrix),
+                2 ** len(fused_gate.qubits),
+                perm,
+                inverse,
+            )
+        )
+    return CompiledProgram(
+        num_qubits=plan.num_qubits,
+        operations=tuple(operations),
+        steps=tuple(steps),
+        circuit_id=circuit_id,
+        parameter_key=parameter_key,
+        source_gate_count=plan.source_gate_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineStats:
+    """Cache counters of a :class:`SimulationEngine`.
+
+    ``program_hits / (program_hits + program_misses)`` is the fraction of
+    executions that skipped compilation entirely — the quantity the Fig. 7
+    throughput benchmark exercises.
+    """
+
+    plan_builds: int = 0
+    plan_hits: int = 0
+    program_builds: int = 0
+    program_hits: int = 0
+    bound_builds: int = 0
+    bound_hits: int = 0
+
+    @property
+    def program_misses(self) -> int:
+        """Alias for ``program_builds`` (every miss triggers one build)."""
+        return self.program_builds
+
+    @property
+    def program_hit_rate(self) -> float:
+        """Fraction of compile requests served from the program cache."""
+        total = self.program_hits + self.program_builds
+        return self.program_hits / total if total else 0.0
+
+
+class SimulationEngine:
+    """Compiles circuits into fused programs and caches the results.
+
+    Parameters
+    ----------
+    max_programs:
+        LRU capacity of the compiled-program and bound-circuit caches
+        (entries are keyed ``(circuit_id, parameter_digest)``).
+    max_plans:
+        LRU capacity of the structure-level fusion-plan cache.
+    fusion:
+        Disable to compile identity programs (one block per gate); used by
+        tests and the throughput benchmark to isolate the fusion gain.
+    """
+
+    def __init__(
+        self, max_programs: int = 256, max_plans: int = 128, fusion: bool = True
+    ):
+        if max_programs < 1 or max_plans < 1:
+            raise SimulationError("engine cache sizes must be >= 1")
+        self.max_programs = max_programs
+        self.max_plans = max_plans
+        self.fusion = fusion
+        self.stats = EngineStats()
+        self._plans: OrderedDict[str, FusionPlan] = OrderedDict()
+        self._programs: OrderedDict[tuple[str, str], CompiledProgram] = OrderedDict()
+        self._bound: OrderedDict[tuple[str, str], BoundCircuit] = OrderedDict()
+
+    # -- cache plumbing -------------------------------------------------
+    @staticmethod
+    def _lru_get(cache: OrderedDict, key):
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+    @staticmethod
+    def _lru_put(cache: OrderedDict, key, value, capacity: int) -> None:
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > capacity:
+            cache.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached plan, program, and bound circuit."""
+        self._plans.clear()
+        self._programs.clear()
+        self._bound.clear()
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current number of entries per cache (for introspection/tests)."""
+        return {
+            "plans": len(self._plans),
+            "programs": len(self._programs),
+            "bound": len(self._bound),
+        }
+
+    # -- compilation ----------------------------------------------------
+    def plan_for(self, circuit: QuantumCircuit) -> tuple[str, FusionPlan]:
+        """The fusion plan for ``circuit``'s structure (cached by digest)."""
+        circuit_id = circuit_structure_digest(circuit)
+        plan = self._lru_get(self._plans, circuit_id)
+        if plan is None:
+            if self.fusion:
+                plan = build_fusion_plan(circuit)
+            else:
+                plan = FusionPlan(
+                    num_qubits=circuit.num_qubits,
+                    blocks=tuple(
+                        FusionBlock(qubits=g.qubits, gate_indices=(i,))
+                        for i, g in enumerate(circuit.gates)
+                    ),
+                    source_gate_count=len(circuit.gates),
+                )
+            self._lru_put(self._plans, circuit_id, plan, self.max_plans)
+            self.stats.plan_builds += 1
+        else:
+            self.stats.plan_hits += 1
+        return circuit_id, plan
+
+    def _bind(
+        self, circuit: QuantumCircuit, parameters: Optional[np.ndarray]
+    ) -> QuantumCircuit:
+        if parameters is None:
+            return circuit
+        return circuit.bind_parameters(parameters)
+
+    def compile(
+        self, circuit: QuantumCircuit, parameters: Optional[np.ndarray] = None
+    ) -> CompiledProgram:
+        """Compile ``circuit`` (bound, or bindable via ``parameters``).
+
+        Returns a cached :class:`CompiledProgram` when the same structure has
+        already been compiled with an identical effective parameter binding.
+        """
+        circuit_id, plan = self.plan_for(circuit)
+        parameter_key = parameter_digest(circuit, parameters)
+        cache_key = (circuit_id, parameter_key)
+        program = self._lru_get(self._programs, cache_key)
+        if program is not None:
+            self.stats.program_hits += 1
+            return program
+        bound = self._bind(circuit, parameters)
+        program = materialize_program(plan, bound.gates, circuit_id, parameter_key)
+        self._lru_put(self._programs, cache_key, program, self.max_programs)
+        self.stats.program_builds += 1
+        return program
+
+    def bound_circuit(
+        self, circuit: QuantumCircuit, parameters: Optional[np.ndarray] = None
+    ) -> BoundCircuit:
+        """Per-gate matrices (with daggers) for ``circuit``, cached."""
+        circuit_id = circuit_structure_digest(circuit)
+        parameter_key = parameter_digest(circuit, parameters)
+        cache_key = (circuit_id, parameter_key)
+        bound = self._lru_get(self._bound, cache_key)
+        if bound is not None:
+            self.stats.bound_hits += 1
+            return bound
+        bound_source = self._bind(circuit, parameters)
+        records = []
+        for gate in bound_source.gates:
+            matrix = gate.matrix()
+            records.append(
+                BoundGateRecord(
+                    gate=gate,
+                    qubits=gate.qubits,
+                    matrix=matrix,
+                    dagger=matrix.conj().T,
+                )
+            )
+        bound = BoundCircuit(num_qubits=circuit.num_qubits, gates=tuple(records))
+        self._lru_put(self._bound, cache_key, bound, self.max_programs)
+        self.stats.bound_builds += 1
+        return bound
+
+    # -- execution ------------------------------------------------------
+    def run_statevector(
+        self,
+        circuit: QuantumCircuit,
+        states: np.ndarray,
+        parameters: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply the compiled program for ``circuit`` to ``states``."""
+        program = self.compile(circuit, parameters)
+        return ops.apply_compiled_statevector(
+            states, program.steps, program.num_qubits
+        )
+
+    def run_density(
+        self,
+        circuit: QuantumCircuit,
+        rho: np.ndarray,
+        noise_model=None,
+        parameters: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply ``circuit`` to density matrices, with optional noise.
+
+        Without a noise model the fused program is used.  With one, every
+        physical gate is followed by its calibrated channel, which forbids
+        fusing across gates — the engine then walks the cached per-gate
+        matrices instead, so the matrix-construction cost is still amortised.
+        """
+        if noise_model is None:
+            program = self.compile(circuit, parameters)
+            return ops.apply_fused_density(rho, program.operations, program.num_qubits)
+        bound = self.bound_circuit(circuit, parameters)
+        num_qubits = bound.num_qubits
+        for record in bound.gates:
+            rho = ops.apply_unitary_density(rho, record.matrix, record.qubits, num_qubits)
+            channel = noise_model.channel_for_gate(record.gate)
+            if channel is not None:
+                rho = channel.apply(rho, record.qubits, num_qubits)
+        return rho
+
+
+# ---------------------------------------------------------------------------
+# Shared default engine
+# ---------------------------------------------------------------------------
+
+_default_engine: Optional[SimulationEngine] = None
+
+
+def default_engine() -> SimulationEngine:
+    """The process-wide engine shared by the default backends."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = SimulationEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[SimulationEngine]) -> None:
+    """Replace the process-wide engine (``None`` resets to a fresh one)."""
+    global _default_engine
+    _default_engine = engine

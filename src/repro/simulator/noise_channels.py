@@ -37,6 +37,7 @@ class DepolarizingChannel:
             raise SimulationError("depolarizing channel supports 1 or 2 qubits")
 
     def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        """Apply the channel to ``rho`` on ``qubits``."""
         if len(qubits) != self.num_qubits:
             raise SimulationError(
                 f"channel expects {self.num_qubits} qubits, got {len(qubits)}"
@@ -67,6 +68,7 @@ class BitFlipChannel:
         _validate_probability(self.probability, "bit-flip probability")
 
     def kraus_operators(self) -> list[np.ndarray]:
+        """The channel's Kraus operators."""
         p = self.probability
         return [
             np.sqrt(1 - p) * np.eye(2, dtype=complex),
@@ -74,6 +76,7 @@ class BitFlipChannel:
         ]
 
     def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        """Apply the channel to ``rho`` on ``qubits``."""
         return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
 
 
@@ -87,6 +90,7 @@ class PhaseFlipChannel:
         _validate_probability(self.probability, "phase-flip probability")
 
     def kraus_operators(self) -> list[np.ndarray]:
+        """The channel's Kraus operators."""
         p = self.probability
         return [
             np.sqrt(1 - p) * np.eye(2, dtype=complex),
@@ -94,6 +98,7 @@ class PhaseFlipChannel:
         ]
 
     def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        """Apply the channel to ``rho`` on ``qubits``."""
         return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
 
 
@@ -107,6 +112,7 @@ class AmplitudeDampingChannel:
         _validate_probability(self.gamma, "amplitude damping gamma")
 
     def kraus_operators(self) -> list[np.ndarray]:
+        """The channel's Kraus operators."""
         g = self.gamma
         return [
             np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex),
@@ -114,6 +120,7 @@ class AmplitudeDampingChannel:
         ]
 
     def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        """Apply the channel to ``rho`` on ``qubits``."""
         return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
 
 
@@ -127,6 +134,7 @@ class PhaseDampingChannel:
         _validate_probability(self.gamma, "phase damping gamma")
 
     def kraus_operators(self) -> list[np.ndarray]:
+        """The channel's Kraus operators."""
         g = self.gamma
         return [
             np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex),
@@ -134,6 +142,7 @@ class PhaseDampingChannel:
         ]
 
     def apply(self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+        """Apply the channel to ``rho`` on ``qubits``."""
         return ops.apply_kraus_density(rho, self.kraus_operators(), qubits, num_qubits)
 
 

@@ -65,6 +65,76 @@ def apply_unitary_statevector(
     return tensor.reshape(batch, 2**num_qubits)
 
 
+def apply_fused_statevector(
+    states: np.ndarray,
+    operations: Sequence,
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a fused program to a batch of statevectors.
+
+    ``operations`` is a sequence of ``(qubits, matrix)`` pairs (or objects
+    unpacking to one, e.g. :class:`repro.simulator.engine.FusedGate`), each a
+    multi-qubit unitary produced by gate fusion.  Applying them in order is
+    equivalent to applying the source circuit gate-by-gate, with far fewer
+    (and denser) tensor contractions.
+    """
+    for qubits, matrix in operations:
+        states = apply_unitary_statevector(states, matrix, qubits, num_qubits)
+    return states
+
+
+def apply_fused_density(
+    rho: np.ndarray,
+    operations: Sequence,
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a fused program to a batch of density matrices (noise-free)."""
+    for qubits, matrix in operations:
+        rho = apply_unitary_density(rho, matrix, qubits, num_qubits)
+    return rho
+
+
+def statevector_axis_permutation(
+    qubits: Sequence[int], num_qubits: int
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Precompute the tensor transposition for one fused-gate application.
+
+    Returns ``(perm, inverse)``: ``perm`` brings the batch axis first and the
+    target-qubit axes next (in gate order); ``inverse`` undoes it.  Computing
+    these once at circuit-compile time removes the per-call ``moveaxis``
+    bookkeeping from the execution hot loop.
+    """
+    qubits = _check_qubits(qubits, num_qubits)
+    target_axes = [1 + q for q in qubits]
+    rest = [axis for axis in range(1, 1 + num_qubits) if axis not in target_axes]
+    perm = (0, *target_axes, *rest)
+    inverse = tuple(int(i) for i in np.argsort(perm))
+    return perm, inverse
+
+
+def apply_compiled_statevector(
+    states: np.ndarray,
+    steps: Sequence[tuple[np.ndarray, int, tuple[int, ...], tuple[int, ...]]],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a fully precompiled program to a batch of statevectors.
+
+    Each step is ``(matrix, dim, perm, inverse)`` with the permutations from
+    :func:`statevector_axis_permutation`.  The batch stays in tensor form for
+    the whole program (one reshape in, one out) and each fused unitary is a
+    single broadcast ``matmul`` — this is the engine's cache-hit fast path.
+    """
+    batch = states.shape[0]
+    tensor_shape = (batch,) + (2,) * num_qubits
+    tensor = states.reshape(tensor_shape)
+    for matrix, dim, perm, inverse in steps:
+        moved = tensor.transpose(perm)
+        flat = moved.reshape(batch, dim, -1)
+        flat = matrix @ flat
+        tensor = flat.reshape(moved.shape).transpose(inverse)
+    return tensor.reshape(batch, 2**num_qubits)
+
+
 def _move_density_axes(
     rho: np.ndarray, qubits: Sequence[int], num_qubits: int
 ) -> tuple[np.ndarray, int]:

@@ -99,14 +99,29 @@ class StatevectorSimulator:
         """Apply one rotation gate with a *per-sample* angle.
 
         Data-encoding layers rotate each sample by its own feature value, so
-        the unitary is a ``(batch, 2, 2)`` stack.
+        the unitary is a ``(batch, 2, 2)`` stack, built in one vectorised
+        shot by :func:`repro.gates.matrices.rotation_stack`.
         """
-        from repro.gates import GATE_REGISTRY
-
-        spec = GATE_REGISTRY[gate_name]
-        if spec.num_params != 1 or spec.num_qubits != 1:
-            raise SimulationError(
-                f"feature rotations require a single-qubit parametric gate, got {gate_name!r}"
-            )
-        matrices = np.stack([spec.matrix_fn(float(a)) for a in angles])
+        matrices = _feature_rotation_stack(gate_name, angles)
         return ops.apply_unitary_statevector(states, matrices, [qubit], self.num_qubits)
+
+
+def _feature_rotation_stack(gate_name: str, angles: np.ndarray) -> np.ndarray:
+    """Validated ``(batch, 2, 2)`` stack for a per-sample encoding rotation.
+
+    Uses the vectorised constructors for the standard rotation axes and
+    falls back to a per-sample loop for any other single-qubit parametric
+    gate registered later.
+    """
+    from repro.gates import GATE_REGISTRY
+    from repro.gates.matrices import rotation_stack
+
+    spec = GATE_REGISTRY[gate_name]
+    if spec.num_params != 1 or spec.num_qubits != 1:
+        raise SimulationError(
+            f"feature rotations require a single-qubit parametric gate, got {gate_name!r}"
+        )
+    try:
+        return rotation_stack(gate_name, angles)
+    except KeyError:
+        return np.stack([spec.matrix_fn(float(a)) for a in angles])

@@ -36,6 +36,7 @@ class Layout:
 
     @property
     def num_logical(self) -> int:
+        """Number of logical qubits placed by the layout."""
         return len(self.logical_to_physical)
 
     def physical(self, logical: int) -> int:

@@ -38,10 +38,12 @@ class TranspiledCircuit:
 
     @property
     def initial_layout(self) -> Layout:
+        """The pre-routing layout (hosts the data-encoding rotations)."""
         return self.routed.initial_layout
 
     @property
     def final_mapping(self) -> dict[int, int]:
+        """Logical-to-physical mapping after routing's SWAP insertions."""
         return self.routed.final_mapping
 
     @property
