@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test unit bench bench-paper docs-check
+.PHONY: test unit bench bench-paper bench-json docs-check
 
 ## tier-1 verification: full pytest run (unit tests + reduced-scale benchmarks)
 test:
@@ -21,6 +21,10 @@ bench:
 ## the same at the paper's full scale (hours)
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/ -q -s
+
+## batched-runtime benchmark with machine-readable output (BENCH_runtime.json)
+bench-json:
+	REPRO_BENCH_JSON=BENCH_runtime.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_batched_evaluation.py -q -s
 
 ## docs presence + public-API docstring audit
 docs-check:

@@ -1,0 +1,218 @@
+"""Benchmark: the batched execution runtime vs. the per-item loops (PR 2).
+
+Two workloads, both from the online phase of the paper:
+
+* **multi-sample noisy evaluation** — one day's accuracy measurement over a
+  test subset.  The per-sample loop runs one density-matrix simulation per
+  sample (batch of 1); the batched path runs the whole subset as one
+  backend call.  The acceptance bar is a >= 3x speedup with identical
+  logits and accuracy.
+* **multi-day sweep** — one model evaluated across many calibration days
+  (the Fig. 2 / Table I inner loop).  The per-day loop calls
+  ``evaluate_noisy`` once per day; the batched path hands all days to
+  ``evaluate_noisy_batch`` (one vectorised multi-binding call per chunk),
+  and the runner additionally fans chunks out over a thread pool.
+
+Set ``REPRO_BENCH_JSON=<path>`` (``make bench-json`` does) to persist the
+measurements as machine-readable JSON for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.calibration import generate_belem_history
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel, evaluate_noisy, evaluate_noisy_batch
+from repro.runtime import ExperimentRunner
+from repro.simulator import DensityMatrixBackend, NoiseModel, SimulationEngine
+from repro.transpiler import belem_coupling
+
+NUM_SAMPLES = 16  # one reduced-scale eval subset (the 20% test split of 80)
+NUM_DAYS = 12
+ROUNDS = 5  # best-of-N to shrug off scheduler noise
+
+
+def _best_of_each(*fns):
+    """Best-of-``ROUNDS`` timings, interleaving the candidates.
+
+    Interleaving (A, B, A, B, ...) instead of timing each candidate in its
+    own block means background load hits both candidates alike, which keeps
+    the measured *ratio* stable on busy machines.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(ROUNDS):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    history = generate_belem_history(NUM_DAYS, seed=12)
+    model = QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=2, seed=9)
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=NUM_SAMPLES * 5, seed=5)
+    features = dataset.test_features[:NUM_SAMPLES]
+    labels = dataset.test_labels[:NUM_SAMPLES]
+    assert features.shape[0] == NUM_SAMPLES, "test split smaller than benchmark size"
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    parameter_sets = [
+        rng.uniform(-np.pi, np.pi, model.num_parameters) for _ in range(NUM_DAYS)
+    ]
+    return model, features, labels, noise_models, parameter_sets
+
+
+def _maybe_write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    existing = {}
+    if os.path.isfile(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    existing["created_at"] = time.time()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"  wrote {path}")
+
+
+def test_batched_multi_sample_evaluation_speedup():
+    """One day, many samples: batched call vs. per-sample loop (>= 3x)."""
+    model, features, labels, noise_models, _ = _workload()
+    noise_model = noise_models[0]
+    backend = DensityMatrixBackend(engine=SimulationEngine())
+
+    def per_sample_loop():
+        rows = [
+            model.forward_noisy(features[i : i + 1], noise_model, backend=backend)
+            for i in range(features.shape[0])
+        ]
+        return np.concatenate(rows, axis=0)
+
+    def batched():
+        return model.forward_noisy(features, noise_model, backend=backend)
+
+    loop_logits = per_sample_loop()
+    batched_logits = batched()
+    # The evolutions are bit-identical; only the final BLAS dot product
+    # (probabilities @ signs) reduces in a batch-size-dependent order, so the
+    # comparison allows float-epsilon noise but requires identical decisions.
+    np.testing.assert_allclose(batched_logits, loop_logits, atol=1e-12)
+    assert np.array_equal(
+        np.argmax(batched_logits, axis=-1), np.argmax(loop_logits, axis=-1)
+    )
+
+    loop_seconds, batched_seconds = _best_of_each(per_sample_loop, batched)
+    speedup = loop_seconds / batched_seconds
+    print(
+        f"\nBatched multi-sample noisy evaluation — {NUM_SAMPLES} samples\n"
+        f"  per-sample loop   {loop_seconds * 1000:8.1f} ms\n"
+        f"  batched call      {batched_seconds * 1000:8.1f} ms\n"
+        f"  speedup           {speedup:8.2f} x"
+    )
+    _maybe_write_json(
+        {
+            "multi_sample": {
+                "samples": NUM_SAMPLES,
+                "per_sample_loop_ms": loop_seconds * 1000,
+                "batched_ms": batched_seconds * 1000,
+                "speedup": speedup,
+            }
+        }
+    )
+    assert speedup >= 3.0, f"expected >= 3x speedup, measured {speedup:.2f}x"
+
+
+def test_batched_multi_day_sweep_speedup():
+    """Many days, one model: multi-binding batch vs. per-day loop.
+
+    This is the ``accuracy_over_days`` / Fig. 2 shape — one parameter
+    binding across the whole history — where the multi-binding path shares
+    broadcast 2-D gate matrices and only the per-day channel strengths vary.
+    (Sweeps whose days all carry distinct parameters are grouped by binding
+    and gracefully degenerate to per-day cost.)
+    """
+    model, features, labels, noise_models, parameter_sets = _workload()
+    backend = DensityMatrixBackend(engine=SimulationEngine())
+    parameter_sets = [parameter_sets[0]] * NUM_DAYS
+
+    def per_day_loop():
+        return np.array(
+            [
+                evaluate_noisy(
+                    model, features, labels, noise_model,
+                    parameters=parameters, backend=backend,
+                ).accuracy
+                for noise_model, parameters in zip(noise_models, parameter_sets)
+            ]
+        )
+
+    def batched_days():
+        return np.array(
+            [
+                result.accuracy
+                for result in evaluate_noisy_batch(
+                    model, features, labels, noise_models,
+                    parameter_sets=parameter_sets, backend=backend,
+                )
+            ]
+        )
+
+    loop_accuracies = per_day_loop()
+    batched_accuracies = batched_days()
+    assert np.array_equal(batched_accuracies, loop_accuracies)
+
+    runner = ExperimentRunner(mode="thread", chunk_days=4)
+    runner_accuracies = runner.evaluate_days(
+        model, features, labels, noise_models, parameter_sets=parameter_sets
+    )
+    assert np.array_equal(runner_accuracies, loop_accuracies)
+
+    loop_seconds, batched_seconds, runner_seconds = _best_of_each(
+        per_day_loop,
+        batched_days,
+        lambda: runner.evaluate_days(
+            model, features, labels, noise_models, parameter_sets=parameter_sets
+        ),
+    )
+    speedup = loop_seconds / batched_seconds
+    runner_speedup = loop_seconds / runner_seconds
+    print(
+        f"\nBatched multi-day sweep — {NUM_DAYS} days x {NUM_SAMPLES} samples\n"
+        f"  per-day loop      {loop_seconds * 1000:8.1f} ms\n"
+        f"  batched days      {batched_seconds * 1000:8.1f} ms ({speedup:.2f}x)\n"
+        f"  runner (threads)  {runner_seconds * 1000:8.1f} ms ({runner_speedup:.2f}x)"
+    )
+    _maybe_write_json(
+        {
+            "multi_day": {
+                "days": NUM_DAYS,
+                "samples": NUM_SAMPLES,
+                "per_day_loop_ms": loop_seconds * 1000,
+                "batched_ms": batched_seconds * 1000,
+                "runner_thread_ms": runner_seconds * 1000,
+                "batched_speedup": speedup,
+                "runner_speedup": runner_speedup,
+            }
+        }
+    )
+    # With full-subset days the per-day batches already amortise most fixed
+    # overhead (the chunker intentionally keeps such days one-per-call, see
+    # CACHE_FRIENDLY_SAMPLES), so stacking days mainly buys scheduling
+    # freedom — worker pools, caching — rather than raw kernel time.  The
+    # requirement here is only the absence of a pathological regression;
+    # the floor is generous because shared machines drift by tens of
+    # percent between timing windows.  The hard >= 3x vectorisation bar
+    # lives on the multi-sample benchmark above.
+    assert speedup >= 0.5, f"multi-day path regressed: {speedup:.2f}x vs loop"

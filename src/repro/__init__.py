@@ -15,7 +15,12 @@ Network" (DAC 2023) on a pure-NumPy quantum simulation substrate:
 * :mod:`repro.core` — the paper's contribution: noise-aware ADMM
   compression, the offline model-repository constructor, the online manager,
   and the QuCAD framework plus all Table I competitor methods;
-* :mod:`repro.experiments` — per-table and per-figure reproduction harnesses.
+* :mod:`repro.runtime` — the batched/parallel execution runtime: chunked
+  vectorised day evaluation, worker-pool fan-out, content-digest result
+  caching, and JSONL run records;
+* :mod:`repro.experiments` — per-table and per-figure reproduction
+  harnesses, all driving their day loops through the runtime
+  (``python -m repro.experiments <name>`` is the CLI entry point).
 """
 
 from repro.version import __version__

@@ -127,8 +127,7 @@ class NoiseAwareTrainOnceMethod(AdaptationMethod):
         """Noise-aware retrain on the first online day only, then frozen."""
         if self._parameters is None:
             context = self.context
-            model = context.base_model.copy_with_parameters(context.base_model.parameters)
-            model.transpiled = context.base_model.transpiled
+            model = context.base_model.copy()
             features, labels = context.training_subset()
             result = self._timed(
                 noise_aware_train,
@@ -152,8 +151,7 @@ class NoiseAwareTrainEverydayMethod(AdaptationMethod):
     def parameters_for_day(self, calibration: CalibrationSnapshot) -> np.ndarray:
         """Noise-aware retraining from the base model for every calibration."""
         context = self.context
-        model = context.base_model.copy_with_parameters(context.base_model.parameters)
-        model.transpiled = context.base_model.transpiled
+        model = context.base_model.copy()
         features, labels = context.training_subset()
         result = self._timed(
             noise_aware_train,
@@ -182,8 +180,7 @@ class OneTimeCompressionMethod(AdaptationMethod):
         if self._parameters is None:
             context = self.context
             compressor = NoiseAgnosticCompressor(context.compression_config)
-            model = context.base_model.copy_with_parameters(context.base_model.parameters)
-            model.transpiled = context.base_model.transpiled
+            model = context.base_model.copy()
             features, labels = context.training_subset()
             result = self._timed(
                 compressor.compress,
@@ -207,8 +204,7 @@ class CompressionEverydayMethod(AdaptationMethod):
         """Noise-aware compression for every incoming calibration."""
         context = self.context
         compressor = NoiseAwareCompressor(context.compression_config)
-        model = context.base_model.copy_with_parameters(context.base_model.parameters)
-        model.transpiled = context.base_model.transpiled
+        model = context.base_model.copy()
         features, labels = context.training_subset()
         result = self._timed(
             compressor.compress,
@@ -230,8 +226,7 @@ class NoiseAgnosticCompressionEverydayMethod(AdaptationMethod):
         """Noise-agnostic compression for every incoming calibration."""
         context = self.context
         compressor = NoiseAgnosticCompressor(context.compression_config)
-        model = context.base_model.copy_with_parameters(context.base_model.parameters)
-        model.transpiled = context.base_model.transpiled
+        model = context.base_model.copy()
         features, labels = context.training_subset()
         result = self._timed(
             compressor.compress,
@@ -255,8 +250,7 @@ class _QuCADBase(AdaptationMethod):
 
     def prepare(self, context: MethodContext) -> None:
         super().prepare(context)
-        model = context.base_model.copy_with_parameters(context.base_model.parameters)
-        model.transpiled = context.base_model.transpiled
+        model = context.base_model.copy()
         self._qucad = QuCAD(
             model, context.dataset, context.coupling, config=context.make_qucad_config()
         )

@@ -25,7 +25,7 @@ from repro.core.clustering import ClusteringResult, cluster_calibrations
 from repro.core.repository import ModelRepository, RepositoryEntry
 from repro.datasets.base import Dataset
 from repro.exceptions import RepositoryError
-from repro.qnn.evaluation import evaluate_noisy
+from repro.qnn.evaluation import accuracy_over_days
 from repro.qnn.model import QNNModel
 from repro.simulator import Backend, NoiseModel
 from repro.utils.rng import SeedLike
@@ -78,23 +78,23 @@ class RepositoryConstructor:
     ) -> np.ndarray:
         """Accuracy of ``model`` under every calibration in ``history``.
 
+        The whole history shares one parameter binding, so all days collapse
+        into a few vectorised multi-day backend calls (see
+        :func:`repro.qnn.evaluation.accuracy_over_days`) — the paper-scale
+        243-day offline sweep is a handful of simulations instead of 243.
         Runs on ``noisy_backend`` when one was provided (the QuCAD facade
         passes a density-matrix backend sharing the framework engine, so
         circuits compiled here stay cached for the online stage).
         """
         subset = dataset.subsample(num_test=self.eval_test_samples, seed=self.seed)
-        accuracies = []
-        for snapshot in history:
-            noise_model = NoiseModel.from_calibration(snapshot)
-            result = evaluate_noisy(
-                model,
-                subset.test_features,
-                subset.test_labels,
-                noise_model,
-                backend=self.noisy_backend,
-            )
-            accuracies.append(result.accuracy)
-        return np.asarray(accuracies)
+        noise_models = [NoiseModel.from_calibration(snapshot) for snapshot in history]
+        return accuracy_over_days(
+            model,
+            subset.test_features,
+            subset.test_labels,
+            noise_models,
+            backend=self.noisy_backend,
+        )
 
     def build(
         self,

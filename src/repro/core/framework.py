@@ -16,7 +16,7 @@ calibrations arrive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -31,12 +31,16 @@ from repro.exceptions import RepositoryError
 from repro.qnn.model import QNNModel
 from repro.simulator import (
     DensityMatrixBackend,
+    NoiseModel,
     SimulationEngine,
     backend_kind,
     get_execution_backend,
 )
 from repro.transpiler import CouplingMap
 from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -153,7 +157,46 @@ class QuCAD:
 
     def adapt_over(self, history: CalibrationHistory) -> list[ManagerDecision]:
         """Run the online stage for every day of ``history`` in order."""
-        return [self.online(snapshot) for snapshot in history]
+        if len(history) == 0:
+            return []
+        manager = self._ensure_manager(history[0])
+        return manager.adapt_sequence(list(history))
+
+    def evaluate_over(
+        self,
+        history: CalibrationHistory,
+        features: np.ndarray,
+        labels: np.ndarray,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence] = None,
+        runner: Optional["ExperimentRunner"] = None,
+    ) -> tuple[list[ManagerDecision], np.ndarray]:
+        """Adapt to every day of ``history`` and evaluate each day's model.
+
+        Adaptation stays sequential (the repository grows day by day), but
+        the per-day evaluations fan out through the runtime as one batched
+        ``evaluate_days`` call — the full online lifecycle of the paper with
+        the evaluation cost of a handful of simulations.  Returns the
+        per-day decisions and the matching accuracy series.
+        """
+        from repro.runtime import default_runner
+
+        decisions = self.adapt_over(history)
+        if not decisions:
+            return [], np.zeros(0)
+        runner = runner if runner is not None else default_runner()
+        accuracies = runner.evaluate_days(
+            self.model,
+            features,
+            labels,
+            [NoiseModel.from_calibration(snapshot) for snapshot in history],
+            parameter_sets=[decision.parameters for decision in decisions],
+            shots=shots,
+            seeds=seeds,
+            experiment="qucad/evaluate_over",
+            dates=[snapshot.date for snapshot in history],
+        )
+        return decisions, accuracies
 
     # ------------------------------------------------------------------
     # Introspection

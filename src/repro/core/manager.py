@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +28,10 @@ from repro.core.admm import NoiseAwareCompressor
 from repro.core.repository import ModelRepository, RepositoryEntry
 from repro.exceptions import RepositoryError
 from repro.qnn.model import QNNModel
-from repro.simulator import Backend
+from repro.simulator import Backend, NoiseModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExperimentRunner
 
 
 @dataclass
@@ -220,3 +223,56 @@ class RepositoryManager:
             entry_index=match.index,
             threshold=threshold,
         )
+
+    def adapt_sequence(
+        self, calibrations: Sequence[CalibrationSnapshot]
+    ) -> list[ManagerDecision]:
+        """The online day loop: one :meth:`adapt` per day, in order.
+
+        Adaptation is inherently sequential — each decision may extend the
+        repository that later days match against — which is why only the
+        *evaluations* of the decisions fan out in parallel (see
+        :meth:`refresh_entry_accuracies` and
+        :meth:`repro.core.framework.QuCAD.evaluate_over`).
+        """
+        return [self.adapt(calibration) for calibration in calibrations]
+
+    def refresh_entry_accuracies(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        runner: Optional["ExperimentRunner"] = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence] = None,
+    ) -> np.ndarray:
+        """Re-measure every stored entry under its own calibration.
+
+        Online entries are stored with ``mean_accuracy=None``, which makes
+        the Guidance-2 validity check vacuous for them; this measures each
+        entry's accuracy on ``(features, labels)`` under the calibration it
+        was compressed for — all entries batched through the runtime — and
+        records the results on the entries.
+        """
+        from repro.runtime import default_runner
+
+        entries = [
+            entry for entry in self.repository.entries if entry.calibration is not None
+        ]
+        if not entries:
+            return np.zeros(0)
+        runner = runner if runner is not None else default_runner()
+        accuracies = runner.evaluate_days(
+            self.model,
+            features,
+            labels,
+            [NoiseModel.from_calibration(entry.calibration) for entry in entries],
+            parameter_sets=[entry.parameters for entry in entries],
+            shots=shots,
+            seeds=seeds,
+            experiment="manager/refresh_entry_accuracies",
+            dates=[entry.calibration.date for entry in entries],
+        )
+        for entry, accuracy in zip(entries, accuracies):
+            entry.mean_accuracy = float(accuracy)
+            entry.valid = entry.mean_accuracy >= self.accuracy_requirement
+        return accuracies

@@ -34,6 +34,7 @@ from repro.experiments.table1 import (
 )
 from repro.experiments.table2 import ClusterEvaluation, Table2Result, run_table2
 from repro.experiments.reporting import format_series, format_table, percent
+from repro.experiments.cli import EXPERIMENTS, SCALES, main as cli_main
 
 __all__ = [
     "ExperimentScale",
@@ -77,4 +78,7 @@ __all__ = [
     "format_table",
     "format_series",
     "percent",
+    "EXPERIMENTS",
+    "SCALES",
+    "cli_main",
 ]

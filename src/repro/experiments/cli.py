@@ -1,0 +1,238 @@
+"""Command-line entry point: ``python -m repro.experiments <name> ...``.
+
+One front door for every reproduction harness::
+
+    python -m repro.experiments fig2 --scale bench
+    python -m repro.experiments table1 --scale test --json out.json
+    python -m repro.experiments fig7 --runner-mode process --workers 8 \
+        --records runs.jsonl
+
+The CLI wires the chosen :class:`~repro.experiments.config.ExperimentScale`
+and a configured :class:`~repro.runtime.ExperimentRunner` (mode, workers,
+JSONL run records, persistent evaluation cache) into the harness, prints a
+human-readable summary, and can dump the machine-readable summary as JSON.
+
+``fig1`` (pure calibration statistics) and ``fig3`` (a direct
+``execute_batch`` grid sweep) perform no per-day evaluations, so the
+runner flags have no effect on them — the printed ``runner`` block shows
+``days_evaluated: 0`` for those harnesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    TEST_SCALE,
+    ExperimentScale,
+)
+from repro.runtime import ExperimentRunner
+
+#: Named scales selectable via ``--scale``.
+SCALES: dict[str, ExperimentScale] = {
+    "paper": PAPER_SCALE,
+    "bench": BENCH_SCALE,
+    "test": TEST_SCALE,
+}
+
+
+def _jsonable(value):
+    """Best-effort conversion of result payloads to JSON-compatible types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _run_fig1(scale, runner):
+    from repro.experiments.fig1 import run_fig1
+
+    result = run_fig1(scale)
+    return result, {"fluctuation_summary": result.fluctuation_summary()}
+
+
+def _run_fig2(scale, runner):
+    from repro.experiments.fig2 import run_fig2
+
+    result = run_fig2(scale, runner=runner)
+    return result, result.summary()
+
+
+def _run_fig3(scale, runner):
+    from repro.experiments.fig3 import run_fig3
+
+    result = run_fig3(scale)
+    return result, {"breakpoint_gain": result.breakpoint_gain()}
+
+
+def _run_fig4(scale, runner):
+    from repro.experiments.fig4 import run_fig4
+
+    result = run_fig4(scale, runner=runner)
+    return result, {
+        "noisiest_coupler_per_day": result.noisiest_coupler_per_day(),
+        "accuracy": {name: series for name, series in result.accuracy.items()},
+    }
+
+
+def _run_fig7(scale, runner):
+    from repro.experiments.fig7 import run_fig7
+
+    result = run_fig7(scale, runner=runner)
+    return result, {
+        "mean_accuracy": result.mean_accuracy,
+        "normalized_time_runs": result.normalized_time("runs"),
+    }
+
+
+def _run_fig8(scale, runner):
+    from repro.experiments.fig8 import run_fig8
+
+    result = run_fig8(scale, runner=runner)
+    return result, {
+        "mean_accuracy": result.mean_accuracy(),
+        "qucad_gain": result.qucad_gain(),
+    }
+
+
+def _run_fig9(scale, runner):
+    from repro.experiments.fig9 import run_fig9
+
+    result = run_fig9(scale, runner=runner)
+    return result, {
+        "upper_bound_gap": result.upper_bound_gap(),
+        "noise_aware_gain": result.noise_aware_gain(),
+    }
+
+
+def _run_table1(scale, runner):
+    from repro.experiments.table1 import run_table1
+
+    result = run_table1(scale, runner=runner)
+    return result, {"rows": result.rows(), "formatted": result.format()}
+
+
+def _run_table2(scale, runner):
+    from repro.experiments.table2 import run_table2
+
+    result = run_table2(scale, runner=runner)
+    return result, {"rows": result.rows(), "weighted_gain": result.weighted_gain}
+
+
+def _run_longitudinal(scale, runner):
+    from repro.core.baselines import make_method
+    from repro.experiments.context import prepare_experiment
+    from repro.experiments.longitudinal import run_longitudinal
+
+    setup = prepare_experiment("mnist4", scale=scale)
+    methods = [make_method("baseline"), make_method("qucad")]
+    result = run_longitudinal(setup, methods, runner=runner)
+    return result, {"rows": result.summary_rows()}
+
+
+#: Experiment registry: name → harness adapter returning (result, summary).
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "longitudinal": _run_longitudinal,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run one of the paper's reproduction harnesses.",
+    )
+    parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="bench",
+        help="experiment scale (default: bench)",
+    )
+    parser.add_argument(
+        "--runner-mode",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="evaluation fan-out mode (default: thread)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker-pool width"
+    )
+    parser.add_argument(
+        "--chunk-days",
+        type=int,
+        default=16,
+        help="days per vectorised evaluation chunk (default: 16)",
+    )
+    parser.add_argument(
+        "--records", default=None, help="append per-day run records to this JSONL file"
+    )
+    parser.add_argument(
+        "--cache", default=None, help="persist the evaluation cache to this JSONL file"
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="write the summary as JSON here"
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Run the selected experiment; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+    runner = ExperimentRunner(
+        mode=args.runner_mode,
+        max_workers=args.workers,
+        chunk_days=args.chunk_days,
+        cache=args.cache,
+        record_log=args.records,
+    )
+    started = time.perf_counter()
+    _, summary = EXPERIMENTS[args.name](scale, runner)
+    elapsed = time.perf_counter() - started
+    payload = {
+        "experiment": args.name,
+        "scale": args.scale,
+        "elapsed_seconds": elapsed,
+        "runner": {
+            "mode": runner.mode,
+            "days_evaluated": runner.stats.days_evaluated,
+            "cache_hits": runner.stats.cache_hits,
+            "chunks": runner.stats.chunks,
+        },
+        "summary": _jsonable(summary),
+    }
+    formatted = payload["summary"].pop("formatted", None) if isinstance(payload["summary"], dict) else None
+    print(json.dumps(payload, indent=2))
+    if formatted:
+        print(formatted)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -22,7 +22,7 @@ from repro.core import (
 )
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import ExperimentSetup, prepare_experiment
-from repro.qnn.evaluation import evaluate_noisy
+from repro.runtime import ExperimentRunner, default_runner
 from repro.utils.rng import ensure_rng
 
 
@@ -49,8 +49,15 @@ def run_fig2(
     setup: Optional[ExperimentSetup] = None,
     dataset_name: str = "mnist4",
     num_days: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig2Result:
-    """Reproduce the Fig. 2 comparison on the online history."""
+    """Reproduce the Fig. 2 comparison on the online history.
+
+    Both strategies adapt once on day 1; the year of per-day evaluations
+    then runs through the runtime (one batched-and-parallel
+    ``evaluate_days`` call per strategy, sharing one seed per day exactly
+    like the historical per-day loop).
+    """
     scale = scale or ExperimentScale()
     if setup is None:
         setup = prepare_experiment(dataset_name, scale=scale)
@@ -60,11 +67,10 @@ def run_fig2(
     day_one = history[0]
     train_features, train_labels = setup.method_context().training_subset()
 
-    # Strategy (a): noise-aware training on day 1.
-    trained_model = setup.base_model.copy_with_parameters(setup.base_model.parameters)
-    trained_model.transpiled = setup.base_model.transpiled
+    # Strategy (a): noise-aware training on day 1.  ``copy()`` shares the
+    # device binding immutably instead of aliasing the attribute by hand.
     trained = noise_aware_train(
-        trained_model,
+        setup.base_model.copy(),
         train_features,
         train_labels,
         day_one,
@@ -81,34 +87,34 @@ def run_fig2(
 
     eval_subset = setup.eval_subset()
     rng = ensure_rng(scale.seed)
-    trained_accuracy = []
-    compressed_accuracy = []
-    for snapshot, noise_model in zip(history, setup.noise_models(history)):
-        seed = int(rng.integers(0, 2**31 - 1))
-        trained_accuracy.append(
-            evaluate_noisy(
-                setup.base_model,
-                eval_subset.test_features,
-                eval_subset.test_labels,
-                noise_model,
-                parameters=trained.parameters,
-                shots=scale.shots,
-                seed=seed,
-            ).accuracy
-        )
-        compressed_accuracy.append(
-            evaluate_noisy(
-                setup.base_model,
-                eval_subset.test_features,
-                eval_subset.test_labels,
-                noise_model,
-                parameters=compressed.parameters,
-                shots=scale.shots,
-                seed=seed,
-            ).accuracy
-        )
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(len(history))]
+    noise_models = setup.noise_models(history)
+    dates = [snapshot.date for snapshot in history]
+    runner = runner if runner is not None else default_runner()
+    trained_accuracy = runner.evaluate_days(
+        setup.base_model,
+        eval_subset.test_features,
+        eval_subset.test_labels,
+        noise_models,
+        parameter_sets=[trained.parameters] * len(history),
+        shots=scale.shots,
+        seeds=seeds,
+        experiment="fig2/noise_aware_training",
+        dates=dates,
+    )
+    compressed_accuracy = runner.evaluate_days(
+        setup.base_model,
+        eval_subset.test_features,
+        eval_subset.test_labels,
+        noise_models,
+        parameter_sets=[compressed.parameters] * len(history),
+        shots=scale.shots,
+        seeds=seeds,
+        experiment="fig2/compression",
+        dates=dates,
+    )
     return Fig2Result(
-        dates=[snapshot.date or "" for snapshot in history],
+        dates=[date or "" for date in dates],
         noise_aware_training_accuracy=np.asarray(trained_accuracy),
         compression_accuracy=np.asarray(compressed_accuracy),
     )

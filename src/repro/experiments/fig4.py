@@ -17,7 +17,7 @@ import numpy as np
 from repro.core import NoiseAwareCompressor
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import ExperimentSetup, prepare_experiment
-from repro.qnn.evaluation import evaluate_noisy
+from repro.runtime import ExperimentRunner, default_runner
 from repro.utils.rng import ensure_rng
 
 
@@ -76,8 +76,13 @@ def run_fig4(
     dataset_name: str = "mnist4",
     anchor_days: Optional[Sequence[int]] = None,
     evaluation_days: Optional[Sequence[int]] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig4Result:
-    """Reproduce the Fig. 4 heterogeneity study."""
+    """Reproduce the Fig. 4 heterogeneity study.
+
+    Each anchor's cross-day accuracy curve is one batched/parallel
+    ``evaluate_days`` call through the runtime.
+    """
     scale = scale or ExperimentScale()
     if setup is None:
         setup = prepare_experiment(dataset_name, scale=scale)
@@ -104,24 +109,24 @@ def run_fig4(
     noise_models = setup.noise_models(history)
     rng = ensure_rng(scale.seed)
 
+    runner = runner if runner is not None else default_runner()
     accuracy: dict[str, np.ndarray] = {}
     for anchor in anchor_days:
         result = compressor.compress(
             setup.base_model, train_features, train_labels, calibration=history[anchor]
         )
-        series = []
-        for day in evaluation_days:
-            series.append(
-                evaluate_noisy(
-                    setup.base_model,
-                    eval_subset.test_features,
-                    eval_subset.test_labels,
-                    noise_models[day],
-                    parameters=result.parameters,
-                    shots=scale.shots,
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                ).accuracy
-            )
+        seeds = [int(rng.integers(0, 2**31 - 1)) for _ in evaluation_days]
+        series = runner.evaluate_days(
+            setup.base_model,
+            eval_subset.test_features,
+            eval_subset.test_labels,
+            [noise_models[day] for day in evaluation_days],
+            parameter_sets=[result.parameters] * len(evaluation_days),
+            shots=scale.shots,
+            seeds=seeds,
+            experiment=f"fig4/compressed_on_day_{anchor}",
+            dates=[history[day].date for day in evaluation_days],
+        )
         accuracy[f"compressed_on_day_{anchor}"] = np.asarray(series)
 
     return Fig4Result(

@@ -18,6 +18,7 @@ from repro.core.baselines import make_method
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import ExperimentSetup, prepare_experiment
 from repro.experiments.longitudinal import run_longitudinal
+from repro.runtime import ExperimentRunner
 
 #: Methods compared in Fig. 7, in presentation order.
 FIG7_METHOD_NAMES: tuple[str, ...] = (
@@ -53,13 +54,16 @@ def run_fig7(
     setup: Optional[ExperimentSetup] = None,
     dataset_name: str = "mnist4",
     methods: Sequence[str] = FIG7_METHOD_NAMES,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig7Result:
     """Reproduce the Fig. 7 efficiency comparison on 4-class MNIST."""
     scale = scale or ExperimentScale()
     if setup is None:
         setup = prepare_experiment(dataset_name, scale=scale)
     method_objects = [make_method(name) for name in methods]
-    result = run_longitudinal(setup, method_objects, num_days=scale.online_days)
+    result = run_longitudinal(
+        setup, method_objects, num_days=scale.online_days, runner=runner
+    )
     mean_accuracy = {}
     runs = {}
     seconds = {}

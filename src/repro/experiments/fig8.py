@@ -18,6 +18,7 @@ from repro.core.baselines import make_method
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import ExperimentSetup, prepare_experiment
 from repro.experiments.longitudinal import run_longitudinal
+from repro.runtime import ExperimentRunner
 
 #: The three approaches compared on hardware in Fig. 8.
 FIG8_METHOD_NAMES: tuple[str, ...] = ("baseline", "noise_aware_train_once", "qucad")
@@ -49,6 +50,7 @@ def run_fig8(
     num_rounds: int = 5,
     shots: int = 1024,
     methods: Sequence[str] = FIG8_METHOD_NAMES,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig8Result:
     """Reproduce the Fig. 8 hardware evaluation (emulated jakarta device)."""
     scale = scale or ExperimentScale()
@@ -62,6 +64,8 @@ def run_fig8(
         )
         setup = prepare_experiment("seismic", scale=hardware_scale, device="jakarta")
     method_objects = [make_method(name) for name in methods]
-    result = run_longitudinal(setup, method_objects, num_days=num_rounds, shots=shots)
+    result = run_longitudinal(
+        setup, method_objects, num_days=num_rounds, shots=shots, runner=runner
+    )
     accuracy = {run.method_name: run.daily_accuracy for run in result.runs}
     return Fig8Result(rounds=list(range(1, num_rounds + 1)), accuracy=accuracy)

@@ -20,6 +20,7 @@ from repro.experiments.config import ExperimentScale
 from repro.experiments.context import ExperimentSetup, prepare_experiment
 from repro.experiments.longitudinal import run_longitudinal
 from repro.calibration.history import CalibrationHistory
+from repro.runtime import ExperimentRunner
 
 
 @dataclass
@@ -59,6 +60,7 @@ def run_fig9(
     dataset_name: str = "mnist4",
     representative_days: Optional[Sequence[int]] = None,
     num_days: int = 8,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig9Result:
     """Reproduce the Fig. 9 ablations."""
     scale = scale or ExperimentScale()
@@ -87,13 +89,17 @@ def run_fig9(
         make_method("compression_everyday"),
         make_method("noise_aware_train_everyday"),
     ]
-    result_a = run_longitudinal(ablation_setup, panel_a_methods, num_days=len(subset_history))
+    result_a = run_longitudinal(
+        ablation_setup, panel_a_methods, num_days=len(subset_history), runner=runner
+    )
 
     panel_b_methods = [
         make_method("compression_everyday"),
         make_method("noise_agnostic_compression_everyday"),
     ]
-    result_b = run_longitudinal(ablation_setup, panel_b_methods, num_days=len(subset_history))
+    result_b = run_longitudinal(
+        ablation_setup, panel_b_methods, num_days=len(subset_history), runner=runner
+    )
 
     return Fig9Result(
         days=list(representative_days),

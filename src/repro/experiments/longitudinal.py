@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.baselines import AdaptationMethod
 from repro.experiments.context import ExperimentSetup
-from repro.qnn.evaluation import evaluate_noisy
+from repro.runtime import ExperimentRunner, default_runner
 from repro.utils.rng import ensure_rng
 
 #: Accuracy thresholds reported in Table I.
@@ -97,8 +97,17 @@ def run_longitudinal(
     methods: Sequence[AdaptationMethod],
     num_days: Optional[int] = None,
     shots: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> LongitudinalResult:
     """Evaluate every method across the online calibration history.
+
+    Each method's *adaptation* runs sequentially (the repository methods
+    carry state from day to day), but the per-day *evaluations* are handed
+    to the runtime in bulk: one :meth:`ExperimentRunner.evaluate_days` call
+    per method, which chunks the days into vectorised multi-binding backend
+    calls and fans the chunks out over the runner's worker pool.  Seeds are
+    drawn in the same (method, day) order as the historical per-day loop, so
+    results are bit-identical to sequential evaluation.
 
     Parameters
     ----------
@@ -110,6 +119,9 @@ def run_longitudinal(
         Optionally restrict to the first ``num_days`` online days.
     shots:
         Measurement shots per evaluation; defaults to the scale's setting.
+    runner:
+        Evaluation runner; defaults to :func:`repro.runtime.default_runner`
+        (configurable via ``REPRO_RUNNER_MODE`` / ``REPRO_RUNNER_WORKERS``).
     """
     online = setup.online_history
     if num_days is not None:
@@ -119,23 +131,28 @@ def run_longitudinal(
     shots = shots if shots is not None else setup.scale.shots
     context = setup.method_context()
     rng = ensure_rng(setup.scale.seed)
+    runner = runner if runner is not None else default_runner()
+    dates = [snapshot.date for snapshot in online]
 
     result = LongitudinalResult(dataset_name=setup.dataset_name, num_days=len(online))
     for method in methods:
         method.prepare(context)
-        accuracies = []
-        for day_index, (snapshot, noise_model) in enumerate(zip(online, noise_models)):
-            parameters = method.parameters_for_day(snapshot)
-            evaluation = evaluate_noisy(
-                setup.base_model,
-                eval_subset.test_features,
-                eval_subset.test_labels,
-                noise_model,
-                parameters=parameters,
-                shots=shots,
-                seed=int(rng.integers(0, 2**31 - 1)),
-            )
-            accuracies.append(evaluation.accuracy)
+        parameters_per_day = []
+        seeds = []
+        for snapshot in online:
+            parameters_per_day.append(method.parameters_for_day(snapshot))
+            seeds.append(int(rng.integers(0, 2**31 - 1)))
+        accuracies = runner.evaluate_days(
+            setup.base_model,
+            eval_subset.test_features,
+            eval_subset.test_labels,
+            noise_models,
+            parameter_sets=parameters_per_day,
+            shots=shots,
+            seeds=seeds,
+            experiment=f"longitudinal/{setup.dataset_name}/{method.name}",
+            dates=dates,
+        )
         result.runs.append(
             MethodRun(
                 method_name=method.name,

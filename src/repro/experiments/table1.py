@@ -17,6 +17,7 @@ from repro.experiments.config import ExperimentScale
 from repro.experiments.context import prepare_experiment
 from repro.experiments.longitudinal import LongitudinalResult, run_longitudinal
 from repro.experiments.reporting import format_table
+from repro.runtime import ExperimentRunner
 
 #: Datasets of Table I in presentation order.
 TABLE1_DATASETS: tuple[str, ...] = ("mnist4", "iris", "seismic")
@@ -62,6 +63,7 @@ def run_table1(
     datasets: Sequence[str] = TABLE1_DATASETS,
     methods: Sequence[str] = TABLE1_METHOD_NAMES,
     device: str = "belem",
+    runner: Optional[ExperimentRunner] = None,
 ) -> Table1Result:
     """Reproduce Table I at the requested scale."""
     scale = scale or ExperimentScale()
@@ -70,6 +72,6 @@ def run_table1(
         setup = prepare_experiment(dataset_name, scale=scale, device=device)
         method_objects = [make_method(name) for name in methods]
         result.per_dataset[dataset_name] = run_longitudinal(
-            setup, method_objects, num_days=scale.online_days
+            setup, method_objects, num_days=scale.online_days, runner=runner
         )
     return result

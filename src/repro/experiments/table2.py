@@ -21,7 +21,7 @@ from repro.calibration.snapshot import CalibrationSnapshot
 from repro.core import NoiseAwareCompressor, cluster_calibrations
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import ExperimentSetup, prepare_experiment
-from repro.qnn.evaluation import evaluate_noisy
+from repro.runtime import ExperimentRunner, default_runner
 from repro.simulator import NoiseModel
 from repro.utils.rng import ensure_rng
 
@@ -71,6 +71,7 @@ def _evaluate_clustering(
     metric: str,
     day_accuracies: np.ndarray,
     scale: ExperimentScale,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ClusterEvaluation:
     history = setup.offline_history
     matrix = history.to_matrix()
@@ -86,9 +87,15 @@ def _evaluate_clustering(
     eval_subset = setup.eval_subset()
     template = history[0]
     rng = ensure_rng(scale.seed)
+    runner = runner if runner is not None else default_runner()
 
+    # Compress once per non-empty cluster (sequential — each run trains),
+    # collecting the per-centroid evaluation bindings for one batched call.
     cluster_params: dict[int, np.ndarray] = {}
-    cluster_accuracy: list[float] = []
+    centroid_models: list[NoiseModel] = []
+    centroid_params: list[np.ndarray] = []
+    centroid_seeds: list[int] = []
+    centroid_dates: list[str] = []
     for cluster in range(clustering.num_clusters):
         if clustering.cluster_sizes[cluster] == 0:
             continue
@@ -99,39 +106,52 @@ def _evaluate_clustering(
             setup.base_model, train_features, train_labels, calibration=centroid
         )
         cluster_params[cluster] = compressed.parameters
-        accuracy = evaluate_noisy(
-            setup.base_model,
-            eval_subset.test_features,
-            eval_subset.test_labels,
-            NoiseModel.from_calibration(centroid),
-            parameters=compressed.parameters,
-            shots=scale.shots,
-            seed=int(rng.integers(0, 2**31 - 1)),
-        ).accuracy
-        cluster_accuracy.append(accuracy)
+        centroid_models.append(NoiseModel.from_calibration(centroid))
+        centroid_params.append(compressed.parameters)
+        centroid_seeds.append(int(rng.integers(0, 2**31 - 1)))
+        centroid_dates.append(centroid.date or "")
+    cluster_accuracy = runner.evaluate_days(
+        setup.base_model,
+        eval_subset.test_features,
+        eval_subset.test_labels,
+        centroid_models,
+        parameter_sets=centroid_params,
+        shots=scale.shots,
+        seeds=centroid_seeds,
+        experiment=f"table2/{metric}/clusters",
+        dates=centroid_dates,
+    )
 
-    sample_accuracy: list[float] = []
+    # Every offline day evaluated with its cluster's model — one batched call.
     noise_models = setup.noise_models(history)
+    day_models: list[NoiseModel] = []
+    day_params: list[np.ndarray] = []
+    day_seeds: list[int] = []
+    day_dates: list[str] = []
     for day, (label, noise_model) in enumerate(zip(clustering.labels, noise_models)):
         parameters = cluster_params.get(int(label))
         if parameters is None:
             continue
-        sample_accuracy.append(
-            evaluate_noisy(
-                setup.base_model,
-                eval_subset.test_features,
-                eval_subset.test_labels,
-                noise_model,
-                parameters=parameters,
-                shots=scale.shots,
-                seed=int(rng.integers(0, 2**31 - 1)),
-            ).accuracy
-        )
+        day_models.append(noise_model)
+        day_params.append(parameters)
+        day_seeds.append(int(rng.integers(0, 2**31 - 1)))
+        day_dates.append(history[day].date or "")
+    sample_accuracy = runner.evaluate_days(
+        setup.base_model,
+        eval_subset.test_features,
+        eval_subset.test_labels,
+        day_models,
+        parameter_sets=day_params,
+        shots=scale.shots,
+        seeds=day_seeds,
+        experiment=f"table2/{metric}/samples",
+        dates=day_dates,
+    )
     return ClusterEvaluation(
         metric=metric,
         num_clusters=len(cluster_params),
-        mean_cluster_accuracy=float(np.mean(cluster_accuracy)) if cluster_accuracy else float("nan"),
-        mean_sample_accuracy=float(np.mean(sample_accuracy)) if sample_accuracy else float("nan"),
+        mean_cluster_accuracy=float(np.mean(cluster_accuracy)) if len(cluster_accuracy) else float("nan"),
+        mean_sample_accuracy=float(np.mean(sample_accuracy)) if len(sample_accuracy) else float("nan"),
     )
 
 
@@ -139,6 +159,7 @@ def run_table2(
     scale: Optional[ExperimentScale] = None,
     setup: Optional[ExperimentSetup] = None,
     dataset_name: str = "mnist4",
+    runner: Optional[ExperimentRunner] = None,
 ) -> Table2Result:
     """Reproduce the Table II clustering ablation."""
     scale = scale or ExperimentScale()
@@ -154,6 +175,8 @@ def run_table2(
     day_accuracies = constructor.measure_day_accuracies(
         setup.base_model, setup.dataset, setup.offline_history
     )
-    l2 = _evaluate_clustering(setup, "l2", day_accuracies, scale)
-    weighted = _evaluate_clustering(setup, "weighted_l1", day_accuracies, scale)
+    l2 = _evaluate_clustering(setup, "l2", day_accuracies, scale, runner=runner)
+    weighted = _evaluate_clustering(
+        setup, "weighted_l1", day_accuracies, scale, runner=runner
+    )
     return Table2Result(l2=l2, weighted_l1=weighted)

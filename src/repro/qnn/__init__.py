@@ -2,10 +2,12 @@
 
 from repro.qnn.encoding import AngleEncoder, EncodingOp
 from repro.qnn.evaluation import (
+    DEFAULT_BATCH_BYTES,
     EvaluationResult,
     accuracy_over_days,
     evaluate_ideal,
     evaluate_noisy,
+    evaluate_noisy_batch,
 )
 from repro.qnn.gradients import (
     adjoint_gradient,
@@ -31,7 +33,9 @@ __all__ = [
     "EvaluationResult",
     "evaluate_ideal",
     "evaluate_noisy",
+    "evaluate_noisy_batch",
     "accuracy_over_days",
+    "DEFAULT_BATCH_BYTES",
     "adjoint_gradient",
     "parameter_shift_gradient",
     "finite_difference_gradient",

@@ -124,3 +124,55 @@ class AngleEncoder:
                 rho, op.gate, qubit, angles[:, op.feature_index], noise_model=noise_model
             )
         return rho
+
+    def encode_density_matrices_multi(
+        self,
+        features: np.ndarray,
+        simulator,
+        noise_models: Sequence,
+        qubit_mapping: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Encode one feature batch under many noise models at once.
+
+        Returns a ``(len(noise_models), batch, dim, dim)`` stack — group ``g``
+        equals :meth:`encode_density_matrices` under ``noise_models[g]``
+        (entries may be ``None`` for noise-free encoding).  Every rotation is
+        applied to the flattened group super-batch in one contraction, and
+        each rotation's depolarizing channel carries per-group strengths, so
+        encoding a year of calibration days costs one pass instead of one
+        pass per day.
+        """
+        from repro.gates import Gate
+        from repro.simulator import ops
+        from repro.simulator.statevector import _feature_rotation_stack
+
+        groups = len(noise_models)
+        if groups == 1:
+            encoded = self.encode_density_matrices(
+                features, simulator, noise_model=noise_models[0],
+                qubit_mapping=qubit_mapping,
+            )
+            return encoded[None, ...]
+        angles = self.angles(features)
+        batch = angles.shape[0]
+        num_qubits = simulator.num_qubits
+        rho = simulator.zero_state(groups * batch)
+        for op in self.operations():
+            qubit = op.logical_qubit if qubit_mapping is None else qubit_mapping[op.logical_qubit]
+            stack = _feature_rotation_stack(op.gate, angles[:, op.feature_index])
+            rho = ops.apply_unitary_density(
+                rho, np.tile(stack, (groups, 1, 1)), [qubit], num_qubits
+            )
+            probe = Gate(op.gate, (qubit,), param=0.0)
+            probabilities = np.zeros(groups)
+            for index, model in enumerate(noise_models):
+                if model is None:
+                    continue
+                channel = model.channel_for_gate(probe)
+                if channel is not None:
+                    probabilities[index] = channel.probability
+            if np.any(probabilities):
+                rho = ops.apply_depolarizing_density(
+                    rho, np.repeat(probabilities, batch), [qubit], num_qubits
+                )
+        return rho.reshape(groups, batch, simulator.dim, simulator.dim)

@@ -16,6 +16,8 @@ used in the paper.
 
 from __future__ import annotations
 
+import copy as copy_module
+
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
@@ -127,17 +129,47 @@ class QNNModel:
         """Size of the trainable-parameter vector."""
         return self.ansatz.num_parameters
 
+    def copy(
+        self,
+        parameters: Optional[np.ndarray] = None,
+        name: Optional[str] = None,
+        share_device_binding: bool = True,
+    ) -> "QNNModel":
+        """An independent copy of this model.
+
+        The parameter vector is always deep-copied, so training or
+        compressing the copy never touches the original.  The device binding
+        (``transpiled``) is *shared immutably* by default: nothing mutates a
+        :class:`~repro.transpiler.TranspiledCircuit` in place (``bind`` /
+        ``to_physical`` return fresh circuits and :meth:`bind_to_device`
+        rebinds by assignment), and the binding depends only on the circuit
+        structure — not on parameter values — so sharing is safe and keeps
+        compiled-program caches warm.  Pass ``share_device_binding=False``
+        to deep-copy the binding for callers that intend to mutate it.
+
+        This replaces the old two-step pattern
+        ``copy_with_parameters(...)`` + ``copy.transpiled = base.transpiled``,
+        which aliased one mutable attribute across two models implicitly.
+        """
+        transpiled = self.transpiled
+        if not share_device_binding and transpiled is not None:
+            transpiled = copy_module.deepcopy(transpiled)
+        return replace(
+            self,
+            parameters=np.asarray(
+                self.parameters if parameters is None else parameters, dtype=float
+            ).copy(),
+            name=name or self.name,
+            transpiled=transpiled,
+        )
+
     def copy_with_parameters(self, parameters: np.ndarray, name: Optional[str] = None) -> "QNNModel":
         """A copy of this model with a different parameter vector.
 
-        The device binding (``transpiled``) is shared because it only depends
-        on the circuit structure, not on the parameter values.
+        Thin wrapper over :meth:`copy`; the device binding is shared because
+        it only depends on the circuit structure, not on the parameter values.
         """
-        return replace(
-            self,
-            parameters=np.asarray(parameters, dtype=float).copy(),
-            name=name or self.name,
-        )
+        return self.copy(parameters=parameters, name=name)
 
     # ------------------------------------------------------------------
     # Device binding
@@ -196,6 +228,57 @@ class QNNModel:
             features, parameters, backend=backend
         )
 
+    def _normalize_parameter_sets(
+        self, parameter_sets, count: Optional[int] = None
+    ) -> list[np.ndarray]:
+        """Per-binding parameter vectors (``None`` entries → own parameters)."""
+        if parameter_sets is None:
+            if count is None:
+                raise TrainingError("parameter_sets or an item count is required")
+            return [self.parameters] * count
+        normalized = [
+            self.parameters if item is None else np.asarray(item, dtype=float)
+            for item in parameter_sets
+        ]
+        if count is not None and len(normalized) != count:
+            raise TrainingError(
+                f"{len(normalized)} parameter sets do not match {count} bindings"
+            )
+        return normalized
+
+    def ideal_expectations_batch(
+        self,
+        features: np.ndarray,
+        parameter_sets: Sequence[Optional[np.ndarray]],
+        backend: Optional[Backend] = None,
+    ) -> np.ndarray:
+        """Noise-free Z expectations under many parameter bindings at once.
+
+        One encode plus one vectorised ``execute_batch`` serves every
+        binding; the result has shape ``(len(parameter_sets), batch,
+        num_classes)`` and row ``p`` is bit-identical to
+        ``ideal_expectations(features, parameter_sets[p])``.
+        """
+        parameter_sets = self._normalize_parameter_sets(parameter_sets)
+        backend = backend if backend is not None else default_statevector_backend()
+        simulator = backend.simulator(self.num_qubits)
+        initial = self.encoder.encode_statevectors(features, simulator)
+        results = backend.execute_batch(self.ansatz, parameter_sets, initial)
+        return np.stack(
+            [result.expectation_z(self.readout_qubits) for result in results]
+        )
+
+    def forward_ideal_batch(
+        self,
+        features: np.ndarray,
+        parameter_sets: Sequence[Optional[np.ndarray]],
+        backend: Optional[Backend] = None,
+    ) -> np.ndarray:
+        """Noise-free class logits for many parameter bindings, stacked."""
+        return self.logit_scale * self.ideal_expectations_batch(
+            features, parameter_sets, backend=backend
+        )
+
     def noisy_expectations(
         self,
         features: np.ndarray,
@@ -243,6 +326,84 @@ class QNNModel:
             backend=backend,
         )
         return self.logit_scale * expectations
+
+    def noisy_expectations_batch(
+        self,
+        features: np.ndarray,
+        noise_models: Sequence[NoiseModel],
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        apply_readout_error: bool = True,
+        backend: Optional[Backend] = None,
+    ) -> np.ndarray:
+        """Noisy Z expectations for many (parameters, noise model) bindings.
+
+        The whole set of bindings — e.g. every calibration day of a Fig. 2
+        sweep — is one backend call: encoding runs once over the flattened
+        binding super-batch (per-binding channel strengths) and the physical
+        circuit walk applies each gate once across all bindings.  Returns
+        shape ``(len(noise_models), batch, num_classes)``; row ``p`` is
+        bit-identical to ``noisy_expectations(features, noise_models[p],
+        parameter_sets[p], shots=shots, seed=seeds[p])``.
+        """
+        count = len(noise_models)
+        parameter_sets = self._normalize_parameter_sets(parameter_sets, count)
+        if seeds is not None and len(seeds) != count:
+            raise TrainingError(f"{len(seeds)} seeds do not match {count} bindings")
+        transpiled = self._require_transpiled()
+        device_qubits = transpiled.coupling.num_qubits
+        backend = backend if backend is not None else default_density_backend()
+        simulator = backend.simulator(device_qubits)
+        mapping = [
+            transpiled.encoding_physical_qubit(logical)
+            for logical in range(self.num_qubits)
+        ]
+        initial = self.encoder.encode_density_matrices_multi(
+            features, simulator, noise_models=noise_models, qubit_mapping=mapping
+        )
+        physical = [transpiled.to_physical(item) for item in parameter_sets]
+        results = backend.execute_batch(
+            physical, initial_states=initial, noise_models=list(noise_models)
+        )
+        measured = transpiled.measured_physical_qubits(self.readout_qubits)
+        rows = []
+        for index, result in enumerate(results):
+            if shots is None:
+                rows.append(
+                    result.expectation_z(
+                        measured, apply_readout_error=apply_readout_error
+                    )
+                )
+            else:
+                rows.append(
+                    result.sample_expectation_z(
+                        measured,
+                        shots=shots,
+                        seed=None if seeds is None else seeds[index],
+                        apply_readout_error=apply_readout_error,
+                    )
+                )
+        return np.stack(rows)
+
+    def forward_noisy_batch(
+        self,
+        features: np.ndarray,
+        noise_models: Sequence[NoiseModel],
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        backend: Optional[Backend] = None,
+    ) -> np.ndarray:
+        """Stacked noisy class logits for many bindings (one backend call)."""
+        return self.logit_scale * self.noisy_expectations_batch(
+            features,
+            noise_models,
+            parameter_sets=parameter_sets,
+            shots=shots,
+            seeds=seeds,
+            backend=backend,
+        )
 
     # ------------------------------------------------------------------
     # Loss and gradient (noise-free path used for training / compression)
@@ -299,6 +460,52 @@ class QNNModel:
             final_states=forward.states,
         )
         return loss_value, gradient
+
+    def loss_and_gradient_batch(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        parameter_sets: Sequence[Optional[np.ndarray]],
+        loss: str = "cross_entropy",
+        backend: Optional[Backend] = None,
+    ) -> list[tuple[float, np.ndarray]]:
+        """Loss and gradient for many parameter bindings in one forward pass.
+
+        The forward evolutions of every binding run as a single vectorised
+        ``execute_batch`` call; each binding's adjoint backward sweep then
+        reuses its final states (and the engine's cached per-gate matrices).
+        Entry ``p`` is bit-identical to ``loss_and_gradient(features, labels,
+        parameter_sets[p])`` without a noise injector.
+        """
+        parameter_sets = self._normalize_parameter_sets(parameter_sets)
+        backend = backend if backend is not None else default_statevector_backend()
+        loss_fn = get_loss(loss)
+        simulator = backend.simulator(self.num_qubits)
+        initial = self.encoder.encode_statevectors(features, simulator)
+        forwards = backend.execute_batch(self.ansatz, parameter_sets, initial)
+        engine = getattr(backend, "engine", None)
+        num_qubits = self.num_qubits
+        outputs: list[tuple[float, np.ndarray]] = []
+        for parameters, forward in zip(parameter_sets, forwards):
+            expectations = forward.expectation_z(self.readout_qubits)
+            logits = self.logit_scale * expectations
+            loss_value, dloss_dlogits = loss_fn(logits, labels)
+            dloss_dexpectations = self.logit_scale * dloss_dlogits
+            diagonals = np.zeros((features.shape[0], 2**num_qubits))
+            for column, qubit in enumerate(self.readout_qubits):
+                diagonals += dloss_dexpectations[:, column : column + 1] * z_diagonal(
+                    qubit, num_qubits
+                )
+            gradient, _ = adjoint_gradient(
+                self.ansatz,
+                parameters,
+                initial,
+                diagonals,
+                engine=engine,
+                final_states=forward.states,
+            )
+            outputs.append((loss_value, gradient))
+        return outputs
 
     # ------------------------------------------------------------------
     # Serialization

@@ -1,0 +1,42 @@
+"""Batched/parallel experiment runtime.
+
+This package is the execution layer *above* the simulator: where
+:mod:`repro.simulator` makes one circuit cheap and
+:mod:`repro.qnn.evaluation` makes one day cheap, the runtime makes whole
+experiments cheap — it chunks per-day evaluations into vectorised
+multi-binding backend calls, fans the chunks out over worker pools, caches
+(model, day, subset) results by content digest, and persists run records
+as JSONL artifacts.  Every experiment harness under
+:mod:`repro.experiments` drives its day loops through
+:class:`ExperimentRunner`.
+"""
+
+from repro.runtime.cache import (
+    EvaluationCache,
+    array_digest,
+    evaluation_key,
+    model_digest,
+    noise_model_digest,
+)
+from repro.runtime.records import RunRecord, RunRecordLog, load_run_records
+from repro.runtime.runner import (
+    RUNNER_MODES,
+    ExperimentRunner,
+    RunnerStats,
+    default_runner,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "RunnerStats",
+    "RUNNER_MODES",
+    "default_runner",
+    "EvaluationCache",
+    "RunRecord",
+    "RunRecordLog",
+    "load_run_records",
+    "array_digest",
+    "evaluation_key",
+    "model_digest",
+    "noise_model_digest",
+]

@@ -1,0 +1,105 @@
+"""Run-record persistence: every runner evaluation leaves a JSONL trail.
+
+A longitudinal experiment is thousands of small evaluations spread over
+days, methods, and datasets; when one is rerun at a different scale (or
+crashes halfway) the only way to compare or resume is a machine-readable
+record of what actually executed.  :class:`RunRecordLog` appends one JSON
+object per line — the same format consumed by the cache warm-start and by
+the ``BENCH_runtime.json`` tooling — and is safe to share across the
+runner's worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+
+@dataclass
+class RunRecord:
+    """One unit of runner work, as persisted to the JSONL artifact.
+
+    Attributes
+    ----------
+    experiment:
+        Harness name (``"fig2"``, ``"table1/mnist4/qucad"``, ...).
+    kind:
+        Record type; day evaluations use ``"day_evaluation"``.
+    index:
+        Position of the unit within its sweep (e.g. the day index).
+    date:
+        Calendar label of the unit, when the sweep has one.
+    accuracy:
+        Evaluation outcome (``None`` for non-evaluation records).
+    cache_hit:
+        Whether the result came from the evaluation cache.
+    duration_seconds:
+        Wall time spent producing the result (0 for cache hits).
+    extra:
+        Free-form JSON-serialisable payload (method name, shots, ...).
+    created_at:
+        Unix timestamp at record creation.
+    """
+
+    experiment: str
+    kind: str = "day_evaluation"
+    index: Optional[int] = None
+    date: Optional[str] = None
+    accuracy: Optional[float] = None
+    cache_hit: bool = False
+    duration_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+
+    def to_json(self) -> str:
+        """The record as one compact JSON line (no trailing newline)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        """Parse a record from one JSONL line."""
+        payload = json.loads(line)
+        return cls(**payload)
+
+
+PathLike = Union[str, Path]
+
+
+class RunRecordLog:
+    """Append-only, thread-safe JSONL writer for :class:`RunRecord` objects."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record to the artifact."""
+        self.extend([record])
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        """Append several records atomically with respect to other writers."""
+        lines = "".join(record.to_json() + "\n" for record in records)
+        if not lines:
+            return
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(lines)
+
+
+def load_run_records(path: PathLike) -> list[RunRecord]:
+    """Read every record from a JSONL artifact (missing file → empty list)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    records = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_json(line))
+    return records

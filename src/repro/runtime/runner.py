@@ -1,0 +1,323 @@
+"""The parallel experiment runner: batched day evaluation + fan-out + cache.
+
+Every longitudinal harness in this repository reduces to the same inner
+loop: *for each day (and method), evaluate one parameter vector under one
+noise model on one eval subset*.  :class:`ExperimentRunner` owns that loop:
+
+* days are grouped into chunks and each chunk is evaluated as **one**
+  vectorised multi-binding backend call
+  (:func:`repro.qnn.evaluation.evaluate_noisy_batch`);
+* chunks fan out over a ``concurrent.futures`` thread or process pool, each
+  worker owning its own :class:`~repro.simulator.SimulationEngine` (the
+  engine is not thread-safe, so workers never share one);
+* results are keyed by content digests in an
+  :class:`~repro.runtime.cache.EvaluationCache`, so repeated sweeps over
+  the same (model, day, subset) triples skip simulation entirely;
+* every unit of work leaves a :class:`~repro.runtime.records.RunRecord` in
+  a JSONL artifact for machine-readable run history.
+
+Chunking, pooling, and caching never change numbers: each day's result is
+bit-identical to a standalone :func:`repro.qnn.evaluation.evaluate_noisy`
+call with the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.qnn.evaluation import DEFAULT_BATCH_BYTES, evaluate_noisy_batch
+from repro.qnn.model import QNNModel
+from repro.runtime.cache import (
+    EvaluationCache,
+    array_digest,
+    evaluation_key,
+    model_digest,
+    noise_model_digest,
+)
+from repro.runtime.records import PathLike, RunRecord, RunRecordLog
+from repro.simulator import DensityMatrixBackend, NoiseModel, SimulationEngine
+
+#: Runner execution modes.
+RUNNER_MODES = ("serial", "thread", "process")
+
+
+def _evaluate_chunk(
+    model: QNNModel,
+    features: np.ndarray,
+    labels: np.ndarray,
+    noise_models: Sequence[NoiseModel],
+    parameter_sets: Sequence[Optional[np.ndarray]],
+    shots: Optional[int],
+    seeds: Sequence,
+    max_batch_bytes: int,
+    backend: Optional[DensityMatrixBackend] = None,
+) -> tuple[list[float], float]:
+    """Worker body: evaluate one chunk of days on a private engine.
+
+    Module-level (not a closure) so the process pool can pickle it.  When
+    no ``backend`` is supplied each invocation builds its own over a fresh
+    engine — pool workers never share compilation caches, which keeps the
+    engine's thread-unsafety out of the pool.  Serial execution passes the
+    runner's long-lived backend instead so compiled circuits stay warm
+    across chunks and calls, like the pre-runtime sequential path.
+    """
+    if backend is None:
+        backend = DensityMatrixBackend(engine=SimulationEngine())
+    start = time.perf_counter()
+    results = evaluate_noisy_batch(
+        model,
+        features,
+        labels,
+        noise_models,
+        parameter_sets=list(parameter_sets),
+        shots=shots,
+        seeds=list(seeds),
+        backend=backend,
+        max_batch_bytes=max_batch_bytes,
+    )
+    duration = time.perf_counter() - start
+    return [result.accuracy for result in results], duration
+
+
+@dataclass
+class RunnerStats:
+    """Counters across every :meth:`ExperimentRunner.evaluate_days` call."""
+
+    days_requested: int = 0
+    days_evaluated: int = 0
+    cache_hits: int = 0
+    chunks: int = 0
+    wall_seconds: float = 0.0
+
+
+class ExperimentRunner:
+    """Fans batched per-day evaluations out over a worker pool.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"`` (in-process, deterministic ordering), ``"thread"``
+        (default; NumPy's BLAS kernels release the GIL, and each worker owns
+        a private engine), or ``"process"`` (full isolation; inputs are
+        pickled per chunk).
+    max_workers:
+        Pool width; defaults to ``min(4, cpu_count)``.
+    chunk_days:
+        How many days each worker evaluates per task.  One chunk is one
+        vectorised multi-binding backend call, so this also sets the
+        vectorisation width (memory-capped by ``max_batch_bytes``).
+    cache:
+        Optional :class:`EvaluationCache` (or a path, to persist across
+        processes); hits skip simulation and are guaranteed bit-identical.
+    record_log:
+        Optional :class:`RunRecordLog` (or a path) receiving one
+        :class:`RunRecord` per day.
+    """
+
+    def __init__(
+        self,
+        mode: str = "thread",
+        max_workers: Optional[int] = None,
+        chunk_days: int = 16,
+        cache: Union[EvaluationCache, PathLike, None] = None,
+        record_log: Union[RunRecordLog, PathLike, None] = None,
+        max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+    ):
+        if mode not in RUNNER_MODES:
+            raise ReproError(f"unknown runner mode {mode!r}; expected {RUNNER_MODES}")
+        if chunk_days < 1:
+            raise ReproError(f"chunk_days must be >= 1, got {chunk_days}")
+        self.mode = mode
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.chunk_days = chunk_days
+        self.max_batch_bytes = max_batch_bytes
+        if cache is not None and not isinstance(cache, EvaluationCache):
+            cache = EvaluationCache(cache)
+        self.cache = cache
+        if record_log is not None and not isinstance(record_log, RunRecordLog):
+            record_log = RunRecordLog(record_log)
+        self.record_log = record_log
+        self.stats = RunnerStats()
+        # Long-lived backend for single-threaded execution; pool workers
+        # build their own (the engine is not thread-safe).
+        self._serial_backend: Optional[DensityMatrixBackend] = None
+
+    # ------------------------------------------------------------------
+    def _executor(self):
+        if self.mode == "thread":
+            return ThreadPoolExecutor(max_workers=self.max_workers)
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Order-preserving pool map (serial in ``serial`` mode)."""
+        if self.mode == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        with self._executor() as pool:
+            return list(pool.map(fn, items))
+
+    # ------------------------------------------------------------------
+    def evaluate_days(
+        self,
+        model: QNNModel,
+        features: np.ndarray,
+        labels: np.ndarray,
+        noise_models: Sequence[NoiseModel],
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence] = None,
+        *,
+        experiment: str = "experiment",
+        dates: Optional[Sequence[Optional[str]]] = None,
+    ) -> np.ndarray:
+        """Per-day accuracies of ``model`` across ``noise_models``.
+
+        Day ``i`` is evaluated with ``parameter_sets[i]`` (``None`` → the
+        model's own parameters) under ``noise_models[i]`` using
+        ``seeds[i]`` / ``shots`` for measurement sampling — bit-identical to
+        the equivalent :func:`repro.qnn.evaluation.evaluate_noisy` loop, but
+        chunked, vectorised, parallelised, and cached.
+        """
+        started = time.perf_counter()
+        count = len(noise_models)
+        parameter_sets = (
+            [None] * count if parameter_sets is None else list(parameter_sets)
+        )
+        seeds = [None] * count if seeds is None else list(seeds)
+        dates = [None] * count if dates is None else list(dates)
+        if not (len(parameter_sets) == len(seeds) == len(dates) == count):
+            raise ReproError("evaluate_days received mismatched per-day sequences")
+        self.stats.days_requested += count
+
+        seeds = [None if seed is None else int(seed) for seed in seeds]
+
+        accuracies: list[Optional[float]] = [None] * count
+        cache_hits: list[bool] = [False] * count
+        keys: list[Optional[str]] = [None] * count
+        pending = list(range(count))
+        if self.cache is not None:
+            subset_key = f"{array_digest(features)}/{array_digest(labels)}"
+            pending = []
+            for index in range(count):
+                if shots is not None and seeds[index] is None:
+                    # Unseeded sampling is meant to be a fresh random draw
+                    # every time; replaying a cached draw would silently
+                    # correlate evaluations.  Such bindings bypass the cache.
+                    pending.append(index)
+                    continue
+                keys[index] = evaluation_key(
+                    model_digest(model, parameters=parameter_sets[index]),
+                    noise_model_digest(noise_models[index]),
+                    subset_key,
+                    shots,
+                    seeds[index],
+                )
+                hit = self.cache.get(keys[index])
+                if hit is not None:
+                    accuracies[index] = float(hit["accuracy"])
+                    cache_hits[index] = True
+                    self.stats.cache_hits += 1
+                else:
+                    pending.append(index)
+
+        chunks = [
+            pending[start : start + self.chunk_days]
+            for start in range(0, len(pending), self.chunk_days)
+        ]
+        durations: dict[int, float] = {}
+
+        def run_chunk(
+            chunk: list[int], backend: Optional[DensityMatrixBackend] = None
+        ) -> tuple[list[int], list[float], float]:
+            chunk_accuracies, duration = _evaluate_chunk(
+                model,
+                features,
+                labels,
+                [noise_models[i] for i in chunk],
+                [parameter_sets[i] for i in chunk],
+                shots,
+                [seeds[i] for i in chunk],
+                self.max_batch_bytes,
+                backend=backend,
+            )
+            return chunk, chunk_accuracies, duration
+
+        if self.mode == "serial" or len(chunks) <= 1:
+            # Everything runs in the calling thread: reuse one engine so
+            # compiled circuits stay warm across chunks and calls.
+            if self._serial_backend is None:
+                self._serial_backend = DensityMatrixBackend(engine=SimulationEngine())
+            outcomes = [run_chunk(chunk, self._serial_backend) for chunk in chunks]
+        else:
+            with self._executor() as pool:
+                if self.mode == "process":
+                    futures = [
+                        pool.submit(
+                            _evaluate_chunk,
+                            model,
+                            features,
+                            labels,
+                            [noise_models[i] for i in chunk],
+                            [parameter_sets[i] for i in chunk],
+                            shots,
+                            [seeds[i] for i in chunk],
+                            self.max_batch_bytes,
+                        )
+                        for chunk in chunks
+                    ]
+                    outcomes = [
+                        (chunk, *future.result())
+                        for chunk, future in zip(chunks, futures)
+                    ]
+                else:
+                    outcomes = list(pool.map(run_chunk, chunks))
+
+        for chunk, chunk_accuracies, duration in outcomes:
+            self.stats.chunks += 1
+            per_day = duration / max(len(chunk), 1)
+            for index, value in zip(chunk, chunk_accuracies):
+                accuracies[index] = value
+                durations[index] = per_day
+                self.stats.days_evaluated += 1
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], {"accuracy": float(value)})
+
+        if self.record_log is not None:
+            self.record_log.extend(
+                RunRecord(
+                    experiment=experiment,
+                    index=index,
+                    date=dates[index],
+                    accuracy=float(accuracies[index]),
+                    cache_hit=cache_hits[index],
+                    duration_seconds=durations.get(index, 0.0),
+                    extra={
+                        "shots": None if shots is None else int(shots),
+                        "seed": seeds[index],
+                    },
+                )
+                for index in range(count)
+            )
+        self.stats.wall_seconds += time.perf_counter() - started
+        return np.asarray(accuracies, dtype=float)
+
+
+def default_runner() -> ExperimentRunner:
+    """A runner configured from the environment.
+
+    ``REPRO_RUNNER_MODE`` selects serial/thread/process (default thread) and
+    ``REPRO_RUNNER_WORKERS`` overrides the pool width — the knobs CI and the
+    benchmark suite use without touching harness code.
+    """
+    mode = os.environ.get("REPRO_RUNNER_MODE", "thread").lower()
+    workers = os.environ.get("REPRO_RUNNER_WORKERS")
+    return ExperimentRunner(
+        mode=mode,
+        max_workers=int(workers) if workers else None,
+    )

@@ -36,12 +36,19 @@ from repro.circuits import QuantumCircuit
 from repro.exceptions import SimulationError
 from repro.simulator import ops
 from repro.simulator.density_matrix import DensityMatrixResult, DensityMatrixSimulator
-from repro.simulator.engine import SimulationEngine, default_engine
+from repro.simulator.engine import (
+    SimulationEngine,
+    circuit_structure_digest,
+    default_engine,
+    parameter_digest,
+)
 from repro.simulator.noise_model import NoiseModel
 from repro.simulator.statevector import StatevectorResult, StatevectorSimulator
 from repro.utils.rng import SeedLike, ensure_rng
 
 CircuitOrCircuits = Union[QuantumCircuit, Sequence[QuantumCircuit]]
+
+NoiseModelOrModels = Union[None, NoiseModel, Sequence[Optional[NoiseModel]]]
 
 
 @runtime_checkable
@@ -52,6 +59,12 @@ class Backend(Protocol):
     sequence of circuits (returning a list of results, one per circuit, all
     sharing the same initial states).  Results expose ``probabilities()`` and
     ``expectation_z(qubits)`` regardless of the underlying representation.
+
+    ``execute_batch`` is the vectorised many-bindings entry point: one
+    circuit structure, many parameter bindings / noise models / seeds, one
+    result per binding.  Backends without a vectorised path satisfy the
+    protocol through the per-item loop fallback, which is also the
+    correctness reference the vectorised paths must bit-match.
     """
 
     name: str
@@ -70,6 +83,20 @@ class Backend(Protocol):
         """Run the circuit(s) and return result object(s)."""
         ...
 
+    def execute_batch(
+        self,
+        circuits: CircuitOrCircuits,
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        batch: int = 1,
+        noise_models: NoiseModelOrModels = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> list:
+        """Run many bindings of one program; one result per binding."""
+        ...
+
     def simulator(self, num_qubits: int):
         """A (cached) low-level simulator for state preparation/encoding."""
         ...
@@ -79,6 +106,10 @@ class _EngineBackend:
     """Shared plumbing: engine handle, simulator cache, list dispatch."""
 
     name = "abstract"
+    #: Rank of one *shared* initial-state array (statevectors: ``(batch, dim)``
+    #: is rank 2; density matrices: rank 3).  One rank higher means the caller
+    #: supplied per-binding stacks.
+    _state_rank = 2
 
     def __init__(self, engine: Optional[SimulationEngine] = None):
         self.engine = engine if engine is not None else default_engine()
@@ -132,6 +163,100 @@ class _EngineBackend:
     def _execute_one(self, circuit, initial_states, **kwargs):
         raise NotImplementedError
 
+    # -- batched execution ----------------------------------------------
+    def _normalize_batch(
+        self,
+        circuits: CircuitOrCircuits,
+        parameter_sets,
+        initial_states,
+        noise_models,
+        seeds,
+    ):
+        """Broadcast the batch arguments to per-binding lists.
+
+        Returns ``(circuits, parameter_sets, initial_states, noise_models,
+        seeds)`` where every element is a list of the common batch length and
+        ``initial_states`` is either ``None``, a shared array, or a
+        per-binding list of arrays.
+        """
+        lengths = []
+        if not isinstance(circuits, QuantumCircuit):
+            circuits = list(circuits)
+            lengths.append(len(circuits))
+        if parameter_sets is not None:
+            parameter_sets = list(parameter_sets)
+            lengths.append(len(parameter_sets))
+        if isinstance(noise_models, Sequence):
+            noise_models = list(noise_models)
+            lengths.append(len(noise_models))
+        if seeds is not None:
+            seeds = list(seeds)
+            lengths.append(len(seeds))
+        per_item_states = None
+        if initial_states is not None:
+            initial_states = np.asarray(initial_states)
+            if initial_states.ndim > self._state_rank:
+                per_item_states = list(initial_states)
+                lengths.append(len(per_item_states))
+        if not lengths:
+            raise SimulationError(
+                "execute_batch needs at least one per-binding sequence "
+                "(parameter_sets, circuits, noise_models, seeds, or stacked "
+                "initial states)"
+            )
+        count = lengths[0]
+        if any(length != count for length in lengths):
+            raise SimulationError(
+                f"execute_batch received mismatched batch lengths {lengths}"
+            )
+        if isinstance(circuits, QuantumCircuit):
+            circuits = [circuits] * count
+        if parameter_sets is None:
+            parameter_sets = [None] * count
+        if not isinstance(noise_models, list):
+            noise_models = [noise_models] * count
+        if seeds is None:
+            seeds = [None] * count
+        if per_item_states is not None:
+            states = per_item_states
+        else:
+            states = [initial_states] * count
+        return circuits, parameter_sets, states, noise_models, seeds
+
+    def execute_batch(
+        self,
+        circuits: CircuitOrCircuits,
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        batch: int = 1,
+        noise_models: NoiseModelOrModels = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> list:
+        """Per-binding loop fallback: one ``_execute_one`` call per binding.
+
+        Subclasses override this with vectorised paths; the fallback is the
+        behavioural contract they must match bit-for-bit.
+        """
+        circuits, parameter_sets, states, noise_models, seeds = self._normalize_batch(
+            circuits, parameter_sets, initial_states, noise_models, seeds
+        )
+        return [
+            self._execute_one(
+                circuit,
+                item_states,
+                parameters=parameters,
+                batch=batch,
+                noise_model=noise_model,
+                shots=shots,
+                seed=seed,
+            )
+            for circuit, parameters, item_states, noise_model, seed in zip(
+                circuits, parameter_sets, states, noise_models, seeds
+            )
+        ]
+
 
 class StatevectorBackend(_EngineBackend):
     """Ideal (noise-free) execution — the paper's ``W_p(theta)``.
@@ -181,6 +306,67 @@ class StatevectorBackend(_EngineBackend):
         states = self._prepare_states(circuit, initial_states, batch)
         states = self.engine.run_statevector(circuit, states, parameters)
         return StatevectorResult(states=states, num_qubits=circuit.num_qubits)
+
+    def _evolve_batch(
+        self, circuits, parameter_sets, per_item_states, batch: int
+    ) -> list[np.ndarray]:
+        """Evolve every binding, vectorised when the structures allow it.
+
+        Returns one evolved ``(batch, dim)`` array per binding.  Bindings
+        with heterogeneous structures (or batch shapes) fall back to one
+        engine run per binding.
+        """
+        try:
+            stacked = np.stack(
+                [
+                    self._prepare_states(circuit, item, batch)
+                    for circuit, item in zip(circuits, per_item_states)
+                ]
+            )
+            evolved = self.engine.run_statevector_multi(
+                circuits, stacked, parameter_sets
+            )
+            return list(evolved)
+        except (SimulationError, ValueError):
+            return [
+                self.engine.run_statevector(
+                    circuit, self._prepare_states(circuit, item, batch), parameters
+                )
+                for circuit, parameters, item in zip(
+                    circuits, parameter_sets, per_item_states
+                )
+            ]
+
+    def execute_batch(
+        self,
+        circuits: CircuitOrCircuits,
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        batch: int = 1,
+        noise_models: NoiseModelOrModels = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> list[StatevectorResult]:
+        """Vectorised multi-binding execution (single stacked-matmul sweep).
+
+        All bindings must share one circuit structure; when they don't, the
+        per-binding loop fallback handles the batch instead.  Bit-identical
+        to the fallback by construction (same elementary matmuls).
+        """
+        circuits, parameter_sets, states, noise_models, seeds = self._normalize_batch(
+            circuits, parameter_sets, initial_states, noise_models, seeds
+        )
+        if any(model is not None for model in noise_models):
+            raise SimulationError(
+                "the statevector backend is noise-free; use the density_matrix "
+                "backend for noisy execution"
+            )
+        evolved = self._evolve_batch(circuits, parameter_sets, states, batch)
+        return [
+            StatevectorResult(states=group, num_qubits=circuit.num_qubits)
+            for circuit, group in zip(circuits, evolved)
+        ]
 
 
 @dataclass
@@ -265,6 +451,49 @@ class TrajectoryBackend(StatevectorBackend):
             seed=seed if seed is not None else int(self._rng.integers(2**63 - 1)),
         )
 
+    def execute_batch(
+        self,
+        circuits: CircuitOrCircuits,
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        batch: int = 1,
+        noise_models: NoiseModelOrModels = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> list[SampledStatevectorResult]:
+        """Vectorised ideal evolution plus per-binding shot sampling.
+
+        Each binding samples from its *own* seed stream: an explicit entry in
+        ``seeds`` wins, otherwise an independent child seed is drawn from the
+        backend-level generator in binding order — so a batched call consumes
+        the backend stream exactly like the equivalent sequence of
+        single-binding ``execute`` calls, and re-running a seeded backend
+        reproduces every binding's counts.
+        """
+        circuits, parameter_sets, states, noise_models, seeds = self._normalize_batch(
+            circuits, parameter_sets, initial_states, noise_models, seeds
+        )
+        if any(model is not None for model in noise_models):
+            raise SimulationError(
+                "the trajectory backend is noise-free; use the density_matrix "
+                "backend for noisy execution"
+            )
+        evolved = self._evolve_batch(circuits, parameter_sets, states, batch)
+        resolved_seeds = [
+            seed if seed is not None else int(self._rng.integers(2**63 - 1))
+            for seed in seeds
+        ]
+        return [
+            SampledStatevectorResult(
+                states=group,
+                num_qubits=circuit.num_qubits,
+                shots=shots if shots is not None else self.shots,
+                seed=item_seed,
+            )
+            for circuit, group, item_seed in zip(circuits, evolved, resolved_seeds)
+        ]
+
 
 class DensityMatrixBackend(_EngineBackend):
     """Noisy execution — the paper's ``W_n(theta)``.
@@ -277,6 +506,7 @@ class DensityMatrixBackend(_EngineBackend):
     """
 
     name = "density_matrix"
+    _state_rank = 3
 
     def __init__(
         self,
@@ -288,6 +518,101 @@ class DensityMatrixBackend(_EngineBackend):
 
     def _make_simulator(self, num_qubits: int) -> DensityMatrixSimulator:
         return DensityMatrixSimulator(num_qubits)
+
+    def _prepare_rho(self, circuit: QuantumCircuit, initial_states, batch: int) -> np.ndarray:
+        simulator = self.simulator(circuit.num_qubits)
+        if initial_states is None:
+            return simulator.zero_state(batch)
+        rho = np.array(initial_states, dtype=complex, copy=True)
+        if rho.ndim == 2:
+            rho = rho[None, :, :]
+        if rho.shape[-1] != simulator.dim:
+            raise SimulationError(
+                f"initial density matrices of dimension {rho.shape[-1]} do "
+                f"not match {circuit.num_qubits} qubits"
+            )
+        return rho
+
+    def execute_batch(
+        self,
+        circuits: CircuitOrCircuits,
+        parameter_sets: Optional[Sequence[Optional[np.ndarray]]] = None,
+        initial_states: Optional[np.ndarray] = None,
+        *,
+        batch: int = 1,
+        noise_models: NoiseModelOrModels = None,
+        shots: Optional[int] = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> list[DensityMatrixResult]:
+        """Vectorised multi-binding noisy execution.
+
+        All bindings (e.g. calibration days) are flattened into one
+        super-batch: every gate is applied once across all bindings, and each
+        gate's depolarizing channel carries per-binding strengths.  Bindings
+        whose circuit structures differ fall back to the per-binding loop.
+        ``shots`` / ``seeds`` do not affect evolution here — sampling happens
+        on the returned results (``sample_expectation_z``).
+        """
+        circuits, parameter_sets, states, noise_models, seeds = self._normalize_batch(
+            circuits, parameter_sets, initial_states, noise_models, seeds
+        )
+        models = [
+            model if model is not None else self.noise_model
+            for model in noise_models
+        ]
+        try:
+            prepared = [
+                self._prepare_rho(circuit, item, batch)
+                for circuit, item in zip(circuits, states)
+            ]
+            # Bindings that share one bound circuit (same structure *and*
+            # parameters — e.g. one model across many calibration days)
+            # evolve under broadcast 2-D gate matrices, the cheap vectorised
+            # regime; group them so no binding pays for per-sample matrix
+            # stacks, and a batch of all-distinct bindings degenerates to
+            # the per-binding loop instead of something slower.  A
+            # single-binding batch skips the digest bookkeeping entirely.
+            groups: dict[tuple[str, str], list[int]] = {}
+            if len(circuits) == 1:
+                groups[("", "")] = [0]
+            else:
+                for index, (circuit, parameters) in enumerate(
+                    zip(circuits, parameter_sets)
+                ):
+                    key = (
+                        circuit_structure_digest(circuit),
+                        parameter_digest(circuit, parameters),
+                    )
+                    groups.setdefault(key, []).append(index)
+            results: list[Optional[DensityMatrixResult]] = [None] * len(circuits)
+            for indices in groups.values():
+                stacked = np.stack([prepared[index] for index in indices])
+                evolved = self.engine.run_density_multi(
+                    [circuits[index] for index in indices],
+                    stacked,
+                    noise_models=[models[index] for index in indices],
+                    parameter_sets=[parameter_sets[index] for index in indices],
+                )
+                for index, group in zip(indices, evolved):
+                    results[index] = DensityMatrixResult(
+                        rho=group,
+                        num_qubits=circuits[index].num_qubits,
+                        noise_model=models[index],
+                    )
+            return results
+        except (SimulationError, ValueError):
+            return [
+                self._execute_one(
+                    circuit,
+                    item,
+                    parameters=parameters,
+                    batch=batch,
+                    noise_model=model,
+                )
+                for circuit, parameters, item, model in zip(
+                    circuits, parameter_sets, states, models
+                )
+            ]
 
     def _execute_one(
         self,

@@ -135,6 +135,39 @@ def apply_compiled_statevector(
     return tensor.reshape(batch, 2**num_qubits)
 
 
+def apply_compiled_statevector_multi(
+    states: np.ndarray,
+    steps: Sequence[tuple[np.ndarray, int, tuple[int, ...], tuple[int, ...]]],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a *stacked* compiled program to stacked statevector batches.
+
+    ``states`` has shape ``(groups, batch, 2**n)`` — one batch of samples per
+    parameter binding (group).  Each step is ``(matrices, dim, perm, inverse)``
+    where ``matrices`` is a ``(groups, d, d)`` stack holding group ``g``'s
+    fused unitary, and ``perm`` / ``inverse`` are the single-program
+    permutations from :func:`statevector_axis_permutation` (they are shifted
+    by one axis here to skip the leading group axis).
+
+    Every elementary product is the same broadcast ``matmul`` the
+    single-program path performs, so the result is bit-identical to running
+    :func:`apply_compiled_statevector` once per group.
+    """
+    groups, batch = states.shape[0], states.shape[1]
+    tensor = states.reshape((groups, batch) + (2,) * num_qubits)
+    for matrices, dim, perm, inverse in steps:
+        gperm = (0,) + tuple(p + 1 for p in perm)
+        ginverse = (0,) + tuple(p + 1 for p in inverse)
+        moved = tensor.transpose(gperm)
+        flat = moved.reshape(groups, batch, dim, -1)
+        if matrices.ndim == 2:
+            flat = matrices @ flat
+        else:
+            flat = np.matmul(matrices[:, None, :, :], flat)
+        tensor = flat.reshape(moved.shape).transpose(ginverse)
+    return tensor.reshape(groups, batch, 2**num_qubits)
+
+
 def _move_density_axes(
     rho: np.ndarray, qubits: Sequence[int], num_qubits: int
 ) -> tuple[np.ndarray, int]:
@@ -170,19 +203,128 @@ def _restore_density_axes(
     return tensor.reshape(batch, dim, dim)
 
 
+def _diagonal_of(unitary: np.ndarray):
+    """The diagonal(s) of a (stack of) matrices, or ``None`` if not diagonal."""
+    eye = np.eye(unitary.shape[-1], dtype=bool)
+    if unitary.ndim == 2:
+        if np.any(unitary[~eye]):
+            return None
+        return np.diagonal(unitary)
+    if np.any(unitary[:, ~eye]):
+        return None
+    return np.diagonal(unitary, axis1=1, axis2=2)
+
+
+def _apply_diagonal_density(
+    rho: np.ndarray, diag: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """``U rho U^dagger`` for diagonal ``U`` as one elementwise phase pass.
+
+    Roughly half the gates of a basis-translated circuit are virtual ``rz``
+    rotations (diagonal), so skipping the tensor transposition/contraction
+    machinery for them dominates the noisy walk's throughput.
+    """
+    dim = rho.shape[-1]
+    k = len(qubits)
+    indices = np.arange(dim)
+    sub = np.zeros(dim, dtype=np.int64)
+    for position, qubit in enumerate(qubits):
+        sub |= ((indices >> (num_qubits - 1 - qubit)) & 1) << (k - 1 - position)
+    if diag.ndim == 1:
+        row = diag[sub]
+        return rho * (row[:, None] * row.conj()[None, :])[None, :, :]
+    row = diag[:, sub]
+    return rho * (row[:, :, None] * row.conj()[:, None, :])
+
+
+def _monomial_of(unitary: np.ndarray):
+    """``(perm, phases)`` of a monomial matrix (one entry per row/column).
+
+    ``U[i, perm[i]] == phases[i]`` and every other entry is exactly zero;
+    returns ``None`` for anything else.  CNOT / X / SWAP are monomial, so a
+    basis-translated circuit's two-qubit layer takes this path.
+    """
+    nonzero = unitary != 0
+    if not np.array_equal(nonzero.sum(axis=0), np.ones(unitary.shape[-1], dtype=np.intp)):
+        return None
+    if not np.array_equal(nonzero.sum(axis=1), np.ones(unitary.shape[-1], dtype=np.intp)):
+        return None
+    perm = nonzero.argmax(axis=1)
+    phases = unitary[np.arange(unitary.shape[-1]), perm]
+    return perm, phases
+
+
+def _full_register_subindex(
+    qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """For each basis index, the sub-index formed by the target qubits' bits."""
+    dim = 2**num_qubits
+    k = len(qubits)
+    indices = np.arange(dim)
+    sub = np.zeros(dim, dtype=np.int64)
+    for position, qubit in enumerate(qubits):
+        sub |= ((indices >> (num_qubits - 1 - qubit)) & 1) << (k - 1 - position)
+    return sub
+
+
+def _apply_monomial_density(
+    rho: np.ndarray,
+    perm: np.ndarray,
+    phases: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """``U rho U^dagger`` for monomial ``U`` as one gather (+ phase) pass.
+
+    ``(U rho U^dagger)[i, j] = phases[i] conj(phases[j]) rho[perm[i], perm[j]]``
+    lifted to the full register, so a CNOT costs an indexed copy instead of
+    two tensor contractions.
+    """
+    dim = rho.shape[-1]
+    num = num_qubits
+    sub = _full_register_subindex(qubits, num)
+    target_sub = perm[sub]
+    k = len(qubits)
+    cleared = np.arange(dim)
+    for position, qubit in enumerate(qubits):
+        cleared &= ~(1 << (num - 1 - qubit))
+    full_perm = cleared.copy()
+    for position, qubit in enumerate(qubits):
+        full_perm |= ((target_sub >> (k - 1 - position)) & 1) << (num - 1 - qubit)
+    gathered = rho[:, full_perm[:, None], full_perm[None, :]]
+    full_phases = phases[sub]
+    if np.array_equal(full_phases, np.ones(dim)):
+        return gathered
+    return gathered * (full_phases[:, None] * full_phases.conj()[None, :])
+
+
 def apply_unitary_density(
     rho: np.ndarray,
     unitary: np.ndarray,
     qubits: Sequence[int],
     num_qubits: int,
 ) -> np.ndarray:
-    """Apply ``U rho U^dagger`` on ``qubits`` to a batch of density matrices."""
+    """Apply ``U rho U^dagger`` on ``qubits`` to a batch of density matrices.
+
+    Diagonal unitaries (``rz`` and friends) take a one-pass elementwise
+    phase path, monomial unitaries (CNOT / X / SWAP) a one-pass gather;
+    everything else goes through the general tensor contraction.
+    """
     qubits = _check_qubits(qubits, num_qubits)
     dim = 2 ** len(qubits)
     if unitary.shape[-1] != dim:
         raise SimulationError(
             f"unitary of dimension {unitary.shape[-1]} does not match {len(qubits)} qubits"
         )
+    diag = _diagonal_of(unitary)
+    if diag is not None:
+        return _apply_diagonal_density(rho, diag, qubits, num_qubits)
+    if unitary.ndim == 2:
+        monomial = _monomial_of(unitary)
+        if monomial is not None:
+            return _apply_monomial_density(
+                rho, monomial[0], monomial[1], qubits, num_qubits
+            )
     tensor, _ = _move_density_axes(rho, qubits, num_qubits)
     if unitary.ndim == 3:
         tensor = np.einsum("bij,bjkr->bikr", unitary, tensor)
@@ -212,7 +354,7 @@ def apply_kraus_density(
 
 def apply_depolarizing_density(
     rho: np.ndarray,
-    probability: float,
+    probability,
     qubits: Sequence[int],
     num_qubits: int,
 ) -> np.ndarray:
@@ -221,17 +363,37 @@ def apply_depolarizing_density(
     ``rho -> (1 - p) rho + p * (I/d)_Q (x) Tr_Q(rho)`` where ``Q`` is the set
     of target qubits.  This closed form avoids enumerating Pauli Kraus
     operators, which matters because the channel follows every noisy gate.
+
+    ``probability`` may be a scalar (one channel strength for the whole
+    batch) or a ``(batch,)`` array assigning each batch element its own
+    strength — the form the batched multi-noise-model execution path uses to
+    evolve many calibration days in one call.
     """
-    if probability < 0 or probability > 1:
+    probability = np.asarray(probability, dtype=float)
+    if np.any(probability < 0) or np.any(probability > 1):
         raise SimulationError(f"depolarizing probability {probability} outside [0, 1]")
-    if probability == 0:
+    if not np.any(probability):
         return rho
+    if probability.ndim not in (0, 1):
+        raise SimulationError("depolarizing probability must be a scalar or 1-D array")
+    if probability.ndim == 1:
+        if probability.shape[0] != rho.shape[0]:
+            raise SimulationError(
+                f"per-sample probabilities of length {probability.shape[0]} do not "
+                f"match batch size {rho.shape[0]}"
+            )
+        # A uniform vector blends bit-identically to its scalar, and the
+        # scalar path is markedly cheaper — collapse eagerly.
+        if np.all(probability == probability[0]):
+            probability = probability[0]
     qubits = _check_qubits(qubits, num_qubits)
     tensor, d = _move_density_axes(rho, qubits, num_qubits)
     traced = np.einsum("biir->br", tensor)
     mixed = np.zeros_like(tensor)
     identity_indices = np.arange(d)
     mixed[:, identity_indices, identity_indices, :] = traced[:, None, :] / d
+    if probability.ndim == 1:
+        probability = probability[:, None, None, None]
     blended = (1.0 - probability) * tensor + probability * mixed
     return _restore_density_axes(blended, qubits, num_qubits)
 

@@ -1,0 +1,82 @@
+"""QuCAD's runtime integration: adapt_sequence, evaluate_over, refresh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import generate_belem_history
+from repro.core import QuCAD, QuCADConfig
+from repro.core.admm import CompressionConfig
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel, evaluate_noisy
+from repro.runtime import ExperimentRunner
+from repro.simulator import NoiseModel
+from repro.transpiler import belem_coupling
+
+
+@pytest.fixture(scope="module")
+def qucad():
+    history = generate_belem_history(8, seed=31)
+    model = QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=6)
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=80, seed=5)
+    config = QuCADConfig(
+        compression=CompressionConfig(
+            admm_iterations=1, theta_epochs=1, finetune_epochs=1, target_fraction=0.5
+        ),
+        num_clusters=2,
+        train_samples=24,
+        eval_test_samples=12,
+        seed=6,
+    )
+    framework = QuCAD(model, dataset, belem_coupling(), config=config)
+    offline, online = history.split(5)
+    framework.offline(offline)
+    return framework, online, dataset
+
+
+def test_adapt_over_delegates_to_manager_sequence(qucad):
+    framework, online, _ = qucad
+    decisions = framework.adapt_over(online)
+    assert len(decisions) == len(online)
+    assert all(decision.action in {"reuse", "new", "bootstrap", "invalid"} for decision in decisions)
+
+
+def test_evaluate_over_matches_sequential_evaluation(qucad):
+    framework, online, dataset = qucad
+    subset = dataset.subsample(num_test=10, seed=6)
+    decisions, accuracies = framework.evaluate_over(
+        online,
+        subset.test_features,
+        subset.test_labels,
+        runner=ExperimentRunner(mode="serial"),
+    )
+    assert len(decisions) == len(online) == len(accuracies)
+    # Decisions are reused from the (stateful) repository; evaluating them
+    # independently must reproduce the runner's numbers exactly.
+    for snapshot, decision, accuracy in zip(online, decisions, accuracies):
+        reference = evaluate_noisy(
+            framework.model,
+            subset.test_features,
+            subset.test_labels,
+            NoiseModel.from_calibration(snapshot),
+            parameters=decision.parameters,
+        ).accuracy
+        assert accuracy == reference
+
+
+def test_refresh_entry_accuracies_populates_entries(qucad):
+    framework, _, dataset = qucad
+    subset = dataset.subsample(num_test=10, seed=6)
+    manager = framework.manager
+    accuracies = manager.refresh_entry_accuracies(
+        subset.test_features,
+        subset.test_labels,
+        runner=ExperimentRunner(mode="serial"),
+    )
+    entries = [e for e in manager.repository.entries if e.calibration is not None]
+    assert len(accuracies) == len(entries)
+    for entry, accuracy in zip(entries, accuracies):
+        assert entry.mean_accuracy == float(accuracy)
+        assert 0.0 <= entry.mean_accuracy <= 1.0

@@ -1,0 +1,49 @@
+"""The ``python -m repro.experiments`` command-line entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, SCALES, build_parser, main
+
+
+def test_registry_covers_every_harness():
+    assert set(EXPERIMENTS) == {
+        "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
+        "table1", "table2", "longitudinal",
+    }
+    assert set(SCALES) == {"paper", "bench", "test"}
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig1"])
+    assert args.scale == "bench"
+    assert args.runner_mode == "thread"
+    assert args.chunk_days == 16
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig5"])
+
+
+def test_main_runs_fig1_and_writes_json(tmp_path, capsys):
+    out = tmp_path / "fig1.json"
+    code = main(["fig1", "--scale", "test", "--json", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["experiment"] == "fig1"
+    assert payload["scale"] == "test"
+    assert "fluctuation_summary" in payload["summary"]
+    printed = capsys.readouterr().out
+    assert '"experiment": "fig1"' in printed
+
+
+def test_main_runs_fig3_with_records(tmp_path):
+    out = tmp_path / "fig3.json"
+    code = main(["fig3", "--scale", "test", "--runner-mode", "serial", "--json", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["summary"]["breakpoint_gain"] > 0

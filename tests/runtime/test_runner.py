@@ -1,0 +1,164 @@
+"""The experiment runner: modes, chunking, caching, and run records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import generate_belem_history
+from repro.datasets import load_mnist4
+from repro.exceptions import ReproError
+from repro.qnn import QNNModel, evaluate_noisy
+from repro.runtime import (
+    EvaluationCache,
+    ExperimentRunner,
+    RunRecord,
+    load_run_records,
+    model_digest,
+    noise_model_digest,
+)
+from repro.simulator import NoiseModel
+from repro.transpiler import belem_coupling
+
+
+@pytest.fixture(scope="module")
+def harness():
+    rng = np.random.default_rng(17)
+    history = generate_belem_history(6, seed=4)
+    model = QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=2)
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=60, seed=5)
+    features, labels = dataset.test_features[:6], dataset.test_labels[:6]
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    parameter_sets = [
+        rng.uniform(-np.pi, np.pi, model.num_parameters) for _ in range(6)
+    ]
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(6)]
+    reference = np.array(
+        [
+            evaluate_noisy(
+                model, features, labels, noise_model,
+                parameters=parameters, shots=128, seed=seed,
+            ).accuracy
+            for noise_model, parameters, seed in zip(noise_models, parameter_sets, seeds)
+        ]
+    )
+    return model, features, labels, noise_models, parameter_sets, seeds, reference
+
+
+@pytest.mark.parametrize("mode", ["serial", "thread"])
+def test_runner_matches_sequential_evaluation(harness, mode):
+    model, features, labels, noise_models, parameter_sets, seeds, reference = harness
+    runner = ExperimentRunner(mode=mode, chunk_days=2)
+    accuracies = runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=128, seeds=seeds,
+    )
+    assert np.array_equal(accuracies, reference)
+    assert runner.stats.days_evaluated == len(noise_models)
+
+
+def test_runner_cache_hits_skip_evaluation(harness, tmp_path):
+    model, features, labels, noise_models, parameter_sets, seeds, reference = harness
+    cache = EvaluationCache(tmp_path / "cache.jsonl")
+    runner = ExperimentRunner(mode="serial", chunk_days=3, cache=cache)
+    first = runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=128, seeds=seeds,
+    )
+    evaluated_after_first = runner.stats.days_evaluated
+    second = runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=128, seeds=seeds,
+    )
+    assert np.array_equal(first, reference)
+    assert np.array_equal(second, reference)
+    assert runner.stats.days_evaluated == evaluated_after_first
+    assert runner.stats.cache_hits == len(noise_models)
+
+    # A fresh cache loaded from the same file warm-starts a new runner.
+    warm = ExperimentRunner(
+        mode="serial", cache=EvaluationCache(tmp_path / "cache.jsonl")
+    )
+    third = warm.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=128, seeds=seeds,
+    )
+    assert np.array_equal(third, reference)
+    assert warm.stats.days_evaluated == 0
+
+
+def test_runner_cache_distinguishes_bindings(harness):
+    model, *_ = harness
+    digest_a = model_digest(model)
+    digest_b = model_digest(model, parameters=np.zeros(model.num_parameters))
+    assert digest_a != digest_b
+    history = generate_belem_history(2, seed=8)
+    assert noise_model_digest(
+        NoiseModel.from_calibration(history[0])
+    ) != noise_model_digest(NoiseModel.from_calibration(history[1]))
+
+
+def test_runner_writes_records(harness, tmp_path):
+    model, features, labels, noise_models, parameter_sets, seeds, _ = harness
+    record_path = tmp_path / "records.jsonl"
+    runner = ExperimentRunner(mode="serial", chunk_days=4, record_log=record_path)
+    runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=128, seeds=seeds,
+        experiment="unit/records", dates=[f"day{i}" for i in range(len(noise_models))],
+    )
+    records = load_run_records(record_path)
+    assert len(records) == len(noise_models)
+    assert all(isinstance(record, RunRecord) for record in records)
+    assert records[0].experiment == "unit/records"
+    assert records[0].date == "day0"
+    assert all(record.accuracy is not None for record in records)
+
+
+def test_runner_accepts_numpy_seeds_with_records(harness, tmp_path):
+    model, features, labels, noise_models, parameter_sets, _, _ = harness
+    numpy_seeds = list(np.random.default_rng(0).integers(0, 2**31, len(noise_models)))
+    runner = ExperimentRunner(mode="serial", record_log=tmp_path / "np_seeds.jsonl")
+    accuracies = runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=64, seeds=numpy_seeds,
+    )
+    records = load_run_records(tmp_path / "np_seeds.jsonl")
+    assert len(records) == len(noise_models)
+    assert all(isinstance(record.extra["seed"], int) for record in records)
+    assert np.all((accuracies >= 0.0) & (accuracies <= 1.0))
+
+
+def test_runner_does_not_cache_unseeded_sampling(harness):
+    model, features, labels, noise_models, parameter_sets, _, _ = harness
+    runner = ExperimentRunner(mode="serial", cache=EvaluationCache())
+    first = runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=16,
+    )
+    second = runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=parameter_sets, shots=16,
+    )
+    # Fresh random draws both times: nothing cached, nothing replayed.
+    assert runner.stats.cache_hits == 0
+    assert len(runner.cache) == 0
+    # Exact expectations (shots=None) remain cacheable.
+    runner.evaluate_days(
+        model, features, labels, noise_models, parameter_sets=parameter_sets
+    )
+    assert len(runner.cache) == len(noise_models)
+    del first, second
+
+
+def test_runner_rejects_bad_configuration():
+    with pytest.raises(ReproError):
+        ExperimentRunner(mode="quantum")
+    with pytest.raises(ReproError):
+        ExperimentRunner(chunk_days=0)
+
+
+def test_runner_map_preserves_order():
+    runner = ExperimentRunner(mode="thread", max_workers=2)
+    assert runner.map(lambda x: x * x, list(range(7))) == [x * x for x in range(7)]
