@@ -22,9 +22,10 @@ bench:
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/ -q -s
 
-## batched-runtime benchmark with machine-readable output (BENCH_runtime.json)
+## machine-readable benchmarks: BENCH_runtime.json + BENCH_compiler.json
 bench-json:
 	REPRO_BENCH_JSON=BENCH_runtime.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_batched_evaluation.py -q -s
+	REPRO_BENCH_JSON=BENCH_compiler.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_compile_cache.py -q -s
 
 ## docs presence + public-API docstring audit
 docs-check:

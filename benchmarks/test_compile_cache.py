@@ -1,0 +1,207 @@
+"""Benchmark: incremental recompilation through the staged pipeline (PR 3).
+
+The paper's longitudinal workload recompiles the *same* model day after day
+as calibration drifts.  The legacy path re-runs the full noise-aware layout
+search (routing every candidate assignment) for every day; the staged
+:class:`~repro.transpiler.PassManager` proves — via the layout decision
+boundary — that slow drift leaves yesterday's layout optimal and skips the
+search entirely, reusing the routed artifact too.
+
+Two timed scenarios over a 30-day calm-drift history (the day-to-day jitter
+regime between the synthetic generator's regime shifts — aggressive regime
+days genuinely need a fresh search and are not claimed here):
+
+* **cold** — ``legacy_transpile`` once per day, no caching;
+* **warm** — one fresh ``PassManager`` compiling the same 30 days.
+
+Timings are interleaved (cold, warm, cold, warm, ...) and best-of-N so
+background load on a noisy CI host hits both candidates alike, and the
+acceptance margin (>= 2x) sits far below the typically measured ~10-30x.
+
+Set ``REPRO_BENCH_JSON=<path>`` (``make bench-json`` points it at
+``BENCH_compiler.json``) to persist hit rates and speedups as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.calibration import FluctuationConfig, generate_device_history
+from repro.circuits import build_qucad_ansatz
+from repro.transpiler import (
+    PassManager,
+    Target,
+    get_device_coupling,
+    legacy_transpile,
+    transpile_batch,
+)
+
+NUM_DAYS = 30
+ROUNDS = 5  # best-of-N with interleaving, to shrug off scheduler noise
+
+#: Day-to-day jitter without regime shifts or spikes: the drift regime the
+#: incremental path targets (regime days must re-search and are excluded).
+CALM_DRIFT = FluctuationConfig(
+    drift_sigma=0.002, mean_reversion=0.5, regime_rate=0.0, spike_rate=0.0
+)
+
+
+def _best_of_each(*fns):
+    """Best-of-``ROUNDS`` timings, interleaving the candidates."""
+    best = [float("inf")] * len(fns)
+    for _ in range(ROUNDS):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def _workload(device: str = "jakarta"):
+    coupling = get_device_coupling(device)
+    history = generate_device_history(device, NUM_DAYS, seed=29, config=CALM_DRIFT)
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    return ansatz, coupling, list(history)
+
+
+def _gate_tuples(circuit):
+    return [(g.name, g.qubits, g.param, g.param_ref) for g in circuit.gates]
+
+
+def _maybe_write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    existing = {}
+    if os.path.isfile(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    existing["created_at"] = time.time()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"  wrote {path}")
+
+
+def test_warm_recompilation_speedup_over_30_day_history():
+    """Warm per-day recompilation must beat cold by >= 2x with high hit rate."""
+    ansatz, coupling, history = _workload()
+    targets = [Target(coupling=coupling, calibration=snapshot) for snapshot in history]
+
+    def cold():
+        return [
+            legacy_transpile(ansatz, coupling, calibration=snapshot)
+            for snapshot in history
+        ]
+
+    def warm():
+        manager = PassManager()
+        results = [manager.compile(ansatz, target) for target in targets]
+        return manager, results
+
+    # Equivalence first: the warm path must be indistinguishable day by day.
+    cold_results = cold()
+    manager, warm_results = warm()
+    for cold_day, warm_day in zip(cold_results, warm_results):
+        assert (
+            warm_day.initial_layout.logical_to_physical
+            == cold_day.initial_layout.logical_to_physical
+        )
+        assert warm_day.final_mapping == cold_day.final_mapping
+        assert _gate_tuples(warm_day.routed.circuit) == _gate_tuples(
+            cold_day.routed.circuit
+        )
+
+    stats = manager.stats
+    hit_rate = stats.pass_cache_hit_rate
+    reused_days = stats.layout_reuses + stats.layout_hits
+    assert reused_days >= NUM_DAYS // 2, (
+        f"boundary reuse fired on only {reused_days}/{NUM_DAYS - 1} warm days"
+    )
+
+    cold_seconds, warm_seconds = _best_of_each(cold, warm)
+    speedup = cold_seconds / warm_seconds
+    print(
+        f"\nIncremental recompilation — {NUM_DAYS} days on {coupling.name}\n"
+        f"  cold per-day transpile {cold_seconds * 1000:8.1f} ms\n"
+        f"  warm pass manager      {warm_seconds * 1000:8.1f} ms\n"
+        f"  speedup                {speedup:8.2f} x\n"
+        f"  pass-cache hit rate    {hit_rate:8.2%}\n"
+        f"  layout searches        {stats.layout_runs} "
+        f"(reused {stats.layout_reuses}, routing hits {stats.routing_hits})"
+    )
+    _maybe_write_json(
+        {
+            "warm_recompilation": {
+                "days": NUM_DAYS,
+                "device": coupling.name,
+                "cold_ms": cold_seconds * 1000,
+                "warm_ms": warm_seconds * 1000,
+                "speedup": speedup,
+                "pass_cache_hit_rate": hit_rate,
+                "layout_runs": stats.layout_runs,
+                "layout_reuses": stats.layout_reuses,
+                "routing_hits": stats.routing_hits,
+            }
+        }
+    )
+    # Wide margin: the CI host's clock is noisy; typical measurements land
+    # one order of magnitude above this bar.
+    assert speedup >= 2.0, f"expected >= 2x warm speedup, measured {speedup:.2f}x"
+
+
+def test_transpile_batch_dedup_across_models_and_days():
+    """Many models x many days through transpile_batch dedups shared work."""
+    _, coupling, history = _workload()
+    models = [build_qucad_ansatz(4, repeats=r) for r in (1, 2)]
+    targets = [Target(coupling=coupling, calibration=snapshot) for snapshot in history]
+
+    def cold():
+        return [
+            legacy_transpile(model, coupling, calibration=snapshot)
+            for model in models
+            for snapshot in history
+        ]
+
+    def batched():
+        manager = PassManager()
+        results = []
+        for model in models:
+            results.extend(transpile_batch(model, targets, pass_manager=manager))
+        return manager, results
+
+    cold_results = cold()
+    manager, batch_results = batched()
+    for cold_day, warm_day in zip(cold_results, batch_results):
+        assert warm_day.final_mapping == cold_day.final_mapping
+        assert _gate_tuples(warm_day.routed.circuit) == _gate_tuples(
+            cold_day.routed.circuit
+        )
+
+    cold_seconds, batch_seconds = _best_of_each(cold, batched)
+    speedup = cold_seconds / batch_seconds
+    hit_rate = manager.stats.pass_cache_hit_rate
+    print(
+        f"\ntranspile_batch — {len(models)} models x {NUM_DAYS} days\n"
+        f"  cold loop        {cold_seconds * 1000:8.1f} ms\n"
+        f"  batched pipeline {batch_seconds * 1000:8.1f} ms\n"
+        f"  speedup          {speedup:8.2f} x (hit rate {hit_rate:.2%})"
+    )
+    _maybe_write_json(
+        {
+            "transpile_batch": {
+                "models": len(models),
+                "days": NUM_DAYS,
+                "cold_ms": cold_seconds * 1000,
+                "batched_ms": batch_seconds * 1000,
+                "speedup": speedup,
+                "pass_cache_hit_rate": hit_rate,
+            }
+        }
+    )
+    assert speedup >= 2.0, f"expected >= 2x batch speedup, measured {speedup:.2f}x"

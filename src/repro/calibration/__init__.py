@@ -5,6 +5,7 @@ from repro.calibration.backends import (
     belem_backend,
     get_backend,
     jakarta_backend,
+    synthetic_backend,
 )
 from repro.calibration.distance import (
     l2_distance,
@@ -18,6 +19,7 @@ from repro.calibration.synthetic import (
     FluctuatingNoiseGenerator,
     FluctuationConfig,
     generate_belem_history,
+    generate_device_history,
     generate_jakarta_history,
 )
 
@@ -25,6 +27,7 @@ __all__ = [
     "BackendSpec",
     "belem_backend",
     "jakarta_backend",
+    "synthetic_backend",
     "get_backend",
     "CalibrationSnapshot",
     "CalibrationHistory",
@@ -32,6 +35,7 @@ __all__ = [
     "FluctuationConfig",
     "generate_belem_history",
     "generate_jakarta_history",
+    "generate_device_history",
     "performance_weights",
     "weighted_l1_distance",
     "l2_distance",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import date, timedelta
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -215,4 +215,54 @@ def generate_jakarta_history(
     from repro.calibration.backends import jakarta_backend
 
     generator = FluctuatingNoiseGenerator(jakarta_backend(), config=config, seed=seed)
+    return generator.generate(num_days, start_date=start_date)
+
+
+#: Per-device start dates keeping the IBM histories bit-identical to the
+#: dedicated ``generate_belem_history`` / ``generate_jakarta_history`` paths.
+_DEVICE_START_DATES = {
+    "belem": "2021-08-10",
+    "ibmq_belem": "2021-08-10",
+    "jakarta": "2022-08-01",
+    "ibm_jakarta": "2022-08-01",
+}
+
+
+def generate_device_history(
+    device: Union[str, BackendSpec],
+    num_days: int,
+    seed: SeedLike = 2021,
+    config: Optional[FluctuationConfig] = None,
+    start_date: Optional[str] = None,
+) -> CalibrationHistory:
+    """A calibration history for any named device or explicit backend spec.
+
+    ``device`` may be one of the paper's IBM names (``belem`` / ``jakarta``
+    — same baselines, same start dates, hence bit-identical to the dedicated
+    generators for equal seeds), any :data:`repro.transpiler.devices.DEVICE_LIBRARY`
+    name (baselines drawn by
+    :func:`repro.calibration.backends.synthetic_backend`), or a ready
+    :class:`~repro.calibration.backends.BackendSpec`.  This is the
+    longitudinal experiments' path to running on the whole device library.
+
+    For library devices both the baseline error rates and the day-to-day
+    fluctuations derive from ``seed`` (any ``SeedLike``, including a
+    ``Generator``): the baseline seed is drawn from the seeded stream, so
+    different seeds give genuinely different device identities.
+    """
+    from repro.calibration.backends import get_backend
+
+    rng = ensure_rng(seed)
+    if isinstance(device, BackendSpec):
+        spec = device
+        key = spec.name.lower()
+    else:
+        key = device.lower()
+        if key in _DEVICE_START_DATES:
+            spec = get_backend(key)  # IBM device: hand-tuned paper baselines
+        else:
+            spec = get_backend(key, seed=int(rng.integers(2**31)))
+    if start_date is None:
+        start_date = _DEVICE_START_DATES.get(key, "2022-01-01")
+    generator = FluctuatingNoiseGenerator(spec, config=config, seed=rng)
     return generator.generate(num_days, start_date=start_date)

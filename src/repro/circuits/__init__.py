@@ -2,6 +2,7 @@
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import asap_layers, build_dependency_dag, critical_path_length
+from repro.circuits.digests import circuit_structure_digest, parameter_digest
 from repro.circuits.library import (
     QUCAD_BLOCK_LAYERS,
     append_qucad_block,
@@ -14,6 +15,8 @@ from repro.circuits.library import (
 
 __all__ = [
     "QuantumCircuit",
+    "circuit_structure_digest",
+    "parameter_digest",
     "asap_layers",
     "build_dependency_dag",
     "critical_path_length",

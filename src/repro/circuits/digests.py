@@ -1,0 +1,63 @@
+"""Content digests of circuits: structure and parameter-binding keys.
+
+These are the cache keys shared by every content-addressed layer of the
+stack — the simulator engine's fusion-plan / compiled-program LRUs, the
+transpiler pipeline's pass-artifact caches, and the runtime's evaluation
+cache.  They live in :mod:`repro.circuits` because they depend only on the
+circuit IR; both the simulator and the transpiler import them from here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+_NAN_SENTINEL = struct.pack("<d", float("nan"))
+
+
+def circuit_structure_digest(circuit: QuantumCircuit) -> str:
+    """Digest of the circuit's *structure*: gate names and qubit indices.
+
+    Two circuits share a digest exactly when they apply the same gate types
+    to the same wires in the same order — which is precisely the condition
+    for sharing a fusion plan (or a routing artifact, for routed circuits).
+    Angles are deliberately excluded so that rebinding a parameterized
+    ansatz keeps its plan.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(struct.pack("<i", circuit.num_qubits))
+    for gate in circuit.gates:
+        hasher.update(gate.name.encode())
+        hasher.update(struct.pack(f"<{len(gate.qubits)}i", *gate.qubits))
+        hasher.update(b";")
+    return hasher.hexdigest()
+
+
+def parameter_digest(
+    circuit: QuantumCircuit, parameters: Optional[np.ndarray] = None
+) -> str:
+    """Digest of everything that affects the bound gate matrices.
+
+    Covers each gate's own angle, ``param_ref``, and ``trainable`` flag plus
+    the external parameter vector (when given), so two calls collide only if
+    they produce identical bound matrices *and* identical gradient behaviour
+    (the adjoint sweep reads ``trainable`` off cached bound circuits) for an
+    identical structure.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for gate in circuit.gates:
+        ref = -1 if gate.param_ref is None else gate.param_ref
+        hasher.update(struct.pack("<i?", ref, gate.trainable))
+        if gate.param is None:
+            hasher.update(_NAN_SENTINEL)
+        else:
+            hasher.update(struct.pack("<d", gate.param))
+    if parameters is not None:
+        hasher.update(b"|params|")
+        hasher.update(np.ascontiguousarray(parameters, dtype=np.float64).tobytes())
+    return hasher.hexdigest()

@@ -102,8 +102,17 @@ class RepositoryConstructor:
         dataset: Dataset,
         offline_history: CalibrationHistory,
         coupling=None,
+        pass_manager=None,
     ) -> OfflineReport:
-        """Run the full offline pipeline and return the populated repository."""
+        """Run the full offline pipeline and return the populated repository.
+
+        When the model still needs a device binding it is compiled through
+        the staged pipeline (``pass_manager`` selects the artifact pool; the
+        process-wide one by default).  ``coupling`` may also be a
+        :class:`~repro.transpiler.Target`; a target carrying its own
+        calibration pins the layout snapshot, otherwise the first offline
+        day is used.
+        """
         if len(offline_history) == 0:
             raise RepositoryError("offline history is empty")
         template = offline_history[0]
@@ -112,7 +121,19 @@ class RepositoryConstructor:
                 raise RepositoryError(
                     "model is not bound to a device; pass a coupling map"
                 )
-            model.bind_to_device(coupling, calibration=template)
+            from repro.transpiler import Target
+
+            if isinstance(coupling, Target):
+                target = (
+                    coupling
+                    if coupling.calibration is not None
+                    else coupling.with_calibration(template)
+                )
+                model.bind_to_device(target, pass_manager=pass_manager)
+            else:
+                model.bind_to_device(
+                    coupling, calibration=template, pass_manager=pass_manager
+                )
 
         day_accuracies = self.measure_day_accuracies(model, dataset, offline_history)
         calibration_matrix = offline_history.to_matrix()

@@ -36,7 +36,7 @@ from repro.simulator import (
     backend_kind,
     get_execution_backend,
 )
-from repro.transpiler import CouplingMap
+from repro.transpiler import CouplingMap, PassManager, Target, default_pass_manager
 from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -77,13 +77,22 @@ class QuCAD:
         self,
         model: QNNModel,
         dataset: Dataset,
-        coupling: CouplingMap,
+        coupling: "CouplingMap | Target",
         config: Optional[QuCADConfig] = None,
+        pass_manager: Optional[PassManager] = None,
     ):
+        if isinstance(coupling, Target):
+            self.target: Optional[Target] = coupling
+            coupling = coupling.coupling
+        else:
+            self.target = None
         self.model = model
         self.dataset = dataset
         self.coupling = coupling
         self.config = config or QuCADConfig()
+        self.pass_manager = (
+            pass_manager if pass_manager is not None else default_pass_manager()
+        )
         if backend_kind(self.config.backend) != "statevector":
             raise RepositoryError(
                 f"QuCADConfig.backend {self.config.backend!r} is not usable for "
@@ -115,7 +124,11 @@ class QuCAD:
             noisy_backend=self.noisy_backend,
         )
         self.offline_report = constructor.build(
-            self.model, self.dataset, offline_history, coupling=self.coupling
+            self.model,
+            self.dataset,
+            offline_history,
+            coupling=self.target if self.target is not None else self.coupling,
+            pass_manager=self.pass_manager,
         )
         self._manager = self._build_manager(self.offline_report.repository)
         return self.offline_report
@@ -139,7 +152,17 @@ class QuCAD:
         """Create an empty-repository manager on first use (w/o-offline mode)."""
         if self._manager is None:
             if self.model.transpiled is None:
-                self.model.bind_to_device(self.coupling, calibration=calibration)
+                if self.target is not None and self.target.calibration is not None:
+                    # An explicit Target pins the compilation calibration.
+                    self.model.bind_to_device(
+                        self.target, pass_manager=self.pass_manager
+                    )
+                else:
+                    self.model.bind_to_device(
+                        self.coupling,
+                        calibration=calibration,
+                        pass_manager=self.pass_manager,
+                    )
             feature_count = calibration.to_vector().shape[0]
             repository = ModelRepository(
                 weights=np.ones(feature_count), threshold=0.0
@@ -214,3 +237,7 @@ class QuCAD:
     def repository(self) -> ModelRepository:
         """The current model repository served by the manager."""
         return self.manager.repository
+
+    def compile_stats(self) -> dict:
+        """Pass/cache counters of the compilation pipeline this framework uses."""
+        return self.pass_manager.stats.as_dict()

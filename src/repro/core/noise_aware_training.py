@@ -43,18 +43,22 @@ def noise_aware_train(
     injection_sigma: float = 0.02,
     initial_parameters: Optional[np.ndarray] = None,
     update_model: bool = True,
+    pass_manager=None,
 ) -> TrainResult:
     """Noise-aware training against one calibration snapshot (ref [12]).
 
     The model must be (or become) bound to a device so the injector knows
-    which physical qubits the readouts live on.
+    which physical qubits the readouts live on; a fresh binding compiles
+    through the staged pipeline (``pass_manager`` selects the artifact pool).
     """
     if model.transpiled is None:
         if coupling is None:
             raise TrainingError(
                 "noise-aware training needs a device binding; pass a coupling map"
             )
-        model.bind_to_device(coupling, calibration=calibration)
+        model.bind_to_device(
+            coupling, calibration=calibration, pass_manager=pass_manager
+        )
     injector = NoiseInjector.from_calibration(
         model.transpiled,
         calibration,

@@ -6,6 +6,8 @@ One front door for every reproduction harness::
     python -m repro.experiments table1 --scale test --json out.json
     python -m repro.experiments fig7 --runner-mode process --workers 8 \
         --records runs.jsonl
+    python -m repro.experiments longitudinal --device ring_5
+    python -m repro.experiments --list-devices
 
 The CLI wires the chosen :class:`~repro.experiments.config.ExperimentScale`
 and a configured :class:`~repro.runtime.ExperimentRunner` (mode, workers,
@@ -57,50 +59,71 @@ def _jsonable(value):
     return value
 
 
-def _run_fig1(scale, runner):
+def _device_setup(scale, device, dataset_name: str = "mnist4"):
+    """A prepared :class:`ExperimentSetup`, or ``None`` for harness defaults."""
+    if device is None:
+        return None
+    from repro.experiments.context import prepare_experiment
+
+    return prepare_experiment(dataset_name, scale=scale, device=device)
+
+
+def _reject_device(name: str, device) -> None:
+    """Fail fast for harnesses pinned to one device by construction."""
+    if device is not None:
+        raise SystemExit(
+            f"experiment {name!r} runs on a fixed device and does not accept "
+            "--device"
+        )
+
+
+def _run_fig1(scale, runner, device=None):
     from repro.experiments.fig1 import run_fig1
 
+    _reject_device("fig1", device)
     result = run_fig1(scale)
     return result, {"fluctuation_summary": result.fluctuation_summary()}
 
 
-def _run_fig2(scale, runner):
+def _run_fig2(scale, runner, device=None):
     from repro.experiments.fig2 import run_fig2
 
-    result = run_fig2(scale, runner=runner)
+    result = run_fig2(scale, setup=_device_setup(scale, device), runner=runner)
     return result, result.summary()
 
 
-def _run_fig3(scale, runner):
+def _run_fig3(scale, runner, device=None):
     from repro.experiments.fig3 import run_fig3
 
+    _reject_device("fig3", device)
     result = run_fig3(scale)
     return result, {"breakpoint_gain": result.breakpoint_gain()}
 
 
-def _run_fig4(scale, runner):
+def _run_fig4(scale, runner, device=None):
     from repro.experiments.fig4 import run_fig4
 
-    result = run_fig4(scale, runner=runner)
+    result = run_fig4(scale, setup=_device_setup(scale, device), runner=runner)
     return result, {
         "noisiest_coupler_per_day": result.noisiest_coupler_per_day(),
         "accuracy": {name: series for name, series in result.accuracy.items()},
     }
 
 
-def _run_fig7(scale, runner):
+def _run_fig7(scale, runner, device=None):
     from repro.experiments.fig7 import run_fig7
 
-    result = run_fig7(scale, runner=runner)
+    result = run_fig7(scale, setup=_device_setup(scale, device), runner=runner)
     return result, {
         "mean_accuracy": result.mean_accuracy,
         "normalized_time_runs": result.normalized_time("runs"),
     }
 
 
-def _run_fig8(scale, runner):
+def _run_fig8(scale, runner, device=None):
     from repro.experiments.fig8 import run_fig8
 
+    _reject_device("fig8", device)
     result = run_fig8(scale, runner=runner)
     return result, {
         "mean_accuracy": result.mean_accuracy(),
@@ -108,36 +131,40 @@ def _run_fig8(scale, runner):
     }
 
 
-def _run_fig9(scale, runner):
+def _run_fig9(scale, runner, device=None):
     from repro.experiments.fig9 import run_fig9
 
-    result = run_fig9(scale, runner=runner)
+    result = run_fig9(scale, setup=_device_setup(scale, device), runner=runner)
     return result, {
         "upper_bound_gap": result.upper_bound_gap(),
         "noise_aware_gain": result.noise_aware_gain(),
     }
 
 
-def _run_table1(scale, runner):
+def _run_table1(scale, runner, device=None):
     from repro.experiments.table1 import run_table1
 
-    result = run_table1(scale, runner=runner)
+    result = run_table1(
+        scale, device=device if device is not None else "belem", runner=runner
+    )
     return result, {"rows": result.rows(), "formatted": result.format()}
 
 
-def _run_table2(scale, runner):
+def _run_table2(scale, runner, device=None):
     from repro.experiments.table2 import run_table2
 
-    result = run_table2(scale, runner=runner)
+    result = run_table2(scale, setup=_device_setup(scale, device), runner=runner)
     return result, {"rows": result.rows(), "weighted_gain": result.weighted_gain}
 
 
-def _run_longitudinal(scale, runner):
+def _run_longitudinal(scale, runner, device=None):
     from repro.core.baselines import make_method
     from repro.experiments.context import prepare_experiment
     from repro.experiments.longitudinal import run_longitudinal
 
-    setup = prepare_experiment("mnist4", scale=scale)
+    setup = prepare_experiment(
+        "mnist4", scale=scale, device=device if device is not None else "belem"
+    )
     methods = [make_method("baseline"), make_method("qucad")]
     result = run_longitudinal(setup, methods, runner=runner)
     return result, {"rows": result.summary_rows()}
@@ -164,12 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Run one of the paper's reproduction harnesses.",
     )
-    parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument(
+        "name",
+        choices=sorted(EXPERIMENTS),
+        nargs="?",
+        help="experiment to run",
+    )
     parser.add_argument(
         "--scale",
         choices=sorted(SCALES),
         default="bench",
         help="experiment scale (default: bench)",
+    )
+    parser.add_argument(
+        "--device",
+        default=None,
+        help="device-library target for device-flexible harnesses "
+        "(default: each harness's paper device; see --list-devices)",
+    )
+    parser.add_argument(
+        "--list-devices",
+        action="store_true",
+        help="print every selectable device name and exit",
     )
     parser.add_argument(
         "--runner-mode",
@@ -200,7 +243,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     """Run the selected experiment; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_devices:
+        from repro.transpiler import get_device_coupling, list_devices
+
+        for name in list_devices():
+            coupling = get_device_coupling(name)
+            print(f"{name}: {coupling.num_qubits} qubits, {len(coupling.edges)} couplers")
+        return 0
+    if args.name is None:
+        parser.error("an experiment name is required (or pass --list-devices)")
     scale = SCALES[args.scale]
     runner = ExperimentRunner(
         mode=args.runner_mode,
@@ -209,12 +262,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         cache=args.cache,
         record_log=args.records,
     )
+    from repro.transpiler import default_pass_manager
+
     started = time.perf_counter()
-    _, summary = EXPERIMENTS[args.name](scale, runner)
+    _, summary = EXPERIMENTS[args.name](scale, runner, args.device)
     elapsed = time.perf_counter() - started
     payload = {
         "experiment": args.name,
         "scale": args.scale,
+        "device": args.device,
         "elapsed_seconds": elapsed,
         "runner": {
             "mode": runner.mode,
@@ -222,6 +278,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             "cache_hits": runner.stats.cache_hits,
             "chunks": runner.stats.chunks,
         },
+        "compiler": default_pass_manager().stats.as_dict(),
         "summary": _jsonable(summary),
     }
     formatted = payload["summary"].pop("formatted", None) if isinstance(payload["summary"], dict) else None

@@ -17,6 +17,7 @@ import numpy as np
 from repro.calibration import (
     CalibrationHistory,
     generate_belem_history,
+    generate_device_history,
     generate_jakarta_history,
 )
 from repro.core import MethodContext, train_noise_free
@@ -27,7 +28,7 @@ from repro.exceptions import ReproError
 from repro.qnn import QNNModel
 from repro.qnn.trainer import TrainConfig
 from repro.simulator import NoiseModel
-from repro.transpiler import CouplingMap, belem_coupling, jakarta_coupling
+from repro.transpiler import CouplingMap, get_device_coupling, list_devices
 
 
 @dataclass
@@ -42,6 +43,7 @@ class ExperimentSetup:
     online_history: CalibrationHistory
     base_model: QNNModel
     scale: ExperimentScale
+    device: str = "belem"
 
     def noise_models(self, history: Optional[CalibrationHistory] = None) -> list[NoiseModel]:
         """Noise models for every day of ``history`` (default: online days)."""
@@ -106,22 +108,34 @@ def prepare_experiment(
 
     The base model is trained in a noise-free environment (the ``M`` of the
     problem statement) and bound to the device using the first offline day's
-    calibration for its noise-aware layout.
+    calibration for its noise-aware layout.  ``device`` accepts the paper's
+    IBM names (bit-identical histories to before) or any
+    :data:`repro.transpiler.devices.DEVICE_LIBRARY` entry; density-matrix
+    simulation is exponential in device size, so experiment devices must not
+    exceed 10 qubits (the big lattices are for the transpiler benchmarks).
     """
     scale = scale or ExperimentScale()
     dataset = build_dataset(dataset_name, scale)
-    if device in {"belem", "ibmq_belem"}:
-        coupling = belem_coupling()
-        history = generate_belem_history(
-            scale.offline_days + scale.online_days, seed=scale.seed
+    num_days = scale.offline_days + scale.online_days
+    device_key = device.lower()
+    try:
+        coupling = get_device_coupling(device_key)
+    except Exception as error:
+        raise ReproError(
+            f"unknown device {device!r}; known devices: {list_devices()}"
+        ) from error
+    if coupling.num_qubits > 10:
+        raise ReproError(
+            f"device {device!r} has {coupling.num_qubits} qubits; density-matrix "
+            "experiment harnesses support at most 10 (use the large lattices "
+            "for transpiler-level work only)"
         )
-    elif device in {"jakarta", "ibm_jakarta"}:
-        coupling = jakarta_coupling()
-        history = generate_jakarta_history(
-            scale.offline_days + scale.online_days, seed=scale.seed
-        )
+    if device_key in {"belem", "ibmq_belem"}:
+        history = generate_belem_history(num_days, seed=scale.seed)
+    elif device_key in {"jakarta", "ibm_jakarta"}:
+        history = generate_jakarta_history(num_days, seed=scale.seed)
     else:
-        raise ReproError(f"unknown device {device!r}")
+        history = generate_device_history(device_key, num_days, seed=scale.seed)
     offline_history, online_history = history.split(scale.offline_days)
 
     model = build_model_for_dataset(dataset_name, dataset, scale)
@@ -143,4 +157,5 @@ def prepare_experiment(
         online_history=online_history,
         base_model=model,
         scale=scale,
+        device=device_key,
     )

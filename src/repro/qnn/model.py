@@ -34,7 +34,7 @@ from repro.simulator import (
     default_density_backend,
     default_statevector_backend,
 )
-from repro.transpiler import CouplingMap, TranspiledCircuit, transpile
+from repro.transpiler import CouplingMap, Target, TranspiledCircuit
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -139,13 +139,16 @@ class QNNModel:
 
         The parameter vector is always deep-copied, so training or
         compressing the copy never touches the original.  The device binding
-        (``transpiled``) is *shared immutably* by default: nothing mutates a
-        :class:`~repro.transpiler.TranspiledCircuit` in place (``bind`` /
-        ``to_physical`` return fresh circuits and :meth:`bind_to_device`
-        rebinds by assignment), and the binding depends only on the circuit
-        structure — not on parameter values — so sharing is safe and keeps
-        compiled-program caches warm.  Pass ``share_device_binding=False``
-        to deep-copy the binding for callers that intend to mutate it.
+        (``transpiled``) is *shared immutably* by default — and since PR 3
+        the pipeline's result cache already shares one
+        :class:`~repro.transpiler.TranspiledCircuit` across identically
+        compiled models, so the whole binding graph is read-only by
+        contract: ``bind`` returns a fresh circuit, ``to_physical`` returns
+        a *memoised shared* circuit that callers must not mutate, and
+        :meth:`bind_to_device` rebinds by assignment.  Pass
+        ``share_device_binding=False`` to deep-copy the binding for callers
+        that intend to mutate it (the deep copy detaches the routed
+        artifact and its memo, not the pipeline's cached original).
 
         This replaces the old two-step pattern
         ``copy_with_parameters(...)`` + ``copy.transpiled = base.transpiled``,
@@ -154,6 +157,10 @@ class QNNModel:
         transpiled = self.transpiled
         if not share_device_binding and transpiled is not None:
             transpiled = copy_module.deepcopy(transpiled)
+            # The detachment is about mutation safety, not cache transfer:
+            # start the copy with an empty basis-translation memo instead of
+            # duplicating up to PHYSICAL_CACHE_SIZE translated circuits.
+            transpiled.routed._physical_cache.clear()
         return replace(
             self,
             parameters=np.asarray(
@@ -176,13 +183,35 @@ class QNNModel:
     # ------------------------------------------------------------------
     def bind_to_device(
         self,
-        coupling: CouplingMap,
+        coupling: "CouplingMap | Target",
         calibration=None,
         initial_layout=None,
+        pass_manager=None,
     ) -> TranspiledCircuit:
-        """Transpile the ansatz onto ``coupling`` and remember the result."""
-        self.transpiled = transpile(
-            self.ansatz, coupling, calibration=calibration, initial_layout=initial_layout
+        """Transpile the ansatz onto a device and remember the result.
+
+        ``coupling`` may be a bare :class:`~repro.transpiler.CouplingMap`
+        (optionally with a ``calibration`` snapshot for the noise-aware
+        layout) or a full :class:`~repro.transpiler.Target`.  Compilation
+        runs through the staged pipeline, so rebinding the same ansatz for a
+        new calibration day reuses the layout/routing artifacts whenever the
+        snapshot sits inside the previous layout decision's optimality
+        boundary; pass an explicit ``pass_manager`` to control the artifact
+        pool (default: the process-wide one).
+        """
+        if isinstance(coupling, Target):
+            if calibration is not None:
+                raise TrainingError(
+                    "pass the calibration inside the Target, not alongside it"
+                )
+            target = coupling
+        else:
+            target = Target(coupling=coupling, calibration=calibration)
+        from repro.transpiler.pipeline import default_pass_manager
+
+        manager = pass_manager if pass_manager is not None else default_pass_manager()
+        self.transpiled = manager.compile(
+            self.ansatz, target, initial_layout=initial_layout
         )
         return self.transpiled
 

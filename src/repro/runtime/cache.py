@@ -19,9 +19,9 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.circuits import circuit_structure_digest
 from repro.qnn.model import QNNModel
 from repro.simulator import NoiseModel
-from repro.simulator.engine import circuit_structure_digest
 
 
 def array_digest(array: Optional[np.ndarray]) -> str:
@@ -42,8 +42,13 @@ def model_digest(model: QNNModel, parameters: Optional[np.ndarray] = None) -> st
 
     Covers the ansatz structure, the effective parameter vector (an explicit
     ``parameters`` argument overrides the model's own, mirroring the
-    evaluation APIs), the readout/logit configuration, the encoder, and the
-    device binding's routed physical structure.
+    evaluation APIs), the readout/logit configuration, the encoder, and —
+    via :meth:`repro.transpiler.TranspiledCircuit.compilation_digest` — the
+    device binding (routed structure, initial layout, final mapping, device
+    topology).  Joining the compilation digest means a recompilation that
+    landed on different artifacts changes every evaluation key, while an
+    incremental recompile that provably reused yesterday's layout keeps
+    yesterday's cache entries valid.
     """
     hasher = hashlib.blake2b(digest_size=16)
     hasher.update(circuit_structure_digest(model.ansatz).encode())
@@ -55,10 +60,7 @@ def model_digest(model: QNNModel, parameters: Optional[np.ndarray] = None) -> st
         f"{model.encoder.num_qubits}|{model.encoder.num_features}|{model.encoder.scale!r}".encode()
     )
     if model.transpiled is not None:
-        hasher.update(
-            circuit_structure_digest(model.transpiled.routed.circuit).encode()
-        )
-        hasher.update(str(sorted(model.transpiled.final_mapping.items())).encode())
+        hasher.update(model.transpiled.compilation_digest().encode())
     return hasher.hexdigest()
 
 

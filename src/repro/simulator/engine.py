@@ -32,67 +32,37 @@ The public entry points are :class:`SimulationEngine` and the module-level
 
 from __future__ import annotations
 
-import hashlib
-import struct
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.circuits import QuantumCircuit
+from repro.circuits import QuantumCircuit, circuit_structure_digest, parameter_digest
 from repro.exceptions import SimulationError
 from repro.gates import Gate
 from repro.gates.matrices import I2, SWAP
 from repro.simulator import ops
+from repro.utils.lru import lru_get, lru_put
 
-# ---------------------------------------------------------------------------
-# Structural and parameter digests
-# ---------------------------------------------------------------------------
-
-_NAN_SENTINEL = struct.pack("<d", float("nan"))
-
-
-def circuit_structure_digest(circuit: QuantumCircuit) -> str:
-    """Digest of the circuit's *structure*: gate names and qubit indices.
-
-    Two circuits share a digest exactly when they apply the same gate types
-    to the same wires in the same order — which is precisely the condition
-    for sharing a :class:`FusionPlan`.  Angles are deliberately excluded so
-    that rebinding a parameterized ansatz keeps its plan.
-    """
-    hasher = hashlib.blake2b(digest_size=16)
-    hasher.update(struct.pack("<i", circuit.num_qubits))
-    for gate in circuit.gates:
-        hasher.update(gate.name.encode())
-        hasher.update(struct.pack(f"<{len(gate.qubits)}i", *gate.qubits))
-        hasher.update(b";")
-    return hasher.hexdigest()
-
-
-def parameter_digest(
-    circuit: QuantumCircuit, parameters: Optional[np.ndarray] = None
-) -> str:
-    """Digest of everything that affects the bound gate matrices.
-
-    Covers each gate's own angle, ``param_ref``, and ``trainable`` flag plus
-    the external parameter vector (when given), so two calls collide only if
-    they produce identical bound matrices *and* identical gradient behaviour
-    (the adjoint sweep reads ``trainable`` off cached bound circuits) for an
-    identical structure.
-    """
-    hasher = hashlib.blake2b(digest_size=16)
-    for gate in circuit.gates:
-        ref = -1 if gate.param_ref is None else gate.param_ref
-        hasher.update(struct.pack("<i?", ref, gate.trainable))
-        if gate.param is None:
-            hasher.update(_NAN_SENTINEL)
-        else:
-            hasher.update(struct.pack("<d", gate.param))
-    if parameters is not None:
-        hasher.update(b"|params|")
-        hasher.update(np.ascontiguousarray(parameters, dtype=np.float64).tobytes())
-    return hasher.hexdigest()
+# circuit_structure_digest / parameter_digest live in repro.circuits.digests
+# (they depend only on the IR) and are re-exported here for existing callers.
+__all__ = [
+    "circuit_structure_digest",
+    "parameter_digest",
+    "FusionBlock",
+    "FusionPlan",
+    "build_fusion_plan",
+    "FusedGate",
+    "CompiledProgram",
+    "BoundGateRecord",
+    "BoundCircuit",
+    "materialize_program",
+    "EngineStats",
+    "SimulationEngine",
+    "default_engine",
+    "set_default_engine",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -432,17 +402,11 @@ class SimulationEngine:
     # -- cache plumbing -------------------------------------------------
     @staticmethod
     def _lru_get(cache: OrderedDict, key):
-        value = cache.get(key)
-        if value is not None:
-            cache.move_to_end(key)
-        return value
+        return lru_get(cache, key)
 
     @staticmethod
     def _lru_put(cache: OrderedDict, key, value, capacity: int) -> None:
-        cache[key] = value
-        cache.move_to_end(key)
-        while len(cache) > capacity:
-            cache.popitem(last=False)
+        lru_put(cache, key, value, capacity)
 
     def clear(self) -> None:
         """Drop every cached plan, program, and bound circuit."""

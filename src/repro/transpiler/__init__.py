@@ -1,4 +1,4 @@
-"""Logical-to-physical compilation: layout, routing, basis translation."""
+"""Logical-to-physical compilation: staged pipeline, layout, routing, basis."""
 
 from repro.transpiler.basis import (
     decompose_gate,
@@ -14,15 +14,43 @@ from repro.transpiler.coupling import (
     jakarta_coupling,
     linear_coupling,
 )
-from repro.transpiler.layout import Layout, noise_aware_layout, trivial_layout
+from repro.transpiler.devices import (
+    DEVICE_LIBRARY,
+    get_device_coupling,
+    grid_coupling,
+    heavy_hex_coupling,
+    list_devices,
+    ring_coupling,
+)
+from repro.transpiler.layout import (
+    Layout,
+    LayoutDecision,
+    noise_aware_layout,
+    scored_noise_aware_layout,
+    trivial_layout,
+)
 from repro.transpiler.metrics import (
     CircuitMetrics,
     compression_ratio,
     expected_error_cost,
     physical_metrics,
 )
-from repro.transpiler.passes import TranspiledCircuit, transpile
+from repro.transpiler.passes import (
+    TranspiledCircuit,
+    legacy_transpile,
+    transpile,
+    transpile_batch,
+    validate_initial_layout,
+)
+from repro.transpiler.pipeline import (
+    PassManager,
+    PassManagerStats,
+    PipelineConfig,
+    default_pass_manager,
+    set_default_pass_manager,
+)
 from repro.transpiler.routing import RoutedCircuit, route_circuit
+from repro.transpiler.target import Target, calibration_digest, coupling_digest
 
 __all__ = [
     "CouplingMap",
@@ -31,9 +59,17 @@ __all__ = [
     "linear_coupling",
     "fully_connected_coupling",
     "get_coupling",
+    "DEVICE_LIBRARY",
+    "get_device_coupling",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "ring_coupling",
+    "list_devices",
     "Layout",
+    "LayoutDecision",
     "trivial_layout",
     "noise_aware_layout",
+    "scored_noise_aware_layout",
     "RoutedCircuit",
     "route_circuit",
     "to_basis",
@@ -46,4 +82,15 @@ __all__ = [
     "compression_ratio",
     "TranspiledCircuit",
     "transpile",
+    "transpile_batch",
+    "legacy_transpile",
+    "validate_initial_layout",
+    "Target",
+    "coupling_digest",
+    "calibration_digest",
+    "PassManager",
+    "PassManagerStats",
+    "PipelineConfig",
+    "default_pass_manager",
+    "set_default_pass_manager",
 ]

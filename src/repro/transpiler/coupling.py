@@ -64,12 +64,13 @@ class CouplingMap:
         """Neighbours of ``qubit`` in the coupling graph."""
         return sorted(self._graph.neighbors(qubit))
 
-    def connected_subsets(self, size: int) -> list[tuple[int, ...]]:
-        """All connected subsets of physical qubits with ``size`` elements.
+    def iter_connected_subsets(self, size: int) -> Iterable[tuple[int, ...]]:
+        """Lazily yield connected physical-qubit subsets of ``size`` elements.
 
-        Used by the noise-aware layout pass to enumerate candidate regions.
-        The devices of interest have at most 7 qubits, so brute-force
-        enumeration is fine.
+        Deterministic (lexicographic ``combinations``) order.  Laziness
+        matters on the large device-library lattices: the layout search caps
+        its candidate count, so only a prefix of the ``C(n, k)`` subset
+        space is ever materialised or connectivity-checked.
         """
         if size <= 0 or size > self.num_qubits:
             raise TranspilerError(
@@ -77,11 +78,17 @@ class CouplingMap:
             )
         from itertools import combinations
 
-        subsets = []
         for combo in combinations(range(self.num_qubits), size):
             if nx.is_connected(self._graph.subgraph(combo)):
-                subsets.append(combo)
-        return subsets
+                yield combo
+
+    def connected_subsets(self, size: int) -> list[tuple[int, ...]]:
+        """All connected subsets of physical qubits with ``size`` elements.
+
+        Eager form of :meth:`iter_connected_subsets`, kept for callers that
+        want the full list (fine on the paper's <= 7-qubit devices).
+        """
+        return list(self.iter_connected_subsets(size))
 
 
 def belem_coupling() -> CouplingMap:

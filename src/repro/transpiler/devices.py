@@ -1,0 +1,134 @@
+"""Device library: parametric topologies beyond the paper's two IBM chips.
+
+The paper evaluates on *ibmq_belem* (5 qubits) and *ibm_jakarta* (7 qubits)
+only.  For scenario diversity — and to exercise the staged compilation
+pipeline on devices where the layout search space actually matters — this
+module provides a library of synthetic-but-realistic topologies:
+
+* **line_N** — 1-D chains (the minimal-connectivity worst case for routing),
+* **ring_N** — cycles (every qubit has degree 2 but no dead ends),
+* **grid_RxC** — 2-D lattices (the Google-style square grid),
+* **heavy_hex_16 / heavy_hex_27** — the IBM heavy-hex lattice at Falcon
+  sizes (*ibmq_guadalupe*-like and *ibm_hanoi*-like connectivity).
+
+Each library entry is a factory returning a fresh
+:class:`~repro.transpiler.coupling.CouplingMap`.  :func:`get_device_coupling`
+resolves a device name against this library first and falls back to the
+paper's named IBM couplings, so every call site that accepts a device name
+(the experiments CLI, :func:`repro.calibration.synthetic.generate_device_history`)
+understands both vocabularies.  Topologies span 5–27 qubits; note that the
+density-matrix *simulation* cost is exponential in device size, so the
+longitudinal experiments should stick to the <= 8-qubit entries while the
+larger lattices serve the transpiler and its benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import (
+    CouplingMap,
+    NAMED_COUPLINGS,
+    linear_coupling,
+)
+
+
+def ring_coupling(num_qubits: int, name: str | None = None) -> CouplingMap:
+    """A cycle topology: qubit ``i`` couples to ``(i + 1) % n``."""
+    if num_qubits < 3:
+        raise TranspilerError(f"a ring needs at least 3 qubits, got {num_qubits}")
+    edges = tuple((i, (i + 1) % num_qubits) for i in range(num_qubits))
+    return CouplingMap(
+        num_qubits=num_qubits, edges=edges, name=name or f"ring_{num_qubits}"
+    )
+
+
+def grid_coupling(rows: int, cols: int, name: str | None = None) -> CouplingMap:
+    """A ``rows x cols`` square lattice in row-major qubit order."""
+    if rows < 1 or cols < 1:
+        raise TranspilerError(f"grid dimensions must be positive, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(
+        num_qubits=rows * cols, edges=tuple(edges), name=name or f"grid_{rows}x{cols}"
+    )
+
+
+#: The 16-qubit heavy-hex lattice (ibmq_guadalupe connectivity).
+_HEAVY_HEX_16_EDGES = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8),
+    (6, 7), (7, 10), (8, 9), (8, 11), (10, 12), (11, 14),
+    (12, 13), (12, 15), (13, 14),
+)
+
+#: The 27-qubit heavy-hex lattice (IBM Falcon: ibm_hanoi / ibmq_montreal).
+_HEAVY_HEX_27_EDGES = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8),
+    (6, 7), (7, 10), (8, 9), (8, 11), (10, 12), (11, 14),
+    (12, 13), (12, 15), (13, 14), (14, 16), (15, 18), (16, 19),
+    (17, 18), (18, 21), (19, 20), (19, 22), (21, 23), (22, 25),
+    (23, 24), (24, 25), (25, 26),
+)
+
+
+def heavy_hex_coupling(num_qubits: int = 27, name: str | None = None) -> CouplingMap:
+    """An IBM heavy-hex lattice at one of the supported Falcon sizes.
+
+    Heavy-hex is IBM's production topology: hexagon cells whose edges carry
+    an extra qubit, keeping every qubit at degree <= 3.  Supported sizes are
+    16 (*ibmq_guadalupe*-like) and 27 (*ibm_hanoi*-like).
+    """
+    if num_qubits == 16:
+        edges = _HEAVY_HEX_16_EDGES
+    elif num_qubits == 27:
+        edges = _HEAVY_HEX_27_EDGES
+    else:
+        raise TranspilerError(
+            f"heavy-hex lattice is defined for 16 or 27 qubits, got {num_qubits}"
+        )
+    return CouplingMap(
+        num_qubits=num_qubits, edges=edges, name=name or f"heavy_hex_{num_qubits}"
+    )
+
+
+#: name -> CouplingMap factory for every library topology (5–27 qubits).
+DEVICE_LIBRARY: dict[str, Callable[[], CouplingMap]] = {
+    "line_5": lambda: linear_coupling(5, name="line_5"),
+    "line_7": lambda: linear_coupling(7, name="line_7"),
+    "line_12": lambda: linear_coupling(12, name="line_12"),
+    "ring_5": lambda: ring_coupling(5),
+    "ring_6": lambda: ring_coupling(6),
+    "ring_8": lambda: ring_coupling(8),
+    "ring_12": lambda: ring_coupling(12),
+    "grid_2x3": lambda: grid_coupling(2, 3),
+    "grid_2x4": lambda: grid_coupling(2, 4),
+    "grid_3x3": lambda: grid_coupling(3, 3),
+    "grid_4x5": lambda: grid_coupling(4, 5),
+    "grid_5x5": lambda: grid_coupling(5, 5),
+    "heavy_hex_16": lambda: heavy_hex_coupling(16),
+    "heavy_hex_27": lambda: heavy_hex_coupling(27),
+}
+
+
+def list_devices() -> list[str]:
+    """Every selectable device name: the library plus the paper's IBM chips."""
+    return sorted(set(DEVICE_LIBRARY) | set(NAMED_COUPLINGS))
+
+
+def get_device_coupling(name: str) -> CouplingMap:
+    """Resolve a device name to a coupling map (library first, then IBM)."""
+    key = name.lower()
+    if key in DEVICE_LIBRARY:
+        return DEVICE_LIBRARY[key]()
+    if key in NAMED_COUPLINGS:
+        return NAMED_COUPLINGS[key]()
+    raise TranspilerError(
+        f"unknown device {name!r}; known devices: {list_devices()}"
+    )

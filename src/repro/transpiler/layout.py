@@ -7,6 +7,12 @@ Two strategies are provided:
   assignment permutations, scoring each candidate by the calibration error it
   would accumulate for the circuit's interaction pattern (the standard
   noise-aware mapping idea the paper cites as related work [11]).
+
+:func:`scored_noise_aware_layout` is the same search but additionally
+returns a :class:`LayoutDecision` — the winning layout together with the
+*decision boundary* (how far the calibration may drift before the winner
+could change).  The staged pipeline uses it to prove that yesterday's layout
+is still optimal for today's snapshot and skip the whole search.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import permutations
 from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.circuits import QuantumCircuit
 from repro.exceptions import TranspilerError
@@ -80,12 +88,24 @@ def trivial_layout(num_logical: int, coupling: CouplingMap) -> Layout:
     return Layout(tuple(range(num_logical)))
 
 
+def _feature_index(calibration: "CalibrationSnapshot") -> dict[str, int]:
+    """Map calibration feature names to their :meth:`to_vector` positions.
+
+    Derived directly from :meth:`CalibrationSnapshot.feature_names`
+    (``sq_{q}`` / ``cx_{a}_{b}`` / ``ro_{q}``), so the coefficient layout
+    can never drift out of sync with the snapshot's vectorization order.
+    """
+    return {name: position for position, name in enumerate(calibration.feature_names())}
+
+
 def _routed_layout_cost(
     circuit: QuantumCircuit,
     assignment: tuple[int, ...],
     coupling: CouplingMap,
     calibration: "CalibrationSnapshot",
-) -> float:
+    feature_index: Optional[dict] = None,
+    calibration_vector: Optional[np.ndarray] = None,
+) -> tuple[float, np.ndarray]:
     """Expected accumulated error after actually routing the candidate layout.
 
     Every candidate assignment is routed with the same SWAP router that the
@@ -93,26 +113,196 @@ def _routed_layout_cost(
     calibration error (a SWAP is three CX, a controlled rotation two CX, a
     generic single-qubit rotation two pulses).  This makes the layout both
     noise-aware and routing-aware, mirroring noise-adaptive mapping [11].
+
+    Returns ``(cost, coefficients)``.  The cost is linear in the
+    calibration's feature vector ``v``: ``cost = c . v`` with the
+    non-negative per-feature coefficient vector ``c`` (gates touching error
+    rates absent from the calibration tables contribute exactly 0 for *any*
+    snapshot with the same feature layout, so they carry no coefficient).
+    The cost is evaluated as that dot product, which makes it a pure
+    function of ``(c, v)``: two candidates with identical coefficient
+    vectors score bit-identically under *every* calibration — the property
+    the :class:`LayoutDecision` drift bound uses to discharge symmetric
+    ties.
     """
     from repro.transpiler.routing import route_circuit
 
+    if feature_index is None:
+        feature_index = _feature_index(calibration)
+    if calibration_vector is None:
+        calibration_vector = calibration.to_vector()
     routed = route_circuit(circuit, coupling, Layout(assignment))
-    cost = 0.0
+    coefficients = np.zeros(len(feature_index))
     for gate in routed.circuit.gates:
         if gate.num_qubits == 2:
-            error = calibration.cx_error(*gate.qubits)
             if gate.name == "swap":
-                cost += 3.0 * error
+                multiplier = 3.0
             elif gate.name in {"cx", "cz", "cy"}:
-                cost += error
+                multiplier = 1.0
             else:
-                cost += 2.0 * error
+                multiplier = 2.0
+            low, high = sorted(gate.qubits)
+            feature = f"cx_{low}_{high}"
         else:
             multiplier = 2.0 if gate.is_parametric else 1.0
-            cost += multiplier * calibration.gate_error(gate.qubits[0])
+            feature = f"sq_{gate.qubits[0]}"
+        position = feature_index.get(feature)
+        if position is not None:
+            coefficients[position] += multiplier
     for logical in range(circuit.num_qubits):
-        cost += calibration.readout(routed.final_mapping[logical])
-    return cost
+        position = feature_index.get(f"ro_{routed.final_mapping[logical]}")
+        if position is not None:
+            coefficients[position] += 1.0
+    cost = float(coefficients @ calibration_vector) if coefficients.size else 0.0
+    return cost, coefficients
+
+
+@dataclass(frozen=True)
+class LayoutDecision:
+    """The outcome of one noise-aware layout search, with its safety boundary.
+
+    Every candidate's cost is *linear* in the calibration feature vector:
+    ``cost_b(v) = c_b . v`` with non-negative coefficients.  For the winner
+    ``w`` and any other enumerated candidate ``b``,
+
+    ``cost_b(v') - cost_w(v') >= gap_b - |c_b - c_w| . |v' - v|``
+
+    so the winner provably stays *strictly* optimal at ``v'`` whenever every
+    candidate's decision-time gap exceeds its coefficient-difference-weighted
+    drift (plus a tiny float-safety slack).  Inside that boundary a fresh
+    search at ``v'`` would pick the same assignment — the search compares
+    candidates with strict ``<`` in a deterministic enumeration order — so
+    the cached layout (and everything routed from it) can be reused with
+    bit-identical results.
+
+    Candidates whose coefficient vector *equals* the winner's (symmetric
+    assignments charging exactly the same couplers/qubits — the common tie
+    for the QuCAD ansatz) score bit-identically under every calibration
+    because the cost is evaluated as the same dot product; the strict-``<``
+    tie-break then keeps the earlier-enumerated winner forever, so those
+    rows are dropped from the boundary at construction.  Ties between
+    *different* coefficient vectors (``gap == 0``, ``diff != 0``)
+    conservatively disable reuse: any drift favouring the runner-up flips
+    the winner.
+
+    Attributes
+    ----------
+    layout:
+        The winning assignment.
+    best_cost:
+        Cost of the winner at decision time.
+    gaps:
+        Per-candidate cost gap ``cost_b - best_cost`` for every enumerated
+        non-winning candidate (shape ``(candidates - 1,)``).
+    coeff_diffs:
+        Matching ``|c_b - c_w|`` rows (shape ``(candidates - 1, features)``).
+    feature_names:
+        The calibration's feature layout at decision time.
+    calibration_vector:
+        The calibration's feature vector at decision time.
+    max_candidates:
+        The enumeration cap in force (reuse requires the same cap, since the
+        optimality proof only covers the enumerated candidate set).
+    """
+
+    layout: Layout
+    best_cost: float
+    gaps: np.ndarray
+    coeff_diffs: np.ndarray
+    feature_names: tuple[str, ...]
+    calibration_vector: np.ndarray
+    max_candidates: Optional[int] = None
+
+    @property
+    def margin(self) -> float:
+        """Smallest cost gap between the winner and any other candidate."""
+        return float(np.min(self.gaps)) if self.gaps.size else float("inf")
+
+    def _slack(self) -> float:
+        """Float-safety slack absorbing accumulation-order rounding noise."""
+        return 1e-12 * (1.0 + abs(self.best_cost))
+
+    def still_optimal_for(self, calibration: "CalibrationSnapshot") -> bool:
+        """Whether the cached winner provably stays optimal for ``calibration``.
+
+        Requires the snapshot to expose the same feature layout the decision
+        was made under; any mismatch conservatively returns ``False``.
+        """
+        if tuple(calibration.feature_names()) != self.feature_names:
+            return False
+        if not self.gaps.size:
+            return True
+        drift = np.abs(calibration.to_vector() - self.calibration_vector)
+        return bool(np.all(self.gaps > self.coeff_diffs @ drift + self._slack()))
+
+
+def scored_noise_aware_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: "CalibrationSnapshot",
+    max_candidates: Optional[int] = None,
+) -> LayoutDecision:
+    """Run the noise-aware layout search and report its decision boundary.
+
+    Identical enumeration order and tie-breaking to
+    :func:`noise_aware_layout` (which delegates here), plus the per-candidate
+    gap/coefficient bookkeeping that enables provably-safe layout reuse
+    across calibration drift.
+    """
+    num_logical = circuit.num_qubits
+    if num_logical > coupling.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {num_logical} qubits but device has {coupling.num_qubits}"
+        )
+    feature_index = _feature_index(calibration)
+    calibration_vector = calibration.to_vector()
+    scored: list[tuple[float, np.ndarray]] = []
+    best_index: Optional[int] = None
+    best_assignment: Optional[tuple[int, ...]] = None
+    best_cost = float("inf")
+    for subset in coupling.iter_connected_subsets(num_logical):
+        for assignment in permutations(subset):
+            cost, coefficients = _routed_layout_cost(
+                circuit, assignment, coupling, calibration,
+                feature_index, calibration_vector,
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+                best_index = len(scored)
+            scored.append((cost, coefficients))
+            if max_candidates is not None and len(scored) >= max_candidates:
+                break
+        if max_candidates is not None and len(scored) >= max_candidates:
+            break
+    if best_assignment is None or best_index is None:
+        raise TranspilerError("no valid layout found")
+    best_coefficients = scored[best_index][1]
+    gap_rows = []
+    diff_rows = []
+    for index, (cost, coefficients) in enumerate(scored):
+        if index == best_index:
+            continue
+        difference = np.abs(coefficients - best_coefficients)
+        if not difference.any():
+            continue  # identical coefficients: tied forever, never overtakes
+        gap_rows.append(cost - best_cost)
+        diff_rows.append(difference)
+    if gap_rows:
+        gaps = np.array(gap_rows)
+        coeff_diffs = np.stack(diff_rows)
+    else:
+        gaps = np.zeros(0)
+        coeff_diffs = np.zeros((0, len(feature_index)))
+    return LayoutDecision(
+        layout=Layout(best_assignment),
+        best_cost=best_cost,
+        gaps=gaps,
+        coeff_diffs=coeff_diffs,
+        feature_names=tuple(feature_index),  # insertion order == feature_names()
+        calibration_vector=calibration_vector,
+        max_candidates=max_candidates,
+    )
 
 
 def noise_aware_layout(
@@ -126,27 +316,9 @@ def noise_aware_layout(
     Enumerates connected physical subsets of the required size and all
     permutations within each subset, routing each candidate to score it; the
     devices used in the paper have at most 7 qubits so the search space stays
-    tiny.
+    tiny.  Larger device-library targets go through the pipeline, which caps
+    the enumeration (see :class:`repro.transpiler.pipeline.PassManager`).
     """
-    num_logical = circuit.num_qubits
-    if num_logical > coupling.num_qubits:
-        raise TranspilerError(
-            f"circuit needs {num_logical} qubits but device has {coupling.num_qubits}"
-        )
-    best_assignment: Optional[tuple[int, ...]] = None
-    best_cost = float("inf")
-    candidates = 0
-    for subset in coupling.connected_subsets(num_logical):
-        for assignment in permutations(subset):
-            cost = _routed_layout_cost(circuit, assignment, coupling, calibration)
-            candidates += 1
-            if cost < best_cost:
-                best_cost = cost
-                best_assignment = assignment
-            if max_candidates is not None and candidates >= max_candidates:
-                break
-        if max_candidates is not None and candidates >= max_candidates:
-            break
-    if best_assignment is None:
-        raise TranspilerError("no valid layout found")
-    return Layout(best_assignment)
+    return scored_noise_aware_layout(
+        circuit, coupling, calibration, max_candidates=max_candidates
+    ).layout

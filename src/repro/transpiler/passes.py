@@ -1,31 +1,61 @@
-"""Top-level transpilation entry point.
+"""Top-level transpilation entry points.
 
-:func:`transpile` chains layout, routing, and (on demand) basis translation,
-and keeps the bookkeeping the rest of the framework needs:
+:func:`transpile` maps a logical circuit onto a device through the staged
+:class:`~repro.transpiler.pipeline.PassManager` (layout → routing → basis
+translation → metrics, with per-pass artifact caching), and keeps the
+bookkeeping the rest of the framework needs:
 
 * the routed circuit still referencing trainable parameters,
 * the physical qubits associated with every trainable parameter
   (``A(g_i)`` in the paper's notation),
 * the measurement mapping after routing SWAPs.
+
+:func:`transpile_batch` compiles many (circuit, day) pairs at once with
+deduplicated pass work; :func:`legacy_transpile` preserves the original
+single-shot path so tests can pin that the pipeline's output is identical.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.circuits import QuantumCircuit
+from repro.circuits import QuantumCircuit, circuit_structure_digest
 from repro.exceptions import TranspilerError
-from repro.transpiler.basis import to_basis
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout, noise_aware_layout, trivial_layout
 from repro.transpiler.metrics import CircuitMetrics, physical_metrics
 from repro.transpiler.routing import RoutedCircuit, route_circuit
+from repro.transpiler.target import Target, coupling_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.calibration.snapshot import CalibrationSnapshot
+
+
+def validate_initial_layout(
+    circuit: QuantumCircuit, coupling: CouplingMap, layout: Layout
+) -> None:
+    """Check an explicit initial layout against the circuit and device.
+
+    Historically a wrong-sized or out-of-range layout sailed into routing
+    and failed deep inside the SWAP search with an opaque ``KeyError``;
+    validating up front turns that into a clear :class:`TranspilerError`.
+    """
+    if layout.num_logical != circuit.num_qubits:
+        raise TranspilerError(
+            f"initial layout places {layout.num_logical} logical qubits but the "
+            f"circuit has {circuit.num_qubits}"
+        )
+    for logical, physical in enumerate(layout.logical_to_physical):
+        if not 0 <= physical < coupling.num_qubits:
+            raise TranspilerError(
+                f"initial layout maps logical qubit {logical} to physical qubit "
+                f"{physical}, outside device {coupling.name!r} with "
+                f"{coupling.num_qubits} qubits"
+            )
 
 
 @dataclass
@@ -35,6 +65,7 @@ class TranspiledCircuit:
     logical: QuantumCircuit
     routed: RoutedCircuit
     coupling: CouplingMap
+    target: Optional[Target] = None
 
     @property
     def initial_layout(self) -> Layout:
@@ -51,13 +82,40 @@ class TranspiledCircuit:
         """Physical qubits touched by each trainable parameter."""
         return self.routed.ref_physical_qubits
 
+    def compilation_digest(self) -> str:
+        """Content digest of everything this compilation fixed.
+
+        Covers the routed physical structure, the initial layout (where the
+        data encoding lands), the final mapping (where readouts land), and
+        the device topology — exactly the compilation-determined inputs of a
+        downstream evaluation, so the runtime's evaluation cache can key on
+        it.  Two recompilations that landed on identical artifacts (e.g.
+        via incremental layout reuse) share the digest and therefore share
+        cache entries.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(circuit_structure_digest(self.routed.circuit).encode())
+        hasher.update(str(self.initial_layout.logical_to_physical).encode())
+        hasher.update(str(sorted(self.final_mapping.items())).encode())
+        hasher.update(coupling_digest(self.coupling).encode())
+        return hasher.hexdigest()
+
     def bind(self, parameters: Sequence[float] | np.ndarray) -> QuantumCircuit:
         """Bind a trainable-parameter vector into the routed circuit."""
         return self.routed.circuit.bind_parameters(parameters)
 
     def to_physical(self, parameters: Sequence[float] | np.ndarray) -> QuantumCircuit:
-        """Bind parameters and translate to the native basis."""
-        return to_basis(self.bind(parameters))
+        """Bind parameters and translate to the native basis.
+
+        The translated circuit is memoised per parameter digest on the
+        *routed artifact* (mirroring the engine's compiled-program cache):
+        the online loops re-evaluate the same few bindings across many
+        days, and because incremental recompilations share the routed
+        artifact, the memo survives per-day rebinds too.  Callers must
+        treat the returned circuit as read-only — all existing consumers
+        do.
+        """
+        return self.routed.to_physical(parameters)
 
     def physical_metrics(self, parameters: Sequence[float] | np.ndarray) -> CircuitMetrics:
         """Metrics of the basis-translated circuit for the given parameters."""
@@ -72,17 +130,20 @@ class TranspiledCircuit:
         return self.initial_layout.physical(logical_qubit)
 
 
-def transpile(
+def legacy_transpile(
     circuit: QuantumCircuit,
     coupling: CouplingMap,
     calibration: Optional["CalibrationSnapshot"] = None,
     initial_layout: Optional[Layout] = None,
 ) -> TranspiledCircuit:
-    """Map ``circuit`` onto ``coupling``.
+    """The single-shot, cache-free transpilation path.
 
-    If ``calibration`` is provided the layout pass is noise-aware (it avoids
-    the noisiest qubits and couplers of that snapshot); otherwise the trivial
-    layout is used.  An explicit ``initial_layout`` overrides both.
+    Kept as the behavioural reference for the *pipeline*: it runs every
+    pass from scratch on each call (sharing the same pass implementations,
+    including the layout scorer), and equivalence tests pin that the staged
+    pipeline — with all its caching and incremental reuse — produces
+    identical layouts, routed operations, and mappings on every existing
+    call-site shape.
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise TranspilerError(
@@ -90,10 +151,64 @@ def transpile(
             f"{coupling.name!r} has {coupling.num_qubits}"
         )
     if initial_layout is not None:
+        validate_initial_layout(circuit, coupling, initial_layout)
         layout = initial_layout
     elif calibration is not None:
         layout = noise_aware_layout(circuit, coupling, calibration)
     else:
         layout = trivial_layout(circuit.num_qubits, coupling)
     routed = route_circuit(circuit, coupling, layout)
-    return TranspiledCircuit(logical=circuit, routed=routed, coupling=coupling)
+    return TranspiledCircuit(
+        logical=circuit,
+        routed=routed,
+        coupling=coupling,
+        target=Target(coupling=coupling, calibration=calibration),
+    )
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    calibration: Optional["CalibrationSnapshot"] = None,
+    initial_layout: Optional[Layout] = None,
+    pass_manager=None,
+) -> TranspiledCircuit:
+    """Map ``circuit`` onto ``coupling`` through the staged pipeline.
+
+    If ``calibration`` is provided the layout pass is noise-aware (it avoids
+    the noisiest qubits and couplers of that snapshot); otherwise the trivial
+    layout is used.  An explicit ``initial_layout`` overrides both and is
+    validated against the circuit and the coupling map up front.
+
+    Compilation runs on ``pass_manager`` (default: the process-wide
+    :func:`~repro.transpiler.pipeline.default_pass_manager`), so repeated
+    per-day recompilations reuse layout/routing artifacts whenever that is
+    provably result-identical.
+    """
+    from repro.transpiler.pipeline import default_pass_manager
+
+    manager = pass_manager if pass_manager is not None else default_pass_manager()
+    return manager.compile(
+        circuit,
+        coupling=coupling,
+        calibration=calibration,
+        initial_layout=initial_layout,
+    )
+
+
+def transpile_batch(
+    circuits: Union[QuantumCircuit, Sequence[QuantumCircuit]],
+    targets: Union[Target, Sequence["Target"]],
+    pass_manager=None,
+) -> list[TranspiledCircuit]:
+    """Compile many (circuit, target) pairs with deduplicated pass work.
+
+    Broadcasts a single circuit across many targets (one model over a
+    calibration history) or a single target across many circuits (many
+    models onto one device).  See
+    :meth:`repro.transpiler.pipeline.PassManager.compile_batch`.
+    """
+    from repro.transpiler.pipeline import default_pass_manager
+
+    manager = pass_manager if pass_manager is not None else default_pass_manager()
+    return manager.compile_batch(circuits, targets)

@@ -1,0 +1,385 @@
+"""Staged compilation pipeline: discrete passes with per-pass artifact caches.
+
+The legacy :func:`repro.transpiler.passes.transpile` recomputed layout,
+routing, and metrics from scratch on every call — the paper's whole premise
+is recompiling the *same* model day after day as calibration drifts, so
+almost all of that work repeats.  The :class:`PassManager` splits
+compilation into discrete passes and caches each pass's artifact under
+content digests:
+
+``layout``
+    Noise-aware (calibration-dependent).  Keyed on
+    ``(circuit, structural target, calibration)``.  When an exact key misses,
+    the *incremental* path checks the previous :class:`~repro.transpiler.layout.LayoutDecision`
+    for this (circuit, device): if the new snapshot sits inside the
+    decision's provable optimality boundary, the cached layout is reused
+    without searching — and the result is bit-identical to a full search.
+``routing``
+    Structure-dependent only.  Keyed on ``(circuit, structural target,
+    layout)``; a reused layout therefore reuses the routed artifact too.
+``basis translation / metrics``
+    Binding-dependent; memoised per parameter digest on the
+    :class:`~repro.transpiler.passes.TranspiledCircuit` itself.
+
+A process-wide :func:`default_pass_manager` serves every call site that does
+not bring its own manager (mirroring the simulator's ``default_engine``), so
+models, harnesses, and the CLI all share one artifact pool.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.circuits import QuantumCircuit, circuit_structure_digest, parameter_digest
+from repro.exceptions import TranspilerError
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.layout import (
+    Layout,
+    LayoutDecision,
+    scored_noise_aware_layout,
+    trivial_layout,
+)
+from repro.transpiler.passes import (
+    TranspiledCircuit,
+    validate_initial_layout,
+)
+from repro.transpiler.routing import RoutedCircuit, route_circuit
+from repro.transpiler.target import Target
+from repro.utils.lru import lru_get, lru_put
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs of a :class:`PassManager`.
+
+    Attributes
+    ----------
+    incremental:
+        Enable boundary-checked layout reuse across calibration drift.
+        Reuse is only taken when provably result-identical, so this is safe
+        to leave on; it exists for A/B benchmarking.
+    max_layout_candidates:
+        Hard cap on the layout enumeration (``None`` = automatic policy).
+    exhaustive_layout_max_qubits:
+        Devices up to this size search exhaustively (the paper's devices
+        have at most 7 qubits, preserving legacy-identical layouts there).
+    large_device_layout_candidates:
+        Deterministic enumeration cap applied to larger device-library
+        targets, where the subset/permutation space explodes.  The cap
+        truncates the lexicographic subset enumeration, so on big lattices
+        the search is biased toward low-index regions of the chip — a
+        deliberate determinism/runtime trade-off (the incremental-reuse
+        proof covers exactly the enumerated candidate set); diversified
+        sampling is future work.
+    max_artifacts:
+        LRU capacity of each per-pass artifact cache.
+    """
+
+    incremental: bool = True
+    max_layout_candidates: Optional[int] = None
+    exhaustive_layout_max_qubits: int = 7
+    large_device_layout_candidates: int = 600
+    max_artifacts: int = 256
+
+
+@dataclass
+class PassManagerStats:
+    """Cumulative pass/cache counters of a :class:`PassManager`."""
+
+    compile_calls: int = 0
+    result_hits: int = 0
+    result_passes_avoided: int = 0
+    layout_runs: int = 0
+    layout_hits: int = 0
+    layout_reuses: int = 0
+    trivial_layouts: int = 0
+    explicit_layouts: int = 0
+    routing_runs: int = 0
+    routing_hits: int = 0
+
+    @property
+    def layout_hit_rate(self) -> float:
+        """Fraction of noise-aware layout requests served without a search."""
+        served = self.layout_hits + self.layout_reuses
+        total = served + self.layout_runs
+        return served / total if total else 0.0
+
+    @property
+    def routing_hit_rate(self) -> float:
+        """Fraction of routing requests served from the artifact cache."""
+        total = self.routing_hits + self.routing_runs
+        return self.routing_hits / total if total else 0.0
+
+    @property
+    def pass_cache_hit_rate(self) -> float:
+        """Fraction of all pass executions avoided via caches or reuse.
+
+        A result-cache hit contributes exactly the passes that compile
+        would otherwise have run (``result_passes_avoided``: routing only
+        for trivial/explicit-layout compiles, layout + routing otherwise),
+        so the rate reflects genuinely avoided work.
+        """
+        avoided = (
+            self.result_passes_avoided
+            + self.layout_hits
+            + self.layout_reuses
+            + self.routing_hits
+        )
+        total = avoided + self.layout_runs + self.routing_runs
+        return avoided / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly counters plus derived hit rates (for CLI reports)."""
+        return {
+            "compile_calls": self.compile_calls,
+            "result_hits": self.result_hits,
+            "layout_runs": self.layout_runs,
+            "layout_hits": self.layout_hits,
+            "layout_reuses": self.layout_reuses,
+            "routing_runs": self.routing_runs,
+            "routing_hits": self.routing_hits,
+            "layout_hit_rate": self.layout_hit_rate,
+            "routing_hit_rate": self.routing_hit_rate,
+            "pass_cache_hit_rate": self.pass_cache_hit_rate,
+        }
+
+
+def _circuit_key(circuit: QuantumCircuit) -> str:
+    """Content key of a circuit: structure digest + bound-angle digest.
+
+    Routing copies each gate's angle/ref into the routed artifact, so two
+    circuits may share pass artifacts only when both their structure *and*
+    their (possibly unbound) per-gate parameters coincide.
+    """
+    return f"{circuit_structure_digest(circuit)}:{parameter_digest(circuit)}"
+
+
+class PassManager:
+    """Runs the staged pipeline with per-pass artifact caching.
+
+    One manager owns three LRU caches (layouts, routed circuits, assembled
+    :class:`~repro.transpiler.passes.TranspiledCircuit` results) plus the
+    per-(circuit, device) :class:`~repro.transpiler.layout.LayoutDecision`
+    records that drive incremental recompilation.  All keys are content
+    digests, so independently constructed but identical circuits/targets
+    share artifacts.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self.config = config or PipelineConfig()
+        self.stats = PassManagerStats()
+        self._layouts: OrderedDict[tuple, Layout] = OrderedDict()
+        self._decisions: OrderedDict[tuple, LayoutDecision] = OrderedDict()
+        self._routings: OrderedDict[tuple, RoutedCircuit] = OrderedDict()
+        self._results: OrderedDict[tuple, TranspiledCircuit] = OrderedDict()
+
+    # -- cache plumbing -------------------------------------------------
+    @staticmethod
+    def _lru_get(cache: OrderedDict, key):
+        return lru_get(cache, key)
+
+    def _lru_put(self, cache: OrderedDict, key, value) -> None:
+        lru_put(cache, key, value, self.config.max_artifacts)
+
+    def clear(self) -> None:
+        """Drop every cached artifact and layout decision."""
+        self._layouts.clear()
+        self._decisions.clear()
+        self._routings.clear()
+        self._results.clear()
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current entry counts per artifact cache (for tests/introspection)."""
+        return {
+            "layouts": len(self._layouts),
+            "decisions": len(self._decisions),
+            "routings": len(self._routings),
+            "results": len(self._results),
+        }
+
+    # -- pass policy ----------------------------------------------------
+    def _layout_candidate_cap(self, coupling: CouplingMap) -> Optional[int]:
+        """The enumeration cap for the noise-aware layout search."""
+        if self.config.max_layout_candidates is not None:
+            return self.config.max_layout_candidates
+        if coupling.num_qubits <= self.config.exhaustive_layout_max_qubits:
+            return None
+        return self.config.large_device_layout_candidates
+
+    # -- the pipeline ---------------------------------------------------
+    def _layout_pass(
+        self, circuit: QuantumCircuit, target: Target, circuit_key: str
+    ) -> Layout:
+        """Layout selection: explicit cache, then boundary reuse, then search."""
+        calibration = target.calibration
+        if calibration is None:
+            self.stats.trivial_layouts += 1
+            return trivial_layout(circuit.num_qubits, target.coupling)
+        cap = self._layout_candidate_cap(target.coupling)
+        exact_key = (circuit_key, target.structural_digest, target.calibration_key, cap)
+        cached = self._lru_get(self._layouts, exact_key)
+        if cached is not None:
+            self.stats.layout_hits += 1
+            return cached
+        decision_key = (circuit_key, target.structural_digest)
+        decision = self._lru_get(self._decisions, decision_key)
+        if (
+            self.config.incremental
+            and decision is not None
+            and decision.max_candidates == cap
+            and decision.still_optimal_for(calibration)
+        ):
+            self.stats.layout_reuses += 1
+            self._lru_put(self._layouts, exact_key, decision.layout)
+            return decision.layout
+        decision = scored_noise_aware_layout(
+            circuit, target.coupling, calibration, max_candidates=cap
+        )
+        self.stats.layout_runs += 1
+        self._lru_put(self._decisions, decision_key, decision)
+        self._lru_put(self._layouts, exact_key, decision.layout)
+        return decision.layout
+
+    def _routing_pass(
+        self, circuit: QuantumCircuit, target: Target, circuit_key: str, layout: Layout
+    ) -> RoutedCircuit:
+        """SWAP routing, cached per (circuit, device, layout)."""
+        key = (circuit_key, target.structural_digest, layout.logical_to_physical)
+        cached = self._lru_get(self._routings, key)
+        if cached is not None:
+            self.stats.routing_hits += 1
+            return cached
+        routed = route_circuit(circuit, target.coupling, layout)
+        self.stats.routing_runs += 1
+        self._lru_put(self._routings, key, routed)
+        return routed
+
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        target: Optional[Target] = None,
+        *,
+        coupling: Optional[CouplingMap] = None,
+        calibration=None,
+        initial_layout: Optional[Layout] = None,
+    ) -> TranspiledCircuit:
+        """Compile ``circuit`` onto ``target`` through the staged pipeline.
+
+        Either a :class:`~repro.transpiler.target.Target` or a bare
+        ``coupling`` (optionally with ``calibration``) may be given,
+        mirroring the legacy :func:`~repro.transpiler.passes.transpile`
+        signature.  Output is identical to the legacy single-shot path on
+        devices within the exhaustive-search size (all existing call sites).
+        """
+        if target is None:
+            if coupling is None:
+                raise TranspilerError("compile() needs a Target or a coupling map")
+            target = Target(coupling=coupling, calibration=calibration)
+        elif coupling is not None or calibration is not None:
+            raise TranspilerError(
+                "pass either a Target or coupling/calibration, not both"
+            )
+        if circuit.num_qubits > target.coupling.num_qubits:
+            raise TranspilerError(
+                f"circuit needs {circuit.num_qubits} qubits but device "
+                f"{target.coupling.name!r} has {target.coupling.num_qubits}"
+            )
+        if initial_layout is not None:
+            validate_initial_layout(circuit, target.coupling, initial_layout)
+
+        self.stats.compile_calls += 1
+        circuit_key = _circuit_key(circuit)
+        layout_key = (
+            "<auto>" if initial_layout is None else initial_layout.logical_to_physical
+        )
+        # Only the auto noise-aware layout depends on the calibration; with
+        # an explicit layout (or none at all) the whole compilation is
+        # calibration-independent, so per-day recompiles share one result.
+        calibration_dependent = initial_layout is None and target.calibration is not None
+        result_key = (
+            circuit_key,
+            target.structural_digest,
+            target.calibration_key if calibration_dependent else "<structural>",
+            layout_key,
+            self._layout_candidate_cap(target.coupling),
+        )
+        cached = self._lru_get(self._results, result_key)
+        if cached is not None:
+            self.stats.result_hits += 1
+            self.stats.result_passes_avoided += 2 if calibration_dependent else 1
+            return cached
+
+        if initial_layout is not None:
+            self.stats.explicit_layouts += 1
+            layout = initial_layout
+        else:
+            layout = self._layout_pass(circuit, target, circuit_key)
+        routed = self._routing_pass(circuit, target, circuit_key, layout)
+        result = TranspiledCircuit(
+            logical=circuit,
+            routed=routed,
+            coupling=target.coupling,
+            # A calibration-independent compilation is stamped with the
+            # structural target so a cached result never carries a stale
+            # calibration snapshot when served on a later day.
+            target=target if calibration_dependent else target.with_calibration(None),
+        )
+        self._lru_put(self._results, result_key, result)
+        return result
+
+    def compile_batch(
+        self,
+        circuits: Union[QuantumCircuit, Sequence[QuantumCircuit]],
+        targets: Union[Target, Sequence[Target]],
+    ) -> list[TranspiledCircuit]:
+        """Compile many (circuit, target) pairs with deduplicated pass work.
+
+        Either argument may be a single item, which is broadcast against the
+        other — e.g. one model across a 30-day calibration history, or many
+        models onto one device.  Work dedup falls out of the per-pass
+        caches: repeated structures share routing, drifting snapshots inside
+        the layout decision boundary share layouts.
+        """
+        if isinstance(circuits, QuantumCircuit):
+            circuits = [circuits]
+        else:
+            circuits = list(circuits)
+        if isinstance(targets, Target):
+            targets = [targets]
+        else:
+            targets = list(targets)
+        if len(circuits) == 1 and len(targets) > 1:
+            circuits = circuits * len(targets)
+        if len(targets) == 1 and len(circuits) > 1:
+            targets = targets * len(circuits)
+        if len(circuits) != len(targets):
+            raise TranspilerError(
+                f"cannot pair {len(circuits)} circuits with {len(targets)} targets"
+            )
+        return [
+            self.compile(circuit, target)
+            for circuit, target in zip(circuits, targets)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Shared default pass manager
+# ---------------------------------------------------------------------------
+
+_default_pass_manager: Optional[PassManager] = None
+
+
+def default_pass_manager() -> PassManager:
+    """The process-wide pass manager shared by all default call sites."""
+    global _default_pass_manager
+    if _default_pass_manager is None:
+        _default_pass_manager = PassManager()
+    return _default_pass_manager
+
+
+def set_default_pass_manager(manager: Optional[PassManager]) -> None:
+    """Replace the process-wide pass manager (``None`` resets to a fresh one)."""
+    global _default_pass_manager
+    _default_pass_manager = manager

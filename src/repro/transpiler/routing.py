@@ -10,14 +10,22 @@ noise-aware compression algorithm needs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.circuits import QuantumCircuit
+import numpy as np
+
+from repro.circuits import QuantumCircuit, parameter_digest
 from repro.exceptions import TranspilerError
 from repro.gates import Gate
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout
+from repro.utils.lru import lru_get, lru_put
+
+#: Per-routing capacity of the basis-translation memo (distinct parameter
+#: bindings held at once; the online loops cycle through a handful).
+PHYSICAL_CACHE_SIZE = 128
 
 
 @dataclass
@@ -53,10 +61,33 @@ class RoutedCircuit:
     gate_physical_qubits: list[tuple[int, ...]]
     ref_physical_qubits: dict[int, tuple[int, ...]]
     num_swaps: int
+    _physical_cache: OrderedDict = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
 
     def measured_physical_qubits(self, logical_qubits: list[int]) -> list[int]:
         """Physical qubits to measure for the given logical readout qubits."""
         return [self.final_mapping[q] for q in logical_qubits]
+
+    def to_physical(self, parameters: Sequence[float] | np.ndarray) -> QuantumCircuit:
+        """Bind parameters and translate to the native basis, memoised.
+
+        The memo lives on the routed artifact — the object the pipeline
+        shares across incremental per-day recompilations — so the online
+        loops that re-evaluate the same few bindings across many days pay
+        for basis translation once per binding, not once per day.  Returned
+        circuits are shared: callers must treat them as read-only.
+        """
+        from repro.transpiler.basis import to_basis
+
+        parameters = np.asarray(parameters, dtype=float)
+        key = parameter_digest(self.circuit, parameters)
+        cached = lru_get(self._physical_cache, key)
+        if cached is not None:
+            return cached
+        physical = to_basis(self.circuit.bind_parameters(parameters))
+        lru_put(self._physical_cache, key, physical, PHYSICAL_CACHE_SIZE)
+        return physical
 
 
 def route_circuit(

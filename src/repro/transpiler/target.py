@@ -1,0 +1,167 @@
+"""The compilation target: device topology + native basis + calibration.
+
+A :class:`Target` bundles everything the compilation pipeline needs to know
+about the machine a circuit is being lowered onto:
+
+* the :class:`~repro.transpiler.coupling.CouplingMap` (which qubits can talk),
+* the native basis (the gate set physical circuits are expressed in),
+* optionally the day's :class:`~repro.calibration.snapshot.CalibrationSnapshot`
+  (which qubits/couplers are currently noisy).
+
+Each ingredient is *content-digested* so pass artifacts can be cached and
+shared: two targets with the same digests are interchangeable for
+compilation purposes, regardless of object identity.  The calibration digest
+is kept separate from the structural (coupling + basis) digest because only
+calibration-dependent passes — noise-aware layout, noise-cost metrics — need
+to re-run when the snapshot changes; layout/routing artifacts keyed on the
+structural digest survive a calibration refresh (see
+:mod:`repro.transpiler.pipeline`).
+
+The calibration object is duck-typed (anything exposing ``single_qubit_error``
+/ ``two_qubit_error`` / ``readout_error`` tables works) so this module never
+imports :mod:`repro.calibration` and the transpiler stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.transpiler.coupling import CouplingMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration.snapshot import CalibrationSnapshot
+
+#: The native basis of all IBM-style devices modelled in this repo.
+DEFAULT_BASIS: tuple[str, ...] = ("rz", "sx", "x", "cx")
+
+
+def coupling_digest(coupling: CouplingMap) -> str:
+    """Content digest of a coupling map's structure (qubit count + edges).
+
+    The device *name* is deliberately excluded: two devices with identical
+    connectivity produce identical layout/routing artifacts, so they should
+    share cache entries.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(f"n={coupling.num_qubits};".encode())
+    for a, b in sorted(coupling.edges):
+        hasher.update(f"{a}-{b};".encode())
+    return hasher.hexdigest()
+
+
+def calibration_digest(calibration: Optional["CalibrationSnapshot"]) -> str:
+    """Content digest of a calibration snapshot's error tables.
+
+    ``None`` (no calibration — trivial layout, no noise costs) digests to a
+    distinct constant.  The snapshot ``date`` is excluded: two days with
+    bit-identical error tables compile identically.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    if calibration is None:
+        hasher.update(b"<no-calibration>")
+        return hasher.hexdigest()
+    hasher.update(f"n={calibration.num_qubits};".encode())
+    for qubit, error in sorted(calibration.single_qubit_error.items()):
+        hasher.update(f"sq:{qubit}:{error!r};".encode())
+    for pair, error in sorted(calibration.two_qubit_error.items()):
+        hasher.update(f"cx:{pair}:{error!r};".encode())
+    for qubit, error in sorted(calibration.readout_error.items()):
+        hasher.update(f"ro:{qubit}:{error!r};".encode())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class Target:
+    """What the pipeline compiles *onto*: topology, basis, calibration.
+
+    Attributes
+    ----------
+    coupling:
+        The device connectivity graph.
+    basis:
+        Native gate names; physical circuits are expressed in this basis.
+    calibration:
+        Optional error-rate snapshot driving the noise-aware passes.  A
+        target without calibration compiles with the trivial layout.
+    """
+
+    coupling: CouplingMap
+    basis: tuple[str, ...] = DEFAULT_BASIS
+    calibration: Optional["CalibrationSnapshot"] = None
+    _digests: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        # Only the IBM-style default basis is lowered today
+        # (repro.transpiler.basis.to_basis is hard-wired to it); the field
+        # exists so future basis support changes cache keys correctly.
+        # Reject anything else rather than silently compiling to the wrong
+        # gate set.
+        if tuple(self.basis) != DEFAULT_BASIS:
+            from repro.exceptions import TranspilerError
+
+            raise TranspilerError(
+                f"unsupported native basis {self.basis!r}; only "
+                f"{DEFAULT_BASIS!r} is currently lowered"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits on the target device."""
+        return self.coupling.num_qubits
+
+    @property
+    def name(self) -> str:
+        """The underlying device name (for reports and logs)."""
+        return self.coupling.name
+
+    # ------------------------------------------------------------------
+    # Content digests (memoised per instance; all inputs are immutable
+    # by convention)
+    # ------------------------------------------------------------------
+    @property
+    def structural_digest(self) -> str:
+        """Digest of the calibration-independent part (coupling + basis)."""
+        cached = self._digests.get("structural")
+        if cached is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(coupling_digest(self.coupling).encode())
+            hasher.update("|".join(self.basis).encode())
+            cached = hasher.hexdigest()
+            self._digests["structural"] = cached
+        return cached
+
+    @property
+    def calibration_key(self) -> str:
+        """Digest of the calibration snapshot (stable for ``None``)."""
+        cached = self._digests.get("calibration")
+        if cached is None:
+            cached = calibration_digest(self.calibration)
+            self._digests["calibration"] = cached
+        return cached
+
+    @property
+    def digest(self) -> str:
+        """Full content digest: structural digest + calibration digest."""
+        cached = self._digests.get("full")
+        if cached is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(self.structural_digest.encode())
+            hasher.update(self.calibration_key.encode())
+            cached = hasher.hexdigest()
+            self._digests["full"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def with_calibration(self, calibration: Optional["CalibrationSnapshot"]) -> "Target":
+        """The same device under a different calibration snapshot.
+
+        This is the per-day recompilation entry point: the returned target
+        shares the coupling map (hence the structural digest and every
+        structure-keyed pass artifact) and differs only in the calibration
+        digest.
+        """
+        return replace(self, calibration=calibration)

@@ -201,6 +201,31 @@ def test_qucad_without_offline_bootstraps(trained_model, task, short_history, qu
     assert again.action == "reuse"
 
 
+def test_qucad_accepts_target_and_honours_its_calibration(task, short_history, qucad_config):
+    """A Target pins the compilation snapshot for an unbound model."""
+    from repro.transpiler import PassManager, Target, legacy_transpile
+
+    model = QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=6)
+    pinned = short_history[3]
+    manager = PassManager()
+    qucad = QuCAD(
+        model,
+        task,
+        Target(coupling=belem_coupling(), calibration=pinned),
+        config=qucad_config,
+        pass_manager=manager,
+    )
+    assert qucad.coupling.name == "ibmq_belem"
+    qucad.online(short_history[0])  # binds the model on first use
+    expected = legacy_transpile(model.ansatz, belem_coupling(), calibration=pinned)
+    assert (
+        model.transpiled.initial_layout.logical_to_physical
+        == expected.initial_layout.logical_to_physical
+    )
+    assert manager.stats.compile_calls >= 1
+    assert qucad.compile_stats()["compile_calls"] == manager.stats.compile_calls
+
+
 # ---------------------------------------------------------------------------
 # Baseline methods
 # ---------------------------------------------------------------------------

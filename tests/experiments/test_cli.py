@@ -47,3 +47,49 @@ def test_main_runs_fig3_with_records(tmp_path):
     assert code == 0
     payload = json.loads(out.read_text())
     assert payload["summary"]["breakpoint_gain"] > 0
+
+
+def test_list_devices_prints_library(capsys):
+    assert main(["--list-devices"]) == 0
+    printed = capsys.readouterr().out
+    for expected in ("belem", "jakarta", "ring_5", "grid_3x3", "heavy_hex_27"):
+        assert expected in printed
+
+
+def test_missing_experiment_name_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_fixed_device_experiments_reject_device_flag():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--scale", "test", "--device", "ring_5"])
+
+
+@pytest.mark.parametrize("device", ["ring_5", "grid_2x3", "line_7"])
+def test_longitudinal_runs_on_device_library_topologies(tmp_path, device):
+    """The longitudinal harness must run end-to-end on library devices."""
+    out = tmp_path / f"longitudinal_{device}.json"
+    code = main(
+        [
+            "longitudinal",
+            "--scale",
+            "test",
+            "--device",
+            device,
+            "--runner-mode",
+            "serial",
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["device"] == device
+    rows = payload["summary"]["rows"]
+    assert {row["method"] for row in rows} == {"baseline", "qucad"}
+    for row in rows:
+        assert 0.0 <= row["mean_accuracy"] <= 1.0
+    compiler = payload["compiler"]
+    assert compiler["compile_calls"] >= 1
+    assert 0.0 <= compiler["pass_cache_hit_rate"] <= 1.0

@@ -1,0 +1,55 @@
+"""Compilation digests join the evaluation cache key (PR 3)."""
+
+import numpy as np
+
+from repro.calibration import CalibrationSnapshot, generate_belem_history
+from repro.qnn import QNNModel
+from repro.runtime import model_digest
+from repro.transpiler import Layout, PassManager, belem_coupling
+
+
+def _model():
+    return QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=3)
+
+
+def test_model_digest_tracks_compilation_digest():
+    history = generate_belem_history(2, seed=6)
+    model = _model()
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    digest = model_digest(model)
+    assert digest == model_digest(model)  # stable
+    assert model.transpiled is not None
+
+
+def test_incremental_recompile_preserves_cache_keys():
+    """A boundary-reuse recompilation must keep yesterday's cache entries valid."""
+    history = generate_belem_history(1, seed=6)
+    base = history[0]
+    nudged = CalibrationSnapshot.from_vector(
+        base.to_vector() * (1.0 + 1e-9), base, date="nudged"
+    )
+    manager = PassManager()
+    model = _model()
+    model.bind_to_device(belem_coupling(), calibration=base, pass_manager=manager)
+    day0 = model_digest(model)
+    model.bind_to_device(belem_coupling(), calibration=nudged, pass_manager=manager)
+    assert manager.stats.layout_reuses == 1
+    assert model_digest(model) == day0  # same artifacts -> same key
+
+
+def test_different_layout_changes_model_digest():
+    history = generate_belem_history(1, seed=6)
+    model = _model()
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    noise_aware = model_digest(model)
+    model.bind_to_device(belem_coupling(), initial_layout=Layout((4, 3, 1, 0)))
+    assert model_digest(model) != noise_aware
+
+
+def test_parameters_still_dominate_digest():
+    history = generate_belem_history(1, seed=6)
+    model = _model()
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    assert model_digest(model) != model_digest(
+        model, parameters=np.zeros(model.num_parameters)
+    )

@@ -1,0 +1,176 @@
+"""Device library + routing/layout invariant property tests (seed-pinned)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import generate_device_history, synthetic_backend
+from repro.circuits import QuantumCircuit, build_qucad_ansatz
+from repro.exceptions import TranspilerError
+from repro.transpiler import (
+    DEVICE_LIBRARY,
+    PassManager,
+    PipelineConfig,
+    Target,
+    get_device_coupling,
+    grid_coupling,
+    heavy_hex_coupling,
+    list_devices,
+    ring_coupling,
+)
+
+#: The topologies the property suite sweeps; spans 5..27 qubits and every
+#: family.  The largest lattices compile with a capped layout enumeration.
+PROPERTY_DEVICES = [
+    "line_5",
+    "line_7",
+    "ring_5",
+    "ring_8",
+    "grid_2x3",
+    "grid_3x3",
+    "grid_4x5",
+    "heavy_hex_16",
+    "heavy_hex_27",
+]
+
+
+def test_library_names_resolve_and_sizes_span_5_to_27():
+    sizes = set()
+    for name in DEVICE_LIBRARY:
+        coupling = get_device_coupling(name)
+        assert coupling.num_qubits >= 5
+        assert coupling.num_qubits <= 27
+        sizes.add(coupling.num_qubits)
+    assert min(sizes) == 5
+    assert max(sizes) == 27
+
+
+def test_list_devices_includes_library_and_ibm_names():
+    names = list_devices()
+    assert "belem" in names and "jakarta" in names
+    assert "heavy_hex_27" in names and "ring_5" in names
+
+
+def test_unknown_device_raises():
+    with pytest.raises(TranspilerError):
+        get_device_coupling("ibm_atlantis")
+
+
+def test_ring_grid_heavy_hex_shapes():
+    assert len(ring_coupling(8).edges) == 8
+    grid = grid_coupling(3, 4)
+    assert grid.num_qubits == 12
+    assert len(grid.edges) == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+    assert heavy_hex_coupling(27).num_qubits == 27
+    with pytest.raises(TranspilerError):
+        heavy_hex_coupling(11)
+    with pytest.raises(TranspilerError):
+        ring_coupling(2)
+    with pytest.raises(TranspilerError):
+        grid_coupling(0, 3)
+
+
+def test_synthetic_backend_rates_in_realistic_ranges():
+    spec = synthetic_backend(get_device_coupling("grid_3x3"), seed=4)
+    assert set(spec.base_two_qubit_error) == set(get_device_coupling("grid_3x3").edges)
+    assert all(1e-4 <= e <= 1e-3 for e in spec.base_single_qubit_error.values())
+    assert all(1e-3 <= e <= 5e-2 for e in spec.base_two_qubit_error.values())
+    assert all(1e-2 <= e <= 1e-1 for e in spec.base_readout_error.values())
+    again = synthetic_backend(get_device_coupling("grid_3x3"), seed=4)
+    assert spec.base_two_qubit_error == again.base_two_qubit_error  # reproducible
+    other = synthetic_backend(get_device_coupling("grid_3x3"), seed=5)
+    assert spec.base_two_qubit_error != other.base_two_qubit_error
+
+
+def _random_entangling_circuit(num_qubits: int, rng: np.random.Generator) -> QuantumCircuit:
+    """A small random circuit with enough 2q structure to force routing."""
+    circuit = QuantumCircuit(num_qubits)
+    ref = 0
+    for _ in range(2 * num_qubits):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            circuit.ry(float(rng.uniform(0, np.pi)), int(rng.integers(num_qubits)),
+                       param_ref=ref, trainable=True)
+            ref += 1
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            if kind == 1:
+                circuit.cx(int(a), int(b))
+            else:
+                circuit.crz(float(rng.uniform(0, np.pi)), int(a), int(b),
+                            param_ref=ref, trainable=True)
+                ref += 1
+    return circuit
+
+
+@pytest.mark.parametrize("device_name", PROPERTY_DEVICES)
+def test_routing_and_layout_invariants(device_name):
+    """Pipeline output invariants hold on every library topology.
+
+    Checks, per compiled circuit: the initial layout is an injective map
+    into the device, the final mapping is a valid permutation of the layout's
+    image, measured physical qubits are distinct and in range, and every
+    routed two-qubit gate acts on a coupler edge.
+    """
+    coupling = get_device_coupling(device_name)
+    rng = np.random.default_rng(hash(device_name) % (2**32))
+    snapshot = generate_device_history(device_name, 1, seed=13)[0]
+    manager = PassManager(PipelineConfig(large_device_layout_candidates=120))
+
+    circuits = [
+        build_qucad_ansatz(4, repeats=1),
+        _random_entangling_circuit(4, rng),
+        _random_entangling_circuit(3, rng),
+    ]
+    for circuit in circuits:
+        transpiled = manager.compile(
+            circuit, Target(coupling=coupling, calibration=snapshot)
+        )
+        num_logical = circuit.num_qubits
+
+        layout = transpiled.initial_layout.logical_to_physical
+        assert len(layout) == num_logical
+        assert len(set(layout)) == num_logical
+        assert all(0 <= q < coupling.num_qubits for q in layout)
+
+        final = transpiled.final_mapping
+        assert sorted(final) == list(range(num_logical))
+        # SWAP chains may route through unused ancilla qubits, so the final
+        # image need not equal the initial one — but it must stay injective
+        # and on-device (a valid partial permutation of the physical qubits).
+        assert len(set(final.values())) == num_logical
+        assert all(0 <= q < coupling.num_qubits for q in final.values())
+
+        measured = transpiled.measured_physical_qubits(list(range(num_logical)))
+        assert len(set(measured)) == num_logical
+        assert all(0 <= q < coupling.num_qubits for q in measured)
+
+        for gate in transpiled.routed.circuit.gates:
+            if gate.num_qubits == 2:
+                assert coupling.is_adjacent(*gate.qubits), (
+                    f"{device_name}: routed gate {gate.name} on non-adjacent "
+                    f"{gate.qubits}"
+                )
+
+        assert set(transpiled.ref_physical_qubits) == set(range(circuit.num_parameters))
+
+
+@pytest.mark.parametrize("device_name", ["ring_6", "grid_2x4", "heavy_hex_16"])
+def test_trivial_layout_invariants_without_calibration(device_name):
+    coupling = get_device_coupling(device_name)
+    circuit = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    transpiled = manager.compile(circuit, Target(coupling=coupling))
+    assert transpiled.initial_layout.logical_to_physical == (0, 1, 2, 3)
+    for gate in transpiled.routed.circuit.gates:
+        if gate.num_qubits == 2:
+            assert coupling.is_adjacent(*gate.qubits)
+
+
+def test_device_history_generation_is_seed_pinned():
+    first = generate_device_history("ring_5", 4, seed=21)
+    second = generate_device_history("ring_5", 4, seed=21)
+    assert np.array_equal(first.to_matrix(), second.to_matrix())
+    different = generate_device_history("ring_5", 4, seed=22)
+    assert not np.array_equal(first.to_matrix(), different.to_matrix())
+    assert len(first) == 4
+    assert set(first[0].two_qubit_error) == set(get_device_coupling("ring_5").edges)

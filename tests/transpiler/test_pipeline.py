@@ -1,0 +1,420 @@
+"""Staged compilation pipeline: equivalence with the legacy path + caching."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import generate_belem_history, generate_device_history, generate_jakarta_history
+from repro.circuits import QuantumCircuit, build_qucad_ansatz
+from repro.exceptions import TranspilerError
+from repro.simulator import SimulationEngine
+from repro.transpiler import (
+    Layout,
+    PassManager,
+    PipelineConfig,
+    Target,
+    belem_coupling,
+    jakarta_coupling,
+    legacy_transpile,
+    to_basis,
+    transpile,
+    transpile_batch,
+)
+from repro.transpiler.pipeline import default_pass_manager, set_default_pass_manager
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_pass_manager():
+    """Isolate every test from the process-wide artifact pool."""
+    set_default_pass_manager(None)
+    yield
+    set_default_pass_manager(None)
+
+
+def _gate_tuples(circuit: QuantumCircuit):
+    return [(g.name, g.qubits, g.param, g.param_ref, g.trainable) for g in circuit.gates]
+
+
+def assert_equivalent(pipeline_result, legacy_result):
+    """The pipeline's output must be indistinguishable from legacy transpile()."""
+    assert (
+        pipeline_result.initial_layout.logical_to_physical
+        == legacy_result.initial_layout.logical_to_physical
+    )
+    assert pipeline_result.final_mapping == legacy_result.final_mapping
+    assert _gate_tuples(pipeline_result.routed.circuit) == _gate_tuples(
+        legacy_result.routed.circuit
+    )
+    assert pipeline_result.ref_physical_qubits == legacy_result.ref_physical_qubits
+
+
+# ---------------------------------------------------------------------------
+# Equivalence on every existing call-site shape
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_matches_legacy_noise_aware(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    assert_equivalent(
+        transpile(ansatz, belem_coupling(), calibration=calibration),
+        legacy_transpile(ansatz, belem_coupling(), calibration=calibration),
+    )
+
+
+def test_pipeline_matches_legacy_trivial_layout():
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    assert_equivalent(
+        transpile(ansatz, belem_coupling()),
+        legacy_transpile(ansatz, belem_coupling()),
+    )
+
+
+def test_pipeline_matches_legacy_explicit_layout(calibration):
+    ansatz = build_qucad_ansatz(3, repeats=1)
+    layout = Layout((4, 3, 1))
+    assert_equivalent(
+        transpile(ansatz, belem_coupling(), calibration=calibration, initial_layout=layout),
+        legacy_transpile(
+            ansatz, belem_coupling(), calibration=calibration, initial_layout=layout
+        ),
+    )
+
+
+def test_pipeline_matches_legacy_on_jakarta():
+    history = generate_jakarta_history(3, seed=5)
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    for snapshot in history:
+        assert_equivalent(
+            transpile(ansatz, jakarta_coupling(), calibration=snapshot),
+            legacy_transpile(ansatz, jakarta_coupling(), calibration=snapshot),
+        )
+
+
+def test_pipeline_matches_legacy_across_drifting_history():
+    """Incremental layout reuse must be invisible in the results.
+
+    A 15-day drifting history, one shared PassManager: every day's pipeline
+    output must equal a cold legacy transpilation for that day's snapshot,
+    whether or not the manager reused yesterday's layout.
+    """
+    history = generate_belem_history(15, seed=77)
+    ansatz = build_qucad_ansatz(4, repeats=2)
+    manager = PassManager()
+    coupling = belem_coupling()
+    for snapshot in history:
+        result = manager.compile(ansatz, Target(coupling=coupling, calibration=snapshot))
+        assert_equivalent(result, legacy_transpile(ansatz, coupling, calibration=snapshot))
+    stats = manager.stats
+    assert stats.compile_calls == len(history)
+    # On the default (aggressive) drift the provable boundary rarely holds,
+    # but fresh searches landing on the same winner must share routing work.
+    assert stats.routing_hits > 0
+
+
+def test_boundary_reuse_triggers_on_calm_drift():
+    """Slow drift stays inside the decision boundary → searches are skipped."""
+    from repro.calibration import FluctuationConfig
+
+    calm = FluctuationConfig(
+        drift_sigma=0.002, mean_reversion=0.5, regime_rate=0.0, spike_rate=0.0
+    )
+    history = generate_belem_history(10, seed=11, config=calm)
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    coupling = belem_coupling()
+    for snapshot in history:
+        result = manager.compile(ansatz, Target(coupling=coupling, calibration=snapshot))
+        assert_equivalent(result, legacy_transpile(ansatz, coupling, calibration=snapshot))
+    assert manager.stats.layout_reuses > 0
+    assert manager.stats.layout_runs < len(history)
+
+
+def test_incremental_reuse_matches_full_search_on_library_device():
+    """Same drift equivalence on a device-library topology (capped search)."""
+    history = generate_device_history("grid_3x3", 8, seed=3)
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    config = PipelineConfig(large_device_layout_candidates=200)
+    incremental = PassManager(config)
+    cold = PassManager(PipelineConfig(incremental=False, large_device_layout_candidates=200))
+    from repro.transpiler import get_device_coupling
+
+    coupling = get_device_coupling("grid_3x3")
+    for snapshot in history:
+        target = Target(coupling=coupling, calibration=snapshot)
+        warm_result = incremental.compile(ansatz, target)
+        cold.clear()  # force a fresh search every day
+        cold_result = cold.compile(ansatz, target)
+        assert_equivalent(warm_result, cold_result)
+
+
+# ---------------------------------------------------------------------------
+# Caching behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_result_cache_hit_on_identical_compile(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    target = Target(coupling=belem_coupling(), calibration=calibration)
+    first = manager.compile(ansatz, target)
+    second = manager.compile(ansatz, target)
+    assert first is second
+    assert manager.stats.result_hits == 1
+    assert manager.stats.layout_runs == 1
+
+
+def test_content_keys_share_artifacts_across_equal_objects(calibration):
+    """Independently built but identical circuits/targets share cache entries."""
+    manager = PassManager()
+    first = manager.compile(
+        build_qucad_ansatz(4, repeats=1),
+        Target(coupling=belem_coupling(), calibration=calibration),
+    )
+    second = manager.compile(
+        build_qucad_ansatz(4, repeats=1),
+        Target(coupling=belem_coupling(), calibration=calibration),
+    )
+    assert first is second
+    assert manager.stats.result_hits == 1
+
+
+def test_layout_reuse_within_boundary_skips_search_and_routing(calibration):
+    """A tiny calibration perturbation stays inside the decision boundary."""
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    coupling = belem_coupling()
+    manager.compile(ansatz, Target(coupling=coupling, calibration=calibration))
+    assert manager.stats.layout_runs == 1
+
+    vector = calibration.to_vector() * (1.0 + 1e-9)
+    from repro.calibration import CalibrationSnapshot
+
+    nudged = CalibrationSnapshot.from_vector(vector, calibration, date="nudged")
+    result = manager.compile(ansatz, Target(coupling=coupling, calibration=nudged))
+    assert manager.stats.layout_runs == 1  # no second search
+    assert manager.stats.layout_reuses == 1
+    assert manager.stats.routing_hits == 1
+    assert_equivalent(result, legacy_transpile(ansatz, coupling, calibration=nudged))
+
+
+def test_explicit_layout_result_reused_across_calibration_days():
+    """A pinned layout makes compilation calibration-independent."""
+    history = generate_belem_history(4, seed=13)
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    layout = Layout((4, 3, 1, 0))
+    results = [
+        manager.compile(
+            ansatz,
+            Target(coupling=belem_coupling(), calibration=snapshot),
+            initial_layout=layout,
+        )
+        for snapshot in history
+    ]
+    assert manager.stats.result_hits == len(history) - 1
+    assert all(result is results[0] for result in results)
+    # The cached result must not carry a stale day-specific snapshot.
+    assert results[0].target is not None
+    assert results[0].target.calibration is None
+
+
+def test_pass_cache_hit_rate_counts_only_avoidable_passes():
+    """A trivial-layout result hit avoids one pass (routing), not two."""
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    manager.compile(ansatz, Target(coupling=belem_coupling()))
+    manager.compile(ansatz, Target(coupling=belem_coupling()))
+    stats = manager.stats
+    assert stats.result_hits == 1
+    assert stats.routing_runs == 1
+    assert stats.pass_cache_hit_rate == pytest.approx(0.5)
+
+
+def test_incremental_disabled_always_searches(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager(PipelineConfig(incremental=False))
+    coupling = belem_coupling()
+    manager.compile(ansatz, Target(coupling=coupling, calibration=calibration))
+    vector = calibration.to_vector() * (1.0 + 1e-9)
+    from repro.calibration import CalibrationSnapshot
+
+    nudged = CalibrationSnapshot.from_vector(vector, calibration, date="nudged")
+    manager.compile(ansatz, Target(coupling=coupling, calibration=nudged))
+    assert manager.stats.layout_runs == 2
+    assert manager.stats.layout_reuses == 0
+
+
+def test_recompiled_identical_circuit_hits_engine_program_cache(calibration):
+    """A reused-layout recompilation lands on the engine's fused-program LRU.
+
+    The engine keys programs on content digests, so a structurally identical
+    routed circuit produced by a *different* compile call must not recompile.
+    """
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    coupling = belem_coupling()
+    day0 = manager.compile(ansatz, Target(coupling=coupling, calibration=calibration))
+
+    vector = calibration.to_vector() * (1.0 + 1e-9)
+    from repro.calibration import CalibrationSnapshot
+
+    nudged = CalibrationSnapshot.from_vector(vector, calibration, date="nudged")
+    day1 = manager.compile(ansatz, Target(coupling=coupling, calibration=nudged))
+
+    engine = SimulationEngine()
+    parameters = np.linspace(0.1, 1.0, ansatz.num_parameters)
+    engine.compile(day0.to_physical(parameters))
+    assert engine.stats.program_builds == 1
+    engine.compile(day1.to_physical(parameters))
+    assert engine.stats.program_builds == 1
+    assert engine.stats.program_hits == 1
+
+
+def test_compilation_digest_stable_across_equivalent_recompiles(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    coupling = belem_coupling()
+    day0 = manager.compile(ansatz, Target(coupling=coupling, calibration=calibration))
+    cold = legacy_transpile(ansatz, coupling, calibration=calibration)
+    assert day0.compilation_digest() == cold.compilation_digest()
+    trivial = legacy_transpile(ansatz, coupling)
+    if trivial.initial_layout.logical_to_physical != day0.initial_layout.logical_to_physical:
+        assert trivial.compilation_digest() != day0.compilation_digest()
+
+
+# ---------------------------------------------------------------------------
+# transpile_batch
+# ---------------------------------------------------------------------------
+
+
+def test_transpile_batch_broadcasts_one_circuit_over_days():
+    history = generate_belem_history(6, seed=9)
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    coupling = belem_coupling()
+    targets = [Target(coupling=coupling, calibration=s) for s in history]
+    manager = PassManager()
+    results = transpile_batch(ansatz, targets, pass_manager=manager)
+    assert len(results) == len(history)
+    for result, snapshot in zip(results, history):
+        assert_equivalent(result, legacy_transpile(ansatz, coupling, calibration=snapshot))
+    # Batch compilation must have deduplicated at least some pass work.
+    assert manager.stats.routing_hits + manager.stats.layout_reuses + manager.stats.result_hits > 0
+
+
+def test_transpile_batch_broadcasts_one_target_over_circuits(calibration):
+    circuits = [build_qucad_ansatz(4, repeats=r) for r in (1, 2)]
+    target = Target(coupling=belem_coupling(), calibration=calibration)
+    results = transpile_batch(circuits, target)
+    assert len(results) == 2
+    for circuit, result in zip(circuits, results):
+        assert_equivalent(
+            result, legacy_transpile(circuit, belem_coupling(), calibration=calibration)
+        )
+
+
+def test_transpile_batch_rejects_mismatched_lengths(calibration):
+    circuits = [build_qucad_ansatz(4, repeats=1)] * 3
+    targets = [Target(coupling=belem_coupling(), calibration=calibration)] * 2
+    with pytest.raises(TranspilerError):
+        transpile_batch(circuits, targets)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: initial-layout validation (regression)
+# ---------------------------------------------------------------------------
+
+
+def test_explicit_layout_wrong_size_raises_clearly():
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    with pytest.raises(TranspilerError, match="4"):
+        transpile(ansatz, belem_coupling(), initial_layout=Layout((0, 1, 2)))
+
+
+def test_explicit_layout_out_of_range_raises_clearly():
+    ansatz = build_qucad_ansatz(3, repeats=1)
+    with pytest.raises(TranspilerError, match="outside device"):
+        transpile(ansatz, belem_coupling(), initial_layout=Layout((0, 1, 7)))
+
+
+def test_legacy_transpile_validates_explicit_layout_too():
+    ansatz = build_qucad_ansatz(3, repeats=1)
+    with pytest.raises(TranspilerError, match="outside device"):
+        legacy_transpile(ansatz, belem_coupling(), initial_layout=Layout((0, 1, 9)))
+
+
+# ---------------------------------------------------------------------------
+# Satellite: to_physical memoisation
+# ---------------------------------------------------------------------------
+
+
+def test_to_physical_memoises_per_parameter_digest(calibration):
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    transpiled = transpile(ansatz, belem_coupling(), calibration=calibration)
+    parameters = np.linspace(0.2, 1.4, ansatz.num_parameters)
+    first = transpiled.to_physical(parameters)
+    second = transpiled.to_physical(parameters.copy())
+    assert first is second  # served from the memo
+
+    fresh = to_basis(transpiled.bind(parameters))
+    assert _gate_tuples(first) == _gate_tuples(fresh)  # bit-identical structure
+    for cached_gate, fresh_gate in zip(first.gates, fresh.gates):
+        if cached_gate.param is None:
+            assert fresh_gate.param is None
+        else:
+            assert cached_gate.param == fresh_gate.param  # exact, not approx
+
+    other = transpiled.to_physical(parameters + 0.5)
+    assert other is not first
+
+
+def test_to_physical_cache_is_bounded(calibration):
+    from repro.transpiler.routing import PHYSICAL_CACHE_SIZE
+
+    ansatz = build_qucad_ansatz(2, repeats=1)
+    transpiled = transpile(ansatz, belem_coupling(), calibration=calibration)
+    for index in range(PHYSICAL_CACHE_SIZE + 10):
+        transpiled.to_physical(np.full(ansatz.num_parameters, 1e-3 * index))
+    assert len(transpiled.routed._physical_cache) <= PHYSICAL_CACHE_SIZE
+
+
+def test_to_physical_memo_survives_incremental_recompile(calibration):
+    """The memo rides on the shared routed artifact across per-day rebinds."""
+    from repro.calibration import CalibrationSnapshot
+
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    manager = PassManager()
+    coupling = belem_coupling()
+    day0 = manager.compile(ansatz, Target(coupling=coupling, calibration=calibration))
+    parameters = np.linspace(0.1, 1.2, ansatz.num_parameters)
+    first = day0.to_physical(parameters)
+
+    nudged = CalibrationSnapshot.from_vector(
+        calibration.to_vector() * (1.0 + 1e-9), calibration, date="nudged"
+    )
+    day1 = manager.compile(ansatz, Target(coupling=coupling, calibration=nudged))
+    assert manager.stats.layout_reuses == 1
+    assert day1.routed is day0.routed  # shared artifact
+    assert day1.to_physical(parameters) is first  # memo hit, no retranslation
+
+
+# ---------------------------------------------------------------------------
+# compile() argument validation
+# ---------------------------------------------------------------------------
+
+
+def test_compile_requires_target_or_coupling():
+    manager = PassManager()
+    with pytest.raises(TranspilerError):
+        manager.compile(build_qucad_ansatz(2, repeats=1))
+
+
+def test_compile_rejects_target_plus_coupling(calibration):
+    manager = PassManager()
+    target = Target(coupling=belem_coupling(), calibration=calibration)
+    with pytest.raises(TranspilerError):
+        manager.compile(build_qucad_ansatz(2, repeats=1), target, coupling=belem_coupling())
+
+
+def test_compile_rejects_oversized_circuit():
+    manager = PassManager()
+    with pytest.raises(TranspilerError):
+        manager.compile(QuantumCircuit(6), Target(coupling=belem_coupling()))

@@ -1,0 +1,61 @@
+"""Target digests: content addressing for the pipeline's artifact caches."""
+
+from repro.calibration import CalibrationSnapshot
+from repro.transpiler import (
+    CouplingMap,
+    Target,
+    belem_coupling,
+    calibration_digest,
+    coupling_digest,
+    jakarta_coupling,
+)
+
+
+def _snapshot(scale: float = 1.0) -> CalibrationSnapshot:
+    return CalibrationSnapshot(
+        num_qubits=5,
+        single_qubit_error={q: 1e-4 * scale for q in range(5)},
+        two_qubit_error={(0, 1): 1e-2 * scale, (1, 2): 2e-2 * scale},
+        readout_error={q: 3e-2 * scale for q in range(5)},
+        date="2022-01-01",
+    )
+
+
+def test_coupling_digest_ignores_name_but_not_structure():
+    renamed = CouplingMap(num_qubits=5, edges=((0, 1), (1, 2), (1, 3), (3, 4)), name="other")
+    assert coupling_digest(belem_coupling()) == coupling_digest(renamed)
+    assert coupling_digest(belem_coupling()) != coupling_digest(jakarta_coupling())
+
+
+def test_calibration_digest_ignores_date_but_not_rates():
+    first = _snapshot()
+    relabeled = CalibrationSnapshot.from_vector(first.to_vector(), first, date="2023-09-09")
+    assert calibration_digest(first) == calibration_digest(relabeled)
+    assert calibration_digest(first) != calibration_digest(_snapshot(scale=1.5))
+    assert calibration_digest(None) != calibration_digest(first)
+
+
+def test_with_calibration_shares_structural_digest_only():
+    base = Target(coupling=belem_coupling(), calibration=_snapshot())
+    refreshed = base.with_calibration(_snapshot(scale=2.0))
+    assert base.structural_digest == refreshed.structural_digest
+    assert base.calibration_key != refreshed.calibration_key
+    assert base.digest != refreshed.digest
+    assert refreshed.coupling is base.coupling
+
+
+def test_target_rejects_unsupported_basis():
+    import pytest
+
+    from repro.exceptions import TranspilerError
+
+    with pytest.raises(TranspilerError, match="basis"):
+        Target(coupling=belem_coupling(), basis=("rz", "ry", "cx"))
+
+
+def test_target_digest_stable_across_instances():
+    first = Target(coupling=belem_coupling(), calibration=_snapshot())
+    second = Target(coupling=belem_coupling(), calibration=_snapshot())
+    assert first.digest == second.digest
+    assert first.num_qubits == 5
+    assert first.name == "ibmq_belem"
