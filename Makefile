@@ -22,10 +22,11 @@ bench:
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/ -q -s
 
-## machine-readable benchmarks: BENCH_runtime.json + BENCH_compiler.json
+## machine-readable benchmarks: BENCH_runtime.json + BENCH_compiler.json + BENCH_serving.json
 bench-json:
 	REPRO_BENCH_JSON=BENCH_runtime.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_batched_evaluation.py -q -s
 	REPRO_BENCH_JSON=BENCH_compiler.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_compile_cache.py -q -s
+	REPRO_BENCH_JSON=BENCH_serving.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_serving_throughput.py -q -s
 
 ## docs presence + public-API docstring audit
 docs-check:

@@ -1,0 +1,149 @@
+"""Benchmark: micro-batched serving vs. a per-request serving baseline (PR 4).
+
+The serving workload is the paper's online phase as seen by a server:
+individual single-sample predict requests arriving for one deployed model.
+The baseline answers each request with its own backend execution (batch of
+one — what a naive request handler does); the micro-batched path coalesces
+requests into windows of ``MAX_BATCH`` and serves each window with one
+batched backend call through the scheduler.  The acceptance bar is a >= 3x
+throughput gain with decisions preserved.
+
+Timing is interleaved (baseline, batched, baseline, batched, ...) and
+best-of-``ROUNDS`` so background load on a noisy host hits both candidates
+alike — the measured *ratio* is what matters.  Set
+``REPRO_BENCH_JSON=<path>`` (``make bench-json`` does) to persist the
+measurements as machine-readable JSON (``BENCH_serving.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.calibration import generate_belem_history
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel
+from repro.serving import BatchPolicy, MicroBatchScheduler, ModelRegistry
+from repro.simulator import DensityMatrixBackend, NoiseModel, SimulationEngine
+from repro.transpiler import belem_coupling
+
+NUM_REQUESTS = 32
+#: Serving window: 8 single-sample requests per flush sits well inside the
+#: engine's cache-friendly stacking regime and benchmarks faster than
+#: larger windows on this workload (see qnn.evaluation.CACHE_FRIENDLY_SAMPLES).
+MAX_BATCH = 8
+ROUNDS = 7  # best-of-N, interleaved, to shrug off scheduler noise
+
+
+def _best_of_each(*fns):
+    """Best-of-``ROUNDS`` timings with interleaved candidates."""
+    best = [float("inf")] * len(fns)
+    for _ in range(ROUNDS):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def _workload():
+    history = generate_belem_history(2, seed=12)
+    model = QNNModel.create(
+        num_qubits=4, num_features=16, num_classes=4, repeats=2, seed=9
+    )
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    noise_model = NoiseModel.from_calibration(history[0])
+    dataset = load_mnist4(num_samples=NUM_REQUESTS * 5, seed=5)
+    samples = dataset.test_features[:NUM_REQUESTS]
+    assert samples.shape[0] == NUM_REQUESTS, "test split smaller than benchmark size"
+    return model, noise_model, samples
+
+
+def _maybe_write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    existing = {}
+    if os.path.isfile(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    existing["created_at"] = time.time()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"  wrote {path}")
+
+
+def test_micro_batched_serving_throughput():
+    """Scheduler-coalesced serving >= 3x a per-request baseline."""
+    model, noise_model, samples = _workload()
+
+    baseline_backend = DensityMatrixBackend(engine=SimulationEngine())
+
+    def per_request_baseline():
+        # One backend execution per request: the un-batched server.
+        return np.concatenate(
+            [
+                model.forward_noisy_batch(
+                    samples[i : i + 1], [noise_model], backend=baseline_backend
+                )[0]
+                for i in range(samples.shape[0])
+            ]
+        )
+
+    registry = ModelRegistry()
+    registry.publish("qnn", model, noise_model=noise_model)
+    scheduler = MicroBatchScheduler(
+        registry,
+        policy=BatchPolicy(max_batch=MAX_BATCH, max_latency_ms=1e6),
+    )
+
+    def micro_batched():
+        # Un-threaded scheduler: submit everything, flush in MAX_BATCH
+        # windows — pure coalescing cost, no timer in the measurement.
+        futures = [scheduler.submit("qnn", sample) for sample in samples]
+        scheduler.flush_pending(force=True)
+        return np.stack([future.result(timeout=0).logits for future in futures])
+
+    baseline_logits = per_request_baseline()
+    served_logits = micro_batched()
+    # Evolutions are bit-identical per window; the final reduction order
+    # differs between batch-of-1 and batch-of-N, so allow float epsilon but
+    # require identical served decisions.
+    np.testing.assert_allclose(served_logits, baseline_logits, atol=1e-12)
+    assert np.array_equal(
+        np.argmax(served_logits, axis=-1), np.argmax(baseline_logits, axis=-1)
+    )
+
+    baseline_seconds, batched_seconds = _best_of_each(
+        per_request_baseline, micro_batched
+    )
+    speedup = baseline_seconds / batched_seconds
+    throughput = NUM_REQUESTS / batched_seconds
+    print(
+        f"\nMicro-batched serving — {NUM_REQUESTS} requests, max_batch={MAX_BATCH}\n"
+        f"  per-request baseline {baseline_seconds * 1000:8.1f} ms\n"
+        f"  micro-batched        {batched_seconds * 1000:8.1f} ms\n"
+        f"  speedup              {speedup:8.2f} x\n"
+        f"  served throughput    {throughput:8.0f} req/s"
+    )
+    _maybe_write_json(
+        {
+            "serving": {
+                "requests": NUM_REQUESTS,
+                "max_batch": MAX_BATCH,
+                "per_request_ms": baseline_seconds * 1000,
+                "micro_batched_ms": batched_seconds * 1000,
+                "speedup": speedup,
+                "throughput_rps": throughput,
+            }
+        }
+    )
+    # Wide margin for noisy hosts: the observed gain is far above the bar.
+    assert speedup >= 3.0, f"expected >= 3x speedup, measured {speedup:.2f}x"

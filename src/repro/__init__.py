@@ -20,7 +20,10 @@ Network" (DAC 2023) on a pure-NumPy quantum simulation substrate:
   caching, and JSONL run records;
 * :mod:`repro.experiments` — per-table and per-figure reproduction
   harnesses, all driving their day loops through the runtime
-  (``python -m repro.experiments <name>`` is the CLI entry point).
+  (``python -m repro.experiments <name>`` is the CLI entry point);
+* :mod:`repro.serving` — the online inference service: versioned model
+  deployments, micro-batched request serving, and calibration-drift
+  hot-swap adaptation (``python -m repro.experiments serve``).
 """
 
 from repro.version import __version__

@@ -41,3 +41,7 @@ class RepositoryError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset is requested with invalid parameters."""
+
+
+class ServingError(ReproError):
+    """Raised by the online inference service (registry, scheduler, watcher)."""

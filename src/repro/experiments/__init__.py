@@ -32,6 +32,7 @@ from repro.experiments.table1 import (
     Table1Result,
     run_table1,
 )
+from repro.experiments.serve import SERVE_MODEL_NAME, ServeResult, run_serve
 from repro.experiments.table2 import ClusterEvaluation, Table2Result, run_table2
 from repro.experiments.reporting import format_series, format_table, percent
 from repro.experiments.cli import EXPERIMENTS, SCALES, main as cli_main
@@ -75,6 +76,9 @@ __all__ = [
     "run_table2",
     "Table2Result",
     "ClusterEvaluation",
+    "run_serve",
+    "ServeResult",
+    "SERVE_MODEL_NAME",
     "format_table",
     "format_series",
     "percent",

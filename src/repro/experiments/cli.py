@@ -7,6 +7,7 @@ One front door for every reproduction harness::
     python -m repro.experiments fig7 --runner-mode process --workers 8 \
         --records runs.jsonl
     python -m repro.experiments longitudinal --device ring_5
+    python -m repro.experiments serve --requests 256 --max-batch 16
     python -m repro.experiments --list-devices
 
 The CLI wires the chosen :class:`~repro.experiments.config.ExperimentScale`
@@ -77,7 +78,7 @@ def _reject_device(name: str, device) -> None:
         )
 
 
-def _run_fig1(scale, runner, device=None):
+def _run_fig1(scale, runner, device=None, options=None):
     from repro.experiments.fig1 import run_fig1
 
     _reject_device("fig1", device)
@@ -85,14 +86,14 @@ def _run_fig1(scale, runner, device=None):
     return result, {"fluctuation_summary": result.fluctuation_summary()}
 
 
-def _run_fig2(scale, runner, device=None):
+def _run_fig2(scale, runner, device=None, options=None):
     from repro.experiments.fig2 import run_fig2
 
     result = run_fig2(scale, setup=_device_setup(scale, device), runner=runner)
     return result, result.summary()
 
 
-def _run_fig3(scale, runner, device=None):
+def _run_fig3(scale, runner, device=None, options=None):
     from repro.experiments.fig3 import run_fig3
 
     _reject_device("fig3", device)
@@ -100,7 +101,7 @@ def _run_fig3(scale, runner, device=None):
     return result, {"breakpoint_gain": result.breakpoint_gain()}
 
 
-def _run_fig4(scale, runner, device=None):
+def _run_fig4(scale, runner, device=None, options=None):
     from repro.experiments.fig4 import run_fig4
 
     result = run_fig4(scale, setup=_device_setup(scale, device), runner=runner)
@@ -110,7 +111,7 @@ def _run_fig4(scale, runner, device=None):
     }
 
 
-def _run_fig7(scale, runner, device=None):
+def _run_fig7(scale, runner, device=None, options=None):
     from repro.experiments.fig7 import run_fig7
 
     result = run_fig7(scale, setup=_device_setup(scale, device), runner=runner)
@@ -120,7 +121,7 @@ def _run_fig7(scale, runner, device=None):
     }
 
 
-def _run_fig8(scale, runner, device=None):
+def _run_fig8(scale, runner, device=None, options=None):
     from repro.experiments.fig8 import run_fig8
 
     _reject_device("fig8", device)
@@ -131,7 +132,7 @@ def _run_fig8(scale, runner, device=None):
     }
 
 
-def _run_fig9(scale, runner, device=None):
+def _run_fig9(scale, runner, device=None, options=None):
     from repro.experiments.fig9 import run_fig9
 
     result = run_fig9(scale, setup=_device_setup(scale, device), runner=runner)
@@ -141,7 +142,7 @@ def _run_fig9(scale, runner, device=None):
     }
 
 
-def _run_table1(scale, runner, device=None):
+def _run_table1(scale, runner, device=None, options=None):
     from repro.experiments.table1 import run_table1
 
     result = run_table1(
@@ -150,14 +151,14 @@ def _run_table1(scale, runner, device=None):
     return result, {"rows": result.rows(), "formatted": result.format()}
 
 
-def _run_table2(scale, runner, device=None):
+def _run_table2(scale, runner, device=None, options=None):
     from repro.experiments.table2 import run_table2
 
     result = run_table2(scale, setup=_device_setup(scale, device), runner=runner)
     return result, {"rows": result.rows(), "weighted_gain": result.weighted_gain}
 
 
-def _run_longitudinal(scale, runner, device=None):
+def _run_longitudinal(scale, runner, device=None, options=None):
     from repro.core.baselines import make_method
     from repro.experiments.context import prepare_experiment
     from repro.experiments.longitudinal import run_longitudinal
@@ -168,6 +169,20 @@ def _run_longitudinal(scale, runner, device=None):
     methods = [make_method("baseline"), make_method("qucad")]
     result = run_longitudinal(setup, methods, runner=runner)
     return result, {"rows": result.summary_rows()}
+
+
+def _run_serve(scale, runner, device=None, options=None):
+    from repro.experiments.serve import run_serve
+
+    result = run_serve(
+        scale,
+        device=device,
+        num_requests=getattr(options, "requests", 256),
+        max_batch=getattr(options, "max_batch", 16),
+        max_latency_ms=getattr(options, "max_latency_ms", 2.0),
+        observe_every=getattr(options, "observe_every", None),
+    )
+    return result, result.summary()
 
 
 #: Experiment registry: name → harness adapter returning (result, summary).
@@ -182,6 +197,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "longitudinal": _run_longitudinal,
+    "serve": _run_serve,
 }
 
 
@@ -238,6 +254,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", dest="json_path", default=None, help="write the summary as JSON here"
     )
+    serving = parser.add_argument_group("serving (serve experiment only)")
+    serving.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        help="number of load-generator requests (default: 256)",
+    )
+    serving.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="micro-batch size cap per flush (default: 16)",
+    )
+    serving.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=2.0,
+        help="max queueing latency before a partial flush (default: 2.0)",
+    )
+    serving.add_argument(
+        "--observe-every",
+        type=int,
+        default=None,
+        help="feed one drift snapshot to the watcher every N requests "
+        "(default: spread the online history across the stream)",
+    )
     return parser
 
 
@@ -254,6 +296,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     if args.name is None:
         parser.error("an experiment name is required (or pass --list-devices)")
+    # Mirror the _reject_device convention: an inapplicable knob is an
+    # error, never a silent no-op.  The serving flags only drive `serve`;
+    # the runner flags drive every harness *except* `serve` (the service
+    # owns its own dispatch thread and caches).
+    if args.name != "serve":
+        inapplicable = ("requests", "max_batch", "max_latency_ms", "observe_every")
+    else:
+        inapplicable = ("runner_mode", "workers", "chunk_days", "records", "cache")
+    for option in inapplicable:
+        if getattr(args, option) != parser.get_default(option):
+            applies = "'serve'" if args.name != "serve" else "the evaluation harnesses, not 'serve'"
+            parser.error(
+                f"--{option.replace('_', '-')} only applies to {applies}"
+            )
     scale = SCALES[args.scale]
     runner = ExperimentRunner(
         mode=args.runner_mode,
@@ -265,7 +321,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     from repro.transpiler import default_pass_manager
 
     started = time.perf_counter()
-    _, summary = EXPERIMENTS[args.name](scale, runner, args.device)
+    _, summary = EXPERIMENTS[args.name](scale, runner, args.device, options=args)
     elapsed = time.perf_counter() - started
     payload = {
         "experiment": args.name,
@@ -277,6 +333,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             "days_evaluated": runner.stats.days_evaluated,
             "cache_hits": runner.stats.cache_hits,
             "chunks": runner.stats.chunks,
+            "cache": None if runner.cache is None else runner.cache.stats(),
         },
         "compiler": default_pass_manager().stats.as_dict(),
         "summary": _jsonable(summary),

@@ -1,0 +1,88 @@
+"""The ``serve`` harness: an end-to-end online-serving run with drift.
+
+This is the serving counterpart of the figure/table harnesses: it prepares
+the standard experiment setup (trained base model bound to a device),
+deploys the model into an :class:`~repro.serving.InferenceService`, and
+drives it with a :class:`~repro.serving.LoadGenerator` while feeding the
+online calibration history to the service's watcher — micro-batching,
+hot-swap adaptation, and telemetry all exercised in one run.  The CLI
+(``python -m repro.experiments serve``) and the CI smoke test both call
+:func:`run_serve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import ExperimentSetup, prepare_experiment
+from repro.serving import BatchPolicy, InferenceService, LoadGenerator, LoadReport
+
+#: Default endpoint name used by the serve harness.
+SERVE_MODEL_NAME = "qnn"
+
+
+@dataclass
+class ServeResult:
+    """Everything a serve run produced."""
+
+    report: LoadReport
+    stats: dict
+    device: str
+
+    def summary(self) -> dict:
+        """JSON-ready summary for the CLI payload."""
+        return {
+            "device": self.device,
+            "load": self.report.as_dict(),
+            "serving": self.stats,
+        }
+
+
+def run_serve(
+    scale: Optional[ExperimentScale] = None,
+    setup: Optional[ExperimentSetup] = None,
+    device: Optional[str] = None,
+    num_requests: int = 256,
+    max_batch: int = 16,
+    max_latency_ms: float = 2.0,
+    observe_every: Optional[int] = None,
+    seed: int = 0,
+) -> ServeResult:
+    """Serve a trained model under injected calibration drift.
+
+    The model is deployed on the *last offline day*'s calibration; the
+    online history then drips into the watcher every ``observe_every``
+    requests (default: spread the whole online history evenly across the
+    request stream), hot-swapping the deployment whenever drift crosses
+    the adaptation boundary — while the load generator keeps requests in
+    flight.
+    """
+    scale = scale or ExperimentScale()
+    if setup is None:
+        setup = prepare_experiment(
+            "mnist4", scale=scale, device=device if device is not None else "belem"
+        )
+    drift = list(setup.online_history)
+    if observe_every is None and drift:
+        observe_every = max(1, num_requests // (len(drift) + 1))
+    service = InferenceService(
+        policy=BatchPolicy(max_batch=max_batch, max_latency_ms=max_latency_ms)
+    )
+    service.deploy(
+        SERVE_MODEL_NAME,
+        setup.base_model,
+        calibration=setup.offline_history[-1],
+    )
+    subset = setup.eval_subset()
+    generator = LoadGenerator(
+        service, subset.test_features, names=[SERVE_MODEL_NAME], seed=seed
+    )
+    with service:
+        report = generator.run(
+            num_requests,
+            drift_history=drift,
+            observe_every=observe_every,
+        )
+    return ServeResult(report=report, stats=service.stats(), device=setup.device)

@@ -170,6 +170,25 @@ class QNNModel:
             transpiled=transpiled,
         )
 
+    def with_binding(
+        self,
+        transpiled: TranspiledCircuit,
+        parameters: Optional[np.ndarray] = None,
+        name: Optional[str] = None,
+    ) -> "QNNModel":
+        """A copy of this model served under a different device binding.
+
+        This is the hot-swap constructor used by the serving layer: the
+        original model keeps serving in-flight work untouched while the
+        returned copy carries the freshly compiled ``transpiled`` artifact
+        (and optionally re-adapted ``parameters``).  The binding is attached
+        by assignment — compiled artifacts are immutable by contract, so the
+        copy may share them with the pipeline's caches.
+        """
+        swapped = self.copy(parameters=parameters, name=name)
+        swapped.transpiled = transpiled
+        return swapped
+
     def copy_with_parameters(self, parameters: np.ndarray, name: Optional[str] = None) -> "QNNModel":
         """A copy of this model with a different parameter vector.
 

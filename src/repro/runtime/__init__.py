@@ -12,6 +12,7 @@ as JSONL artifacts.  Every experiment harness under
 """
 
 from repro.runtime.cache import (
+    DEFAULT_CACHE_CAPACITY,
     EvaluationCache,
     array_digest,
     evaluation_key,
@@ -31,6 +32,7 @@ __all__ = [
     "RunnerStats",
     "RUNNER_MODES",
     "default_runner",
+    "DEFAULT_CACHE_CAPACITY",
     "EvaluationCache",
     "RunRecord",
     "RunRecordLog",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
@@ -22,6 +23,7 @@ import numpy as np
 from repro.circuits import circuit_structure_digest
 from repro.qnn.model import QNNModel
 from repro.simulator import NoiseModel
+from repro.utils.lru import lru_get, lru_put
 
 
 def array_digest(array: Optional[np.ndarray]) -> str:
@@ -96,6 +98,13 @@ def evaluation_key(
 PathLike = Union[str, Path]
 
 
+#: Default in-memory entry bound of an :class:`EvaluationCache`.  An entry
+#: is one small dict, so the bound is generous — its job is keeping a
+#: long-lived server process from growing without limit, not squeezing
+#: memory.
+DEFAULT_CACHE_CAPACITY: int = 4096
+
+
 class EvaluationCache:
     """Thread-safe (model, day, subset) → result cache with JSONL persistence.
 
@@ -105,13 +114,28 @@ class EvaluationCache:
     doubles as a machine-readable record of all distinct evaluations.  The
     runner never caches unseeded sampled evaluations (``shots`` set,
     ``seed`` ``None``) — those are fresh random draws by contract.
+
+    The in-memory side is bounded: at most ``capacity`` entries are held
+    under an LRU discipline (shared :mod:`repro.utils.lru` helpers), so a
+    long-lived process — the serving loop, a paper-scale sweep — cannot grow
+    without bound.  Eviction only drops the *memory* copy; the JSONL backing
+    file keeps every entry ever written (an evicted key re-misses and is
+    recomputed, never served stale).
     """
 
-    def __init__(self, path: Optional[PathLike] = None):
-        self._entries: dict[str, dict] = {}
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._entries: OrderedDict[str, dict] = OrderedDict()
         self._lock = threading.Lock()
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.is_file():
             with self.path.open("r", encoding="utf-8") as handle:
@@ -120,7 +144,13 @@ class EvaluationCache:
                     if not line:
                         continue
                     payload = json.loads(line)
-                    self._entries[payload["key"]] = payload["value"]
+                    # Replaying the append-only file in order leaves the
+                    # most recently written entries resident.  Load-time
+                    # trims are not runtime evictions, so the counter
+                    # starts at zero below.
+                    lru_put(
+                        self._entries, payload["key"], payload["value"], capacity
+                    )
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -130,7 +160,7 @@ class EvaluationCache:
     def get(self, key: str) -> Optional[dict]:
         """The cached value for ``key``, or ``None`` (counts hit/miss stats)."""
         with self._lock:
-            value = self._entries.get(key)
+            value = lru_get(self._entries, key)
             if value is None:
                 self.misses += 1
             else:
@@ -140,7 +170,20 @@ class EvaluationCache:
     def put(self, key: str, value: dict) -> None:
         """Store ``value`` under ``key`` (and append to the backing file)."""
         with self._lock:
-            self._entries[key] = value
+            self.evictions += lru_put(self._entries, key, value, self.capacity)
             if self.path is not None:
                 with self.path.open("a", encoding="utf-8") as handle:
                     handle.write(json.dumps({"key": key, "value": value}) + "\n")
+
+    def stats(self) -> dict:
+        """JSON-ready counters for the CLI stats block."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -159,8 +159,30 @@ class ExperimentRunner:
         """Order-preserving pool map (serial in ``serial`` mode)."""
         if self.mode == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
-        with self._executor() as pool:
-            return list(pool.map(fn, items))
+        return self._fan_out([(fn, item) for item in items])
+
+    def _fan_out(self, submissions: Sequence[tuple]) -> list:
+        """Submit ``(fn, *args)`` tuples to the pool; collect results in order.
+
+        Graceful shutdown contract: if collection is interrupted
+        (``KeyboardInterrupt``) or any task fails, every not-yet-started
+        task is cancelled, tasks already running are *drained* (the pool
+        shuts down with ``wait=True``), and the exception propagates — so a
+        Ctrl-C leaves no orphaned worker threads/processes behind and never
+        kills a chunk mid-write.
+        """
+        pool = self._executor()
+        futures = []
+        try:
+            futures = [pool.submit(fn, *args) for fn, *args in submissions]
+            results = [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return results
 
     # ------------------------------------------------------------------
     def evaluate_days(
@@ -254,29 +276,27 @@ class ExperimentRunner:
             if self._serial_backend is None:
                 self._serial_backend = DensityMatrixBackend(engine=SimulationEngine())
             outcomes = [run_chunk(chunk, self._serial_backend) for chunk in chunks]
+        elif self.mode == "process":
+            submissions = [
+                (
+                    _evaluate_chunk,
+                    model,
+                    features,
+                    labels,
+                    [noise_models[i] for i in chunk],
+                    [parameter_sets[i] for i in chunk],
+                    shots,
+                    [seeds[i] for i in chunk],
+                    self.max_batch_bytes,
+                )
+                for chunk in chunks
+            ]
+            results = self._fan_out(submissions)
+            outcomes = [
+                (chunk, *result) for chunk, result in zip(chunks, results)
+            ]
         else:
-            with self._executor() as pool:
-                if self.mode == "process":
-                    futures = [
-                        pool.submit(
-                            _evaluate_chunk,
-                            model,
-                            features,
-                            labels,
-                            [noise_models[i] for i in chunk],
-                            [parameter_sets[i] for i in chunk],
-                            shots,
-                            [seeds[i] for i in chunk],
-                            self.max_batch_bytes,
-                        )
-                        for chunk in chunks
-                    ]
-                    outcomes = [
-                        (chunk, *future.result())
-                        for chunk, future in zip(chunks, futures)
-                    ]
-                else:
-                    outcomes = list(pool.map(run_chunk, chunks))
+            outcomes = self._fan_out([(run_chunk, chunk) for chunk in chunks])
 
         for chunk, chunk_accuracies, duration in outcomes:
             self.stats.chunks += 1

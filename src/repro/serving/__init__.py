@@ -1,0 +1,41 @@
+"""Online inference serving: the production face of the reproduction.
+
+Where :mod:`repro.experiments` replays the paper as offline harnesses, this
+package *serves* it: deployed :class:`~repro.qnn.model.QNNModel` versions
+(:class:`ModelRegistry`), individual predict requests coalesced into
+batched backend executions (:class:`MicroBatchScheduler`), drift-triggered
+hot-swap adaptation (:class:`CalibrationWatcher`), and per-model telemetry
+(:class:`ServingTelemetry`) — composed by :class:`InferenceService` and
+driven end-to-end by :class:`LoadGenerator` /
+``python -m repro.experiments serve``.
+"""
+
+from repro.serving.registry import ModelRegistry, ModelVersion, deployment_key
+from repro.serving.scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    PredictionResult,
+    SchedulerStats,
+)
+from repro.serving.service import InferenceService
+from repro.serving.telemetry import LATENCY_WINDOW, ServingTelemetry
+from repro.serving.watcher import Adapter, CalibrationWatcher, SwapReport
+from repro.serving.loadgen import LoadGenerator, LoadReport
+
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "deployment_key",
+    "BatchPolicy",
+    "MicroBatchScheduler",
+    "PredictionResult",
+    "SchedulerStats",
+    "InferenceService",
+    "ServingTelemetry",
+    "LATENCY_WINDOW",
+    "CalibrationWatcher",
+    "SwapReport",
+    "Adapter",
+    "LoadGenerator",
+    "LoadReport",
+]

@@ -1,0 +1,140 @@
+"""Load generator: drives an :class:`InferenceService` with synthetic traffic.
+
+The generator emulates the steady-state online workload the paper's system
+targets — a stream of single-sample prediction requests against one or more
+deployed models, optionally with calibration drift injected mid-stream so
+hot-swaps happen *while* requests are queued.  It waits for every response,
+verifies none were lost, and reduces the run to a JSON-ready
+:class:`LoadReport` (throughput, latency percentiles, per-model counts,
+swap actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.service import InferenceService
+from repro.serving.watcher import SwapReport
+from repro.utils.rng import SeedLike, ensure_rng
+
+import time
+
+
+@dataclass
+class LoadReport:
+    """Summary of one load-generation run."""
+
+    requests: int
+    completed: int
+    duration_seconds: float
+    throughput_rps: float
+    latency_p50_ms: Optional[float]
+    latency_p99_ms: Optional[float]
+    per_model: dict[str, int]
+    versions_served: dict[str, list[int]]
+    swaps: list[dict] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the CLI summary."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "duration_seconds": self.duration_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "per_model": self.per_model,
+            "versions_served": self.versions_served,
+            "swaps": self.swaps,
+        }
+
+
+class LoadGenerator:
+    """Synthesises request streams against a running service."""
+
+    def __init__(
+        self,
+        service: InferenceService,
+        feature_pool: np.ndarray,
+        names: Sequence[str],
+        seed: SeedLike = 0,
+    ):
+        self.service = service
+        self.feature_pool = np.asarray(feature_pool, dtype=float)
+        if self.feature_pool.ndim != 2 or not len(self.feature_pool):
+            raise ServingError(
+                f"feature_pool must be a non-empty (samples, features) matrix, "
+                f"got shape {self.feature_pool.shape}"
+            )
+        self.names = list(names)
+        if not self.names:
+            raise ServingError("LoadGenerator needs at least one model name")
+        self.rng = ensure_rng(seed)
+
+    def run(
+        self,
+        num_requests: int,
+        drift_history=None,
+        observe_every: Optional[int] = None,
+    ) -> LoadReport:
+        """Send ``num_requests`` single-sample requests and await every reply.
+
+        Requests rotate round-robin over the deployed names with samples
+        drawn uniformly from the feature pool.  When ``drift_history`` and
+        ``observe_every`` are given, one snapshot is fed to each model's
+        calibration watcher every ``observe_every`` requests — drift lands
+        mid-stream, with requests in flight, exactly the hot-swap scenario
+        the scheduler must survive.
+        """
+        if num_requests < 1:
+            raise ServingError(f"num_requests must be >= 1, got {num_requests}")
+        drift = list(drift_history) if drift_history is not None else []
+        drift_cursor = 0
+        swaps: list[SwapReport] = []
+        started = time.perf_counter()
+        futures = []
+        for index in range(num_requests):
+            name = self.names[index % len(self.names)]
+            sample = self.feature_pool[int(self.rng.integers(len(self.feature_pool)))]
+            futures.append((name, self.service.predict_async(name, sample)))
+            if (
+                observe_every
+                and (index + 1) % observe_every == 0
+                and drift_cursor < len(drift)
+            ):
+                snapshot = drift[drift_cursor]
+                drift_cursor += 1
+                for swap_name in self.names:
+                    swaps.append(
+                        self.service.observe_calibration(swap_name, snapshot)
+                    )
+        results = [future.result(timeout=120.0) for _, future in futures]
+        duration = time.perf_counter() - started
+
+        latencies = np.array([r.latency_seconds for r in results])
+        per_model: dict[str, int] = {}
+        versions: dict[str, set[int]] = {}
+        for result in results:
+            per_model[result.model] = per_model.get(result.model, 0) + 1
+            versions.setdefault(result.model, set()).add(result.version)
+        return LoadReport(
+            requests=num_requests,
+            completed=len(results),
+            duration_seconds=duration,
+            throughput_rps=len(results) / duration if duration > 0 else 0.0,
+            latency_p50_ms=float(np.percentile(latencies, 50)) * 1e3
+            if latencies.size
+            else None,
+            latency_p99_ms=float(np.percentile(latencies, 99)) * 1e3
+            if latencies.size
+            else None,
+            per_model=per_model,
+            versions_served={
+                name: sorted(served) for name, served in versions.items()
+            },
+            swaps=[swap.as_dict() for swap in swaps],
+        )

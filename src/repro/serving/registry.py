@@ -1,0 +1,211 @@
+"""Versioned model deployments with atomic publish / rollback.
+
+The registry is the serving system's source of truth for *which* model
+answers requests under a given name.  Each :meth:`ModelRegistry.publish`
+freezes one immutable :class:`ModelVersion` — the model, the noise model
+emulating today's device, and the content digests that identify the
+deployment — and swaps the "current" pointer under a lock, so readers
+(the micro-batching scheduler resolves the current version once per flush)
+either see the old version or the new one, never a half-updated mixture.
+
+Versions are keyed by content: ``compilation_digest`` identifies the
+compiled artifacts (routed structure, layout, device) and ``model_key``
+additionally covers the parameter vector and the noise model.  Publishing a
+deployment whose ``model_key`` matches the current version is a no-op (the
+current version is returned unchanged), so a calibration watcher can publish
+unconditionally and still only bump versions when something observable
+changed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ServingError
+from repro.qnn.model import QNNModel
+from repro.runtime.cache import model_digest, noise_model_digest
+from repro.simulator import NoiseModel
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable deployment of a model under a registry name.
+
+    Attributes
+    ----------
+    name / version:
+        Registry name and monotonically increasing version number.
+    model:
+        The deployed :class:`~repro.qnn.model.QNNModel` (treated as
+        read-only by the serving layer; hot-swaps publish a copy).
+    noise_model:
+        The calibration-derived noise model requests are served under, or
+        ``None`` for ideal (noise-free) serving.
+    compilation_digest:
+        :meth:`~repro.transpiler.TranspiledCircuit.compilation_digest` of
+        the deployed binding (``None`` for unbound / ideal models).
+    model_key:
+        Full content identity: model digest (structure + parameters +
+        binding) joined with the noise-model digest.  Two versions with
+        equal keys serve bit-identical responses.
+    calibration_date:
+        The calibration day this version was adapted to, when known.
+    published_at:
+        Wall-clock publish timestamp (metadata only).
+    """
+
+    name: str
+    version: int
+    model: QNNModel
+    noise_model: Optional[NoiseModel]
+    compilation_digest: Optional[str]
+    model_key: str
+    calibration_date: Optional[str] = None
+    published_at: float = 0.0
+
+
+def deployment_key(model: QNNModel, noise_model: Optional[NoiseModel]) -> str:
+    """Content identity of a deployment: model digest + noise digest."""
+    return f"{model_digest(model)}/{noise_model_digest(noise_model)}"
+
+
+#: Default per-name bound on retained versions.  The watcher publishes on
+#: effectively every drift observation, so an unbounded history would leak
+#: one model copy per day in a long-lived server; 64 retained versions give
+#: two months of daily rollback depth.
+DEFAULT_MAX_HISTORY: int = 64
+
+
+class ModelRegistry:
+    """Thread-safe versioned registry of deployed models.
+
+    One registry serves many names (one per logical model endpoint); each
+    name carries a linear version history plus a current pointer.
+    :meth:`rollback` moves the pointer back without erasing recent history,
+    so a bad hot-swap can be undone atomically and then re-published later.
+
+    Retention is bounded: at most ``max_history`` versions are kept per
+    name (oldest non-current versions are pruned on publish — version
+    *numbers* stay monotonic, only the objects are released), so a
+    long-lived server with a daily drift stream does not accumulate model
+    copies without limit.
+    """
+
+    def __init__(self, max_history: int = DEFAULT_MAX_HISTORY) -> None:
+        if max_history < 2:
+            raise ServingError(
+                f"max_history must be >= 2 (current + one rollback target), "
+                f"got {max_history}"
+            )
+        self._lock = threading.Lock()
+        self._history: dict[str, list[ModelVersion]] = {}
+        self._current: dict[str, int] = {}
+        self._next_version: dict[str, int] = {}
+        self.max_history = max_history
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All registry names with at least one published version."""
+        with self._lock:
+            return sorted(self._history)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._history
+
+    def get(self, name: str) -> ModelVersion:
+        """The current version serving ``name`` (atomic read)."""
+        with self._lock:
+            history = self._history.get(name)
+            if not history:
+                raise ServingError(
+                    f"no model published under {name!r}; "
+                    f"known names: {sorted(self._history)}"
+                )
+            return history[self._current[name]]
+
+    def history(self, name: str) -> list[ModelVersion]:
+        """The retained versions of ``name`` (oldest first, bounded)."""
+        with self._lock:
+            if name not in self._history:
+                raise ServingError(f"no model published under {name!r}")
+            return list(self._history[name])
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        model: QNNModel,
+        noise_model: Optional[NoiseModel] = None,
+        calibration_date: Optional[str] = None,
+    ) -> ModelVersion:
+        """Atomically make ``model`` the current version for ``name``.
+
+        The new version becomes visible to readers in one pointer swap;
+        in-flight work that already resolved the previous version keeps its
+        (immutable) reference and completes unaffected.  Publishing a
+        deployment content-identical to the current version *for the same
+        calibration day* returns the current version without a bump.
+        """
+        if noise_model is not None and model.transpiled is None:
+            raise ServingError(
+                f"cannot publish {name!r}: serving under a noise model requires "
+                "a device-bound model (call bind_to_device first)"
+            )
+        key = deployment_key(model, noise_model)
+        with self._lock:
+            history = self._history.setdefault(name, [])
+            if history:
+                current = history[self._current[name]]
+                if (
+                    current.model_key == key
+                    and current.calibration_date == calibration_date
+                ):
+                    return current
+            version = ModelVersion(
+                name=name,
+                version=self._next_version.get(name, 1),
+                model=model,
+                noise_model=noise_model,
+                compilation_digest=(
+                    model.transpiled.compilation_digest()
+                    if model.transpiled is not None
+                    else None
+                ),
+                model_key=key,
+                calibration_date=calibration_date,
+                published_at=time.time(),
+            )
+            self._next_version[name] = version.version + 1
+            history.append(version)
+            self._current[name] = len(history) - 1
+            # Bound retention: drop the oldest non-current versions.  The
+            # pruned objects stay valid for any in-flight batch that
+            # already resolved them; only the registry's references go.
+            while len(history) > self.max_history:
+                drop = 0 if self._current[name] != 0 else 1
+                del history[drop]
+                if drop < self._current[name]:
+                    self._current[name] -= 1
+            return version
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Atomically restore the previous retained version of ``name``.
+
+        Recent history is preserved — a subsequent :meth:`publish` appends
+        after it with a fresh, still-monotonic version number.
+        """
+        with self._lock:
+            history = self._history.get(name)
+            if not history:
+                raise ServingError(f"no model published under {name!r}")
+            index = self._current[name]
+            if index == 0:
+                raise ServingError(
+                    f"{name!r} has no earlier retained version to roll back to"
+                )
+            self._current[name] = index - 1
+            return history[index - 1]

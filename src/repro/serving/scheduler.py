@@ -1,0 +1,401 @@
+"""Micro-batching scheduler: coalesces predict() calls into batched executes.
+
+Individual ``predict(sample)`` requests are queued and coalesced into
+per-model micro-batches under a max-batch / max-latency policy; each flush
+stacks the waiting samples and runs **one**
+:meth:`~repro.simulator.Backend.execute_batch` call (via
+``forward_noisy_batch`` / ``forward_ideal_batch``), so all requests in a
+window share the model's compiled program and the vectorised multi-sample
+walk.  Served rows are bit-identical to calling the same ``forward_*_batch``
+directly on the stacked window — the scheduler only routes rows, it never
+re-derives numbers.
+
+Concurrency model: callers enqueue from any thread; a single dispatch
+thread owns the backends (the simulation engine is not thread-safe) and
+performs every flush, resolving the registry's *current*
+:class:`~repro.serving.registry.ModelVersion` once per flush.  That flush
+boundary is the hot-swap protocol: a publish lands between flushes, so
+in-flight batches complete under the version they resolved and queued
+requests pick up the new version — no request is dropped or served a
+half-swapped model.
+
+The scheduler also runs un-threaded: tests and benchmarks call
+:meth:`MicroBatchScheduler.flush_pending` directly for deterministic
+control over coalescing boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.telemetry import ServingTelemetry
+from repro.simulator import (
+    DensityMatrixBackend,
+    SimulationEngine,
+    StatevectorBackend,
+)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing policy of the scheduler.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush a model's queue as soon as this many requests are waiting.
+    max_latency_ms:
+        Flush a model's queue once its oldest request has waited this long,
+        even if the batch is not full — bounds worst-case queueing latency.
+    """
+
+    max_batch: int = 32
+    max_latency_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_latency_ms < 0:
+            raise ServingError(
+                f"max_latency_ms must be >= 0, got {self.max_latency_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """One served prediction plus its serving metadata."""
+
+    logits: np.ndarray
+    prediction: int
+    model: str
+    version: int
+    batch_id: int
+    batch_size: int
+    latency_seconds: float
+    sequence: int
+
+
+@dataclass
+class _Request:
+    """Internal queue entry for one pending prediction."""
+
+    name: str
+    features: np.ndarray
+    future: Future
+    sequence: int
+    enqueued_at: float
+
+
+class _Stop:
+    """Sentinel asking the dispatch loop to exit."""
+
+    def __init__(self, drain: bool):
+        self.drain = drain
+
+
+@dataclass
+class SchedulerStats:
+    """Cumulative counters of one scheduler instance."""
+
+    submitted: int = 0
+    flushes: int = 0
+    full_flushes: int = 0
+    deadline_flushes: int = 0
+    drain_flushes: int = 0
+    cancelled: int = 0
+
+
+class MicroBatchScheduler:
+    """Coalesces per-sample requests into batched backend executions."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        policy: Optional[BatchPolicy] = None,
+        telemetry: Optional[ServingTelemetry] = None,
+        engine: Optional[SimulationEngine] = None,
+    ):
+        self.registry = registry
+        self.policy = policy or BatchPolicy()
+        self.telemetry = telemetry
+        self.stats = SchedulerStats()
+        # The dispatch thread owns these backends; one engine is shared so
+        # noisy and ideal deployments of the same ansatz share fusion plans.
+        engine = engine or SimulationEngine()
+        self._density_backend = DensityMatrixBackend(engine=engine)
+        self._statevector_backend = StatevectorBackend(engine=engine)
+        self.engine = engine
+        self._queue: queue.Queue = queue.Queue()
+        self._pending: dict[str, list[_Request]] = {}
+        self._sequence = itertools.count()
+        self._batch_ids = itertools.count()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # Serialises the closed-check-then-enqueue in submit() against
+        # stop() flipping the flag, so no request can slip into the queue
+        # after the drain/cancel sweep has run.
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, name: str, sample: np.ndarray) -> Future:
+        """Enqueue one prediction request; resolves to a :class:`PredictionResult`.
+
+        ``sample`` is a single feature vector.  The model name is validated
+        eagerly so an unknown endpoint fails at the call site, not inside
+        the dispatch thread.
+        """
+        self.registry.get(name)  # fail fast on unknown names
+        features = np.asarray(sample, dtype=float)
+        if features.ndim != 1:
+            raise ServingError(
+                f"submit expects one feature vector, got shape {features.shape}"
+            )
+        request = _Request(
+            name=name,
+            features=features,
+            future=Future(),
+            sequence=next(self._sequence),
+            enqueued_at=time.monotonic(),
+        )
+        with self._close_lock:
+            if self._closed:
+                raise ServingError("scheduler is stopped; no new requests accepted")
+            self.stats.submitted += 1
+            self._queue.put(request)
+        if self.telemetry is not None:
+            self.telemetry.record_submit(name)
+        return request.future
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """Whether the background dispatch thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MicroBatchScheduler":
+        """Start the background dispatch thread (idempotent).
+
+        A stopped scheduler cannot be restarted — its queue may hold a
+        shutdown sentinel and submit() permanently refuses requests, so a
+        "restarted" instance would look alive while serving nothing.
+        """
+        if self._closed:
+            raise ServingError(
+                "scheduler was stopped and cannot restart; create a new one"
+            )
+        if not self.is_running:
+            self._thread = threading.Thread(
+                target=self._loop, name="serving-dispatch", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the dispatch loop down.
+
+        ``drain=True`` (graceful) serves everything already queued before
+        exiting; ``drain=False`` cancels queued requests (their futures
+        receive ``CancelledError``) while still letting an in-flight flush
+        complete — the KeyboardInterrupt path of the serve loop.
+        """
+        with self._close_lock:
+            # Once the flag is set under the lock, no submit() can enqueue
+            # past the sentinel: every accepted request is drained/cancelled.
+            self._closed = True
+        if self._thread is not None and self._thread.is_alive():
+            self._queue.put(_Stop(drain))
+            self._thread.join()
+            self._thread = None
+            return
+        # Un-threaded use: apply the same semantics synchronously.
+        self._ingest()
+        if drain:
+            self.flush_pending(force=True)
+        else:
+            self._cancel_pending()
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Dispatch internals (single-threaded)
+    # ------------------------------------------------------------------
+    def _ingest(self) -> None:
+        """Move every queued request into the per-model pending lists."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, _Stop):
+                # Re-queue so the loop's blocking get still sees it.
+                self._queue.put(item)
+                return
+            self._pending.setdefault(item.name, []).append(item)
+
+    def _oldest_deadline(self) -> Optional[float]:
+        """Monotonic deadline of the oldest pending request, if any."""
+        heads = [
+            group[0].enqueued_at for group in self._pending.values() if group
+        ]
+        if not heads:
+            return None
+        return min(heads) + self.policy.max_latency_ms / 1e3
+
+    def _ready_groups(self, now: float, force: bool) -> list[str]:
+        """Model names due for a flush, oldest head request first (fairness)."""
+        ready = []
+        for name, group in self._pending.items():
+            if not group:
+                continue
+            full = len(group) >= self.policy.max_batch
+            expired = now - group[0].enqueued_at >= self.policy.max_latency_ms / 1e3
+            if force or full or expired:
+                ready.append(name)
+        return sorted(ready, key=lambda name: self._pending[name][0].sequence)
+
+    def flush_pending(self, force: bool = False) -> int:
+        """Flush every due micro-batch; returns the number of batches run.
+
+        With ``force=True`` everything pending is flushed regardless of the
+        policy.  Un-threaded callers (tests, benchmarks) use this for
+        deterministic control of coalescing boundaries; the dispatch thread
+        calls it with ``force=False`` on every wake-up.
+        """
+        self._ingest()
+        flushed = 0
+        while True:
+            now = time.monotonic()
+            ready = self._ready_groups(now, force)
+            if not ready:
+                return flushed
+            for name in ready:
+                self._flush_one(name, force=force)
+                flushed += 1
+
+    def _flush_one(self, name: str, force: bool = False) -> None:
+        """Serve up to ``max_batch`` oldest requests of one model."""
+        group = self._pending.get(name)
+        if not group:
+            return
+        batch = group[: self.policy.max_batch]
+        del group[: len(batch)]
+        if not group:
+            del self._pending[name]
+        if len(batch) >= self.policy.max_batch:
+            self.stats.full_flushes += 1
+        elif force:
+            self.stats.drain_flushes += 1
+        else:
+            self.stats.deadline_flushes += 1
+        self.stats.flushes += 1
+        batch_id = next(self._batch_ids)
+
+        # Hot-swap boundary: the current version is resolved exactly once
+        # per flush, so every row of a batch is served by one immutable
+        # ModelVersion even if a publish lands mid-execution.
+        version = self.registry.get(name)
+        try:
+            logits = self._execute(version, np.stack([r.features for r in batch]))
+        except Exception as error:  # pragma: no cover - defensive fan-out
+            for request in batch:
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+            if self.telemetry is not None:
+                self.telemetry.record_batch(
+                    name, version.version, len(batch), [], failed=True
+                )
+            return
+        now = time.monotonic()
+        latencies = []
+        for row, request in enumerate(batch):
+            latency = now - request.enqueued_at
+            latencies.append(latency)
+            result = PredictionResult(
+                logits=logits[row],
+                prediction=int(np.argmax(logits[row])),
+                model=name,
+                version=version.version,
+                batch_id=batch_id,
+                batch_size=len(batch),
+                latency_seconds=latency,
+                sequence=request.sequence,
+            )
+            if not request.future.cancelled():
+                request.future.set_result(result)
+        if self.telemetry is not None:
+            self.telemetry.record_batch(name, version.version, len(batch), latencies)
+
+    def _execute(self, version: ModelVersion, features: np.ndarray) -> np.ndarray:
+        """One batched backend execution for a stacked request window.
+
+        Exactly the computation of ``forward_noisy_batch(features,
+        [noise_model])[0]`` (or the ideal equivalent), so a served window is
+        bit-identical to the direct batched call.
+        """
+        model = version.model
+        if version.noise_model is not None:
+            stack = model.forward_noisy_batch(
+                features,
+                [version.noise_model],
+                backend=self._density_backend,
+            )
+        else:
+            stack = model.forward_ideal_batch(
+                features, [None], backend=self._statevector_backend
+            )
+        return stack[0]
+
+    def _cancel_pending(self) -> None:
+        """Cancel every pending request (non-draining shutdown)."""
+        for name, group in list(self._pending.items()):
+            for request in group:
+                if request.future.cancel():
+                    self.stats.cancelled += 1
+                    if self.telemetry is not None:
+                        self.telemetry.record_cancelled(name)
+        self._pending.clear()
+
+    def _loop(self) -> None:
+        """Dispatch-thread body: wait, ingest, flush due batches."""
+        while True:
+            deadline = self._oldest_deadline()
+            timeout = None
+            if deadline is not None:
+                timeout = max(deadline - time.monotonic(), 0.0)
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            if isinstance(item, _Stop):
+                self._ingest()
+                # Drop the re-queued sentinel if _ingest saw it first.
+                while not self._queue.empty():
+                    extra = self._queue.get_nowait()
+                    if not isinstance(extra, _Stop):
+                        self._pending.setdefault(extra.name, []).append(extra)
+                if item.drain:
+                    self.flush_pending(force=True)
+                else:
+                    self._cancel_pending()
+                return
+            if item is not None:
+                self._pending.setdefault(item.name, []).append(item)
+            self.flush_pending(force=False)

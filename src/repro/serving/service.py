@@ -1,0 +1,225 @@
+"""The online inference service: registry + scheduler + watchers + telemetry.
+
+:class:`InferenceService` is the front door that composes the serving
+subsystem into one object with a small API:
+
+* :meth:`deploy` publishes a model under a name (binding it to a device
+  when a calibration snapshot is supplied);
+* :meth:`predict` / :meth:`predict_async` / :meth:`predict_many` serve
+  individual samples through the micro-batching scheduler;
+* :meth:`observe_calibration` feeds drift snapshots to the per-model
+  :class:`~repro.serving.watcher.CalibrationWatcher`, hot-swapping the
+  deployment when the drift crosses the adaptation boundary;
+* :meth:`stats` snapshots telemetry plus every cache layer the request
+  path rides on (engine program cache, compilation pipeline artifacts).
+
+The service is a context manager: entering starts the dispatch thread,
+a clean exit drains queued work, and an exceptional exit (including
+``KeyboardInterrupt``) cancels queued requests while letting in-flight
+batches complete — no worker is orphaned and no future is left unresolved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    PredictionResult,
+)
+from repro.serving.telemetry import ServingTelemetry
+from repro.serving.watcher import Adapter, CalibrationWatcher, SwapReport
+from repro.simulator import NoiseModel
+from repro.transpiler import Target
+from repro.transpiler.pipeline import PassManager, default_pass_manager
+
+
+class InferenceService:
+    """Calibration-aware model serving with micro-batching and hot-swap."""
+
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        registry: Optional[ModelRegistry] = None,
+        pass_manager: Optional[PassManager] = None,
+        telemetry: Optional[ServingTelemetry] = None,
+    ):
+        self.registry = registry or ModelRegistry()
+        self.telemetry = telemetry or ServingTelemetry()
+        self.pass_manager = pass_manager or default_pass_manager()
+        self.scheduler = MicroBatchScheduler(
+            self.registry, policy=policy, telemetry=self.telemetry
+        )
+        self._watchers: dict[str, CalibrationWatcher] = {}
+        self._adapters: dict[str, Optional[Adapter]] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        name: str,
+        model,
+        calibration=None,
+        noise_model: Optional[NoiseModel] = None,
+        adapter: Optional[Adapter] = None,
+    ) -> ModelVersion:
+        """Publish ``model`` as the current deployment of ``name``.
+
+        With a ``calibration`` snapshot the model is (re)bound to its device
+        through the staged pipeline and served under the derived noise
+        model; with an explicit ``noise_model`` the existing binding is kept;
+        with neither the model serves the ideal (noise-free) path.
+        ``adapter`` (optional) maps future drift snapshots to re-adapted
+        parameter vectors for the calibration watcher.
+        """
+        if calibration is not None:
+            if noise_model is not None:
+                raise ServingError(
+                    "pass calibration or noise_model, not both; the calibration "
+                    "path derives its own noise model"
+                )
+            if model.transpiled is None:
+                raise ServingError(
+                    f"cannot deploy {name!r} with a calibration snapshot: the "
+                    "model has no device binding to recompile"
+                )
+            if model.transpiled.target is not None:
+                target = model.transpiled.target.with_calibration(calibration)
+            else:
+                target = Target(
+                    coupling=model.transpiled.coupling, calibration=calibration
+                )
+            transpiled = self.pass_manager.compile(model.ansatz, target)
+            model = model.with_binding(transpiled)
+            noise_model = NoiseModel.from_calibration(calibration)
+        version = self.registry.publish(
+            name,
+            model,
+            noise_model=noise_model,
+            calibration_date=getattr(calibration, "date", None),
+        )
+        self._adapters[name] = adapter
+        self._watchers.pop(name, None)  # rebuild lazily against the new deploy
+        return version
+
+    def _watcher(self, name: str) -> CalibrationWatcher:
+        watcher = self._watchers.get(name)
+        if watcher is None:
+            watcher = CalibrationWatcher(
+                self.registry,
+                name,
+                pass_manager=self.pass_manager,
+                adapter=self._adapters.get(name),
+                telemetry=self.telemetry,
+            )
+            self._watchers[name] = watcher
+        return watcher
+
+    def observe_calibration(self, name: str, snapshot) -> SwapReport:
+        """Feed one drift snapshot to ``name``'s watcher (may hot-swap)."""
+        return self._watcher(name).observe(snapshot)
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Atomically restore ``name``'s previous version."""
+        return self.registry.rollback(name)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict_async(self, name: str, sample: np.ndarray):
+        """Submit one sample; returns a future of :class:`PredictionResult`.
+
+        Fails fast when the dispatch thread is not running — otherwise the
+        request would sit unserved until the caller's timeout expires.
+        """
+        if not self.scheduler.is_running:
+            raise ServingError(
+                "service is not started; use 'with service:' or service.start()"
+            )
+        return self.scheduler.submit(name, sample)
+
+    def predict(
+        self, name: str, sample: np.ndarray, timeout: Optional[float] = 60.0
+    ) -> PredictionResult:
+        """Serve one sample synchronously (micro-batched under the hood)."""
+        return self.predict_async(name, sample).result(timeout=timeout)
+
+    def predict_many(
+        self,
+        name: str,
+        samples: Sequence[np.ndarray],
+        timeout: Optional[float] = 60.0,
+    ) -> list[PredictionResult]:
+        """Serve a burst of samples; each is an independent request."""
+        futures = [self.predict_async(name, sample) for sample in samples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        """Start the dispatch thread (idempotent)."""
+        self.scheduler.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; drain queued work (default) or cancel it."""
+        self.scheduler.stop(drain=drain)
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready snapshot: telemetry, scheduler, and cache layers."""
+        engine = self.scheduler.engine
+        return {
+            "telemetry": self.telemetry.as_dict(),
+            "scheduler": {
+                "submitted": self.scheduler.stats.submitted,
+                "flushes": self.scheduler.stats.flushes,
+                "full_flushes": self.scheduler.stats.full_flushes,
+                "deadline_flushes": self.scheduler.stats.deadline_flushes,
+                "drain_flushes": self.scheduler.stats.drain_flushes,
+                "cancelled": self.scheduler.stats.cancelled,
+            },
+            # The ideal path rides the fused-program cache; the noisy walk
+            # rides the bound-circuit cache.  Both are the "shared compiled
+            # program" a model+calibration window reuses across flushes.
+            "engine_cache": {
+                "program_hits": engine.stats.program_hits,
+                "program_builds": engine.stats.program_builds,
+                "program_hit_rate": engine.stats.program_hit_rate,
+                "bound_hits": engine.stats.bound_hits,
+                "bound_builds": engine.stats.bound_builds,
+                "bound_hit_rate": (
+                    engine.stats.bound_hits
+                    / (engine.stats.bound_hits + engine.stats.bound_builds)
+                    if (engine.stats.bound_hits + engine.stats.bound_builds)
+                    else 0.0
+                ),
+            },
+            "compiler": self.pass_manager.stats.as_dict(),
+            "deployments": {
+                name: {
+                    "current_version": self.registry.get(name).version,
+                    # Version numbers are monotonic, so the newest retained
+                    # number counts every publish even after pruning.
+                    "versions_published": self.registry.history(name)[-1].version,
+                    "versions_retained": len(self.registry.history(name)),
+                    "compilation_digest": self.registry.get(name).compilation_digest,
+                }
+                for name in self.registry.names()
+            },
+        }

@@ -1,0 +1,154 @@
+"""Serving telemetry: QPS, batch-size histogram, latency percentiles, swaps.
+
+One :class:`ServingTelemetry` instance is shared by the scheduler (which
+records every flushed batch), the calibration watcher (which records swap
+actions), and the service front door (which records submissions and
+cancellations).  All counters are guarded by one lock — recording is a few
+dict updates, far cheaper than the simulations it measures — and
+:meth:`ServingTelemetry.as_dict` emits a JSON-ready snapshot for the CLI
+stats block.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+#: Per-model cap on retained latency samples; percentile estimates use the
+#: most recent window, which bounds a long-lived server's memory.
+LATENCY_WINDOW: int = 4096
+
+
+class _ModelCounters:
+    """Mutable per-model counters (internal to :class:`ServingTelemetry`)."""
+
+    __slots__ = (
+        "submitted",
+        "completed",
+        "failed",
+        "cancelled",
+        "batches",
+        "batch_sizes",
+        "latencies",
+        "versions_served",
+        "first_submit",
+        "last_complete",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.batches = 0
+        self.batch_sizes: dict[int, int] = {}
+        self.latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self.versions_served: set[int] = set()
+        self.first_submit: Optional[float] = None
+        self.last_complete: Optional[float] = None
+
+
+class ServingTelemetry:
+    """Aggregates per-model serving metrics for the stats block."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._models: dict[str, _ModelCounters] = {}
+        self._swaps: dict[str, int] = {}
+
+    def _counters(self, name: str) -> _ModelCounters:
+        counters = self._models.get(name)
+        if counters is None:
+            counters = self._models[name] = _ModelCounters()
+        return counters
+
+    # ------------------------------------------------------------------
+    def record_submit(self, name: str) -> None:
+        """Count one accepted request for ``name``."""
+        now = time.monotonic()
+        with self._lock:
+            counters = self._counters(name)
+            counters.submitted += 1
+            if counters.first_submit is None:
+                counters.first_submit = now
+
+    def record_batch(
+        self,
+        name: str,
+        version: int,
+        size: int,
+        latencies: list[float],
+        failed: bool = False,
+    ) -> None:
+        """Count one flushed micro-batch and its per-request latencies."""
+        now = time.monotonic()
+        with self._lock:
+            counters = self._counters(name)
+            counters.batches += 1
+            counters.batch_sizes[size] = counters.batch_sizes.get(size, 0) + 1
+            counters.versions_served.add(version)
+            if failed:
+                counters.failed += size
+            else:
+                counters.completed += size
+                counters.latencies.extend(latencies)
+                counters.last_complete = now
+
+    def record_cancelled(self, name: str, count: int = 1) -> None:
+        """Count requests cancelled by a non-draining shutdown."""
+        with self._lock:
+            self._counters(name).cancelled += count
+
+    def record_swap(self, name: str, action: str) -> None:
+        """Count one calibration-watcher action (refresh/recompile/readapt)."""
+        with self._lock:
+            key = f"{name}:{action}"
+            self._swaps[key] = self._swaps.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    def model_stats(self, name: str) -> dict:
+        """JSON-ready metrics for one model name."""
+        with self._lock:
+            counters = self._models.get(name)
+            if counters is None:
+                return {}
+            latencies = np.asarray(counters.latencies, dtype=float)
+            elapsed = None
+            if counters.first_submit is not None and counters.last_complete is not None:
+                elapsed = max(counters.last_complete - counters.first_submit, 1e-9)
+            return {
+                "submitted": counters.submitted,
+                "completed": counters.completed,
+                "failed": counters.failed,
+                "cancelled": counters.cancelled,
+                "batches": counters.batches,
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(counters.batch_sizes.items())
+                },
+                "mean_batch_size": (
+                    counters.completed / counters.batches if counters.batches else 0.0
+                ),
+                "qps": (counters.completed / elapsed) if elapsed else 0.0,
+                "latency_p50_ms": (
+                    float(np.percentile(latencies, 50)) * 1e3 if latencies.size else None
+                ),
+                "latency_p99_ms": (
+                    float(np.percentile(latencies, 99)) * 1e3 if latencies.size else None
+                ),
+                "versions_served": sorted(counters.versions_served),
+            }
+
+    def as_dict(self) -> dict:
+        """Snapshot of every model's metrics plus the swap counters."""
+        with self._lock:
+            names = list(self._models)
+            swaps = dict(self._swaps)
+        return {
+            "models": {name: self.model_stats(name) for name in names},
+            "swaps": swaps,
+        }

@@ -1,0 +1,151 @@
+"""Calibration watcher: drift-triggered hot-swap of deployed models.
+
+The watcher is the serving-side consumer of the paper's core loop: device
+calibration drifts day to day, and the served model must follow.  Each
+:meth:`CalibrationWatcher.observe` call takes one new
+:class:`~repro.calibration.snapshot.CalibrationSnapshot` (e.g. from
+:func:`repro.calibration.generate_device_history`) and
+
+1. recompiles the deployed ansatz for the new snapshot through the staged
+   :class:`~repro.transpiler.PassManager` — inside the PR 3 layout decision
+   boundary this is a provably bit-identical artifact reuse, so the
+   "recompile" costs a digest lookup and the compiled program stays warm;
+2. consults an optional **adapter** (e.g. wrapping
+   :meth:`repro.core.manager.RepositoryManager.adapt`) for re-adapted
+   parameters;
+3. atomically publishes the resulting deployment to the
+   :class:`~repro.serving.registry.ModelRegistry`.
+
+Swaps never touch in-flight work: the scheduler resolves versions at flush
+boundaries, so a batch that started under the old version finishes under it
+and the next batch picks up the new one.
+
+Actions are classified for telemetry: ``refresh`` (only the noise model
+tracked the day; compiled artifacts and parameters unchanged),
+``recompile`` (drift crossed the layout decision boundary and the
+compilation digest changed), ``readapt`` (the adapter produced new
+parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.telemetry import ServingTelemetry
+from repro.simulator import NoiseModel
+from repro.transpiler import Target
+from repro.transpiler.pipeline import PassManager, default_pass_manager
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """Outcome of one :meth:`CalibrationWatcher.observe` step."""
+
+    name: str
+    date: Optional[str]
+    action: str  # "refresh" | "recompile" | "readapt"
+    version: int
+    digest_changed: bool
+    parameters_changed: bool
+    boundary_reused: bool
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for run reports."""
+        return {
+            "name": self.name,
+            "date": self.date,
+            "action": self.action,
+            "version": self.version,
+            "digest_changed": self.digest_changed,
+            "parameters_changed": self.parameters_changed,
+            "boundary_reused": self.boundary_reused,
+        }
+
+
+#: An adapter maps a calibration snapshot to re-adapted parameters (or
+#: ``None`` to keep the deployed parameters unchanged).
+Adapter = Callable[[object], Optional[np.ndarray]]
+
+
+class CalibrationWatcher:
+    """Publishes drift-adapted versions of one deployed model."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        name: str,
+        pass_manager: Optional[PassManager] = None,
+        adapter: Optional[Adapter] = None,
+        telemetry: Optional[ServingTelemetry] = None,
+    ):
+        self.registry = registry
+        self.name = name
+        self.pass_manager = pass_manager or default_pass_manager()
+        self.adapter = adapter
+        self.telemetry = telemetry
+        self.reports: list[SwapReport] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, snapshot) -> SwapReport:
+        """Ingest one calibration snapshot and hot-swap if drift demands it."""
+        current = self.registry.get(self.name)
+        model = current.model
+        if model.transpiled is None:
+            raise ServingError(
+                f"{self.name!r} serves an unbound model; a calibration watcher "
+                "needs a device binding to track"
+            )
+        target = Target(coupling=model.transpiled.coupling, calibration=snapshot)
+
+        # Was yesterday's layout decision provably still optimal today?
+        # (Recorded before compiling, which may replace the decision.)
+        decision = self.pass_manager.layout_decision(model.ansatz, target)
+        boundary_reused = decision is not None and decision.still_optimal_for(snapshot)
+
+        transpiled = self.pass_manager.compile(model.ansatz, target)
+        digest_changed = (
+            transpiled.compilation_digest() != current.compilation_digest
+        )
+
+        parameters = None
+        if self.adapter is not None:
+            parameters = self.adapter(snapshot)
+        parameters_changed = parameters is not None and not np.array_equal(
+            np.asarray(parameters, dtype=float), model.parameters
+        )
+
+        swapped = model.with_binding(transpiled, parameters=parameters)
+        version = self.registry.publish(
+            self.name,
+            swapped,
+            noise_model=NoiseModel.from_calibration(snapshot),
+            calibration_date=getattr(snapshot, "date", None),
+        )
+        if parameters_changed:
+            action = "readapt"
+        elif digest_changed:
+            action = "recompile"
+        else:
+            action = "refresh"
+        report = SwapReport(
+            name=self.name,
+            date=getattr(snapshot, "date", None),
+            action=action,
+            version=version.version,
+            digest_changed=digest_changed,
+            parameters_changed=parameters_changed,
+            boundary_reused=boundary_reused,
+        )
+        self.reports.append(report)
+        if self.telemetry is not None:
+            self.telemetry.record_swap(self.name, action)
+        return report
+
+    def run(self, history: Iterable) -> list[SwapReport]:
+        """Observe every snapshot of a drift history, in order."""
+        return [self.observe(snapshot) for snapshot in history]

@@ -190,6 +190,22 @@ class PassManager:
         self._routings.clear()
         self._results.clear()
 
+    def layout_decision(
+        self, circuit: QuantumCircuit, target: Target
+    ) -> Optional[LayoutDecision]:
+        """The recorded :class:`LayoutDecision` for ``(circuit, device)``, if any.
+
+        Read-only introspection for callers that want to reason about the
+        incremental-recompilation boundary without compiling — e.g. the
+        serving layer's calibration watcher, which records whether a drift
+        observation fell inside the provable reuse boundary.  Returns the
+        decision from the most recent full layout search for this circuit
+        on this structural target, or ``None`` when no search has run (or
+        the record was evicted).
+        """
+        key = (_circuit_key(circuit), target.structural_digest)
+        return self._lru_get(self._decisions, key)
+
     def cache_sizes(self) -> dict[str, int]:
         """Current entry counts per artifact cache (for tests/introspection)."""
         return {

@@ -25,12 +25,20 @@ def lru_get(cache: OrderedDict, key):
     return value
 
 
-def lru_put(cache: OrderedDict, key, value, capacity: int) -> None:
-    """Insert ``key`` as most-recently-used and evict down to ``capacity``."""
+def lru_put(cache: OrderedDict, key, value, capacity: int) -> int:
+    """Insert ``key`` as most-recently-used and evict down to ``capacity``.
+
+    Returns the number of entries evicted, so capacity-aware callers (the
+    runtime's :class:`~repro.runtime.cache.EvaluationCache`) can keep
+    eviction statistics without re-deriving them.
+    """
     cache[key] = value
     cache.move_to_end(key)
+    evicted = 0
     while len(cache) > capacity:
         try:
             cache.popitem(last=False)
         except KeyError:  # pragma: no cover - thread interleaving only
             break
+        evicted += 1
+    return evicted

@@ -12,7 +12,7 @@ from repro.experiments.cli import EXPERIMENTS, SCALES, build_parser, main
 def test_registry_covers_every_harness():
     assert set(EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
-        "table1", "table2", "longitudinal",
+        "table1", "table2", "longitudinal", "serve",
     }
     assert set(SCALES) == {"paper", "bench", "test"}
 
@@ -22,6 +22,16 @@ def test_parser_defaults():
     assert args.scale == "bench"
     assert args.runner_mode == "thread"
     assert args.chunk_days == 16
+
+
+def test_parser_serving_options():
+    args = build_parser().parse_args(
+        ["serve", "--requests", "64", "--max-batch", "8", "--max-latency-ms", "1.5"]
+    )
+    assert args.requests == 64
+    assert args.max_batch == 8
+    assert args.max_latency_ms == 1.5
+    assert args.observe_every is None
 
 
 def test_parser_rejects_unknown_experiment():
@@ -66,6 +76,29 @@ def test_fixed_device_experiments_reject_device_flag():
         main(["fig1", "--scale", "test", "--device", "ring_5"])
 
 
+def test_non_serve_experiments_reject_serving_flags():
+    for flag in (
+        ["--requests", "64"],
+        ["--max-batch", "4"],
+        ["--max-latency-ms", "1.0"],
+        ["--observe-every", "8"],
+    ):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--scale", "test", *flag])
+
+
+def test_serve_rejects_runner_flags():
+    for flag in (
+        ["--runner-mode", "process"],
+        ["--workers", "4"],
+        ["--chunk-days", "2"],
+        ["--records", "r.jsonl"],
+        ["--cache", "c.jsonl"],
+    ):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scale", "test", *flag])
+
+
 @pytest.mark.parametrize("device", ["ring_5", "grid_2x3", "line_7"])
 def test_longitudinal_runs_on_device_library_topologies(tmp_path, device):
     """The longitudinal harness must run end-to-end on library devices."""
@@ -93,3 +126,64 @@ def test_longitudinal_runs_on_device_library_topologies(tmp_path, device):
     compiler = payload["compiler"]
     assert compiler["compile_calls"] >= 1
     assert 0.0 <= compiler["pass_cache_hit_rate"] <= 1.0
+
+
+def test_serve_runs_end_to_end_on_a_library_device(tmp_path):
+    """The serving harness: load generation + drift-driven hot-swaps."""
+    out = tmp_path / "serve.json"
+    code = main(
+        [
+            "serve",
+            "--scale",
+            "test",
+            "--device",
+            "ring_5",
+            "--requests",
+            "24",
+            "--max-batch",
+            "6",
+            "--observe-every",
+            "8",
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    summary = payload["summary"]
+    assert summary["device"] == "ring_5"
+    load = summary["load"]
+    assert load["requests"] == load["completed"] == 24
+    assert load["throughput_rps"] > 0
+    assert load["swaps"], "drift snapshots must reach the watcher"
+    serving = summary["serving"]
+    assert serving["telemetry"]["models"]["qnn"]["completed"] == 24
+    assert serving["scheduler"]["flushes"] >= 4
+    assert serving["deployments"]["qnn"]["versions_published"] >= 2
+
+
+def test_cache_stats_appear_in_runner_block(tmp_path):
+    """--cache surfaces hit/miss/eviction counters in the stats block."""
+    cache_path = tmp_path / "cache.jsonl"
+    out = tmp_path / "fig2.json"
+    code = main(
+        [
+            "fig2",
+            "--scale",
+            "test",
+            "--runner-mode",
+            "serial",
+            "--cache",
+            str(cache_path),
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    cache_stats = payload["runner"]["cache"]
+    assert cache_stats is not None
+    assert {"entries", "capacity", "hits", "misses", "evictions", "hit_rate"} <= set(
+        cache_stats
+    )
+    assert cache_stats["entries"] >= 1

@@ -1,0 +1,85 @@
+"""EvaluationCache LRU bounding: capacity, eviction stats, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import DEFAULT_CACHE_CAPACITY, EvaluationCache
+
+
+def test_default_capacity_is_bounded():
+    cache = EvaluationCache()
+    assert cache.capacity == DEFAULT_CACHE_CAPACITY
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EvaluationCache(capacity=0)
+
+
+def test_eviction_keeps_size_at_capacity():
+    cache = EvaluationCache(capacity=3)
+    for index in range(10):
+        cache.put(f"k{index}", {"accuracy": float(index)})
+    assert len(cache) == 3
+    assert cache.evictions == 7
+    # The three most recently written keys survive.
+    assert cache.get("k9") == {"accuracy": 9.0}
+    assert cache.get("k7") == {"accuracy": 7.0}
+    assert cache.get("k0") is None
+
+
+def test_get_refreshes_recency():
+    cache = EvaluationCache(capacity=2)
+    cache.put("a", {"accuracy": 1.0})
+    cache.put("b", {"accuracy": 2.0})
+    assert cache.get("a") is not None  # bump a to most-recently-used
+    cache.put("c", {"accuracy": 3.0})  # evicts b, not a
+    assert cache.get("a") is not None
+    assert cache.get("b") is None
+    assert cache.get("c") is not None
+
+
+def test_stats_counts_hits_misses_evictions():
+    cache = EvaluationCache(capacity=2)
+    cache.put("a", {"accuracy": 1.0})
+    cache.put("b", {"accuracy": 2.0})
+    cache.put("c", {"accuracy": 3.0})
+    cache.get("c")
+    cache.get("a")  # evicted -> miss
+    stats = cache.stats()
+    assert stats == {
+        "entries": 2,
+        "capacity": 2,
+        "hits": 1,
+        "misses": 1,
+        "evictions": 1,
+        "hit_rate": 0.5,
+    }
+
+
+def test_persistence_respects_capacity_and_keeps_newest(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    writer = EvaluationCache(path=path, capacity=10)
+    for index in range(6):
+        writer.put(f"k{index}", {"accuracy": float(index)})
+    # Reload with a smaller bound: the most recently appended entries win.
+    reader = EvaluationCache(path=path, capacity=2)
+    assert len(reader) == 2
+    assert reader.get("k5") == {"accuracy": 5.0}
+    assert reader.get("k4") == {"accuracy": 4.0}
+    assert reader.get("k0") is None
+    # The file itself keeps the full append-only history.
+    assert sum(1 for _ in path.open()) == 6
+    # Load-time trims are not runtime evictions.
+    assert reader.evictions == 0
+
+
+def test_eviction_never_serves_stale_data():
+    """An evicted key re-misses; a later put serves the new value."""
+    cache = EvaluationCache(capacity=1)
+    cache.put("a", {"accuracy": 0.1})
+    cache.put("b", {"accuracy": 0.2})  # evicts a
+    assert cache.get("a") is None
+    cache.put("a", {"accuracy": 0.9})
+    assert cache.get("a") == {"accuracy": 0.9}

@@ -1,0 +1,93 @@
+"""Graceful shutdown: interrupts cancel pending chunks and drain workers."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.runtime.runner as runner_module
+from repro.calibration import generate_belem_history
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel
+from repro.runtime import ExperimentRunner
+from repro.simulator import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def small_harness():
+    history = generate_belem_history(4, seed=4)
+    model = QNNModel.create(
+        num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=2
+    )
+    from repro.transpiler import belem_coupling
+
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=40, seed=5)
+    features, labels = dataset.test_features[:4], dataset.test_labels[:4]
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    return model, features, labels, noise_models
+
+
+def test_interrupt_cancels_pending_chunks_and_drains_workers(
+    small_harness, monkeypatch
+):
+    """A KeyboardInterrupt mid-run must not leave orphaned workers behind,
+    and chunks that have not started must never start."""
+    model, features, labels, noise_models = small_harness
+    calls = []
+
+    def interrupting(*args, **kwargs):
+        calls.append(time.monotonic())
+        if len(calls) == 1:
+            raise KeyboardInterrupt
+        # The single worker may dequeue one more chunk before the main
+        # thread reacts to the interrupt; holding it briefly gives the
+        # cancellation a deterministic window to cover the rest.
+        time.sleep(0.2)
+        chunk_size = len(args[3])
+        return [0.0] * chunk_size, 0.0
+
+    monkeypatch.setattr(runner_module, "_evaluate_chunk", interrupting)
+    runner = ExperimentRunner(mode="thread", max_workers=1, chunk_days=1)
+    before = threading.active_count()
+    with pytest.raises(KeyboardInterrupt):
+        runner.evaluate_days(model, features, labels, noise_models)
+    # The interrupt fires in chunk 1; at most one further chunk can slip
+    # into the single worker before the rest are cancelled unstarted.
+    assert len(calls) <= 2
+    # The pool was shut down synchronously: no orphaned worker threads.
+    deadline = time.monotonic() + 5.0
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() <= before
+
+
+def test_failed_chunk_propagates_after_draining(small_harness, monkeypatch):
+    """Ordinary worker exceptions follow the same cancel-and-drain path."""
+    model, features, labels, noise_models = small_harness
+
+    def broken(*args, **kwargs):
+        raise RuntimeError("chunk exploded")
+
+    monkeypatch.setattr(runner_module, "_evaluate_chunk", broken)
+    runner = ExperimentRunner(mode="thread", max_workers=2, chunk_days=1)
+    with pytest.raises(RuntimeError, match="chunk exploded"):
+        runner.evaluate_days(model, features, labels, noise_models)
+
+
+def test_thread_mode_still_matches_serial_after_refactor(small_harness):
+    """The submit-based fan-out preserves ordering and numbers."""
+    model, features, labels, noise_models = small_harness
+    serial = ExperimentRunner(mode="serial", chunk_days=1)
+    threaded = ExperimentRunner(mode="thread", max_workers=2, chunk_days=1)
+    a = serial.evaluate_days(model, features, labels, noise_models)
+    b = threaded.evaluate_days(model, features, labels, noise_models)
+    assert np.array_equal(a, b)
+
+
+def test_runner_map_uses_pool_fan_out():
+    runner = ExperimentRunner(mode="thread", max_workers=2)
+    assert runner.map(lambda x: x * 2, [1, 2, 3, 4]) == [2, 4, 6, 8]

@@ -1,0 +1,40 @@
+"""Shared fixtures for the serving tests: small bound models + drift history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import generate_device_history
+from repro.qnn import QNNModel
+from repro.simulator import NoiseModel
+from repro.transpiler import get_device_coupling
+
+
+@pytest.fixture(scope="session")
+def history():
+    """A short drift history on a 5-qubit library device."""
+    return generate_device_history("ring_5", 10, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bound_model(history):
+    """A small (3-qubit) model bound to the ring_5 device on day 0."""
+    model = QNNModel.create(
+        num_qubits=3, num_features=6, num_classes=2, repeats=1, seed=3
+    )
+    model.bind_to_device(get_device_coupling("ring_5"), calibration=history[0])
+    return model
+
+
+@pytest.fixture(scope="session")
+def noise_model(history):
+    """The noise model of day 0 of the drift history."""
+    return NoiseModel.from_calibration(history[0])
+
+
+@pytest.fixture()
+def features():
+    """A deterministic pool of feature vectors (row i is distinguishable)."""
+    rng = np.random.default_rng(17)
+    return rng.uniform(0.0, 1.0, size=(24, 6))

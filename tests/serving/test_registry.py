@@ -1,0 +1,178 @@
+"""ModelRegistry: atomic publish / rollback, version history, dedupe."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import ModelRegistry, deployment_key
+from repro.simulator import NoiseModel
+
+
+def test_publish_and_get_roundtrip(bound_model, noise_model):
+    registry = ModelRegistry()
+    version = registry.publish("qnn", bound_model, noise_model=noise_model)
+    assert version.version == 1
+    assert version.compilation_digest == bound_model.transpiled.compilation_digest()
+    current = registry.get("qnn")
+    assert current is version
+    assert registry.names() == ["qnn"]
+    assert "qnn" in registry
+
+
+def test_unknown_name_raises(bound_model):
+    registry = ModelRegistry()
+    with pytest.raises(ServingError):
+        registry.get("missing")
+    with pytest.raises(ServingError):
+        registry.history("missing")
+    with pytest.raises(ServingError):
+        registry.rollback("missing")
+
+
+def test_publish_bumps_version_on_new_parameters(bound_model, noise_model):
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    swapped = bound_model.copy(parameters=bound_model.parameters + 0.1)
+    version = registry.publish("qnn", swapped, noise_model=noise_model)
+    assert version.version == 2
+    assert registry.get("qnn").model is swapped
+    assert len(registry.history("qnn")) == 2
+
+
+def test_content_identical_publish_is_a_noop(bound_model, noise_model):
+    registry = ModelRegistry()
+    first = registry.publish("qnn", bound_model, noise_model=noise_model)
+    again = registry.publish(
+        "qnn", bound_model.copy(), noise_model=noise_model
+    )  # fresh object, same content
+    assert again is first
+    assert len(registry.history("qnn")) == 1
+    assert deployment_key(bound_model, noise_model) == first.model_key
+
+
+def test_rollback_restores_previous_and_preserves_history(bound_model, noise_model):
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    v2 = registry.publish(
+        "qnn",
+        bound_model.copy(parameters=bound_model.parameters + 0.5),
+        noise_model=noise_model,
+    )
+    assert registry.get("qnn") is v2
+    restored = registry.rollback("qnn")
+    assert restored.version == 1
+    assert registry.get("qnn").version == 1
+    # History is append-only; a later publish keeps numbering monotonic.
+    assert [v.version for v in registry.history("qnn")] == [1, 2]
+    v3 = registry.publish(
+        "qnn",
+        bound_model.copy(parameters=bound_model.parameters - 0.5),
+        noise_model=noise_model,
+    )
+    assert v3.version == 3
+    with pytest.raises(ServingError):
+        registry.rollback("qnn")  # back at index 0 after two rollbacks
+        registry.rollback("qnn")
+        registry.rollback("qnn")
+
+
+def test_rollback_at_first_version_raises(bound_model, noise_model):
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    with pytest.raises(ServingError):
+        registry.rollback("qnn")
+
+
+def test_noisy_publish_requires_device_binding(bound_model, noise_model):
+    registry = ModelRegistry()
+    unbound = bound_model.copy()
+    unbound.transpiled = None
+    with pytest.raises(ServingError):
+        registry.publish("qnn", unbound, noise_model=noise_model)
+    version = registry.publish("ideal", unbound)  # ideal serving is fine
+    assert version.compilation_digest is None
+
+
+def test_history_retention_is_bounded_with_monotonic_versions(
+    bound_model, noise_model
+):
+    registry = ModelRegistry(max_history=3)
+    for step in range(8):
+        registry.publish(
+            "qnn",
+            bound_model.copy(parameters=bound_model.parameters + step),
+            noise_model=noise_model,
+        )
+    history = registry.history("qnn")
+    assert len(history) == 3
+    assert [v.version for v in history] == [6, 7, 8]  # numbering never resets
+    assert registry.get("qnn").version == 8
+    # Rollback works within the retained window, then runs out.
+    assert registry.rollback("qnn").version == 7
+    assert registry.rollback("qnn").version == 6
+    with pytest.raises(ServingError):
+        registry.rollback("qnn")
+
+
+def test_max_history_validation():
+    with pytest.raises(ServingError):
+        ModelRegistry(max_history=1)
+
+
+def test_dedupe_requires_matching_calibration_date(bound_model, noise_model):
+    """Identical content for a *new* day still republishes (date tracking)."""
+    registry = ModelRegistry()
+    first = registry.publish(
+        "qnn", bound_model, noise_model=noise_model, calibration_date="2022-01-01"
+    )
+    second = registry.publish(
+        "qnn",
+        bound_model.copy(),
+        noise_model=noise_model,
+        calibration_date="2022-01-02",
+    )
+    assert second.version == 2
+    assert second.calibration_date == "2022-01-02"
+    same_day = registry.publish(
+        "qnn",
+        bound_model.copy(),
+        noise_model=noise_model,
+        calibration_date="2022-01-02",
+    )
+    assert same_day is second
+
+
+def test_concurrent_publish_and_get_stay_consistent(bound_model, noise_model):
+    """Readers always see a complete version while writers publish."""
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    errors = []
+
+    def writer(offset):
+        for step in range(20):
+            swapped = bound_model.copy(
+                parameters=bound_model.parameters + offset + step * 1e-3
+            )
+            registry.publish("qnn", swapped, noise_model=noise_model)
+
+    def reader():
+        for _ in range(200):
+            version = registry.get("qnn")
+            if version.model_key != deployment_key(
+                version.model, version.noise_model
+            ):
+                errors.append("torn read")
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in (1.0, 2.0)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    versions = [v.version for v in registry.history("qnn")]
+    assert versions == sorted(versions)

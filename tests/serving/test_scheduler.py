@@ -1,0 +1,184 @@
+"""Serving equivalence: micro-batched responses == direct forward_*_batch.
+
+The scheduler's contract is that coalescing is *invisible* in the numbers:
+each flushed window is served by exactly one ``forward_noisy_batch`` /
+``forward_ideal_batch`` call on the stacked samples, so reconstructing the
+windows from the response metadata and repeating those direct calls must
+reproduce every served logit bit-for-bit — across batch split points, mixed
+models in one window, and hot-swaps mid-stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchPolicy, MicroBatchScheduler, ModelRegistry
+from repro.simulator import NoiseModel
+
+
+def _make_scheduler(registry, max_batch, max_latency_ms=1e6):
+    """An un-threaded scheduler with deterministic flush control."""
+    return MicroBatchScheduler(
+        registry, policy=BatchPolicy(max_batch=max_batch, max_latency_ms=max_latency_ms)
+    )
+
+
+def _windows(results):
+    """Group results by flushed batch, preserving intra-batch row order."""
+    by_batch: dict[int, list] = {}
+    for result in results:
+        by_batch.setdefault(result.batch_id, []).append(result)
+    for batch in by_batch.values():
+        batch.sort(key=lambda r: r.sequence)
+    return [by_batch[batch_id] for batch_id in sorted(by_batch)]
+
+
+def test_served_rows_bit_identical_across_batch_split_points(
+    bound_model, noise_model, features
+):
+    """10 requests under max_batch=4 → windows [4, 4, 2], each bit-identical."""
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=4)
+    samples = features[:10]
+    futures = [scheduler.submit("qnn", sample) for sample in samples]
+    scheduler.flush_pending(force=True)
+    results = [future.result(timeout=0) for future in futures]
+
+    assert [r.batch_size for r in results] == [4] * 4 + [4] * 4 + [2] * 2
+    # Reference: the same windows served by direct batched forwards.
+    for window, (start, stop) in zip(_windows(results), ((0, 4), (4, 8), (8, 10))):
+        direct = bound_model.forward_noisy_batch(
+            samples[start:stop], [noise_model]
+        )[0]
+        served = np.stack([r.logits for r in window])
+        assert np.array_equal(served, direct)
+        for row, result in enumerate(window):
+            assert result.prediction == int(np.argmax(direct[row]))
+
+
+def test_mixed_models_in_one_window_serve_from_their_own_deployments(
+    bound_model, noise_model, features
+):
+    """Interleaved requests for two models coalesce per-model, bit-identically."""
+    registry = ModelRegistry()
+    other = bound_model.copy(parameters=bound_model.parameters + 0.3, name="other")
+    registry.publish("a", bound_model, noise_model=noise_model)
+    registry.publish("b", other, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=8)
+
+    futures = []
+    for index in range(12):  # a, b, a, b, ...
+        name = "a" if index % 2 == 0 else "b"
+        futures.append((name, scheduler.submit(name, features[index])))
+    scheduler.flush_pending(force=True)
+
+    for name, model in (("a", bound_model), ("b", other)):
+        rows = [features[i] for i in range(12) if (i % 2 == 0) == (name == "a")]
+        direct = model.forward_noisy_batch(np.stack(rows), [noise_model])[0]
+        served = np.stack(
+            [f.result(timeout=0).logits for n, f in futures if n == name]
+        )
+        assert np.array_equal(served, direct)
+    versions = {f.result(timeout=0).version for _, f in futures}
+    assert versions == {1}
+
+
+def test_hot_swap_mid_stream_loses_no_request_and_serves_each_version(
+    bound_model, noise_model, features, history
+):
+    """A publish between flushes swaps the served model atomically."""
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=8)
+
+    first = [scheduler.submit("qnn", sample) for sample in features[:5]]
+    scheduler.flush_pending(force=True)
+
+    # Hot-swap: new parameters and a new calibration day's noise model.
+    swapped = bound_model.copy(parameters=bound_model.parameters - 0.2)
+    new_noise = NoiseModel.from_calibration(history[1])
+    registry.publish("qnn", swapped, noise_model=new_noise)
+
+    second = [scheduler.submit("qnn", sample) for sample in features[5:9]]
+    scheduler.flush_pending(force=True)
+
+    results_v1 = [future.result(timeout=0) for future in first]
+    results_v2 = [future.result(timeout=0) for future in second]
+    assert {r.version for r in results_v1} == {1}
+    assert {r.version for r in results_v2} == {2}
+
+    direct_v1 = bound_model.forward_noisy_batch(features[:5], [noise_model])[0]
+    direct_v2 = swapped.forward_noisy_batch(features[5:9], [new_noise])[0]
+    assert np.array_equal(np.stack([r.logits for r in results_v1]), direct_v1)
+    assert np.array_equal(np.stack([r.logits for r in results_v2]), direct_v2)
+
+
+def test_ideal_deployment_serves_forward_ideal_batch(bound_model, features):
+    """A model published without a noise model serves the ideal path."""
+    registry = ModelRegistry()
+    unbound = bound_model.copy()
+    unbound.transpiled = None
+    registry.publish("ideal", unbound)
+    scheduler = _make_scheduler(registry, max_batch=6)
+    futures = [scheduler.submit("ideal", sample) for sample in features[:6]]
+    scheduler.flush_pending(force=True)
+    direct = unbound.forward_ideal_batch(features[:6], [None])[0]
+    served = np.stack([f.result(timeout=0).logits for f in futures])
+    assert np.array_equal(served, direct)
+
+
+def test_submit_validates_name_and_shape(bound_model, noise_model, features):
+    from repro.exceptions import ServingError
+
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=4)
+    with pytest.raises(ServingError):
+        scheduler.submit("nope", features[0])
+    with pytest.raises(ServingError):
+        scheduler.submit("qnn", features[:2])  # a matrix, not one sample
+
+
+def test_stop_without_drain_cancels_pending(bound_model, noise_model, features):
+    from concurrent.futures import CancelledError
+
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=64)
+    futures = [scheduler.submit("qnn", sample) for sample in features[:3]]
+    scheduler.stop(drain=False)
+    for future in futures:
+        with pytest.raises(CancelledError):
+            future.result(timeout=0)
+    assert scheduler.stats.cancelled == 3
+    from repro.exceptions import ServingError
+
+    with pytest.raises(ServingError):
+        scheduler.submit("qnn", features[0])  # closed
+
+
+def test_stopped_scheduler_refuses_restart(bound_model, noise_model):
+    from repro.exceptions import ServingError
+
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=4)
+    scheduler.start()
+    assert scheduler.is_running
+    scheduler.stop()
+    assert not scheduler.is_running
+    with pytest.raises(ServingError):
+        scheduler.start()
+
+
+def test_stop_with_drain_serves_everything(bound_model, noise_model, features):
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    scheduler = _make_scheduler(registry, max_batch=64)
+    futures = [scheduler.submit("qnn", sample) for sample in features[:3]]
+    scheduler.stop(drain=True)
+    direct = bound_model.forward_noisy_batch(features[:3], [noise_model])[0]
+    served = np.stack([f.result(timeout=0).logits for f in futures])
+    assert np.array_equal(served, direct)

@@ -1,0 +1,108 @@
+"""Property tests: scheduler ordering, fairness, and completion guarantees.
+
+Randomised request streams (seeded) against the un-threaded scheduler,
+checking the invariants the serving layer promises regardless of arrival
+pattern or policy:
+
+* every submitted request resolves exactly once (no drops, no duplicates);
+* per-model responses respect submission order (FIFO within a model);
+* a flush never exceeds ``max_batch`` and never mixes models;
+* flush scheduling is oldest-first across models (fairness: the backlogged
+  model with the oldest waiting request is served first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchPolicy, MicroBatchScheduler, ModelRegistry
+
+
+@pytest.fixture()
+def registry(bound_model, noise_model):
+    registry = ModelRegistry()
+    registry.publish("a", bound_model, noise_model=noise_model)
+    registry.publish(
+        "b",
+        bound_model.copy(parameters=bound_model.parameters * 0.5, name="b"),
+        noise_model=noise_model,
+    )
+    return registry
+
+
+@pytest.mark.parametrize("trial", range(4))
+def test_random_streams_complete_exactly_once_in_model_order(
+    registry, features, trial
+):
+    rng = np.random.default_rng(100 + trial)
+    max_batch = int(rng.integers(1, 6))
+    scheduler = MicroBatchScheduler(
+        registry,
+        # max_latency 0: every flush_pending() call flushes everything
+        # pending, so random flush points emulate arbitrary timer wake-ups.
+        policy=BatchPolicy(max_batch=max_batch, max_latency_ms=0.0),
+    )
+    submissions = []  # (name, sequence) in submission order
+    futures = []
+    for _ in range(int(rng.integers(10, 30))):
+        name = "a" if rng.random() < 0.5 else "b"
+        sample = features[int(rng.integers(len(features)))]
+        future = scheduler.submit(name, sample)
+        submissions.append(name)
+        futures.append(future)
+        if rng.random() < 0.3:
+            scheduler.flush_pending()
+    scheduler.stop(drain=True)
+
+    results = [future.result(timeout=0) for future in futures]
+    # Exactly-once completion, matched to its own submission.
+    assert all(future.done() for future in futures)
+    assert [r.model for r in results] == submissions
+
+    for name in ("a", "b"):
+        model_results = [r for r in results if r.model == name]
+        sequences = [r.sequence for r in model_results]
+        assert sequences == sorted(sequences)  # FIFO within a model
+        batch_ids = [r.batch_id for r in model_results]
+        assert batch_ids == sorted(batch_ids)  # batches flushed in order
+        for result in model_results:
+            assert result.batch_size <= max_batch
+
+    # A batch never mixes models.
+    by_batch: dict[int, set] = {}
+    for result in results:
+        by_batch.setdefault(result.batch_id, set()).add(result.model)
+    assert all(len(models) == 1 for models in by_batch.values())
+
+
+def test_fairness_flushes_oldest_head_request_first(registry, features):
+    """With two backlogged models, the older head request's model goes first."""
+    scheduler = MicroBatchScheduler(
+        registry, policy=BatchPolicy(max_batch=8, max_latency_ms=1e6)
+    )
+    late = [scheduler.submit("b", features[0])]  # b's head is oldest
+    late += [scheduler.submit("a", sample) for sample in features[1:4]]
+    scheduler.flush_pending(force=True)
+    result_b = late[0].result(timeout=0)
+    results_a = [future.result(timeout=0) for future in late[1:]]
+    assert result_b.batch_id < min(r.batch_id for r in results_a)
+
+
+def test_full_batches_flush_before_deadline(registry, features):
+    """Reaching max_batch triggers a flush without waiting for the timer."""
+    scheduler = MicroBatchScheduler(
+        registry, policy=BatchPolicy(max_batch=3, max_latency_ms=1e6)
+    )
+    futures = [scheduler.submit("a", sample) for sample in features[:3]]
+    flushed = scheduler.flush_pending()  # no force; the batch is full
+    assert flushed == 1
+    assert all(future.done() for future in futures)
+    assert scheduler.stats.full_flushes == 1
+    # A partial batch under a huge deadline stays pending without force.
+    partial = scheduler.submit("a", features[3])
+    assert scheduler.flush_pending() == 0
+    assert not partial.done()
+    scheduler.stop(drain=True)
+    assert partial.done()
+    assert scheduler.stats.drain_flushes == 1

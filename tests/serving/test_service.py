@@ -1,0 +1,199 @@
+"""InferenceService end-to-end: threaded serving, hot-swap, telemetry, loadgen."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import (
+    BatchPolicy,
+    InferenceService,
+    LoadGenerator,
+    ModelRegistry,
+)
+from repro.simulator import NoiseModel
+from repro.transpiler.pipeline import PassManager
+
+
+def _service(max_batch=4, max_latency_ms=2.0):
+    return InferenceService(
+        policy=BatchPolicy(max_batch=max_batch, max_latency_ms=max_latency_ms),
+        pass_manager=PassManager(),
+    )
+
+
+def test_deploy_with_calibration_binds_and_derives_noise(bound_model, history):
+    service = _service()
+    version = service.deploy("qnn", bound_model, calibration=history[0])
+    assert version.version == 1
+    assert version.noise_model is not None
+    assert version.compilation_digest is not None
+    assert version.calibration_date == history[0].date
+
+
+def test_deploy_rejects_conflicting_noise_inputs(bound_model, noise_model, history):
+    service = _service()
+    with pytest.raises(ServingError):
+        service.deploy(
+            "qnn", bound_model, calibration=history[0], noise_model=noise_model
+        )
+
+
+def test_threaded_serving_matches_direct_batches(bound_model, history, features):
+    """Whatever windows the dispatch thread forms, replays are bit-identical."""
+    service = _service(max_batch=4, max_latency_ms=1.0)
+    service.deploy("qnn", bound_model, calibration=history[0])
+    samples = features[:14]
+    with service:
+        results = service.predict_many("qnn", samples)
+
+    assert len(results) == 14
+    # Reconstruct the actual coalescing windows from the response metadata
+    # and replay each as one direct forward_noisy_batch call.
+    version = service.registry.get("qnn")
+    by_batch: dict[int, list[int]] = {}
+    for index, result in enumerate(results):
+        by_batch.setdefault(result.batch_id, []).append(index)
+    for indices in by_batch.values():
+        indices.sort(key=lambda i: results[i].sequence)
+        direct = version.model.forward_noisy_batch(
+            np.stack([samples[i] for i in indices]), [version.noise_model]
+        )[0]
+        served = np.stack([results[i].logits for i in indices])
+        assert np.array_equal(served, direct)
+
+
+def test_hot_swap_under_load_never_drops_or_corrupts(
+    bound_model, history, features
+):
+    """Drift observations land while requests are in flight; every response
+    is served by exactly one published version, bit-identically."""
+    service = _service(max_batch=4, max_latency_ms=0.5)
+    service.deploy("qnn", bound_model, calibration=history[0])
+    versions_by_number = {}
+    with service:
+        futures = []
+        for index in range(20):
+            futures.append(service.predict_async("qnn", features[index % 12]))
+            if index in (6, 13):
+                # Settle what is already queued so the stream observably
+                # spans versions, then swap with the rest still to come.
+                for future in futures:
+                    future.result(timeout=60.0)
+                service.observe_calibration("qnn", history[1 + (index > 6)])
+        results = [future.result(timeout=60.0) for future in futures]
+
+    for version in service.registry.history("qnn"):
+        versions_by_number[version.version] = version
+    assert len(results) == 20
+    served_versions = {r.version for r in results}
+    assert served_versions <= set(versions_by_number)
+    assert len(served_versions) >= 2  # the swap really landed mid-stream
+
+    # Per (version, batch) replay: bit-identical to the deployment that
+    # actually served the window.
+    by_batch: dict[int, list[int]] = {}
+    for index, result in enumerate(results):
+        by_batch.setdefault(result.batch_id, []).append(index)
+    for indices in by_batch.values():
+        indices.sort(key=lambda i: results[i].sequence)
+        version = versions_by_number[results[indices[0]].version]
+        assert len({results[i].version for i in indices}) == 1
+        direct = version.model.forward_noisy_batch(
+            np.stack([features[i % 12] for i in indices]), [version.noise_model]
+        )[0]
+        served = np.stack([results[i].logits for i in indices])
+        assert np.array_equal(served, direct)
+
+
+def test_predict_fails_fast_when_not_started(bound_model, history, features):
+    service = _service()
+    service.deploy("qnn", bound_model, calibration=history[0])
+    with pytest.raises(ServingError, match="not started"):
+        service.predict("qnn", features[0])
+
+
+def test_rollback_returns_previous_version(bound_model, history):
+    service = _service()
+    service.deploy("qnn", bound_model, calibration=history[0])
+    service.observe_calibration("qnn", history[1])
+    assert service.registry.get("qnn").version == 2
+    restored = service.rollback("qnn")
+    assert restored.version == 1
+    assert service.registry.get("qnn").version == 1
+
+
+def test_stats_shape_and_cache_visibility(bound_model, history, features):
+    service = _service(max_batch=4)
+    service.deploy("qnn", bound_model, calibration=history[0])
+    with service:
+        service.predict_many("qnn", features[:8])
+    stats = service.stats()
+    assert set(stats) == {
+        "telemetry",
+        "scheduler",
+        "engine_cache",
+        "compiler",
+        "deployments",
+    }
+    model_stats = stats["telemetry"]["models"]["qnn"]
+    assert model_stats["submitted"] == 8
+    assert model_stats["completed"] == 8
+    assert model_stats["latency_p50_ms"] is not None
+    assert model_stats["latency_p99_ms"] >= model_stats["latency_p50_ms"]
+    assert sum(model_stats["batch_size_histogram"].values()) == model_stats["batches"]
+    assert stats["deployments"]["qnn"]["current_version"] == 1
+    # The second half of the stream reuses the first flush's bound circuits.
+    cache = stats["engine_cache"]
+    assert cache["bound_hits"] + cache["bound_builds"] > 0
+
+
+def test_exceptional_exit_cancels_queued_requests(bound_model, history, features):
+    from concurrent.futures import CancelledError
+
+    service = _service(max_batch=64, max_latency_ms=1e6)
+    service.deploy("qnn", bound_model, calibration=history[0])
+    futures = []
+    with pytest.raises(KeyboardInterrupt):
+        with service:
+            # Never reaches max_batch and the deadline is huge, so these sit
+            # queued until the interrupt unwinds the context manager.
+            futures = [service.predict_async("qnn", s) for s in features[:3]]
+            raise KeyboardInterrupt
+    cancelled = 0
+    for future in futures:
+        try:
+            future.result(timeout=5.0)
+        except CancelledError:
+            cancelled += 1
+    assert cancelled == len(futures)
+
+
+def test_load_generator_report(bound_model, history, features):
+    service = _service(max_batch=4, max_latency_ms=1.0)
+    service.deploy("qnn", bound_model, calibration=history[0])
+    generator = LoadGenerator(service, features, names=["qnn"], seed=5)
+    with service:
+        report = generator.run(
+            12, drift_history=history[1:3], observe_every=5
+        )
+    assert report.requests == report.completed == 12
+    assert report.throughput_rps > 0
+    assert report.latency_p99_ms >= report.latency_p50_ms
+    assert report.per_model == {"qnn": 12}
+    assert len(report.swaps) == 2
+    payload = report.as_dict()
+    assert payload["requests"] == 12
+
+
+def test_load_generator_validates_inputs(bound_model, history, features):
+    service = _service()
+    service.deploy("qnn", bound_model, calibration=history[0])
+    with pytest.raises(ServingError):
+        LoadGenerator(service, features[0], names=["qnn"])  # 1-D pool
+    with pytest.raises(ServingError):
+        LoadGenerator(service, features, names=[])
+    generator = LoadGenerator(service, features, names=["qnn"])
+    with pytest.raises(ServingError):
+        generator.run(0)

@@ -1,0 +1,149 @@
+"""CalibrationWatcher: drift classification, boundary reuse, hot-swap publish."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.serving import CalibrationWatcher, ModelRegistry, ServingTelemetry
+from repro.simulator import NoiseModel
+from repro.transpiler.pipeline import PassManager
+
+
+@pytest.fixture()
+def registry(bound_model, noise_model):
+    registry = ModelRegistry()
+    registry.publish("qnn", bound_model, noise_model=noise_model)
+    return registry
+
+
+def _warm_watcher(registry, history, **kwargs):
+    """A watcher whose pass manager has seen the deployed compilation."""
+    manager = PassManager()
+    watcher = CalibrationWatcher(registry, "qnn", pass_manager=manager, **kwargs)
+    # Prime the pipeline with the deployment's own compilation so the first
+    # observe has a layout decision to reuse against.
+    model = registry.get("qnn").model
+    from repro.transpiler import Target
+
+    manager.compile(
+        model.ansatz,
+        Target(coupling=model.transpiled.coupling, calibration=history[0]),
+    )
+    return watcher
+
+
+def _crossing_snapshot(snapshot: CalibrationSnapshot) -> CalibrationSnapshot:
+    """A drifted day that provably flips the noise-aware layout winner.
+
+    Every error table is inverted around its own range — the best coupler
+    becomes the worst — so the decision-time winner cannot stay optimal.
+    """
+
+    def invert(table):
+        if not table:
+            return table
+        low, high = min(table.values()), max(table.values())
+        return {key: high + low - value for key, value in table.items()}
+
+    return dataclasses.replace(
+        snapshot,
+        single_qubit_error=invert(snapshot.single_qubit_error),
+        two_qubit_error=invert(snapshot.two_qubit_error),
+        readout_error=invert(snapshot.readout_error),
+        date="2099-01-01",
+    )
+
+
+def _scaled_snapshot(snapshot: CalibrationSnapshot, factor: float) -> CalibrationSnapshot:
+    """The same day with every error rate scaled by ``factor``."""
+    return dataclasses.replace(
+        snapshot,
+        single_qubit_error={
+            k: v * factor for k, v in snapshot.single_qubit_error.items()
+        },
+        two_qubit_error={
+            k: v * factor for k, v in snapshot.two_qubit_error.items()
+        },
+        readout_error={k: v * factor for k, v in snapshot.readout_error.items()},
+        date="2022-01-02",
+    )
+
+
+def test_small_drift_refreshes_within_boundary(registry, history):
+    watcher = _warm_watcher(registry, history)
+    drifted = _scaled_snapshot(history[0], 1.001)  # inside the proof margin
+    report = watcher.observe(drifted)
+    assert report.action == "refresh"
+    assert not report.digest_changed
+    assert not report.parameters_changed
+    assert report.boundary_reused
+    # The publish is real: the served noise model now tracks the new day.
+    current = registry.get("qnn")
+    assert current.version == report.version == 2
+    expected = NoiseModel.from_calibration(drifted)
+    assert (
+        current.noise_model.single_qubit_error
+        == expected.single_qubit_error
+    )
+
+
+def test_boundary_crossing_drift_recompiles(registry, history):
+    watcher = _warm_watcher(registry, history)
+    before = registry.get("qnn")
+    crossing = _crossing_snapshot(history[0])
+    report = watcher.observe(crossing)
+    assert not report.boundary_reused
+    assert report.digest_changed
+    assert report.action == "recompile"
+    after = registry.get("qnn")
+    assert after.compilation_digest != before.compilation_digest
+    assert after.version == 2
+
+
+def test_adapter_readapts_parameters(registry, history):
+    new_parameters = registry.get("qnn").model.parameters + 1.0
+    calls = []
+
+    def adapter(snapshot):
+        calls.append(snapshot)
+        return new_parameters
+
+    watcher = _warm_watcher(registry, history, adapter=adapter)
+    report = watcher.observe(history[2])
+    assert calls == [history[2]]
+    assert report.action == "readapt"
+    assert report.parameters_changed
+    assert np.array_equal(registry.get("qnn").model.parameters, new_parameters)
+
+
+def test_adapter_keeping_parameters_is_a_refresh(registry, history):
+    watcher = _warm_watcher(registry, history, adapter=lambda snapshot: None)
+    report = watcher.observe(history[1])
+    assert report.action == "refresh"
+    assert not report.parameters_changed
+
+
+def test_run_consumes_a_history_in_order(registry, history):
+    telemetry = ServingTelemetry()
+    watcher = _warm_watcher(registry, history, telemetry=telemetry)
+    reports = watcher.run(history[1:5])
+    assert [r.date for r in reports] == [s.date for s in history[1:5]]
+    assert [r.version for r in reports] == [2, 3, 4, 5]
+    swaps = telemetry.as_dict()["swaps"]
+    assert sum(swaps.values()) == 4
+
+
+def test_unbound_deployment_rejects_watching(bound_model):
+    registry = ModelRegistry()
+    unbound = bound_model.copy()
+    unbound.transpiled = None
+    registry.publish("qnn", unbound)
+    watcher = CalibrationWatcher(registry, "qnn", pass_manager=PassManager())
+    from repro.exceptions import ServingError
+
+    with pytest.raises(ServingError):
+        watcher.observe(object())
