@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test unit bench bench-paper bench-json docs-check
+.PHONY: test unit bench bench-paper bench-json bench-gate fleet lint docs-check
 
 ## tier-1 verification: full pytest run (unit tests + reduced-scale benchmarks)
 test:
@@ -27,6 +27,19 @@ bench-json:
 	REPRO_BENCH_JSON=BENCH_runtime.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_batched_evaluation.py -q -s
 	REPRO_BENCH_JSON=BENCH_compiler.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_compile_cache.py -q -s
 	REPRO_BENCH_JSON=BENCH_serving.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_serving_throughput.py -q -s
+
+## assert BENCH_*.json speedups against the committed floors (CI bench-gate)
+bench-gate:
+	$(PYTHON) scripts/bench_gate.py
+
+## quick-scale device-fleet drift replay (2 devices x 2 scenarios)
+fleet:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.experiments fleet --scale test \
+		--devices ring_5,line_5 --scenarios seasonal,jump
+
+## critical-correctness lint (requires ruff; config in ruff.toml)
+lint:
+	ruff check .
 
 ## docs presence + public-API docstring audit
 docs-check:

@@ -1,0 +1,102 @@
+"""Benchmark quality gate used by the CI ``bench-gate`` job.
+
+Reads the machine-readable benchmark artifacts produced by
+``make bench-json`` (``BENCH_runtime.json``, ``BENCH_compiler.json``,
+``BENCH_serving.json``) and asserts that every gated speedup stays at or
+above the floors committed in ``benchmarks/bench_floors.json``.
+
+The floors are conservative by design: CI hosts drift 30-60% between
+scheduling windows, so the gate is tuned to catch a *lost* optimisation
+(a cached path regressing to the uncached one collapses its ratio toward
+1x) while never flaking on honest host noise.  Floors are asserted on
+speedup *ratios*, which divide out most host-speed variation because both
+sides of each ratio run in the same process.
+
+Exit status is non-zero when any artifact is missing, any gated key is
+absent, or any ratio falls below its floor — so the script can gate CI
+directly.  Usage::
+
+    python scripts/bench_gate.py [--floors benchmarks/bench_floors.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "bench_floors.json"
+
+
+def lookup(payload: dict, dotted: str):
+    """Resolve a dotted path (``"multi_sample.speedup"``) in a dict."""
+    value = payload
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def check(floors_path: Path, artifact_dir: Path) -> list[str]:
+    """All gate violations (empty = gate passes); prints the gate table."""
+    floors = json.loads(floors_path.read_text())
+    problems: list[str] = []
+    print(f"{'artifact':<22} {'metric':<30} {'measured':>10} {'floor':>8}  verdict")
+    for artifact_name, gates in floors.items():
+        if artifact_name.startswith("_"):
+            continue
+        artifact_path = artifact_dir / artifact_name
+        if not artifact_path.is_file():
+            problems.append(f"{artifact_name}: artifact missing (run `make bench-json`)")
+            continue
+        payload = json.loads(artifact_path.read_text())
+        for dotted, floor in gates.items():
+            measured = lookup(payload, dotted)
+            if measured is None:
+                problems.append(f"{artifact_name}: key {dotted!r} missing")
+                continue
+            passed = float(measured) >= float(floor)
+            verdict = "ok" if passed else "BELOW FLOOR"
+            print(
+                f"{artifact_name:<22} {dotted:<30} {float(measured):>10.2f} "
+                f"{float(floor):>8.2f}  {verdict}"
+            )
+            if not passed:
+                problems.append(
+                    f"{artifact_name}: {dotted} = {float(measured):.2f} "
+                    f"below floor {float(floor):.2f}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    """Run the gate; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--floors",
+        type=Path,
+        default=DEFAULT_FLOORS,
+        help="floors JSON (default: benchmarks/bench_floors.json)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    problems = check(args.floors, args.artifact_dir)
+    if problems:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

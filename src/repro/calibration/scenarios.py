@@ -1,0 +1,564 @@
+"""Drift scenarios: structured, composable families of calibration drift.
+
+The synthetic generator in :mod:`repro.calibration.synthetic` replays *one*
+statistical regime — a mean-reverting walk with random high-noise episodes.
+The paper's claim, however, is about behaviour under calibration drift in
+general, and a serving stack should be stress-tested against *families* of
+drift, not a single trace.  This module provides that scenario layer:
+
+* a :class:`DriftScenario` is a pure function from ``(num_days, channels,
+  rng)`` to a per-day, per-channel **log-space perturbation field** applied
+  on top of a device's baseline error rates;
+* built-in scenarios cover the qualitatively distinct regimes a fleet
+  operator sees: gradual seasonal drift (:class:`GradualDrift`), sudden
+  jumps with later recalibration (:class:`SuddenJump`), correlated
+  multi-qubit degradation (:class:`CorrelatedDegradation`), heteroskedastic
+  per-feature noise (:class:`HeteroskedasticNoise`), readout-only drift
+  (:class:`ReadoutDrift`), and a no-drift control (:class:`CalmScenario`);
+* scenarios compose: ``a + b`` sums fields (multiplies error-rate factors),
+  ``a.scaled(k)`` attenuates or amplifies, and ``a.splice(b, at)`` switches
+  regimes mid-history — so "two quiet months, then a bad quarter" is one
+  expression;
+* :meth:`DriftScenario.history` renders a scenario into a
+  :class:`~repro.calibration.history.CalibrationHistory` for any device of
+  :data:`repro.transpiler.devices.DEVICE_LIBRARY` (or the paper's IBM
+  chips), with per-``(seed, device, scenario)`` reproducible streams and
+  error rates clipped into physical bounds.
+
+Everything downstream — the :mod:`repro.fleet` harness, the CLI ``fleet``
+subcommand, the serving watcher — consumes scenarios only through
+:func:`get_scenario` / :meth:`DriftScenario.history`, so new scenario
+families are pure additions to :data:`SCENARIO_LIBRARY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from repro.calibration.backends import BackendSpec
+from repro.calibration.history import CalibrationHistory
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.calibration.synthetic import (
+    _iso_dates,
+    device_seed_sequence,
+    resolve_device,
+)
+from repro.exceptions import CalibrationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One error-rate channel of a device (a feature of its snapshots).
+
+    Attributes
+    ----------
+    kind:
+        ``"single"`` (single-qubit gate error), ``"two"`` (CNOT error of a
+        coupler), or ``"readout"`` (assignment error).
+    key:
+        The qubit index (``single`` / ``readout``) or sorted qubit pair
+        (``two``).
+    baseline:
+        The device's baseline error rate the scenario perturbs around.
+    """
+
+    kind: str
+    key: object
+    baseline: float
+
+    def qubits(self) -> tuple[int, ...]:
+        """The physical qubits this channel touches."""
+        if self.kind == "two":
+            return tuple(self.key)
+        return (int(self.key),)
+
+
+def backend_channels(spec: BackendSpec) -> list[Channel]:
+    """The ordered channel list of a backend (snapshot feature order)."""
+    channels = [
+        Channel("single", qubit, error)
+        for qubit, error in sorted(spec.base_single_qubit_error.items())
+    ]
+    channels += [
+        Channel("two", pair, error)
+        for pair, error in sorted(spec.base_two_qubit_error.items())
+    ]
+    channels += [
+        Channel("readout", qubit, error)
+        for qubit, error in sorted(spec.base_readout_error.items())
+    ]
+    if not channels:
+        raise CalibrationError("backend has no baseline error channels")
+    return channels
+
+
+@dataclass(frozen=True)
+class ScenarioBounds:
+    """Physical clipping bounds applied when rendering a scenario.
+
+    Defaults match the caps of
+    :class:`~repro.calibration.synthetic.FluctuationConfig`, so scenario
+    histories live in the same numeric regime as the paper's synthetic
+    traces.
+    """
+
+    single_qubit_floor: float = 1e-6
+    single_qubit_cap: float = 0.01
+    two_qubit_floor: float = 1e-5
+    two_qubit_cap: float = 0.08
+    readout_floor: float = 1e-3
+    readout_cap: float = 0.12
+
+    def clip(self, channel: Channel, value: float) -> float:
+        """Clip one error-rate value into the channel's physical range."""
+        if channel.kind == "single":
+            return float(np.clip(value, self.single_qubit_floor, self.single_qubit_cap))
+        if channel.kind == "two":
+            return float(np.clip(value, self.two_qubit_floor, self.two_qubit_cap))
+        return float(np.clip(value, self.readout_floor, self.readout_cap))
+
+
+def _progress(num_days: int) -> np.ndarray:
+    """Per-day progress in ``[0, 1]`` (0 for a single-day history)."""
+    if num_days <= 1:
+        return np.zeros(num_days)
+    return np.arange(num_days) / (num_days - 1)
+
+
+class DriftScenario:
+    """Base class: a deterministic per-day log-space perturbation field.
+
+    Subclasses implement :meth:`field`; everything else — combinators,
+    naming, rendering into calibration histories — is shared.  Scenarios
+    are stateless: all randomness flows through the ``rng`` handed to
+    :meth:`field`, so a scenario object can be reused across devices and
+    seeds without cross-talk.
+    """
+
+    name: str = "scenario"
+
+    def field(
+        self, num_days: int, channels: Sequence[Channel], rng: np.random.Generator
+    ) -> np.ndarray:
+        """The ``(num_days, len(channels))`` log-space perturbation matrix."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def __add__(self, other: "DriftScenario") -> "CompositeScenario":
+        """Sum two scenarios' fields (multiply their error-rate factors)."""
+        if not isinstance(other, DriftScenario):
+            return NotImplemented
+        return CompositeScenario([self, other])
+
+    def scaled(self, factor: float) -> "ScaledScenario":
+        """Attenuate (``factor < 1``) or amplify (``> 1``) this scenario."""
+        return ScaledScenario(self, factor)
+
+    def splice(self, other: "DriftScenario", at: float) -> "SplicedScenario":
+        """Switch from this scenario to ``other`` at day ``at``.
+
+        ``at`` is an absolute day index when >= 1, or a fraction of the
+        history length when in ``(0, 1)``.
+        """
+        return SplicedScenario(self, other, at)
+
+    def named(self, name: str) -> "DriftScenario":
+        """Set this scenario's display name (returns ``self`` for chaining)."""
+        self.name = name
+        return self
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def history(
+        self,
+        device: Union[str, BackendSpec],
+        num_days: int,
+        seed: SeedLike = 0,
+        start_date: str | None = None,
+        bounds: ScenarioBounds | None = None,
+    ) -> CalibrationHistory:
+        """Render this scenario into a calibration history for ``device``.
+
+        The device's baseline identity derives from ``(seed, device)`` and
+        the scenario's perturbation stream from ``(seed, device,
+        scenario name)`` — both via
+        :func:`~repro.calibration.synthetic.device_seed_sequence` — so the
+        same cell always replays identically while different cells of a
+        fleet stay statistically independent.
+        """
+        if num_days <= 0:
+            raise CalibrationError(f"num_days must be positive, got {num_days}")
+        bounds = bounds or ScenarioBounds()
+        spec, default_start, device_rng = resolve_device(device, seed)
+        if isinstance(seed, (int, np.integer)):
+            rng = np.random.default_rng(
+                device_seed_sequence(spec.name, int(seed), "scenario", self.name)
+            )
+        else:
+            rng = ensure_rng(device_rng)
+        channels = backend_channels(spec)
+        field = np.asarray(self.field(num_days, channels, rng), dtype=float)
+        if field.shape != (num_days, len(channels)):
+            raise CalibrationError(
+                f"scenario {self.name!r} produced field of shape {field.shape}; "
+                f"expected {(num_days, len(channels))}"
+            )
+        baselines = np.array([channel.baseline for channel in channels])
+        values = np.exp(np.log(baselines)[None, :] + field)
+        dates = _iso_dates(
+            start_date if start_date is not None else default_start, num_days
+        )
+        history = CalibrationHistory()
+        for day in range(num_days):
+            single: dict[int, float] = {}
+            two: dict[tuple[int, int], float] = {}
+            readout: dict[int, float] = {}
+            for channel, value in zip(channels, values[day]):
+                clipped = bounds.clip(channel, value)
+                if channel.kind == "single":
+                    single[channel.key] = clipped
+                elif channel.kind == "two":
+                    two[channel.key] = clipped
+                else:
+                    readout[channel.key] = clipped
+            history.append(
+                CalibrationSnapshot(
+                    num_qubits=spec.num_qubits,
+                    single_qubit_error=single,
+                    two_qubit_error=two,
+                    readout_error=readout,
+                    date=dates[day],
+                )
+            )
+        return history
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario families
+# ----------------------------------------------------------------------
+class CalmScenario(DriftScenario):
+    """No drift at all: every day replays the baseline calibration.
+
+    The control cell of a fleet sweep — any adaptation actions beyond the
+    initial refresh are false positives under this scenario.
+    """
+
+    name = "calm"
+
+    def field(self, num_days, channels, rng):
+        """A zero field (baseline error rates every day)."""
+        return np.zeros((num_days, len(channels)))
+
+
+class GradualDrift(DriftScenario):
+    """Gradual seasonal drift: per-channel sinusoid plus a slow ramp.
+
+    Models the slow ageing + seasonal (cryostat / facility) component of
+    real calibration series.  Each channel gets its own random phase, so
+    the *ranking* of noisy channels rotates through the season — the
+    heterogeneity that drives the paper's layout adaptation.
+    """
+
+    name = "seasonal"
+
+    def __init__(
+        self,
+        amplitude: float = 0.3,
+        period_days: float = 90.0,
+        ramp: float = 0.35,
+        wobble_sigma: float = 0.02,
+    ):
+        self.amplitude = amplitude
+        self.period_days = period_days
+        self.ramp = ramp
+        self.wobble_sigma = wobble_sigma
+
+    def field(self, num_days, channels, rng):
+        """Sinusoid with per-channel phase + linear ramp + small wobble."""
+        n = len(channels)
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=n)
+        days = np.arange(num_days)[:, None]
+        seasonal = self.amplitude * np.sin(
+            2.0 * np.pi * days / self.period_days + phases[None, :]
+        )
+        ramp = self.ramp * _progress(num_days)[:, None]
+        wobble = rng.normal(0.0, self.wobble_sigma, size=(num_days, n))
+        return seasonal + ramp + wobble
+
+
+class SuddenJump(DriftScenario):
+    """Sudden degradation jumps, later cleared by recalibration events.
+
+    A step process: with probability ``jump_rate`` per day a random subset
+    of channels jumps up by a multiplicative factor, and with probability
+    ``recalibration_rate`` per day the device is recalibrated back to its
+    baseline — the "the fridge was opened / the morning calibration fixed
+    it" regime, and the hardest case for a serving watcher because both
+    edges are discontinuous.
+    """
+
+    name = "jump"
+
+    def __init__(
+        self,
+        jump_rate: float = 0.08,
+        recalibration_rate: float = 0.2,
+        jump_scale: tuple[float, float] = (1.8, 3.5),
+        affected_fraction: float = 0.5,
+    ):
+        self.jump_rate = jump_rate
+        self.recalibration_rate = recalibration_rate
+        self.jump_scale = jump_scale
+        self.affected_fraction = affected_fraction
+
+    def field(self, num_days, channels, rng):
+        """Accumulated jump offsets, reset to zero on recalibration days."""
+        n = len(channels)
+        offsets = np.zeros(n)
+        rows = np.zeros((num_days, n))
+        for day in range(num_days):
+            if offsets.any() and rng.random() < self.recalibration_rate:
+                offsets[:] = 0.0
+            if rng.random() < self.jump_rate:
+                affected = rng.random(n) < self.affected_fraction
+                if not affected.any():
+                    affected[rng.integers(0, n)] = True
+                jump = np.log(rng.uniform(*self.jump_scale))
+                offsets = np.where(affected, offsets + jump, offsets)
+            rows[day] = offsets
+        return rows
+
+
+class CorrelatedDegradation(DriftScenario):
+    """Correlated degradation of a connected multi-qubit region.
+
+    Picks a random seed qubit and grows a cluster along the device's
+    couplers; every channel touching the cluster then degrades together —
+    a shared monotone ramp plus one shared random walk.  Channels fully
+    inside the cluster feel the full effect, boundary couplers half of it.
+    Models a cold-finger / TWPA / wiring problem that takes out a chip
+    region rather than independent qubits.
+    """
+
+    name = "correlated"
+
+    def __init__(
+        self,
+        cluster_fraction: float = 0.5,
+        rate: float = 0.9,
+        shared_sigma: float = 0.05,
+    ):
+        self.cluster_fraction = cluster_fraction
+        self.rate = rate
+        self.shared_sigma = shared_sigma
+
+    def _cluster(self, channels: Sequence[Channel], rng) -> set[int]:
+        qubits = sorted({q for channel in channels for q in channel.qubits()})
+        adjacency: dict[int, set[int]] = {q: set() for q in qubits}
+        for channel in channels:
+            if channel.kind == "two":
+                a, b = channel.qubits()
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        size = max(2, int(round(self.cluster_fraction * len(qubits))))
+        start = int(rng.choice(np.asarray(qubits)))
+        cluster = {start}
+        frontier = [start]
+        while frontier and len(cluster) < size:
+            current = frontier.pop(0)
+            for neighbor in sorted(adjacency[current]):
+                if neighbor not in cluster:
+                    cluster.add(neighbor)
+                    frontier.append(neighbor)
+                    if len(cluster) >= size:
+                        break
+        return cluster
+
+    def field(self, num_days, channels, rng):
+        """Shared ramp + shared walk, weighted by cluster membership."""
+        cluster = self._cluster(channels, rng)
+        weights = np.array(
+            [
+                1.0
+                if set(channel.qubits()) <= cluster
+                else 0.5
+                if set(channel.qubits()) & cluster
+                else 0.0
+                for channel in channels
+            ]
+        )
+        shared_walk = np.cumsum(rng.normal(0.0, self.shared_sigma, size=num_days))
+        trend = self.rate * _progress(num_days) + shared_walk
+        return trend[:, None] * weights[None, :]
+
+
+class HeteroskedasticNoise(DriftScenario):
+    """Independent daily noise whose variance differs per channel.
+
+    Each channel draws its own volatility from ``sigma_range``; some
+    features are then nearly flat while others swing daily — the
+    per-feature heteroskedasticity that stresses drift detectors tuned to
+    a single global threshold.
+    """
+
+    name = "heteroskedastic"
+
+    def __init__(self, sigma_range: tuple[float, float] = (0.02, 0.3)):
+        self.sigma_range = sigma_range
+
+    def field(self, num_days, channels, rng):
+        """IID daily log-noise with per-channel volatility."""
+        n = len(channels)
+        sigmas = rng.uniform(*self.sigma_range, size=n)
+        return rng.normal(0.0, 1.0, size=(num_days, n)) * sigmas[None, :]
+
+
+class ReadoutDrift(DriftScenario):
+    """Drift confined to the readout (measurement) channels.
+
+    Gate errors stay at baseline while readout errors random-walk upward —
+    the regime where recompilation (layout) should *not* trigger but
+    readout-sensitive adaptation should.
+    """
+
+    name = "readout_drift"
+
+    def __init__(self, walk_sigma: float = 0.06, ramp: float = 0.4):
+        self.walk_sigma = walk_sigma
+        self.ramp = ramp
+
+    def field(self, num_days, channels, rng):
+        """Random walk + ramp on readout channels, zeros elsewhere."""
+        n = len(channels)
+        mask = np.array([channel.kind == "readout" for channel in channels])
+        rows = np.zeros((num_days, n))
+        count = int(mask.sum())
+        if count:
+            walk = np.cumsum(
+                rng.normal(0.0, self.walk_sigma, size=(num_days, count)), axis=0
+            )
+            rows[:, mask] = walk + self.ramp * _progress(num_days)[:, None]
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Combinator scenarios
+# ----------------------------------------------------------------------
+class CompositeScenario(DriftScenario):
+    """Sum of several scenarios' fields (product of error-rate factors).
+
+    Each part draws from its own child stream spawned deterministically
+    from the render rng, so a composite is reproducible regardless of how
+    its parts consume randomness.
+    """
+
+    def __init__(self, parts: Sequence[DriftScenario]):
+        flattened: list[DriftScenario] = []
+        for part in parts:
+            if isinstance(part, CompositeScenario):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        if not flattened:
+            raise CalibrationError("a composite scenario needs at least one part")
+        self.parts = flattened
+        self.name = "+".join(part.name for part in flattened)
+
+    def field(self, num_days, channels, rng):
+        """Sum of every part's field, each on its own spawned stream."""
+        children = rng.spawn(len(self.parts))
+        total = np.zeros((num_days, len(channels)))
+        for part, child in zip(self.parts, children):
+            total = total + np.asarray(part.field(num_days, channels, child))
+        return total
+
+
+class ScaledScenario(DriftScenario):
+    """A scenario's field multiplied by a constant factor."""
+
+    def __init__(self, inner: DriftScenario, factor: float):
+        self.inner = inner
+        self.factor = float(factor)
+        self.name = f"{self.factor:g}x({inner.name})"
+
+    def field(self, num_days, channels, rng):
+        """The inner field scaled by ``factor``."""
+        return self.factor * np.asarray(self.inner.field(num_days, channels, rng))
+
+
+class SplicedScenario(DriftScenario):
+    """Regime change: one scenario's days followed by another's.
+
+    ``at`` is an absolute day index (``>= 1``) or a fraction of the
+    history (``0 < at < 1``).  Both halves render over the full horizon on
+    independent spawned streams and the rows are stitched, so moving the
+    splice point never changes either regime's internal trajectory.
+    """
+
+    def __init__(self, first: DriftScenario, second: DriftScenario, at: float):
+        if at <= 0:
+            raise CalibrationError(f"splice point must be positive, got {at}")
+        self.first = first
+        self.second = second
+        self.at = at
+        self.name = f"{first.name}|{second.name}@{at:g}"
+
+    def _split_day(self, num_days: int) -> int:
+        if 0 < self.at < 1:
+            day = int(round(self.at * num_days))
+        else:
+            day = int(self.at)
+        return min(max(day, 0), num_days)
+
+    def field(self, num_days, channels, rng):
+        """First regime's rows up to the splice day, then the second's."""
+        split = self._split_day(num_days)
+        first_rng, second_rng = rng.spawn(2)
+        first = np.asarray(self.first.field(num_days, channels, first_rng))
+        second = np.asarray(self.second.field(num_days, channels, second_rng))
+        return np.vstack([first[:split], second[split:]])
+
+
+# ----------------------------------------------------------------------
+# Library
+# ----------------------------------------------------------------------
+#: name -> factory for every built-in scenario (fresh instance per call).
+SCENARIO_LIBRARY: dict[str, Callable[[], DriftScenario]] = {
+    "calm": CalmScenario,
+    "seasonal": GradualDrift,
+    "jump": SuddenJump,
+    "correlated": CorrelatedDegradation,
+    "heteroskedastic": HeteroskedasticNoise,
+    "readout_drift": ReadoutDrift,
+    # Composites exercising the combinator algebra.
+    "storm": lambda: (
+        GradualDrift() + SuddenJump().scaled(0.8) + HeteroskedasticNoise()
+    ).named("storm"),
+    "recovery": lambda: SuddenJump(jump_rate=0.3)
+    .splice(CalmScenario(), 0.5)
+    .named("recovery"),
+}
+
+
+def list_scenarios() -> list[str]:
+    """Every selectable scenario name, sorted."""
+    return sorted(SCENARIO_LIBRARY)
+
+
+def get_scenario(scenario: Union[str, DriftScenario]) -> DriftScenario:
+    """Resolve a scenario name (or pass an instance through)."""
+    if isinstance(scenario, DriftScenario):
+        return scenario
+    key = scenario.lower()
+    if key not in SCENARIO_LIBRARY:
+        raise CalibrationError(
+            f"unknown scenario {scenario!r}; known scenarios: {list_scenarios()}"
+        )
+    return SCENARIO_LIBRARY[key]()

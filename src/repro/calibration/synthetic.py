@@ -17,6 +17,7 @@ Everything is driven by an explicit seed so experiments are reproducible.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from datetime import date, timedelta
 from typing import Optional, Union
@@ -228,6 +229,75 @@ _DEVICE_START_DATES = {
 }
 
 
+def device_seed_sequence(
+    device_name: str, seed: int, *labels: str
+) -> np.random.SeedSequence:
+    """A per-device (and per-purpose) :class:`numpy.random.SeedSequence`.
+
+    The entropy mixes the integer ``seed`` with a stable hash of the device
+    name plus any extra ``labels`` (e.g. a scenario name), so every
+    ``(seed, device, label...)`` combination owns a statistically
+    independent stream.  This is what keeps a multi-device fleet run with
+    one master seed from replaying the *same* fluctuation trace on every
+    device — the bug fixed in PR 5 — while staying fully reproducible.
+    """
+    entropy = [int(seed) % (2**63)]
+    for token in (device_name.lower(), *labels):
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        entropy.extend(
+            int.from_bytes(digest[offset : offset + 4], "little")
+            for offset in range(0, 16, 4)
+        )
+    return np.random.SeedSequence(entropy)
+
+
+def resolve_device(
+    device: Union[str, BackendSpec], seed: SeedLike = 2021
+) -> tuple[BackendSpec, str, np.random.Generator]:
+    """Resolve a device to ``(spec, default_start_date, drift_rng)``.
+
+    The paper's IBM names (``belem`` / ``jakarta``) keep their hand-tuned
+    baselines and the legacy single-stream seeding, so histories stay
+    bit-identical to the dedicated ``generate_*_history`` generators.  Any
+    other name (or explicit :class:`~repro.calibration.backends.BackendSpec`)
+    gets a per-device seed stream via :func:`device_seed_sequence`: the
+    baseline identity and the day-to-day drift each draw from their own
+    spawned child, so devices sharing one master seed stay decorrelated.
+
+    Passing an existing ``Generator`` (or ``None``) as ``seed`` opts out of
+    the per-device derivation — the caller then owns the stream.
+    """
+    from repro.calibration.backends import get_backend
+
+    if isinstance(device, BackendSpec):
+        spec = device
+        key = spec.name.lower()
+    else:
+        key = device.lower()
+        spec = None
+    start_date = _DEVICE_START_DATES.get(key, "2022-01-01")
+
+    if key in _DEVICE_START_DATES:
+        # IBM device: hand-tuned paper baselines, legacy seeding.
+        if spec is None:
+            spec = get_backend(key)
+        return spec, start_date, ensure_rng(seed)
+
+    if isinstance(seed, (int, np.integer)):
+        sequence = device_seed_sequence(key, int(seed))
+        baseline_seq, drift_seq = sequence.spawn(2)
+        if spec is None:
+            baseline_seed = int(baseline_seq.generate_state(1)[0] % (2**31))
+            spec = get_backend(key, seed=baseline_seed)
+        return spec, start_date, np.random.default_rng(drift_seq)
+
+    # Generator / None: the caller manages the stream (legacy behaviour).
+    rng = ensure_rng(seed)
+    if spec is None:
+        spec = get_backend(key, seed=int(rng.integers(2**31)))
+    return spec, start_date, rng
+
+
 def generate_device_history(
     device: Union[str, BackendSpec],
     num_days: int,
@@ -246,23 +316,14 @@ def generate_device_history(
     longitudinal experiments' path to running on the whole device library.
 
     For library devices both the baseline error rates and the day-to-day
-    fluctuations derive from ``seed`` (any ``SeedLike``, including a
-    ``Generator``): the baseline seed is drawn from the seeded stream, so
-    different seeds give genuinely different device identities.
+    fluctuations derive from a **per-device** seed stream
+    (:func:`resolve_device`): two different devices generated with the same
+    integer master seed get independent traces, and the same device always
+    reproduces its own.  Passing a ``Generator`` instead of an integer seed
+    keeps the caller-managed single-stream behaviour.
     """
-    from repro.calibration.backends import get_backend
-
-    rng = ensure_rng(seed)
-    if isinstance(device, BackendSpec):
-        spec = device
-        key = spec.name.lower()
-    else:
-        key = device.lower()
-        if key in _DEVICE_START_DATES:
-            spec = get_backend(key)  # IBM device: hand-tuned paper baselines
-        else:
-            spec = get_backend(key, seed=int(rng.integers(2**31)))
-    if start_date is None:
-        start_date = _DEVICE_START_DATES.get(key, "2022-01-01")
+    spec, default_start, rng = resolve_device(device, seed)
     generator = FluctuatingNoiseGenerator(spec, config=config, seed=rng)
-    return generator.generate(num_days, start_date=start_date)
+    return generator.generate(
+        num_days, start_date=start_date if start_date is not None else default_start
+    )

@@ -12,6 +12,7 @@ from repro.experiments.context import (
     build_dataset,
     build_model_for_dataset,
     prepare_experiment,
+    train_base_model_for,
 )
 from repro.experiments.longitudinal import (
     LongitudinalResult,
@@ -33,6 +34,11 @@ from repro.experiments.table1 import (
     run_table1,
 )
 from repro.experiments.serve import SERVE_MODEL_NAME, ServeResult, run_serve
+from repro.experiments.fleet import (
+    DEFAULT_FLEET_DEVICES,
+    DEFAULT_FLEET_SCENARIOS,
+    run_fleet,
+)
 from repro.experiments.table2 import ClusterEvaluation, Table2Result, run_table2
 from repro.experiments.reporting import format_series, format_table, percent
 from repro.experiments.cli import EXPERIMENTS, SCALES, main as cli_main
@@ -47,6 +53,7 @@ __all__ = [
     "prepare_experiment",
     "build_dataset",
     "build_model_for_dataset",
+    "train_base_model_for",
     "run_longitudinal",
     "LongitudinalResult",
     "MethodRun",
@@ -79,6 +86,9 @@ __all__ = [
     "run_serve",
     "ServeResult",
     "SERVE_MODEL_NAME",
+    "run_fleet",
+    "DEFAULT_FLEET_DEVICES",
+    "DEFAULT_FLEET_SCENARIOS",
     "format_table",
     "format_series",
     "percent",

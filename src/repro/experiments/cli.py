@@ -8,7 +8,9 @@ One front door for every reproduction harness::
         --records runs.jsonl
     python -m repro.experiments longitudinal --device ring_5
     python -m repro.experiments serve --requests 256 --max-batch 16
+    python -m repro.experiments fleet --devices belem,ring_5 --scenarios seasonal,jump
     python -m repro.experiments --list-devices
+    python -m repro.experiments --list-scenarios
 
 The CLI wires the chosen :class:`~repro.experiments.config.ExperimentScale`
 and a configured :class:`~repro.runtime.ExperimentRunner` (mode, workers,
@@ -18,7 +20,10 @@ human-readable summary, and can dump the machine-readable summary as JSON.
 ``fig1`` (pure calibration statistics) and ``fig3`` (a direct
 ``execute_batch`` grid sweep) perform no per-day evaluations, so the
 runner flags have no effect on them — the printed ``runner`` block shows
-``days_evaluated: 0`` for those harnesses.
+``days_evaluated: 0`` for those harnesses.  The same applies to ``fleet``:
+cells build private runners and pass managers, so the top-level ``runner``
+/ ``compiler`` blocks stay idle and the real counters live per cell in
+``summary.cells[*].runner`` / ``summary.cells[*].compiler``.
 """
 
 from __future__ import annotations
@@ -185,6 +190,22 @@ def _run_serve(scale, runner, device=None, options=None):
     return result, result.summary()
 
 
+def _run_fleet(scale, runner, device=None, options=None):
+    from repro.experiments.fleet import run_fleet
+
+    _reject_device("fleet", device)  # the fleet grid uses --devices instead
+    result = run_fleet(
+        scale,
+        devices=getattr(options, "devices", None),
+        scenarios=getattr(options, "scenarios", None),
+        cell_workers=getattr(options, "cell_workers", None),
+        record_log=getattr(options, "records", None),
+    )
+    summary = result.as_dict()
+    summary["formatted"] = result.format()
+    return result, summary
+
+
 #: Experiment registry: name → harness adapter returning (result, summary).
 EXPERIMENTS: dict[str, Callable] = {
     "fig1": _run_fig1,
@@ -198,6 +219,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "table2": _run_table2,
     "longitudinal": _run_longitudinal,
     "serve": _run_serve,
+    "fleet": _run_fleet,
 }
 
 
@@ -229,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-devices",
         action="store_true",
         help="print every selectable device name and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print every selectable drift-scenario name and exit",
     )
     parser.add_argument(
         "--runner-mode",
@@ -280,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="feed one drift snapshot to the watcher every N requests "
         "(default: spread the online history across the stream)",
     )
+    fleet = parser.add_argument_group("fleet (fleet experiment only)")
+    fleet.add_argument(
+        "--devices",
+        default=None,
+        help="comma-separated device names for the fleet grid "
+        "(default: belem,ring_5; see --list-devices)",
+    )
+    fleet.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated drift-scenario names for the fleet grid "
+        "(default: seasonal,jump; see --list-scenarios)",
+    )
+    fleet.add_argument(
+        "--cell-workers",
+        type=int,
+        default=None,
+        help="concurrent (device x scenario) cells (default: min(4, cells))",
+    )
     return parser
 
 
@@ -294,21 +340,41 @@ def main(argv: Optional[list[str]] = None) -> int:
             coupling = get_device_coupling(name)
             print(f"{name}: {coupling.num_qubits} qubits, {len(coupling.edges)} couplers")
         return 0
+    if args.list_scenarios:
+        from repro.calibration.scenarios import get_scenario, list_scenarios
+
+        for name in list_scenarios():
+            print(f"{name}: {type(get_scenario(name)).__doc__.splitlines()[0]}")
+        return 0
     if args.name is None:
-        parser.error("an experiment name is required (or pass --list-devices)")
+        parser.error(
+            "an experiment name is required (or pass --list-devices / --list-scenarios)"
+        )
     # Mirror the _reject_device convention: an inapplicable knob is an
     # error, never a silent no-op.  The serving flags only drive `serve`;
-    # the runner flags drive every harness *except* `serve` (the service
-    # owns its own dispatch thread and caches).
-    if args.name != "serve":
-        inapplicable = ("requests", "max_batch", "max_latency_ms", "observe_every")
+    # the fleet flags only drive `fleet`; the runner flags drive every
+    # evaluation harness — except `serve` (the service owns its own
+    # dispatch thread and caches) and `fleet` (cells build private
+    # runners; only the shared --records attribution log applies).
+    serving_options = ("requests", "max_batch", "max_latency_ms", "observe_every")
+    fleet_options = ("devices", "scenarios", "cell_workers")
+    runner_options = ("runner_mode", "workers", "chunk_days", "records", "cache")
+    if args.name == "serve":
+        inapplicable = runner_options + fleet_options
+    elif args.name == "fleet":
+        inapplicable = serving_options + (
+            "runner_mode",
+            "workers",
+            "chunk_days",
+            "cache",
+        )
     else:
-        inapplicable = ("runner_mode", "workers", "chunk_days", "records", "cache")
+        inapplicable = serving_options + fleet_options
     for option in inapplicable:
         if getattr(args, option) != parser.get_default(option):
-            applies = "'serve'" if args.name != "serve" else "the evaluation harnesses, not 'serve'"
             parser.error(
-                f"--{option.replace('_', '-')} only applies to {applies}"
+                f"--{option.replace('_', '-')} does not apply to "
+                f"experiment {args.name!r}"
             )
     scale = SCALES[args.scale]
     runner = ExperimentRunner(

@@ -98,11 +98,29 @@ def build_model_for_dataset(name: str, dataset: Dataset, scale: ExperimentScale)
     )
 
 
+def train_base_model_for(model: QNNModel, dataset: Dataset, scale: ExperimentScale) -> None:
+    """The canonical noise-free base-model training step (in place).
+
+    Single source of truth for the subset size, seed, and train config —
+    :func:`prepare_experiment` and the fleet harness's shared-template
+    training both call it, so their parameters can never silently diverge.
+    """
+    subset = dataset.subsample(num_train=max(scale.train_samples * 2, 64), seed=scale.seed)
+    train_noise_free(
+        model,
+        subset.train_features,
+        subset.train_labels,
+        scale.train_config(),
+    )
+
+
 def prepare_experiment(
     dataset_name: str = "mnist4",
     scale: Optional[ExperimentScale] = None,
     device: str = "belem",
     train_base_model: bool = True,
+    history: Optional[CalibrationHistory] = None,
+    pass_manager=None,
 ) -> ExperimentSetup:
     """Build the standard experimental setup for one dataset.
 
@@ -113,6 +131,13 @@ def prepare_experiment(
     :data:`repro.transpiler.devices.DEVICE_LIBRARY` entry; density-matrix
     simulation is exponential in device size, so experiment devices must not
     exceed 10 qubits (the big lattices are for the transpiler benchmarks).
+
+    ``history`` overrides the default synthetic calibration history — the
+    fleet harness uses this to replay a
+    :class:`~repro.calibration.scenarios.DriftScenario` trace instead; it
+    must span at least ``offline_days + online_days`` snapshots for the
+    device.  ``pass_manager`` selects the compilation artifact pool for the
+    device binding (default: the process-wide one).
     """
     scale = scale or ExperimentScale()
     dataset = build_dataset(dataset_name, scale)
@@ -130,7 +155,19 @@ def prepare_experiment(
             "experiment harnesses support at most 10 (use the large lattices "
             "for transpiler-level work only)"
         )
-    if device_key in {"belem", "ibmq_belem"}:
+    if history is not None:
+        if len(history) < num_days:
+            raise ReproError(
+                f"provided history has {len(history)} days; the scale needs "
+                f"{num_days} (offline {scale.offline_days} + online {scale.online_days})"
+            )
+        if history[0].num_qubits != coupling.num_qubits:
+            raise ReproError(
+                f"provided history is for a {history[0].num_qubits}-qubit device; "
+                f"{device!r} has {coupling.num_qubits} qubits"
+            )
+        history = history[:num_days]
+    elif device_key in {"belem", "ibmq_belem"}:
         history = generate_belem_history(num_days, seed=scale.seed)
     elif device_key in {"jakarta", "ibm_jakarta"}:
         history = generate_jakarta_history(num_days, seed=scale.seed)
@@ -139,15 +176,9 @@ def prepare_experiment(
     offline_history, online_history = history.split(scale.offline_days)
 
     model = build_model_for_dataset(dataset_name, dataset, scale)
-    model.bind_to_device(coupling, calibration=history[0])
+    model.bind_to_device(coupling, calibration=history[0], pass_manager=pass_manager)
     if train_base_model:
-        subset = dataset.subsample(num_train=max(scale.train_samples * 2, 64), seed=scale.seed)
-        train_noise_free(
-            model,
-            subset.train_features,
-            subset.train_labels,
-            scale.train_config(),
-        )
+        train_base_model_for(model, dataset, scale)
     return ExperimentSetup(
         dataset_name=dataset_name,
         dataset=dataset,

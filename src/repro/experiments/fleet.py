@@ -1,0 +1,67 @@
+"""The ``fleet`` harness: device-fleet drift replay behind the CLI.
+
+This is the experiments-layer front door to :mod:`repro.fleet`: it parses
+the CLI's comma-separated device/scenario lists, applies the default grid,
+and runs the :class:`~repro.fleet.FleetHarness` at the requested scale.
+``python -m repro.experiments fleet --scale test`` replays the default
+2 × 2 grid (≥ 4 cells) and prints the per-cell JSON report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentScale
+from repro.runtime import RunRecordLog
+from repro.runtime.records import PathLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.fleet
+    # imports the experiments layer; the runtime import lives in run_fleet)
+    from repro.fleet import FleetReport
+
+#: Default fleet grid: one paper chip and one library topology...
+DEFAULT_FLEET_DEVICES: tuple[str, ...] = ("belem", "ring_5")
+#: ...crossed with one gradual and one discontinuous drift family.
+DEFAULT_FLEET_SCENARIOS: tuple[str, ...] = ("seasonal", "jump")
+
+
+def _parse_list(value: Union[str, Sequence[str], None], default: tuple[str, ...]) -> list[str]:
+    """Normalize a comma-separated CLI string (or sequence) into a list."""
+    if value is None:
+        return list(default)
+    if isinstance(value, str):
+        items = [item.strip() for item in value.split(",")]
+    else:
+        items = [str(item).strip() for item in value]
+    items = [item for item in items if item]
+    if not items:
+        raise ReproError("device/scenario lists must name at least one entry")
+    return items
+
+
+def run_fleet(
+    scale: Optional[ExperimentScale] = None,
+    devices: Union[str, Sequence[str], None] = None,
+    scenarios: Union[str, Sequence[str], None] = None,
+    dataset_name: str = "mnist4",
+    cell_workers: Optional[int] = None,
+    record_log: Union[RunRecordLog, PathLike, None] = None,
+    seed: Optional[int] = None,
+) -> FleetReport:
+    """Replay the (devices × scenarios) grid; returns the fleet report.
+
+    ``devices`` / ``scenarios`` accept comma-separated strings (the CLI
+    form) or sequences; omitted lists fall back to the default 2 × 2 grid.
+    """
+    from repro.fleet import run_fleet as _run_fleet_grid
+
+    return _run_fleet_grid(
+        _parse_list(devices, DEFAULT_FLEET_DEVICES),
+        _parse_list(scenarios, DEFAULT_FLEET_SCENARIOS),
+        scale=scale or ExperimentScale(),
+        dataset_name=dataset_name,
+        cell_workers=cell_workers,
+        record_log=record_log,
+        seed=seed,
+    )

@@ -1,0 +1,21 @@
+"""Device-fleet drift replay: (device × scenario) grids through the stack.
+
+Where :mod:`repro.experiments` replays the paper on one device under one
+synthetic trace, this package sweeps a whole grid — every device of the
+library crossed with every :class:`~repro.calibration.scenarios.DriftScenario`
+— through the experiment runner *and* the serving watcher, producing one
+machine-readable fleet report (per-cell accuracy-over-days, adaptation
+action counts, compile-cache hit rates).  The CLI front door is
+``python -m repro.experiments fleet``.
+"""
+
+from repro.fleet.harness import FleetHarness, run_fleet
+from repro.fleet.report import FleetCellResult, FleetReport, WATCHER_ACTIONS
+
+__all__ = [
+    "FleetHarness",
+    "run_fleet",
+    "FleetCellResult",
+    "FleetReport",
+    "WATCHER_ACTIONS",
+]

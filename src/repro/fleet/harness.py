@@ -1,0 +1,267 @@
+"""The fleet harness: concurrent (device × scenario) drift replay.
+
+:class:`FleetHarness` turns the single-trace longitudinal/serving stack
+into a fleet-scale stress harness.  Given N devices and M drift scenarios
+it replays every cell of the grid:
+
+1. the cell's :class:`~repro.calibration.scenarios.DriftScenario` renders a
+   calibration history for the device on a per-``(seed, device, scenario)``
+   stream (cells are statistically independent but individually
+   reproducible);
+2. the shared noise-free base model (trained **once** per dataset — the
+   ideal forward path is binding-independent, so one training serves the
+   whole fleet, exactly like deploying one model artifact to many devices)
+   is bound to the device through a cell-private
+   :class:`~repro.transpiler.pipeline.PassManager`;
+3. per-day accuracy over the online window runs through a cell-private
+   :class:`~repro.runtime.ExperimentRunner` (scenario names stamped onto
+   every :class:`~repro.runtime.records.RunRecord` row);
+4. the online history replays through the serving stack — a
+   :class:`~repro.serving.registry.ModelRegistry` plus
+   :class:`~repro.serving.watcher.CalibrationWatcher` — counting
+   refresh / recompile / readapt actions and layout-boundary reuses.
+
+Cells fan out over a thread pool: every mutable object (pass manager,
+runner, simulation backend, registry) is cell-private, so the only shared
+state is the optional :class:`~repro.runtime.records.RunRecordLog`, which
+is thread-safe by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.calibration.scenarios import DriftScenario, get_scenario
+from repro.calibration.synthetic import device_seed_sequence
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import (
+    build_dataset,
+    build_model_for_dataset,
+    prepare_experiment,
+    train_base_model_for,
+)
+from repro.fleet.report import FleetCellResult, FleetReport, WATCHER_ACTIONS
+from repro.runtime import EvaluationCache, ExperimentRunner, RunRecordLog
+from repro.runtime.records import PathLike
+from repro.serving.registry import ModelRegistry
+from repro.serving.watcher import CalibrationWatcher
+from repro.simulator import NoiseModel
+from repro.transpiler.pipeline import PassManager
+
+
+class FleetHarness:
+    """Replays a (device × scenario) grid through the whole stack.
+
+    Parameters
+    ----------
+    devices:
+        Device names (the paper's IBM chips or
+        :data:`repro.transpiler.devices.DEVICE_LIBRARY` entries; experiment
+        devices are capped at 10 qubits by the setup layer).
+    scenarios:
+        Scenario names from
+        :data:`repro.calibration.scenarios.SCENARIO_LIBRARY`, or
+        :class:`~repro.calibration.scenarios.DriftScenario` instances.
+    scale:
+        The :class:`~repro.experiments.config.ExperimentScale` every cell
+        runs at (offline/online day counts, eval subset, shots).
+    dataset_name:
+        Dataset whose model the fleet serves (default ``mnist4``).
+    cell_workers:
+        Concurrent cells (default: ``min(4, number of cells)``).
+    record_log:
+        Optional shared :class:`~repro.runtime.records.RunRecordLog` (or
+        path); every evaluation row lands there with its scenario name.
+    seed:
+        Master seed for scenario rendering and evaluation sampling
+        (default: the scale's seed).
+    chunk_days:
+        Days per vectorised evaluation chunk inside each cell.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[str],
+        scenarios: Sequence[Union[str, DriftScenario]],
+        scale: Optional[ExperimentScale] = None,
+        dataset_name: str = "mnist4",
+        cell_workers: Optional[int] = None,
+        record_log: Union[RunRecordLog, PathLike, None] = None,
+        seed: Optional[int] = None,
+        chunk_days: int = 16,
+    ):
+        if not devices:
+            raise ReproError("a fleet needs at least one device")
+        if not scenarios:
+            raise ReproError("a fleet needs at least one scenario")
+        self.devices = [str(device).lower() for device in devices]
+        self.scenarios = [get_scenario(scenario) for scenario in scenarios]
+        self.scale = scale or ExperimentScale()
+        self.dataset_name = dataset_name
+        self.cells = [
+            (device, scenario)
+            for device in self.devices
+            for scenario in self.scenarios
+        ]
+        self.cell_workers = cell_workers or min(4, len(self.cells))
+        if record_log is not None and not isinstance(record_log, RunRecordLog):
+            record_log = RunRecordLog(record_log)
+        self.record_log = record_log
+        self.seed = self.scale.seed if seed is None else int(seed)
+        self.chunk_days = chunk_days
+
+    # ------------------------------------------------------------------
+    def _train_template(self) -> np.ndarray:
+        """Train the shared base model once; returns its parameter vector.
+
+        Runs :func:`~repro.experiments.context.train_base_model_for` — the
+        same step :func:`~repro.experiments.context.prepare_experiment`
+        uses.  Noise-free training rides the ideal statevector path, which
+        never touches the device binding, so the resulting parameters are
+        exactly what per-cell training would produce — without N × M
+        redundant trainings and without sharing a simulation engine across
+        worker threads.
+        """
+        dataset = build_dataset(self.dataset_name, self.scale)
+        model = build_model_for_dataset(self.dataset_name, dataset, self.scale)
+        train_base_model_for(model, dataset, self.scale)
+        return np.asarray(model.parameters, dtype=float)
+
+    # ------------------------------------------------------------------
+    def _run_cell(
+        self, device: str, scenario: DriftScenario, template_parameters: np.ndarray
+    ) -> FleetCellResult:
+        """Replay one (device, scenario) cell end to end."""
+        started = time.perf_counter()
+        scale = self.scale
+        num_days = scale.offline_days + scale.online_days
+        history = scenario.history(device, num_days, seed=self.seed)
+        pass_manager = PassManager()
+        setup = prepare_experiment(
+            self.dataset_name,
+            scale=scale,
+            device=device,
+            train_base_model=False,
+            history=history,
+            pass_manager=pass_manager,
+        )
+        model = setup.base_model
+        model.parameters = template_parameters.copy()
+
+        online = setup.online_history
+        noise_models = setup.noise_models(online)
+        subset = setup.eval_subset()
+        rng = np.random.default_rng(
+            device_seed_sequence(setup.device, self.seed, "fleet", scenario.name)
+        )
+        seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(len(online))]
+        runner = ExperimentRunner(
+            mode="serial",
+            chunk_days=self.chunk_days,
+            cache=EvaluationCache(),
+            record_log=self.record_log,
+        )
+        accuracies = runner.evaluate_days(
+            model,
+            subset.test_features,
+            subset.test_labels,
+            noise_models,
+            shots=scale.shots,
+            seeds=seeds,
+            experiment=f"fleet/{setup.device}/{scenario.name}",
+            dates=[snapshot.date for snapshot in online],
+            scenario=scenario.name,
+        )
+
+        # Serving-stack replay: registry + calibration watcher over the
+        # same online drift stream, counting adaptation actions.
+        registry = ModelRegistry()
+        endpoint = f"{setup.device}:{scenario.name}"
+        deploy_snapshot = setup.offline_history[-1]
+        registry.publish(
+            endpoint,
+            model,
+            noise_model=NoiseModel.from_calibration(deploy_snapshot),
+            calibration_date=deploy_snapshot.date,
+        )
+        watcher = CalibrationWatcher(registry, endpoint, pass_manager=pass_manager)
+        swap_reports = watcher.run(online)
+        actions = {action: 0 for action in WATCHER_ACTIONS}
+        for report in swap_reports:
+            actions[report.action] = actions.get(report.action, 0) + 1
+
+        return FleetCellResult(
+            device=setup.device,
+            scenario=scenario.name,
+            days=len(online),
+            dates=[snapshot.date for snapshot in online],
+            accuracy=[float(value) for value in accuracies],
+            actions=actions,
+            boundary_reuses=sum(
+                1 for report in swap_reports if report.boundary_reused
+            ),
+            versions_published=registry.history(endpoint)[-1].version,
+            compiler=pass_manager.stats.as_dict(),
+            runner={
+                "days_evaluated": runner.stats.days_evaluated,
+                "cache_hits": runner.stats.cache_hits,
+                "chunks": runner.stats.chunks,
+                "cache": runner.cache.stats(),
+            },
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetReport:
+        """Replay every cell (concurrently) and assemble the fleet report.
+
+        The shared base model trains sequentially up front; cells then fan
+        out over a thread pool.  Results are ordered by the constructor's
+        (device, scenario) grid order regardless of completion order.
+        """
+        started = time.perf_counter()
+        template_parameters = self._train_template()
+        if self.cell_workers <= 1 or len(self.cells) <= 1:
+            results = [
+                self._run_cell(device, scenario, template_parameters)
+                for device, scenario in self.cells
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=self.cell_workers) as pool:
+                futures = [
+                    pool.submit(self._run_cell, device, scenario, template_parameters)
+                    for device, scenario in self.cells
+                ]
+                results = [future.result() for future in futures]
+        return FleetReport(
+            dataset_name=self.dataset_name,
+            cells=results,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+
+def run_fleet(
+    devices: Sequence[str],
+    scenarios: Sequence[Union[str, DriftScenario]],
+    scale: Optional[ExperimentScale] = None,
+    dataset_name: str = "mnist4",
+    cell_workers: Optional[int] = None,
+    record_log: Union[RunRecordLog, PathLike, None] = None,
+    seed: Optional[int] = None,
+) -> FleetReport:
+    """One-call fleet replay: build a :class:`FleetHarness` and run it."""
+    harness = FleetHarness(
+        devices,
+        scenarios,
+        scale=scale,
+        dataset_name=dataset_name,
+        cell_workers=cell_workers,
+        record_log=record_log,
+        seed=seed,
+    )
+    return harness.run()

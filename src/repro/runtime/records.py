@@ -33,6 +33,9 @@ class RunRecord:
         Position of the unit within its sweep (e.g. the day index).
     date:
         Calendar label of the unit, when the sweep has one.
+    scenario:
+        Drift-scenario name the unit ran under (``None`` outside scenario
+        sweeps) — what makes every fleet row attributable to its cell.
     accuracy:
         Evaluation outcome (``None`` for non-evaluation records).
     cache_hit:
@@ -49,6 +52,7 @@ class RunRecord:
     kind: str = "day_evaluation"
     index: Optional[int] = None
     date: Optional[str] = None
+    scenario: Optional[str] = None
     accuracy: Optional[float] = None
     cache_hit: bool = False
     duration_seconds: float = 0.0

@@ -197,6 +197,7 @@ class ExperimentRunner:
         *,
         experiment: str = "experiment",
         dates: Optional[Sequence[Optional[str]]] = None,
+        scenario: Optional[str] = None,
     ) -> np.ndarray:
         """Per-day accuracies of ``model`` across ``noise_models``.
 
@@ -204,7 +205,9 @@ class ExperimentRunner:
         model's own parameters) under ``noise_models[i]`` using
         ``seeds[i]`` / ``shots`` for measurement sampling — bit-identical to
         the equivalent :func:`repro.qnn.evaluation.evaluate_noisy` loop, but
-        chunked, vectorised, parallelised, and cached.
+        chunked, vectorised, parallelised, and cached.  ``scenario`` (the
+        drift-scenario name of a fleet cell) is stamped onto every run
+        record so JSONL rows stay attributable across scenario sweeps.
         """
         started = time.perf_counter()
         count = len(noise_models)
@@ -314,6 +317,7 @@ class ExperimentRunner:
                     experiment=experiment,
                     index=index,
                     date=dates[index],
+                    scenario=scenario,
                     accuracy=float(accuracies[index]),
                     cache_hit=cache_hits[index],
                     duration_seconds=durations.get(index, 0.0),

@@ -4,15 +4,19 @@ import numpy as np
 import pytest
 
 from repro.calibration import (
+    BackendSpec,
     CalibrationHistory,
     CalibrationSnapshot,
     FluctuatingNoiseGenerator,
     FluctuationConfig,
     belem_backend,
+    device_seed_sequence,
     generate_belem_history,
+    generate_device_history,
     generate_jakarta_history,
 )
 from repro.exceptions import CalibrationError
+from repro.transpiler.devices import get_device_coupling
 
 
 def test_history_split_matches_paper_layout():
@@ -115,3 +119,61 @@ def test_jakarta_history_has_seven_qubit_layout():
     history = generate_jakarta_history(3, seed=0)
     assert history[0].num_qubits == 7
     assert len([n for n in history.feature_names() if n.startswith("cx_")]) == 6
+
+
+def _same_baseline_spec(name: str) -> BackendSpec:
+    """Two specs sharing one topology and identical baselines, names apart."""
+    coupling = get_device_coupling("ring_5")
+    return BackendSpec(
+        name=name,
+        coupling=coupling,
+        base_single_qubit_error={q: 2.5e-4 for q in range(5)},
+        base_two_qubit_error={edge: 9.0e-3 for edge in coupling.edges},
+        base_readout_error={q: 3.0e-2 for q in range(5)},
+    )
+
+
+def test_multi_device_runs_get_independent_traces_per_device():
+    """Regression: one master seed must not replay one trace fleet-wide.
+
+    ``generate_device_history`` used to reseed identically for every
+    device, so two devices with the same channel shape received the *same*
+    fluctuation draws.  Per-device seed streams must decorrelate them
+    while keeping each device's own trace reproducible.
+    """
+    first = generate_device_history(_same_baseline_spec("fleet_a"), 12, seed=2021)
+    second = generate_device_history(_same_baseline_spec("fleet_b"), 12, seed=2021)
+    assert first.to_matrix().shape == second.to_matrix().shape
+    assert not np.allclose(first.to_matrix(), second.to_matrix())
+    replay = generate_device_history(_same_baseline_spec("fleet_a"), 12, seed=2021)
+    assert np.array_equal(first.to_matrix(), replay.to_matrix())
+
+
+def test_library_device_histories_are_seed_and_device_keyed():
+    base = generate_device_history("ring_5", 8, seed=11)
+    same = generate_device_history("ring_5", 8, seed=11)
+    other_seed = generate_device_history("ring_5", 8, seed=12)
+    assert np.array_equal(base.to_matrix(), same.to_matrix())
+    assert not np.allclose(base.to_matrix(), other_seed.to_matrix())
+
+
+def test_ibm_names_stay_bit_identical_to_dedicated_generators():
+    """The paper chips keep their legacy streams (reproduction parity)."""
+    for name, generator in (
+        ("belem", generate_belem_history),
+        ("jakarta", generate_jakarta_history),
+    ):
+        via_device = generate_device_history(name, 10, seed=5)
+        dedicated = generator(10, seed=5)
+        assert np.array_equal(via_device.to_matrix(), dedicated.to_matrix())
+        assert via_device.dates == dedicated.dates
+
+
+def test_device_seed_sequence_is_stable_and_label_sensitive():
+    first = device_seed_sequence("ring_5", 7).generate_state(4)
+    again = device_seed_sequence("ring_5", 7).generate_state(4)
+    other_device = device_seed_sequence("line_5", 7).generate_state(4)
+    other_label = device_seed_sequence("ring_5", 7, "scenario").generate_state(4)
+    assert np.array_equal(first, again)
+    assert not np.array_equal(first, other_device)
+    assert not np.array_equal(first, other_label)

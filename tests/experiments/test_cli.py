@@ -12,7 +12,7 @@ from repro.experiments.cli import EXPERIMENTS, SCALES, build_parser, main
 def test_registry_covers_every_harness():
     assert set(EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
-        "table1", "table2", "longitudinal", "serve",
+        "table1", "table2", "longitudinal", "serve", "fleet",
     }
     assert set(SCALES) == {"paper", "bench", "test"}
 
@@ -32,6 +32,15 @@ def test_parser_serving_options():
     assert args.max_batch == 8
     assert args.max_latency_ms == 1.5
     assert args.observe_every is None
+
+
+def test_parser_fleet_options():
+    args = build_parser().parse_args(
+        ["fleet", "--devices", "ring_5,line_5", "--scenarios", "calm,storm"]
+    )
+    assert args.devices == "ring_5,line_5"
+    assert args.scenarios == "calm,storm"
+    assert args.cell_workers is None
 
 
 def test_parser_rejects_unknown_experiment():
@@ -99,6 +108,35 @@ def test_serve_rejects_runner_flags():
             main(["serve", "--scale", "test", *flag])
 
 
+def test_non_fleet_experiments_reject_fleet_flags():
+    for flag in (
+        ["--devices", "ring_5"],
+        ["--scenarios", "calm"],
+        ["--cell-workers", "2"],
+    ):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--scale", "test", *flag])
+
+
+def test_fleet_rejects_inapplicable_flags():
+    for flag in (
+        ["--device", "ring_5"],  # the grid flag is --devices
+        ["--requests", "8"],
+        ["--runner-mode", "process"],
+        ["--chunk-days", "2"],
+        ["--cache", "c.jsonl"],
+    ):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--scale", "test", *flag])
+
+
+def test_list_scenarios_prints_library(capsys):
+    assert main(["--list-scenarios"]) == 0
+    printed = capsys.readouterr().out
+    for expected in ("calm", "seasonal", "jump", "storm", "recovery"):
+        assert expected in printed
+
+
 @pytest.mark.parametrize("device", ["ring_5", "grid_2x3", "line_7"])
 def test_longitudinal_runs_on_device_library_topologies(tmp_path, device):
     """The longitudinal harness must run end-to-end on library devices."""
@@ -160,6 +198,42 @@ def test_serve_runs_end_to_end_on_a_library_device(tmp_path):
     assert serving["telemetry"]["models"]["qnn"]["completed"] == 24
     assert serving["scheduler"]["flushes"] >= 4
     assert serving["deployments"]["qnn"]["versions_published"] >= 2
+
+
+def test_fleet_runs_a_grid_end_to_end(tmp_path):
+    """The fleet harness: ≥4 (device × scenario) cells with full reports."""
+    out = tmp_path / "fleet.json"
+    records = tmp_path / "fleet_runs.jsonl"
+    code = main(
+        [
+            "fleet",
+            "--scale",
+            "test",
+            "--devices",
+            "ring_5,line_5",
+            "--scenarios",
+            "calm,jump",
+            "--records",
+            str(records),
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    report = payload["summary"]
+    assert report["summary"]["cells"] == 4
+    assert report["summary"]["devices"] == ["line_5", "ring_5"]
+    assert report["summary"]["scenarios"] == ["calm", "jump"]
+    for cell in report["cells"]:
+        assert 0.0 <= cell["mean_accuracy"] <= 1.0
+        assert sum(cell["actions"].values()) == cell["days"]
+        assert cell["runner"]["cache"]["entries"] >= 1
+        assert "pass_cache_hit_rate" in cell["compiler"]
+    from repro.runtime import load_run_records
+
+    rows = load_run_records(records)
+    assert {row.scenario for row in rows} == {"calm", "jump"}
 
 
 def test_cache_stats_appear_in_runner_block(tmp_path):

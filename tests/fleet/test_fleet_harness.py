@@ -1,0 +1,121 @@
+"""The fleet harness: (device × scenario) replay through runner + watcher."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.config import TEST_SCALE
+from repro.fleet import FleetHarness, FleetReport, WATCHER_ACTIONS, run_fleet
+from repro.runtime import load_run_records
+
+#: A micro scale keeping the whole grid replay to a few seconds.
+MICRO_SCALE = TEST_SCALE.with_overrides(
+    offline_days=3,
+    online_days=2,
+    dataset_samples=80,
+    train_samples=24,
+    eval_samples=12,
+    base_train_epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_report(tmp_path_factory) -> tuple[FleetReport, list]:
+    """One shared 1×2 fleet run plus its JSONL run records."""
+    records = tmp_path_factory.mktemp("fleet") / "runs.jsonl"
+    harness = FleetHarness(
+        devices=["ring_5"],
+        scenarios=["calm", "jump"],
+        scale=MICRO_SCALE,
+        record_log=records,
+        cell_workers=2,
+    )
+    return harness.run(), load_run_records(records)
+
+
+def test_report_covers_every_cell_with_valid_accuracy(fleet_report):
+    report, _ = fleet_report
+    assert len(report.cells) == 2
+    assert {(cell.device, cell.scenario) for cell in report.cells} == {
+        ("ring_5", "calm"),
+        ("ring_5", "jump"),
+    }
+    for cell in report.cells:
+        assert cell.days == MICRO_SCALE.online_days
+        assert len(cell.accuracy) == cell.days
+        assert all(0.0 <= value <= 1.0 for value in cell.accuracy)
+        assert 0.0 <= cell.mean_accuracy <= 1.0
+        assert cell.min_accuracy <= cell.mean_accuracy
+
+
+def test_watcher_actions_cover_every_online_day(fleet_report):
+    report, _ = fleet_report
+    for cell in report.cells:
+        assert set(cell.actions) == set(WATCHER_ACTIONS)
+        assert sum(cell.actions.values()) == cell.days
+        assert cell.versions_published >= 1
+        assert cell.compiler["compile_calls"] >= 1
+        assert 0.0 <= cell.compiler["pass_cache_hit_rate"] <= 1.0
+
+
+def test_run_records_are_attributable_to_their_scenario(fleet_report):
+    report, records = fleet_report
+    assert len(records) == sum(cell.days for cell in report.cells)
+    scenarios = {record.scenario for record in records}
+    assert scenarios == {"calm", "jump"}
+    for record in records:
+        assert record.experiment == f"fleet/ring_5/{record.scenario}"
+        assert record.date is not None
+
+
+def test_report_serializes_to_json(fleet_report):
+    report, _ = fleet_report
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["summary"]["cells"] == 2
+    assert payload["summary"]["devices"] == ["ring_5"]
+    assert payload["summary"]["scenarios"] == ["calm", "jump"]
+    assert set(payload["summary"]["actions"]) == set(WATCHER_ACTIONS)
+    for cell in payload["cells"]:
+        assert {"device", "scenario", "accuracy", "actions", "compiler", "runner"} <= set(
+            cell
+        )
+        assert cell["runner"]["days_evaluated"] == MICRO_SCALE.online_days
+
+
+def test_report_formats_a_row_per_cell(fleet_report):
+    report, _ = fleet_report
+    formatted = report.format()
+    assert formatted.count("ring_5") == 2
+    assert "calm" in formatted and "jump" in formatted
+
+
+def test_calm_cell_never_recompiles(fleet_report):
+    """The control scenario replays the baseline; drift actions are bugs."""
+    report, _ = fleet_report
+    calm = report.cell("ring_5", "calm")
+    assert calm.actions["recompile"] == 0
+    assert calm.actions["readapt"] == 0
+    assert calm.actions["refresh"] == calm.days
+
+
+def test_fleet_is_deterministic_for_a_fixed_seed(fleet_report):
+    """A replay of one cell reproduces the shared run's numbers exactly."""
+    report, _ = fleet_report
+    replay = run_fleet(
+        ["ring_5"], ["jump"], scale=MICRO_SCALE, cell_workers=1
+    )
+    original = report.cell("ring_5", "jump")
+    repeated = replay.cell("ring_5", "jump")
+    assert np.array_equal(original.accuracy, repeated.accuracy)
+    assert original.actions == repeated.actions
+
+
+def test_harness_rejects_empty_grids():
+    with pytest.raises(ReproError):
+        FleetHarness([], ["calm"], scale=MICRO_SCALE)
+    with pytest.raises(ReproError):
+        FleetHarness(["ring_5"], [], scale=MICRO_SCALE)
