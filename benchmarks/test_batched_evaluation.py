@@ -10,8 +10,11 @@ Two workloads, both from the online phase of the paper:
 * **multi-day sweep** — one model evaluated across many calibration days
   (the Fig. 2 / Table I inner loop).  The per-day loop calls
   ``evaluate_noisy`` once per day; the batched path hands all days to
-  ``evaluate_noisy_batch`` (one vectorised multi-binding call per chunk),
-  and the runner additionally fans chunks out over a thread pool.
+  ``evaluate_noisy_batch``, which stacks the day axis into one fused
+  density-matrix walk (per-gate noise strengths carried as per-day
+  vectors), and the runner additionally dispatches chunks to the
+  persistent worker pool (``mode="pool"``) whose warm processes hold the
+  unpickled model and simulation engine across calls.
 
 Set ``REPRO_BENCH_JSON=<path>`` (``make bench-json`` does) to persist the
 measurements as machine-readable JSON for cross-PR tracking.
@@ -173,26 +176,33 @@ def test_batched_multi_day_sweep_speedup():
     batched_accuracies = batched_days()
     assert np.array_equal(batched_accuracies, loop_accuracies)
 
-    runner = ExperimentRunner(mode="thread", chunk_days=4)
-    runner_accuracies = runner.evaluate_days(
-        model, features, labels, noise_models, parameter_sets=parameter_sets
-    )
-    assert np.array_equal(runner_accuracies, loop_accuracies)
-
-    loop_seconds, batched_seconds, runner_seconds = _best_of_each(
-        per_day_loop,
-        batched_days,
-        lambda: runner.evaluate_days(
+    runner = ExperimentRunner(mode="pool", chunk_days=4)
+    try:
+        # The first call pays the worker spawn; it also serves as the
+        # correctness check.  Best-of-N below then measures the steady
+        # state the fleet harness actually runs in: warm processes with
+        # the model and engine caches already resident.
+        runner_accuracies = runner.evaluate_days(
             model, features, labels, noise_models, parameter_sets=parameter_sets
-        ),
-    )
+        )
+        assert np.array_equal(runner_accuracies, loop_accuracies)
+
+        loop_seconds, batched_seconds, runner_seconds = _best_of_each(
+            per_day_loop,
+            batched_days,
+            lambda: runner.evaluate_days(
+                model, features, labels, noise_models, parameter_sets=parameter_sets
+            ),
+        )
+    finally:
+        runner.close()
     speedup = loop_seconds / batched_seconds
     runner_speedup = loop_seconds / runner_seconds
     print(
         f"\nBatched multi-day sweep — {NUM_DAYS} days x {NUM_SAMPLES} samples\n"
         f"  per-day loop      {loop_seconds * 1000:8.1f} ms\n"
         f"  batched days      {batched_seconds * 1000:8.1f} ms ({speedup:.2f}x)\n"
-        f"  runner (threads)  {runner_seconds * 1000:8.1f} ms ({runner_speedup:.2f}x)"
+        f"  runner (pool)     {runner_seconds * 1000:8.1f} ms ({runner_speedup:.2f}x)"
     )
     _maybe_write_json(
         {
@@ -201,18 +211,19 @@ def test_batched_multi_day_sweep_speedup():
                 "samples": NUM_SAMPLES,
                 "per_day_loop_ms": loop_seconds * 1000,
                 "batched_ms": batched_seconds * 1000,
-                "runner_thread_ms": runner_seconds * 1000,
+                "runner_pool_ms": runner_seconds * 1000,
                 "batched_speedup": speedup,
                 "runner_speedup": runner_speedup,
             }
         }
     )
-    # With full-subset days the per-day batches already amortise most fixed
-    # overhead (the chunker intentionally keeps such days one-per-call, see
-    # CACHE_FRIENDLY_SAMPLES), so stacking days mainly buys scheduling
-    # freedom — worker pools, caching — rather than raw kernel time.  The
-    # requirement here is only the absence of a pathological regression;
-    # the floor is generous because shared machines drift by tens of
-    # percent between timing windows.  The hard >= 3x vectorisation bar
-    # lives on the multi-sample benchmark above.
-    assert speedup >= 0.5, f"multi-day path regressed: {speedup:.2f}x vs loop"
+    # Day stacking fuses the whole history into one walk over a
+    # ``(days * samples, dim, dim)`` super-batch, so the day axis now has
+    # to *win*, not just avoid regressing; the warm pool must at least
+    # keep that win.  The committed BENCH_runtime.json floors (gated by
+    # scripts/bench_gate.py) hold the strict > 1x line; the in-test bars
+    # sit lower only to absorb shared-host drift in plain pytest runs.
+    assert speedup >= 0.9, f"day-stacked path regressed: {speedup:.2f}x vs loop"
+    assert runner_speedup >= 0.8, (
+        f"pool runner regressed: {runner_speedup:.2f}x vs loop"
+    )

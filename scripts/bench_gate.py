@@ -58,6 +58,22 @@ def check(floors_path: Path, artifact_dir: Path) -> list[str]:
             if measured is None:
                 problems.append(f"{artifact_name}: key {dotted!r} missing")
                 continue
+            if isinstance(measured, bool) or not isinstance(measured, (int, float)):
+                # A typo'd floor key can land on a sub-dict (or a string
+                # field); fail the gate loudly instead of crashing on
+                # float() so CI shows *which* key is wrong.
+                problems.append(
+                    f"{artifact_name}: key {dotted!r} resolves to "
+                    f"{type(measured).__name__}, not a number — "
+                    "check the floor key against the artifact layout"
+                )
+                continue
+            if isinstance(floor, bool) or not isinstance(floor, (int, float)):
+                problems.append(
+                    f"{artifact_name}: floor for {dotted!r} is "
+                    f"{type(floor).__name__}, not a number"
+                )
+                continue
             passed = float(measured) >= float(floor)
             verdict = "ok" if passed else "BELOW FLOOR"
             print(

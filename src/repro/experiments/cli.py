@@ -42,7 +42,7 @@ from repro.experiments.config import (
     TEST_SCALE,
     ExperimentScale,
 )
-from repro.runtime import ExperimentRunner
+from repro.runtime import RUNNER_MODES, ExperimentRunner
 
 #: Named scales selectable via ``--scale``.
 SCALES: dict[str, ExperimentScale] = {
@@ -200,6 +200,7 @@ def _run_fleet(scale, runner, device=None, options=None):
         scenarios=getattr(options, "scenarios", None),
         cell_workers=getattr(options, "cell_workers", None),
         record_log=getattr(options, "records", None),
+        runner_mode=getattr(options, "runner_mode", None) or "serial",
     )
     summary = result.as_dict()
     summary["formatted"] = result.format()
@@ -259,9 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--runner-mode",
-        choices=("serial", "thread", "process"),
-        default="thread",
-        help="evaluation fan-out mode (default: thread)",
+        choices=RUNNER_MODES,
+        default=None,
+        help="evaluation fan-out mode (default: thread; fleet cells default "
+        "to serial); 'pool' keeps a persistent process pool of warm workers "
+        "across evaluate_days calls",
     )
     parser.add_argument(
         "--workers", type=int, default=None, help="worker-pool width"
@@ -355,19 +358,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     # the fleet flags only drive `fleet`; the runner flags drive every
     # evaluation harness — except `serve` (the service owns its own
     # dispatch thread and caches) and `fleet` (cells build private
-    # runners; only the shared --records attribution log applies).
+    # runners; only --runner-mode and the shared --records attribution
+    # log reach them).
     serving_options = ("requests", "max_batch", "max_latency_ms", "observe_every")
     fleet_options = ("devices", "scenarios", "cell_workers")
     runner_options = ("runner_mode", "workers", "chunk_days", "records", "cache")
     if args.name == "serve":
         inapplicable = runner_options + fleet_options
     elif args.name == "fleet":
-        inapplicable = serving_options + (
-            "runner_mode",
-            "workers",
-            "chunk_days",
-            "cache",
-        )
+        inapplicable = serving_options + ("workers", "chunk_days", "cache")
     else:
         inapplicable = serving_options + fleet_options
     for option in inapplicable:
@@ -378,7 +377,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             )
     scale = SCALES[args.scale]
     runner = ExperimentRunner(
-        mode=args.runner_mode,
+        mode=args.runner_mode or "thread",
         max_workers=args.workers,
         chunk_days=args.chunk_days,
         cache=args.cache,
@@ -387,7 +386,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     from repro.transpiler import default_pass_manager
 
     started = time.perf_counter()
-    _, summary = EXPERIMENTS[args.name](scale, runner, args.device, options=args)
+    try:
+        _, summary = EXPERIMENTS[args.name](scale, runner, args.device, options=args)
+    finally:
+        runner.close()
     elapsed = time.perf_counter() - started
     payload = {
         "experiment": args.name,

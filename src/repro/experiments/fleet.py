@@ -48,6 +48,7 @@ def run_fleet(
     cell_workers: Optional[int] = None,
     record_log: Union[RunRecordLog, PathLike, None] = None,
     seed: Optional[int] = None,
+    runner_mode: str = "serial",
 ) -> FleetReport:
     """Replay the (devices × scenarios) grid; returns the fleet report.
 
@@ -64,4 +65,5 @@ def run_fleet(
         cell_workers=cell_workers,
         record_log=record_log,
         seed=seed,
+        runner_mode=runner_mode,
     )

@@ -82,6 +82,11 @@ class FleetHarness:
         (default: the scale's seed).
     chunk_days:
         Days per vectorised evaluation chunk inside each cell.
+    runner_mode:
+        Dispatch mode for each cell's
+        :class:`~repro.runtime.ExperimentRunner` (default ``serial``).
+        ``pool`` routes day chunks through the persistent worker pool,
+        which keeps compiled engines warm across cells.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class FleetHarness:
         record_log: Union[RunRecordLog, PathLike, None] = None,
         seed: Optional[int] = None,
         chunk_days: int = 16,
+        runner_mode: str = "serial",
     ):
         if not devices:
             raise ReproError("a fleet needs at least one device")
@@ -114,6 +120,7 @@ class FleetHarness:
         self.record_log = record_log
         self.seed = self.scale.seed if seed is None else int(seed)
         self.chunk_days = chunk_days
+        self.runner_mode = runner_mode
 
     # ------------------------------------------------------------------
     def _train_template(self) -> np.ndarray:
@@ -161,22 +168,25 @@ class FleetHarness:
         )
         seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(len(online))]
         runner = ExperimentRunner(
-            mode="serial",
+            mode=self.runner_mode,
             chunk_days=self.chunk_days,
             cache=EvaluationCache(),
             record_log=self.record_log,
         )
-        accuracies = runner.evaluate_days(
-            model,
-            subset.test_features,
-            subset.test_labels,
-            noise_models,
-            shots=scale.shots,
-            seeds=seeds,
-            experiment=f"fleet/{setup.device}/{scenario.name}",
-            dates=[snapshot.date for snapshot in online],
-            scenario=scenario.name,
-        )
+        try:
+            accuracies = runner.evaluate_days(
+                model,
+                subset.test_features,
+                subset.test_labels,
+                noise_models,
+                shots=scale.shots,
+                seeds=seeds,
+                experiment=f"fleet/{setup.device}/{scenario.name}",
+                dates=[snapshot.date for snapshot in online],
+                scenario=scenario.name,
+            )
+        finally:
+            runner.close()
 
         # Serving-stack replay: registry + calibration watcher over the
         # same online drift stream, counting adaptation actions.
@@ -253,6 +263,7 @@ def run_fleet(
     cell_workers: Optional[int] = None,
     record_log: Union[RunRecordLog, PathLike, None] = None,
     seed: Optional[int] = None,
+    runner_mode: str = "serial",
 ) -> FleetReport:
     """One-call fleet replay: build a :class:`FleetHarness` and run it."""
     harness = FleetHarness(
@@ -263,5 +274,6 @@ def run_fleet(
         cell_workers=cell_workers,
         record_log=record_log,
         seed=seed,
+        runner_mode=runner_mode,
     )
     return harness.run()

@@ -80,16 +80,38 @@ def evaluate_noisy(
     )
 
 
+def _shared_binding(parameter_sets) -> bool:
+    """True when every binding resolves to one parameter vector (a day sweep)."""
+    if parameter_sets is None:
+        return True
+    first = parameter_sets[0] if parameter_sets else None
+    for item in parameter_sets[1:]:
+        if item is first:
+            continue
+        if item is None or first is None:
+            return False
+        if not np.array_equal(item, first):
+            return False
+    return True
+
+
 def _batch_chunk_size(
-    model: QNNModel, num_samples: int, max_batch_bytes: int
+    model: QNNModel,
+    num_samples: int,
+    max_batch_bytes: int,
+    shared_binding: bool = False,
 ) -> int:
     """How many bindings to stack per backend call.
 
     Bounded by the memory budget *and* by :data:`CACHE_FRIENDLY_SAMPLES`:
     small per-binding batches (single samples, tiny eval subsets) stack
     aggressively — that regime is overhead-dominated and vectorisation wins
-    2x+ — while full-subset bindings run one per call, where stacking would
-    only push the working set out of cache.
+    2x+ — while full-subset bindings of *distinct* parameter vectors run one
+    per call, where stacking would only push the working set out of cache.
+    ``shared_binding`` marks the day-sweep regime (one parameter vector,
+    many noise models): there the engine's day-stacked in-place walk keeps
+    stacking profitable at any subset size, so only the memory budget caps
+    the chunk.
     """
     device_qubits = (
         model.transpiled.coupling.num_qubits
@@ -99,6 +121,8 @@ def _batch_chunk_size(
     samples = max(1, num_samples)
     bytes_per_binding = samples * (4**device_qubits) * 16
     by_memory = max(1, int(max_batch_bytes // bytes_per_binding))
+    if shared_binding:
+        return by_memory
     by_cache = max(1, CACHE_FRIENDLY_SAMPLES // samples)
     return min(by_memory, by_cache)
 
@@ -131,7 +155,12 @@ def evaluate_noisy_batch(
         )
     if seeds is not None and len(seeds) != count:
         raise ValueError(f"{len(seeds)} seeds do not match {count} noise models")
-    chunk = _batch_chunk_size(model, features.shape[0], max_batch_bytes)
+    chunk = _batch_chunk_size(
+        model,
+        features.shape[0],
+        max_batch_bytes,
+        shared_binding=_shared_binding(parameter_sets),
+    )
     results: list[EvaluationResult] = []
     for start in range(0, count, chunk):
         stop = min(start + chunk, count)

@@ -26,12 +26,15 @@ from repro.runtime.runner import (
     RunnerStats,
     default_runner,
 )
+from repro.runtime.workers import WorkerPool, WorkerPoolStats
 
 __all__ = [
     "ExperimentRunner",
     "RunnerStats",
     "RUNNER_MODES",
     "default_runner",
+    "WorkerPool",
+    "WorkerPoolStats",
     "DEFAULT_CACHE_CAPACITY",
     "EvaluationCache",
     "RunRecord",

@@ -45,7 +45,7 @@ from repro.runtime.records import PathLike, RunRecord, RunRecordLog
 from repro.simulator import DensityMatrixBackend, NoiseModel, SimulationEngine
 
 #: Runner execution modes.
-RUNNER_MODES = ("serial", "thread", "process")
+RUNNER_MODES = ("serial", "thread", "process", "pool")
 
 
 def _evaluate_chunk(
@@ -105,8 +105,12 @@ class ExperimentRunner:
     mode:
         ``"serial"`` (in-process, deterministic ordering), ``"thread"``
         (default; NumPy's BLAS kernels release the GIL, and each worker owns
-        a private engine), or ``"process"`` (full isolation; inputs are
-        pickled per chunk).
+        a private engine), ``"process"`` (full isolation; a fresh pool and
+        re-pickled inputs per call), or ``"pool"`` (a persistent
+        :class:`~repro.runtime.workers.WorkerPool`: long-lived workers that
+        keep compiled engines warm across ``evaluate_days`` calls and
+        receive the eval subset via shared memory — the fast path for
+        longitudinal sweeps; call :meth:`close` when done).
     max_workers:
         Pool width; defaults to ``min(4, cpu_count)``.
     chunk_days:
@@ -148,6 +152,37 @@ class ExperimentRunner:
         # Long-lived backend for single-threaded execution; pool workers
         # build their own (the engine is not thread-safe).
         self._serial_backend: Optional[DensityMatrixBackend] = None
+        # Persistent worker pool for ``pool`` mode, created on first use and
+        # reused across evaluate_days calls.
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None or self._pool.closed:
+            from repro.runtime.workers import WorkerPool
+
+            self._pool = WorkerPool(max_workers=self.max_workers)
+        return self._pool
+
+    @property
+    def pool(self):
+        """The persistent worker pool (``pool`` mode only; ``None`` until used)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Release pooled resources (persistent workers, shared memory).
+
+        Only ``pool`` mode holds any; for the other modes this is a no-op.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _executor(self):
@@ -228,6 +263,13 @@ class ExperimentRunner:
         pending = list(range(count))
         if self.cache is not None:
             subset_key = f"{array_digest(features)}/{array_digest(labels)}"
+            # Digests hash the full parameter vector / channel map, so derive
+            # each one once and pass it through: one model digest per distinct
+            # parameter binding (day sweeps share a single binding object) and
+            # one noise digest per distinct noise-model object, instead of
+            # re-deriving both for every day in this hot loop.
+            model_keys: dict[int, str] = {}
+            noise_keys: dict[int, str] = {}
             pending = []
             for index in range(count):
                 if shots is not None and seeds[index] is None:
@@ -236,9 +278,18 @@ class ExperimentRunner:
                     # correlate evaluations.  Such bindings bypass the cache.
                     pending.append(index)
                     continue
+                parameters = parameter_sets[index]
+                model_key = model_keys.get(id(parameters))
+                if model_key is None:
+                    model_key = model_digest(model, parameters=parameters)
+                    model_keys[id(parameters)] = model_key
+                noise_key = noise_keys.get(id(noise_models[index]))
+                if noise_key is None:
+                    noise_key = noise_model_digest(noise_models[index])
+                    noise_keys[id(noise_models[index])] = noise_key
                 keys[index] = evaluation_key(
-                    model_digest(model, parameters=parameter_sets[index]),
-                    noise_model_digest(noise_models[index]),
+                    model_key,
+                    noise_key,
                     subset_key,
                     shots,
                     seeds[index],
@@ -273,7 +324,27 @@ class ExperimentRunner:
             )
             return chunk, chunk_accuracies, duration
 
-        if self.mode == "serial" or len(chunks) <= 1:
+        if not chunks:
+            outcomes = []
+        elif self.mode == "pool":
+            # Persistent workers: even a single chunk goes through the pool
+            # so engines stay warm for the next call.
+            pool = self._ensure_pool()
+            payloads = [
+                {
+                    "noise_models": [noise_models[i] for i in chunk],
+                    "parameter_sets": [parameter_sets[i] for i in chunk],
+                    "shots": shots,
+                    "seeds": [seeds[i] for i in chunk],
+                    "max_batch_bytes": self.max_batch_bytes,
+                }
+                for chunk in chunks
+            ]
+            results = pool.run_chunks(model, features, labels, payloads)
+            outcomes = [
+                (chunk, *result) for chunk, result in zip(chunks, results)
+            ]
+        elif self.mode == "serial" or len(chunks) <= 1:
             # Everything runs in the calling thread: reuse one engine so
             # compiled circuits stay warm across chunks and calls.
             if self._serial_backend is None:
@@ -335,9 +406,9 @@ class ExperimentRunner:
 def default_runner() -> ExperimentRunner:
     """A runner configured from the environment.
 
-    ``REPRO_RUNNER_MODE`` selects serial/thread/process (default thread) and
-    ``REPRO_RUNNER_WORKERS`` overrides the pool width — the knobs CI and the
-    benchmark suite use without touching harness code.
+    ``REPRO_RUNNER_MODE`` selects serial/thread/process/pool (default
+    thread) and ``REPRO_RUNNER_WORKERS`` overrides the pool width — the
+    knobs CI and the benchmark suite use without touching harness code.
     """
     mode = os.environ.get("REPRO_RUNNER_MODE", "thread").lower()
     workers = os.environ.get("REPRO_RUNNER_WORKERS")

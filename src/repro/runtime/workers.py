@@ -1,0 +1,437 @@
+"""Persistent process pool for chunked day evaluation.
+
+``concurrent.futures.ProcessPoolExecutor`` (the runner's ``process`` mode)
+re-pickles the model and the evaluation subset for every chunk and tears the
+pool down after every ``evaluate_days`` call, so each worker re-compiles the
+circuit from scratch.  :class:`WorkerPool` replaces that with long-lived
+workers built for the longitudinal workload:
+
+* **Warm engines** — each worker caches one
+  :class:`~repro.simulator.DensityMatrixBackend` (over a private
+  :class:`~repro.simulator.SimulationEngine`) per model digest, so compiled
+  programs, bound circuits, and day-stacked walk plans survive across
+  chunks *and* across ``evaluate_days`` calls.
+* **Shared-memory inputs** — feature/label arrays travel once through
+  ``multiprocessing.shared_memory`` blocks keyed by content digest; chunks
+  reference them by name.  The model is pickled once per digest per worker.
+* **One task in flight per worker** — the parent holds the queue of pending
+  chunks and hands each worker its next chunk only when the previous result
+  arrives.  Crash recovery is then trivial: a dead worker has exactly one
+  outstanding chunk, which is resubmitted to its respawned replacement.
+* **Graceful shutdown** — :meth:`close` waits for any in-flight
+  ``run_chunks`` call to finish (both hold the pool lock), stops the
+  workers, and unlinks every shared-memory block.
+
+Workers are daemonic ``spawn`` processes: ``spawn`` keeps the pool safe to
+create from threaded harnesses (the fleet cells fan out over threads), and
+daemonic workers can never outlive the parent even if ``close`` is skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["WorkerPool", "WorkerPoolStats"]
+
+#: How many distinct (features, labels) arrays the pool keeps shared at once.
+#: Day sweeps reuse one eval subset, so this only needs to absorb a few
+#: concurrent subsets before the oldest block is unlinked.
+SHARED_ARRAY_CAPACITY = 8
+
+#: Exit code of the test-only crash hook (see ``_CRASH_KEY``).
+_CRASH_EXIT_CODE = 17
+
+#: Payload key that makes a worker die before evaluating — a deterministic
+#: stand-in for a segfaulting worker, used by the lifecycle tests.  The
+#: parent strips the key when it resubmits the chunk to the respawned
+#: worker, so the chunk crashes exactly once.
+_CRASH_KEY = "_crash"
+
+#: How many times one chunk may take a worker down before the run is
+#: declared failed.  Keeps a chunk that deterministically kills its worker
+#: (or an environment where workers cannot start at all) from respawning
+#: forever.
+MAX_TASK_ATTEMPTS = 3
+
+
+def _attach_shared_array(meta: dict, cache: dict) -> np.ndarray:
+    """Attach to a parent-owned shared-memory array (worker side, cached)."""
+    name = meta["name"]
+    entry = cache.get(name)
+    if entry is None:
+        try:
+            block = SharedMemory(name=name, track=False)  # Python >= 3.13
+        except TypeError:
+            # Older Pythons register every attach with the resource tracker
+            # (shared with the parent), which would erase the parent's own
+            # registration when this process exits and then double-unlink.
+            # The parent owns the block — suppress registration entirely.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                block = SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        cache[name] = entry = block
+    array = np.ndarray(
+        tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=entry.buf
+    )
+    # Chunk evaluation must never scribble on the parent's buffer.
+    array.flags.writeable = False
+    return array
+
+
+def _worker_main(inbox, outbox) -> None:
+    """Worker loop: evaluate chunks until the stop sentinel arrives."""
+    from repro.runtime.runner import _evaluate_chunk
+    from repro.simulator import DensityMatrixBackend, SimulationEngine
+
+    models: dict[str, tuple] = {}
+    blocks: dict[str, SharedMemory] = {}
+    try:
+        while True:
+            message = inbox.get()
+            if message is None:
+                break
+            task_id, payload = message
+            if payload.get(_CRASH_KEY):
+                os._exit(_CRASH_EXIT_CODE)
+            try:
+                digest = payload["model_digest"]
+                entry = models.get(digest)
+                if entry is None:
+                    model = pickle.loads(payload["model_bytes"])
+                    backend = DensityMatrixBackend(engine=SimulationEngine())
+                    models[digest] = entry = (model, backend)
+                model, backend = entry
+                features = _attach_shared_array(payload["features"], blocks)
+                labels = _attach_shared_array(payload["labels"], blocks)
+                result = _evaluate_chunk(
+                    model,
+                    features,
+                    labels,
+                    payload["noise_models"],
+                    payload["parameter_sets"],
+                    payload["shots"],
+                    payload["seeds"],
+                    payload["max_batch_bytes"],
+                    backend=backend,
+                )
+                outbox.put((task_id, True, result))
+            except BaseException:
+                outbox.put((task_id, False, traceback.format_exc()))
+    finally:
+        for block in blocks.values():
+            try:
+                block.close()
+            except Exception:
+                pass
+
+
+@dataclass
+class WorkerPoolStats:
+    """Lifecycle counters of a :class:`WorkerPool` (used by tests/benchmarks)."""
+
+    workers_spawned: int = 0
+    workers_respawned: int = 0
+    tasks_completed: int = 0
+    tasks_resubmitted: int = 0
+    models_shipped: int = 0
+    arrays_shared: int = 0
+
+
+class _Worker:
+    """Parent-side handle: process, private inbox, and shipped-model set."""
+
+    __slots__ = ("process", "inbox", "known_models", "current_task")
+
+    def __init__(self, process, inbox):
+        self.process = process
+        self.inbox = inbox
+        self.known_models: set[str] = set()
+        #: ``(task_id, chunk_index, payload)`` of the one in-flight chunk.
+        self.current_task: Optional[tuple[int, int, dict]] = None
+
+
+class WorkerPool:
+    """Long-lived evaluation workers fed one chunk at a time.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes; defaults to ``min(4, cpu_count)``.
+    poll_seconds:
+        How often the collector wakes to check worker liveness while waiting
+        for results (crash detection latency).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, poll_seconds: float = 0.25):
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        if self.max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {self.max_workers}")
+        self.poll_seconds = poll_seconds
+        self.stats = WorkerPoolStats()
+        self._context = get_context("spawn")
+        self._outbox = self._context.Queue()
+        self._workers: list[_Worker] = []
+        self._shared: dict[str, tuple[SharedMemory, dict]] = {}
+        self._shared_order: deque[str] = deque()
+        self._task_counter = 0
+        self._active: dict[int, _Worker] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pids(self) -> list[int]:
+        """PIDs of the current worker processes (spawned lazily)."""
+        return [w.process.pid for w in self._workers if w.process.pid is not None]
+
+    def shared_memory_names(self) -> list[str]:
+        """Names of the shared-memory blocks the pool currently owns."""
+        return [meta["name"] for _block, meta in self._shared.values()]
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed pool rejects new work."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _Worker:
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(inbox, self._outbox),
+            daemon=True,
+            name="repro-eval-worker",
+        )
+        process.start()
+        self.stats.workers_spawned += 1
+        return _Worker(process, inbox)
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise ReproError("worker pool is closed")
+        while len(self._workers) < self.max_workers:
+            self._workers.append(self._spawn_worker())
+
+    def _respawn(self, worker: _Worker) -> None:
+        """Replace a dead worker in place, preserving its queue position."""
+        try:
+            worker.process.join(timeout=0)
+        except Exception:
+            pass
+        replacement = self._spawn_worker()
+        worker.process = replacement.process
+        worker.inbox = replacement.inbox
+        worker.known_models = set()
+        self.stats.workers_respawned += 1
+
+    # ------------------------------------------------------------------
+    # Shared-memory inputs
+    # ------------------------------------------------------------------
+    def _share_array(self, array: np.ndarray) -> dict:
+        """Expose ``array`` via shared memory (content-addressed, cached)."""
+        array = np.ascontiguousarray(array)
+        digest = hashlib.blake2b(
+            array.tobytes() + str(array.dtype).encode() + str(array.shape).encode(),
+            digest_size=16,
+        ).hexdigest()
+        cached = self._shared.get(digest)
+        if cached is not None:
+            return cached[1]
+        block = SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        meta = {
+            "name": block.name,
+            "shape": tuple(int(s) for s in array.shape),
+            "dtype": str(array.dtype),
+        }
+        self._shared[digest] = (block, meta)
+        self._shared_order.append(digest)
+        self.stats.arrays_shared += 1
+        while len(self._shared_order) > SHARED_ARRAY_CAPACITY:
+            evicted = self._shared_order.popleft()
+            old_block, _ = self._shared.pop(evicted)
+            self._unlink_block(old_block)
+        return meta
+
+    @staticmethod
+    def _unlink_block(block: SharedMemory) -> None:
+        try:
+            block.close()
+        except Exception:
+            pass
+        try:
+            block.unlink()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch / collect
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker: _Worker, task: tuple[int, int, dict]) -> None:
+        task_id, _, payload = task
+        if not worker.process.is_alive():
+            self._respawn(worker)
+        digest = payload["model_digest"]
+        if digest in worker.known_models:
+            message_payload = {k: v for k, v in payload.items() if k != "model_bytes"}
+        else:
+            message_payload = payload
+            worker.known_models.add(digest)
+            self.stats.models_shipped += 1
+        worker.current_task = task
+        self._active[task_id] = worker
+        worker.inbox.put((task_id, message_payload))
+
+    def run_chunks(
+        self,
+        model,
+        features: np.ndarray,
+        labels: np.ndarray,
+        chunk_payloads: Sequence[dict],
+    ) -> list[tuple[list[float], float]]:
+        """Evaluate chunks on the pool; returns one ``(accuracies, duration)``
+        per chunk, in submission order.
+
+        Each payload dict carries ``noise_models`` / ``parameter_sets`` /
+        ``shots`` / ``seeds`` / ``max_batch_bytes`` for one chunk (the
+        argument set of :func:`repro.runtime.runner._evaluate_chunk`).  A
+        worker that dies mid-chunk is respawned and its chunk resubmitted,
+        so the call always returns complete results.
+        """
+        with self._lock:
+            self._ensure_workers()
+            model_bytes = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            model_digest = hashlib.blake2b(model_bytes, digest_size=16).hexdigest()
+            features_meta = self._share_array(features)
+            labels_meta = self._share_array(labels)
+            pending: deque[tuple[int, int, dict]] = deque()
+            for chunk_index, chunk_payload in enumerate(chunk_payloads):
+                payload = dict(chunk_payload)
+                payload["model_digest"] = model_digest
+                payload["model_bytes"] = model_bytes
+                payload["features"] = features_meta
+                payload["labels"] = labels_meta
+                self._task_counter += 1
+                pending.append((self._task_counter, chunk_index, payload))
+            results: dict[int, tuple[list[float], float]] = {}
+            expected = {task_id: index for task_id, index, _ in pending}
+            total = len(pending)
+            attempts: dict[int, int] = {}
+
+            while len(results) < total:
+                for worker in self._workers:
+                    if pending and worker.current_task is None:
+                        self._dispatch(worker, pending.popleft())
+                try:
+                    task_id, ok, value = self._outbox.get(timeout=self.poll_seconds)
+                except Exception:
+                    self._recover_dead_workers(attempts)
+                    continue
+                worker = self._active.pop(task_id, None)
+                if worker is not None and worker.current_task is not None and (
+                    worker.current_task[0] == task_id
+                ):
+                    worker.current_task = None
+                if task_id not in expected:
+                    # Straggler from an aborted earlier call — drop it.
+                    continue
+                if not ok:
+                    raise ReproError(f"worker chunk evaluation failed:\n{value}")
+                results[task_id] = value
+                self.stats.tasks_completed += 1
+            return [results[task_id] for task_id, _ in sorted(expected.items())]
+
+    def _recover_dead_workers(self, attempts: dict[int, int]) -> None:
+        """Respawn dead workers; resubmit the chunk each one was holding."""
+        for worker in self._workers:
+            if worker.process.is_alive():
+                continue
+            task = worker.current_task
+            self._respawn(worker)
+            if task is not None:
+                task_id, chunk_index, payload = task
+                attempts[task_id] = attempts.get(task_id, 1) + 1
+                if attempts[task_id] > MAX_TASK_ATTEMPTS:
+                    raise ReproError(
+                        f"worker chunk {chunk_index} killed its worker "
+                        f"{MAX_TASK_ATTEMPTS} times; giving up"
+                    )
+                self._active.pop(task_id, None)
+                worker.current_task = None
+                payload = {k: v for k, v in payload.items() if k != _CRASH_KEY}
+                self.stats.tasks_resubmitted += 1
+                self._dispatch(worker, (task_id, chunk_index, payload))
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop the workers and release every shared-memory block.
+
+        With ``wait=True`` (default) the call first waits for any in-flight
+        :meth:`run_chunks` to finish — both hold the pool lock — so no chunk
+        is ever dropped mid-evaluation; ``wait=False`` terminates the
+        workers immediately.
+        """
+        if self._closed:
+            return
+        if wait:
+            self._lock.acquire()
+        try:
+            self._closed = True
+            for worker in self._workers:
+                if wait and worker.process.is_alive():
+                    try:
+                        worker.inbox.put(None)
+                    except Exception:
+                        pass
+            for worker in self._workers:
+                if wait:
+                    worker.process.join(timeout=5.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+            self._workers.clear()
+            self._active.clear()
+            for block, _ in self._shared.values():
+                self._unlink_block(block)
+            self._shared.clear()
+            self._shared_order.clear()
+        finally:
+            if wait:
+                self._lock.release()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            if not self._closed:
+                self.close(wait=False)
+        except Exception:
+            pass

@@ -57,6 +57,8 @@ __all__ = [
     "CompiledProgram",
     "BoundGateRecord",
     "BoundCircuit",
+    "StackedWalkStep",
+    "build_stacked_walk",
     "materialize_program",
     "EngineStats",
     "SimulationEngine",
@@ -260,12 +262,16 @@ class BoundCircuit:
 
     Used by the adjoint-gradient backward sweep and the noisy
     density-matrix path, both of which must walk gate-by-gate.  Derivative
-    matrices are memoised on first request per gate index.
+    matrices are memoised on first request per gate index, and the
+    day-stacked walk plan (see :class:`StackedWalkStep`) on first use.
     """
 
     num_qubits: int
     gates: tuple[BoundGateRecord, ...]
     _derivatives: dict[int, np.ndarray] = field(default_factory=dict)
+    #: ``None`` = not built yet; ``False`` = some gate is unsupported (fall
+    #: back to the generic grouped walk); otherwise the step tuple.
+    _stacked_walk: object = field(default=None, repr=False)
 
     def derivative(self, index: int) -> np.ndarray:
         """``d(matrix)/d(angle)`` of gate ``index``, memoised."""
@@ -274,6 +280,80 @@ class BoundCircuit:
             cached = self.gates[index].gate.derivative_matrix()
             self._derivatives[index] = cached
         return cached
+
+
+@dataclass(frozen=True)
+class StackedWalkStep:
+    """One gate of a day-stacked density walk, fully precomputed.
+
+    ``kind`` selects the kernel: ``"diagonal"`` multiplies the super-batch by
+    the full-register phase factor built from ``phase_row``; ``"monomial"``
+    gathers through the flat ``gather`` indices (phase-corrected via
+    ``phase_row`` when present); ``"dense"`` runs the two precompiled einsum
+    contractions ``row_subscripts`` / ``col_subscripts`` with the tensorised
+    ``matrix`` / ``dagger`` operands.
+    """
+
+    kind: str
+    qubits: tuple[int, ...]
+    phase_row: Optional[np.ndarray] = None
+    gather: Optional[np.ndarray] = None
+    matrix: Optional[np.ndarray] = None
+    dagger: Optional[np.ndarray] = None
+    row_subscripts: Optional[str] = None
+    col_subscripts: Optional[str] = None
+
+
+def build_stacked_walk(bound: BoundCircuit) -> Optional[tuple[StackedWalkStep, ...]]:
+    """Precompute the day-stacked walk steps for one bound circuit.
+
+    Returns ``None`` when a gate cannot take a precompiled path (e.g. the
+    register is too wide for einsum labels), in which case callers fall back
+    to the generic grouped walk.
+    """
+    num_qubits = bound.num_qubits
+    steps = []
+    for record in bound.gates:
+        qubits = record.qubits
+        diag = ops._diagonal_of(record.matrix)
+        if diag is not None:
+            steps.append(
+                StackedWalkStep(
+                    kind="diagonal",
+                    qubits=qubits,
+                    phase_row=ops.density_diagonal_row(diag, qubits, num_qubits),
+                )
+            )
+            continue
+        monomial = ops._monomial_of(record.matrix)
+        if monomial is not None:
+            gather, phase_row = ops.density_monomial_gather(
+                monomial[0], monomial[1], qubits, num_qubits
+            )
+            steps.append(
+                StackedWalkStep(
+                    kind="monomial", qubits=qubits, gather=gather, phase_row=phase_row
+                )
+            )
+            continue
+        try:
+            row_subscripts, col_subscripts = ops.density_gate_subscripts(
+                qubits, num_qubits
+            )
+        except SimulationError:
+            return None
+        shape = (2,) * (2 * len(qubits))
+        steps.append(
+            StackedWalkStep(
+                kind="dense",
+                qubits=qubits,
+                matrix=np.ascontiguousarray(record.matrix).reshape(shape),
+                dagger=np.ascontiguousarray(record.matrix.conj()).reshape(shape),
+                row_subscripts=row_subscripts,
+                col_subscripts=col_subscripts,
+            )
+        )
+    return tuple(steps)
 
 
 def _embed_into_block(
@@ -630,12 +710,21 @@ class SimulationEngine:
                 )
             return flat.reshape(rho.shape)
 
-        bounds = [
-            self.bound_circuit(circuit, parameters)
-            for circuit, parameters in zip(circuits, parameter_sets)
-        ]
+        if all(c is circuits[0] for c in circuits[1:]) and self._shared_binding(
+            parameter_sets
+        ):
+            # The day-sweep regime: one bound circuit across every group, so
+            # binding (and digesting) once suffices.
+            bounds = [self.bound_circuit(circuits[0], parameter_sets[0])] * groups
+        else:
+            bounds = [
+                self.bound_circuit(circuit, parameters)
+                for circuit, parameters in zip(circuits, parameter_sets)
+            ]
         reference = bounds[0]
         for bound in bounds[1:]:
+            if bound is reference:
+                continue
             if len(bound.gates) != len(reference.gates) or any(
                 a.gate.name != b.gate.name or a.qubits != b.qubits
                 for a, b in zip(bound.gates, reference.gates)
@@ -643,6 +732,22 @@ class SimulationEngine:
                 raise SimulationError(
                     "cannot batch density execution across different structures"
                 )
+        if all(bound is reference for bound in bounds[1:]):
+            steps = self._stacked_walk_for(reference)
+            if steps is not None:
+                probabilities = np.array(
+                    [
+                        [
+                            self._channel_probability(model, record.gate)
+                            for model in noise_models
+                        ]
+                        for record in reference.gates
+                    ]
+                )
+                walked = self._run_density_stacked(
+                    reference, steps, flat.copy(), probabilities, batch
+                )
+                return walked.reshape(rho.shape)
         for gate_index in range(len(reference.gates)):
             records = [bound.gates[gate_index] for bound in bounds]
             qubits = records[0].qubits
@@ -667,6 +772,96 @@ class SimulationEngine:
             return 0.0
         channel = noise_model.channel_for_gate(gate)
         return channel.probability if channel is not None else 0.0
+
+    @staticmethod
+    def _shared_binding(parameter_sets) -> bool:
+        """True when every group binds the same effective parameter vector."""
+        first = parameter_sets[0]
+        for parameters in parameter_sets[1:]:
+            if parameters is first:
+                continue
+            if parameters is None or first is None:
+                return False
+            if not np.array_equal(parameters, first):
+                return False
+        return True
+
+    @staticmethod
+    def _stacked_walk_for(bound: BoundCircuit) -> Optional[tuple[StackedWalkStep, ...]]:
+        """The bound circuit's day-stacked walk plan, built once and memoised."""
+        plan = bound._stacked_walk
+        if plan is None:
+            plan = build_stacked_walk(bound)
+            bound._stacked_walk = False if plan is None else plan
+        return None if plan is False else plan
+
+    @staticmethod
+    def _run_density_stacked(
+        bound: BoundCircuit,
+        steps: tuple[StackedWalkStep, ...],
+        flat: np.ndarray,
+        probabilities: np.ndarray,
+        batch: int,
+    ) -> np.ndarray:
+        """Walk one bound circuit over a day-stacked super-batch in place.
+
+        ``flat`` is an owned, C-contiguous ``(groups * batch, dim, dim)``
+        array (it is mutated); ``probabilities`` holds per-gate per-group
+        channel strengths, shape ``(num_gates, groups)``.  Bit-identical (up
+        to the sign of zeros) to the generic per-gate grouped walk: the
+        kernels perform the same elementary products and sums, only without
+        the transpose and allocation traffic.
+        """
+        num_qubits = bound.num_qubits
+        dim = 2**num_qubits
+        total = flat.shape[0]
+        tensor_shape = (total,) + (2,) * (2 * num_qubits)
+        rho = flat
+        spare = np.empty_like(rho)
+        for step, gate_probabilities in zip(steps, probabilities):
+            if step.kind == "diagonal":
+                row = step.phase_row
+                np.multiply(
+                    rho, (row[:, None] * row.conj()[None, :])[None, :, :], out=rho
+                )
+            elif step.kind == "monomial":
+                np.take(
+                    rho.reshape(total, dim * dim),
+                    step.gather,
+                    axis=1,
+                    out=spare.reshape(total, dim * dim),
+                )
+                if step.phase_row is not None:
+                    row = step.phase_row
+                    np.multiply(
+                        spare,
+                        (row[:, None] * row.conj()[None, :])[None, :, :],
+                        out=spare,
+                    )
+                rho, spare = spare, rho
+            else:
+                np.einsum(
+                    step.row_subscripts,
+                    step.matrix,
+                    rho.reshape(tensor_shape),
+                    out=spare.reshape(tensor_shape),
+                )
+                rho, spare = spare, rho
+                np.einsum(
+                    step.col_subscripts,
+                    step.dagger,
+                    rho.reshape(tensor_shape),
+                    out=spare.reshape(tensor_shape),
+                )
+                rho, spare = spare, rho
+            if np.any(gate_probabilities):
+                ops.apply_depolarizing_density_stacked(
+                    rho,
+                    np.repeat(gate_probabilities, batch),
+                    step.qubits,
+                    num_qubits,
+                )
+        return rho
 
     @staticmethod
     def _apply_density_group_matrices(

@@ -16,7 +16,7 @@ differ per sample).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -230,11 +230,19 @@ def _apply_diagonal_density(
     sub = np.zeros(dim, dtype=np.int64)
     for position, qubit in enumerate(qubits):
         sub |= ((indices >> (num_qubits - 1 - qubit)) & 1) << (k - 1 - position)
+    # The phase outer product must be bound to a name before the multiply:
+    # a refcount-1 temporary lets numpy elide it into an in-place multiply
+    # (for operands >= the elision size threshold), whose complex kernel
+    # rounds the last bit differently — making the result depend on batch
+    # size and breaking the bit-identity contract between the stacked and
+    # per-binding paths.
     if diag.ndim == 1:
         row = diag[sub]
-        return rho * (row[:, None] * row.conj()[None, :])[None, :, :]
+        phase = (row[:, None] * row.conj()[None, :])[None, :, :]
+        return rho * phase
     row = diag[:, sub]
-    return rho * (row[:, :, None] * row.conj()[:, None, :])
+    phase = row[:, :, None] * row.conj()[:, None, :]
+    return rho * phase
 
 
 def _monomial_of(unitary: np.ndarray):
@@ -267,6 +275,36 @@ def _full_register_subindex(
     return sub
 
 
+def _monomial_full_permutation(
+    perm: np.ndarray,
+    phases: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Lift a k-qubit monomial gate to the full register.
+
+    Returns ``(full_perm, full_phases)`` such that
+    ``(U rho U^dagger)[i, j] = full_phases[i] conj(full_phases[j])
+    rho[full_perm[i], full_perm[j]]``; ``full_phases`` is ``None`` when every
+    phase is exactly one (a pure permutation, e.g. CNOT).
+    """
+    dim = 2**num_qubits
+    num = num_qubits
+    sub = _full_register_subindex(qubits, num)
+    target_sub = perm[sub]
+    k = len(qubits)
+    cleared = np.arange(dim)
+    for qubit in qubits:
+        cleared &= ~(1 << (num - 1 - qubit))
+    full_perm = cleared.copy()
+    for position, qubit in enumerate(qubits):
+        full_perm |= ((target_sub >> (k - 1 - position)) & 1) << (num - 1 - qubit)
+    full_phases = phases[sub]
+    if np.array_equal(full_phases, np.ones(dim)):
+        return full_perm, None
+    return full_perm, full_phases
+
+
 def _apply_monomial_density(
     rho: np.ndarray,
     perm: np.ndarray,
@@ -280,22 +318,15 @@ def _apply_monomial_density(
     lifted to the full register, so a CNOT costs an indexed copy instead of
     two tensor contractions.
     """
-    dim = rho.shape[-1]
-    num = num_qubits
-    sub = _full_register_subindex(qubits, num)
-    target_sub = perm[sub]
-    k = len(qubits)
-    cleared = np.arange(dim)
-    for position, qubit in enumerate(qubits):
-        cleared &= ~(1 << (num - 1 - qubit))
-    full_perm = cleared.copy()
-    for position, qubit in enumerate(qubits):
-        full_perm |= ((target_sub >> (k - 1 - position)) & 1) << (num - 1 - qubit)
+    full_perm, full_phases = _monomial_full_permutation(
+        perm, phases, qubits, num_qubits
+    )
     gathered = rho[:, full_perm[:, None], full_perm[None, :]]
-    full_phases = phases[sub]
-    if np.array_equal(full_phases, np.ones(dim)):
+    if full_phases is None:
         return gathered
-    return gathered * (full_phases[:, None] * full_phases.conj()[None, :])
+    # Named to defeat numpy temporary elision — see _apply_diagonal_density.
+    phase = full_phases[:, None] * full_phases.conj()[None, :]
+    return gathered * phase
 
 
 def apply_unitary_density(
@@ -396,6 +427,154 @@ def apply_depolarizing_density(
         probability = probability[:, None, None, None]
     blended = (1.0 - probability) * tensor + probability * mixed
     return _restore_density_axes(blended, qubits, num_qubits)
+
+
+# ---------------------------------------------------------------------------
+# Day-stacked walk kernels
+# ---------------------------------------------------------------------------
+#
+# The longitudinal sweeps evaluate one bound circuit across many calibration
+# days at once.  The kernels below let the engine walk that day-stacked
+# super-batch without the per-gate transpose/allocate traffic of the generic
+# appliers: dense gates contract in place via precomputed einsum subscripts,
+# diagonal/monomial gates become one elementwise (or gather) pass, and the
+# depolarizing channel updates the density batch in place through
+# diagonal-block views.  Every kernel is bit-identical to its out-of-place
+# counterpart above, up to the sign of zeros.
+
+_EINSUM_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def density_gate_subscripts(
+    qubits: Sequence[int], num_qubits: int
+) -> tuple[str, str]:
+    """Einsum subscripts applying ``U . U^dagger`` on a tensorised batch.
+
+    The density batch is viewed as ``(batch,) + (2,) * (2 * num_qubits)``
+    (row axes, then column axes).  The first subscript contracts ``U`` into
+    the target qubits' row axes, the second contracts ``conj(U)`` into their
+    column axes; both preserve the axis order of the input, so the result can
+    be written straight into a same-shape ``out=`` buffer with no transpose
+    copies.  The gate operand must be reshaped to ``(2,) * (2 * k)``.
+    """
+    qubits = _check_qubits(qubits, num_qubits)
+    k = len(qubits)
+    needed = 1 + 2 * num_qubits + 2 * k
+    if needed > len(_EINSUM_LETTERS):
+        raise SimulationError(
+            f"day-stacked gate subscripts need {needed} einsum labels for "
+            f"{num_qubits} qubits; only {len(_EINSUM_LETTERS)} exist"
+        )
+    axes = list(_EINSUM_LETTERS[: 1 + 2 * num_qubits])
+    out_labels = _EINSUM_LETTERS[1 + 2 * num_qubits : 1 + 2 * num_qubits + k]
+    sum_labels = _EINSUM_LETTERS[1 + 2 * num_qubits + k : needed]
+
+    def subscript(offset: int) -> str:
+        source = list(axes)
+        target = list(axes)
+        for position, qubit in enumerate(qubits):
+            source[offset + qubit] = sum_labels[position]
+            target[offset + qubit] = out_labels[position]
+        return f"{out_labels}{sum_labels},{''.join(source)}->{''.join(target)}"
+
+    return subscript(1), subscript(1 + num_qubits)
+
+
+def density_diagonal_row(
+    diag: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Lift a k-qubit diagonal to the full register: ``row[i] = diag[sub(i)]``.
+
+    ``row[:, None] * row.conj()[None, :]`` is then the elementwise factor a
+    diagonal gate applies to a density matrix (the factor
+    :func:`_apply_diagonal_density` builds internally).
+    """
+    qubits = _check_qubits(qubits, num_qubits)
+    return diag[_full_register_subindex(qubits, num_qubits)]
+
+
+def density_monomial_gather(
+    perm: np.ndarray,
+    phases: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Precompute the flat gather a monomial gate performs on a density batch.
+
+    Returns ``(gather, phase_row)``: ``gather`` indexes the flattened
+    ``(dim * dim,)`` view of each density matrix so that
+    ``rho_flat[:, gather]`` equals the gathered matrix of
+    :func:`_apply_monomial_density`, and ``phase_row`` is the full-register
+    phase vector (``None`` for pure permutations).
+    """
+    qubits = _check_qubits(qubits, num_qubits)
+    full_perm, full_phases = _monomial_full_permutation(
+        perm, phases, qubits, num_qubits
+    )
+    dim = full_perm.shape[0]
+    gather = (full_perm[:, None] * dim + full_perm[None, :]).ravel()
+    return gather, full_phases
+
+
+def apply_depolarizing_density_stacked(
+    rho: np.ndarray,
+    probability,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """In-place depolarizing channel on a day-stacked density super-batch.
+
+    Same channel as :func:`apply_depolarizing_density` — bit-identical up to
+    the sign of zeros (off-diagonal entries keep their signed zeros instead
+    of being canonicalised by an explicit ``+ p * 0``) — but it mutates
+    ``rho`` through diagonal-block views instead of materialising the mixed
+    state, removing two super-batch-sized allocations and the axis-move
+    copies from the hot walk.  ``rho`` must be a C-contiguous
+    ``(batch, 2**n, 2**n)`` array the caller owns; it is returned mutated.
+    """
+    probability = np.asarray(probability, dtype=float)
+    if np.any(probability < 0) or np.any(probability > 1):
+        raise SimulationError(f"depolarizing probability {probability} outside [0, 1]")
+    if not np.any(probability):
+        return rho
+    if probability.ndim not in (0, 1):
+        raise SimulationError("depolarizing probability must be a scalar or 1-D array")
+    batch = rho.shape[0]
+    if probability.ndim == 1 and probability.shape[0] != batch:
+        raise SimulationError(
+            f"per-sample probabilities of length {probability.shape[0]} do not "
+            f"match batch size {batch}"
+        )
+    qubits = _check_qubits(qubits, num_qubits)
+    k = len(qubits)
+    d = 2**k
+    tensor = rho.reshape((batch,) + (2,) * (2 * num_qubits))
+    # One view per diagonal sub-block of the target qubits: row bits == col
+    # bits == s.  Summing them in s order reproduces the partial trace of
+    # the out-of-place path (einsum accumulates the traced index in the same
+    # order), and adding the blended term back through the views writes the
+    # mixed state exactly where the dense ``mixed`` array is non-zero.
+    views = []
+    for state in range(d):
+        index: list = [slice(None)] * (1 + 2 * num_qubits)
+        for position, qubit in enumerate(qubits):
+            bit = (state >> (k - 1 - position)) & 1
+            index[1 + qubit] = bit
+            index[1 + num_qubits + qubit] = bit
+        views.append(tensor[tuple(index)])
+    traced = views[0] + views[1]
+    for state in range(2, d):
+        traced = traced + views[state]
+    if probability.ndim == 1:
+        scale = probability.reshape((batch,) + (1,) * (traced.ndim - 1))
+        term = scale * (traced / d)
+        np.multiply(rho, (1.0 - probability)[:, None, None], out=rho)
+    else:
+        term = probability * (traced / d)
+        np.multiply(rho, 1.0 - probability, out=rho)
+    for view in views:
+        view += term
+    return rho
 
 
 def partial_trace(

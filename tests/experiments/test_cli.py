@@ -20,8 +20,15 @@ def test_registry_covers_every_harness():
 def test_parser_defaults():
     args = build_parser().parse_args(["fig1"])
     assert args.scale == "bench"
-    assert args.runner_mode == "thread"
+    # Unset on the parser so main() can resolve per-harness defaults
+    # (thread for the shared runner, serial for fleet cells).
+    assert args.runner_mode is None
     assert args.chunk_days == 16
+
+
+def test_parser_accepts_pool_runner_mode():
+    args = build_parser().parse_args(["fig2", "--runner-mode", "pool"])
+    assert args.runner_mode == "pool"
 
 
 def test_parser_serving_options():
@@ -119,10 +126,14 @@ def test_non_fleet_experiments_reject_fleet_flags():
 
 
 def test_fleet_rejects_inapplicable_flags():
+    # --runner-mode is NOT in this list: fleet cells honour it (the CI
+    # smoke run drives the persistent pool through `fleet --runner-mode
+    # pool`); the remaining runner knobs still only shape the idle
+    # top-level runner and are rejected.
     for flag in (
         ["--device", "ring_5"],  # the grid flag is --devices
         ["--requests", "8"],
-        ["--runner-mode", "process"],
+        ["--workers", "2"],
         ["--chunk-days", "2"],
         ["--cache", "c.jsonl"],
     ):

@@ -1,0 +1,245 @@
+"""Property-based equivalence harness for day-stacked execution.
+
+The day-stacked kernels (one fused walk over a ``(days, dim, dim)`` stack
+of density matrices, per-gate noise strengths carried as per-day vectors)
+are only allowed to exist because they are **bit-identical** to the
+per-binding loop.  These tests pin that contract with hypothesis across:
+
+* randomly drawn devices, drift scenarios, day counts, and parameter
+  vectors (density backend);
+* shared and distinct parameter bindings (statevector backend);
+* backend-level, explicit, and mixed per-binding seed streams
+  (trajectory backend);
+* the full evaluation path (``evaluate_noisy_batch`` vs a
+  ``evaluate_noisy`` loop).
+
+Everything asserts with ``np.array_equal`` — no tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.calibration.scenarios import get_scenario
+from repro.circuits import build_qucad_ansatz
+from repro.qnn import QNNModel, evaluate_noisy, evaluate_noisy_batch
+from repro.simulator import (
+    DensityMatrixBackend,
+    NoiseModel,
+    SimulationEngine,
+    StatevectorBackend,
+    TrajectoryBackend,
+)
+from repro.transpiler import get_device_coupling, transpile
+
+#: Devices the property sweep draws from: one paper chip, two library
+#: topologies with different connectivity.
+DEVICES = ("belem", "ring_5", "line_5")
+#: One gradual and one discontinuous drift family.
+SCENARIOS = ("seasonal", "jump", "storm")
+
+COMMON = dict(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _physical_circuit(device: str, parameters_seed: int, history):
+    """A 4-qubit ansatz routed onto ``device`` with random bound parameters."""
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    rng = np.random.default_rng(parameters_seed)
+    parameters = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+    transpiled = transpile(
+        ansatz, get_device_coupling(device), calibration=history[0]
+    )
+    return transpiled.to_physical(parameters)
+
+
+@settings(**COMMON)
+@given(
+    device=st.sampled_from(DEVICES),
+    scenario_name=st.sampled_from(SCENARIOS),
+    num_days=st.integers(min_value=2, max_value=4),
+    drift_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    parameters_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_density_day_stack_bitmatches_per_day_loop(
+    device, scenario_name, num_days, drift_seed, parameters_seed
+):
+    """One bound circuit × a scenario-rendered noise history: the stacked
+    walk must reproduce the per-day loop bit for bit."""
+    history = get_scenario(scenario_name).history(device, num_days, seed=drift_seed)
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    physical = _physical_circuit(device, parameters_seed, history)
+    backend = DensityMatrixBackend(engine=SimulationEngine())
+
+    batched = backend.execute_batch(physical, noise_models=noise_models, batch=2)
+    for model, result in zip(noise_models, batched):
+        reference = backend.execute(physical, noise_model=model, batch=2)
+        assert np.array_equal(result.rho, reference.rho)
+        assert np.array_equal(
+            result.expectation_z(list(range(4))),
+            reference.expectation_z(list(range(4))),
+        )
+
+
+@settings(**COMMON)
+@given(
+    scenario_name=st.sampled_from(SCENARIOS),
+    num_days=st.integers(min_value=2, max_value=4),
+    drift_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    parameters_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    shared=st.booleans(),
+)
+def test_density_explicit_parameter_sets_bitmatch_loop(
+    scenario_name, num_days, drift_seed, parameters_seed, shared
+):
+    """Explicit ``parameter_sets`` — one shared vector (the stacked fast
+    path) or distinct vectors (the grouped fallback) — both bit-match."""
+    ansatz = build_qucad_ansatz(3, repeats=1)
+    rng = np.random.default_rng(parameters_seed)
+    if shared:
+        vector = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+        parameter_sets = [vector] * num_days
+    else:
+        parameter_sets = [
+            rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+            for _ in range(num_days)
+        ]
+    history = get_scenario(scenario_name).history("belem", num_days, seed=drift_seed)
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    backend = DensityMatrixBackend(engine=SimulationEngine())
+
+    batched = backend.execute_batch(
+        ansatz, parameter_sets, noise_models=noise_models, batch=2
+    )
+    for parameters, model, result in zip(parameter_sets, noise_models, batched):
+        reference = backend.execute(
+            ansatz, parameters=parameters, noise_model=model, batch=2
+        )
+        assert np.array_equal(result.rho, reference.rho)
+
+
+@settings(**COMMON)
+@given(
+    parameters_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=2, max_value=5),
+    shared=st.booleans(),
+)
+def test_statevector_batch_bitmatches_loop(parameters_seed, count, shared):
+    ansatz = build_qucad_ansatz(4, repeats=1)
+    rng = np.random.default_rng(parameters_seed)
+    if shared:
+        vector = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+        parameter_sets = [vector] * count
+    else:
+        parameter_sets = [
+            rng.uniform(-np.pi, np.pi, ansatz.num_parameters) for _ in range(count)
+        ]
+    initial = rng.standard_normal((3, 16)) + 1j * rng.standard_normal((3, 16))
+    initial /= np.linalg.norm(initial, axis=1, keepdims=True)
+    backend = StatevectorBackend(engine=SimulationEngine())
+
+    batched = backend.execute_batch(ansatz, parameter_sets, initial)
+    for parameters, result in zip(parameter_sets, batched):
+        reference = backend.execute(ansatz, initial, parameters=parameters)
+        assert np.array_equal(result.states, reference.states)
+
+
+@settings(**COMMON)
+@given(
+    stream_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    parameters_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=2, max_value=4),
+    explicit=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1)),
+        min_size=4,
+        max_size=4,
+    ),
+)
+def test_trajectory_seed_streams_match_per_call_loop(
+    stream_seed, parameters_seed, count, explicit
+):
+    """Per-binding trajectory seed streams: an explicit seed wins, a ``None``
+    draws the next child seed from the backend stream *in binding order* —
+    exactly like the equivalent sequence of single ``execute`` calls on a
+    fresh backend seeded the same way."""
+    ansatz = build_qucad_ansatz(3, repeats=1)
+    rng = np.random.default_rng(parameters_seed)
+    parameter_sets = [
+        rng.uniform(-np.pi, np.pi, ansatz.num_parameters) for _ in range(count)
+    ]
+    seeds = explicit[:count]
+
+    batched_backend = TrajectoryBackend(
+        engine=SimulationEngine(), shots=64, seed=stream_seed
+    )
+    loop_backend = TrajectoryBackend(
+        engine=SimulationEngine(), shots=64, seed=stream_seed
+    )
+    batched = batched_backend.execute_batch(ansatz, parameter_sets, seeds=seeds)
+    for parameters, seed, result in zip(parameter_sets, seeds, batched):
+        reference = loop_backend.execute(ansatz, parameters=parameters, seed=seed)
+        assert np.array_equal(result.states, reference.states)
+        assert np.array_equal(result.probabilities(), reference.probabilities())
+        assert np.array_equal(
+            result.expectation_z([0, 1]), reference.expectation_z([0, 1])
+        )
+
+
+@pytest.fixture(scope="module")
+def bound_model():
+    scenario = get_scenario("seasonal")
+    history = scenario.history("belem", 5, seed=13)
+    model = QNNModel.create(
+        num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=6
+    )
+    model.bind_to_device(
+        get_device_coupling("belem"), calibration=history[0]
+    )
+    rng = np.random.default_rng(29)
+    features = rng.standard_normal((6, 16))
+    labels = rng.integers(0, 4, 6)
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    return model, features, labels, noise_models
+
+
+def test_full_path_day_sweep_bitmatches_evaluate_noisy_loop(bound_model):
+    """``evaluate_noisy_batch`` over a shared binding (the day-stacked
+    regime the runner drives) returns the exact per-day logits."""
+    model, features, labels, noise_models = bound_model
+    shared = np.asarray(model.parameters, dtype=float)
+    batched = evaluate_noisy_batch(
+        model,
+        features,
+        labels,
+        noise_models,
+        parameter_sets=[shared] * len(noise_models),
+        shots=128,
+        seeds=list(range(len(noise_models))),
+    )
+    for index, (noise_model, result) in enumerate(zip(noise_models, batched)):
+        reference = evaluate_noisy(
+            model,
+            features,
+            labels,
+            noise_model,
+            parameters=shared,
+            shots=128,
+            seed=index,
+        )
+        assert np.array_equal(result.logits, reference.logits)
+        assert result.accuracy == reference.accuracy
+
+
+def test_full_path_exact_expectations_bitmatch(bound_model):
+    """Same contract without shot sampling (exact expectation values)."""
+    model, features, labels, noise_models = bound_model
+    batched = evaluate_noisy_batch(model, features, labels, noise_models)
+    for noise_model, result in zip(noise_models, batched):
+        reference = evaluate_noisy(model, features, labels, noise_model)
+        assert np.array_equal(result.logits, reference.logits)

@@ -46,16 +46,49 @@ def harness():
     return model, features, labels, noise_models, parameter_sets, seeds, reference
 
 
-@pytest.mark.parametrize("mode", ["serial", "thread"])
+@pytest.mark.parametrize("mode", ["serial", "thread", "pool"])
 def test_runner_matches_sequential_evaluation(harness, mode):
     model, features, labels, noise_models, parameter_sets, seeds, reference = harness
-    runner = ExperimentRunner(mode=mode, chunk_days=2)
-    accuracies = runner.evaluate_days(
-        model, features, labels, noise_models,
-        parameter_sets=parameter_sets, shots=128, seeds=seeds,
-    )
+    with ExperimentRunner(mode=mode, chunk_days=2, max_workers=1) as runner:
+        accuracies = runner.evaluate_days(
+            model, features, labels, noise_models,
+            parameter_sets=parameter_sets, shots=128, seeds=seeds,
+        )
     assert np.array_equal(accuracies, reference)
     assert runner.stats.days_evaluated == len(noise_models)
+
+
+def test_pool_runner_reuses_workers_and_recreates_after_close(harness):
+    model, features, labels, noise_models, parameter_sets, seeds, reference = harness
+    runner = ExperimentRunner(mode="pool", chunk_days=3, max_workers=1)
+    try:
+        first = runner.evaluate_days(
+            model, features, labels, noise_models,
+            parameter_sets=parameter_sets, shots=128, seeds=seeds,
+        )
+        pids = runner.pool.pids()
+        second = runner.evaluate_days(
+            model, features, labels, noise_models,
+            parameter_sets=parameter_sets, shots=128, seeds=seeds,
+        )
+        assert np.array_equal(first, reference)
+        assert np.array_equal(second, reference)
+        # The persistent pool serves both calls with the same warm worker.
+        assert runner.pool.pids() == pids
+        assert runner.pool.stats.workers_spawned == 1
+
+        # close() releases the pool; the next call transparently builds a
+        # fresh one instead of failing on a closed pool.
+        runner.close()
+        assert runner.pool is None
+        third = runner.evaluate_days(
+            model, features, labels, noise_models,
+            parameter_sets=parameter_sets, shots=128, seeds=seeds,
+        )
+        assert np.array_equal(third, reference)
+        assert runner.pool is not None and not runner.pool.closed
+    finally:
+        runner.close()
 
 
 def test_runner_cache_hits_skip_evaluation(harness, tmp_path):
@@ -150,6 +183,52 @@ def test_runner_does_not_cache_unseeded_sampling(harness):
     )
     assert len(runner.cache) == len(noise_models)
     del first, second
+
+
+def test_cache_key_digests_computed_once_per_object(harness, monkeypatch):
+    """The cache-key loop derives each digest once, not once per day.
+
+    Day sweeps pass one shared parameter vector and D distinct noise
+    models; before the memoization fix the runner re-hashed the full
+    parameter vector (and channel map) for every single day.
+    """
+    import repro.runtime.runner as runner_module
+
+    model, features, labels, noise_models, _parameter_sets, seeds, _ = harness
+    calls = {"model": 0, "noise": 0}
+    real_model_digest = runner_module.model_digest
+    real_noise_digest = runner_module.noise_model_digest
+
+    def counting_model_digest(*args, **kwargs):
+        calls["model"] += 1
+        return real_model_digest(*args, **kwargs)
+
+    def counting_noise_digest(*args, **kwargs):
+        calls["noise"] += 1
+        return real_noise_digest(*args, **kwargs)
+
+    monkeypatch.setattr(runner_module, "model_digest", counting_model_digest)
+    monkeypatch.setattr(runner_module, "noise_model_digest", counting_noise_digest)
+
+    shared = np.zeros(model.num_parameters)
+    runner = ExperimentRunner(mode="serial", chunk_days=3, cache=EvaluationCache())
+    runner.evaluate_days(
+        model, features, labels, noise_models,
+        parameter_sets=[shared] * len(noise_models), shots=128, seeds=seeds,
+    )
+    # One shared binding object → one model digest; D distinct noise-model
+    # objects → exactly D noise digests.
+    assert calls["model"] == 1
+    assert calls["noise"] == len(noise_models)
+
+    # A sweep that repeats one noise-model object hashes it only once too.
+    calls["model"] = calls["noise"] = 0
+    runner.evaluate_days(
+        model, features, labels, [noise_models[0]] * len(noise_models),
+        parameter_sets=[shared] * len(noise_models), shots=128, seeds=seeds,
+    )
+    assert calls["model"] == 1
+    assert calls["noise"] == 1
 
 
 def test_runner_rejects_bad_configuration():

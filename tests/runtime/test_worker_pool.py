@@ -1,0 +1,168 @@
+"""Lifecycle tests for the persistent evaluation worker pool.
+
+Covers the contracts the ``pool`` runner mode leans on: workers stay warm
+across :meth:`~repro.runtime.workers.WorkerPool.run_chunks` calls (same
+PIDs, model shipped once), shutdown drains in-flight chunks, a crashed
+worker is respawned without losing the run, and every shared-memory block
+is released on close.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.calibration import generate_belem_history
+from repro.datasets import load_mnist4
+from repro.exceptions import ReproError
+from repro.qnn import QNNModel, evaluate_noisy
+from repro.runtime import WorkerPool
+from repro.runtime.workers import _CRASH_KEY
+from repro.simulator import NoiseModel
+from repro.transpiler import belem_coupling
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A small 4-day belem workload plus its sequential reference."""
+    rng = np.random.default_rng(23)
+    history = generate_belem_history(4, seed=11)
+    model = QNNModel.create(
+        num_qubits=4, num_features=16, num_classes=4, repeats=1, seed=3
+    )
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=40, seed=9)
+    features, labels = dataset.test_features[:4], dataset.test_labels[:4]
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    parameters = rng.uniform(-np.pi, np.pi, model.num_parameters)
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(4)]
+    reference = [
+        evaluate_noisy(
+            model, features, labels, noise_model,
+            parameters=parameters, shots=64, seed=seed,
+        ).accuracy
+        for noise_model, seed in zip(noise_models, seeds)
+    ]
+    return model, features, labels, noise_models, parameters, seeds, reference
+
+
+def _payloads(noise_models, parameters, seeds, chunk_days=2):
+    """Chunk the workload into ``run_chunks`` payload dicts."""
+    indices = list(range(len(noise_models)))
+    chunks = [
+        indices[start : start + chunk_days]
+        for start in range(0, len(indices), chunk_days)
+    ]
+    return [
+        {
+            "noise_models": [noise_models[i] for i in chunk],
+            "parameter_sets": [parameters for _ in chunk],
+            "shots": 64,
+            "seeds": [seeds[i] for i in chunk],
+            "max_batch_bytes": 64 * 1024 * 1024,
+        }
+        for chunk in chunks
+    ], chunks
+
+
+def _flatten(results, chunks, count):
+    flat = [None] * count
+    for chunk, (accuracies, _duration) in zip(chunks, results):
+        for index, value in zip(chunk, accuracies):
+            flat[index] = value
+    return flat
+
+
+def test_warm_workers_are_reused_across_calls(workload):
+    model, features, labels, noise_models, parameters, seeds, reference = workload
+    payloads, chunks = _payloads(noise_models, parameters, seeds)
+    with WorkerPool(max_workers=1) as pool:
+        first = pool.run_chunks(model, features, labels, payloads)
+        pids_after_first = pool.pids()
+        second = pool.run_chunks(model, features, labels, payloads)
+        pids_after_second = pool.pids()
+
+        assert _flatten(first, chunks, 4) == reference
+        assert _flatten(second, chunks, 4) == reference
+        # Same long-lived process serves both calls...
+        assert pids_after_first == pids_after_second
+        assert pool.stats.workers_spawned == 1
+        assert pool.stats.workers_respawned == 0
+        # ...and the model pickles over the wire exactly once: the second
+        # call strips model_bytes because the worker already holds it.
+        assert pool.stats.models_shipped == 1
+        assert pool.stats.tasks_completed == 2 * len(payloads)
+        # One eval subset → one features block + one labels block, cached
+        # across calls by content digest.
+        assert pool.stats.arrays_shared == 2
+
+
+def test_graceful_shutdown_waits_for_in_flight_chunks(workload):
+    model, features, labels, noise_models, parameters, seeds, reference = workload
+    payloads, chunks = _payloads(noise_models, parameters, seeds)
+    pool = WorkerPool(max_workers=1)
+    results: list = []
+
+    def run():
+        results.append(pool.run_chunks(model, features, labels, payloads))
+
+    runner_thread = threading.Thread(target=run)
+    runner_thread.start()
+    time.sleep(0.05)  # let run_chunks take the pool lock and dispatch
+    pool.close(wait=True)  # must block until the in-flight call drains
+    runner_thread.join(timeout=60.0)
+
+    assert not runner_thread.is_alive()
+    assert pool.closed
+    assert results, "run_chunks must complete before close() returns"
+    assert _flatten(results[0], chunks, 4) == reference
+    assert pool.pids() == []
+    with pytest.raises(ReproError):
+        pool.run_chunks(model, features, labels, payloads)
+
+
+def test_worker_crash_respawns_without_losing_the_run(workload):
+    model, features, labels, noise_models, parameters, seeds, reference = workload
+    payloads, chunks = _payloads(noise_models, parameters, seeds)
+    # The crash hook kills the worker before it evaluates the first chunk;
+    # the parent must respawn it and resubmit the chunk (crash-free).
+    payloads[0] = dict(payloads[0], **{_CRASH_KEY: True})
+    with WorkerPool(max_workers=1, poll_seconds=0.1) as pool:
+        results = pool.run_chunks(model, features, labels, payloads)
+        assert _flatten(results, chunks, 4) == reference
+        assert pool.stats.workers_respawned >= 1
+        assert pool.stats.tasks_resubmitted >= 1
+        # The respawned worker still finished every chunk.
+        assert pool.stats.tasks_completed == len(payloads)
+
+
+def test_shared_memory_blocks_released_on_close(workload):
+    model, features, labels, noise_models, parameters, seeds, _ = workload
+    payloads, _chunks = _payloads(noise_models, parameters, seeds)
+    pool = WorkerPool(max_workers=1)
+    pool.run_chunks(model, features, labels, payloads)
+    names = pool.shared_memory_names()
+    assert len(names) == 2  # features + labels
+    shm_root = Path("/dev/shm")
+    if shm_root.exists():
+        for name in names:
+            assert (shm_root / name.lstrip("/")).exists()
+    pool.close()
+    assert pool.shared_memory_names() == []
+    if shm_root.exists():
+        for name in names:
+            assert not (shm_root / name.lstrip("/")).exists()
+
+
+def test_close_is_idempotent_and_context_managed(workload):
+    model, features, labels, noise_models, parameters, seeds, _ = workload
+    payloads, _chunks = _payloads(noise_models, parameters, seeds, chunk_days=4)
+    pool = WorkerPool(max_workers=1)
+    pool.run_chunks(model, features, labels, payloads)
+    pool.close()
+    pool.close()  # second close is a no-op
+    assert pool.closed

@@ -1,0 +1,105 @@
+"""Pinning tests for the CI benchmark gate (``scripts/bench_gate.py``).
+
+The gate must fail *loudly* — naming the offending artifact and floor key —
+for every malformed-input shape CI can produce: a missing artifact, a
+typo'd floor key, and a floor key that resolves to a sub-dict or string
+instead of a ratio (which used to crash ``float(measured)`` with a
+traceback instead of a verdict).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    Path(__file__).resolve().parents[2] / "scripts" / "bench_gate.py",
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)
+
+
+@pytest.fixture()
+def gate_dir(tmp_path):
+    """A floors file and matching artifact that pass the gate."""
+    artifact = {"multi_day": {"batched_speedup": 1.4, "note": "warm run"}}
+    (tmp_path / "BENCH_runtime.json").write_text(json.dumps(artifact))
+    floors = {
+        "_comment": "ignored",
+        "BENCH_runtime.json": {"multi_day.batched_speedup": 1.05},
+    }
+    floors_path = tmp_path / "bench_floors.json"
+    floors_path.write_text(json.dumps(floors))
+    return tmp_path, floors_path
+
+
+def _run(tmp_path, floors_path):
+    return bench_gate.main(
+        ["--floors", str(floors_path), "--artifact-dir", str(tmp_path)]
+    )
+
+
+def test_gate_passes_on_healthy_artifacts(gate_dir, capsys):
+    tmp_path, floors_path = gate_dir
+    assert _run(tmp_path, floors_path) == 0
+    assert "bench gate passed" in capsys.readouterr().out
+
+
+def test_missing_artifact_fails_with_hint(gate_dir, capsys):
+    tmp_path, floors_path = gate_dir
+    (tmp_path / "BENCH_runtime.json").unlink()
+    assert _run(tmp_path, floors_path) == 1
+    assert "artifact missing" in capsys.readouterr().err
+
+
+def test_typoed_floor_key_fails_instead_of_passing_silently(gate_dir, capsys):
+    tmp_path, floors_path = gate_dir
+    floors_path.write_text(
+        json.dumps({"BENCH_runtime.json": {"multi_day.batched_speedupp": 1.05}})
+    )
+    assert _run(tmp_path, floors_path) == 1
+    assert "'multi_day.batched_speedupp' missing" in capsys.readouterr().err
+
+
+def test_floor_key_resolving_to_subdict_fails_without_crashing(gate_dir, capsys):
+    """A dotted path stopping one level short lands on a dict; the gate
+    must report it as a bad key, not die in ``float(measured)``."""
+    tmp_path, floors_path = gate_dir
+    floors_path.write_text(json.dumps({"BENCH_runtime.json": {"multi_day": 1.05}}))
+    assert _run(tmp_path, floors_path) == 1
+    err = capsys.readouterr().err
+    assert "resolves to dict" in err
+    assert "multi_day" in err
+
+
+def test_floor_key_resolving_to_string_fails_without_crashing(gate_dir, capsys):
+    tmp_path, floors_path = gate_dir
+    floors_path.write_text(
+        json.dumps({"BENCH_runtime.json": {"multi_day.note": 1.05}})
+    )
+    assert _run(tmp_path, floors_path) == 1
+    assert "resolves to str" in capsys.readouterr().err
+
+
+def test_non_numeric_floor_value_fails_without_crashing(gate_dir, capsys):
+    tmp_path, floors_path = gate_dir
+    floors_path.write_text(
+        json.dumps({"BENCH_runtime.json": {"multi_day.batched_speedup": "1.05"}})
+    )
+    assert _run(tmp_path, floors_path) == 1
+    assert "floor for 'multi_day.batched_speedup' is str" in capsys.readouterr().err
+
+
+def test_below_floor_reports_measured_and_floor(gate_dir, capsys):
+    tmp_path, floors_path = gate_dir
+    floors_path.write_text(
+        json.dumps({"BENCH_runtime.json": {"multi_day.batched_speedup": 2.5}})
+    )
+    assert _run(tmp_path, floors_path) == 1
+    err = capsys.readouterr().err
+    assert "below floor 2.50" in err
+    assert "1.40" in err
