@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test unit bench bench-paper bench-json bench-gate fleet lint docs-check
+.PHONY: test unit bench bench-paper bench-json bench-gate serve-bench fleet lint docs-check
 
 ## tier-1 verification: full pytest run (unit tests + reduced-scale benchmarks)
 test:
@@ -26,11 +26,15 @@ bench-paper:
 bench-json:
 	REPRO_BENCH_JSON=BENCH_runtime.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_batched_evaluation.py -q -s
 	REPRO_BENCH_JSON=BENCH_compiler.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_compile_cache.py -q -s
-	REPRO_BENCH_JSON=BENCH_serving.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_serving_throughput.py -q -s
+	REPRO_BENCH_JSON=BENCH_serving.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_serving_throughput.py benchmarks/test_sharded_serving.py -q -s
 
 ## assert BENCH_*.json speedups against the committed floors (CI bench-gate)
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py
+
+## sharded-serving scaling benchmark only (updates BENCH_serving.json)
+serve-bench:
+	REPRO_BENCH_JSON=BENCH_serving.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_sharded_serving.py -q -s
 
 ## quick-scale device-fleet drift replay (2 devices x 2 scenarios)
 fleet:

@@ -1,0 +1,191 @@
+"""Benchmark: sharded multi-process serving vs the single-process service (PR 7).
+
+The workload is the multi-model steady state the sharded tier exists for:
+four deployed endpoints receiving an interleaved stream of single-sample
+requests.  The baseline serves all four through one ``InferenceService``
+(one dispatch thread, one GIL-bound engine); the sharded path routes the
+same stream by consistent hashing to four shard processes, each running its
+own engine — so on a multi-core host the four model streams execute truly
+in parallel.
+
+The acceptance bar is host-aware, because a parallelism benchmark cannot
+manufacture cores: with >= 4 usable cores the sharded tier must deliver
+>= 2.5x aggregate throughput; with 2-3 cores the bar drops to the partial
+parallelism the host can express; on a single core the assertion is only a
+sanity bound that IPC overhead has not collapsed throughput.  The measured
+ratio and the core count are both recorded in ``BENCH_serving.json``
+(``sharded`` block), and ``benchmarks/bench_floors.json`` gates
+``sharded.scaling_speedup`` conditional on ``sharded.cores`` so CI enforces
+the scaling claim exactly where it is measurable.
+
+Timing is interleaved (baseline, sharded, baseline, sharded, ...) and
+best-of-``ROUNDS`` over live, warmed-up services so host noise hits both
+candidates alike.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.calibration import generate_belem_history
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel
+from repro.serving import (
+    BatchPolicy,
+    ConsistentHashRouter,
+    InferenceService,
+    LoadGenerator,
+    ShardedInferenceService,
+)
+from repro.transpiler import belem_coupling
+
+NUM_SHARDS = 4
+NUM_MODELS = 4
+NUM_REQUESTS = 96
+MAX_BATCH = 8
+ROUNDS = 3  # best-of-N, interleaved; services stay live across rounds
+SEED = 0
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _scaling_floor(cores: int) -> float:
+    """The throughput bar this host can honestly express."""
+    if cores >= NUM_SHARDS:
+        return 2.5  # the headline claim: near-linear scaling over 4 shards
+    if cores >= 2:
+        return 1.2  # partial parallelism: must still beat one process
+    # One core cannot run shards in parallel at all; only assert that the
+    # IPC + supervision overhead does not collapse throughput.
+    return 0.45
+
+
+def _workload():
+    history = generate_belem_history(2, seed=12)
+    model = QNNModel.create(
+        num_qubits=4, num_features=16, num_classes=4, repeats=2, seed=9
+    )
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=NUM_REQUESTS * 2, seed=5)
+    return model, history[0], dataset.test_features
+
+
+def _maybe_write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    existing = {}
+    if os.path.isfile(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    existing["created_at"] = time.time()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"  wrote {path}")
+
+
+def _spread_names() -> list[str]:
+    """Endpoint names that land on distinct shards of the standard ring.
+
+    With only ``NUM_MODELS`` names, an arbitrary choice can hash several
+    onto one shard and the benchmark would measure ring luck, not scaling
+    capacity.  Probing ``qnn-<i>`` suffixes until every shard owns one name
+    is deterministic (blake2b ring positions are process-stable) and mirrors
+    a fleet at steady state, where many models cover every shard.
+    """
+    router = ConsistentHashRouter(range(NUM_SHARDS))
+    names: list[str] = []
+    taken: set[int] = set()
+    index = 0
+    while len(names) < NUM_MODELS:
+        name = f"qnn-{index}"
+        index += 1
+        shard = router.route(name)
+        if shard in taken:
+            continue
+        taken.add(shard)
+        names.append(name)
+    return names
+
+
+def test_sharded_serving_scaling():
+    """4-shard serving vs single-process on a 4-model interleaved stream."""
+    model, calibration, features = _workload()
+    names = _spread_names()
+    policy = BatchPolicy(max_batch=MAX_BATCH, max_latency_ms=2.0)
+
+    baseline = InferenceService(policy=policy)
+    sharded = ShardedInferenceService(num_shards=NUM_SHARDS, policy=policy)
+    for name in names:
+        baseline.deploy(name, model, calibration=calibration)
+        sharded.deploy(name, model, calibration=calibration)
+
+    with baseline, sharded:
+        # Correctness first: both tiers must serve bit-identical logits for
+        # the same samples (appliers are batch-size independent, PR 6).
+        probe = features[:NUM_MODELS]
+        for name in names:
+            expected = baseline.predict_many(name, list(probe))
+            observed = sharded.predict_many(name, list(probe))
+            for exp, obs in zip(expected, observed):
+                np.testing.assert_array_equal(obs.logits, exp.logits)
+
+        def run_baseline():
+            generator = LoadGenerator(baseline, features, names=names, seed=SEED)
+            return generator.run(NUM_REQUESTS)
+
+        def run_sharded():
+            generator = LoadGenerator(sharded, features, names=names, seed=SEED)
+            return generator.run(NUM_REQUESTS)
+
+        # Warm both paths (program caches, shard engines) outside timing.
+        run_baseline()
+        run_sharded()
+
+        best_baseline, best_sharded = float("inf"), float("inf")
+        for _ in range(ROUNDS):
+            best_baseline = min(best_baseline, run_baseline().duration_seconds)
+            best_sharded = min(best_sharded, run_sharded().duration_seconds)
+
+    speedup = best_baseline / best_sharded
+    cores = _usable_cores()
+    floor = _scaling_floor(cores)
+    assignments = {name: sharded.route(name) for name in names}
+    print(
+        f"\nSharded serving — {NUM_REQUESTS} requests, {NUM_MODELS} models, "
+        f"{NUM_SHARDS} shards, {cores} usable cores\n"
+        f"  single-process  {best_baseline * 1000:8.1f} ms\n"
+        f"  {NUM_SHARDS}-shard         {best_sharded * 1000:8.1f} ms\n"
+        f"  scaling speedup {speedup:8.2f} x (host floor {floor:.2f}x)\n"
+        f"  routing         {assignments}"
+    )
+    _maybe_write_json(
+        {
+            "sharded": {
+                "requests": NUM_REQUESTS,
+                "models": NUM_MODELS,
+                "shards": NUM_SHARDS,
+                "cores": cores,
+                "max_batch": MAX_BATCH,
+                "single_process_ms": best_baseline * 1000,
+                "sharded_ms": best_sharded * 1000,
+                "scaling_speedup": speedup,
+                "throughput_rps": NUM_REQUESTS / best_sharded,
+            }
+        }
+    )
+    assert speedup >= floor, (
+        f"expected >= {floor:.2f}x on {cores} cores, measured {speedup:.2f}x"
+    )

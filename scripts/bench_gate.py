@@ -54,9 +54,41 @@ def check(floors_path: Path, artifact_dir: Path) -> list[str]:
             continue
         payload = json.loads(artifact_path.read_text())
         for dotted, floor in gates.items():
+            # A floor may be a bare number, or an object with prerequisites:
+            #   {"floor": 1.6, "requires": {"sharded.cores": 4}}
+            # enforces the floor only when every "requires" path in the
+            # artifact meets its minimum — parallel-scaling floors are
+            # meaningless on hosts without the cores to express them, and a
+            # waiver is printed rather than silently skipped.
+            waived = None
+            if isinstance(floor, dict):
+                requires = floor.get("requires", {})
+                if "floor" not in floor:
+                    problems.append(
+                        f"{artifact_name}: floor object for {dotted!r} has "
+                        "no 'floor' key"
+                    )
+                    continue
+                for req_path, req_min in requires.items():
+                    have = lookup(payload, req_path)
+                    if (
+                        isinstance(have, bool)
+                        or not isinstance(have, (int, float))
+                        or float(have) < float(req_min)
+                    ):
+                        waived = f"{req_path}={have} < {req_min}"
+                        break
+                floor = floor["floor"]
             measured = lookup(payload, dotted)
             if measured is None:
                 problems.append(f"{artifact_name}: key {dotted!r} missing")
+                continue
+            if waived is not None:
+                print(
+                    f"{artifact_name:<22} {dotted:<30} "
+                    f"{float(measured) if isinstance(measured, (int, float)) and not isinstance(measured, bool) else float('nan'):>10.2f} "
+                    f"{float(floor):>8.2f}  waived ({waived})"
+                )
                 continue
             if isinstance(measured, bool) or not isinstance(measured, (int, float)):
                 # A typo'd floor key can land on a sub-dict (or a string

@@ -8,6 +8,7 @@ One front door for every reproduction harness::
         --records runs.jsonl
     python -m repro.experiments longitudinal --device ring_5
     python -m repro.experiments serve --requests 256 --max-batch 16
+    python -m repro.experiments serve --shards 4 --models 4 --arrival-rate 200
     python -m repro.experiments fleet --devices belem,ring_5 --scenarios seasonal,jump
     python -m repro.experiments --list-devices
     python -m repro.experiments --list-scenarios
@@ -186,6 +187,9 @@ def _run_serve(scale, runner, device=None, options=None):
         max_batch=getattr(options, "max_batch", 16),
         max_latency_ms=getattr(options, "max_latency_ms", 2.0),
         observe_every=getattr(options, "observe_every", None),
+        shards=getattr(options, "shards", 1),
+        num_models=getattr(options, "models", 1),
+        arrival_rate=getattr(options, "arrival_rate", None),
     )
     return result, result.summary()
 
@@ -310,6 +314,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="feed one drift snapshot to the watcher every N requests "
         "(default: spread the online history across the stream)",
     )
+    serving.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through this many shard worker processes with "
+        "consistent-hash routing (default: 1 = single-process service)",
+    )
+    serving.add_argument(
+        "--models",
+        type=int,
+        default=1,
+        help="deploy the trained model under this many endpoint names "
+        "(qnn-0..N-1) so load spreads across shards (default: 1)",
+    )
+    serving.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="open-loop Poisson arrival rate in requests/second "
+        "(default: closed-loop — submit as fast as responses allow)",
+    )
     fleet = parser.add_argument_group("fleet (fleet experiment only)")
     fleet.add_argument(
         "--devices",
@@ -360,7 +385,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     # dispatch thread and caches) and `fleet` (cells build private
     # runners; only --runner-mode and the shared --records attribution
     # log reach them).
-    serving_options = ("requests", "max_batch", "max_latency_ms", "observe_every")
+    serving_options = (
+        "requests",
+        "max_batch",
+        "max_latency_ms",
+        "observe_every",
+        "shards",
+        "models",
+        "arrival_rate",
+    )
     fleet_options = ("devices", "scenarios", "cell_workers")
     runner_options = ("runner_mode", "workers", "chunk_days", "records", "cache")
     if args.name == "serve":

@@ -26,15 +26,26 @@ from repro.runtime.runner import (
     RunnerStats,
     default_runner,
 )
-from repro.runtime.workers import WorkerPool, WorkerPoolStats
+from repro.runtime.workers import (
+    SharedArrayStore,
+    WorkerPool,
+    WorkerPoolStats,
+    actor_main,
+    attach_shared_array,
+    spawn_actor,
+)
 
 __all__ = [
     "ExperimentRunner",
     "RunnerStats",
     "RUNNER_MODES",
     "default_runner",
+    "SharedArrayStore",
     "WorkerPool",
     "WorkerPoolStats",
+    "actor_main",
+    "attach_shared_array",
+    "spawn_actor",
     "DEFAULT_CACHE_CAPACITY",
     "EvaluationCache",
     "RunRecord",

@@ -1,26 +1,27 @@
-"""Persistent process pool for chunked day evaluation.
+"""Persistent spawn-context actor processes and the chunk-evaluation pool.
 
 ``concurrent.futures.ProcessPoolExecutor`` (the runner's ``process`` mode)
 re-pickles the model and the evaluation subset for every chunk and tears the
 pool down after every ``evaluate_days`` call, so each worker re-compiles the
-circuit from scratch.  :class:`WorkerPool` replaces that with long-lived
-workers built for the longitudinal workload:
+circuit from scratch.  This module replaces that with long-lived workers
+built around three reusable pieces:
 
-* **Warm engines** — each worker caches one
-  :class:`~repro.simulator.DensityMatrixBackend` (over a private
-  :class:`~repro.simulator.SimulationEngine`) per model digest, so compiled
-  programs, bound circuits, and day-stacked walk plans survive across
-  chunks *and* across ``evaluate_days`` calls.
-* **Shared-memory inputs** — feature/label arrays travel once through
-  ``multiprocessing.shared_memory`` blocks keyed by content digest; chunks
-  reference them by name.  The model is pickled once per digest per worker.
-* **One task in flight per worker** — the parent holds the queue of pending
-  chunks and hands each worker its next chunk only when the previous result
-  arrives.  Crash recovery is then trivial: a dead worker has exactly one
-  outstanding chunk, which is resubmitted to its respawned replacement.
-* **Graceful shutdown** — :meth:`close` waits for any in-flight
-  ``run_chunks`` call to finish (both hold the pool lock), stops the
-  workers, and unlinks every shared-memory block.
+* **A generic actor loop** — :func:`actor_main` runs in a spawned child
+  process, instantiates a picklable *handler* class once, and then serves
+  ``(task_id, payload) → (task_id, ok, result)`` request/response messages
+  until the stop sentinel arrives.  The chunk-evaluation workload is one
+  handler (:class:`ChunkEvaluator`); the serving shards
+  (:mod:`repro.serving.shards`) are another.
+* **Content-addressed shared memory** — :class:`SharedArrayStore` (parent
+  side) exposes numpy arrays through ``multiprocessing.shared_memory``
+  blocks keyed by content digest with LRU eviction; workers attach by name
+  via :func:`attach_shared_array` and cache the mapping, so a payload that
+  crosses twice ships zero bytes the second time.
+* **Supervised dispatch** — :class:`WorkerPool` keeps the queue of pending
+  chunks in the parent and hands each worker its next chunk only when the
+  previous result arrives.  Crash recovery is then trivial: a dead worker
+  has exactly one outstanding chunk, which is resubmitted to its respawned
+  replacement.
 
 Workers are daemonic ``spawn`` processes: ``spawn`` keeps the pool safe to
 create from threaded harnesses (the fleet cells fan out over threads), and
@@ -44,7 +45,15 @@ import numpy as np
 
 from repro.exceptions import ReproError
 
-__all__ = ["WorkerPool", "WorkerPoolStats"]
+__all__ = [
+    "ChunkEvaluator",
+    "SharedArrayStore",
+    "WorkerPool",
+    "WorkerPoolStats",
+    "actor_main",
+    "attach_shared_array",
+    "spawn_actor",
+]
 
 #: How many distinct (features, labels) arrays the pool keeps shared at once.
 #: Day sweeps reuse one eval subset, so this only needs to absorb a few
@@ -67,8 +76,13 @@ _CRASH_KEY = "_crash"
 MAX_TASK_ATTEMPTS = 3
 
 
-def _attach_shared_array(meta: dict, cache: dict) -> np.ndarray:
-    """Attach to a parent-owned shared-memory array (worker side, cached)."""
+def attach_shared_array(meta: dict, cache: dict) -> np.ndarray:
+    """Attach to a parent-owned shared-memory array (worker side, cached).
+
+    ``meta`` is the descriptor produced by :meth:`SharedArrayStore.share`;
+    ``cache`` maps block names to attached ``SharedMemory`` objects and is
+    owned by the calling handler so repeat payloads skip the re-attach.
+    """
     name = meta["name"]
     entry = cache.get(name)
     if entry is None:
@@ -91,56 +105,176 @@ def _attach_shared_array(meta: dict, cache: dict) -> np.ndarray:
     array = np.ndarray(
         tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=entry.buf
     )
-    # Chunk evaluation must never scribble on the parent's buffer.
+    # Worker-side consumers must never scribble on the parent's buffer.
     array.flags.writeable = False
     return array
 
 
-def _worker_main(inbox, outbox) -> None:
-    """Worker loop: evaluate chunks until the stop sentinel arrives."""
-    from repro.runtime.runner import _evaluate_chunk
-    from repro.simulator import DensityMatrixBackend, SimulationEngine
+class ChunkEvaluator:
+    """Actor handler for day-chunk evaluation (the :class:`WorkerPool` job).
 
-    models: dict[str, tuple] = {}
-    blocks: dict[str, SharedMemory] = {}
+    One instance lives per worker process; it caches the unpickled model and
+    a warm engine per model digest, so compiled programs, bound circuits,
+    and day-stacked walk plans survive across chunks *and* across
+    ``evaluate_days`` calls.
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[str, tuple] = {}
+        self._blocks: dict[str, SharedMemory] = {}
+
+    def __call__(self, payload: dict):
+        """Evaluate one chunk payload; returns ``(accuracies, duration)``."""
+        from repro.runtime.runner import _evaluate_chunk
+        from repro.simulator import DensityMatrixBackend, SimulationEngine
+
+        digest = payload["model_digest"]
+        entry = self._models.get(digest)
+        if entry is None:
+            model = pickle.loads(payload["model_bytes"])
+            backend = DensityMatrixBackend(engine=SimulationEngine())
+            self._models[digest] = entry = (model, backend)
+        model, backend = entry
+        features = attach_shared_array(payload["features"], self._blocks)
+        labels = attach_shared_array(payload["labels"], self._blocks)
+        return _evaluate_chunk(
+            model,
+            features,
+            labels,
+            payload["noise_models"],
+            payload["parameter_sets"],
+            payload["shots"],
+            payload["seeds"],
+            payload["max_batch_bytes"],
+            backend=backend,
+        )
+
+    def close(self) -> None:
+        """Detach from every shared-memory block (process exit)."""
+        for block in self._blocks.values():
+            try:
+                block.close()
+            except Exception:
+                pass
+
+
+def actor_main(inbox, outbox, handler_cls, handler_kwargs: Optional[dict] = None):
+    """Generic child-process loop: serve request/response messages.
+
+    ``handler_cls`` is instantiated once (with ``handler_kwargs``) inside the
+    child; each ``(task_id, payload)`` message is answered with
+    ``(task_id, True, handler(payload))`` or ``(task_id, False, traceback)``.
+    A ``None`` message stops the loop; the test-only ``_CRASH_KEY`` payload
+    kills the process without replying, emulating a segfault.
+    """
+    handler = handler_cls(**(handler_kwargs or {}))
     try:
         while True:
             message = inbox.get()
             if message is None:
                 break
             task_id, payload = message
-            if payload.get(_CRASH_KEY):
+            if isinstance(payload, dict) and payload.get(_CRASH_KEY):
                 os._exit(_CRASH_EXIT_CODE)
             try:
-                digest = payload["model_digest"]
-                entry = models.get(digest)
-                if entry is None:
-                    model = pickle.loads(payload["model_bytes"])
-                    backend = DensityMatrixBackend(engine=SimulationEngine())
-                    models[digest] = entry = (model, backend)
-                model, backend = entry
-                features = _attach_shared_array(payload["features"], blocks)
-                labels = _attach_shared_array(payload["labels"], blocks)
-                result = _evaluate_chunk(
-                    model,
-                    features,
-                    labels,
-                    payload["noise_models"],
-                    payload["parameter_sets"],
-                    payload["shots"],
-                    payload["seeds"],
-                    payload["max_batch_bytes"],
-                    backend=backend,
-                )
-                outbox.put((task_id, True, result))
+                outbox.put((task_id, True, handler(payload)))
             except BaseException:
                 outbox.put((task_id, False, traceback.format_exc()))
     finally:
-        for block in blocks.values():
+        close = getattr(handler, "close", None)
+        if close is not None:
             try:
-                block.close()
+                close()
             except Exception:
                 pass
+
+
+def spawn_actor(
+    context,
+    outbox,
+    handler_cls,
+    handler_kwargs: Optional[dict] = None,
+    name: str = "repro-actor",
+):
+    """Start one daemonic actor process; returns ``(process, inbox)``."""
+    inbox = context.Queue()
+    process = context.Process(
+        target=actor_main,
+        args=(inbox, outbox, handler_cls, handler_kwargs),
+        daemon=True,
+        name=name,
+    )
+    process.start()
+    return process, inbox
+
+
+class SharedArrayStore:
+    """Parent-side content-addressed shared-memory LRU for numpy arrays.
+
+    :meth:`share` exposes an array through a ``SharedMemory`` block keyed by
+    its content digest and returns the small descriptor dict workers pass to
+    :func:`attach_shared_array`.  Re-sharing identical content returns the
+    cached descriptor without copying; the oldest blocks are unlinked once
+    ``capacity`` distinct arrays are held.
+    """
+
+    def __init__(self, capacity: int = SHARED_ARRAY_CAPACITY):
+        if capacity < 1:
+            raise ReproError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[str, tuple[SharedMemory, dict]] = {}
+        self._order: deque[str] = deque()
+        #: Distinct arrays shared since construction (monotonic counter).
+        self.arrays_shared = 0
+
+    def share(self, array: np.ndarray) -> dict:
+        """Expose ``array`` via shared memory (content-addressed, cached)."""
+        array = np.ascontiguousarray(array)
+        digest = hashlib.blake2b(
+            array.tobytes() + str(array.dtype).encode() + str(array.shape).encode(),
+            digest_size=16,
+        ).hexdigest()
+        cached = self._entries.get(digest)
+        if cached is not None:
+            return cached[1]
+        block = SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        meta = {
+            "name": block.name,
+            "shape": tuple(int(s) for s in array.shape),
+            "dtype": str(array.dtype),
+        }
+        self._entries[digest] = (block, meta)
+        self._order.append(digest)
+        self.arrays_shared += 1
+        while len(self._order) > self.capacity:
+            evicted = self._order.popleft()
+            old_block, _ = self._entries.pop(evicted)
+            self._unlink(old_block)
+        return meta
+
+    def names(self) -> list[str]:
+        """Names of the shared-memory blocks the store currently owns."""
+        return [meta["name"] for _block, meta in self._entries.values()]
+
+    @staticmethod
+    def _unlink(block: SharedMemory) -> None:
+        try:
+            block.close()
+        except Exception:
+            pass
+        try:
+            block.unlink()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Unlink every block the store owns (idempotent)."""
+        for block, _ in self._entries.values():
+            self._unlink(block)
+        self._entries.clear()
+        self._order.clear()
 
 
 @dataclass
@@ -189,8 +323,7 @@ class WorkerPool:
         self._context = get_context("spawn")
         self._outbox = self._context.Queue()
         self._workers: list[_Worker] = []
-        self._shared: dict[str, tuple[SharedMemory, dict]] = {}
-        self._shared_order: deque[str] = deque()
+        self._store = SharedArrayStore(capacity=SHARED_ARRAY_CAPACITY)
         self._task_counter = 0
         self._active: dict[int, _Worker] = {}
         self._lock = threading.RLock()
@@ -205,7 +338,7 @@ class WorkerPool:
 
     def shared_memory_names(self) -> list[str]:
         """Names of the shared-memory blocks the pool currently owns."""
-        return [meta["name"] for _block, meta in self._shared.values()]
+        return self._store.names()
 
     @property
     def closed(self) -> bool:
@@ -216,14 +349,9 @@ class WorkerPool:
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn_worker(self) -> _Worker:
-        inbox = self._context.Queue()
-        process = self._context.Process(
-            target=_worker_main,
-            args=(inbox, self._outbox),
-            daemon=True,
-            name="repro-eval-worker",
+        process, inbox = spawn_actor(
+            self._context, self._outbox, ChunkEvaluator, name="repro-eval-worker"
         )
-        process.start()
         self.stats.workers_spawned += 1
         return _Worker(process, inbox)
 
@@ -244,47 +372,6 @@ class WorkerPool:
         worker.inbox = replacement.inbox
         worker.known_models = set()
         self.stats.workers_respawned += 1
-
-    # ------------------------------------------------------------------
-    # Shared-memory inputs
-    # ------------------------------------------------------------------
-    def _share_array(self, array: np.ndarray) -> dict:
-        """Expose ``array`` via shared memory (content-addressed, cached)."""
-        array = np.ascontiguousarray(array)
-        digest = hashlib.blake2b(
-            array.tobytes() + str(array.dtype).encode() + str(array.shape).encode(),
-            digest_size=16,
-        ).hexdigest()
-        cached = self._shared.get(digest)
-        if cached is not None:
-            return cached[1]
-        block = SharedMemory(create=True, size=max(1, array.nbytes))
-        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
-        view[...] = array
-        meta = {
-            "name": block.name,
-            "shape": tuple(int(s) for s in array.shape),
-            "dtype": str(array.dtype),
-        }
-        self._shared[digest] = (block, meta)
-        self._shared_order.append(digest)
-        self.stats.arrays_shared += 1
-        while len(self._shared_order) > SHARED_ARRAY_CAPACITY:
-            evicted = self._shared_order.popleft()
-            old_block, _ = self._shared.pop(evicted)
-            self._unlink_block(old_block)
-        return meta
-
-    @staticmethod
-    def _unlink_block(block: SharedMemory) -> None:
-        try:
-            block.close()
-        except Exception:
-            pass
-        try:
-            block.unlink()
-        except Exception:
-            pass
 
     # ------------------------------------------------------------------
     # Dispatch / collect
@@ -324,8 +411,9 @@ class WorkerPool:
             self._ensure_workers()
             model_bytes = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
             model_digest = hashlib.blake2b(model_bytes, digest_size=16).hexdigest()
-            features_meta = self._share_array(features)
-            labels_meta = self._share_array(labels)
+            features_meta = self._store.share(features)
+            labels_meta = self._store.share(labels)
+            self.stats.arrays_shared = self._store.arrays_shared
             pending: deque[tuple[int, int, dict]] = deque()
             for chunk_index, chunk_payload in enumerate(chunk_payloads):
                 payload = dict(chunk_payload)
@@ -415,10 +503,7 @@ class WorkerPool:
                     worker.process.join(timeout=5.0)
             self._workers.clear()
             self._active.clear()
-            for block, _ in self._shared.values():
-                self._unlink_block(block)
-            self._shared.clear()
-            self._shared_order.clear()
+            self._store.close()
         finally:
             if wait:
                 self._lock.release()

@@ -7,6 +7,21 @@ hot-swaps happen *while* requests are queued.  It waits for every response,
 verifies none were lost, and reduces the run to a JSON-ready
 :class:`LoadReport` (throughput, latency percentiles, per-model counts,
 swap actions).
+
+Two arrival disciplines are supported:
+
+* :meth:`LoadGenerator.run` — *closed loop*: every request is submitted as
+  fast as the previous submission returns, so the offered load adapts to
+  the service and the run measures peak throughput.
+* :meth:`LoadGenerator.run_open_loop` — *open loop*: requests arrive on a
+  fixed-rate or Poisson schedule that does **not** slow down when the
+  service stalls, and each request's latency is measured from its
+  *scheduled arrival*, not its actual submission.  That convention avoids
+  coordinated omission: a service that freezes for a second accumulates
+  that second into the latency of every request scheduled during the
+  freeze, instead of silently deferring them.  The report's
+  ``submit_lag_p99_ms`` shows how far the generator itself fell behind its
+  own schedule (a sanity check that the measured p99 is the service's).
 """
 
 from __future__ import annotations
@@ -37,6 +52,15 @@ class LoadReport:
     per_model: dict[str, int]
     versions_served: dict[str, list[int]]
     swaps: list[dict] = field(default_factory=list)
+    #: Arrival discipline: ``"closed"`` (default) or ``"open"``.
+    mode: str = "closed"
+    #: Target arrival rate of an open-loop run (requests/second).
+    arrival_rate: Optional[float] = None
+    #: Actually offered rate of an open-loop run (schedule span based).
+    offered_rps: Optional[float] = None
+    #: p99 of (actual submit − scheduled arrival); large values mean the
+    #: generator, not the service, was the bottleneck.
+    submit_lag_p99_ms: Optional[float] = None
 
     def as_dict(self) -> dict:
         """JSON-ready form for the CLI summary."""
@@ -50,11 +74,21 @@ class LoadReport:
             "per_model": self.per_model,
             "versions_served": self.versions_served,
             "swaps": self.swaps,
+            "mode": self.mode,
+            "arrival_rate": self.arrival_rate,
+            "offered_rps": self.offered_rps,
+            "submit_lag_p99_ms": self.submit_lag_p99_ms,
         }
 
 
 class LoadGenerator:
-    """Synthesises request streams against a running service."""
+    """Synthesises request streams against a running service.
+
+    ``service`` may be any object with the :class:`InferenceService` client
+    surface (``predict_async`` / ``observe_calibration``) — the sharded
+    tier's :class:`~repro.serving.service.ShardedInferenceService` drives
+    through the exact same code path.
+    """
 
     def __init__(
         self,
@@ -114,8 +148,106 @@ class LoadGenerator:
                     )
         results = [future.result(timeout=120.0) for _, future in futures]
         duration = time.perf_counter() - started
-
         latencies = np.array([r.latency_seconds for r in results])
+        return self._report(num_requests, results, latencies, duration, swaps)
+
+    def run_open_loop(
+        self,
+        num_requests: int,
+        arrival_rate: float,
+        poisson: bool = True,
+        drift_history=None,
+        observe_every: Optional[int] = None,
+        timeout: float = 120.0,
+    ) -> LoadReport:
+        """Send requests on a fixed schedule, immune to coordinated omission.
+
+        Arrivals follow a Poisson process of rate ``arrival_rate`` requests
+        per second (or exactly-spaced ticks with ``poisson=False``), drawn
+        deterministically from the generator's seed.  Submission never
+        waits for responses, and each request's latency runs from its
+        *scheduled arrival* to its completion — a stalled service therefore
+        pays for every request scheduled during the stall.  Drift injection
+        (``drift_history`` / ``observe_every``) matches :meth:`run`.
+        """
+        if num_requests < 1:
+            raise ServingError(f"num_requests must be >= 1, got {num_requests}")
+        if arrival_rate <= 0:
+            raise ServingError(f"arrival_rate must be > 0, got {arrival_rate}")
+        if poisson:
+            gaps = self.rng.exponential(1.0 / arrival_rate, size=num_requests)
+        else:
+            gaps = np.full(num_requests, 1.0 / arrival_rate)
+        gaps[0] = 0.0  # first request fires immediately
+        schedule = np.cumsum(gaps)
+
+        drift = list(drift_history) if drift_history is not None else []
+        drift_cursor = 0
+        swaps: list[SwapReport] = []
+        done_at: list[Optional[float]] = [None] * num_requests
+        futures = []
+        submit_lags = np.zeros(num_requests)
+        started = time.perf_counter()
+        for index in range(num_requests):
+            name = self.names[index % len(self.names)]
+            sample = self.feature_pool[int(self.rng.integers(len(self.feature_pool)))]
+            # Sleep to the scheduled arrival; if the generator is behind
+            # (the OS descheduled it, or drift observation blocked), record
+            # the lag and submit immediately — never skip a request.
+            wait = schedule[index] - (time.perf_counter() - started)
+            if wait > 0:
+                time.sleep(wait)
+            submit_lags[index] = max(
+                0.0, (time.perf_counter() - started) - schedule[index]
+            )
+            future = self.service.predict_async(name, sample)
+
+            def _stamp(completed_future, index=index):
+                done_at[index] = time.perf_counter()
+
+            future.add_done_callback(_stamp)
+            futures.append(future)
+            if (
+                observe_every
+                and (index + 1) % observe_every == 0
+                and drift_cursor < len(drift)
+            ):
+                snapshot = drift[drift_cursor]
+                drift_cursor += 1
+                for swap_name in self.names:
+                    swaps.append(
+                        self.service.observe_calibration(swap_name, snapshot)
+                    )
+        results = [future.result(timeout=timeout) for future in futures]
+        duration = time.perf_counter() - started
+        # Latency from *scheduled arrival* (the open-loop convention); the
+        # done-callbacks have all fired because result() returned.
+        latencies = np.array(
+            [done_at[i] - started - schedule[i] for i in range(num_requests)]
+        )
+        offered_span = max(float(schedule[-1]), 1e-9)
+        return self._report(
+            num_requests,
+            results,
+            latencies,
+            duration,
+            swaps,
+            mode="open",
+            arrival_rate=float(arrival_rate),
+            offered_rps=num_requests / offered_span,
+            submit_lag_p99_ms=float(np.percentile(submit_lags, 99)) * 1e3,
+        )
+
+    def _report(
+        self,
+        num_requests: int,
+        results,
+        latencies: np.ndarray,
+        duration: float,
+        swaps: list[SwapReport],
+        **extra,
+    ) -> LoadReport:
+        """Reduce one run's results to a :class:`LoadReport`."""
         per_model: dict[str, int] = {}
         versions: dict[str, set[int]] = {}
         for result in results:
@@ -137,4 +269,5 @@ class LoadGenerator:
                 name: sorted(served) for name, served in versions.items()
             },
             swaps=[swap.as_dict() for swap in swaps],
+            **extra,
         )

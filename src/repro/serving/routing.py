@@ -1,0 +1,120 @@
+"""Consistent-hash routing of model names onto serving shards.
+
+The sharded service pins every model name to exactly one shard so that a
+model's compiled program, bound circuits, and calibration watcher live in
+one process — requests for a name always land on the warm engine that
+already holds its artifacts.  Routing must therefore be *stable*: growing
+or shrinking the shard set may only move the minimal set of names, or every
+resize would cold-start the whole fleet's caches.
+
+:class:`ConsistentHashRouter` implements the classic hash ring: each shard
+owns ``replicas`` pseudo-random points on a 64-bit circle (derived from a
+keyed blake2b digest, deliberately *not* Python's salted ``hash``), and a
+name routes to the owner of the first point at or after the name's own
+digest.  Adding a shard claims only the arc segments its new points cut off
+— names not on those segments keep their shard, which is the exact
+invariant the property tests pin: after ``add``, every name routes either
+to its old shard or to the new one; after ``remove``, only names that
+routed to the removed shard move at all.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.exceptions import ServingError
+
+__all__ = ["ConsistentHashRouter", "DEFAULT_REPLICAS", "ring_point"]
+
+#: Virtual nodes per shard.  More replicas smooth the load split between
+#: shards (the std-dev of arc ownership shrinks like 1/sqrt(replicas)) at a
+#: small, one-off ring-build cost; 96 keeps a 4-shard ring within a few
+#: percent of an even split.
+DEFAULT_REPLICAS = 96
+
+
+def ring_point(key: str) -> int:
+    """Deterministic 64-bit ring position of ``key``.
+
+    Uses blake2b rather than ``hash()`` so positions are stable across
+    processes and interpreter runs (``PYTHONHASHSEED`` randomises ``hash``),
+    which the shard-restart replay protocol depends on.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRouter:
+    """Stable mapping of model names to shard ids via a hash ring."""
+
+    def __init__(self, shard_ids: Iterable[int], replicas: int = DEFAULT_REPLICAS):
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ServingError(f"replicas must be >= 1, got {self.replicas}")
+        self._shards: set[int] = set()
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+        if not self._shards:
+            raise ServingError("ConsistentHashRouter needs at least one shard")
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> list[int]:
+        """The shard ids currently on the ring (sorted)."""
+        return sorted(self._shards)
+
+    def _shard_points(self, shard_id: int) -> list[int]:
+        return [ring_point(f"shard:{shard_id}:{r}") for r in range(self.replicas)]
+
+    def add_shard(self, shard_id: int) -> None:
+        """Place ``shard_id``'s virtual nodes on the ring (idempotent-safe)."""
+        shard_id = int(shard_id)
+        if shard_id in self._shards:
+            raise ServingError(f"shard {shard_id} is already on the ring")
+        self._shards.add(shard_id)
+        for point in self._shard_points(shard_id):
+            index = bisect.bisect_left(self._points, point)
+            # Point collisions across shards are ~2^-64 per pair; break ties
+            # deterministically by shard id so rebuilds agree.
+            while (
+                index < len(self._points)
+                and self._points[index] == point
+                and self._owners[index] < shard_id
+            ):
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, shard_id)
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Remove ``shard_id``'s virtual nodes; its arcs fall to successors."""
+        shard_id = int(shard_id)
+        if shard_id not in self._shards:
+            raise ServingError(f"shard {shard_id} is not on the ring")
+        if len(self._shards) == 1:
+            raise ServingError("cannot remove the last shard from the ring")
+        self._shards.discard(shard_id)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    # ------------------------------------------------------------------
+    def route(self, name: str) -> int:
+        """The shard id serving ``name`` (first ring point at/after its hash)."""
+        if not isinstance(name, str) or not name:
+            raise ServingError(f"route expects a non-empty model name, got {name!r}")
+        index = bisect.bisect_left(self._points, ring_point(f"name:{name}"))
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._owners[index]
+
+    def assignments(self, names: Sequence[str]) -> dict[str, int]:
+        """Route every name at once: ``{name: shard_id}``."""
+        return {name: self.route(name) for name in names}

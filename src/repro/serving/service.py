@@ -17,22 +17,44 @@ The service is a context manager: entering starts the dispatch thread,
 a clean exit drains queued work, and an exceptional exit (including
 ``KeyboardInterrupt``) cancels queued requests while letting in-flight
 batches complete — no worker is orphaned and no future is left unresolved.
+
+:class:`ShardedInferenceService` is the multi-process tier on top: the same
+client API, but requests are routed by consistent hashing on the model name
+(:class:`~repro.serving.routing.ConsistentHashRouter`) to N shard processes
+(:mod:`repro.serving.shards`), each running its own complete
+``InferenceService`` stack.  The front door is an asyncio event loop on a
+dedicated thread: submissions land on the loop, coalesce per model under
+the batch policy, ship to the owning shard as one window message, and
+resolve without ever blocking the loop — so N shards execute N windows
+truly in parallel while the front door stays single-threaded and lock-light.
 """
 
 from __future__ import annotations
 
+import asyncio
+import itertools
+import pickle
+import threading
+import time
+from concurrent.futures import Future
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ServingError
 from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.routing import DEFAULT_REPLICAS, ConsistentHashRouter
 from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatchScheduler,
     PredictionResult,
 )
-from repro.serving.telemetry import ServingTelemetry
+from repro.serving.shards import (
+    INLINE_WINDOW_BYTES,
+    ShardSupervisor,
+    model_payload_digest,
+)
+from repro.serving.telemetry import ServingTelemetry, merge_shard_snapshots
 from repro.serving.watcher import Adapter, CalibrationWatcher, SwapReport
 from repro.simulator import NoiseModel
 from repro.transpiler import Target
@@ -221,5 +243,394 @@ class InferenceService:
                     "compilation_digest": self.registry.get(name).compilation_digest,
                 }
                 for name in self.registry.names()
+            },
+        }
+
+
+class _FrontRequest:
+    """One client request waiting at the sharded front door."""
+
+    __slots__ = ("name", "features", "future", "sequence", "enqueued_at")
+
+    def __init__(self, name: str, features: np.ndarray, sequence: int):
+        self.name = name
+        self.features = features
+        self.future: Future = Future()
+        self.sequence = sequence
+        self.enqueued_at = time.monotonic()
+
+
+class ShardedInferenceService:
+    """Multi-process serving: consistent-hash routing over shard workers.
+
+    The client surface mirrors :class:`InferenceService` — ``deploy`` /
+    ``predict`` / ``predict_async`` / ``predict_many`` /
+    ``observe_calibration`` / ``stats`` — so load generators and harnesses
+    drive either tier unchanged.  Internally every model name is pinned to
+    one shard process; the front-door event loop coalesces submissions per
+    model under the batch policy and ships each window as a single message,
+    which the shard serves as exactly one scheduler flush (one registry
+    resolution, one batched backend call).  Shard death is handled by the
+    :class:`~repro.serving.shards.ShardSupervisor` restart protocol and is
+    invisible to callers beyond latency.
+
+    ``predict_aio`` exposes the same request as an awaitable for callers
+    that already live on an asyncio loop.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        policy: Optional[BatchPolicy] = None,
+        replicas: int = DEFAULT_REPLICAS,
+        poll_seconds: float = 0.2,
+    ):
+        if num_shards < 1:
+            raise ServingError(f"num_shards must be >= 1, got {num_shards}")
+        self.policy = policy or BatchPolicy()
+        self.router = ConsistentHashRouter(range(num_shards), replicas=replicas)
+        self.supervisor = ShardSupervisor(
+            num_shards,
+            policy={
+                "max_batch": self.policy.max_batch,
+                "max_latency_ms": self.policy.max_latency_ms,
+            },
+            poll_seconds=poll_seconds,
+        )
+        self.num_shards = num_shards
+        self._deployments: dict[str, dict] = {}
+        self._model_bytes: dict[int, tuple[bytes, str]] = {}  # id(model) -> payload
+        self._sequence = itertools.count()
+        self._groups: dict[str, list[_FrontRequest]] = {}
+        self._timers: dict[str, object] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def route(self, name: str) -> int:
+        """The shard id that owns ``name`` (stable across restarts)."""
+        return self.router.route(name)
+
+    def deploy(
+        self,
+        name: str,
+        model,
+        calibration=None,
+        noise_model: Optional[NoiseModel] = None,
+        adapter: Optional[Adapter] = None,
+    ) -> dict:
+        """Publish ``model`` under ``name`` on its consistent-hash shard.
+
+        Semantics match :meth:`InferenceService.deploy` — the shard performs
+        the calibration-aware recompilation itself (deterministically, so a
+        restarted shard reconverges to the same artifacts).  The pickled
+        model crosses the process boundary once per content digest per
+        shard; repeat deploys ship only the digest.  Returns the shard's
+        deploy report (name, version, compilation digest, shard id).
+        """
+        self.supervisor.start()
+        cached = self._model_bytes.get(id(model))
+        if cached is None:
+            model_bytes = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            cached = (model_bytes, model_payload_digest(model_bytes))
+            self._model_bytes[id(model)] = cached
+        model_bytes, digest = cached
+        shard_id = self.route(name)
+        payload = {
+            "op": "deploy",
+            "name": name,
+            "model_digest": digest,
+            "model_bytes": model_bytes,
+            "calibration": calibration,
+            "noise_model": noise_model,
+            "adapter": adapter,
+        }
+        report = self.supervisor.submit(shard_id, payload).result(timeout=120.0)
+        self._deployments[name] = report
+        return report
+
+    def observe_calibration(self, name: str, snapshot) -> SwapReport:
+        """Feed one drift snapshot to ``name``'s shard-local watcher."""
+        self._require_deployed(name)
+        return self.supervisor.submit(
+            self.route(name), {"op": "observe", "name": name, "snapshot": snapshot}
+        ).result(timeout=120.0)
+
+    def rollback(self, name: str) -> int:
+        """Atomically restore ``name``'s previous version on its shard."""
+        self._require_deployed(name)
+        return self.supervisor.submit(
+            self.route(name), {"op": "rollback", "name": name}
+        ).result(timeout=120.0)
+
+    def _require_deployed(self, name: str) -> None:
+        if name not in self._deployments:
+            raise ServingError(
+                f"no model published under {name!r}; "
+                f"known names: {sorted(self._deployments)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict_async(self, name: str, sample: np.ndarray) -> Future:
+        """Submit one sample; returns a future of :class:`PredictionResult`."""
+        self._require_deployed(name)
+        if not self.is_running:
+            raise ServingError(
+                "service is not started; use 'with service:' or service.start()"
+            )
+        features = np.asarray(sample, dtype=float)
+        if features.ndim != 1:
+            raise ServingError(
+                f"submit expects one feature vector, got shape {features.shape}"
+            )
+        with self._close_lock:
+            if self._closed:
+                raise ServingError("service is stopped; no new requests accepted")
+            request = _FrontRequest(name, features, next(self._sequence))
+            self._loop.call_soon_threadsafe(self._enqueue, request)
+        return request.future
+
+    async def predict_aio(self, name: str, sample: np.ndarray) -> PredictionResult:
+        """Awaitable predict for callers already on an asyncio loop."""
+        return await asyncio.wrap_future(self.predict_async(name, sample))
+
+    def predict(
+        self, name: str, sample: np.ndarray, timeout: Optional[float] = 60.0
+    ) -> PredictionResult:
+        """Serve one sample synchronously (coalesced under the hood)."""
+        return self.predict_async(name, sample).result(timeout=timeout)
+
+    def predict_many(
+        self,
+        name: str,
+        samples: Sequence[np.ndarray],
+        timeout: Optional[float] = 60.0,
+    ) -> list[PredictionResult]:
+        """Serve a burst of samples; each is an independent request."""
+        futures = [self.predict_async(name, sample) for sample in samples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Front-door event loop (coalescing reactor)
+    # ------------------------------------------------------------------
+    def _enqueue(self, request: _FrontRequest) -> None:
+        """Loop-thread: buffer one request; flush when the policy says so."""
+        group = self._groups.setdefault(request.name, [])
+        group.append(request)
+        if len(group) >= self.policy.max_batch:
+            self._flush_group(request.name)
+        elif len(group) == 1:
+            self._timers[request.name] = self._loop.call_later(
+                self.policy.max_latency_ms / 1e3, self._flush_group, request.name
+            )
+
+    def _flush_group(self, name: str) -> None:
+        """Loop-thread: ship one model's waiting requests as one window."""
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+        group = self._groups.pop(name, None)
+        if not group:
+            return
+        window = np.stack([request.features for request in group])
+        if window.nbytes >= INLINE_WINDOW_BYTES:
+            features = self.supervisor.share_window(window)
+        else:
+            features = window
+        payload = {"op": "predict", "name": name, "features": features}
+        try:
+            batch_future = self.supervisor.submit(self.route(name), payload)
+        except Exception as error:
+            for request in group:
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+            return
+        batch_future.add_done_callback(
+            lambda future, group=group, name=name: self._on_window_done(
+                name, group, future
+            )
+        )
+
+    def _on_window_done(self, name: str, group: list, batch_future: Future) -> None:
+        """Collector-thread: fan one window reply out to request futures."""
+        now = time.monotonic()
+        if batch_future.cancelled():
+            for request in group:
+                request.future.cancel()
+            return
+        error = batch_future.exception()
+        if error is not None:
+            for request in group:
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+            return
+        reply = batch_future.result()
+        logits = reply["logits"]
+        predictions = reply["predictions"]
+        for row, request in enumerate(group):
+            result = PredictionResult(
+                logits=logits[row],
+                prediction=int(predictions[row]),
+                model=name,
+                version=reply["versions"][row],
+                batch_id=reply["batch_ids"][row],
+                batch_size=reply["batch_sizes"][row],
+                latency_seconds=now - request.enqueued_at,
+                sequence=request.sequence,
+            )
+            if not request.future.cancelled():
+                request.future.set_result(result)
+
+    def _flush_all(self) -> None:
+        """Loop-thread: force-flush every buffered group (drain path)."""
+        for name in list(self._groups):
+            self._flush_group(name)
+
+    def _cancel_buffered(self) -> None:
+        """Loop-thread: cancel every buffered request (non-drain shutdown)."""
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        for group in self._groups.values():
+            for request in group:
+                request.future.cancel()
+        self._groups.clear()
+
+    def _run_on_loop(self, callback) -> None:
+        """Run ``callback`` on the loop thread and wait for it."""
+        done: Future = Future()
+
+        def runner():
+            try:
+                callback()
+                done.set_result(None)
+            except BaseException as error:  # pragma: no cover - defensive
+                done.set_exception(error)
+
+        self._loop.call_soon_threadsafe(runner)
+        done.result(timeout=30.0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """Whether the front-door event loop is serving."""
+        return (
+            self._loop_thread is not None
+            and self._loop_thread.is_alive()
+            and not self._closed
+        )
+
+    def start(self) -> "ShardedInferenceService":
+        """Spawn the shards and the front-door event loop (idempotent)."""
+        if self._closed:
+            raise ServingError(
+                "service was stopped and cannot restart; create a new one"
+            )
+        self.supervisor.start()
+        if self._loop_thread is None or not self._loop_thread.is_alive():
+            self._loop = asyncio.new_event_loop()
+            started = threading.Event()
+
+            def run():
+                asyncio.set_event_loop(self._loop)
+                self._loop.call_soon(started.set)
+                self._loop.run_forever()
+
+            self._loop_thread = threading.Thread(
+                target=run, name="serving-front-door", daemon=True
+            )
+            self._loop_thread.start()
+            started.wait(timeout=10.0)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; drain buffered + in-flight work (default) or cancel it."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._loop_thread is not None and self._loop_thread.is_alive():
+            if drain:
+                self._run_on_loop(self._flush_all)
+                self.supervisor.drain()
+            else:
+                self._run_on_loop(self._cancel_buffered)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop_thread.join(timeout=10.0)
+            self._loop.close()
+            self._loop_thread = None
+        self.supervisor.close(drain=drain)
+
+    def __enter__(self) -> "ShardedInferenceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Ops hooks + introspection
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int) -> Optional[int]:
+        """Hard-kill one shard (chaos hook); the supervisor restarts it."""
+        return self.supervisor.kill(shard_id)
+
+    def reset_telemetry(self) -> None:
+        """Zero every shard's telemetry (back-to-back load runs)."""
+        futures = [
+            self.supervisor.submit(shard_id, {"op": "reset_telemetry"})
+            for shard_id in self.supervisor.shard_ids()
+        ]
+        for future in futures:
+            future.result(timeout=30.0)
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot merged across every shard process.
+
+        ``telemetry`` carries the cross-shard merge (per-model stats plus
+        per-shard rollups including restarts and in-flight depth);
+        ``shards`` keeps each shard's full single-process stats block; and
+        ``supervisor`` exposes the lifecycle counters of the restart
+        protocol.
+        """
+        futures = {
+            shard_id: self.supervisor.submit(shard_id, {"op": "stats"})
+            for shard_id in self.supervisor.shard_ids()
+        }
+        shard_stats = {
+            shard_id: future.result(timeout=60.0)
+            for shard_id, future in futures.items()
+        }
+        telemetry = merge_shard_snapshots(
+            {sid: stats.get("telemetry", {}) for sid, stats in shard_stats.items()},
+            shard_rollups=self.supervisor.rollups(),
+        )
+        return {
+            "telemetry": telemetry,
+            "shards": {str(sid): stats for sid, stats in shard_stats.items()},
+            "supervisor": {
+                "shards_spawned": self.supervisor.stats.shards_spawned,
+                "shards_restarted": self.supervisor.stats.shards_restarted,
+                "messages_completed": self.supervisor.stats.messages_completed,
+                "messages_resubmitted": self.supervisor.stats.messages_resubmitted,
+                "state_ops_replayed": self.supervisor.stats.state_ops_replayed,
+                "models_shipped": self.supervisor.stats.models_shipped,
+                "restarts": {
+                    str(sid): count
+                    for sid, count in self.supervisor.restarts().items()
+                },
+            },
+            "deployments": {
+                name: dict(report) for name, report in self._deployments.items()
+            },
+            "routing": {
+                name: self.route(name) for name in sorted(self._deployments)
             },
         }

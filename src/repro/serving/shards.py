@@ -1,0 +1,598 @@
+"""Shard worker processes and their supervisor.
+
+A *shard* is one long-lived spawn-context process that owns a complete
+single-process serving stack — its own
+:class:`~repro.simulator.SimulationEngine`,
+:class:`~repro.serving.registry.ModelRegistry` slice,
+:class:`~repro.serving.scheduler.MicroBatchScheduler` and per-model
+:class:`~repro.serving.watcher.CalibrationWatcher` — wrapped in the generic
+actor loop from :mod:`repro.runtime.workers`.  The parent never touches a
+shard's engine; it only exchanges small request/response messages:
+
+========== ==========================================================
+op          effect inside the shard
+========== ==========================================================
+``deploy``   publish a model (ships pickled bytes once per model digest;
+             repeat deploys of the same digest cross as a digest reference)
+``predict``  serve one coalesced window of requests for one model — the
+             shard submits every row to its scheduler and force-flushes,
+             so a window is exactly one registry resolution + one batched
+             backend call (flush boundary = hot-swap boundary, as in PR 4)
+``observe``  feed one calibration snapshot to the model's watcher
+             (may hot-swap the deployment; never touches in-flight windows)
+``rollback`` restore the previous registry version
+``stats``    snapshot the shard's telemetry + scheduler + cache stats
+``reset_telemetry`` zero the shard's telemetry between load runs
+========== ==========================================================
+
+Large request windows cross via the content-addressed shared-memory store
+(:class:`~repro.runtime.workers.SharedArrayStore`); small windows (the
+common case — a micro-batch of feature vectors is a few KiB) ship inline,
+which is faster than a digest + block round-trip.
+
+:class:`ShardSupervisor` owns the fleet of shards.  It tracks, per shard,
+the ordered *state log* (every deploy / observe / rollback payload) and the
+ordered set of in-flight messages.  When a shard dies, the supervisor
+respawns it, replays the state log (deterministic compilation + the
+registry's content-dedupe make the replayed registry converge to the exact
+pre-crash state, including version numbers), then resubmits the dead
+shard's unanswered messages in their original order — so a crash costs
+clients latency, never an answer.  A predict racing a hot-swap may complete
+under the newer version after a restart, which is the same nondeterminism a
+client already observes from ordinary swap timing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.runtime.workers import (
+    SharedArrayStore,
+    attach_shared_array,
+    spawn_actor,
+)
+
+__all__ = [
+    "INLINE_WINDOW_BYTES",
+    "MAX_MESSAGE_ATTEMPTS",
+    "ShardHandler",
+    "ShardSupervisor",
+    "SupervisorStats",
+]
+
+#: Request windows smaller than this ship inline through the message queue;
+#: larger windows cross via the content-addressed shared-memory store.  A
+#: micro-batch of feature vectors is typically a few KiB, far below the
+#: digest + attach overhead break-even.
+INLINE_WINDOW_BYTES = 256 * 1024
+
+#: How many times one message may take a shard down before its future is
+#: failed instead of resubmitted (mirrors the worker pool's guard against
+#: a poison message respawning forever).
+MAX_MESSAGE_ATTEMPTS = 3
+
+#: How many shared-memory attachments a shard keeps mapped at once.
+_ATTACH_CACHE_CAPACITY = 16
+
+
+class ShardHandler:
+    """Child-process actor handler: one complete serving stack per shard.
+
+    Instantiated by :func:`repro.runtime.workers.actor_main` inside the
+    spawned shard, so everything here runs single-threaded in the shard
+    process; the parent's supervisor provides all cross-shard concurrency.
+    """
+
+    def __init__(self, shard_id: int, policy: Optional[dict] = None):
+        # Local import: service.py imports this module for the sharded
+        # front door, and __init__ only runs inside the child process.
+        from repro.serving.scheduler import BatchPolicy
+        from repro.serving.service import InferenceService
+
+        self.shard_id = shard_id
+        self.service = InferenceService(
+            policy=BatchPolicy(**policy) if policy else None
+        )
+        self._models: dict[str, object] = {}  # model digest -> unpickled model
+        self._blocks: dict[str, object] = {}
+        self._block_order: deque[str] = deque()
+
+    # ------------------------------------------------------------------
+    def __call__(self, payload: dict):
+        """Dispatch one message to its op handler."""
+        op = payload.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ServingError(f"shard {self.shard_id}: unknown op {op!r}")
+        return handler(payload)
+
+    def _op_deploy(self, payload: dict) -> dict:
+        digest = payload["model_digest"]
+        model = self._models.get(digest)
+        if model is None:
+            model_bytes = payload.get("model_bytes")
+            if model_bytes is None:
+                raise ServingError(
+                    f"shard {self.shard_id}: model digest {digest} not shipped"
+                )
+            self._models[digest] = model = pickle.loads(model_bytes)
+        version = self.service.deploy(
+            payload["name"],
+            model,
+            calibration=payload.get("calibration"),
+            noise_model=payload.get("noise_model"),
+            adapter=payload.get("adapter"),
+        )
+        return {
+            "name": version.name,
+            "version": version.version,
+            "compilation_digest": version.compilation_digest,
+            "shard": self.shard_id,
+        }
+
+    def _decode_window(self, features) -> np.ndarray:
+        if isinstance(features, dict):
+            window = attach_shared_array(features, self._blocks)
+            # Bound the attachment cache: every window is content-addressed,
+            # so a long-lived shard would otherwise map every block it saw.
+            name = features["name"]
+            if name in self._block_order:
+                self._block_order.remove(name)
+            self._block_order.append(name)
+            while len(self._block_order) > _ATTACH_CACHE_CAPACITY:
+                evicted = self._block_order.popleft()
+                block = self._blocks.pop(evicted, None)
+                if block is not None:
+                    try:
+                        block.close()
+                    except Exception:
+                        pass
+            return window
+        return np.asarray(features, dtype=float)
+
+    def _op_predict(self, payload: dict) -> dict:
+        window = self._decode_window(payload["features"])
+        scheduler = self.service.scheduler
+        futures = [scheduler.submit(payload["name"], row) for row in window]
+        scheduler.flush_pending(force=True)
+        results = [future.result(timeout=0) for future in futures]
+        return {
+            "logits": np.stack([r.logits for r in results]),
+            "predictions": np.asarray([r.prediction for r in results]),
+            "versions": [r.version for r in results],
+            "batch_ids": [r.batch_id for r in results],
+            "batch_sizes": [r.batch_size for r in results],
+            "shard": self.shard_id,
+        }
+
+    def _op_observe(self, payload: dict):
+        return self.service.observe_calibration(payload["name"], payload["snapshot"])
+
+    def _op_rollback(self, payload: dict) -> int:
+        return self.service.rollback(payload["name"]).version
+
+    def _op_stats(self, payload: dict) -> dict:
+        stats = self.service.stats()
+        stats["shard"] = self.shard_id
+        return stats
+
+    def _op_reset_telemetry(self, payload: dict) -> None:
+        self.service.telemetry.reset()
+
+    def _op_ping(self, payload: dict) -> int:
+        return self.shard_id
+
+    def close(self) -> None:
+        """Detach shared-memory blocks on process exit."""
+        for block in self._blocks.values():
+            try:
+                block.close()
+            except Exception:
+                pass
+
+
+#: Ops that mutate shard registry state and must be replayed on restart.
+_STATE_OPS = frozenset({"deploy", "observe", "rollback"})
+
+
+class _Envelope:
+    """One shipped message: payload, resolution future, delivery bookkeeping."""
+
+    __slots__ = ("task_id", "payload", "future", "state_op", "replay", "attempts")
+
+    def __init__(self, task_id: int, payload: dict, future: Future, replay: bool = False):
+        self.task_id = task_id
+        self.payload = payload
+        self.future = future
+        self.state_op = payload.get("op") in _STATE_OPS
+        #: Internal envelope regenerated from the state log during a
+        #: restart; dropped (and regenerated again) if the shard dies twice.
+        self.replay = replay
+        self.attempts = 1
+
+
+class _ShardHandle:
+    """Parent-side view of one shard process."""
+
+    __slots__ = (
+        "shard_id",
+        "process",
+        "inbox",
+        "known_models",
+        "state_log",
+        "in_flight",
+        "restarts",
+    )
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.process = None
+        self.inbox = None
+        self.known_models: set[str] = set()
+        #: Ordered payloads of every state-mutating op ever shipped.
+        self.state_log: list[dict] = []
+        #: task_id -> _Envelope of every unanswered message, ship order.
+        self.in_flight: "OrderedDict[int, _Envelope]" = OrderedDict()
+        self.restarts = 0
+
+
+@dataclass
+class SupervisorStats:
+    """Cumulative lifecycle counters of one :class:`ShardSupervisor`."""
+
+    shards_spawned: int = 0
+    shards_restarted: int = 0
+    messages_completed: int = 0
+    messages_resubmitted: int = 0
+    state_ops_replayed: int = 0
+    models_shipped: int = 0
+    windows_shared: int = 0
+
+
+class ShardSupervisor:
+    """Spawns, monitors, restarts, and routes messages to shard processes.
+
+    The supervisor is transport + supervision only: it never inspects model
+    state.  All shard state it needs for recovery is the per-shard ordered
+    state log (deploy/observe/rollback payloads, with model bytes retained)
+    plus the in-flight envelope queue.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: Optional[dict] = None,
+        poll_seconds: float = 0.2,
+    ):
+        if num_shards < 1:
+            raise ServingError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.policy = policy
+        self.poll_seconds = poll_seconds
+        self.stats = SupervisorStats()
+        self._context = get_context("spawn")
+        self._outbox = self._context.Queue()
+        self._store = SharedArrayStore()
+        self._shards: dict[int, _ShardHandle] = {
+            shard_id: _ShardHandle(shard_id) for shard_id in range(num_shards)
+        }
+        self._lock = threading.RLock()
+        self._task_counter = 0
+        self._envelopes: dict[int, _Envelope] = {}
+        self._collector: Optional[threading.Thread] = None
+        self._closed = False
+        self._idle = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardSupervisor":
+        """Spawn every shard process and the collector thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("supervisor is closed")
+            for handle in self._shards.values():
+                if handle.process is None:
+                    self._spawn(handle)
+        if self._collector is None or not self._collector.is_alive():
+            self._collector = threading.Thread(
+                target=self._collect_loop, name="shard-collector", daemon=True
+            )
+            self._collector.start()
+        return self
+
+    def _spawn(self, handle: _ShardHandle) -> None:
+        handle.process, handle.inbox = spawn_actor(
+            self._context,
+            self._outbox,
+            ShardHandler,
+            {"shard_id": handle.shard_id, "policy": self.policy},
+            name=f"repro-shard-{handle.shard_id}",
+        )
+        handle.known_models = set()
+        self.stats.shards_spawned += 1
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed supervisor rejects work."""
+        return self._closed
+
+    def shard_ids(self) -> list[int]:
+        """Ids of the supervised shards."""
+        return sorted(self._shards)
+
+    def pids(self) -> dict[int, Optional[int]]:
+        """Current PID of each shard process (None before :meth:`start`)."""
+        with self._lock:
+            return {
+                shard_id: (handle.process.pid if handle.process else None)
+                for shard_id, handle in self._shards.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def submit(self, shard_id: int, payload: dict) -> Future:
+        """Ship one message to a shard; the future resolves with its reply."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("supervisor is closed; no new messages accepted")
+            handle = self._shards.get(shard_id)
+            if handle is None:
+                raise ServingError(
+                    f"unknown shard {shard_id}; shards: {sorted(self._shards)}"
+                )
+            if handle.process is None:
+                raise ServingError("supervisor is not started; call start() first")
+            self._task_counter += 1
+            envelope = _Envelope(self._task_counter, payload, Future())
+            if envelope.state_op:
+                handle.state_log.append(payload)
+            self._ship(handle, envelope)
+            return envelope.future
+
+    def share_window(self, window: np.ndarray) -> dict:
+        """Expose a large request window via the content-addressed store."""
+        with self._lock:
+            meta = self._store.share(window)
+            self.stats.windows_shared += 1
+            return meta
+
+    def _ship(self, handle: _ShardHandle, envelope: _Envelope) -> None:
+        """Deliver one envelope (lock held), content-addressing model bytes."""
+        payload = envelope.payload
+        if payload.get("op") == "deploy":
+            digest = payload["model_digest"]
+            if digest in handle.known_models:
+                payload = {k: v for k, v in payload.items() if k != "model_bytes"}
+            else:
+                handle.known_models.add(digest)
+                self.stats.models_shipped += 1
+        handle.in_flight[envelope.task_id] = envelope
+        self._envelopes[envelope.task_id] = envelope
+        handle.inbox.put((envelope.task_id, payload))
+
+    # ------------------------------------------------------------------
+    # Collection + supervision
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        last_health_check = time.monotonic()
+        while not self._closed:
+            try:
+                task_id, ok, value = self._outbox.get(timeout=self.poll_seconds)
+            except Exception:
+                task_id = None
+            now = time.monotonic()
+            with self._lock:
+                if task_id is not None:
+                    self._resolve(task_id, ok, value)
+                if now - last_health_check >= self.poll_seconds:
+                    last_health_check = now
+                    self._recover_dead_shards()
+                if not self._envelopes:
+                    self._idle.notify_all()
+
+    def _resolve(self, task_id: int, ok: bool, value) -> None:
+        envelope = self._envelopes.pop(task_id, None)
+        if envelope is None:
+            return  # straggler from before a restart
+        for handle in self._shards.values():
+            handle.in_flight.pop(task_id, None)
+        self.stats.messages_completed += 1
+        if ok:
+            envelope.future.set_result(value)
+        else:
+            envelope.future.set_exception(
+                ServingError(f"shard message {envelope.payload.get('op')!r} failed:\n{value}")
+            )
+
+    def _recover_dead_shards(self) -> None:
+        # Guarded on _closed (both this and close() run under the lock):
+        # the collector's final iteration may wake *after* close() sent the
+        # shutdown sentinels, and must not resurrect cleanly-stopped shards.
+        if self._closed:
+            return
+        for handle in self._shards.values():
+            if handle.process is not None and not handle.process.is_alive():
+                self._recover(handle)
+
+    def _recover(self, handle: _ShardHandle) -> None:
+        """Respawn a dead shard; replay its state; resubmit unanswered work.
+
+        The state log is replayed *first* (in original submission order) so
+        the new process reconstructs the exact registry the old one held —
+        deterministic compilation plus the registry's content-dedupe mean
+        replayed publishes converge to the same versions.  Unanswered
+        non-state messages are then resubmitted in their original order.
+        In-flight state ops are resolved by their own replay envelope, so
+        nothing is applied twice.
+        """
+        try:
+            handle.process.join(timeout=0)
+        except Exception:
+            pass
+        old_in_flight = handle.in_flight
+        handle.in_flight = OrderedDict()
+        for envelope in old_in_flight.values():
+            self._envelopes.pop(envelope.task_id, None)
+        self._spawn(handle)
+        handle.restarts += 1
+        self.stats.shards_restarted += 1
+
+        # Map in-flight state-op payloads (by identity) to their envelopes
+        # so the replay resolves the caller's original future.
+        pending_state = {
+            id(envelope.payload): envelope
+            for envelope in old_in_flight.values()
+            if envelope.state_op and not envelope.replay
+        }
+        for payload in handle.state_log:
+            envelope = pending_state.get(id(payload))
+            if envelope is None:
+                self._task_counter += 1
+                envelope = _Envelope(self._task_counter, payload, Future(), replay=True)
+                envelope.future.add_done_callback(self._check_replay)
+            else:
+                envelope.attempts += 1
+            self.stats.state_ops_replayed += 1
+            self._ship(handle, envelope)
+        for envelope in old_in_flight.values():
+            if envelope.replay or envelope.state_op:
+                continue  # replay envelopes are regenerated from the log
+            envelope.attempts += 1
+            if envelope.attempts > MAX_MESSAGE_ATTEMPTS:
+                envelope.future.set_exception(
+                    ServingError(
+                        f"message {envelope.payload.get('op')!r} killed shard "
+                        f"{handle.shard_id} {MAX_MESSAGE_ATTEMPTS} times; giving up"
+                    )
+                )
+                continue
+            self.stats.messages_resubmitted += 1
+            self._ship(handle, envelope)
+
+    @staticmethod
+    def _check_replay(future: Future) -> None:
+        """Surface a failed state replay loudly instead of swallowing it."""
+        error = future.exception()
+        if error is not None:  # pragma: no cover - defensive
+            import logging
+
+            logging.getLogger(__name__).error("shard state replay failed: %s", error)
+
+    # ------------------------------------------------------------------
+    # Ops hooks
+    # ------------------------------------------------------------------
+    def kill(self, shard_id: int) -> Optional[int]:
+        """Hard-kill one shard process (chaos hook); returns the old PID.
+
+        The collector notices the death within ``poll_seconds`` and runs the
+        restart protocol — callers observe nothing but latency.
+        """
+        with self._lock:
+            handle = self._shards[shard_id]
+            if handle.process is None:
+                return None
+            pid = handle.process.pid
+            handle.process.kill()
+        return pid
+
+    def restarts(self) -> dict[int, int]:
+        """Restart count per shard id."""
+        with self._lock:
+            return {sid: handle.restarts for sid, handle in self._shards.items()}
+
+    def rollups(self) -> dict[int, dict]:
+        """Supervisor-side per-shard rollups for the telemetry merge."""
+        with self._lock:
+            return {
+                shard_id: {
+                    "restarts": handle.restarts,
+                    "in_flight": len(handle.in_flight),
+                    "deployed_digests": len(handle.known_models),
+                    "pid": handle.process.pid if handle.process else None,
+                }
+                for shard_id, handle in self._shards.items()
+            }
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Wait until no message is in flight; returns False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._envelopes:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=min(remaining, 0.1))
+        return True
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop every shard and release shared resources.
+
+        With ``drain=True`` the call first waits for in-flight messages to
+        be answered, then stops the actors via their sentinel; with
+        ``drain=False`` unanswered futures are cancelled and the processes
+        are terminated immediately.
+        """
+        if self._closed:
+            return
+        if drain:
+            self.drain()
+        with self._lock:
+            self._closed = True
+            for envelope in list(self._envelopes.values()):
+                envelope.future.cancel()
+            self._envelopes.clear()
+            handles = list(self._shards.values())
+        for handle in handles:
+            if handle.process is None:
+                continue
+            if drain and handle.process.is_alive():
+                try:
+                    handle.inbox.put(None)
+                except Exception:
+                    pass
+        for handle in handles:
+            if handle.process is None:
+                continue
+            if drain:
+                handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+            self._collector = None
+        self._store.close()
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            if not self._closed:
+                self.close(drain=False)
+        except Exception:
+            pass
+
+
+def model_payload_digest(model_bytes: bytes) -> str:
+    """Content digest identifying one pickled model payload."""
+    return hashlib.blake2b(model_bytes, digest_size=16).hexdigest()

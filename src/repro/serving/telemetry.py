@@ -7,6 +7,13 @@ cancellations).  All counters are guarded by one lock — recording is a few
 dict updates, far cheaper than the simulations it measures — and
 :meth:`ServingTelemetry.as_dict` emits a JSON-ready snapshot for the CLI
 stats block.
+
+The sharded service adds a process dimension: every shard owns a private
+``ServingTelemetry`` whose snapshot crosses the process boundary as a plain
+dict, and :func:`merge_shard_snapshots` folds those snapshots (plus the
+supervisor's per-shard lifecycle rollups) into one service-wide view.
+:meth:`ServingTelemetry.reset` zeroes a live instance so back-to-back load
+runs measure from a clean slate without rebuilding the serving stack.
 """
 
 from __future__ import annotations
@@ -96,7 +103,11 @@ class ServingTelemetry:
             else:
                 counters.completed += size
                 counters.latencies.extend(latencies)
-                counters.last_complete = now
+            # Failed batches still advance the activity clock: the requests
+            # *were* dispatched and answered (with an error), so a run that
+            # ends in failures must not deflate elapsed time — that would
+            # inflate the reported QPS of the successful prefix.
+            counters.last_complete = now
 
     def record_cancelled(self, name: str, count: int = 1) -> None:
         """Count requests cancelled by a non-draining shutdown."""
@@ -133,6 +144,11 @@ class ServingTelemetry:
                 "mean_batch_size": (
                     counters.completed / counters.batches if counters.batches else 0.0
                 ),
+                "failure_rate": (
+                    counters.failed / (counters.completed + counters.failed)
+                    if (counters.completed + counters.failed)
+                    else 0.0
+                ),
                 "qps": (counters.completed / elapsed) if elapsed else 0.0,
                 "latency_p50_ms": (
                     float(np.percentile(latencies, 50)) * 1e3 if latencies.size else None
@@ -152,3 +168,107 @@ class ServingTelemetry:
             "models": {name: self.model_stats(name) for name in names},
             "swaps": swaps,
         }
+
+    def reset(self) -> None:
+        """Zero every counter (back-to-back load runs on one live service)."""
+        with self._lock:
+            self._models.clear()
+            self._swaps.clear()
+
+
+def _merge_model_stats(stats: list[dict]) -> dict:
+    """Fold per-shard snapshots of one model name into one stats dict.
+
+    Consistent hashing pins a name to one shard, so this is normally a
+    single-element copy; after a ring resize the same name can briefly have
+    history on two shards, in which case additive counters sum, histograms
+    merge, and latency percentiles take the worst shard (percentiles cannot
+    be merged exactly from summaries — worst-case is the honest bound).
+    """
+    if len(stats) == 1:
+        return dict(stats[0])
+    merged = dict(stats[0])
+    for other in stats[1:]:
+        for key in ("submitted", "completed", "failed", "cancelled", "batches"):
+            merged[key] = merged.get(key, 0) + other.get(key, 0)
+        histogram = dict(merged.get("batch_size_histogram", {}))
+        for size, count in other.get("batch_size_histogram", {}).items():
+            histogram[size] = histogram.get(size, 0) + count
+        merged["batch_size_histogram"] = dict(sorted(histogram.items()))
+        merged["qps"] = merged.get("qps", 0.0) + other.get("qps", 0.0)
+        for key in ("latency_p50_ms", "latency_p99_ms"):
+            values = [v for v in (merged.get(key), other.get(key)) if v is not None]
+            merged[key] = max(values) if values else None
+        merged["versions_served"] = sorted(
+            set(merged.get("versions_served", [])) | set(other.get("versions_served", []))
+        )
+    completed, failed = merged.get("completed", 0), merged.get("failed", 0)
+    merged["mean_batch_size"] = (
+        completed / merged["batches"] if merged.get("batches") else 0.0
+    )
+    merged["failure_rate"] = (
+        failed / (completed + failed) if (completed + failed) else 0.0
+    )
+    return merged
+
+
+def merge_shard_snapshots(
+    shard_snapshots: dict[int, dict],
+    shard_rollups: Optional[dict[int, dict]] = None,
+) -> dict:
+    """One service-wide telemetry view from per-shard snapshot dicts.
+
+    ``shard_snapshots`` maps shard id to that shard's
+    :meth:`ServingTelemetry.as_dict` (as returned across the process
+    boundary); ``shard_rollups`` optionally adds supervisor-side lifecycle
+    counters (restarts, in-flight depth, queued requests) per shard.  The
+    result carries the merged per-model stats and swap counters at the top
+    level — same shape as a single-process snapshot — plus a ``shards``
+    block holding each shard's own rollup for the per-shard QPS / queue
+    depth / batch-histogram / restart view.
+    """
+    models: dict[str, list[dict]] = {}
+    swaps: dict[str, int] = {}
+    shards: dict[str, dict] = {}
+    for shard_id in sorted(shard_snapshots):
+        snapshot = shard_snapshots[shard_id] or {}
+        for name, stats in snapshot.get("models", {}).items():
+            if stats:
+                models.setdefault(name, []).append(stats)
+        for key, count in snapshot.get("swaps", {}).items():
+            swaps[key] = swaps.get(key, 0) + count
+        rollup = {
+            "models": sorted(snapshot.get("models", {})),
+            "qps": sum(
+                stats.get("qps", 0.0)
+                for stats in snapshot.get("models", {}).values()
+                if stats
+            ),
+            "completed": sum(
+                stats.get("completed", 0)
+                for stats in snapshot.get("models", {}).values()
+                if stats
+            ),
+            "batch_size_histogram": _merge_histograms(
+                stats.get("batch_size_histogram", {})
+                for stats in snapshot.get("models", {}).values()
+                if stats
+            ),
+        }
+        if shard_rollups and shard_id in shard_rollups:
+            rollup.update(shard_rollups[shard_id])
+        shards[str(shard_id)] = rollup
+    return {
+        "models": {name: _merge_model_stats(stats) for name, stats in models.items()},
+        "swaps": swaps,
+        "shards": shards,
+    }
+
+
+def _merge_histograms(histograms) -> dict:
+    """Sum batch-size histograms (string keys, sorted numerically)."""
+    merged: dict[str, int] = {}
+    for histogram in histograms:
+        for size, count in histogram.items():
+            merged[size] = merged.get(size, 0) + count
+    return {size: merged[size] for size in sorted(merged, key=int)}

@@ -39,6 +39,15 @@ def test_parser_serving_options():
     assert args.max_batch == 8
     assert args.max_latency_ms == 1.5
     assert args.observe_every is None
+    assert args.shards == 1
+    assert args.models == 1
+    assert args.arrival_rate is None
+    sharded = build_parser().parse_args(
+        ["serve", "--shards", "4", "--models", "4", "--arrival-rate", "200"]
+    )
+    assert sharded.shards == 4
+    assert sharded.models == 4
+    assert sharded.arrival_rate == 200.0
 
 
 def test_parser_fleet_options():
@@ -98,6 +107,9 @@ def test_non_serve_experiments_reject_serving_flags():
         ["--max-batch", "4"],
         ["--max-latency-ms", "1.0"],
         ["--observe-every", "8"],
+        ["--shards", "2"],
+        ["--models", "2"],
+        ["--arrival-rate", "100"],
     ):
         with pytest.raises(SystemExit):
             main(["fig1", "--scale", "test", *flag])
@@ -209,6 +221,48 @@ def test_serve_runs_end_to_end_on_a_library_device(tmp_path):
     assert serving["telemetry"]["models"]["qnn"]["completed"] == 24
     assert serving["scheduler"]["flushes"] >= 4
     assert serving["deployments"]["qnn"]["versions_published"] >= 2
+
+
+def test_sharded_serve_runs_end_to_end(tmp_path):
+    """The sharded tier through the CLI: open-loop load over 2 shards."""
+    out = tmp_path / "sharded.json"
+    code = main(
+        [
+            "serve",
+            "--scale",
+            "test",
+            "--device",
+            "ring_5",
+            "--requests",
+            "24",
+            "--max-batch",
+            "6",
+            "--shards",
+            "2",
+            "--models",
+            "2",
+            "--arrival-rate",
+            "400",
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    summary = payload["summary"]
+    assert summary["shards"] == 2
+    assert summary["models"] == ["qnn-0", "qnn-1"]
+    load = summary["load"]
+    assert load["mode"] == "open"
+    assert load["requests"] == load["completed"] == 24, "zero lost requests"
+    assert load["offered_rps"] > 0
+    serving = summary["serving"]
+    assert set(serving["telemetry"]["shards"]) == {"0", "1"}
+    total = sum(
+        stats["completed"] for stats in serving["telemetry"]["models"].values()
+    )
+    assert total == 24
+    assert serving["supervisor"]["shards_spawned"] >= 2
 
 
 def test_fleet_runs_a_grid_end_to_end(tmp_path):

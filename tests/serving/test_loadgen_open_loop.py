@@ -1,0 +1,95 @@
+"""Open-loop load generation: scheduled arrivals, no coordinated omission.
+
+The open-loop generator must (a) complete every scheduled request, (b)
+derive its arrival schedule deterministically from the seed, and (c)
+measure latency from the *scheduled arrival* — so a stalled service pays
+for every request scheduled during the stall, which closed-loop
+measurement silently forgives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import BatchPolicy, InferenceService, LoadGenerator
+from repro.transpiler.pipeline import PassManager
+
+
+@pytest.fixture()
+def service(bound_model, history):
+    service = InferenceService(
+        policy=BatchPolicy(max_batch=4, max_latency_ms=1.0),
+        pass_manager=PassManager(),
+    )
+    service.deploy("qnn", bound_model, calibration=history[0])
+    with service:
+        yield service
+
+
+def test_open_loop_completes_every_request(service, features):
+    generator = LoadGenerator(service, features, names=["qnn"], seed=5)
+    report = generator.run_open_loop(16, arrival_rate=400.0)
+    assert report.requests == report.completed == 16
+    assert report.mode == "open"
+    assert report.arrival_rate == 400.0
+    assert report.offered_rps > 0
+    assert report.submit_lag_p99_ms is not None
+    assert report.latency_p99_ms >= report.latency_p50_ms
+    payload = report.as_dict()
+    assert payload["mode"] == "open"
+    assert payload["offered_rps"] == report.offered_rps
+
+
+def test_open_loop_schedule_is_deterministic(features):
+    """Same seed, same Poisson arrival gaps (and fixed-rate is uniform)."""
+    from repro.utils.rng import ensure_rng
+
+    first = ensure_rng(9).exponential(1.0 / 100.0, size=8)
+    second = ensure_rng(9).exponential(1.0 / 100.0, size=8)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_open_loop_latency_includes_service_stalls(service, features):
+    """A busy window cannot hide behind deferred submissions.
+
+    With arrivals scheduled faster than the service drains them, open-loop
+    latency (from scheduled arrival) must dominate the per-request service
+    latency the results report — queueing delay is charged to requests.
+    """
+    generator = LoadGenerator(service, features, names=["qnn"], seed=5)
+    report = generator.run_open_loop(24, arrival_rate=5000.0, poisson=False)
+    assert report.completed == 24
+    # Offered far above capacity: measured p99 reflects the backlog the
+    # schedule built up, so it is at least the drain time of most of the
+    # stream, far above any single batch's service time.
+    assert report.latency_p99_ms > report.latency_p50_ms >= 0.0
+    assert report.offered_rps == pytest.approx(5000.0, rel=0.05)
+
+
+def test_open_loop_drift_injection(service, features, history):
+    generator = LoadGenerator(service, features, names=["qnn"], seed=5)
+    report = generator.run_open_loop(
+        12, arrival_rate=300.0, drift_history=history[1:3], observe_every=5
+    )
+    assert report.completed == 12
+    assert len(report.swaps) == 2
+
+
+def test_open_loop_validates_inputs(service, features):
+    generator = LoadGenerator(service, features, names=["qnn"], seed=5)
+    with pytest.raises(ServingError):
+        generator.run_open_loop(0, arrival_rate=10.0)
+    with pytest.raises(ServingError):
+        generator.run_open_loop(4, arrival_rate=0.0)
+
+
+def test_closed_loop_report_defaults_unchanged(service, features):
+    """The closed-loop path keeps its shape: mode defaults, no open fields."""
+    generator = LoadGenerator(service, features, names=["qnn"], seed=5)
+    report = generator.run(8)
+    assert report.mode == "closed"
+    assert report.arrival_rate is None
+    assert report.offered_rps is None
+    assert report.submit_lag_p99_ms is None

@@ -1,0 +1,116 @@
+"""Telemetry unit tests: failure accounting, reset, cross-shard merging.
+
+Pins the PR 7 fixes and additions:
+
+* a batch recorded with ``failed=True`` still advances ``last_complete``,
+  so a run that ends in failures cannot deflate elapsed time and inflate
+  the reported QPS of its successful prefix;
+* ``model_stats`` exposes ``failure_rate``;
+* ``reset()`` zeroes a live instance for back-to-back load runs;
+* :func:`merge_shard_snapshots` folds per-shard ``as_dict`` snapshots and
+  supervisor rollups into one service-wide view.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serving import ServingTelemetry, merge_shard_snapshots
+
+
+def _record_run(telemetry: ServingTelemetry, name: str, *, fail_last: bool) -> None:
+    telemetry.record_submit(name)
+    telemetry.record_batch(name, version=1, size=4, latencies=[0.01] * 4)
+    time.sleep(0.02)
+    if fail_last:
+        telemetry.record_batch(name, version=1, size=4, latencies=[], failed=True)
+    else:
+        telemetry.record_batch(name, version=1, size=4, latencies=[0.01] * 4)
+
+
+def test_failed_batches_advance_the_activity_clock():
+    """A failure-terminated run must not report the QPS of its prefix."""
+    clean = ServingTelemetry()
+    _record_run(clean, "qnn", fail_last=False)
+    failing = ServingTelemetry()
+    _record_run(failing, "qnn", fail_last=True)
+    clean_stats = clean.model_stats("qnn")
+    failing_stats = failing.model_stats("qnn")
+    # Elapsed spans both batches in both runs, so the failing run (half the
+    # completions over the same wall clock) must report *lower* QPS, not
+    # the inflated rate of a clock frozen at the last success.
+    assert failing_stats["qps"] < clean_stats["qps"]
+    assert failing_stats["failed"] == 4
+    assert failing_stats["completed"] == 4
+
+
+def test_failure_rate_in_model_stats():
+    """failure_rate = failed / (completed + failed); 0.0 when idle."""
+    telemetry = ServingTelemetry()
+    telemetry.record_batch("qnn", version=1, size=6, latencies=[0.01] * 6)
+    telemetry.record_batch("qnn", version=1, size=2, latencies=[], failed=True)
+    stats = telemetry.model_stats("qnn")
+    assert stats["failure_rate"] == 2 / 8
+    telemetry.record_submit("idle")
+    assert telemetry.model_stats("idle")["failure_rate"] == 0.0
+
+
+def test_reset_zeroes_every_counter():
+    """After reset() the snapshot is empty, and new traffic counts fresh."""
+    telemetry = ServingTelemetry()
+    telemetry.record_submit("qnn")
+    telemetry.record_batch("qnn", version=1, size=4, latencies=[0.01] * 4)
+    telemetry.record_swap("qnn", "recompile")
+    telemetry.reset()
+    assert telemetry.as_dict() == {"models": {}, "swaps": {}}
+    telemetry.record_batch("qnn", version=2, size=2, latencies=[0.01] * 2)
+    assert telemetry.model_stats("qnn")["completed"] == 2
+
+
+def test_merge_shard_snapshots_disjoint_names():
+    """Names pinned to different shards merge without cross-talk."""
+    shard0, shard1 = ServingTelemetry(), ServingTelemetry()
+    shard0.record_submit("qnn-a")
+    shard0.record_batch("qnn-a", version=1, size=4, latencies=[0.010] * 4)
+    shard0.record_swap("qnn-a", "recompile")
+    shard1.record_submit("qnn-b")
+    shard1.record_batch("qnn-b", version=3, size=2, latencies=[0.020] * 2)
+    merged = merge_shard_snapshots(
+        {0: shard0.as_dict(), 1: shard1.as_dict()},
+        shard_rollups={0: {"restarts": 1, "in_flight": 0}, 1: {"restarts": 0}},
+    )
+    assert sorted(merged["models"]) == ["qnn-a", "qnn-b"]
+    assert merged["models"]["qnn-a"]["completed"] == 4
+    assert merged["models"]["qnn-b"]["versions_served"] == [3]
+    assert merged["swaps"] == {"qnn-a:recompile": 1}
+    assert merged["shards"]["0"]["restarts"] == 1
+    assert merged["shards"]["0"]["models"] == ["qnn-a"]
+    assert merged["shards"]["0"]["batch_size_histogram"] == {"4": 1}
+    assert merged["shards"]["1"]["qps"] > 0
+
+
+def test_merge_shard_snapshots_same_name_on_two_shards():
+    """Post-resize overlap: additive counters sum, percentiles take worst."""
+    shard0, shard1 = ServingTelemetry(), ServingTelemetry()
+    shard0.record_batch("qnn", version=1, size=4, latencies=[0.010] * 4)
+    shard1.record_batch("qnn", version=2, size=2, latencies=[0.030] * 2)
+    shard1.record_batch("qnn", version=2, size=2, latencies=[], failed=True)
+    merged = merge_shard_snapshots({0: shard0.as_dict(), 1: shard1.as_dict()})
+    stats = merged["models"]["qnn"]
+    assert stats["completed"] == 6
+    assert stats["failed"] == 2
+    assert stats["batches"] == 3
+    assert stats["failure_rate"] == 2 / 8
+    assert stats["versions_served"] == [1, 2]
+    assert stats["batch_size_histogram"] == {"2": 2, "4": 1}
+    # Worst-shard bound for unmergeable percentile summaries.
+    assert stats["latency_p99_ms"] >= 29.0
+
+
+def test_merge_handles_empty_snapshots():
+    """Fresh shards contribute empty rollups, not errors."""
+    merged = merge_shard_snapshots({0: {}, 1: {"models": {}, "swaps": {}}})
+    assert merged["models"] == {}
+    assert merged["swaps"] == {}
+    assert set(merged["shards"]) == {"0", "1"}
+    assert merged["shards"]["0"]["completed"] == 0
