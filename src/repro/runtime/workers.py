@@ -216,6 +216,13 @@ class SharedArrayStore:
     :func:`attach_shared_array`.  Re-sharing identical content returns the
     cached descriptor without copying; the oldest blocks are unlinked once
     ``capacity`` distinct arrays are held.
+
+    ``share(..., pin=True)`` additionally takes a reference on the block
+    that exempts it from LRU eviction until a matching :meth:`release` — so
+    a block with an in-flight consumer can never be unlinked before the
+    consumer attaches, no matter how many other arrays are shared in
+    between.  Pinned blocks may hold the store above ``capacity``; the
+    excess is trimmed as pins are released.
     """
 
     def __init__(self, capacity: int = SHARED_ARRAY_CAPACITY):
@@ -224,11 +231,19 @@ class SharedArrayStore:
         self.capacity = capacity
         self._entries: dict[str, tuple[SharedMemory, dict]] = {}
         self._order: deque[str] = deque()
+        #: block name -> outstanding pin count (eviction exemptions).
+        self._pins: dict[str, int] = {}
         #: Distinct arrays shared since construction (monotonic counter).
         self.arrays_shared = 0
 
-    def share(self, array: np.ndarray) -> dict:
-        """Expose ``array`` via shared memory (content-addressed, cached)."""
+    def share(self, array: np.ndarray, pin: bool = False) -> dict:
+        """Expose ``array`` via shared memory (content-addressed, cached).
+
+        With ``pin=True`` the returned block is protected from eviction
+        until :meth:`release` is called with its name; each pinned share
+        takes one reference, so concurrent consumers of identical content
+        each release independently.
+        """
         array = np.ascontiguousarray(array)
         digest = hashlib.blake2b(
             array.tobytes() + str(array.dtype).encode() + str(array.shape).encode(),
@@ -236,6 +251,9 @@ class SharedArrayStore:
         ).hexdigest()
         cached = self._entries.get(digest)
         if cached is not None:
+            if pin:
+                name = cached[1]["name"]
+                self._pins[name] = self._pins.get(name, 0) + 1
             return cached[1]
         block = SharedMemory(create=True, size=max(1, array.nbytes))
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
@@ -247,12 +265,39 @@ class SharedArrayStore:
         }
         self._entries[digest] = (block, meta)
         self._order.append(digest)
+        if pin:
+            self._pins[block.name] = 1
         self.arrays_shared += 1
+        self._trim()
+        return meta
+
+    def release(self, name: Optional[str]) -> None:
+        """Drop one pin on the named block (no-op for unknown names)."""
+        count = self._pins.get(name)
+        if count is None:
+            return
+        if count <= 1:
+            del self._pins[name]
+            self._trim()
+        else:
+            self._pins[name] = count - 1
+
+    def _trim(self) -> None:
+        """Unlink oldest unpinned blocks until within capacity."""
         while len(self._order) > self.capacity:
-            evicted = self._order.popleft()
+            evicted = next(
+                (
+                    digest
+                    for digest in self._order
+                    if self._entries[digest][1]["name"] not in self._pins
+                ),
+                None,
+            )
+            if evicted is None:
+                return  # every block has an in-flight consumer; stay over
+            self._order.remove(evicted)
             old_block, _ = self._entries.pop(evicted)
             self._unlink(old_block)
-        return meta
 
     def names(self) -> list[str]:
         """Names of the shared-memory blocks the store currently owns."""
@@ -275,6 +320,7 @@ class SharedArrayStore:
             self._unlink(block)
         self._entries.clear()
         self._order.clear()
+        self._pins.clear()
 
 
 @dataclass

@@ -26,6 +26,7 @@ Two arrival disciplines are supported:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -185,6 +186,22 @@ class LoadGenerator:
         drift_cursor = 0
         swaps: list[SwapReport] = []
         done_at: list[Optional[float]] = [None] * num_requests
+        # future.result() returning does NOT guarantee its done-callback has
+        # run (CPython notifies waiters before invoking callbacks), so the
+        # callbacks count themselves down and the main thread waits on the
+        # event before reading done_at.
+        stamps_pending = num_requests
+        stamps_lock = threading.Lock()
+        all_stamped = threading.Event()
+
+        def _stamp(completed_future, index):
+            nonlocal stamps_pending
+            done_at[index] = time.perf_counter()
+            with stamps_lock:
+                stamps_pending -= 1
+                if stamps_pending == 0:
+                    all_stamped.set()
+
         futures = []
         submit_lags = np.zeros(num_requests)
         started = time.perf_counter()
@@ -201,11 +218,11 @@ class LoadGenerator:
                 0.0, (time.perf_counter() - started) - schedule[index]
             )
             future = self.service.predict_async(name, sample)
-
-            def _stamp(completed_future, index=index):
-                done_at[index] = time.perf_counter()
-
-            future.add_done_callback(_stamp)
+            future.add_done_callback(
+                lambda completed_future, index=index: _stamp(
+                    completed_future, index
+                )
+            )
             futures.append(future)
             if (
                 observe_every
@@ -220,8 +237,12 @@ class LoadGenerator:
                     )
         results = [future.result(timeout=timeout) for future in futures]
         duration = time.perf_counter() - started
-        # Latency from *scheduled arrival* (the open-loop convention); the
-        # done-callbacks have all fired because result() returned.
+        if not all_stamped.wait(timeout=max(timeout, 1.0)):
+            raise ServingError(
+                "open-loop run: completion stamps missing after all results "
+                "resolved (done-callbacks never fired)"
+            )
+        # Latency from *scheduled arrival* (the open-loop convention).
         latencies = np.array(
             [done_at[i] - started - schedule[i] for i in range(num_requests)]
         )

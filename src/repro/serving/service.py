@@ -299,7 +299,11 @@ class ShardedInferenceService:
         )
         self.num_shards = num_shards
         self._deployments: dict[str, dict] = {}
-        self._model_bytes: dict[int, tuple[bytes, str]] = {}  # id(model) -> payload
+        # id(model) -> (model, pickled bytes, digest).  The model object is
+        # retained in the tuple so its id stays pinned for the cache's
+        # lifetime — otherwise CPython could reuse a freed model's id for a
+        # different model and deploy() would ship the wrong bytes.
+        self._model_bytes: dict[int, tuple[object, bytes, str]] = {}
         self._sequence = itertools.count()
         self._groups: dict[str, list[_FrontRequest]] = {}
         self._timers: dict[str, object] = {}
@@ -334,11 +338,11 @@ class ShardedInferenceService:
         """
         self.supervisor.start()
         cached = self._model_bytes.get(id(model))
-        if cached is None:
+        if cached is None or cached[0] is not model:
             model_bytes = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
-            cached = (model_bytes, model_payload_digest(model_bytes))
+            cached = (model, model_bytes, model_payload_digest(model_bytes))
             self._model_bytes[id(model)] = cached
-        model_bytes, digest = cached
+        _, model_bytes, digest = cached
         shard_id = self.route(name)
         payload = {
             "op": "deploy",
@@ -438,15 +442,26 @@ class ShardedInferenceService:
         group = self._groups.pop(name, None)
         if not group:
             return
-        window = np.stack([request.features for request in group])
-        if window.nbytes >= INLINE_WINDOW_BYTES:
-            features = self.supervisor.share_window(window)
-        else:
-            features = window
+        try:
+            # np.stack raises on mixed-length feature vectors for one name;
+            # fail the whole group instead of leaving its futures unresolved
+            # (the event-loop callback would otherwise swallow the error).
+            window = np.stack([request.features for request in group])
+            if window.nbytes >= INLINE_WINDOW_BYTES:
+                features = self.supervisor.share_window(window)
+            else:
+                features = window
+        except Exception as error:
+            for request in group:
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+            return
         payload = {"op": "predict", "name": name, "features": features}
         try:
             batch_future = self.supervisor.submit(self.route(name), payload)
         except Exception as error:
+            if isinstance(features, dict):
+                self.supervisor.release_window(features)
             for request in group:
                 if not request.future.cancelled():
                     request.future.set_exception(error)
@@ -621,6 +636,7 @@ class ShardedInferenceService:
                 "messages_completed": self.supervisor.stats.messages_completed,
                 "messages_resubmitted": self.supervisor.stats.messages_resubmitted,
                 "state_ops_replayed": self.supervisor.stats.state_ops_replayed,
+                "state_ops_quarantined": self.supervisor.stats.state_ops_quarantined,
                 "models_shipped": self.supervisor.stats.models_shipped,
                 "restarts": {
                     str(sid): count

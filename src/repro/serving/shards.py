@@ -45,6 +45,7 @@ client already observes from ordinary swap timing.
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import threading
 import time
@@ -52,6 +53,7 @@ from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from multiprocessing import get_context
+from multiprocessing.connection import wait as _wait_readers
 from typing import Optional
 
 import numpy as np
@@ -205,11 +207,39 @@ class ShardHandler:
 #: Ops that mutate shard registry state and must be replayed on restart.
 _STATE_OPS = frozenset({"deploy", "observe", "rollback"})
 
+_logger = logging.getLogger(__name__)
+
+
+class _StateLogEntry:
+    """One state-mutating payload retained for crash replay.
+
+    ``attempts`` counts how many times the shard died while this entry was
+    in flight (originally or as a replay); once it reaches
+    :data:`MAX_MESSAGE_ATTEMPTS` the entry is quarantined — skipped by
+    every subsequent replay — so a poison deploy cannot crash-loop the
+    shard forever.
+    """
+
+    __slots__ = ("payload", "attempts", "quarantined")
+
+    def __init__(self, payload: dict):
+        self.payload = payload
+        self.attempts = 0
+        self.quarantined = False
+
 
 class _Envelope:
     """One shipped message: payload, resolution future, delivery bookkeeping."""
 
-    __slots__ = ("task_id", "payload", "future", "state_op", "replay", "attempts")
+    __slots__ = (
+        "task_id",
+        "payload",
+        "future",
+        "state_op",
+        "replay",
+        "attempts",
+        "log_entry",
+    )
 
     def __init__(self, task_id: int, payload: dict, future: Future, replay: bool = False):
         self.task_id = task_id
@@ -220,6 +250,8 @@ class _Envelope:
         #: restart; dropped (and regenerated again) if the shard dies twice.
         self.replay = replay
         self.attempts = 1
+        #: The state-log entry this envelope applies (state ops only).
+        self.log_entry: Optional[_StateLogEntry] = None
 
 
 class _ShardHandle:
@@ -229,6 +261,7 @@ class _ShardHandle:
         "shard_id",
         "process",
         "inbox",
+        "outbox",
         "known_models",
         "state_log",
         "in_flight",
@@ -239,9 +272,15 @@ class _ShardHandle:
         self.shard_id = shard_id
         self.process = None
         self.inbox = None
+        #: Per-shard reply queue.  Each shard owns its own channel (and the
+        #: channel dies with the shard) so a crashing process can never
+        #: poison a lock or pipe another shard's replies depend on — a
+        #: single shared reply queue deadlocks the fleet when one child
+        #: dies holding the queue's write lock.
+        self.outbox = None
         self.known_models: set[str] = set()
-        #: Ordered payloads of every state-mutating op ever shipped.
-        self.state_log: list[dict] = []
+        #: Ordered entries of every state-mutating op ever shipped.
+        self.state_log: list[_StateLogEntry] = []
         #: task_id -> _Envelope of every unanswered message, ship order.
         self.in_flight: "OrderedDict[int, _Envelope]" = OrderedDict()
         self.restarts = 0
@@ -256,6 +295,7 @@ class SupervisorStats:
     messages_completed: int = 0
     messages_resubmitted: int = 0
     state_ops_replayed: int = 0
+    state_ops_quarantined: int = 0
     models_shipped: int = 0
     windows_shared: int = 0
 
@@ -282,7 +322,6 @@ class ShardSupervisor:
         self.poll_seconds = poll_seconds
         self.stats = SupervisorStats()
         self._context = get_context("spawn")
-        self._outbox = self._context.Queue()
         self._store = SharedArrayStore()
         self._shards: dict[int, _ShardHandle] = {
             shard_id: _ShardHandle(shard_id) for shard_id in range(num_shards)
@@ -313,9 +352,13 @@ class ShardSupervisor:
         return self
 
     def _spawn(self, handle: _ShardHandle) -> None:
+        # SimpleQueue: replies are written synchronously from the shard's
+        # main thread (no feeder), so a crash in handler code can never
+        # interleave with a half-written reply frame.
+        handle.outbox = self._context.SimpleQueue()
         handle.process, handle.inbox = spawn_actor(
             self._context,
-            self._outbox,
+            handle.outbox,
             ShardHandler,
             {"shard_id": handle.shard_id, "policy": self.policy},
             name=f"repro-shard-{handle.shard_id}",
@@ -358,16 +401,36 @@ class ShardSupervisor:
             self._task_counter += 1
             envelope = _Envelope(self._task_counter, payload, Future())
             if envelope.state_op:
-                handle.state_log.append(payload)
+                entry = _StateLogEntry(payload)
+                envelope.log_entry = entry
+                handle.state_log.append(entry)
             self._ship(handle, envelope)
             return envelope.future
 
     def share_window(self, window: np.ndarray) -> dict:
-        """Expose a large request window via the content-addressed store."""
+        """Expose a large request window via the content-addressed store.
+
+        The block is pinned against LRU eviction until the window's message
+        resolves (the supervisor releases the pin in :meth:`_resolve`, the
+        give-up path, and on close) — so no matter how many distinct
+        windows are in flight, a shard can never find its block unlinked.
+        """
         with self._lock:
-            meta = self._store.share(window)
+            meta = self._store.share(window, pin=True)
             self.stats.windows_shared += 1
             return meta
+
+    def release_window(self, meta: dict) -> None:
+        """Drop the pin :meth:`share_window` took (callers that never
+        submitted the window must release it themselves)."""
+        with self._lock:
+            self._store.release(meta.get("name"))
+
+    def _release_window_pin(self, envelope: _Envelope) -> None:
+        """Unpin a predict envelope's shared window (lock held)."""
+        features = envelope.payload.get("features")
+        if isinstance(features, dict):
+            self._store.release(features.get("name"))
 
     def _ship(self, handle: _ShardHandle, envelope: _Envelope) -> None:
         """Deliver one envelope (lock held), content-addressing model bytes."""
@@ -389,13 +452,33 @@ class ShardSupervisor:
     def _collect_loop(self) -> None:
         last_health_check = time.monotonic()
         while not self._closed:
+            with self._lock:
+                outboxes = [
+                    handle.outbox
+                    for handle in self._shards.values()
+                    if handle.outbox is not None
+                ]
+            replies = []
             try:
-                task_id, ok, value = self._outbox.get(timeout=self.poll_seconds)
-            except Exception:
-                task_id = None
+                ready = _wait_readers(
+                    [outbox._reader for outbox in outboxes],
+                    timeout=self.poll_seconds,
+                )
+            except OSError:  # an outbox was torn down mid-wait
+                ready = []
+            readers = {outbox._reader: outbox for outbox in outboxes}
+            for reader in ready:
+                outbox = readers.get(reader)
+                if outbox is None:
+                    continue
+                try:
+                    while not outbox.empty():
+                        replies.append(outbox.get())
+                except (EOFError, OSError):
+                    continue  # shard died mid-reply; recovery resubmits
             now = time.monotonic()
             with self._lock:
-                if task_id is not None:
+                for task_id, ok, value in replies:
                     self._resolve(task_id, ok, value)
                 if now - last_health_check >= self.poll_seconds:
                     last_health_check = now
@@ -409,6 +492,7 @@ class ShardSupervisor:
             return  # straggler from before a restart
         for handle in self._shards.values():
             handle.in_flight.pop(task_id, None)
+        self._release_window_pin(envelope)
         self.stats.messages_completed += 1
         if ok:
             envelope.future.set_result(value)
@@ -437,31 +521,76 @@ class ShardSupervisor:
         non-state messages are then resubmitted in their original order.
         In-flight state ops are resolved by their own replay envelope, so
         nothing is applied twice.
+
+        Every message in flight at crash time — state op or not — counts
+        one attempt; a state-log entry whose attempts reach
+        :data:`MAX_MESSAGE_ATTEMPTS` is quarantined (skipped by this and
+        every later replay, its caller's future failed) so one poison
+        deploy cannot crash-loop the shard forever.
         """
         try:
             handle.process.join(timeout=0)
         except Exception:
             pass
+        # Discard the dead shard's channels wholesale: anything unread in
+        # them is covered by state replay + envelope resubmission, and a
+        # fresh pair means nothing the dying process may have poisoned
+        # (locks, partial frames) survives into the restarted shard.
+        # cancel_join_thread, not join_thread: the inbox feeder may be
+        # blocked writing a window into the dead shard's full pipe.
+        if handle.inbox is not None:
+            try:
+                handle.inbox.cancel_join_thread()
+                handle.inbox.close()
+            except Exception:
+                pass
+        if handle.outbox is not None:
+            try:
+                handle.outbox.close()
+            except Exception:
+                pass
         old_in_flight = handle.in_flight
         handle.in_flight = OrderedDict()
         for envelope in old_in_flight.values():
             self._envelopes.pop(envelope.task_id, None)
+            # Any state op unanswered at crash time is a crash suspect,
+            # whether it was the caller's original ship or a replay.
+            if envelope.log_entry is not None:
+                envelope.log_entry.attempts += 1
         self._spawn(handle)
         handle.restarts += 1
         self.stats.shards_restarted += 1
 
-        # Map in-flight state-op payloads (by identity) to their envelopes
-        # so the replay resolves the caller's original future.
+        # Map in-flight state-log entries to their caller envelopes so the
+        # replay resolves the caller's original future.
         pending_state = {
-            id(envelope.payload): envelope
+            id(envelope.log_entry): envelope
             for envelope in old_in_flight.values()
-            if envelope.state_op and not envelope.replay
+            if envelope.log_entry is not None and not envelope.replay
         }
-        for payload in handle.state_log:
-            envelope = pending_state.get(id(payload))
+        for entry in handle.state_log:
+            if entry.quarantined:
+                continue
+            envelope = pending_state.get(id(entry))
+            if entry.attempts >= MAX_MESSAGE_ATTEMPTS:
+                entry.quarantined = True
+                self.stats.state_ops_quarantined += 1
+                error = ServingError(
+                    f"state op {entry.payload.get('op')!r} "
+                    f"(name={entry.payload.get('name')!r}) killed shard "
+                    f"{handle.shard_id} {entry.attempts} times; quarantined "
+                    "from replay — the shard restarts without it"
+                )
+                _logger.error("%s", error)
+                if envelope is not None:
+                    envelope.future.set_exception(error)
+                continue
             if envelope is None:
                 self._task_counter += 1
-                envelope = _Envelope(self._task_counter, payload, Future(), replay=True)
+                envelope = _Envelope(
+                    self._task_counter, entry.payload, Future(), replay=True
+                )
+                envelope.log_entry = entry
                 envelope.future.add_done_callback(self._check_replay)
             else:
                 envelope.attempts += 1
@@ -472,6 +601,7 @@ class ShardSupervisor:
                 continue  # replay envelopes are regenerated from the log
             envelope.attempts += 1
             if envelope.attempts > MAX_MESSAGE_ATTEMPTS:
+                self._release_window_pin(envelope)
                 envelope.future.set_exception(
                     ServingError(
                         f"message {envelope.payload.get('op')!r} killed shard "
@@ -487,9 +617,7 @@ class ShardSupervisor:
         """Surface a failed state replay loudly instead of swallowing it."""
         error = future.exception()
         if error is not None:  # pragma: no cover - defensive
-            import logging
-
-            logging.getLogger(__name__).error("shard state replay failed: %s", error)
+            _logger.error("shard state replay failed: %s", error)
 
     # ------------------------------------------------------------------
     # Ops hooks

@@ -163,6 +163,30 @@ def test_stats_merge_and_reset(sharded):
     assert cleared["telemetry"]["models"] == {}
 
 
+def test_deploy_cache_pins_the_model_object(sharded, bound_model):
+    """The payload cache must hold the model so its id cannot be recycled.
+
+    Keyed by ``id(model)`` alone, CPython could hand a freed model's id to
+    a different model and a later deploy would ship the wrong bytes; the
+    cached tuple therefore retains the model object itself.
+    """
+    cached = sharded._model_bytes[id(bound_model)]
+    assert cached[0] is bound_model
+
+
+def test_mixed_length_group_fails_fast_instead_of_hanging(sharded):
+    """Mixed feature lengths for one name fail the group, never hang it."""
+    good = sharded.predict_async("alpha", np.ones(6))
+    bad = sharded.predict_async("alpha", np.ones(5))
+    with pytest.raises((ValueError, ServingError)):
+        bad.result(timeout=30.0)
+    # The coalesced partner must also resolve (either way), never hang.
+    try:
+        good.result(timeout=30.0)
+    except (ValueError, ServingError):
+        pass
+
+
 def test_front_door_validation_errors(bound_model, history, features):
     """Bad requests fail fast, before any shard sees them."""
     with pytest.raises(ServingError):
