@@ -22,11 +22,12 @@ bench:
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/ -q -s
 
-## machine-readable benchmarks: BENCH_runtime.json + BENCH_compiler.json + BENCH_serving.json
+## machine-readable benchmarks: BENCH_runtime/compiler/serving/kernels.json
 bench-json:
 	REPRO_BENCH_JSON=BENCH_runtime.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_batched_evaluation.py -q -s
 	REPRO_BENCH_JSON=BENCH_compiler.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_compile_cache.py -q -s
 	REPRO_BENCH_JSON=BENCH_serving.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_serving_throughput.py benchmarks/test_sharded_serving.py -q -s
+	REPRO_BENCH_JSON=BENCH_kernels.json $(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_kernel_tier.py -q -s
 
 ## assert BENCH_*.json speedups against the committed floors (CI bench-gate)
 bench-gate:

@@ -1,0 +1,221 @@
+"""Benchmark: the fast kernel tier (PR 8).
+
+Three claims, each gated as a conservative floor in
+``benchmarks/bench_floors.json`` over the ``BENCH_kernels.json`` artifact:
+
+* **float32 density walk** — the multi-day noisy sweep (the Fig. 2 inner
+  loop) run on a ``dtype="float32"`` engine vs the float64 reference.
+  Single precision halves the bytes every BLAS contraction moves, so the
+  walk must get faster, not just stay equal.
+* **fully batched training step** — one ``loss_and_gradient_batch`` call
+  over a minibatch vs the per-sample loop (one encode + forward/backward
+  per sample).  The batched step shares one encode, one ``execute_batch``
+  forward and one stacked adjoint sweep.
+* **cross-path fusion** — plan-level gate-count reduction of the wider
+  fusion sweep (``fusion_width=3``) on the paper ansatz.  This one is a
+  deterministic plan statistic, not a timing.
+
+Set ``REPRO_BENCH_JSON=<path>`` (``make bench-json`` does) to persist the
+measurements for the CI bench gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.calibration import generate_belem_history
+from repro.circuits import build_qucad_ansatz
+from repro.datasets import load_mnist4
+from repro.qnn import QNNModel
+from repro.simulator import (
+    DensityMatrixBackend,
+    NoiseModel,
+    SimulationEngine,
+    StatevectorBackend,
+    build_fusion_plan,
+)
+from repro.transpiler import belem_coupling
+
+NUM_SAMPLES = 16
+NUM_DAYS = 12
+BATCH_SIZE = 16
+ROUNDS = 5  # best-of-N to shrug off scheduler noise
+
+
+def _best_of_each(*fns):
+    """Best-of-``ROUNDS`` timings, interleaving the candidates."""
+    best = [float("inf")] * len(fns)
+    for _ in range(ROUNDS):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def _maybe_write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    existing = {}
+    if os.path.isfile(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    existing["created_at"] = time.time()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"  wrote {path}")
+
+
+def _noisy_workload():
+    rng = np.random.default_rng(0)
+    history = generate_belem_history(NUM_DAYS, seed=12)
+    model = QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=2, seed=9)
+    model.bind_to_device(belem_coupling(), calibration=history[0])
+    dataset = load_mnist4(num_samples=NUM_SAMPLES * 5, seed=5)
+    features = dataset.test_features[:NUM_SAMPLES]
+    noise_models = [NoiseModel.from_calibration(s) for s in history]
+    parameters = rng.uniform(-np.pi, np.pi, model.num_parameters)
+    return model, features, noise_models, parameters
+
+
+def test_float32_density_walk_speedup():
+    """Multi-day density sweep: float32 engine vs the float64 reference."""
+    model, features, noise_models, parameters = _noisy_workload()
+    exact_backend = DensityMatrixBackend(engine=SimulationEngine())
+    fast_backend = DensityMatrixBackend(engine=SimulationEngine(dtype="float32"))
+    parameter_sets = [parameters] * NUM_DAYS
+
+    def float64_sweep():
+        return model.noisy_expectations_batch(
+            features, noise_models, parameter_sets=parameter_sets,
+            backend=exact_backend,
+        )
+
+    def float32_sweep():
+        return model.noisy_expectations_batch(
+            features, noise_models, parameter_sets=parameter_sets,
+            backend=fast_backend,
+        )
+
+    exact = float64_sweep()
+    fast = float32_sweep()
+    # The fast tier is only admissible inside its tolerance band.
+    np.testing.assert_allclose(fast, exact, atol=5e-4)
+
+    exact_seconds, fast_seconds = _best_of_each(float64_sweep, float32_sweep)
+    speedup = exact_seconds / fast_seconds
+    print(
+        f"\nFloat32 density walk — {NUM_DAYS} days x {NUM_SAMPLES} samples\n"
+        f"  float64 sweep     {exact_seconds * 1000:8.1f} ms\n"
+        f"  float32 sweep     {fast_seconds * 1000:8.1f} ms\n"
+        f"  speedup           {speedup:8.2f} x"
+    )
+    _maybe_write_json(
+        {
+            "float32": {
+                "days": NUM_DAYS,
+                "samples": NUM_SAMPLES,
+                "float64_ms": exact_seconds * 1000,
+                "float32_ms": fast_seconds * 1000,
+                "density_speedup": speedup,
+            }
+        }
+    )
+    # The committed BENCH_kernels.json floor holds the stronger line; the
+    # in-test bar only guards against the tier going *slower* than double
+    # precision under shared-host noise.
+    assert speedup >= 1.0, f"float32 tier slower than float64: {speedup:.2f}x"
+
+
+def test_batched_training_step_speedup():
+    """One optimiser step: batched loss/gradient vs the per-sample loop."""
+    dataset = load_mnist4(num_samples=BATCH_SIZE * 5, seed=5)
+    features = dataset.train_features[:BATCH_SIZE]
+    labels = dataset.train_labels[:BATCH_SIZE]
+    model = QNNModel.create(num_qubits=4, num_features=16, num_classes=4, repeats=2, seed=9)
+    backend = StatevectorBackend(engine=SimulationEngine())
+
+    def per_sample_loop():
+        gradients = []
+        losses = []
+        for index in range(features.shape[0]):
+            loss_value, gradient = model.loss_and_gradient(
+                features[index : index + 1],
+                labels[index : index + 1],
+                backend=backend,
+            )
+            losses.append(loss_value)
+            gradients.append(gradient)
+        return float(np.mean(losses)), np.mean(gradients, axis=0)
+
+    def batched_step():
+        [(loss_value, gradient)] = model.loss_and_gradient_batch(
+            features, labels, [None], backend=backend
+        )
+        return loss_value, gradient
+
+    loop_loss, loop_gradient = per_sample_loop()
+    batched_loss, batched_gradient = batched_step()
+    # The batched step *is* the minibatch objective; the per-sample loop
+    # averages the same per-sample terms in a different order.
+    np.testing.assert_allclose(batched_loss, loop_loss, atol=1e-12)
+    np.testing.assert_allclose(batched_gradient, loop_gradient, atol=1e-12)
+
+    loop_seconds, batched_seconds = _best_of_each(per_sample_loop, batched_step)
+    speedup = loop_seconds / batched_seconds
+    print(
+        f"\nBatched training step — minibatch of {BATCH_SIZE}\n"
+        f"  per-sample loop   {loop_seconds * 1000:8.1f} ms\n"
+        f"  batched step      {batched_seconds * 1000:8.1f} ms\n"
+        f"  speedup           {speedup:8.2f} x"
+    )
+    _maybe_write_json(
+        {
+            "training": {
+                "batch_size": BATCH_SIZE,
+                "per_sample_loop_ms": loop_seconds * 1000,
+                "batched_step_ms": batched_seconds * 1000,
+                "batched_step_speedup": speedup,
+            }
+        }
+    )
+    assert speedup >= 1.5, f"batched step regressed: {speedup:.2f}x vs loop"
+
+
+def test_cross_path_fusion_block_reduction():
+    """Wider fusion must strictly shrink the paper ansatz's plans."""
+    reductions = {}
+    for num_qubits, repeats in [(4, 2), (5, 2)]:
+        ansatz = build_qucad_ansatz(num_qubits, repeats=repeats)
+        narrow = build_fusion_plan(ansatz, max_width=2)
+        wide = build_fusion_plan(ansatz, max_width=3)
+        reductions[f"q{num_qubits}_r{repeats}"] = {
+            "narrow_blocks": narrow.fused_gate_count,
+            "wide_blocks": wide.fused_gate_count,
+            "reduction": narrow.fused_gate_count / wide.fused_gate_count,
+        }
+    worst = min(entry["reduction"] for entry in reductions.values())
+    print("\nCross-path fusion — fused blocks at width 2 vs width 3")
+    for name, entry in reductions.items():
+        print(
+            f"  {name:<8} {entry['narrow_blocks']:>3} -> {entry['wide_blocks']:>3} "
+            f"({entry['reduction']:.2f}x)"
+        )
+    _maybe_write_json(
+        {
+            "fusion": {
+                "plans": reductions,
+                "block_reduction": worst,
+            }
+        }
+    )
+    assert worst >= 1.05, f"cross-path fusion stopped shrinking plans: {worst:.2f}x"

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Optional
@@ -288,6 +289,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", dest="json_path", default=None, help="write the summary as JSON here"
     )
+    parser.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default=None,
+        help="simulation precision tier: float64 (bit-exact default) or "
+        "float32 (fast tier; complex64 fused matrices and walks)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help="statevector kernel suite (numpy is always available; numba "
+        "auto-registers when importable)",
+    )
+    parser.add_argument(
+        "--fusion-width",
+        type=int,
+        default=None,
+        help="max fused-block width; 3+ folds diagonal/monomial gates "
+        "across fast-path boundaries (default: 2)",
+    )
     serving = parser.add_argument_group("serving (serve experiment only)")
     serving.add_argument(
         "--requests",
@@ -408,6 +429,25 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"--{option.replace('_', '-')} does not apply to "
                 f"experiment {args.name!r}"
             )
+    if args.dtype is not None or args.kernel is not None or args.fusion_width is not None:
+        # Publish the fast-tier knobs through the environment *and* rebuild
+        # the default engine: the env vars make spawned pool workers and
+        # shard children inherit the same tier, while the rebuilt default
+        # engine serves every in-process simulation.
+        from repro.simulator import SimulationEngine, set_default_engine
+        from repro.simulator.engine import (
+            DTYPE_ENV_VAR,
+            FUSION_WIDTH_ENV_VAR,
+            KERNEL_ENV_VAR,
+        )
+
+        if args.dtype is not None:
+            os.environ[DTYPE_ENV_VAR] = args.dtype
+        if args.kernel is not None:
+            os.environ[KERNEL_ENV_VAR] = args.kernel
+        if args.fusion_width is not None:
+            os.environ[FUSION_WIDTH_ENV_VAR] = str(args.fusion_width)
+        set_default_engine(SimulationEngine())
     scale = SCALES[args.scale]
     runner = ExperimentRunner(
         mode=args.runner_mode or "thread",

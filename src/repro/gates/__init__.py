@@ -2,9 +2,12 @@
 
 from repro.gates.gate import (
     CONTROLLED_ROTATION_GATES,
+    CROSS_PATH_GATES,
+    DIAGONAL_GATES,
     GATE_REGISTRY,
     Gate,
     GateSpec,
+    MONOMIAL_GATES,
     PARAMETRIC_GATES,
     ROTATION_GATES,
 )
@@ -16,6 +19,9 @@ __all__ = [
     "GATE_REGISTRY",
     "ROTATION_GATES",
     "CONTROLLED_ROTATION_GATES",
+    "CROSS_PATH_GATES",
+    "DIAGONAL_GATES",
+    "MONOMIAL_GATES",
     "PARAMETRIC_GATES",
     "matrices",
 ]

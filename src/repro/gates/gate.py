@@ -92,6 +92,23 @@ CONTROLLED_ROTATION_GATES = frozenset({"crx", "cry", "crz", "cp"})
 #: Names of all parametric gates.
 PARAMETRIC_GATES = ROTATION_GATES | CONTROLLED_ROTATION_GATES | {"rzz"}
 
+#: Gates whose matrix is diagonal for *every* parameter value.  These take
+#: the one-pass phase path of the density walk, and the fusion sweep may
+#: fold them across a dense block boundary (see
+#: :func:`repro.simulator.engine.build_fusion_plan` with ``max_width > 2``).
+DIAGONAL_GATES = frozenset(
+    {"id", "z", "s", "sdg", "t", "tdg", "rz", "p", "cz", "crz", "cp", "rzz"}
+)
+
+#: Gates whose matrix is monomial (exactly one entry per row/column) for
+#: every parameter value — the gather fast path of the density walk.
+MONOMIAL_GATES = frozenset({"x", "y", "cx", "cy", "swap"})
+
+#: Gates the widened fusion sweep may absorb across an open dense block:
+#: structurally diagonal or monomial, so folding them into a wider fused
+#: matrix is what turns a dense–diagonal–dense sandwich into one block.
+CROSS_PATH_GATES = DIAGONAL_GATES | MONOMIAL_GATES
+
 
 @dataclass(frozen=True)
 class Gate:

@@ -11,10 +11,13 @@ from repro.qnn.evaluation import (
 )
 from repro.qnn.gradients import (
     adjoint_gradient,
+    adjoint_gradient_batch,
+    clear_z_diagonal_cache,
     finite_difference_gradient,
     parameter_shift_gradient,
     shift_rules_for_circuit,
     z_diagonal,
+    z_diagonal_cache_info,
 )
 from repro.qnn.loss import accuracy, cross_entropy_loss, get_loss, mse_loss, one_hot, softmax
 from repro.qnn.model import QNNModel
@@ -37,10 +40,13 @@ __all__ = [
     "accuracy_over_days",
     "DEFAULT_BATCH_BYTES",
     "adjoint_gradient",
+    "adjoint_gradient_batch",
+    "clear_z_diagonal_cache",
     "parameter_shift_gradient",
     "finite_difference_gradient",
     "shift_rules_for_circuit",
     "z_diagonal",
+    "z_diagonal_cache_info",
     "accuracy",
     "cross_entropy_loss",
     "mse_loss",

@@ -160,6 +160,7 @@ class AngleEncoder:
         for op in self.operations():
             qubit = op.logical_qubit if qubit_mapping is None else qubit_mapping[op.logical_qubit]
             stack = _feature_rotation_stack(op.gate, angles[:, op.feature_index])
+            stack = stack.astype(rho.dtype, copy=False)
             rho = ops.apply_unitary_density(
                 rho, np.tile(stack, (groups, 1, 1)), [qubit], num_qubits
             )

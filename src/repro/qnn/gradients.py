@@ -78,23 +78,29 @@ def adjoint_gradient(
 
     parameters = np.asarray(parameters, dtype=float)
     engine = engine if engine is not None else default_engine()
+    complex_dtype = getattr(engine, "complex_dtype", np.dtype(np.complex128))
     num_qubits = circuit.num_qubits
     if initial_states.shape[0] != observable_diagonals.shape[0]:
         raise TrainingError("initial_states and observable_diagonals batch mismatch")
 
     if final_states is None:
-        states = np.array(initial_states, dtype=complex, copy=True)
+        states = np.array(initial_states, dtype=complex_dtype, copy=True)
         program = engine.compile(circuit, parameters)
         states = ops.apply_fused_statevector(states, program.operations, num_qubits)
         final_states = states.copy()
     else:
-        final_states = np.asarray(final_states, dtype=complex)
+        final_states = np.asarray(final_states, dtype=complex_dtype)
         if final_states.shape != initial_states.shape:
             raise TrainingError("final_states and initial_states shape mismatch")
         states = final_states
 
     bound = engine.bound_circuit(circuit, parameters)
     gradient = np.zeros(circuit.num_parameters, dtype=float)
+    # Cast the (real) diagonals to the states' precision so a complex64
+    # sweep never upcasts; bit-identical at the float64 default.
+    observable_diagonals = np.asarray(observable_diagonals).astype(
+        states.real.dtype, copy=False
+    )
     lam = observable_diagonals * states  # D_b |psi_b>
     psi = states
     for index in range(len(bound.gates) - 1, -1, -1):
@@ -110,6 +116,114 @@ def adjoint_gradient(
     return gradient, final_states
 
 
+def adjoint_gradient_batch(
+    circuit: QuantumCircuit,
+    parameter_sets: Sequence[np.ndarray],
+    initial_states: np.ndarray,
+    observable_diagonals: np.ndarray,
+    engine: Optional["SimulationEngine"] = None,
+    final_states: Optional[Sequence[np.ndarray]] = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Adjoint gradients for many parameter bindings in one backward sweep.
+
+    The per-binding states are flattened into one ``(groups * batch, dim)``
+    super-batch so each gate's dagger (and derivative) is applied once across
+    every binding.  When all bindings resolve to the same cached bound
+    circuit — the trainer's regime, where one parameter vector drives the
+    whole minibatch — the shared 2-D matrices broadcast over the super-batch;
+    otherwise per-binding matrix stacks are used.  Either way each binding's
+    overlap sums run over its own contiguous slice, so the result is
+    bit-identical to calling :func:`adjoint_gradient` once per binding.
+
+    ``initial_states`` may be one shared ``(batch, dim)`` array or a
+    ``(groups, batch, dim)`` stack; ``observable_diagonals`` likewise.
+    ``final_states``, when provided, is a per-binding sequence of evolved
+    states.  Returns one ``(gradient, final_states)`` pair per binding,
+    matching :func:`adjoint_gradient`.
+    """
+    from repro.simulator.engine import default_engine
+
+    engine = engine if engine is not None else default_engine()
+    complex_dtype = getattr(engine, "complex_dtype", np.dtype(np.complex128))
+    num_qubits = circuit.num_qubits
+    groups = len(parameter_sets)
+    if groups == 0:
+        return []
+    params_list = [np.asarray(p, dtype=float) for p in parameter_sets]
+
+    initial = np.asarray(initial_states)
+    initial_list = [initial] * groups if initial.ndim == 2 else list(initial)
+    diagonals = np.asarray(observable_diagonals)
+    diag_list = [diagonals] * groups if diagonals.ndim == 2 else list(diagonals)
+    if len(initial_list) != groups or len(diag_list) != groups:
+        raise TrainingError(
+            "adjoint_gradient_batch: initial_states / observable_diagonals "
+            "group counts do not match parameter_sets"
+        )
+    batch = initial_list[0].shape[0]
+    for init, diag in zip(initial_list, diag_list):
+        if init.shape[0] != batch or diag.shape[0] != batch:
+            raise TrainingError("adjoint_gradient_batch: ragged batch shapes")
+
+    if final_states is None:
+        finals = []
+        for params, init in zip(params_list, initial_list):
+            states = np.array(init, dtype=complex_dtype, copy=True)
+            program = engine.compile(circuit, params)
+            finals.append(
+                ops.apply_fused_statevector(states, program.operations, num_qubits)
+            )
+    else:
+        finals = [np.asarray(f, dtype=complex_dtype) for f in final_states]
+        if len(finals) != groups:
+            raise TrainingError(
+                "adjoint_gradient_batch: final_states group count mismatch"
+            )
+
+    bounds = [engine.bound_circuit(circuit, params) for params in params_list]
+    reference = bounds[0]
+    # The engine's LRU returns one object per (structure, binding) digest, so
+    # identity detects the shared-binding regime without array comparisons.
+    shared = all(b is reference for b in bounds[1:])
+
+    real_dtype = finals[0].real.dtype
+    lam = np.concatenate(
+        [
+            np.asarray(d).astype(real_dtype, copy=False) * s
+            for d, s in zip(diag_list, finals)
+        ],
+        axis=0,
+    )
+    psi = np.concatenate(finals, axis=0)
+    gradients = [np.zeros(circuit.num_parameters, dtype=float) for _ in range(groups)]
+    for index in range(len(reference.gates) - 1, -1, -1):
+        record = reference.gates[index]
+        gate = record.gate
+        if shared:
+            dagger = record.dagger
+        else:
+            dagger = np.repeat(
+                np.stack([b.gates[index].dagger for b in bounds]), batch, axis=0
+            )
+        psi = ops.apply_unitary_statevector(psi, dagger, record.qubits, num_qubits)
+        if gate.param_ref is not None and gate.trainable:
+            if shared:
+                derivative = reference.derivative(index)
+            else:
+                derivative = np.repeat(
+                    np.stack([b.derivative(index) for b in bounds]), batch, axis=0
+                )
+            d_psi = ops.apply_unitary_statevector(
+                psi, derivative, record.qubits, num_qubits
+            )
+            product = lam.conj() * d_psi
+            for group in range(groups):
+                overlap = np.sum(product[group * batch : (group + 1) * batch])
+                gradients[group][gate.param_ref] += 2.0 * float(np.real(overlap))
+        lam = ops.apply_unitary_statevector(lam, dagger, record.qubits, num_qubits)
+    return list(zip(gradients, finals))
+
+
 def expectation_from_diagonals(
     states: np.ndarray, observable_diagonals: np.ndarray
 ) -> float:
@@ -118,11 +232,45 @@ def expectation_from_diagonals(
     return float(np.sum(probabilities * observable_diagonals))
 
 
+# Observable diagonals depend only on (qubit, num_qubits) yet were rebuilt on
+# every gradient call; the cache returns read-only arrays so one shared copy
+# is safe across callers.  ``builds`` counts cache misses for the regression
+# test pinning the memoisation.
+_Z_DIAGONAL_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_Z_DIAGONAL_BUILDS = 0
+_Z_DIAGONAL_MAX_ENTRIES = 512
+
+
 def z_diagonal(qubit: int, num_qubits: int) -> np.ndarray:
-    """Diagonal of the Pauli-Z observable on ``qubit`` (big-endian indexing)."""
-    indices = np.arange(2**num_qubits)
-    bits = (indices >> (num_qubits - 1 - qubit)) & 1
-    return 1.0 - 2.0 * bits
+    """Diagonal of the Pauli-Z observable on ``qubit`` (big-endian indexing).
+
+    Memoised per ``(qubit, num_qubits)``; the returned array is read-only.
+    """
+    global _Z_DIAGONAL_BUILDS
+    key = (int(qubit), int(num_qubits))
+    cached = _Z_DIAGONAL_CACHE.get(key)
+    if cached is None:
+        indices = np.arange(2**num_qubits)
+        bits = (indices >> (num_qubits - 1 - qubit)) & 1
+        cached = 1.0 - 2.0 * bits
+        cached.setflags(write=False)
+        if len(_Z_DIAGONAL_CACHE) >= _Z_DIAGONAL_MAX_ENTRIES:
+            _Z_DIAGONAL_CACHE.clear()
+        _Z_DIAGONAL_CACHE[key] = cached
+        _Z_DIAGONAL_BUILDS += 1
+    return cached
+
+
+def z_diagonal_cache_info() -> dict[str, int]:
+    """Cache counters: ``entries`` currently held, ``builds`` since reset."""
+    return {"entries": len(_Z_DIAGONAL_CACHE), "builds": _Z_DIAGONAL_BUILDS}
+
+
+def clear_z_diagonal_cache() -> None:
+    """Drop every cached diagonal and reset the build counter (for tests)."""
+    global _Z_DIAGONAL_BUILDS
+    _Z_DIAGONAL_CACHE.clear()
+    _Z_DIAGONAL_BUILDS = 0
 
 
 def shift_rules_for_circuit(circuit: QuantumCircuit) -> list[str]:

@@ -26,7 +26,7 @@ import numpy as np
 from repro.circuits import QuantumCircuit, build_qucad_ansatz
 from repro.exceptions import TrainingError
 from repro.qnn.encoding import AngleEncoder
-from repro.qnn.gradients import adjoint_gradient, z_diagonal
+from repro.qnn.gradients import adjoint_gradient, adjoint_gradient_batch, z_diagonal
 from repro.qnn.loss import get_loss
 from repro.simulator import (
     Backend,
@@ -249,6 +249,7 @@ class QNNModel:
         features: np.ndarray,
         parameters: Optional[np.ndarray] = None,
         backend: Optional[Backend] = None,
+        initial_states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Noise-free Z expectations of the readout qubits.
 
@@ -256,13 +257,18 @@ class QNNModel:
         compiled once per (structure, parameters) pair and reused across
         calls, so evaluating many data batches at fixed parameters — the
         dominant workload of the online phase — costs only the fused matrix
-        applications.
+        applications.  ``initial_states`` skips the encoding step when the
+        caller already holds the encoded states (the trainer pre-encodes the
+        dataset once per ``train`` call); encoding is per-sample, so a
+        row-slice of a previously encoded set is bit-identical to encoding
+        the slice.
         """
         parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
         backend = backend if backend is not None else default_statevector_backend()
-        simulator = backend.simulator(self.num_qubits)
-        initial = self.encoder.encode_statevectors(features, simulator)
-        result = backend.execute(self.ansatz, initial, parameters=parameters)
+        if initial_states is None:
+            simulator = backend.simulator(self.num_qubits)
+            initial_states = self.encoder.encode_statevectors(features, simulator)
+        result = backend.execute(self.ansatz, initial_states, parameters=parameters)
         return result.expectation_z(self.readout_qubits)
 
     def forward_ideal(
@@ -270,10 +276,11 @@ class QNNModel:
         features: np.ndarray,
         parameters: Optional[np.ndarray] = None,
         backend: Optional[Backend] = None,
+        initial_states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Noise-free class logits."""
         return self.logit_scale * self.ideal_expectations(
-            features, parameters, backend=backend
+            features, parameters, backend=backend, initial_states=initial_states
         )
 
     def _normalize_parameter_sets(
@@ -465,6 +472,7 @@ class QNNModel:
         noise_injector=None,
         rng: Optional[np.random.Generator] = None,
         backend: Optional[Backend] = None,
+        initial_states: Optional[np.ndarray] = None,
     ) -> tuple[float, np.ndarray]:
         """Training loss and its gradient w.r.t. the trainable parameters.
 
@@ -472,15 +480,19 @@ class QNNModel:
         and cached per parameter binding); if a ``noise_injector`` is given
         (noise-aware training, ref [12]), the expectations are attenuated
         and jittered before the loss, and the attenuation is chained into
-        the gradient.
+        the gradient.  ``initial_states`` skips encoding when the caller
+        already holds the encoded batch.
         """
         parameters = self.parameters if parameters is None else np.asarray(parameters, dtype=float)
         backend = backend if backend is not None else default_statevector_backend()
         loss_fn = get_loss(loss)
         # One encode + one compiled forward serves both the loss value and
         # (via its final states) the adjoint backward sweep below.
-        simulator = backend.simulator(self.num_qubits)
-        initial = self.encoder.encode_statevectors(features, simulator)
+        if initial_states is None:
+            simulator = backend.simulator(self.num_qubits)
+            initial = self.encoder.encode_statevectors(features, simulator)
+        else:
+            initial = initial_states
         forward = backend.execute(self.ansatz, initial, parameters=parameters)
         expectations = forward.expectation_z(self.readout_qubits)
         if noise_injector is not None:
@@ -516,24 +528,32 @@ class QNNModel:
         parameter_sets: Sequence[Optional[np.ndarray]],
         loss: str = "cross_entropy",
         backend: Optional[Backend] = None,
+        initial_states: Optional[np.ndarray] = None,
     ) -> list[tuple[float, np.ndarray]]:
         """Loss and gradient for many parameter bindings in one forward pass.
 
         The forward evolutions of every binding run as a single vectorised
-        ``execute_batch`` call; each binding's adjoint backward sweep then
-        reuses its final states (and the engine's cached per-gate matrices).
-        Entry ``p`` is bit-identical to ``loss_and_gradient(features, labels,
-        parameter_sets[p])`` without a noise injector.
+        ``execute_batch`` call, and the adjoint backward sweeps of *all*
+        bindings run as one stacked sweep
+        (:func:`repro.qnn.gradients.adjoint_gradient_batch`): each gate's
+        dagger is applied once across the binding super-batch instead of
+        once per binding.  Entry ``p`` is bit-identical to
+        ``loss_and_gradient(features, labels, parameter_sets[p])`` without a
+        noise injector.
         """
         parameter_sets = self._normalize_parameter_sets(parameter_sets)
         backend = backend if backend is not None else default_statevector_backend()
         loss_fn = get_loss(loss)
-        simulator = backend.simulator(self.num_qubits)
-        initial = self.encoder.encode_statevectors(features, simulator)
+        if initial_states is None:
+            simulator = backend.simulator(self.num_qubits)
+            initial = self.encoder.encode_statevectors(features, simulator)
+        else:
+            initial = initial_states
         forwards = backend.execute_batch(self.ansatz, parameter_sets, initial)
         engine = getattr(backend, "engine", None)
         num_qubits = self.num_qubits
-        outputs: list[tuple[float, np.ndarray]] = []
+        losses: list[float] = []
+        diagonal_stack: list[np.ndarray] = []
         for parameters, forward in zip(parameter_sets, forwards):
             expectations = forward.expectation_z(self.readout_qubits)
             logits = self.logit_scale * expectations
@@ -544,16 +564,20 @@ class QNNModel:
                 diagonals += dloss_dexpectations[:, column : column + 1] * z_diagonal(
                     qubit, num_qubits
                 )
-            gradient, _ = adjoint_gradient(
-                self.ansatz,
-                parameters,
-                initial,
-                diagonals,
-                engine=engine,
-                final_states=forward.states,
-            )
-            outputs.append((loss_value, gradient))
-        return outputs
+            losses.append(loss_value)
+            diagonal_stack.append(diagonals)
+        sweeps = adjoint_gradient_batch(
+            self.ansatz,
+            parameter_sets,
+            initial,
+            np.stack(diagonal_stack),
+            engine=engine,
+            final_states=[forward.states for forward in forwards],
+        )
+        return [
+            (loss_value, gradient)
+            for loss_value, (gradient, _) in zip(losses, sweeps)
+        ]
 
     # ------------------------------------------------------------------
     # Serialization

@@ -21,7 +21,7 @@ from repro.qnn.loss import accuracy
 from repro.qnn.model import QNNModel
 from repro.qnn.noise_injection import NoiseInjector
 from repro.qnn.optimizers import get_optimizer
-from repro.simulator import Backend
+from repro.simulator import Backend, default_statevector_backend
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -137,20 +137,45 @@ class Trainer:
         result = TrainResult(parameters=parameters)
         num_samples = features.shape[0]
 
+        # Encode the whole dataset once per ``train`` call: encoding is
+        # per-sample, so row-slicing the encoded set is bit-identical to
+        # encoding each minibatch — and every optimiser step below becomes
+        # one fully batched forward/backward instead of encode + evaluate.
+        backend = self.backend if self.backend is not None else default_statevector_backend()
+        encoded = self.model.encoder.encode_statevectors(
+            features, backend.simulator(self.model.num_qubits)
+        )
+
         for epoch in range(config.epochs):
             order = rng.permutation(num_samples) if config.shuffle else np.arange(num_samples)
             epoch_losses = []
             for start in range(0, num_samples, config.batch_size):
                 batch_index = order[start : start + config.batch_size]
-                loss_value, gradient = self.model.loss_and_gradient(
-                    features[batch_index],
-                    labels[batch_index],
-                    parameters=parameters,
-                    loss=config.loss,
-                    noise_injector=noise_injector,
-                    rng=rng,
-                    backend=self.backend,
-                )
+                if noise_injector is None:
+                    # The fully batched step: one ``execute_batch`` forward
+                    # and one stacked adjoint sweep per optimiser step.
+                    [(loss_value, gradient)] = self.model.loss_and_gradient_batch(
+                        features[batch_index],
+                        labels[batch_index],
+                        [parameters],
+                        loss=config.loss,
+                        backend=backend,
+                        initial_states=encoded[batch_index],
+                    )
+                else:
+                    # Noise-aware training consumes the epoch rng stream
+                    # inside the loss, so it keeps the per-call path (with
+                    # the pre-encoded states reused).
+                    loss_value, gradient = self.model.loss_and_gradient(
+                        features[batch_index],
+                        labels[batch_index],
+                        parameters=parameters,
+                        loss=config.loss,
+                        noise_injector=noise_injector,
+                        rng=rng,
+                        backend=backend,
+                        initial_states=encoded[batch_index],
+                    )
                 if prox_rho > 0:
                     loss_value += 0.5 * prox_rho * float(
                         np.sum((parameters - prox_target) ** 2)
@@ -164,7 +189,10 @@ class Trainer:
                     parameters = np.where(frozen_mask, prox_target, parameters)
                 epoch_losses.append(loss_value)
             logits = self.model.forward_ideal(
-                features, parameters=parameters, backend=self.backend
+                features,
+                parameters=parameters,
+                backend=backend,
+                initial_states=encoded,
             )
             result.loss_history.append(float(np.mean(epoch_losses)))
             result.accuracy_history.append(accuracy(logits, labels))

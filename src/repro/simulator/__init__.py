@@ -34,7 +34,15 @@ from repro.simulator.engine import (
     circuit_structure_digest,
     default_engine,
     parameter_digest,
+    resolve_precision,
     set_default_engine,
+)
+from repro.simulator.kernels import (
+    KernelSuite,
+    available_kernels,
+    get_kernels,
+    numba_available,
+    register_kernels,
 )
 from repro.simulator.noise_channels import (
     AmplitudeDampingChannel,
@@ -59,6 +67,7 @@ __all__ = [
     "FusedGate",
     "FusionBlock",
     "FusionPlan",
+    "KernelSuite",
     "SampledStatevectorResult",
     "SimulationEngine",
     "StatevectorBackend",
@@ -73,6 +82,7 @@ __all__ = [
     "AmplitudeDampingChannel",
     "PhaseDampingChannel",
     "ReadoutError",
+    "available_kernels",
     "backend_kind",
     "build_fusion_plan",
     "circuit_structure_digest",
@@ -80,7 +90,11 @@ __all__ = [
     "default_engine",
     "default_statevector_backend",
     "get_execution_backend",
+    "get_kernels",
+    "numba_available",
     "parameter_digest",
+    "register_kernels",
+    "resolve_precision",
     "set_default_engine",
     "ops",
 ]

@@ -269,7 +269,7 @@ class StatevectorBackend(_EngineBackend):
     name = "statevector"
 
     def _make_simulator(self, num_qubits: int) -> StatevectorSimulator:
-        return StatevectorSimulator(num_qubits)
+        return StatevectorSimulator(num_qubits, dtype=self.engine.complex_dtype)
 
     def _prepare_states(
         self, circuit: QuantumCircuit, initial_states, batch: int
@@ -277,7 +277,7 @@ class StatevectorBackend(_EngineBackend):
         simulator = self.simulator(circuit.num_qubits)
         if initial_states is None:
             return simulator.zero_state(batch)
-        states = np.array(initial_states, dtype=complex, copy=True)
+        states = np.array(initial_states, dtype=self.engine.complex_dtype, copy=True)
         if states.ndim == 1:
             states = states[None, :]
         if states.shape[-1] != simulator.dim:
@@ -517,13 +517,13 @@ class DensityMatrixBackend(_EngineBackend):
         self.noise_model = noise_model
 
     def _make_simulator(self, num_qubits: int) -> DensityMatrixSimulator:
-        return DensityMatrixSimulator(num_qubits)
+        return DensityMatrixSimulator(num_qubits, dtype=self.engine.complex_dtype)
 
     def _prepare_rho(self, circuit: QuantumCircuit, initial_states, batch: int) -> np.ndarray:
         simulator = self.simulator(circuit.num_qubits)
         if initial_states is None:
             return simulator.zero_state(batch)
-        rho = np.array(initial_states, dtype=complex, copy=True)
+        rho = np.array(initial_states, dtype=self.engine.complex_dtype, copy=True)
         if rho.ndim == 2:
             rho = rho[None, :, :]
         if rho.shape[-1] != simulator.dim:
@@ -638,7 +638,7 @@ class DensityMatrixBackend(_EngineBackend):
         if initial_states is None:
             rho = simulator.zero_state(batch)
         else:
-            rho = np.array(initial_states, dtype=complex, copy=True)
+            rho = np.array(initial_states, dtype=self.engine.complex_dtype, copy=True)
             if rho.ndim == 2:
                 rho = rho[None, :, :]
             if rho.shape[-1] != simulator.dim:

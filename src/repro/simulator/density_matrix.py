@@ -64,17 +64,25 @@ class DensityMatrixResult:
 
 
 class DensityMatrixSimulator:
-    """Apply a bound physical circuit to a batch of density matrices."""
+    """Apply a bound physical circuit to a batch of density matrices.
 
-    def __init__(self, num_qubits: int):
+    ``dtype`` is the complex working precision; the float64 default
+    (complex128) is bit-identical to the historical behaviour, while
+    complex64 is the engine's fast tier.
+    """
+
+    def __init__(self, num_qubits: int, dtype=np.complex128):
         if num_qubits <= 0:
             raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
         self.num_qubits = num_qubits
         self.dim = 2**num_qubits
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "c":
+            raise SimulationError(f"density dtype must be complex, got {dtype!r}")
 
     def zero_state(self, batch: int = 1) -> np.ndarray:
         """Density matrix of ``|0...0><0...0|`` replicated ``batch`` times."""
-        rho = np.zeros((batch, self.dim, self.dim), dtype=complex)
+        rho = np.zeros((batch, self.dim, self.dim), dtype=self.dtype)
         rho[:, 0, 0] = 1.0
         return rho
 
@@ -104,7 +112,7 @@ class DensityMatrixSimulator:
         if initial_rho is None:
             rho = self.zero_state(batch)
         else:
-            rho = np.array(initial_rho, dtype=complex, copy=True)
+            rho = np.array(initial_rho, dtype=self.dtype, copy=True)
             if rho.ndim == 2:
                 rho = rho[None, :, :]
             if rho.shape[-1] != self.dim:
@@ -114,7 +122,10 @@ class DensityMatrixSimulator:
                 )
         for gate in circuit.gates:
             rho = ops.apply_unitary_density(
-                rho, gate.matrix(), gate.qubits, self.num_qubits
+                rho,
+                gate.matrix().astype(self.dtype, copy=False),
+                gate.qubits,
+                self.num_qubits,
             )
             if noise_model is not None:
                 channel = noise_model.channel_for_gate(gate)
@@ -142,6 +153,7 @@ class DensityMatrixSimulator:
         from repro.simulator.statevector import _feature_rotation_stack
 
         matrices = _feature_rotation_stack(gate_name, angles)
+        matrices = matrices.astype(rho.dtype, copy=False)
         rho = ops.apply_unitary_density(rho, matrices, [qubit], self.num_qubits)
         if noise_model is not None:
             probe = Gate(gate_name, (qubit,), param=0.0)

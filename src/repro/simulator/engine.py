@@ -32,17 +32,20 @@ The public entry points are :class:`SimulationEngine` and the module-level
 
 from __future__ import annotations
 
+import os
+
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuits import QuantumCircuit, circuit_structure_digest, parameter_digest
 from repro.exceptions import SimulationError
-from repro.gates import Gate
+from repro.gates import CROSS_PATH_GATES, Gate
 from repro.gates.matrices import I2, SWAP
 from repro.simulator import ops
+from repro.simulator.kernels import get_kernels
 from repro.utils.lru import lru_get, lru_put
 
 # circuit_structure_digest / parameter_digest live in repro.circuits.digests
@@ -50,6 +53,7 @@ from repro.utils.lru import lru_get, lru_put
 __all__ = [
     "circuit_structure_digest",
     "parameter_digest",
+    "resolve_precision",
     "FusionBlock",
     "FusionPlan",
     "build_fusion_plan",
@@ -65,6 +69,54 @@ __all__ = [
     "default_engine",
     "set_default_engine",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Precision / kernel / fusion-width defaults
+# ---------------------------------------------------------------------------
+#
+# Engines resolve unset knobs from the environment so one process-level
+# switch (the CLI's ``--dtype`` / ``--kernel`` flags export these variables)
+# reaches every engine construction site — including worker-pool children
+# and serving shard processes, which inherit the environment on spawn.
+
+#: Environment variable naming the default precision (``float64``/``float32``).
+DTYPE_ENV_VAR = "REPRO_DTYPE"
+#: Environment variable naming the default kernel suite (``numpy``/``numba``).
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+#: Environment variable setting the default fusion width (``2`` or ``3``).
+FUSION_WIDTH_ENV_VAR = "REPRO_FUSION_WIDTH"
+
+_PRECISIONS: dict[str, np.dtype] = {
+    "float64": np.dtype(np.complex128),
+    "complex128": np.dtype(np.complex128),
+    "double": np.dtype(np.complex128),
+    "float32": np.dtype(np.complex64),
+    "complex64": np.dtype(np.complex64),
+    "single": np.dtype(np.complex64),
+}
+
+
+def resolve_precision(dtype: Union[None, str, np.dtype, type]) -> tuple[str, np.dtype]:
+    """Resolve a precision knob to ``(canonical_name, complex_dtype)``.
+
+    ``None`` falls back to the :data:`DTYPE_ENV_VAR` environment variable and
+    then to ``float64``.  Accepts the real-precision names the public API
+    uses (``"float64"`` / ``"float32"``) plus their complex spellings.
+    """
+    if dtype is None:
+        dtype = os.environ.get(DTYPE_ENV_VAR) or "float64"
+    if isinstance(dtype, (np.dtype, type)):
+        name = np.dtype(dtype).name
+    else:
+        name = str(dtype).lower()
+    resolved = _PRECISIONS.get(name)
+    if resolved is None:
+        raise SimulationError(
+            f"unknown precision {dtype!r}; expected one of {sorted(_PRECISIONS)}"
+        )
+    canonical = "float64" if resolved == np.dtype(np.complex128) else "float32"
+    return canonical, resolved
 
 
 # ---------------------------------------------------------------------------
@@ -110,18 +162,31 @@ class _OpenBlock:
         self.indices = indices
 
 
-def build_fusion_plan(circuit: QuantumCircuit) -> FusionPlan:
-    """Greedy gate fusion into blocks of at most two qubits.
+def build_fusion_plan(circuit: QuantumCircuit, max_width: int = 2) -> FusionPlan:
+    """Greedy gate fusion into blocks of at most ``max_width`` qubits.
 
     The sweep keeps at most one *open* block per wire.  A gate joins the open
     block covering its wires when the combined support stays within two
     qubits; otherwise the conflicting blocks are closed (they keep their
     emission position) and a fresh block opens.  Whenever a gate joins an
     existing block, that block moves to the end of the emission order — this
-    is safe because every block opened later is wire-disjoint from it (a
-    gate sharing a wire would have joined or closed it), and wire-disjoint
-    unitaries commute.
+    is safe because open blocks are pairwise wire-disjoint (each wire maps to
+    at most one open block), every closed block passed during the move is
+    wire-disjoint from the moving block at move time, and wire-disjoint
+    unitaries commute.  A block that later *grows* onto a closed block's wire
+    only absorbs gates that postdate that closed block while staying after it
+    in emission order, so widening preserves the ordering argument.
+
+    With ``max_width > 2`` the sweep additionally absorbs diagonal/monomial
+    two-qubit gates (:data:`repro.gates.CROSS_PATH_GATES`) across an open
+    block boundary: a ``cz``/``rzz``/``cx`` bridging a dense block would
+    normally close it and split the plan, but folding the bridge into the
+    neighbouring fused matrix — growing it up to ``max_width`` qubits —
+    strictly shrinks ``fused_gate_count``.  The default width 2 reproduces
+    the original plans bit-for-bit.
     """
+    if max_width < 2:
+        raise SimulationError(f"fusion width must be >= 2, got {max_width}")
     blocks: list[_OpenBlock] = []
     open_by_wire: dict[int, _OpenBlock] = {}
 
@@ -157,10 +222,42 @@ def build_fusion_plan(circuit: QuantumCircuit) -> FusionPlan:
         block_b = open_by_wire.get(wire_b)
 
         if block_a is not None and block_a is block_b:
-            # An open two-qubit block already covers exactly this pair.
+            # An open block already covers both wires of this pair.
             move_to_end(block_a)
             block_a.indices.append(index)
             continue
+
+        if (
+            max_width > 2
+            and gate.name in CROSS_PATH_GATES
+            and (block_a is not None or block_b is not None)
+        ):
+            # Cross-path absorption: a diagonal/monomial bridge between open
+            # blocks would normally force a plan split; fold it (and, when
+            # both wires are open, the smaller neighbour) into one wider
+            # block as long as the union stays within ``max_width``.
+            union = set(wires)
+            if block_a is not None:
+                union.update(block_a.qubits)
+            if block_b is not None:
+                union.update(block_b.qubits)
+            if len(union) <= max_width:
+                host = block_a if block_a is not None else block_b
+                move_to_end(host)
+                other = block_b if host is block_a else None
+                if other is not None:
+                    blocks.remove(other)
+                    for wire in other.qubits:
+                        if open_by_wire.get(wire) is other:
+                            del open_by_wire[wire]
+                    # The two open blocks are wire-disjoint, so sorting the
+                    # merged indices preserves each wire's internal order.
+                    host.indices = sorted(host.indices + other.indices)
+                host.indices.append(index)
+                host.qubits = tuple(sorted(union))
+                for wire in host.qubits:
+                    open_by_wire[wire] = host
+                continue
 
         # Close any open block whose support would exceed two qubits.
         if block_a is not None and not set(block_a.qubits) <= {wire_a, wire_b}:
@@ -268,6 +365,7 @@ class BoundCircuit:
 
     num_qubits: int
     gates: tuple[BoundGateRecord, ...]
+    dtype: np.dtype = np.dtype(np.complex128)
     _derivatives: dict[int, np.ndarray] = field(default_factory=dict)
     #: ``None`` = not built yet; ``False`` = some gate is unsupported (fall
     #: back to the generic grouped walk); otherwise the step tuple.
@@ -278,6 +376,7 @@ class BoundCircuit:
         cached = self._derivatives.get(index)
         if cached is None:
             cached = self.gates[index].gate.derivative_matrix()
+            cached = cached.astype(self.dtype, copy=False)
             self._derivatives[index] = cached
         return cached
 
@@ -356,6 +455,29 @@ def build_stacked_walk(bound: BoundCircuit) -> Optional[tuple[StackedWalkStep, .
     return tuple(steps)
 
 
+def _embed_general(
+    matrix: np.ndarray, gate_qubits: tuple[int, ...], block_qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Lift a gate matrix into an arbitrary block basis by axis permutation.
+
+    Pads the gate with identities on the block's remaining qubits, then
+    permutes tensor factors from ``gate_qubits + missing`` order into
+    ``block_qubits`` order.  Used only for blocks wider than two qubits (the
+    opt-in wider-fusion tier); the two-qubit paths keep their original
+    closed forms so default plans stay bit-identical.
+    """
+    missing = [q for q in block_qubits if q not in gate_qubits]
+    full = matrix
+    if missing:
+        full = np.kron(matrix, np.eye(2 ** len(missing), dtype=matrix.dtype))
+    order = list(gate_qubits) + missing
+    perm = tuple(order.index(q) for q in block_qubits)
+    k = len(block_qubits)
+    tensor = full.reshape((2,) * (2 * k))
+    tensor = tensor.transpose(perm + tuple(k + p for p in perm))
+    return np.ascontiguousarray(tensor).reshape(2**k, 2**k)
+
+
 def _embed_into_block(
     gate: Gate, matrix: np.ndarray, block_qubits: tuple[int, ...]
 ) -> np.ndarray:
@@ -364,6 +486,8 @@ def _embed_into_block(
         return matrix
     if len(block_qubits) == 1:
         return matrix
+    if len(block_qubits) > 2:
+        return _embed_general(matrix, gate.qubits, block_qubits)
     if len(gate.qubits) == 1:
         if gate.qubits[0] == block_qubits[0]:
             return np.kron(matrix, I2)
@@ -378,22 +502,31 @@ def materialize_program(
     bound_gates: Sequence[Gate],
     circuit_id: str,
     parameter_key: str,
+    dtype: np.dtype = np.complex128,
 ) -> CompiledProgram:
-    """Turn a structure-level plan into concrete fused matrices."""
+    """Turn a structure-level plan into concrete fused matrices.
+
+    ``dtype`` is the engine's complex precision: fused matrices are
+    materialised directly in it so the walk never mixes precisions.  At the
+    complex128 default every cast is a no-op and the program is bit-identical
+    to the historical behaviour.
+    """
+    dtype = np.dtype(dtype)
     operations = []
     for block in plan.blocks:
         if len(block.gate_indices) == 1 and len(block.qubits) == len(
             bound_gates[block.gate_indices[0]].qubits
         ):
             gate = bound_gates[block.gate_indices[0]]
-            operations.append(FusedGate(qubits=gate.qubits, matrix=gate.matrix()))
+            matrix = gate.matrix().astype(dtype, copy=False)
+            operations.append(FusedGate(qubits=gate.qubits, matrix=matrix))
             continue
         dim = 2 ** len(block.qubits)
-        fused = np.eye(dim, dtype=complex)
+        fused = np.eye(dim, dtype=dtype)
         for gate_index in block.gate_indices:
             gate = bound_gates[gate_index]
             embedded = _embed_into_block(gate, gate.matrix(), block.qubits)
-            fused = embedded @ fused
+            fused = embedded.astype(dtype, copy=False) @ fused
         operations.append(FusedGate(qubits=block.qubits, matrix=fused))
     steps = []
     for fused_gate in operations:
@@ -464,20 +597,55 @@ class SimulationEngine:
     fusion:
         Disable to compile identity programs (one block per gate); used by
         tests and the throughput benchmark to isolate the fusion gain.
+    dtype:
+        Execution precision: ``"float64"`` (the bit-identical default) or
+        ``"float32"`` (the fast tier — complex64 fused matrices and walks).
+        ``None`` reads ``REPRO_DTYPE`` from the environment.
+    kernel:
+        Name of the statevector kernel suite (see
+        :mod:`repro.simulator.kernels`); ``None`` reads ``REPRO_KERNEL`` and
+        defaults to ``"numpy"``.  Only the suite *name* is stored, so
+        engines stay picklable.
+    fusion_width:
+        Maximum fused-block width.  The default 2 reproduces historical
+        plans bit-for-bit; 3 enables cross-path absorption of
+        diagonal/monomial bridges into wider fused matrices.  ``None``
+        reads ``REPRO_FUSION_WIDTH``.
     """
 
     def __init__(
-        self, max_programs: int = 256, max_plans: int = 128, fusion: bool = True
+        self,
+        max_programs: int = 256,
+        max_plans: int = 128,
+        fusion: bool = True,
+        dtype: Union[None, str, np.dtype, type] = None,
+        kernel: Optional[str] = None,
+        fusion_width: Optional[int] = None,
     ):
         if max_programs < 1 or max_plans < 1:
             raise SimulationError("engine cache sizes must be >= 1")
         self.max_programs = max_programs
         self.max_plans = max_plans
         self.fusion = fusion
+        self.dtype, self.complex_dtype = resolve_precision(dtype)
+        if kernel is None:
+            kernel = os.environ.get(KERNEL_ENV_VAR) or "numpy"
+        self.kernel = str(kernel)
+        get_kernels(self.kernel)  # fail fast on unknown suites
+        if fusion_width is None:
+            fusion_width = int(os.environ.get(FUSION_WIDTH_ENV_VAR, "2"))
+        if fusion_width < 2:
+            raise SimulationError(f"fusion width must be >= 2, got {fusion_width}")
+        self.fusion_width = fusion_width
         self.stats = EngineStats()
         self._plans: OrderedDict[str, FusionPlan] = OrderedDict()
         self._programs: OrderedDict[tuple[str, str], CompiledProgram] = OrderedDict()
         self._bound: OrderedDict[tuple[str, str], BoundCircuit] = OrderedDict()
+
+    @property
+    def kernels(self):
+        """The engine's kernel suite, resolved lazily from its name."""
+        return get_kernels(self.kernel)
 
     # -- cache plumbing -------------------------------------------------
     @staticmethod
@@ -509,7 +677,7 @@ class SimulationEngine:
         plan = self._lru_get(self._plans, circuit_id)
         if plan is None:
             if self.fusion:
-                plan = build_fusion_plan(circuit)
+                plan = build_fusion_plan(circuit, max_width=self.fusion_width)
             else:
                 plan = FusionPlan(
                     num_qubits=circuit.num_qubits,
@@ -548,7 +716,9 @@ class SimulationEngine:
             self.stats.program_hits += 1
             return program
         bound = self._bind(circuit, parameters)
-        program = materialize_program(plan, bound.gates, circuit_id, parameter_key)
+        program = materialize_program(
+            plan, bound.gates, circuit_id, parameter_key, dtype=self.complex_dtype
+        )
         self._lru_put(self._programs, cache_key, program, self.max_programs)
         self.stats.program_builds += 1
         return program
@@ -567,7 +737,7 @@ class SimulationEngine:
         bound_source = self._bind(circuit, parameters)
         records = []
         for gate in bound_source.gates:
-            matrix = gate.matrix()
+            matrix = gate.matrix().astype(self.complex_dtype, copy=False)
             records.append(
                 BoundGateRecord(
                     gate=gate,
@@ -576,7 +746,11 @@ class SimulationEngine:
                     dagger=matrix.conj().T,
                 )
             )
-        bound = BoundCircuit(num_qubits=circuit.num_qubits, gates=tuple(records))
+        bound = BoundCircuit(
+            num_qubits=circuit.num_qubits,
+            gates=tuple(records),
+            dtype=self.complex_dtype,
+        )
         self._lru_put(self._bound, cache_key, bound, self.max_programs)
         self.stats.bound_builds += 1
         return bound
@@ -636,11 +810,15 @@ class SimulationEngine:
         states: np.ndarray,
         parameters: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Apply the compiled program for ``circuit`` to ``states``."""
+        """Apply the compiled program for ``circuit`` to ``states``.
+
+        States are cast onto the engine's precision tier first (a no-op at
+        the float64 default), so a float32 engine runs the whole walk in
+        single precision regardless of the caller's allocation.
+        """
         program = self.compile(circuit, parameters)
-        return ops.apply_compiled_statevector(
-            states, program.steps, program.num_qubits
-        )
+        states = np.asarray(states).astype(self.complex_dtype, copy=False)
+        return self.kernels.apply_program(program, states)
 
     def run_statevector_multi(
         self,
@@ -659,9 +837,8 @@ class SimulationEngine:
             parameter_sets = [None] * len(circuits)
         programs = self.compile_many(circuits, parameter_sets)
         steps = self.stack_programs(programs)
-        return ops.apply_compiled_statevector_multi(
-            states, steps, programs[0].num_qubits
-        )
+        states = np.asarray(states).astype(self.complex_dtype, copy=False)
+        return self.kernels.apply_program_multi(steps, states, programs[0].num_qubits)
 
     def run_density_multi(
         self,

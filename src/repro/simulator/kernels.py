@@ -1,0 +1,212 @@
+"""Swappable statevector kernel implementations behind the engine.
+
+The :class:`~repro.simulator.engine.SimulationEngine` routes its compiled
+statevector walks through a *kernel suite* selected by name, so deployments
+can pick the implementation that fits the host:
+
+* ``"numpy"`` — the reference implementation: the vectorised
+  transpose/matmul walk of :func:`repro.simulator.ops.apply_compiled_statevector`.
+  Always available, and the bit-identity baseline every other suite is
+  tested against (within the fast tier's tolerance for float32).
+* ``"numba"`` — a jit-compiled gather/apply walk registered automatically
+  when ``numba`` is importable.  Instead of transposing the full batch
+  tensor per fused gate, it precomputes per-gate index offsets once per
+  compiled program and applies each fused matrix through strided gathers in
+  one nopython loop.  On hosts without numba the suite is simply absent;
+  requesting it raises a :class:`~repro.exceptions.SimulationError` naming
+  the available suites.
+
+Selection goes through :func:`get_kernels` (engine constructor argument
+``kernel=...``, CLI flag ``--kernel``, or the ``REPRO_KERNEL`` environment
+variable read by the engine's defaults).  Suites are process-wide
+singletons, so engines stay cheap to construct and picklable — an engine
+stores only the suite *name* and resolves it lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.simulator import ops
+
+
+class KernelSuite:
+    """One named implementation of the compiled statevector walk.
+
+    ``apply_program`` consumes a
+    :class:`~repro.simulator.engine.CompiledProgram` and a ``(batch, 2**n)``
+    state batch, returning the evolved batch without mutating the input.
+    ``apply_program_multi`` is the stacked many-bindings variant; suites
+    without a specialised multi path inherit the numpy one (the multi walk
+    is already a single broadcast matmul per fused gate).
+    """
+
+    name = "abstract"
+
+    def apply_program(self, program, states: np.ndarray) -> np.ndarray:
+        """Evolve ``states`` under one compiled program (no input mutation)."""
+        raise NotImplementedError
+
+    def apply_program_multi(
+        self, steps: Sequence, states: np.ndarray, num_qubits: int
+    ) -> np.ndarray:
+        """Evolve stacked ``(groups, batch, dim)`` states under stacked steps."""
+        return ops.apply_compiled_statevector_multi(states, steps, num_qubits)
+
+
+class NumpyKernels(KernelSuite):
+    """Reference suite: delegate to the precompiled numpy walk unchanged."""
+
+    name = "numpy"
+
+    def apply_program(self, program, states: np.ndarray) -> np.ndarray:
+        """Run the vectorised transpose/matmul walk over the fused steps."""
+        return ops.apply_compiled_statevector(
+            states, program.steps, program.num_qubits
+        )
+
+
+# ---------------------------------------------------------------------------
+# Numba suite (registered only when numba imports)
+# ---------------------------------------------------------------------------
+
+_NUMBA_APPLY = None
+
+
+def _numba_apply_fn():
+    """Build (once) the jitted gather/apply loop for one fused gate."""
+    global _NUMBA_APPLY
+    if _NUMBA_APPLY is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def apply_gate(states, matrix, rest, offsets):  # pragma: no cover - jit
+            batch = states.shape[0]
+            d = offsets.shape[0]
+            scratch = np.zeros_like(matrix[0])
+            for b in range(batch):
+                row = states[b]
+                for t in range(rest.shape[0]):
+                    base = rest[t]
+                    for i in range(d):
+                        acc = matrix[i, 0] * row[base + offsets[0]]
+                        for j in range(1, d):
+                            acc = acc + matrix[i, j] * row[base + offsets[j]]
+                        scratch[i] = acc
+                    for i in range(d):
+                        row[base + offsets[i]] = scratch[i]
+
+        _NUMBA_APPLY = apply_gate
+    return _NUMBA_APPLY
+
+
+def _gate_index_plan(
+    qubits: Sequence[int], num_qubits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute ``(rest, offsets)`` for one fused gate's gather walk.
+
+    ``offsets[j]`` is the global-index contribution of sub-index ``j`` on the
+    target qubits (big-endian, matching :mod:`repro.simulator.ops`);
+    ``rest`` enumerates every base index whose target bits are all zero, so
+    ``base + offsets[j]`` sweeps exactly one gate-sized amplitude group.
+    """
+    k = len(qubits)
+    d = 2**k
+    offsets = np.zeros(d, dtype=np.int64)
+    for j in range(d):
+        value = 0
+        for position, qubit in enumerate(qubits):
+            bit = (j >> (k - 1 - position)) & 1
+            value |= bit << (num_qubits - 1 - qubit)
+        offsets[j] = value
+    indices = np.arange(2**num_qubits, dtype=np.int64)
+    keep = np.ones(indices.shape[0], dtype=bool)
+    for qubit in qubits:
+        keep &= ((indices >> (num_qubits - 1 - qubit)) & 1) == 0
+    return indices[keep], offsets
+
+
+class NumbaKernels(KernelSuite):
+    """Jitted suite: per-program gather plans + nopython apply loops.
+
+    The per-program plan (cast matrices, rest indices, offsets) is memoised
+    on the program's cache identity, so steady-state execution pays only the
+    jitted loops — mirroring how the engine itself amortises compilation.
+    """
+
+    name = "numba"
+    _MAX_PLANS = 256
+
+    def __init__(self) -> None:
+        self._plans: dict = {}
+
+    def _plan_for(self, program, dtype: np.dtype) -> list:
+        key = (program.circuit_id, program.parameter_key, dtype.str)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = []
+            for operation in program.operations:
+                rest, offsets = _gate_index_plan(operation.qubits, program.num_qubits)
+                matrix = np.ascontiguousarray(operation.matrix.astype(dtype, copy=False))
+                plan.append((matrix, rest, offsets))
+            if len(self._plans) >= self._MAX_PLANS:
+                self._plans.clear()
+            self._plans[key] = plan
+        return plan
+
+    def apply_program(self, program, states: np.ndarray) -> np.ndarray:
+        """Run the jitted gather/apply loop over the memoised gate plans."""
+        apply_gate = _numba_apply_fn()
+        out = np.ascontiguousarray(states).copy()
+        for matrix, rest, offsets in self._plan_for(program, out.dtype):
+            apply_gate(out, matrix, rest, offsets)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, KernelSuite] = {}
+
+
+def register_kernels(name: str, suite: Optional[KernelSuite]) -> None:
+    """Register a kernel suite under ``name`` (``None`` unregisters it)."""
+    if suite is None:
+        _REGISTRY.pop(str(name), None)
+        return
+    _REGISTRY[str(name)] = suite
+
+
+def available_kernels() -> list[str]:
+    """Names of every registered kernel suite, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_kernels(name: Optional[str] = None) -> KernelSuite:
+    """Resolve a kernel suite by name (``None`` → the numpy reference)."""
+    resolved = "numpy" if name is None else str(name)
+    suite = _REGISTRY.get(resolved)
+    if suite is None:
+        raise SimulationError(
+            f"unknown kernel suite {resolved!r}; available: {available_kernels()}"
+        )
+    return suite
+
+
+def numba_available() -> bool:
+    """Whether the jitted suite registered (i.e. numba is importable)."""
+    return "numba" in _REGISTRY
+
+
+register_kernels("numpy", NumpyKernels())
+
+try:  # The jitted tier is opt-in by environment: absent numba, absent suite.
+    import numba as _numba  # noqa: F401
+except Exception:  # pragma: no cover - exercised only on numba-less hosts
+    pass
+else:  # pragma: no cover - exercised only on numba-equipped CI legs
+    register_kernels("numba", NumbaKernels())

@@ -377,6 +377,10 @@ def apply_kraus_density(
     tensor, _ = _move_density_axes(rho, qubits, num_qubits)
     result = np.zeros_like(tensor)
     for kraus in kraus_operators:
+        # Operators arrive complex128 from the channel definitions; cast to
+        # the state's precision so the contraction never upcasts mid-walk
+        # (a no-op on the float64 default path).
+        kraus = np.asarray(kraus).astype(tensor.dtype, copy=False)
         term = np.einsum("ij,bjkr->bikr", kraus, tensor)
         term = np.einsum("bikr,jk->bijr", term, kraus.conj())
         result += term
@@ -425,6 +429,10 @@ def apply_depolarizing_density(
     mixed[:, identity_indices, identity_indices, :] = traced[:, None, :] / d
     if probability.ndim == 1:
         probability = probability[:, None, None, None]
+    # Blend in the state's real precision: a float64 coefficient times a
+    # complex64 tensor would silently upcast the whole walk (NEP 50).  At
+    # the float64 default this cast is a bit-identical no-op.
+    probability = probability.astype(tensor.real.dtype, copy=False)
     blended = (1.0 - probability) * tensor + probability * mixed
     return _restore_density_axes(blended, qubits, num_qubits)
 
@@ -565,6 +573,9 @@ def apply_depolarizing_density_stacked(
     traced = views[0] + views[1]
     for state in range(2, d):
         traced = traced + views[state]
+    # Keep the channel coefficients in the state's real precision so the
+    # in-place multiplies never upcast a complex64 walk (no-op at float64).
+    probability = probability.astype(rho.real.dtype, copy=False)
     if probability.ndim == 1:
         scale = probability.reshape((batch,) + (1,) * (traced.ndim - 1))
         term = scale * (traced / d)
@@ -635,7 +646,9 @@ def apply_readout_confusion(
         tensor = np.moveaxis(tensor, axis, 1)
         shape = tensor.shape
         flat = tensor.reshape(batch, 2, -1)
-        flat = np.einsum("ij,bjr->bir", np.asarray(matrix, dtype=float), flat)
+        flat = np.einsum(
+            "ij,bjr->bir", np.asarray(matrix, dtype=probabilities.dtype), flat
+        )
         tensor = flat.reshape(shape)
         tensor = np.moveaxis(tensor, 1, axis)
     return tensor.reshape(batch, 2**num_qubits)
@@ -645,7 +658,7 @@ def expectation_z(probabilities: np.ndarray, qubit: int, num_qubits: int) -> np.
     """Expectation value of Pauli-Z on ``qubit`` from basis probabilities."""
     indices = np.arange(probabilities.shape[-1])
     bits = (indices >> (num_qubits - 1 - qubit)) & 1
-    signs = 1.0 - 2.0 * bits
+    signs = (1.0 - 2.0 * bits).astype(probabilities.dtype, copy=False)
     return probabilities @ signs
 
 
@@ -672,7 +685,11 @@ def sample_counts(
     """
     if shots <= 0:
         raise SimulationError(f"shots must be positive, got {shots}")
-    normalized = probabilities / probabilities.sum(axis=-1, keepdims=True)
+    # Normalise in float64 regardless of the walk's precision:
+    # ``rng.multinomial`` rejects pvals that sum above 1, which float32
+    # rows can do once cast up.  Bit-identical for float64 input.
+    normalized = np.asarray(probabilities, dtype=np.float64)
+    normalized = normalized / normalized.sum(axis=-1, keepdims=True)
     counts = np.empty_like(normalized, dtype=np.int64)
     for index, row in enumerate(normalized):
         counts[index] = rng.multinomial(shots, row)

@@ -35,17 +35,25 @@ class StatevectorResult:
 
 
 class StatevectorSimulator:
-    """Apply a bound circuit to a batch of initial statevectors."""
+    """Apply a bound circuit to a batch of initial statevectors.
 
-    def __init__(self, num_qubits: int):
+    ``dtype`` is the complex working precision; the float64 default
+    (complex128) is bit-identical to the historical behaviour, while
+    complex64 is the engine's fast tier.
+    """
+
+    def __init__(self, num_qubits: int, dtype=np.complex128):
         if num_qubits <= 0:
             raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
         self.num_qubits = num_qubits
         self.dim = 2**num_qubits
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "c":
+            raise SimulationError(f"statevector dtype must be complex, got {dtype!r}")
 
     def zero_state(self, batch: int = 1) -> np.ndarray:
         """The ``|0...0>`` state replicated ``batch`` times."""
-        states = np.zeros((batch, self.dim), dtype=complex)
+        states = np.zeros((batch, self.dim), dtype=self.dtype)
         states[:, 0] = 1.0
         return states
 
@@ -75,7 +83,7 @@ class StatevectorSimulator:
         if initial_states is None:
             states = self.zero_state(batch)
         else:
-            states = np.array(initial_states, dtype=complex, copy=True)
+            states = np.array(initial_states, dtype=self.dtype, copy=True)
             if states.ndim == 1:
                 states = states[None, :]
             if states.shape[-1] != self.dim:
@@ -85,7 +93,10 @@ class StatevectorSimulator:
                 )
         for gate in circuit.gates:
             states = ops.apply_unitary_statevector(
-                states, gate.matrix(), gate.qubits, self.num_qubits
+                states,
+                gate.matrix().astype(self.dtype, copy=False),
+                gate.qubits,
+                self.num_qubits,
             )
         return StatevectorResult(states=states, num_qubits=self.num_qubits)
 
@@ -103,6 +114,7 @@ class StatevectorSimulator:
         shot by :func:`repro.gates.matrices.rotation_stack`.
         """
         matrices = _feature_rotation_stack(gate_name, angles)
+        matrices = matrices.astype(states.dtype, copy=False)
         return ops.apply_unitary_statevector(states, matrices, [qubit], self.num_qubits)
 
 

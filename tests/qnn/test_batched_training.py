@@ -1,0 +1,162 @@
+"""The fully batched training step and the observable-diagonal cache.
+
+PR 8 reworked ``Trainer.train`` so every optimiser step is one
+``loss_and_gradient_batch`` call over the pre-encoded minibatch instead
+of an encode + per-sample forward/backward.  The rework is only allowed
+because it is *bit-identical* at float64 to the seed's loop — pinned here
+against a literal reimplementation of that loop.  The second group pins
+the ``z_diagonal`` memoisation by counting cache builds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_mnist4
+from repro.qnn import (
+    NoiseInjector,
+    QNNModel,
+    TrainConfig,
+    Trainer,
+    clear_z_diagonal_cache,
+    z_diagonal,
+    z_diagonal_cache_info,
+)
+from repro.qnn.loss import accuracy
+from repro.qnn.optimizers import get_optimizer
+from repro.simulator import SimulationEngine, StatevectorBackend
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    data = load_mnist4(num_samples=80, seed=11)
+    return data.train_features[:24], data.train_labels[:24]
+
+
+def _reference_training_loop(model, config, features, labels):
+    """The seed's per-step loop: encode + loss_and_gradient per minibatch."""
+    parameters = np.array(model.parameters, dtype=float)
+    rng = ensure_rng(config.seed)
+    optimizer = get_optimizer(config.optimizer, config.learning_rate)
+    num_samples = features.shape[0]
+    backend = StatevectorBackend(engine=SimulationEngine())
+    loss_history, accuracy_history = [], []
+    for _ in range(config.epochs):
+        order = rng.permutation(num_samples) if config.shuffle else np.arange(num_samples)
+        epoch_losses = []
+        for start in range(0, num_samples, config.batch_size):
+            batch_index = order[start : start + config.batch_size]
+            loss_value, gradient = model.loss_and_gradient(
+                features[batch_index],
+                labels[batch_index],
+                parameters=parameters,
+                loss=config.loss,
+                backend=backend,
+            )
+            parameters = optimizer.step(parameters, gradient)
+            epoch_losses.append(loss_value)
+        logits = model.forward_ideal(features, parameters=parameters, backend=backend)
+        loss_history.append(float(np.mean(epoch_losses)))
+        accuracy_history.append(accuracy(logits, labels))
+    return parameters, loss_history, accuracy_history
+
+
+class TestBatchedStepBitIdentity:
+    @pytest.mark.parametrize("shuffle", [True, False])
+    def test_train_bitmatches_reference_loop(self, dataset, shuffle):
+        features, labels = dataset
+        config = TrainConfig(
+            epochs=2, batch_size=8, learning_rate=0.05, seed=7, shuffle=shuffle
+        )
+        model = QNNModel.create(4, 16, 4, repeats=1, seed=3)
+        expected_parameters, expected_losses, expected_accuracy = (
+            _reference_training_loop(model, config, features, labels)
+        )
+        trainer = Trainer(
+            model, config, backend=StatevectorBackend(engine=SimulationEngine())
+        )
+        result = trainer.train(features, labels, update_model=False)
+        assert np.array_equal(result.parameters, expected_parameters)
+        assert result.loss_history == expected_losses
+        assert result.accuracy_history == expected_accuracy
+
+    def test_uneven_final_minibatch(self, dataset):
+        """A trailing partial batch slices the pre-encoded set correctly."""
+        features, labels = dataset
+        config = TrainConfig(epochs=1, batch_size=7, seed=5)
+        model = QNNModel.create(4, 16, 4, repeats=1, seed=4)
+        expected_parameters, expected_losses, _ = _reference_training_loop(
+            model, config, features, labels
+        )
+        result = Trainer(
+            model, config, backend=StatevectorBackend(engine=SimulationEngine())
+        ).train(features, labels, update_model=False)
+        assert np.array_equal(result.parameters, expected_parameters)
+        assert result.loss_history == expected_losses
+
+    def test_noise_injected_path_reproducible(self, dataset):
+        """The injector path (per-call fallback) stays seed-reproducible."""
+        features, labels = dataset
+        config = TrainConfig(epochs=1, batch_size=8, seed=9)
+        injector = NoiseInjector(attenuation=np.full(4, 0.9), sigma=0.02)
+        first = Trainer(QNNModel.create(4, 16, 4, repeats=1, seed=6), config).train(
+            features, labels, noise_injector=injector, update_model=False
+        )
+        second = Trainer(QNNModel.create(4, 16, 4, repeats=1, seed=6), config).train(
+            features, labels, noise_injector=injector, update_model=False
+        )
+        assert np.array_equal(first.parameters, second.parameters)
+        assert first.loss_history == second.loss_history
+
+    def test_float32_batched_step_tracks_float64(self, dataset):
+        """One batched loss/gradient step in the fast tier stays within
+        tolerance of the float64 reference (full training runs diverge
+        chaotically under Adam, so the pin is on the step, not the run)."""
+        features, labels = dataset
+        model = QNNModel.create(4, 16, 4, repeats=1, seed=8)
+        [(exact_loss, exact_gradient)] = model.loss_and_gradient_batch(
+            features[:8], labels[:8], [None],
+            backend=StatevectorBackend(engine=SimulationEngine()),
+        )
+        [(fast_loss, fast_gradient)] = model.loss_and_gradient_batch(
+            features[:8], labels[:8], [None],
+            backend=StatevectorBackend(engine=SimulationEngine(dtype="float32")),
+        )
+        assert abs(fast_loss - exact_loss) < 1e-4
+        np.testing.assert_allclose(fast_gradient, exact_gradient, atol=1e-4)
+
+
+class TestZDiagonalCache:
+    def test_builds_count_distinct_keys_only(self):
+        clear_z_diagonal_cache()
+        for _ in range(3):
+            for qubit in range(4):
+                z_diagonal(qubit, 4)
+        info = z_diagonal_cache_info()
+        assert info["builds"] == 4
+        assert info["entries"] == 4
+        z_diagonal(0, 5)
+        assert z_diagonal_cache_info()["builds"] == 5
+
+    def test_cached_arrays_are_read_only_and_correct(self):
+        clear_z_diagonal_cache()
+        diag = z_diagonal(1, 3)
+        assert not diag.flags.writeable
+        with pytest.raises(ValueError):
+            diag[0] = 0.0
+        expected = np.array([1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0])
+        assert np.array_equal(diag, expected)
+        assert z_diagonal(1, 3) is diag
+
+    def test_gradient_calls_reuse_cached_diagonals(self, dataset):
+        features, labels = dataset
+        model = QNNModel.create(4, 16, 4, repeats=1, seed=12)
+        clear_z_diagonal_cache()
+        model.loss_and_gradient(features[:8], labels[:8])
+        builds_after_first = z_diagonal_cache_info()["builds"]
+        assert builds_after_first == model.num_classes
+        model.loss_and_gradient(features[8:16], labels[8:16])
+        model.loss_and_gradient_batch(features[:8], labels[:8], [None, None])
+        assert z_diagonal_cache_info()["builds"] == builds_after_first

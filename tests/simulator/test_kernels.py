@@ -1,0 +1,167 @@
+"""The swappable kernel registry behind the Backend protocol.
+
+The numpy suite is the reference implementation and is always registered;
+the numba suite auto-registers only when numba imports, so its
+equivalence tests skip gracefully on numpy-only hosts (the CI numba leg
+runs them).  Custom suites register by name and engines resolve them
+lazily, which keeps engines picklable for the process pools.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_qucad_ansatz
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    KernelSuite,
+    SimulationEngine,
+    available_kernels,
+    get_kernels,
+    numba_available,
+    register_kernels,
+)
+from repro.simulator.kernels import NumpyKernels
+
+
+def _workload(seed=5, num_qubits=4, batch=6):
+    rng = np.random.default_rng(seed)
+    ansatz = build_qucad_ansatz(num_qubits, repeats=2)
+    theta = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+    dim = 2**num_qubits
+    states = rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+    states /= np.linalg.norm(states, axis=1, keepdims=True)
+    return ansatz, theta, states
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_kernels()
+        assert isinstance(get_kernels("numpy"), NumpyKernels)
+
+    def test_none_resolves_to_numpy(self):
+        assert isinstance(get_kernels(None), NumpyKernels)
+
+    def test_unknown_kernel_names_available_suites(self):
+        with pytest.raises(SimulationError, match="numpy"):
+            get_kernels("no-such-kernel")
+
+    def test_numba_registered_iff_importable(self):
+        assert ("numba" in available_kernels()) == numba_available()
+
+    def test_custom_suite_registers_and_serves_engines(self):
+        calls = []
+
+        class CountingKernels(NumpyKernels):
+            def apply_program(self, program, states):
+                calls.append(program.circuit_id)
+                return super().apply_program(program, states)
+
+        register_kernels("counting-test", CountingKernels())
+        try:
+            engine = SimulationEngine(kernel="counting-test")
+            ansatz, theta, states = _workload()
+            expected = SimulationEngine().run_statevector(
+                ansatz, states, parameters=theta
+            )
+            result = engine.run_statevector(ansatz, states, parameters=theta)
+            assert np.array_equal(result, expected)
+            assert len(calls) == 1
+        finally:
+            register_kernels("counting-test", None)
+        with pytest.raises(SimulationError):
+            get_kernels("counting-test")
+
+
+class TestEngineSelection:
+    def test_unknown_kernel_fails_fast_at_construction(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(kernel="no-such-kernel")
+
+    def test_env_var_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert SimulationEngine().kernel == "numpy"
+
+    def test_engine_with_kernel_stays_picklable(self):
+        engine = SimulationEngine(kernel="numpy", dtype="float32")
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.kernel == "numpy"
+        assert clone.complex_dtype == np.dtype(np.complex64)
+        assert isinstance(clone.kernels, KernelSuite)
+
+
+class TestGatherPlan:
+    """The index plans feeding the jitted loop, pinned without numba.
+
+    ``_gate_index_plan`` is pure numpy, so its correctness — and therefore
+    the arithmetic of the gather walk — is verifiable on numpy-only hosts
+    by emulating the jitted loop in python.
+    """
+
+    def test_plan_walk_matches_reference(self):
+        from repro.simulator.kernels import _gate_index_plan
+
+        ansatz, theta, states = _workload(seed=17)
+        engine = SimulationEngine()
+        program = engine.compile(ansatz, theta)
+        reference = engine.run_statevector(ansatz, states, parameters=theta)
+        out = states.copy()
+        for operation in program.operations:
+            rest, offsets = _gate_index_plan(operation.qubits, program.num_qubits)
+            gathered = out[:, rest[:, None] + offsets[None, :]]
+            mixed = gathered @ operation.matrix.T
+            for j, offset in enumerate(offsets):
+                out[:, rest + offset] = mixed[:, :, j]
+        np.testing.assert_allclose(out, reference, atol=1e-12)
+
+
+class TestNumbaEquivalence:
+    """Numba suite vs the numpy reference; skipped when numba is absent."""
+
+    pytestmark = pytest.mark.skipif(
+        not numba_available(), reason="numba is not installed"
+    )
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_single_program_walk(self, dtype):
+        ansatz, theta, states = _workload()
+        reference = SimulationEngine(dtype=dtype).run_statevector(
+            ansatz, states, parameters=theta
+        )
+        jitted = SimulationEngine(dtype=dtype, kernel="numba").run_statevector(
+            ansatz, states, parameters=theta
+        )
+        assert jitted.dtype == reference.dtype
+        np.testing.assert_allclose(
+            jitted, reference, atol=1e-12 if dtype == "float64" else 1e-6
+        )
+
+    def test_multi_program_walk(self):
+        rng = np.random.default_rng(9)
+        ansatz, _, states = _workload()
+        thetas = [
+            rng.uniform(-np.pi, np.pi, ansatz.num_parameters) for _ in range(3)
+        ]
+        stacked = np.stack([states] * 3)
+        reference = SimulationEngine().run_statevector_multi(
+            [ansatz] * 3, stacked, thetas
+        )
+        jitted = SimulationEngine(kernel="numba").run_statevector_multi(
+            [ansatz] * 3, stacked, thetas
+        )
+        np.testing.assert_allclose(jitted, reference, atol=1e-12)
+
+    def test_plan_cache_reuses_compiled_plans(self):
+        from repro.simulator.kernels import NumbaKernels
+
+        suite = NumbaKernels()
+        engine = SimulationEngine()
+        ansatz, theta, states = _workload()
+        program = engine.compile(ansatz, theta)
+        first = suite.apply_program(program, states)
+        second = suite.apply_program(program, states)
+        assert np.array_equal(first, second)
+        assert len(suite._plans) == 1

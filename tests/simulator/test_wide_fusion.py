@@ -1,0 +1,122 @@
+"""Cross-path gate fusion: folding diagonal/monomial gates into wider blocks.
+
+At ``fusion_width >= 3`` the sweep absorbs diagonal and monomial gates
+(rz, cz, crz, cx, swap, ...) across fast-path boundaries, merging the
+dense blocks on either side into one wider fused matrix when the union
+still fits the width budget.  The tier is opt-in: the default width of 2
+keeps the seed's plans (and its bit-identical ≤2-qubit embedding paths)
+untouched, so these tests pin three things — the default is unchanged,
+width 3 strictly shrinks the plans of the paper circuits, and the wide
+plans stay numerically equivalent to the unfused walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, build_qucad_ansatz
+from repro.exceptions import SimulationError
+from repro.gates import CROSS_PATH_GATES, DIAGONAL_GATES, MONOMIAL_GATES
+from repro.simulator import SimulationEngine, StatevectorSimulator, build_fusion_plan
+
+
+def _random_states(rng, batch, num_qubits):
+    dim = 2**num_qubits
+    states = rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+    return states / np.linalg.norm(states, axis=1, keepdims=True)
+
+
+class TestGateClasses:
+    def test_cross_path_union(self):
+        assert CROSS_PATH_GATES == DIAGONAL_GATES | MONOMIAL_GATES
+        assert "rz" in DIAGONAL_GATES and "cz" in DIAGONAL_GATES
+        assert "cx" in MONOMIAL_GATES and "swap" in MONOMIAL_GATES
+        # Dense rotations must never ride the cross-path branch.
+        assert "ry" not in CROSS_PATH_GATES and "h" not in CROSS_PATH_GATES
+
+
+class TestPlanShrinkage:
+    @pytest.mark.parametrize("num_qubits,repeats", [(4, 1), (4, 2), (5, 2)])
+    def test_width3_strictly_shrinks_paper_ansatz(self, num_qubits, repeats):
+        ansatz = build_qucad_ansatz(num_qubits, repeats=repeats)
+        narrow = build_fusion_plan(ansatz, max_width=2)
+        wide = build_fusion_plan(ansatz, max_width=3)
+        assert wide.fused_gate_count < narrow.fused_gate_count
+        assert wide.source_gate_count == narrow.source_gate_count
+
+    def test_default_width_keeps_seed_plans(self):
+        ansatz = build_qucad_ansatz(4, repeats=2)
+        assert (
+            build_fusion_plan(ansatz).fused_gate_count
+            == build_fusion_plan(ansatz, max_width=2).fused_gate_count
+        )
+        engine = SimulationEngine()
+        assert engine.fusion_width == 2
+
+    def test_width_below_two_rejected(self):
+        ansatz = build_qucad_ansatz(4, repeats=1)
+        with pytest.raises(SimulationError):
+            build_fusion_plan(ansatz, max_width=1)
+        with pytest.raises(SimulationError):
+            SimulationEngine(fusion_width=1)
+
+    def test_env_var_sets_engine_width(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSION_WIDTH", "3")
+        assert SimulationEngine().fusion_width == 3
+
+
+class TestWidePlanEquivalence:
+    def test_paper_ansatz_matches_unfused(self):
+        rng = np.random.default_rng(23)
+        for num_qubits, repeats in [(4, 2), (5, 1)]:
+            ansatz = build_qucad_ansatz(num_qubits, repeats=repeats)
+            theta = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+            states = _random_states(rng, 5, num_qubits)
+            expected = StatevectorSimulator(num_qubits).run(
+                ansatz.bind_parameters(theta), initial_states=states
+            ).states
+            wide = SimulationEngine(fusion_width=3).run_statevector(
+                ansatz, states, parameters=theta
+            )
+            np.testing.assert_allclose(wide, expected, atol=1e-10)
+
+    def test_random_cross_path_heavy_circuits(self):
+        """Circuits stacked with diagonal/monomial gates between dense blocks."""
+        rng = np.random.default_rng(29)
+        dense = ["h", "rx", "ry", "sx"]
+        cross = ["z", "s", "t", "rz", "p", "cz", "crz", "cp", "rzz", "x", "cx", "swap"]
+        parametric = {"rx", "ry", "rz", "p", "crz", "cp", "rzz"}
+        for num_qubits in (3, 4, 5):
+            for trial in range(4):
+                circuit = QuantumCircuit(num_qubits)
+                for _ in range(50):
+                    pool = dense if rng.random() < 0.4 else cross
+                    name = pool[rng.integers(len(pool))]
+                    if name in ("cz", "crz", "cp", "rzz", "cx", "swap"):
+                        qubits = [
+                            int(q)
+                            for q in rng.choice(num_qubits, size=2, replace=False)
+                        ]
+                    else:
+                        qubits = [int(rng.integers(num_qubits))]
+                    param = (
+                        float(rng.uniform(-3, 3)) if name in parametric else None
+                    )
+                    circuit.add(name, qubits, param=param)
+                states = _random_states(rng, 4, num_qubits)
+                expected = StatevectorSimulator(num_qubits).run(
+                    circuit, initial_states=states
+                ).states
+                for width in (3, 4):
+                    wide = SimulationEngine(fusion_width=width).run_statevector(
+                        circuit, states
+                    )
+                    np.testing.assert_allclose(wide, expected, atol=1e-10)
+
+    def test_wide_blocks_exist_and_stay_within_budget(self):
+        ansatz = build_qucad_ansatz(5, repeats=2)
+        plan = build_fusion_plan(ansatz, max_width=3)
+        widths = [len(block.qubits) for block in plan.blocks]
+        assert max(widths) == 3
+        assert all(width <= 3 for width in widths)
