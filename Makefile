@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test unit bench bench-paper bench-json bench-gate serve-bench fleet lint docs-check
+.PHONY: test unit bench bench-paper bench-json bench-gate serve-bench fleet lint docs-check schemas protocol-gate resume-smoke
 
 ## tier-1 verification: full pytest run (unit tests + reduced-scale benchmarks)
 test:
@@ -41,6 +41,18 @@ serve-bench:
 fleet:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.experiments fleet --scale test \
 		--devices ring_5,line_5 --scenarios seasonal,jump
+
+## regenerate the pinned protocol message schemas in docs/schemas/
+schemas:
+	$(PYTHON) scripts/schema_gate.py --write
+
+## assert the committed schemas match the live message registry (CI gate)
+protocol-gate:
+	$(PYTHON) scripts/schema_gate.py
+
+## SIGKILL a fleet run mid-grid, resume it, and diff against a clean run
+resume-smoke:
+	$(PYTHON) scripts/crash_resume_smoke.py --workdir crash_resume_smoke
 
 ## critical-correctness lint (requires ruff; config in ruff.toml)
 lint:

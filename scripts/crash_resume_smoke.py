@@ -1,0 +1,224 @@
+"""Crash-resume smoke: SIGKILL a fleet run mid-grid, resume, compare.
+
+The end-to-end durability check CI runs on every push:
+
+1. run the full (devices × scenarios) grid uninterrupted into one run
+   store — the reference report;
+2. start the same grid against a second store, poll the store until
+   ``--kill-after`` cells have committed, then SIGKILL the process
+   mid-grid;
+3. rerun with ``--resume <run-id>`` against the second store and assert
+   that every pre-kill cell was loaded back instead of re-executed
+   (store row counts + run-record attribution prove it), and that the
+   resumed report is bit-identical to the reference in canonical form.
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.protocol import canonical_report_dict  # noqa: E402
+from repro.runtime import RunStore, load_run_records  # noqa: E402
+
+
+def fleet_command(args, store: Path, extra: list[str]) -> list[str]:
+    """The fleet CLI invocation for one leg of the smoke."""
+    return [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "fleet",
+        "--scale",
+        args.scale,
+        "--devices",
+        args.devices,
+        "--scenarios",
+        args.scenarios,
+        "--cell-workers",
+        "1",
+        "--store",
+        str(store),
+        *extra,
+    ]
+
+
+def child_env() -> dict:
+    """Subprocess environment with the package importable."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+def wait_for_cells(store_path: Path, minimum: int, timeout: float) -> tuple[str, int]:
+    """Poll the victim's store until ``minimum`` cells have committed."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if store_path.exists():
+            with RunStore(store_path) as store:
+                run_ids = store.run_ids()
+                if run_ids:
+                    run_id = run_ids[0]
+                    count = store.count("fleet.cell.result", run_id)
+                    if count >= minimum:
+                        return run_id, count
+        time.sleep(0.1)
+    raise SystemExit(
+        f"victim run never committed {minimum} cells within {timeout}s"
+    )
+
+
+def main(argv=None) -> int:
+    """Run the three-leg smoke; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", default="ring_5,line_5,belem")
+    parser.add_argument("--scenarios", default="calm,seasonal,jump")
+    parser.add_argument("--scale", default="test")
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=2,
+        help="SIGKILL the victim once this many cells have committed",
+    )
+    parser.add_argument("--workdir", type=Path, default=Path("crash_resume_smoke"))
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    grid_cells = len(args.devices.split(",")) * len(args.scenarios.split(","))
+    if args.kill_after >= grid_cells:
+        raise SystemExit(
+            f"--kill-after {args.kill_after} must be < grid size {grid_cells}"
+        )
+    workdir = args.workdir
+    workdir.mkdir(parents=True, exist_ok=True)
+    env = child_env()
+
+    # Leg 1: the uninterrupted reference run.
+    baseline_json = workdir / "baseline.json"
+    print(f"[1/3] reference run ({grid_cells} cells, uninterrupted)")
+    subprocess.run(
+        fleet_command(
+            args, workdir / "baseline.sqlite", ["--json", str(baseline_json)]
+        ),
+        check=True,
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+    baseline = json.loads(baseline_json.read_text())["summary"]
+    run_id = baseline["summary"]["run_id"]
+    print(f"      run_id={run_id}")
+
+    # Leg 2: the victim — killed mid-grid after --kill-after cells commit.
+    victim_store = workdir / "victim.sqlite"
+    print(f"[2/3] victim run, SIGKILL after {args.kill_after} cells commit")
+    victim = subprocess.Popen(
+        fleet_command(args, victim_store, ["--records", str(workdir / "victim.jsonl")]),
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+    try:
+        victim_run_id, _ = wait_for_cells(
+            victim_store, args.kill_after, args.timeout
+        )
+    finally:
+        victim.kill()  # SIGKILL — no cleanup handlers run
+    victim.wait(timeout=60)
+    if victim_run_id != run_id:
+        raise SystemExit(
+            f"victim run id {victim_run_id} != reference {run_id}; the "
+            "deterministic id must match for identical configurations"
+        )
+    with RunStore(victim_store) as store:
+        pre_kill = store.completed_cells(run_id)
+        status = store.manifest(run_id).status
+    print(f"      killed pid={victim.pid} with {len(pre_kill)} cells durable")
+    if not pre_kill or len(pre_kill) >= grid_cells:
+        raise SystemExit(
+            f"kill landed outside the grid: {len(pre_kill)}/{grid_cells} "
+            "cells committed; tune --kill-after"
+        )
+    if status == "complete":
+        raise SystemExit("victim run is marked complete; the kill came too late")
+    pre_kill_cells = {
+        (cell.device, cell.scenario) for cell in pre_kill.values()
+    }
+
+    # Leg 3: resume and verify.
+    resumed_json = workdir / "resumed.json"
+    resumed_records = workdir / "resumed.jsonl"
+    print(f"[3/3] resume --resume {run_id}")
+    subprocess.run(
+        fleet_command(
+            args,
+            victim_store,
+            [
+                "--resume",
+                run_id,
+                "--json",
+                str(resumed_json),
+                "--records",
+                str(resumed_records),
+            ],
+        ),
+        check=True,
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+    resumed = json.loads(resumed_json.read_text())["summary"]
+
+    # Completed cells were skipped: the report says so, and no run record
+    # was appended for any pre-kill cell.
+    if resumed["summary"]["resumed_cells"] != len(pre_kill):
+        raise SystemExit(
+            f"resume re-executed completed cells: resumed_cells="
+            f"{resumed['summary']['resumed_cells']}, expected {len(pre_kill)}"
+        )
+    replayed = {
+        (record.experiment.split("/")[1], record.scenario)
+        for record in load_run_records(resumed_records)
+    }
+    overlap = replayed & pre_kill_cells
+    if overlap:
+        raise SystemExit(f"resume re-evaluated completed cells: {sorted(overlap)}")
+
+    # The store now holds the whole grid and the run is complete.
+    with RunStore(victim_store) as store:
+        final_cells = store.completed_cells(run_id)
+        final_status = store.manifest(run_id).status
+        reports = store.count("fleet.report", run_id)
+    if len(final_cells) != grid_cells or final_status != "complete" or reports != 1:
+        raise SystemExit(
+            f"store end-state wrong: cells={len(final_cells)}/{grid_cells} "
+            f"status={final_status} reports={reports}"
+        )
+
+    # Bit-identical canonical reports.
+    reference = json.dumps(canonical_report_dict(baseline), sort_keys=True)
+    recovered = json.dumps(canonical_report_dict(resumed), sort_keys=True)
+    if reference != recovered:
+        raise SystemExit(
+            "resumed report differs from the uninterrupted reference "
+            f"(lengths {len(reference)} vs {len(recovered)})"
+        )
+    print(
+        f"PASS: {len(pre_kill)} cells skipped, "
+        f"{grid_cells - len(pre_kill)} re-run, reports bit-identical "
+        f"({len(reference)} canonical bytes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

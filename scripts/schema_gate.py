@@ -1,0 +1,116 @@
+"""CI protocol gate: pinned message schemas must match the registry.
+
+Every registered protocol message exports a JSON-schema document to
+``docs/schemas/`` (one file per message family, written by ``make
+schemas``).  This gate regenerates the documents from the live registry
+and fails when:
+
+* a document is missing or a stray file has no registered message;
+* a schema changed while its ``type_version`` did not — the drift the
+  gate exists to catch: bump the model's ``type_version`` literal first;
+* a schema or version changed and the committed document was not
+  re-exported — run ``make schemas`` and commit the result.
+
+Exit code 0 means the committed schema set is exactly the registry's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SCHEMA_DIR = REPO_ROOT / "docs" / "schemas"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.protocol import (  # noqa: E402 (path bootstrap above)
+    registered_messages,
+    schema_document,
+    schema_filename,
+)
+
+
+def check_schemas(schema_dir: Path) -> list[str]:
+    """Compare committed schema documents against the live registry."""
+    failures = []
+    expected = {}
+    for cls in registered_messages():
+        current = schema_document(cls)
+        name = schema_filename(cls)
+        expected[name] = current
+        path = schema_dir / name
+        if not path.is_file():
+            failures.append(
+                f"{name}: missing schema document for {current['type_name']!r} "
+                "- run `make schemas` and commit the result"
+            )
+            continue
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        same_schema = (
+            committed.get("schema") == current["schema"]
+            and committed.get("schema_digest") == current["schema_digest"]
+        )
+        same_version = committed.get("type_version") == current["type_version"]
+        if same_schema and same_version:
+            continue
+        if not same_schema and same_version:
+            failures.append(
+                f"{name}: schema for {current['type_name']!r} drifted without a "
+                f"type_version bump (committed digest "
+                f"{committed.get('schema_digest')}, current "
+                f"{current['schema_digest']}, both version "
+                f"{current['type_version']!r}) - bump the model's type_version "
+                "literal, run `make schemas`, and commit"
+            )
+        else:
+            failures.append(
+                f"{name}: committed schema document is stale (committed version "
+                f"{committed.get('type_version')!r}, registry "
+                f"{current['type_version']!r}) - run `make schemas` and commit"
+            )
+    for path in sorted(schema_dir.glob("*.json")):
+        if path.name not in expected:
+            failures.append(
+                f"{path.name}: no registered message exports this document - "
+                "delete it or register the message"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    """Run the gate (or regenerate the documents with ``--write``)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--schema-dir",
+        type=Path,
+        default=DEFAULT_SCHEMA_DIR,
+        help=f"committed schema documents (default: {DEFAULT_SCHEMA_DIR})",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the schema documents instead of checking them",
+    )
+    args = parser.parse_args(argv)
+    if args.write:
+        from repro.protocol import export_schemas
+
+        for path in export_schemas(args.schema_dir):
+            print(f"wrote {path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path}")
+        return 0
+    failures = check_schemas(args.schema_dir)
+    if failures:
+        print("protocol-gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    count = len(list(registered_messages()))
+    print(f"protocol-gate: OK ({count} message schemas pinned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -206,6 +206,9 @@ def _run_fleet(scale, runner, device=None, options=None):
         cell_workers=getattr(options, "cell_workers", None),
         record_log=getattr(options, "records", None),
         runner_mode=getattr(options, "runner_mode", None) or "serial",
+        store=getattr(options, "store", None),
+        run_id=getattr(options, "run_id", None),
+        resume=getattr(options, "resume", None),
     )
     summary = result.as_dict()
     summary["formatted"] = result.format()
@@ -375,6 +378,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="concurrent (device x scenario) cells (default: min(4, cells))",
     )
+    fleet.add_argument(
+        "--store",
+        default=None,
+        help="durable SQLite run store; every completed cell commits here, "
+        "making the run resumable after a crash",
+    )
+    fleet.add_argument(
+        "--run-id",
+        default=None,
+        help="run identity inside the store (default: a deterministic id "
+        "derived from the grid/scale/seed configuration)",
+    )
+    fleet.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume a killed run: cells already completed in --store are "
+        "loaded back instead of re-executed",
+    )
     return parser
 
 
@@ -415,7 +437,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "models",
         "arrival_rate",
     )
-    fleet_options = ("devices", "scenarios", "cell_workers")
+    fleet_options = ("devices", "scenarios", "cell_workers", "store", "run_id", "resume")
     runner_options = ("runner_mode", "workers", "chunk_days", "records", "cache")
     if args.name == "serve":
         inapplicable = runner_options + fleet_options

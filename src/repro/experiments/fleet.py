@@ -49,11 +49,16 @@ def run_fleet(
     record_log: Union[RunRecordLog, PathLike, None] = None,
     seed: Optional[int] = None,
     runner_mode: str = "serial",
+    store: Union[str, PathLike, None] = None,
+    run_id: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> FleetReport:
     """Replay the (devices × scenarios) grid; returns the fleet report.
 
     ``devices`` / ``scenarios`` accept comma-separated strings (the CLI
     form) or sequences; omitted lists fall back to the default 2 × 2 grid.
+    ``store`` attaches the durable SQLite run store; ``resume`` skips
+    cells that run already completed (see ``fleet --resume``).
     """
     from repro.fleet import run_fleet as _run_fleet_grid
 
@@ -66,4 +71,7 @@ def run_fleet(
         record_log=record_log,
         seed=seed,
         runner_mode=runner_mode,
+        store=store,
+        run_id=run_id,
+        resume=resume,
     )

@@ -29,6 +29,7 @@ is thread-safe by construction.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence, Union
@@ -46,7 +47,15 @@ from repro.experiments.context import (
     train_base_model_for,
 )
 from repro.fleet.report import FleetCellResult, FleetReport, WATCHER_ACTIONS
-from repro.runtime import EvaluationCache, ExperimentRunner, RunRecordLog
+from repro.protocol import FleetRunManifest, content_digest
+from repro.runtime import (
+    EvaluationCache,
+    ExperimentRunner,
+    RunRecordLog,
+    RunStore,
+    StoreError,
+    fleet_cell_digest,
+)
 from repro.runtime.records import PathLike
 from repro.serving.registry import ModelRegistry
 from repro.serving.watcher import CalibrationWatcher
@@ -87,6 +96,18 @@ class FleetHarness:
         :class:`~repro.runtime.ExperimentRunner` (default ``serial``).
         ``pool`` routes day chunks through the persistent worker pool,
         which keeps compiled engines warm across cells.
+    store:
+        Optional durable :class:`~repro.runtime.RunStore` (or path).
+        Every completed cell is committed to it before the next cell's
+        result lands, so a killed run can be resumed.
+    run_id:
+        Identity of this run in the store.  Defaults to a deterministic
+        id derived from the configuration digest, so rerunning the same
+        command addresses the same run.
+    resume:
+        A run id to resume: cells already completed in the store are
+        loaded back instead of re-executed.  The stored run's
+        configuration digest must match this harness's configuration.
     """
 
     def __init__(
@@ -100,6 +121,9 @@ class FleetHarness:
         seed: Optional[int] = None,
         chunk_days: int = 16,
         runner_mode: str = "serial",
+        store: Union[RunStore, PathLike, None] = None,
+        run_id: Optional[str] = None,
+        resume: Optional[str] = None,
     ):
         if not devices:
             raise ReproError("a fleet needs at least one device")
@@ -121,6 +145,43 @@ class FleetHarness:
         self.seed = self.scale.seed if seed is None else int(seed)
         self.chunk_days = chunk_days
         self.runner_mode = runner_mode
+        if resume is not None and store is None:
+            raise ReproError("--resume needs a run store (pass store=...)")
+        if store is not None and not isinstance(store, RunStore):
+            store = RunStore(store)
+        self.store = store
+        self.config_digest = content_digest(
+            {
+                "devices": self.devices,
+                "scenarios": [scenario.name for scenario in self.scenarios],
+                "dataset": self.dataset_name,
+                "seed": self.seed,
+                "chunk_days": self.chunk_days,
+                "scale": dataclasses.asdict(self.scale),
+            }
+        )
+        self.resume = resume
+        if resume is not None:
+            run_id = resume
+        self.run_id = run_id or f"fleet-{self.config_digest[:12]}"
+
+    # ------------------------------------------------------------------
+    def _manifest(self) -> FleetRunManifest:
+        """The run's durable identity record (what ``--resume`` validates)."""
+        return FleetRunManifest(
+            run_id=self.run_id,
+            config_digest=self.config_digest,
+            devices=list(self.devices),
+            scenarios=[scenario.name for scenario in self.scenarios],
+            dataset_name=self.dataset_name,
+            seed=self.seed,
+            chunk_days=self.chunk_days,
+            scale=dataclasses.asdict(self.scale),
+        )
+
+    def _cell_digest(self, device: str, scenario: DriftScenario) -> str:
+        """The store key of one cell under this configuration."""
+        return fleet_cell_digest(self.config_digest, device, scenario.name)
 
     # ------------------------------------------------------------------
     def _train_template(self) -> np.ndarray:
@@ -233,26 +294,86 @@ class FleetHarness:
         The shared base model trains sequentially up front; cells then fan
         out over a thread pool.  Results are ordered by the constructor's
         (device, scenario) grid order regardless of completion order.
+
+        With a run store attached, every finished cell is committed
+        durably before the report is assembled; with ``resume`` set,
+        cells already in the store are loaded back instead of re-run, and
+        the assembled report is bit-identical (in canonical form) to an
+        uninterrupted run of the same configuration.
         """
         started = time.perf_counter()
-        template_parameters = self._train_template()
-        if self.cell_workers <= 1 or len(self.cells) <= 1:
-            results = [
-                self._run_cell(device, scenario, template_parameters)
-                for device, scenario in self.cells
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=self.cell_workers) as pool:
-                futures = [
-                    pool.submit(self._run_cell, device, scenario, template_parameters)
-                    for device, scenario in self.cells
-                ]
-                results = [future.result() for future in futures]
-        return FleetReport(
+        completed: dict[str, FleetCellResult] = {}
+        if self.store is not None:
+            if self.resume is not None:
+                stored = self.store.manifest(self.resume)
+                if stored.config_digest != self.config_digest:
+                    raise StoreError(
+                        f"run {self.resume!r} was recorded for a different "
+                        f"configuration (stored digest {stored.config_digest}, "
+                        f"requested {self.config_digest})"
+                    )
+                completed = self.store.completed_cells(self.resume)
+            self.store.begin_run(self._manifest())
+
+        digests = {
+            (device, scenario.name): self._cell_digest(device, scenario)
+            for device, scenario in self.cells
+        }
+        pending = [
+            (device, scenario)
+            for device, scenario in self.cells
+            if digests[(device, scenario.name)] not in completed
+        ]
+
+        def finish_cell(device, scenario, template_parameters) -> FleetCellResult:
+            result = self._run_cell(device, scenario, template_parameters)
+            if self.store is not None:
+                self.store.put(
+                    self.run_id, result, digest=digests[(device, scenario.name)]
+                )
+            return result
+
+        fresh: dict[str, FleetCellResult] = {}
+        if pending:
+            template_parameters = self._train_template()
+            if self.cell_workers <= 1 or len(pending) <= 1:
+                for device, scenario in pending:
+                    fresh[digests[(device, scenario.name)]] = finish_cell(
+                        device, scenario, template_parameters
+                    )
+            else:
+                with ThreadPoolExecutor(max_workers=self.cell_workers) as pool:
+                    futures = {
+                        digests[(device, scenario.name)]: pool.submit(
+                            finish_cell, device, scenario, template_parameters
+                        )
+                        for device, scenario in pending
+                    }
+                    fresh = {
+                        digest: future.result()
+                        for digest, future in futures.items()
+                    }
+
+        results = []
+        resumed = 0
+        for device, scenario in self.cells:
+            digest = digests[(device, scenario.name)]
+            if digest in fresh:
+                results.append(fresh[digest])
+            else:
+                results.append(completed[digest])
+                resumed += 1
+        report = FleetReport(
             dataset_name=self.dataset_name,
             cells=results,
             wall_seconds=time.perf_counter() - started,
+            run_id=self.run_id if self.store is not None else None,
+            resumed_cells=resumed,
         )
+        if self.store is not None:
+            self.store.put(self.run_id, report)
+            self.store.mark_run(self.run_id, "complete")
+        return report
 
 
 def run_fleet(
@@ -264,6 +385,9 @@ def run_fleet(
     record_log: Union[RunRecordLog, PathLike, None] = None,
     seed: Optional[int] = None,
     runner_mode: str = "serial",
+    store: Union[RunStore, PathLike, None] = None,
+    run_id: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> FleetReport:
     """One-call fleet replay: build a :class:`FleetHarness` and run it."""
     harness = FleetHarness(
@@ -275,5 +399,8 @@ def run_fleet(
         record_log=record_log,
         seed=seed,
         runner_mode=runner_mode,
+        store=store,
+        run_id=run_id,
+        resume=resume,
     )
     return harness.run()

@@ -2,173 +2,29 @@
 
 A fleet run is a grid of ``(device × scenario)`` cells; each cell replays
 one drift scenario on one device through the experiment runner and the
-serving watcher.  :class:`FleetCellResult` is the machine-readable record
-of one cell — accuracy-over-days, adaptation-action counts, compile-cache
-and evaluation-cache statistics — and :class:`FleetReport` stitches the
-cells into one JSON-ready fleet report with aggregate rollups, which the
-CLI (``python -m repro.experiments fleet``) prints and CI asserts on.
+serving watcher.  The report types themselves are typed protocol
+messages — :class:`~repro.protocol.FleetCellResult` is the validated
+record of one cell (accuracy-over-days, adaptation-action counts,
+compile-cache and evaluation-cache statistics) and
+:class:`~repro.protocol.FleetReport` stitches the cells into one
+JSON-ready fleet report with aggregate rollups, which the CLI
+(``python -m repro.experiments fleet``) prints, the run store persists,
+and CI asserts on.  This module re-exports them from
+:mod:`repro.protocol` so fleet callers keep one import path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from repro.protocol import (
+    WATCHER_ACTIONS,
+    FleetCellResult,
+    FleetReport,
+    canonical_report_dict,
+)
 
-import numpy as np
-
-#: The adaptation actions a CalibrationWatcher classifies swaps into.
-WATCHER_ACTIONS: tuple[str, ...] = ("refresh", "recompile", "readapt")
-
-
-@dataclass
-class FleetCellResult:
-    """Everything one ``(device, scenario)`` cell produced.
-
-    Attributes
-    ----------
-    device / scenario:
-        The cell's coordinates in the fleet grid.
-    days:
-        Number of online days replayed.
-    dates:
-        Calendar labels of the replayed days.
-    accuracy:
-        Per-day accuracy of the deployed model under the scenario's drift.
-    actions:
-        ``{"refresh" | "recompile" | "readapt": count}`` from the
-        :class:`~repro.serving.watcher.CalibrationWatcher` replay.
-    boundary_reuses:
-        Days whose layout decision was provably still optimal (the
-        incremental-recompilation fast path).
-    versions_published:
-        Model versions the watcher published to the registry.
-    compiler:
-        The cell's :class:`~repro.transpiler.pipeline.PassManagerStats`
-        counters (compile-cache hit rates).
-    runner:
-        Evaluation-runner counters including evaluation-cache statistics.
-    wall_seconds:
-        Wall time the cell took end to end.
-    """
-
-    device: str
-    scenario: str
-    days: int
-    dates: list[Optional[str]] = field(default_factory=list)
-    accuracy: list[float] = field(default_factory=list)
-    actions: dict[str, int] = field(default_factory=dict)
-    boundary_reuses: int = 0
-    versions_published: int = 0
-    compiler: dict = field(default_factory=dict)
-    runner: dict = field(default_factory=dict)
-    wall_seconds: float = 0.0
-
-    @property
-    def mean_accuracy(self) -> float:
-        """Mean per-day accuracy over the replayed days."""
-        return float(np.mean(self.accuracy)) if self.accuracy else float("nan")
-
-    @property
-    def min_accuracy(self) -> float:
-        """Worst single-day accuracy (collapse indicator)."""
-        return float(np.min(self.accuracy)) if self.accuracy else float("nan")
-
-    @property
-    def final_accuracy(self) -> float:
-        """Accuracy on the last replayed day."""
-        return float(self.accuracy[-1]) if self.accuracy else float("nan")
-
-    def as_dict(self) -> dict:
-        """JSON-ready cell record for the fleet report."""
-        return {
-            "device": self.device,
-            "scenario": self.scenario,
-            "days": self.days,
-            "dates": list(self.dates),
-            "accuracy": [float(value) for value in self.accuracy],
-            "mean_accuracy": self.mean_accuracy,
-            "min_accuracy": self.min_accuracy,
-            "final_accuracy": self.final_accuracy,
-            "actions": dict(self.actions),
-            "boundary_reuses": self.boundary_reuses,
-            "versions_published": self.versions_published,
-            "compiler": dict(self.compiler),
-            "runner": dict(self.runner),
-            "wall_seconds": self.wall_seconds,
-        }
-
-
-@dataclass
-class FleetReport:
-    """All cells of one fleet run plus fleet-wide aggregates."""
-
-    dataset_name: str
-    cells: list[FleetCellResult] = field(default_factory=list)
-    wall_seconds: float = 0.0
-
-    def cell(self, device: str, scenario: str) -> FleetCellResult:
-        """The recorded result for one ``(device, scenario)`` cell."""
-        for cell in self.cells:
-            if cell.device == device and cell.scenario == scenario:
-                return cell
-        raise KeyError(f"no cell recorded for ({device!r}, {scenario!r})")
-
-    def summary(self) -> dict:
-        """Fleet-wide rollup: grid shape, accuracy spread, action totals."""
-        devices = sorted({cell.device for cell in self.cells})
-        scenarios = sorted({cell.scenario for cell in self.cells})
-        actions = {action: 0 for action in WATCHER_ACTIONS}
-        for cell in self.cells:
-            for action, count in cell.actions.items():
-                actions[action] = actions.get(action, 0) + count
-        means = [cell.mean_accuracy for cell in self.cells]
-        hit_rates = [
-            cell.compiler.get("pass_cache_hit_rate", 0.0) for cell in self.cells
-        ]
-        worst = min(self.cells, key=lambda cell: cell.mean_accuracy, default=None)
-        return {
-            "dataset": self.dataset_name,
-            "cells": len(self.cells),
-            "devices": devices,
-            "scenarios": scenarios,
-            "mean_accuracy": float(np.mean(means)) if means else float("nan"),
-            "worst_cell": (
-                None
-                if worst is None
-                else {
-                    "device": worst.device,
-                    "scenario": worst.scenario,
-                    "mean_accuracy": worst.mean_accuracy,
-                }
-            ),
-            "actions": actions,
-            "mean_pass_cache_hit_rate": (
-                float(np.mean(hit_rates)) if hit_rates else 0.0
-            ),
-            "wall_seconds": self.wall_seconds,
-        }
-
-    def as_dict(self) -> dict:
-        """The full JSON fleet report: per-cell records + aggregates."""
-        return {
-            "summary": self.summary(),
-            "cells": [cell.as_dict() for cell in self.cells],
-        }
-
-    def format(self) -> str:
-        """A compact human-readable table of the fleet grid."""
-        header = (
-            f"{'device':<14} {'scenario':<16} {'mean':>6} {'min':>6} "
-            f"{'refresh':>8} {'recompile':>10} {'readapt':>8} {'cache':>6}"
-        )
-        lines = [header, "-" * len(header)]
-        for cell in self.cells:
-            lines.append(
-                f"{cell.device:<14} {cell.scenario:<16} "
-                f"{cell.mean_accuracy:6.3f} {cell.min_accuracy:6.3f} "
-                f"{cell.actions.get('refresh', 0):8d} "
-                f"{cell.actions.get('recompile', 0):10d} "
-                f"{cell.actions.get('readapt', 0):8d} "
-                f"{cell.compiler.get('pass_cache_hit_rate', 0.0):6.1%}"
-            )
-        return "\n".join(lines)
+__all__ = [
+    "WATCHER_ACTIONS",
+    "FleetCellResult",
+    "FleetReport",
+    "canonical_report_dict",
+]

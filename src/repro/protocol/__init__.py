@@ -1,0 +1,64 @@
+"""Typed telemetry protocol: one validated model per cross-boundary message.
+
+This package is the single source of truth for every record that crosses
+a process or persistence boundary — JSONL run records, fleet cell
+results and reports, watcher actions, shard state-log audit records, and
+telemetry snapshots.  Each message family is one pydantic model carrying
+a ``type_name``/``type_version`` pair, registered on definition, with
+canonical (deterministic, bit-stable) JSON codecs and an exported JSON
+schema that the CI ``protocol-gate`` job pins against drift.
+"""
+
+from repro.protocol.base import (
+    MESSAGE_REGISTRY,
+    ProtocolError,
+    ReproMessage,
+    content_digest,
+    decode,
+    decode_payload,
+    encode,
+    export_schemas,
+    message_class,
+    registered_messages,
+    schema_document,
+    schema_filename,
+)
+from repro.protocol.messages import (
+    WATCHER_ACTIONS,
+    FleetCellResult,
+    FleetReport,
+    FleetRunManifest,
+    ModelServingStats,
+    RunRecord,
+    ShardDeploy,
+    ShardStateOp,
+    TelemetrySnapshot,
+    WatcherAction,
+    canonical_report_dict,
+)
+
+__all__ = [
+    "MESSAGE_REGISTRY",
+    "ProtocolError",
+    "ReproMessage",
+    "WATCHER_ACTIONS",
+    "FleetCellResult",
+    "FleetReport",
+    "FleetRunManifest",
+    "ModelServingStats",
+    "RunRecord",
+    "ShardDeploy",
+    "ShardStateOp",
+    "TelemetrySnapshot",
+    "WatcherAction",
+    "canonical_report_dict",
+    "content_digest",
+    "decode",
+    "decode_payload",
+    "encode",
+    "export_schemas",
+    "message_class",
+    "registered_messages",
+    "schema_document",
+    "schema_filename",
+]

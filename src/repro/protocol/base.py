@@ -1,0 +1,211 @@
+"""Typed message base: registry, versioning, and round-trip codecs.
+
+Every record that crosses a process or persistence boundary — JSONL run
+records, fleet cell results, watcher actions, shard state-log entries,
+telemetry snapshots — is one :class:`ReproMessage` subclass, following the
+one-model-per-message ``named_types`` idiom: each message carries a
+``type_name`` (a dotted, globally unique family name) and a
+``type_version`` (a zero-padded string bumped whenever the schema
+changes).  Subclasses register themselves on definition, so
+:func:`decode` can dispatch any serialized line back to the exact model
+that wrote it, and :func:`export_schemas` can emit the JSON-schema
+documents the CI ``protocol-gate`` job pins.
+
+Canonical encoding is ``json.dumps(model_dump(mode="json"),
+sort_keys=True)``: key order is total, floats round-trip exactly, and the
+same message always produces the same bytes — which is what lets the
+crash-resume smoke assert bit-identical reports and the schema gate
+detect drift by digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from pydantic import BaseModel, ConfigDict, ValidationError
+
+from repro.exceptions import ReproError
+
+
+class ProtocolError(ReproError):
+    """A message failed validation, decoding, or registry lookup."""
+
+
+#: type_name -> {type_version -> model class}; filled by subclass definition.
+MESSAGE_REGISTRY: dict[str, dict[str, type["ReproMessage"]]] = {}
+
+
+def _literal_default(cls: type[BaseModel], field: str) -> Optional[str]:
+    """The declared default of a literal string field (None when absent)."""
+    info = cls.model_fields.get(field)
+    if info is None or info.default is None or not isinstance(info.default, str):
+        return None
+    return info.default
+
+
+class ReproMessage(BaseModel):
+    """Base class for every typed message in the protocol registry.
+
+    Subclasses declare ``type_name``/``type_version`` as string-literal
+    fields with defaults; defining the class registers it.  Messages are
+    strict (unknown keys rejected) so schema drift fails loudly at the
+    boundary rather than silently dropping data.
+    """
+
+    model_config = ConfigDict(extra="forbid", protected_namespaces=())
+
+    @classmethod
+    def __pydantic_init_subclass__(cls, **kwargs: Any) -> None:
+        """Register concrete subclasses by their (type_name, type_version)."""
+        super().__pydantic_init_subclass__(**kwargs)
+        type_name = _literal_default(cls, "type_name")
+        type_version = _literal_default(cls, "type_version")
+        if type_name is None or type_version is None:
+            return  # abstract intermediate or embedded submodel
+        versions = MESSAGE_REGISTRY.setdefault(type_name, {})
+        existing = versions.get(type_version)
+        if existing is not None and existing is not cls:
+            raise ProtocolError(
+                f"duplicate message registration for {type_name!r} "
+                f"version {type_version!r}: {existing.__name__} vs {cls.__name__}"
+            )
+        versions[type_version] = cls
+
+    # ------------------------------------------------------------------
+    def to_canonical_dict(self) -> dict:
+        """JSON-ready payload with every field in serializable form."""
+        return self.model_dump(mode="json")
+
+    def to_json(self) -> str:
+        """The message as one canonical JSON line (no trailing newline)."""
+        return encode(self)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ReproMessage":
+        """Parse and validate one JSON line as this message type."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"invalid message JSON: {error}") from error
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReproMessage":
+        """Validate a decoded payload dict as this message type."""
+        try:
+            return cls.model_validate(payload)
+        except ValidationError as error:
+            raise ProtocolError(
+                f"payload does not validate as {cls.__name__}: {error}"
+            ) from error
+
+
+def registered_messages() -> Iterator[type[ReproMessage]]:
+    """Every registered message class, ordered by (type_name, version)."""
+    for type_name in sorted(MESSAGE_REGISTRY):
+        for version in sorted(MESSAGE_REGISTRY[type_name]):
+            yield MESSAGE_REGISTRY[type_name][version]
+
+
+def message_class(type_name: str, type_version: Optional[str] = None) -> type[ReproMessage]:
+    """Resolve a registered message class (latest version by default)."""
+    versions = MESSAGE_REGISTRY.get(type_name)
+    if not versions:
+        raise ProtocolError(f"unknown message type {type_name!r}")
+    if type_version is None:
+        return versions[max(versions)]
+    cls = versions.get(type_version)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown version {type_version!r} for message type {type_name!r} "
+            f"(registered: {sorted(versions)})"
+        )
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Codecs
+# ----------------------------------------------------------------------
+def encode(message: ReproMessage) -> str:
+    """Serialize a message to its canonical JSON line.
+
+    Canonical means deterministic: sorted keys, exact float round-trip —
+    encoding the same message twice always yields identical bytes.
+    """
+    return json.dumps(message.to_canonical_dict(), sort_keys=True)
+
+
+def decode(line: Union[str, bytes]) -> ReproMessage:
+    """Parse one serialized line back into its registered message type."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid message JSON: {error}") from error
+    return decode_payload(payload)
+
+
+def decode_payload(payload: dict) -> ReproMessage:
+    """Dispatch a decoded payload dict to its registered message class."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"message payload must be an object, got {type(payload)}")
+    type_name = payload.get("type_name")
+    if type_name is None:
+        raise ProtocolError("message payload is missing 'type_name'")
+    cls = message_class(type_name, payload.get("type_version"))
+    return cls.from_payload(payload)
+
+
+def content_digest(payload: Any) -> str:
+    """Digest of any JSON-serializable payload's canonical encoding.
+
+    The run store keys rows on these digests: the same logical content
+    always lands on the same key, which is what makes resume idempotent.
+    """
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.blake2b(encoded, digest_size=16).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Schema export (the protocol-gate surface)
+# ----------------------------------------------------------------------
+def schema_document(cls: type[ReproMessage]) -> dict:
+    """The pinned schema document for one message class.
+
+    ``schema_digest`` summarizes the JSON schema alone, so the gate can
+    tell "shape changed, version didn't" (an error) apart from "document
+    stale, re-export" (also an error, different remedy).
+    """
+    schema = cls.model_json_schema()
+    digest = hashlib.blake2b(
+        json.dumps(schema, sort_keys=True).encode("utf-8"), digest_size=16
+    ).hexdigest()
+    return {
+        "type_name": _literal_default(cls, "type_name"),
+        "type_version": _literal_default(cls, "type_version"),
+        "schema_digest": digest,
+        "schema": schema,
+    }
+
+
+def schema_filename(cls: type[ReproMessage]) -> str:
+    """The committed filename for one message family's schema document."""
+    type_name = _literal_default(cls, "type_name") or cls.__name__
+    return type_name.replace(".", "_") + ".json"
+
+
+def export_schemas(directory: Union[str, Path]) -> list[Path]:
+    """Write every registered message's schema document under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for cls in registered_messages():
+        path = directory / schema_filename(cls)
+        path.write_text(
+            json.dumps(schema_document(cls), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written

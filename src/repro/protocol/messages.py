@@ -1,0 +1,379 @@
+"""The registered message types: one model per record family.
+
+Each class here is the *only* shape its family is allowed to take across
+a process or persistence boundary:
+
+- :class:`RunRecord` — one runner evaluation row (the JSONL trail).
+- :class:`FleetCellResult` / :class:`FleetReport` — one (device ×
+  scenario) cell and the assembled fleet report.
+- :class:`FleetRunManifest` — the durable identity of one fleet run
+  (what ``fleet --resume`` validates against).
+- :class:`WatcherAction` — one calibration-watcher swap outcome.
+- :class:`ShardDeploy` / :class:`ShardStateOp` — the supervisor's typed
+  state-log audit records.
+- :class:`TelemetrySnapshot` — a serving-telemetry snapshot, single
+  process or merged across shards.
+
+Versioning rule: any change to a model's serialized shape (fields,
+types, required-ness) must bump its ``type_version`` literal — the CI
+``protocol-gate`` job diffs the exported JSON schemas in
+``docs/schemas/`` against the registry and fails on drift without a
+bump.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Literal, Optional
+
+import numpy as np
+from pydantic import BaseModel, ConfigDict, Field
+
+from repro.protocol.base import ReproMessage
+
+#: The adaptation actions a CalibrationWatcher classifies swaps into.
+WATCHER_ACTIONS: tuple[str, ...] = ("refresh", "recompile", "readapt")
+
+
+class RunRecord(ReproMessage):
+    """One unit of runner work, as persisted to the JSONL artifact.
+
+    Attributes
+    ----------
+    experiment:
+        Harness name (``"fig2"``, ``"table1/mnist4/qucad"``, ...).
+    kind:
+        Record type; day evaluations use ``"day_evaluation"``.
+    index:
+        Position of the unit within its sweep (e.g. the day index).
+    date:
+        Calendar label of the unit, when the sweep has one.
+    scenario:
+        Drift-scenario name the unit ran under (``None`` outside scenario
+        sweeps) — what makes every fleet row attributable to its cell.
+    accuracy:
+        Evaluation outcome (``None`` for non-evaluation records).
+    cache_hit:
+        Whether the result came from the evaluation cache.
+    duration_seconds:
+        Wall time spent producing the result (0 for cache hits).
+    extra:
+        Free-form JSON-serialisable payload (method name, shots, ...).
+    created_at:
+        Unix timestamp at record creation.
+    """
+
+    type_name: Literal["run.record"] = "run.record"
+    type_version: Literal["001"] = "001"
+    experiment: str
+    kind: str = "day_evaluation"
+    index: Optional[int] = None
+    date: Optional[str] = None
+    scenario: Optional[str] = None
+    accuracy: Optional[float] = None
+    cache_hit: bool = False
+    duration_seconds: float = 0.0
+    extra: dict = Field(default_factory=dict)
+    created_at: float = Field(default_factory=time.time)
+
+
+class FleetCellResult(ReproMessage):
+    """Everything one ``(device, scenario)`` cell produced.
+
+    Attributes
+    ----------
+    device / scenario:
+        The cell's coordinates in the fleet grid.
+    days:
+        Number of online days replayed.
+    dates:
+        Calendar labels of the replayed days.
+    accuracy:
+        Per-day accuracy of the deployed model under the scenario's drift.
+    actions:
+        ``{"refresh" | "recompile" | "readapt": count}`` from the
+        :class:`~repro.serving.watcher.CalibrationWatcher` replay.
+    boundary_reuses:
+        Days whose layout decision was provably still optimal (the
+        incremental-recompilation fast path).
+    versions_published:
+        Model versions the watcher published to the registry.
+    compiler:
+        The cell's :class:`~repro.transpiler.pipeline.PassManagerStats`
+        counters (compile-cache hit rates).
+    runner:
+        Evaluation-runner counters including evaluation-cache statistics.
+    wall_seconds:
+        Wall time the cell took end to end.
+    """
+
+    type_name: Literal["fleet.cell.result"] = "fleet.cell.result"
+    type_version: Literal["001"] = "001"
+    device: str
+    scenario: str
+    days: int
+    dates: list[Optional[str]] = Field(default_factory=list)
+    accuracy: list[float] = Field(default_factory=list)
+    actions: dict[str, int] = Field(default_factory=dict)
+    boundary_reuses: int = 0
+    versions_published: int = 0
+    compiler: dict = Field(default_factory=dict)
+    runner: dict = Field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Mean per-day accuracy over the replayed days."""
+        return float(np.mean(self.accuracy)) if self.accuracy else float("nan")
+
+    @property
+    def min_accuracy(self) -> float:
+        """Worst single-day accuracy (collapse indicator)."""
+        return float(np.min(self.accuracy)) if self.accuracy else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy on the last replayed day."""
+        return float(self.accuracy[-1]) if self.accuracy else float("nan")
+
+    def as_dict(self) -> dict:
+        """JSON-ready cell record for the fleet report."""
+        return {
+            "device": self.device,
+            "scenario": self.scenario,
+            "days": self.days,
+            "dates": list(self.dates),
+            "accuracy": [float(value) for value in self.accuracy],
+            "mean_accuracy": self.mean_accuracy,
+            "min_accuracy": self.min_accuracy,
+            "final_accuracy": self.final_accuracy,
+            "actions": dict(self.actions),
+            "boundary_reuses": self.boundary_reuses,
+            "versions_published": self.versions_published,
+            "compiler": dict(self.compiler),
+            "runner": dict(self.runner),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class FleetReport(ReproMessage):
+    """All cells of one fleet run plus fleet-wide aggregates."""
+
+    type_name: Literal["fleet.report"] = "fleet.report"
+    type_version: Literal["001"] = "001"
+    dataset_name: str
+    cells: list[FleetCellResult] = Field(default_factory=list)
+    wall_seconds: float = 0.0
+    run_id: Optional[str] = None
+    resumed_cells: int = 0
+
+    def cell(self, device: str, scenario: str) -> FleetCellResult:
+        """The recorded result for one ``(device, scenario)`` cell."""
+        for cell in self.cells:
+            if cell.device == device and cell.scenario == scenario:
+                return cell
+        raise KeyError(f"no cell recorded for ({device!r}, {scenario!r})")
+
+    def summary(self) -> dict:
+        """Fleet-wide rollup: grid shape, accuracy spread, action totals."""
+        devices = sorted({cell.device for cell in self.cells})
+        scenarios = sorted({cell.scenario for cell in self.cells})
+        actions = {action: 0 for action in WATCHER_ACTIONS}
+        for cell in self.cells:
+            for action, count in cell.actions.items():
+                actions[action] = actions.get(action, 0) + count
+        means = [cell.mean_accuracy for cell in self.cells]
+        hit_rates = [
+            cell.compiler.get("pass_cache_hit_rate", 0.0) for cell in self.cells
+        ]
+        worst = min(self.cells, key=lambda cell: cell.mean_accuracy, default=None)
+        return {
+            "dataset": self.dataset_name,
+            "run_id": self.run_id,
+            "resumed_cells": self.resumed_cells,
+            "cells": len(self.cells),
+            "devices": devices,
+            "scenarios": scenarios,
+            "mean_accuracy": float(np.mean(means)) if means else float("nan"),
+            "worst_cell": (
+                None
+                if worst is None
+                else {
+                    "device": worst.device,
+                    "scenario": worst.scenario,
+                    "mean_accuracy": worst.mean_accuracy,
+                }
+            ),
+            "actions": actions,
+            "mean_pass_cache_hit_rate": (
+                float(np.mean(hit_rates)) if hit_rates else 0.0
+            ),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def as_dict(self) -> dict:
+        """The full JSON fleet report: per-cell records + aggregates."""
+        return {
+            "summary": self.summary(),
+            "cells": [cell.as_dict() for cell in self.cells],
+        }
+
+    def canonical_dict(self) -> dict:
+        """The report minus run-instance metadata (timings, resume info).
+
+        Two runs of the same grid at the same seed — uninterrupted or
+        killed-and-resumed — produce byte-identical canonical dicts; this
+        is the form the crash-resume smoke compares.
+        """
+        return canonical_report_dict(self.as_dict())
+
+    def format(self) -> str:
+        """A compact human-readable table of the fleet grid."""
+        header = (
+            f"{'device':<14} {'scenario':<16} {'mean':>6} {'min':>6} "
+            f"{'refresh':>8} {'recompile':>10} {'readapt':>8} {'cache':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.device:<14} {cell.scenario:<16} "
+                f"{cell.mean_accuracy:6.3f} {cell.min_accuracy:6.3f} "
+                f"{cell.actions.get('refresh', 0):8d} "
+                f"{cell.actions.get('recompile', 0):10d} "
+                f"{cell.actions.get('readapt', 0):8d} "
+                f"{cell.compiler.get('pass_cache_hit_rate', 0.0):6.1%}"
+            )
+        return "\n".join(lines)
+
+
+#: Report keys that describe the run *instance* rather than its results.
+_NON_CANONICAL_SUMMARY_KEYS = ("wall_seconds", "run_id", "resumed_cells")
+
+
+def canonical_report_dict(report: dict) -> dict:
+    """Strip run-instance metadata from a JSON fleet-report dict.
+
+    Works on the plain-dict form (e.g. a ``fleet --json`` artifact read
+    back from disk) so the CI smoke can compare reports without
+    reconstructing models.
+    """
+    summary = {
+        key: value
+        for key, value in report.get("summary", {}).items()
+        if key not in _NON_CANONICAL_SUMMARY_KEYS
+    }
+    cells = [
+        {key: value for key, value in cell.items() if key != "wall_seconds"}
+        for cell in report.get("cells", [])
+    ]
+    return {"summary": summary, "cells": cells}
+
+
+class FleetRunManifest(ReproMessage):
+    """The durable identity of one fleet run, pinned in the run store.
+
+    ``config_digest`` summarizes everything that determines the run's
+    results (grid, dataset, seed, scale); ``--resume`` refuses to attach
+    to a run whose digest does not match the requested configuration, so
+    a resumed run can never silently mix cells from different setups.
+    """
+
+    type_name: Literal["fleet.run.manifest"] = "fleet.run.manifest"
+    type_version: Literal["001"] = "001"
+    run_id: str
+    config_digest: str
+    devices: list[str]
+    scenarios: list[str]
+    dataset_name: str
+    seed: int
+    chunk_days: int
+    scale: dict
+    status: Literal["running", "complete"] = "running"
+    created_at: float = Field(default_factory=time.time)
+
+
+class WatcherAction(ReproMessage):
+    """Outcome of one :meth:`CalibrationWatcher.observe` step."""
+
+    model_config = ConfigDict(extra="forbid", frozen=True, protected_namespaces=())
+
+    type_name: Literal["serving.watcher.action"] = "serving.watcher.action"
+    type_version: Literal["001"] = "001"
+    name: str
+    date: Optional[str] = None
+    action: Literal["refresh", "recompile", "readapt"] = "refresh"
+    version: int = 0
+    digest_changed: bool = False
+    parameters_changed: bool = False
+    boundary_reused: bool = False
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for run reports."""
+        return {
+            "name": self.name,
+            "date": self.date,
+            "action": self.action,
+            "version": self.version,
+            "digest_changed": self.digest_changed,
+            "parameters_changed": self.parameters_changed,
+            "boundary_reused": self.boundary_reused,
+        }
+
+
+class ShardDeploy(ReproMessage):
+    """Typed audit record of one shard deploy (the model travels as bytes
+    out-of-band; the record carries its content digest)."""
+
+    type_name: Literal["serving.shard.deploy"] = "serving.shard.deploy"
+    type_version: Literal["001"] = "001"
+    name: str
+    model_digest: str
+    shard_id: Optional[int] = None
+    calibration_date: Optional[str] = None
+    has_model_bytes: bool = False
+    has_noise_model: bool = False
+    has_adapter: bool = False
+
+
+class ShardStateOp(ReproMessage):
+    """Typed audit record of one state-mutating shard op (deploy /
+    observe / rollback), including its crash-replay bookkeeping."""
+
+    type_name: Literal["serving.shard.state_op"] = "serving.shard.state_op"
+    type_version: Literal["001"] = "001"
+    op: Literal["deploy", "observe", "rollback"]
+    name: str
+    date: Optional[str] = None
+    model_digest: Optional[str] = None
+    attempts: int = 0
+    quarantined: bool = False
+
+
+class ModelServingStats(BaseModel):
+    """Per-model serving metrics (embedded in :class:`TelemetrySnapshot`)."""
+
+    model_config = ConfigDict(extra="forbid")
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    batch_size_histogram: dict[str, int] = Field(default_factory=dict)
+    mean_batch_size: float = 0.0
+    failure_rate: float = 0.0
+    qps: float = 0.0
+    latency_p50_ms: Optional[float] = None
+    latency_p99_ms: Optional[float] = None
+    versions_served: list[int] = Field(default_factory=list)
+
+
+class TelemetrySnapshot(ReproMessage):
+    """A serving-telemetry snapshot: per-model stats, swap counters, and
+    (for the sharded service) per-shard rollups."""
+
+    type_name: Literal["serving.telemetry.snapshot"] = "serving.telemetry.snapshot"
+    type_version: Literal["001"] = "001"
+    models: dict[str, ModelServingStats] = Field(default_factory=dict)
+    swaps: dict[str, int] = Field(default_factory=dict)
+    shards: dict[str, dict] = Field(default_factory=dict)

@@ -20,6 +20,12 @@ from repro.runtime.cache import (
     noise_model_digest,
 )
 from repro.runtime.records import RunRecord, RunRecordLog, load_run_records
+from repro.runtime.store import (
+    MESSAGE_TABLES,
+    RunStore,
+    StoreError,
+    fleet_cell_digest,
+)
 from repro.runtime.runner import (
     RUNNER_MODES,
     ExperimentRunner,
@@ -51,6 +57,10 @@ __all__ = [
     "RunRecord",
     "RunRecordLog",
     "load_run_records",
+    "MESSAGE_TABLES",
+    "RunStore",
+    "StoreError",
+    "fleet_cell_digest",
     "array_digest",
     "evaluation_key",
     "model_digest",

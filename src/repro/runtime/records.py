@@ -3,82 +3,55 @@
 A longitudinal experiment is thousands of small evaluations spread over
 days, methods, and datasets; when one is rerun at a different scale (or
 crashes halfway) the only way to compare or resume is a machine-readable
-record of what actually executed.  :class:`RunRecordLog` appends one JSON
-object per line — the same format consumed by the cache warm-start and by
-the ``BENCH_runtime.json`` tooling — and is safe to share across the
-runner's worker threads.
+record of what actually executed.  The record itself is the typed
+:class:`~repro.protocol.RunRecord` protocol message (one validated model
+per line, ``type_name``/``type_version`` stamped); :class:`RunRecordLog`
+appends one canonical JSON line per record — the same format consumed by
+the cache warm-start and the ``BENCH_runtime.json`` tooling — and is
+safe to share across the runner's worker threads.
+
+Crash safety: appends flush and (by default) fsync once per batch, so a
+SIGKILL can truncate at most the line being written.  Replay tolerates
+exactly that — a torn *trailing* line is dropped with a warning, while
+corruption anywhere earlier still raises, since that indicates real
+damage rather than an interrupted append.
 """
 
 from __future__ import annotations
 
-import json
+import logging
+import os
 import threading
-import time
-from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Iterable, Union
 
+from repro.exceptions import ReproError
+from repro.protocol import RunRecord
 
-@dataclass
-class RunRecord:
-    """One unit of runner work, as persisted to the JSONL artifact.
-
-    Attributes
-    ----------
-    experiment:
-        Harness name (``"fig2"``, ``"table1/mnist4/qucad"``, ...).
-    kind:
-        Record type; day evaluations use ``"day_evaluation"``.
-    index:
-        Position of the unit within its sweep (e.g. the day index).
-    date:
-        Calendar label of the unit, when the sweep has one.
-    scenario:
-        Drift-scenario name the unit ran under (``None`` outside scenario
-        sweeps) — what makes every fleet row attributable to its cell.
-    accuracy:
-        Evaluation outcome (``None`` for non-evaluation records).
-    cache_hit:
-        Whether the result came from the evaluation cache.
-    duration_seconds:
-        Wall time spent producing the result (0 for cache hits).
-    extra:
-        Free-form JSON-serialisable payload (method name, shots, ...).
-    created_at:
-        Unix timestamp at record creation.
-    """
-
-    experiment: str
-    kind: str = "day_evaluation"
-    index: Optional[int] = None
-    date: Optional[str] = None
-    scenario: Optional[str] = None
-    accuracy: Optional[float] = None
-    cache_hit: bool = False
-    duration_seconds: float = 0.0
-    extra: dict = field(default_factory=dict)
-    created_at: float = field(default_factory=time.time)
-
-    def to_json(self) -> str:
-        """The record as one compact JSON line (no trailing newline)."""
-        return json.dumps(asdict(self), sort_keys=True)
-
-    @classmethod
-    def from_json(cls, line: str) -> "RunRecord":
-        """Parse a record from one JSONL line."""
-        payload = json.loads(line)
-        return cls(**payload)
-
+__all__ = ["PathLike", "RunRecord", "RunRecordLog", "load_run_records"]
 
 PathLike = Union[str, Path]
 
+_logger = logging.getLogger(__name__)
+
 
 class RunRecordLog:
-    """Append-only, thread-safe JSONL writer for :class:`RunRecord` objects."""
+    """Append-only, thread-safe JSONL writer for :class:`RunRecord` objects.
 
-    def __init__(self, path: PathLike):
+    Parameters
+    ----------
+    path:
+        JSONL artifact location (parent directories are created).
+    fsync:
+        When true (the default), every :meth:`extend` batch is fsync'd
+        after the write, so records survive a SIGKILL of the process.
+        Set false for throwaway logs where durability doesn't matter.
+    """
+
+    def __init__(self, path: PathLike, fsync: bool = True):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         self._lock = threading.Lock()
 
     def append(self, record: RunRecord) -> None:
@@ -86,24 +59,58 @@ class RunRecordLog:
         self.extend([record])
 
     def extend(self, records: Iterable[RunRecord]) -> None:
-        """Append several records atomically with respect to other writers."""
+        """Append several records atomically with respect to other writers.
+
+        The batch is written in one ``write`` call (so concurrent writers
+        never interleave partial lines), flushed, and — under the default
+        fsync policy — synced to disk before returning.
+        """
         lines = "".join(record.to_json() + "\n" for record in records)
         if not lines:
             return
         with self._lock:
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(lines)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
 
 
 def load_run_records(path: PathLike) -> list[RunRecord]:
-    """Read every record from a JSONL artifact (missing file → empty list)."""
+    """Read every record from a JSONL artifact (missing file → empty list).
+
+    A truncated *final* line — the signature of an append interrupted by
+    a crash — is dropped with a warning.  A malformed line anywhere else
+    raises :class:`~repro.exceptions.ReproError`: that is corruption, not
+    an interrupted append, and silently skipping it would misreport what
+    actually executed.
+    """
     path = Path(path)
     if not path.is_file():
         return []
-    records = []
     with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(RunRecord.from_json(line))
+        lines = handle.readlines()
+    records = []
+    for lineno, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = RunRecord.from_json(stripped)
+        except ReproError as error:
+            trailing = all(not later.strip() for later in lines[lineno + 1 :])
+            if trailing:
+                _logger.warning(
+                    "%s: dropping truncated trailing record (line %d): %s",
+                    path,
+                    lineno + 1,
+                    stripped[:80],
+                )
+                break
+            raise ReproError(
+                f"{path}: corrupt run record on line {lineno + 1} "
+                "(not the trailing line, so this is damage rather than an "
+                f"interrupted append): {error}"
+            ) from error
+        records.append(record)
     return records

@@ -1,0 +1,297 @@
+"""Durable run store: SQLite (WAL) persistence for protocol messages.
+
+The store is the crash-survival layer under the fleet harness (and any
+other long sweep): every completed unit of work lands as one canonical
+protocol message row, keyed by content digest, committed before the next
+unit starts.  A SIGKILL'd run therefore loses at most the unit in
+flight; restarting with ``--resume <run-id>`` reads the completed rows
+back and skips them.
+
+Layout: one ``runs`` table holding each run's
+:class:`~repro.protocol.FleetRunManifest`, plus one table per message
+family (``fleet_cells``, ``run_records``, ``watcher_actions``, ...) with
+``(run_id, digest)`` primary keys — the digests are the same
+content-addressed keys the evaluation cache already uses, so writes are
+idempotent and a resumed run can re-store a row it already owns without
+duplicating it.
+
+Concurrency: WAL journal mode plus a busy timeout lets concurrent
+writers (fleet cell threads, or two processes sharing one store file)
+interleave safely; every public method takes an internal lock, so one
+:class:`RunStore` instance can be shared across threads.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import ReproError
+from repro.protocol import (
+    FleetCellResult,
+    FleetRunManifest,
+    ReproMessage,
+    content_digest,
+    decode,
+    encode,
+)
+
+PathLike = Union[str, Path]
+
+#: Message family -> store table.  Every registered message that can be
+#: persisted per-run has exactly one table here.
+MESSAGE_TABLES: dict[str, str] = {
+    "run.record": "run_records",
+    "fleet.cell.result": "fleet_cells",
+    "fleet.report": "fleet_reports",
+    "serving.watcher.action": "watcher_actions",
+    "serving.shard.deploy": "shard_deploys",
+    "serving.shard.state_op": "shard_state_ops",
+    "serving.telemetry.snapshot": "telemetry_snapshots",
+}
+
+_TABLE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS {table} (
+    run_id TEXT NOT NULL,
+    digest TEXT NOT NULL,
+    type_version TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (run_id, digest)
+)
+"""
+
+_RUNS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    config_digest TEXT NOT NULL,
+    status TEXT NOT NULL,
+    manifest TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+)
+"""
+
+
+class StoreError(ReproError):
+    """A run-store operation failed (unknown run, config mismatch, ...)."""
+
+
+class RunStore:
+    """SQLite-backed durable store for protocol messages, keyed by run.
+
+    Parameters
+    ----------
+    path:
+        Store file location (parent directories are created).
+    timeout:
+        Seconds a writer waits on a locked database before giving up —
+        both the sqlite connection timeout and the WAL busy timeout.
+    """
+
+    def __init__(self, path: PathLike, timeout: float = 30.0):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            str(self.path),
+            timeout=timeout,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; explicit transactions below
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+        with self._lock:
+            self._conn.execute(_RUNS_SCHEMA)
+            for table in MESSAGE_TABLES.values():
+                self._conn.execute(_TABLE_SCHEMA.format(table=table))
+
+    # ------------------------------------------------------------------
+    @property
+    def journal_mode(self) -> str:
+        """The active sqlite journal mode (``"wal"`` on normal filesystems)."""
+        with self._lock:
+            return str(self._conn.execute("PRAGMA journal_mode").fetchone()[0])
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def begin_run(self, manifest: FleetRunManifest) -> FleetRunManifest:
+        """Register a run, or re-attach to it if it already exists.
+
+        Re-attaching (the resume path) validates that the stored run's
+        ``config_digest`` matches the requested configuration; mixing
+        cells from different configurations is refused.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT manifest FROM runs WHERE run_id = ?", (manifest.run_id,)
+            ).fetchone()
+            if row is not None:
+                stored = FleetRunManifest.from_json(row[0])
+                if stored.config_digest != manifest.config_digest:
+                    raise StoreError(
+                        f"run {manifest.run_id!r} exists with config digest "
+                        f"{stored.config_digest} but the requested configuration "
+                        f"digests to {manifest.config_digest}; refusing to resume "
+                        "across configurations"
+                    )
+                return stored
+            now = time.time()
+            self._conn.execute(
+                "INSERT INTO runs (run_id, config_digest, status, manifest, "
+                "created_at, updated_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    manifest.run_id,
+                    manifest.config_digest,
+                    manifest.status,
+                    encode(manifest),
+                    now,
+                    now,
+                ),
+            )
+            return manifest
+
+    def manifest(self, run_id: str) -> FleetRunManifest:
+        """The stored manifest for ``run_id`` (:class:`StoreError` if absent)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT manifest FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"run {run_id!r} is not in the store")
+        manifest = FleetRunManifest.from_json(row[0])
+        assert isinstance(manifest, FleetRunManifest)
+        return manifest
+
+    def run_ids(self) -> list[str]:
+        """Every run id in the store, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs ORDER BY created_at"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def mark_run(self, run_id: str, status: str) -> None:
+        """Update a run's status (``"running"`` / ``"complete"``)."""
+        with self._lock:
+            manifest_row = self._conn.execute(
+                "SELECT manifest FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            if manifest_row is None:
+                raise StoreError(f"run {run_id!r} is not in the store")
+            manifest = FleetRunManifest.from_json(manifest_row[0])
+            updated = manifest.model_copy(update={"status": status})
+            self._conn.execute(
+                "UPDATE runs SET status = ?, manifest = ?, updated_at = ? "
+                "WHERE run_id = ?",
+                (status, encode(updated), time.time(), run_id),
+            )
+
+    # ------------------------------------------------------------------
+    # Message persistence
+    # ------------------------------------------------------------------
+    def _table_for(self, message: ReproMessage) -> str:
+        table = MESSAGE_TABLES.get(message.type_name)
+        if table is None:
+            raise StoreError(
+                f"message type {message.type_name!r} has no store table"
+            )
+        return table
+
+    def put(
+        self,
+        run_id: str,
+        message: ReproMessage,
+        digest: Optional[str] = None,
+    ) -> str:
+        """Persist one message under ``run_id``; returns its digest key.
+
+        The digest defaults to the content digest of the canonical
+        encoding; writes are idempotent (``INSERT OR REPLACE`` on the
+        ``(run_id, digest)`` key) and committed before returning, so a
+        kill after :meth:`put` never loses the row.
+        """
+        table = self._table_for(message)
+        payload = encode(message)
+        if digest is None:
+            digest = content_digest(message.to_canonical_dict())
+        with self._lock:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO {table} "
+                "(run_id, digest, type_version, payload, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (run_id, digest, message.type_version, payload, time.time()),
+            )
+        return digest
+
+    def get(self, run_id: str, type_name: str, digest: str) -> Optional[ReproMessage]:
+        """One stored message by family and digest (``None`` if absent)."""
+        table = MESSAGE_TABLES.get(type_name)
+        if table is None:
+            raise StoreError(f"message type {type_name!r} has no store table")
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT payload FROM {table} WHERE run_id = ? AND digest = ?",
+                (run_id, digest),
+            ).fetchone()
+        return None if row is None else decode(row[0])
+
+    def messages(self, run_id: str, type_name: str) -> dict[str, ReproMessage]:
+        """Every stored message of one family for a run, keyed by digest."""
+        table = MESSAGE_TABLES.get(type_name)
+        if table is None:
+            raise StoreError(f"message type {type_name!r} has no store table")
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT digest, payload FROM {table} WHERE run_id = ? "
+                "ORDER BY created_at",
+                (run_id,),
+            ).fetchall()
+        return {digest: decode(payload) for digest, payload in rows}
+
+    def count(self, type_name: str, run_id: Optional[str] = None) -> int:
+        """Row count for one message family (optionally one run's)."""
+        table = MESSAGE_TABLES.get(type_name)
+        if table is None:
+            raise StoreError(f"message type {type_name!r} has no store table")
+        query = f"SELECT COUNT(*) FROM {table}"
+        args: tuple = ()
+        if run_id is not None:
+            query += " WHERE run_id = ?"
+            args = (run_id,)
+        with self._lock:
+            return int(self._conn.execute(query, args).fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # Fleet-specific helpers
+    # ------------------------------------------------------------------
+    def completed_cells(self, run_id: str) -> dict[str, FleetCellResult]:
+        """Every completed fleet cell for a run, keyed by cell digest."""
+        cells = {}
+        for digest, message in self.messages(run_id, "fleet.cell.result").items():
+            assert isinstance(message, FleetCellResult)
+            cells[digest] = message
+        return cells
+
+
+def fleet_cell_digest(config_digest: str, device: str, scenario: str) -> str:
+    """The store key of one fleet cell: run configuration + coordinates."""
+    return content_digest(
+        {"config": config_digest, "device": device, "scenario": scenario}
+    )

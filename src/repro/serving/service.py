@@ -204,10 +204,15 @@ class InferenceService:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """JSON-ready snapshot: telemetry, scheduler, and cache layers."""
+        """JSON-ready snapshot: telemetry, scheduler, and cache layers.
+
+        The telemetry block passes through the typed
+        :class:`~repro.protocol.TelemetrySnapshot` model, so the single-
+        process and sharded services emit the same validated shape.
+        """
         engine = self.scheduler.engine
         return {
-            "telemetry": self.telemetry.as_dict(),
+            "telemetry": self.telemetry.snapshot().to_canonical_dict(),
             "scheduler": {
                 "submitted": self.scheduler.stats.submitted,
                 "flushes": self.scheduler.stats.flushes,

@@ -59,6 +59,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ServingError
+from repro.protocol import ProtocolError, ShardDeploy, ShardStateOp
 from repro.runtime.workers import (
     SharedArrayStore,
     attach_shared_array,
@@ -210,20 +211,55 @@ _STATE_OPS = frozenset({"deploy", "observe", "rollback"})
 _logger = logging.getLogger(__name__)
 
 
+def _state_op_record(payload: dict):
+    """The typed audit record of one state-mutating payload.
+
+    Model bytes, snapshots, and adapters travel out-of-band as python
+    objects; the record pins the JSON-able identity (op, name, digests,
+    dates) and *validates it at submit time*, so a malformed state op
+    fails in the caller's stack trace instead of poisoning the replay
+    log.
+    """
+    op = payload.get("op")
+    try:
+        if op == "deploy":
+            return ShardDeploy(
+                name=payload["name"],
+                model_digest=payload["model_digest"],
+                calibration_date=getattr(payload.get("calibration"), "date", None),
+                has_model_bytes=payload.get("model_bytes") is not None,
+                has_noise_model=payload.get("noise_model") is not None,
+                has_adapter=payload.get("adapter") is not None,
+            )
+        return ShardStateOp(
+            op=op,
+            name=payload["name"],
+            date=getattr(payload.get("snapshot"), "date", None),
+        )
+    except KeyError as error:
+        raise ProtocolError(
+            f"state op {op!r} payload is missing required key {error}"
+        ) from error
+
+
 class _StateLogEntry:
     """One state-mutating payload retained for crash replay.
 
-    ``attempts`` counts how many times the shard died while this entry was
-    in flight (originally or as a replay); once it reaches
+    ``record`` is the validated protocol message pinned at submit time
+    (:class:`~repro.protocol.ShardDeploy` for deploys,
+    :class:`~repro.protocol.ShardStateOp` otherwise).  ``attempts``
+    counts how many times the shard died while this entry was in flight
+    (originally or as a replay); once it reaches
     :data:`MAX_MESSAGE_ATTEMPTS` the entry is quarantined — skipped by
     every subsequent replay — so a poison deploy cannot crash-loop the
     shard forever.
     """
 
-    __slots__ = ("payload", "attempts", "quarantined")
+    __slots__ = ("payload", "record", "attempts", "quarantined")
 
     def __init__(self, payload: dict):
         self.payload = payload
+        self.record = _state_op_record(payload)
         self.attempts = 0
         self.quarantined = False
 
@@ -641,6 +677,46 @@ class ShardSupervisor:
         with self._lock:
             return {sid: handle.restarts for sid, handle in self._shards.items()}
 
+    def state_log_records(self, shard_id: int) -> list[ShardStateOp]:
+        """One shard's ordered state log as typed audit records.
+
+        Each entry is a uniform :class:`~repro.protocol.ShardStateOp`
+        (op, name, date, model digest) with the entry's live replay
+        bookkeeping (``attempts``, ``quarantined``) folded in — the
+        machine-readable view of exactly what a restarted shard will
+        replay.
+        """
+        with self._lock:
+            handle = self._shards.get(shard_id)
+            if handle is None:
+                raise ServingError(
+                    f"unknown shard {shard_id}; shards: {sorted(self._shards)}"
+                )
+            records = []
+            for entry in handle.state_log:
+                record = entry.record
+                if isinstance(record, ShardDeploy):
+                    records.append(
+                        ShardStateOp(
+                            op="deploy",
+                            name=record.name,
+                            date=record.calibration_date,
+                            model_digest=record.model_digest,
+                            attempts=entry.attempts,
+                            quarantined=entry.quarantined,
+                        )
+                    )
+                else:
+                    records.append(
+                        record.model_copy(
+                            update={
+                                "attempts": entry.attempts,
+                                "quarantined": entry.quarantined,
+                            }
+                        )
+                    )
+            return records
+
     def rollups(self) -> dict[int, dict]:
         """Supervisor-side per-shard rollups for the telemetry merge."""
         with self._lock:
@@ -649,6 +725,7 @@ class ShardSupervisor:
                     "restarts": handle.restarts,
                     "in_flight": len(handle.in_flight),
                     "deployed_digests": len(handle.known_models),
+                    "state_ops": len(handle.state_log),
                     "pid": handle.process.pid if handle.process else None,
                 }
                 for shard_id, handle in self._shards.items()

@@ -25,6 +25,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.protocol import TelemetrySnapshot
+
 #: Per-model cap on retained latency samples; percentile estimates use the
 #: most recent window, which bounds a long-lived server's memory.
 LATENCY_WINDOW: int = 4096
@@ -169,6 +171,15 @@ class ServingTelemetry:
             "swaps": swaps,
         }
 
+    def snapshot(self) -> TelemetrySnapshot:
+        """The current state as a validated protocol message.
+
+        This is the form that crosses process/persistence boundaries:
+        shard snapshots validate through it before merging, and the run
+        store persists it under ``serving.telemetry.snapshot``.
+        """
+        return TelemetrySnapshot.model_validate(self.as_dict())
+
     def reset(self) -> None:
         """Zero every counter (back-to-back load runs on one live service)."""
         with self._lock:
@@ -231,7 +242,11 @@ def merge_shard_snapshots(
     swaps: dict[str, int] = {}
     shards: dict[str, dict] = {}
     for shard_id in sorted(shard_snapshots):
-        snapshot = shard_snapshots[shard_id] or {}
+        raw = shard_snapshots[shard_id] or {}
+        # Validate each shard's snapshot at the merge boundary: a shard
+        # shipping a malformed snapshot fails here, by type, instead of
+        # corrupting the merged rollup downstream.
+        snapshot = TelemetrySnapshot.model_validate(raw).to_canonical_dict()
         for name, stats in snapshot.get("models", {}).items():
             if stats:
                 models.setdefault(name, []).append(stats)
@@ -258,11 +273,16 @@ def merge_shard_snapshots(
         if shard_rollups and shard_id in shard_rollups:
             rollup.update(shard_rollups[shard_id])
         shards[str(shard_id)] = rollup
-    return {
-        "models": {name: _merge_model_stats(stats) for name, stats in models.items()},
-        "swaps": swaps,
-        "shards": shards,
-    }
+    merged = TelemetrySnapshot.model_validate(
+        {
+            "models": {
+                name: _merge_model_stats(stats) for name, stats in models.items()
+            },
+            "swaps": swaps,
+            "shards": shards,
+        }
+    )
+    return merged.to_canonical_dict()
 
 
 def _merge_histograms(histograms) -> dict:

@@ -29,42 +29,21 @@ parameters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 import numpy as np
 
 from repro.exceptions import ServingError
+from repro.protocol import WatcherAction
 from repro.serving.registry import ModelRegistry, ModelVersion
 from repro.serving.telemetry import ServingTelemetry
 from repro.simulator import NoiseModel
 from repro.transpiler import Target
 from repro.transpiler.pipeline import PassManager, default_pass_manager
 
-
-@dataclass(frozen=True)
-class SwapReport:
-    """Outcome of one :meth:`CalibrationWatcher.observe` step."""
-
-    name: str
-    date: Optional[str]
-    action: str  # "refresh" | "recompile" | "readapt"
-    version: int
-    digest_changed: bool
-    parameters_changed: bool
-    boundary_reused: bool
-
-    def as_dict(self) -> dict:
-        """JSON-ready form for run reports."""
-        return {
-            "name": self.name,
-            "date": self.date,
-            "action": self.action,
-            "version": self.version,
-            "digest_changed": self.digest_changed,
-            "parameters_changed": self.parameters_changed,
-            "boundary_reused": self.boundary_reused,
-        }
+#: Swap outcomes are typed protocol messages; ``SwapReport`` remains the
+#: serving-layer name for the registered ``serving.watcher.action`` model.
+SwapReport = WatcherAction
 
 
 #: An adapter maps a calibration snapshot to re-adapted parameters (or

@@ -1,0 +1,104 @@
+"""Resumable fleet runs: the store skips completed cells bit-identically."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.config import TEST_SCALE
+from repro.fleet import FleetHarness
+from repro.runtime import RunStore, StoreError
+
+#: Same micro scale as the harness suite: a 1×2 grid replays in seconds.
+MICRO_SCALE = TEST_SCALE.with_overrides(
+    offline_days=3,
+    online_days=2,
+    dataset_samples=80,
+    train_samples=24,
+    eval_samples=12,
+    base_train_epochs=1,
+)
+
+GRID = {"devices": ["ring_5"], "scenarios": ["calm", "jump"]}
+
+
+def _harness(store, **overrides) -> FleetHarness:
+    options = {**GRID, "scale": MICRO_SCALE, "cell_workers": 1, "store": store}
+    options.update(overrides)
+    return FleetHarness(**options)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted stored run: (store path, report)."""
+    path = tmp_path_factory.mktemp("resume") / "baseline.sqlite"
+    report = _harness(path).run()
+    return path, report
+
+
+def test_stored_run_is_durable_and_complete(baseline):
+    path, report = baseline
+    assert report.run_id is not None and report.resumed_cells == 0
+    with RunStore(path) as store:
+        assert store.run_ids() == [report.run_id]
+        assert store.manifest(report.run_id).status == "complete"
+        assert len(store.completed_cells(report.run_id)) == 2
+        assert store.count("fleet.report", report.run_id) == 1
+
+
+def test_run_id_is_deterministic_for_a_configuration(baseline, tmp_path):
+    _, report = baseline
+    assert _harness(tmp_path / "x.sqlite").run_id == report.run_id
+    assert _harness(tmp_path / "x.sqlite", seed=999).run_id != report.run_id
+
+
+def test_resume_skips_completed_cells_bit_identically(baseline, tmp_path):
+    """A partial store resumes to the uninterrupted run's exact report."""
+    path, reference = baseline
+    partial_path = tmp_path / "partial.sqlite"
+    harness = _harness(partial_path)
+
+    # Simulate a run killed after one cell: copy one completed cell (plus
+    # the manifest) into a fresh store, exactly what a SIGKILL leaves.
+    with RunStore(path) as source, RunStore(partial_path) as partial:
+        partial.begin_run(harness._manifest())
+        (device, scenario), *_ = [
+            (cell.device, cell.scenario)
+            for cell in reference.cells
+            if cell.scenario == "calm"
+        ]
+        scenario_obj = next(
+            s for s in harness.scenarios if s.name == scenario
+        )
+        digest = harness._cell_digest(device, scenario_obj)
+        cell = source.completed_cells(reference.run_id)[digest]
+        partial.put(reference.run_id, cell, digest=digest)
+
+    resumed = _harness(partial_path, resume=reference.run_id).run()
+    assert resumed.resumed_cells == 1
+    assert json.dumps(resumed.canonical_dict(), sort_keys=True) == json.dumps(
+        reference.canonical_dict(), sort_keys=True
+    )
+    with RunStore(partial_path) as store:
+        assert len(store.completed_cells(reference.run_id)) == 2
+        assert store.manifest(reference.run_id).status == "complete"
+
+
+def test_resume_refuses_a_mismatched_configuration(baseline):
+    path, reference = baseline
+    with pytest.raises(StoreError, match="different configuration"):
+        _harness(path, resume=reference.run_id, seed=999).run()
+
+
+def test_resume_refuses_an_unknown_run(tmp_path):
+    store = tmp_path / "empty.sqlite"
+    RunStore(store).close()  # create an empty store file
+    with pytest.raises(StoreError, match="not in the store"):
+        _harness(store, resume="fleet-nope").run()
+
+
+def test_resume_without_a_store_is_rejected():
+    with pytest.raises(ReproError, match="run store"):
+        FleetHarness(**GRID, scale=MICRO_SCALE, resume="fleet-abc")

@@ -1,0 +1,198 @@
+"""Property tests: every registered message survives its codec bit-exactly.
+
+One hypothesis strategy per registered ``type_name``; a completeness test
+pins the strategy table to the live registry, so registering a new
+message without adding its strategy fails here, not in production.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import (
+    MESSAGE_REGISTRY,
+    WATCHER_ACTIONS,
+    FleetCellResult,
+    FleetReport,
+    FleetRunManifest,
+    ModelServingStats,
+    ProtocolError,
+    RunRecord,
+    ShardDeploy,
+    ShardStateOp,
+    TelemetrySnapshot,
+    WatcherAction,
+    content_digest,
+    decode,
+    encode,
+    message_class,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+short_text = st.text(max_size=16)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=12
+)
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), finite, short_text
+)
+json_dicts = st.dictionaries(names, json_scalars, max_size=3)
+
+_cell_results = st.builds(
+    FleetCellResult,
+    device=names,
+    scenario=names,
+    days=st.integers(min_value=0, max_value=365),
+    dates=st.lists(st.one_of(st.none(), short_text), max_size=4),
+    accuracy=st.lists(probabilities, max_size=4),
+    actions=st.dictionaries(st.sampled_from(WATCHER_ACTIONS), st.integers(0, 99), max_size=3),
+    boundary_reuses=st.integers(min_value=0, max_value=99),
+    versions_published=st.integers(min_value=0, max_value=99),
+    compiler=json_dicts,
+    runner=json_dicts,
+    wall_seconds=finite,
+)
+
+_model_stats = st.builds(
+    ModelServingStats,
+    submitted=st.integers(0, 10_000),
+    completed=st.integers(0, 10_000),
+    failed=st.integers(0, 10_000),
+    cancelled=st.integers(0, 10_000),
+    batches=st.integers(0, 10_000),
+    batch_size_histogram=st.dictionaries(
+        st.integers(1, 64).map(str), st.integers(0, 999), max_size=4
+    ),
+    mean_batch_size=finite,
+    failure_rate=probabilities,
+    qps=finite,
+    latency_p50_ms=st.one_of(st.none(), finite),
+    latency_p99_ms=st.one_of(st.none(), finite),
+    versions_served=st.lists(st.integers(0, 99), max_size=4),
+)
+
+#: type_name -> strategy generating instances of the registered model.
+STRATEGIES: dict[str, st.SearchStrategy] = {
+    "run.record": st.builds(
+        RunRecord,
+        experiment=names,
+        kind=short_text,
+        index=st.one_of(st.none(), st.integers(min_value=0, max_value=9999)),
+        date=st.one_of(st.none(), short_text),
+        scenario=st.one_of(st.none(), names),
+        accuracy=st.one_of(st.none(), probabilities),
+        cache_hit=st.booleans(),
+        duration_seconds=finite,
+        extra=json_dicts,
+        created_at=finite,
+    ),
+    "fleet.cell.result": _cell_results,
+    "fleet.report": st.builds(
+        FleetReport,
+        dataset_name=names,
+        cells=st.lists(_cell_results, max_size=3),
+        wall_seconds=finite,
+        run_id=st.one_of(st.none(), names),
+        resumed_cells=st.integers(min_value=0, max_value=99),
+    ),
+    "fleet.run.manifest": st.builds(
+        FleetRunManifest,
+        run_id=names,
+        config_digest=names,
+        devices=st.lists(names, min_size=1, max_size=3),
+        scenarios=st.lists(names, min_size=1, max_size=3),
+        dataset_name=names,
+        seed=st.integers(min_value=0, max_value=2**31),
+        chunk_days=st.integers(min_value=1, max_value=64),
+        scale=json_dicts,
+        status=st.sampled_from(["running", "complete"]),
+        created_at=finite,
+    ),
+    "serving.watcher.action": st.builds(
+        WatcherAction,
+        name=names,
+        date=st.one_of(st.none(), short_text),
+        action=st.sampled_from(WATCHER_ACTIONS),
+        version=st.integers(min_value=0, max_value=999),
+        digest_changed=st.booleans(),
+        parameters_changed=st.booleans(),
+        boundary_reused=st.booleans(),
+    ),
+    "serving.shard.deploy": st.builds(
+        ShardDeploy,
+        name=names,
+        model_digest=names,
+        shard_id=st.one_of(st.none(), st.integers(min_value=0, max_value=64)),
+        calibration_date=st.one_of(st.none(), short_text),
+        has_model_bytes=st.booleans(),
+        has_noise_model=st.booleans(),
+        has_adapter=st.booleans(),
+    ),
+    "serving.shard.state_op": st.builds(
+        ShardStateOp,
+        op=st.sampled_from(["deploy", "observe", "rollback"]),
+        name=names,
+        date=st.one_of(st.none(), short_text),
+        model_digest=st.one_of(st.none(), names),
+        attempts=st.integers(min_value=0, max_value=99),
+        quarantined=st.booleans(),
+    ),
+    "serving.telemetry.snapshot": st.builds(
+        TelemetrySnapshot,
+        models=st.dictionaries(names, _model_stats, max_size=3),
+        swaps=st.dictionaries(names, st.integers(0, 999), max_size=3),
+        shards=st.dictionaries(
+            st.integers(0, 8).map(str), json_dicts, max_size=3
+        ),
+    ),
+}
+
+
+def test_every_registered_message_has_a_strategy():
+    """The strategy table is pinned to the registry — both directions."""
+    assert set(STRATEGIES) == set(MESSAGE_REGISTRY)
+
+
+@pytest.mark.parametrize("type_name", sorted(STRATEGIES))
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_model_json_model_roundtrip_is_bit_identical(type_name, data):
+    message = data.draw(STRATEGIES[type_name])
+    line = encode(message)
+    again = decode(line)
+    assert type(again) is type(message)
+    assert again == message
+    assert encode(again) == line  # byte-identical re-encoding
+    assert content_digest(again.to_canonical_dict()) == content_digest(
+        message.to_canonical_dict()
+    )
+
+
+@pytest.mark.parametrize("type_name", sorted(STRATEGIES))
+def test_registry_resolves_each_type_to_its_model(type_name):
+    cls = message_class(type_name)
+    assert cls.model_fields["type_name"].default == type_name
+
+
+def test_decode_rejects_unknown_type_and_missing_envelope():
+    with pytest.raises(ProtocolError):
+        decode(json.dumps({"type_name": "no.such.type"}))
+    with pytest.raises(ProtocolError):
+        decode(json.dumps({"experiment": "fig2"}))
+    with pytest.raises(ProtocolError):
+        decode("not json {")
+
+
+def test_messages_reject_unknown_fields():
+    with pytest.raises(ProtocolError):
+        RunRecord.from_payload({"experiment": "fig2", "surprise": 1})
+
+
+def test_unknown_version_names_the_registered_ones():
+    with pytest.raises(ProtocolError, match="001"):
+        message_class("run.record", "999")

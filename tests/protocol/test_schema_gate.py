@@ -1,0 +1,82 @@
+"""Behavior tests for the CI protocol gate (``scripts/schema_gate.py``).
+
+The gate has three distinct failure messages — missing document, schema
+drift without a version bump, stale document after a bump — and each
+remedy is different, so each is pinned separately.  The last test runs
+the gate against the *committed* ``docs/schemas/`` set, which is the
+exact check CI performs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.protocol import export_schemas, registered_messages, schema_filename
+
+_SPEC = importlib.util.spec_from_file_location(
+    "schema_gate",
+    Path(__file__).resolve().parents[2] / "scripts" / "schema_gate.py",
+)
+schema_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(schema_gate)
+
+
+@pytest.fixture()
+def pinned(tmp_path):
+    """A freshly exported schema directory (gate-clean by construction)."""
+    export_schemas(tmp_path)
+    return tmp_path
+
+
+def _one_filename() -> str:
+    return schema_filename(next(iter(registered_messages())))
+
+
+def test_freshly_exported_schemas_pass(pinned):
+    assert schema_gate.check_schemas(pinned) == []
+
+
+def test_missing_document_fails_with_export_remedy(pinned):
+    (pinned / _one_filename()).unlink()
+    failures = schema_gate.check_schemas(pinned)
+    assert len(failures) == 1
+    assert "missing" in failures[0] and "make schemas" in failures[0]
+
+
+def test_schema_drift_without_version_bump_is_named(pinned):
+    path = pinned / _one_filename()
+    document = json.loads(path.read_text())
+    document["schema"]["properties"]["sneaky_new_field"] = {"type": "string"}
+    document["schema_digest"] = "0" * 32  # what a drifted export would pin
+    path.write_text(json.dumps(document))
+    failures = schema_gate.check_schemas(pinned)
+    assert len(failures) == 1
+    assert "drifted without a type_version bump" in failures[0]
+
+
+def test_stale_document_after_version_bump_is_distinct(pinned):
+    path = pinned / _one_filename()
+    document = json.loads(path.read_text())
+    document["type_version"] = "000"  # committed doc lags the registry
+    path.write_text(json.dumps(document))
+    failures = schema_gate.check_schemas(pinned)
+    assert len(failures) == 1
+    assert "stale" in failures[0]
+
+
+def test_stray_document_is_flagged(pinned):
+    (pinned / "abandoned_type.json").write_text("{}")
+    failures = schema_gate.check_schemas(pinned)
+    assert len(failures) == 1
+    assert "no registered message" in failures[0]
+
+
+def test_committed_schemas_match_the_registry():
+    """The in-tree docs/schemas/ set passes — the literal CI check."""
+    committed = Path(__file__).resolve().parents[2] / "docs" / "schemas"
+    assert committed.is_dir(), "docs/schemas/ is not committed"
+    assert schema_gate.check_schemas(committed) == []

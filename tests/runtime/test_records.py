@@ -1,0 +1,62 @@
+"""Crash-safety of the JSONL run-record log (regression for torn appends)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.protocol import RunRecord
+from repro.runtime import RunRecordLog, load_run_records
+
+
+def _write(path, count=3, **kwargs):
+    log = RunRecordLog(path, **kwargs)
+    records = [
+        RunRecord(experiment="fig2", index=index, created_at=float(index))
+        for index in range(count)
+    ]
+    log.extend(records)
+    return records
+
+
+def test_load_tolerates_truncated_trailing_line(tmp_path, caplog):
+    """The signature of a SIGKILL mid-append: drop the torn line, warn."""
+    path = tmp_path / "runs.jsonl"
+    written = _write(path, count=3)
+    intact = path.read_text()
+    torn = intact.rstrip("\n")[: len(intact) - 20]  # tear the final record
+    path.write_text(torn)
+    with caplog.at_level("WARNING"):
+        records = load_run_records(path)
+    assert [r.index for r in records] == [0, 1]
+    assert records == written[:2]
+    assert any("truncated trailing" in message for message in caplog.messages)
+
+
+def test_load_raises_on_mid_file_corruption(tmp_path):
+    """Damage before the final line is corruption, not a torn append."""
+    path = tmp_path / "runs.jsonl"
+    _write(path, count=3)
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:-15]  # corrupt a non-trailing record
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ReproError, match="line 2"):
+        load_run_records(path)
+
+
+def test_fsync_policy_is_honoured(tmp_path, monkeypatch):
+    synced = []
+    monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+    _write(tmp_path / "durable.jsonl", count=2)
+    assert len(synced) == 1  # one batched extend -> one fsync
+    _write(tmp_path / "fast.jsonl", count=2, fsync=False)
+    assert len(synced) == 1  # unchanged: fsync=False skips the sync
+
+
+def test_empty_batch_writes_nothing(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    RunRecordLog(path).extend([])
+    assert not path.exists()
+    assert load_run_records(path) == []

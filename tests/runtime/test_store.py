@@ -1,0 +1,143 @@
+"""The durable run store: WAL persistence, idempotent puts, resume reads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.protocol import (
+    FleetCellResult,
+    FleetRunManifest,
+    RunRecord,
+    TelemetrySnapshot,
+)
+from repro.runtime import MESSAGE_TABLES, RunStore, StoreError, fleet_cell_digest
+
+
+def _manifest(run_id="fleet-abc", config_digest="cfg-1") -> FleetRunManifest:
+    return FleetRunManifest(
+        run_id=run_id,
+        config_digest=config_digest,
+        devices=["ring_5"],
+        scenarios=["calm"],
+        dataset_name="mnist4",
+        seed=7,
+        chunk_days=4,
+        scale={"online_days": 2},
+    )
+
+
+def _cell(device="ring_5", scenario="calm") -> FleetCellResult:
+    return FleetCellResult(
+        device=device,
+        scenario=scenario,
+        days=2,
+        accuracy=[0.5, 0.75],
+        actions={"refresh": 2},
+    )
+
+
+def test_store_opens_in_wal_mode(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as store:
+        assert store.journal_mode == "wal"
+
+
+def test_put_get_roundtrip_for_every_table(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as store:
+        store.begin_run(_manifest())
+        cell = _cell()
+        digest = store.put("fleet-abc", cell)
+        assert store.get("fleet-abc", "fleet.cell.result", digest) == cell
+        assert store.get("fleet-abc", "fleet.cell.result", "missing") is None
+        record = RunRecord(experiment="fig2", created_at=1.0)
+        store.put("fleet-abc", record)
+        snapshot = TelemetrySnapshot(swaps={"qnn:refresh": 3})
+        store.put("fleet-abc", snapshot)
+        assert store.count("run.record") == 1
+        assert store.count("serving.telemetry.snapshot", "fleet-abc") == 1
+
+
+def test_put_is_idempotent_on_the_digest_key(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as store:
+        cell = _cell()
+        key = fleet_cell_digest("cfg-1", cell.device, cell.scenario)
+        store.put("fleet-abc", cell, digest=key)
+        store.put("fleet-abc", cell, digest=key)
+        assert store.count("fleet.cell.result", "fleet-abc") == 1
+        assert list(store.completed_cells("fleet-abc")) == [key]
+
+
+def test_unknown_message_family_raises(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as store:
+        with pytest.raises(StoreError, match="no store table"):
+            store.put("fleet-abc", _manifest())  # manifests live in `runs`
+        with pytest.raises(StoreError):
+            store.count("fleet.run.manifest")
+        assert "fleet.run.manifest" not in MESSAGE_TABLES
+
+
+def test_begin_run_reattaches_and_guards_config_digest(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as store:
+        first = store.begin_run(_manifest())
+        again = store.begin_run(_manifest())
+        assert again == first  # re-attach returns the stored manifest
+        with pytest.raises(StoreError, match="refusing to resume"):
+            store.begin_run(_manifest(config_digest="cfg-OTHER"))
+        assert store.run_ids() == ["fleet-abc"]
+
+
+def test_mark_run_updates_status_durably(tmp_path):
+    path = tmp_path / "runs.sqlite"
+    with RunStore(path) as store:
+        store.begin_run(_manifest())
+        store.mark_run("fleet-abc", "complete")
+        with pytest.raises(StoreError, match="not in the store"):
+            store.mark_run("fleet-ghost", "complete")
+    with RunStore(path) as reopened:  # durable across connections
+        assert reopened.manifest("fleet-abc").status == "complete"
+        with pytest.raises(StoreError):
+            reopened.manifest("fleet-ghost")
+
+
+def test_two_concurrent_writers_share_one_wal_store(tmp_path):
+    """Two connections (as two processes would hold) interleave safely."""
+    path = tmp_path / "runs.sqlite"
+    rows_per_writer = 50
+    errors = []
+
+    def writer(writer_id: int) -> None:
+        try:
+            with RunStore(path) as store:
+                for index in range(rows_per_writer):
+                    store.put(
+                        "fleet-abc",
+                        RunRecord(
+                            experiment=f"writer{writer_id}",
+                            index=index,
+                            created_at=float(index),
+                        ),
+                    )
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    with RunStore(path) as store:
+        assert store.count("run.record", "fleet-abc") == 2 * rows_per_writer
+        experiments = {
+            record.experiment
+            for record in store.messages("fleet-abc", "run.record").values()
+        }
+        assert experiments == {"writer0", "writer1"}
+
+
+def test_fleet_cell_digest_is_stable_and_coordinate_sensitive():
+    key = fleet_cell_digest("cfg", "ring_5", "calm")
+    assert key == fleet_cell_digest("cfg", "ring_5", "calm")
+    assert key != fleet_cell_digest("cfg", "ring_5", "jump")
+    assert key != fleet_cell_digest("other", "ring_5", "calm")
